@@ -1,0 +1,52 @@
+//! One Criterion bench per paper table/figure.
+//!
+//! Each bench invokes the same experiment runner the `repro` binary uses,
+//! at smoke scale (tiny suites, short windows), so `cargo bench` exercises
+//! the full regeneration path for every figure and table. Absolute numbers
+//! for the figures come from `repro <id>` at default or `--full` scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ubs_experiments::{run_by_id, Effort, SuiteScale};
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    // Simulation-backed experiments are seconds-long even at smoke scale.
+    group.sample_size(10);
+
+    // Pure-arithmetic tables run at full fidelity.
+    for id in ["table1", "table2", "table3", "table4"] {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let r = run_by_id(black_box(id), Effort::Smoke, &SuiteScale::bench())
+                    .expect("known id");
+                black_box(r.text.len())
+            })
+        });
+    }
+    group.finish();
+
+    // Simulation experiments: run once per bench iteration at smoke scale.
+    let mut sim = c.benchmark_group("figures-sim");
+    sim.sample_size(10);
+    for id in [
+        "fig1", "fig2", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+        "fig15", "fig16", "cvp", "ablate",
+    ] {
+        sim.bench_function(id, |b| {
+            b.iter(|| {
+                let r = run_by_id(black_box(id), Effort::Smoke, &SuiteScale::bench())
+                    .expect("known id");
+                black_box(r.json.to_string().len())
+            })
+        });
+    }
+    sim.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_experiments
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Micro-benchmarks of the core data structures.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use ubs_core::{AccessResult, ConvL1i, InstructionCache, PredictorConfig, UbsCache, UsefulBytePredictor};
+use ubs_mem::MemoryHierarchy;
+use ubs_trace::synth::{Profile, SyntheticTrace, WorkloadSpec};
+use ubs_trace::{FetchRange, Line, TraceSource};
+
+/// Pre-generates a stream of single-line fetch ranges from a client trace.
+fn fetch_ranges(n: usize) -> Vec<FetchRange> {
+    let spec = WorkloadSpec::new(Profile::Client, 0);
+    let mut trace = SyntheticTrace::build(&spec);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let r = trace.next_record().expect("infinite");
+        out.push(FetchRange::new(r.pc, 4));
+    }
+    out
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    let ranges = fetch_ranges(100_000);
+    let mut group = c.benchmark_group("lookup");
+    group.throughput(Throughput::Elements(ranges.len() as u64));
+
+    group.bench_function("conv-32k", |b| {
+        let mut cache = ConvL1i::paper_baseline();
+        let mut mem = MemoryHierarchy::paper();
+        let mut now = 0u64;
+        b.iter(|| {
+            let mut hits = 0u64;
+            for r in &ranges {
+                now += 1;
+                cache.tick(now, &mut mem);
+                if matches!(cache.access(*r, now, &mut mem), AccessResult::Hit) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+
+    group.bench_function("ubs", |b| {
+        let mut cache = UbsCache::paper_default();
+        let mut mem = MemoryHierarchy::paper();
+        let mut now = 0u64;
+        b.iter(|| {
+            let mut hits = 0u64;
+            for r in &ranges {
+                now += 1;
+                cache.tick(now, &mut mem);
+                if matches!(cache.access(*r, now, &mut mem), AccessResult::Hit) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("useful-byte-predictor");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("install-mark-evict", |b| {
+        let mut p = UsefulBytePredictor::new(PredictorConfig::paper_default());
+        b.iter(|| {
+            let mut moved = 0u64;
+            for i in 0..10_000u64 {
+                let line = Line::from_number(i);
+                if let Some(v) = p.install(line, 0xff) {
+                    moved += v.used.count_ones() as u64;
+                }
+                p.lookup_mark(line, 0xff00);
+            }
+            black_box(moved)
+        })
+    });
+    group.finish();
+}
+
+fn bench_trace_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace-generation");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("synthetic-client", |b| {
+        let spec = WorkloadSpec::new(Profile::Client, 1);
+        let proto = SyntheticTrace::build(&spec);
+        b.iter(|| {
+            let mut t = proto.clone();
+            let mut sum = 0u64;
+            for _ in 0..100_000 {
+                sum = sum.wrapping_add(t.next_record().expect("infinite").pc);
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_lookups, bench_predictor, bench_trace_gen
+}
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! # ubs-bench — benchmark harness
+//!
+//! Criterion benches live under `benches/`:
+//!
+//! - `figures.rs`: one bench per paper table/figure, running the same
+//!   experiment code as the `repro` binary at smoke scale (the bench *is*
+//!   the regeneration harness; `repro` prints the full-size rows);
+//! - `micro.rs`: micro-benchmarks of the core structures (UBS lookup path,
+//!   useful-byte predictor, conventional lookup, trace generation).
+
+#![warn(missing_docs)]

@@ -1,0 +1,265 @@
+//! ACIC: admission-controlled instruction cache (Wang et al., HPCA'23;
+//! paper §VI-H, Fig. 13).
+//!
+//! Blocks must *prove* reuse before being admitted into the L1-I: a first
+//! miss only records the block in a small reuse filter and serves the fetch
+//! without caching; a second miss while the filter still remembers the
+//! block admits it. Streaming, never-reused code therefore cannot pollute
+//! the cache. Like GHRP, the mechanism operates at whole-block granularity
+//! and is complementary to UBS.
+
+use crate::icache::{debug_check_range, InstructionCache};
+use crate::stats::{range_mask, AccessResult, ByteMask, IcacheStats, MissKind};
+use crate::storage::{conv_storage, StorageBreakdown};
+use std::collections::HashMap;
+use ubs_mem::{CacheConfig, MemoryHierarchy, MshrFile, SetAssocCache};
+use ubs_trace::{FetchRange, Line};
+
+/// Entries in the reuse filter (tags only).
+const FILTER_ENTRIES: usize = 1024;
+
+/// Admission-controlled conventional L1-I.
+#[derive(Debug)]
+pub struct AcicL1i {
+    name: String,
+    cache: SetAssocCache<ByteMask>,
+    /// Reuse filter: direct-mapped tag store of recently missed lines.
+    filter: Vec<Option<u64>>,
+    mshrs: MshrFile,
+    /// Pending fills: demanded bytes + whether the fill was admitted.
+    pending: HashMap<Line, (ByteMask, bool)>,
+    stats: IcacheStats,
+    size_bytes: usize,
+    ways: usize,
+    admitted: u64,
+    rejected: u64,
+}
+
+impl AcicL1i {
+    /// An ACIC cache of `size_bytes` with `ways` ways.
+    pub fn new(name: impl Into<String>, size_bytes: usize, ways: usize) -> Self {
+        let name = name.into();
+        AcicL1i {
+            cache: SetAssocCache::new(CacheConfig::lru(name.clone(), size_bytes, ways)),
+            name,
+            filter: vec![None; FILTER_ENTRIES],
+            mshrs: MshrFile::new(8),
+            pending: HashMap::new(),
+            stats: IcacheStats::default(),
+            size_bytes,
+            ways,
+            admitted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// The Fig. 13 configuration: 32 KB, 8-way.
+    pub fn paper_default() -> Self {
+        Self::new("acic", 32 << 10, 8)
+    }
+
+    /// `(admitted, rejected)` fill decisions so far.
+    pub fn admission_stats(&self) -> (u64, u64) {
+        (self.admitted, self.rejected)
+    }
+
+    /// Consults and updates the reuse filter; returns whether the miss on
+    /// `line` should be admitted into the cache.
+    fn admit(&mut self, line: Line) -> bool {
+        let idx = (line.number() % FILTER_ENTRIES as u64) as usize;
+        if self.filter[idx] == Some(line.number()) {
+            // Second miss within the filter's memory: reuse proven.
+            self.filter[idx] = None;
+            true
+        } else {
+            self.filter[idx] = Some(line.number());
+            false
+        }
+    }
+}
+
+impl InstructionCache for AcicL1i {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn access(&mut self, range: FetchRange, now: u64, mem: &mut MemoryHierarchy) -> AccessResult {
+        debug_check_range(&range);
+        self.stats.accesses += 1;
+        let line = Line::containing(range.start);
+        let req = range_mask(range.start_offset(), range.bytes.min(64) as u8);
+
+        if self.cache.access(line.number()) {
+            if let Some(used) = self.cache.meta_mut(line.number()) {
+                *used |= req;
+            }
+            self.stats.hits += 1;
+            return AccessResult::Hit;
+        }
+
+        let ready_at = if let Some(existing) = self.mshrs.get(line).copied() {
+            if existing.is_prefetch {
+                self.stats.late_prefetch_merges += 1;
+            }
+            self.mshrs.allocate(line, existing.ready_at, false);
+            // A merged demand miss is itself reuse evidence: admit.
+            if let Some(p) = self.pending.get_mut(&line) {
+                p.0 |= req;
+                p.1 = true;
+            }
+            self.stats.count_miss(MissKind::Full);
+            return AccessResult::Miss {
+                ready_at: existing.ready_at,
+                kind: MissKind::Full,
+            };
+        } else {
+            if self.mshrs.is_full() {
+                self.stats.mshr_full_rejects += 1;
+                return AccessResult::MshrFull;
+            }
+            let ready_at = mem.fetch_block(line, now + self.latency()).ready_at;
+            self.mshrs.allocate(line, ready_at, false);
+            ready_at
+        };
+        let admit = self.admit(line);
+        self.stats.count_miss(MissKind::Full);
+        let p = self.pending.entry(line).or_insert((0, admit));
+        p.0 |= req;
+        p.1 |= admit;
+        AccessResult::Miss {
+            ready_at,
+            kind: MissKind::Full,
+        }
+    }
+
+    fn prefetch(&mut self, range: FetchRange, now: u64, mem: &mut MemoryHierarchy) {
+        debug_check_range(&range);
+        let line = Line::containing(range.start);
+        if self.cache.touch(line.number())
+            || self.mshrs.get(line).is_some()
+            || self.mshrs.is_full()
+        {
+            return;
+        }
+        // FDIP-initiated fills are admitted unconditionally: the prefetcher
+        // only requests blocks on the predicted fetch path, which is itself
+        // reuse evidence (admission control targets demand-streamed code).
+        let ready_at = mem.fetch_block(line, now + self.latency()).ready_at;
+        self.mshrs.allocate(line, ready_at, true);
+        self.pending.entry(line).or_insert((0, true));
+        self.stats.prefetches_issued += 1;
+    }
+
+    fn tick(&mut self, now: u64, _mem: &mut MemoryHierarchy) {
+        for mshr in self.mshrs.drain_ready(now) {
+            let (mask, admit) = self.pending.remove(&mshr.line).unwrap_or((0, false));
+            if admit {
+                self.admitted += 1;
+                if let Some(ev) = self.cache.fill(mshr.line.number(), mask) {
+                    self.stats.count_eviction(ev.meta.count_ones());
+                }
+            } else {
+                self.rejected += 1;
+            }
+        }
+    }
+
+    fn sample_efficiency(&mut self) {
+        let mut resident = 0u64;
+        let mut used = 0u64;
+        for (_, mask) in self.cache.iter() {
+            resident += 64;
+            used += mask.count_ones() as u64;
+        }
+        if resident > 0 {
+            self.stats
+                .efficiency_samples
+                .push((used as f64 / resident as f64) as f32);
+        }
+    }
+
+    fn stats(&self) -> &IcacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+        self.cache.reset_stats();
+    }
+
+    fn storage(&self) -> StorageBreakdown {
+        // The filter stores FILTER_ENTRIES tags of ~26 bits.
+        let mut s = conv_storage(self.name.clone(), self.size_bytes, self.ways);
+        s.tag_bits_per_set += (FILTER_ENTRIES as u64 * 26) / s.sets as u64;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> MemoryHierarchy {
+        MemoryHierarchy::paper()
+    }
+
+    fn range(addr: u64, bytes: u32) -> FetchRange {
+        FetchRange::new(addr, bytes)
+    }
+
+    fn miss(c: &mut AcicL1i, m: &mut MemoryHierarchy, r: FetchRange, now: u64) -> u64 {
+        match c.access(r, now, m) {
+            AccessResult::Miss { ready_at, .. } => {
+                c.tick(ready_at, m);
+                ready_at
+            }
+            other => panic!("expected miss: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_miss_not_admitted_second_is() {
+        let mut c = AcicL1i::paper_default();
+        let mut m = mem();
+        let t1 = miss(&mut c, &mut m, range(0x100, 8), 0);
+        // Not admitted: still misses.
+        let t2 = miss(&mut c, &mut m, range(0x100, 8), t1 + 10);
+        // Second miss proved reuse: now cached.
+        assert!(matches!(
+            c.access(range(0x100, 8), t2 + 10, &mut m),
+            AccessResult::Hit
+        ));
+        assert_eq!(c.admission_stats(), (1, 1));
+    }
+
+    #[test]
+    fn streaming_blocks_never_admitted() {
+        let mut c = AcicL1i::paper_default();
+        let mut m = mem();
+        let mut now = 0;
+        for i in 0..100u64 {
+            now = miss(&mut c, &mut m, range(i * 64, 8), now + 10);
+        }
+        let (admitted, rejected) = c.admission_stats();
+        assert_eq!(admitted, 0);
+        assert_eq!(rejected, 100);
+    }
+
+    #[test]
+    fn merged_demand_misses_admit() {
+        let mut c = AcicL1i::paper_default();
+        let mut m = mem();
+        // Two demand misses to the same in-flight line: reuse within the
+        // miss window → admitted at fill.
+        let ready = match c.access(range(0x200, 8), 0, &mut m) {
+            AccessResult::Miss { ready_at, .. } => ready_at,
+            other => panic!("{other:?}"),
+        };
+        c.access(range(0x210, 8), 1, &mut m);
+        c.tick(ready, &mut m);
+        assert!(matches!(
+            c.access(range(0x200, 8), ready + 1, &mut m),
+            AccessResult::Hit
+        ));
+    }
+}

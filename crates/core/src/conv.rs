@@ -1,0 +1,369 @@
+//! The conventional (baseline) L1 instruction cache.
+//!
+//! A set-associative, 64-byte-block, LRU cache — Table I's 32 KB baseline —
+//! instrumented with byte-granular usage tracking so that the motivation
+//! studies (Fig. 1 byte-usage CDF, Fig. 2 storage-efficiency distribution,
+//! Fig. 4 touch-window analysis) fall out of ordinary simulation runs.
+
+use crate::icache::{debug_check_range, InstructionCache, L1I_LATENCY};
+use crate::stats::{range_mask, AccessResult, ByteMask, IcacheStats, MissKind};
+use crate::storage::{conv_storage, StorageBreakdown};
+use std::collections::HashMap;
+use ubs_mem::{Allocate, CacheConfig, MemoryHierarchy, MshrFile, SetAssocCache};
+use ubs_trace::{FetchRange, Line};
+
+/// Byte-usage metadata carried by each resident block.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct UsageMeta {
+    /// Bytes accessed at least once while resident.
+    pub used: ByteMask,
+    /// Bytes first touched before the next (k+1) misses in this set.
+    pub within: [ByteMask; 4],
+    /// Set miss counter value at insertion.
+    pub inserted_at_miss: u64,
+}
+
+/// The conventional L1-I design.
+#[derive(Debug)]
+pub struct ConvL1i {
+    name: String,
+    cache: SetAssocCache<UsageMeta>,
+    mshrs: MshrFile,
+    pending_masks: HashMap<Line, ByteMask>,
+    set_misses: Vec<u64>,
+    stats: IcacheStats,
+    latency: u64,
+    size_bytes: usize,
+    ways: usize,
+}
+
+impl ConvL1i {
+    /// The Table I baseline: 32 KB, 8-way, LRU, 4-cycle latency, 8 MSHRs.
+    pub fn paper_baseline() -> Self {
+        Self::new("conv-32k", 32 << 10, 8, 8)
+    }
+
+    /// The 64 KB comparison cache of Fig. 8/10 (sets double, ways stay 8).
+    pub fn paper_64k() -> Self {
+        Self::new("conv-64k", 64 << 10, 8, 8)
+    }
+
+    /// A conventional L1-I of `size_bytes` with `ways` ways and
+    /// `mshr_entries` MSHRs.
+    pub fn new(name: impl Into<String>, size_bytes: usize, ways: usize, mshr_entries: usize) -> Self {
+        let name = name.into();
+        let cache = SetAssocCache::new(CacheConfig::lru(name.clone(), size_bytes, ways));
+        let sets = cache.num_sets();
+        ConvL1i {
+            name,
+            cache,
+            mshrs: MshrFile::new(mshr_entries),
+            pending_masks: HashMap::new(),
+            set_misses: vec![0; sets],
+            stats: IcacheStats::default(),
+            latency: L1I_LATENCY,
+            size_bytes,
+            ways,
+        }
+    }
+
+    fn mark_used(&mut self, line: Line, mask: ByteMask) {
+        let set = self.cache.set_index(line.number());
+        let misses_now = self.set_misses[set];
+        if let Some(meta) = self.cache.meta_mut(line.number()) {
+            let new_bits = mask & !meta.used;
+            meta.used |= mask;
+            if new_bits != 0 {
+                let d = misses_now - meta.inserted_at_miss;
+                for k in 0..4u64 {
+                    if d <= k {
+                        meta.within[k as usize] |= new_bits;
+                    }
+                }
+            }
+        }
+    }
+
+    fn record_eviction(&mut self, meta: &UsageMeta) {
+        self.stats.count_eviction(meta.used.count_ones());
+        self.stats.touch_window.total += meta.used.count_ones() as u64;
+        for k in 0..4 {
+            self.stats.touch_window.within[k] += meta.within[k].count_ones() as u64;
+        }
+    }
+
+    fn install(&mut self, line: Line, initial_mask: ByteMask) {
+        let set = self.cache.set_index(line.number());
+        let meta = UsageMeta {
+            used: initial_mask,
+            within: [initial_mask; 4],
+            inserted_at_miss: self.set_misses[set],
+        };
+        if let Some(ev) = self.cache.fill(line.number(), meta) {
+            let m = ev.meta;
+            self.record_eviction(&m);
+        }
+    }
+
+    /// Direct access to the per-set demand-miss counters (used in tests).
+    #[cfg(test)]
+    pub(crate) fn set_miss_count(&self, set: usize) -> u64 {
+        self.set_misses[set]
+    }
+}
+
+impl InstructionCache for ConvL1i {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    fn access(&mut self, range: FetchRange, now: u64, mem: &mut MemoryHierarchy) -> AccessResult {
+        debug_check_range(&range);
+        self.stats.accesses += 1;
+        let line = Line::containing(range.start);
+        let mask = range_mask(range.start_offset(), range.bytes.min(64) as u8);
+
+        if self.cache.access(line.number()) {
+            self.mark_used(line, mask);
+            self.stats.hits += 1;
+            return AccessResult::Hit;
+        }
+
+        // Demand miss: merge with an in-flight request, or start a new one.
+        let ready_at = if let Some(existing) = self.mshrs.get(line).copied() {
+            if existing.is_prefetch {
+                self.stats.late_prefetch_merges += 1;
+            }
+            match self.mshrs.allocate(line, existing.ready_at, false) {
+                Allocate::Merged { ready_at, .. } => ready_at,
+                other => unreachable!("existing entry must merge, got {other:?}"),
+            }
+        } else {
+            if self.mshrs.is_full() {
+                self.stats.mshr_full_rejects += 1;
+                return AccessResult::MshrFull;
+            }
+            let ready_at = mem.fetch_block(line, now + self.latency).ready_at;
+            self.mshrs.allocate(line, ready_at, false);
+            ready_at
+        };
+        self.stats.count_miss(MissKind::Full);
+        let set = self.cache.set_index(line.number());
+        self.set_misses[set] += 1;
+        *self.pending_masks.entry(line).or_insert(0) |= mask;
+        AccessResult::Miss {
+            ready_at,
+            kind: MissKind::Full,
+        }
+    }
+
+    fn prefetch(&mut self, range: FetchRange, now: u64, mem: &mut MemoryHierarchy) {
+        debug_check_range(&range);
+        let line = Line::containing(range.start);
+        if self.cache.touch(line.number()) || self.mshrs.get(line).is_some() {
+            return;
+        }
+        if self.mshrs.is_full() {
+            return; // prefetches are droppable
+        }
+        let ready_at = mem.fetch_block(line, now + self.latency).ready_at;
+        self.mshrs.allocate(line, ready_at, true);
+        self.stats.prefetches_issued += 1;
+    }
+
+    fn tick(&mut self, now: u64, _mem: &mut MemoryHierarchy) {
+        for mshr in self.mshrs.drain_ready(now) {
+            let mask = self.pending_masks.remove(&mshr.line).unwrap_or(0);
+            self.install(mshr.line, mask);
+        }
+    }
+
+    fn sample_efficiency(&mut self) {
+        let mut resident_bytes = 0u64;
+        let mut used_bytes = 0u64;
+        for (_, meta) in self.cache.iter() {
+            resident_bytes += 64;
+            used_bytes += meta.used.count_ones() as u64;
+        }
+        if resident_bytes > 0 {
+            self.stats
+                .efficiency_samples
+                .push((used_bytes as f64 / resident_bytes as f64) as f32);
+        }
+    }
+
+    fn stats(&self) -> &IcacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+        self.cache.reset_stats();
+    }
+
+    fn storage(&self) -> StorageBreakdown {
+        conv_storage(self.name.clone(), self.size_bytes, self.ways)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> MemoryHierarchy {
+        MemoryHierarchy::paper()
+    }
+
+    fn range(addr: u64, bytes: u32) -> FetchRange {
+        FetchRange::new(addr, bytes)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = ConvL1i::paper_baseline();
+        let mut m = mem();
+        let r = range(0x1000, 16);
+        let res = c.access(r, 0, &mut m);
+        let ready = match res {
+            AccessResult::Miss { ready_at, kind } => {
+                assert_eq!(kind, MissKind::Full);
+                ready_at
+            }
+            other => panic!("expected miss, got {other:?}"),
+        };
+        c.tick(ready, &mut m);
+        assert!(matches!(c.access(r, ready, &mut m), AccessResult::Hit));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().full_misses, 1);
+    }
+
+    #[test]
+    fn fill_marks_requested_bytes() {
+        let mut c = ConvL1i::paper_baseline();
+        let mut m = mem();
+        let r = range(0x1010, 8);
+        let ready = match c.access(r, 0, &mut m) {
+            AccessResult::Miss { ready_at, .. } => ready_at,
+            other => panic!("{other:?}"),
+        };
+        c.tick(ready, &mut m);
+        c.sample_efficiency();
+        let eff = *c.stats().efficiency_samples.last().unwrap();
+        assert!((eff - 8.0 / 64.0).abs() < 1e-6, "eff {eff}");
+    }
+
+    #[test]
+    fn prefetch_fills_with_zero_usage() {
+        let mut c = ConvL1i::paper_baseline();
+        let mut m = mem();
+        c.prefetch(range(0x2000, 4), 0, &mut m);
+        assert_eq!(c.stats().prefetches_issued, 1);
+        c.tick(10_000, &mut m);
+        c.sample_efficiency();
+        let eff = *c.stats().efficiency_samples.last().unwrap();
+        assert_eq!(eff, 0.0, "prefetched block has no used bytes");
+        // Demand access then hits.
+        assert!(matches!(
+            c.access(range(0x2000, 4), 10_001, &mut m),
+            AccessResult::Hit
+        ));
+    }
+
+    #[test]
+    fn demand_on_inflight_prefetch_counts_late_merge() {
+        let mut c = ConvL1i::paper_baseline();
+        let mut m = mem();
+        c.prefetch(range(0x3000, 4), 0, &mut m);
+        match c.access(range(0x3000, 4), 1, &mut m) {
+            AccessResult::Miss { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.stats().late_prefetch_merges, 1);
+    }
+
+    #[test]
+    fn mshr_exhaustion_rejects() {
+        let mut c = ConvL1i::new("tiny", 32 << 10, 8, 1);
+        let mut m = mem();
+        assert!(matches!(
+            c.access(range(0x1000, 4), 0, &mut m),
+            AccessResult::Miss { .. }
+        ));
+        assert!(matches!(
+            c.access(range(0x2000, 4), 0, &mut m),
+            AccessResult::MshrFull
+        ));
+        assert_eq!(c.stats().mshr_full_rejects, 1);
+    }
+
+    #[test]
+    fn eviction_histogram_records_usage() {
+        // 32KB 8-way = 64 sets; lines n, n+64, n+128... collide.
+        let mut c = ConvL1i::paper_baseline();
+        let mut m = mem();
+        // Fill set 0 with 8 blocks, each with 4 bytes used.
+        for i in 0..9u64 {
+            let addr = i * 64 * 64; // line numbers 0, 64, 128, ... -> set 0
+            let ready = match c.access(range(addr, 4), i * 1000, &mut m) {
+                AccessResult::Miss { ready_at, .. } => ready_at,
+                other => panic!("{other:?}"),
+            };
+            c.tick(ready, &mut m);
+        }
+        // The 9th fill evicted one block with 4 used bytes.
+        assert_eq!(c.stats().evict_used_hist[4], 1);
+    }
+
+    #[test]
+    fn touch_window_counts_bytes_before_next_miss() {
+        let mut c = ConvL1i::paper_baseline();
+        let mut m = mem();
+        // Miss on line A (set 0), fill, touch 4 more bytes (d = 0).
+        let ready = match c.access(range(0, 4), 0, &mut m) {
+            AccessResult::Miss { ready_at, .. } => ready_at,
+            other => panic!("{other:?}"),
+        };
+        c.tick(ready, &mut m);
+        assert!(matches!(c.access(range(8, 4), ready, &mut m), AccessResult::Hit));
+        // Cause 2 more misses in set 0.
+        for i in 1..3u64 {
+            let ready = match c.access(range(i * 64 * 64, 4), 10_000 * i, &mut m) {
+                AccessResult::Miss { ready_at, .. } => ready_at,
+                other => panic!("{other:?}"),
+            };
+            c.tick(ready, &mut m);
+        }
+        // Touch 4 more bytes of line A: d = 2 (within n=3 and n=4 only).
+        assert!(matches!(
+            c.access(range(16, 4), 50_000, &mut m),
+            AccessResult::Hit
+        ));
+        // Evict everything in set 0 to flush stats.
+        for i in 3..12u64 {
+            let ready = match c.access(range(i * 64 * 64, 4), 100_000 + i * 1000, &mut m) {
+                AccessResult::Miss { ready_at, .. } => ready_at,
+                other => panic!("{other:?}"),
+            };
+            c.tick(ready, &mut m);
+        }
+        let tw = c.stats().touch_window;
+        // Line A contributed 12 used bytes; 8 touched at d=0, 4 at d=2.
+        assert!(tw.total >= 12);
+        assert!(tw.within[0] >= 8);
+        assert!(tw.within[2] >= 12);
+        assert!(tw.within[0] < tw.within[2]);
+    }
+
+    #[test]
+    fn set_miss_counters_advance() {
+        let mut c = ConvL1i::paper_baseline();
+        let mut m = mem();
+        c.access(range(0, 4), 0, &mut m);
+        assert_eq!(c.set_miss_count(0), 1);
+        assert_eq!(c.set_miss_count(1), 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! The [`InstructionCache`] trait: one interface for every L1-I design.
+//!
+//! The fetch engine presents byte-precise [`FetchRange`]s (paper §IV-A); a
+//! design answers hit/miss, owns its MSHRs, talks to the shared
+//! [`MemoryHierarchy`] for fills, and maintains [`IcacheStats`]. The
+//! conventional cache, the UBS cache, the small-block designs, and the
+//! GHRP/ACIC/Line-Distillation comparators all implement this trait, so the
+//! simulator and every experiment are design-agnostic.
+
+use crate::stats::{AccessResult, IcacheStats};
+use crate::storage::StorageBreakdown;
+use ubs_mem::MemoryHierarchy;
+use ubs_trace::FetchRange;
+
+/// Default L1-I access latency in cycles (Table I / Table II).
+pub const L1I_LATENCY: u64 = 4;
+
+/// A level-1 instruction cache design.
+///
+/// Ranges passed to [`access`](InstructionCache::access) and
+/// [`prefetch`](InstructionCache::prefetch) must lie within a single
+/// 64-byte block — the fetch engine performs the §IV-A split first
+/// ([`FetchRange::split`]).
+pub trait InstructionCache {
+    /// Short design name for reports (e.g. `"conv-32k"`, `"ubs"`).
+    fn name(&self) -> &str;
+
+    /// Hit latency in cycles.
+    fn latency(&self) -> u64 {
+        L1I_LATENCY
+    }
+
+    /// Demand access at cycle `now`; may start a fill via `mem`.
+    fn access(&mut self, range: FetchRange, now: u64, mem: &mut MemoryHierarchy) -> AccessResult;
+
+    /// FDIP prefetch probe at cycle `now`; silently drops on MSHR pressure.
+    fn prefetch(&mut self, range: FetchRange, now: u64, mem: &mut MemoryHierarchy);
+
+    /// Advances internal state to cycle `now`: completed fills are
+    /// installed. Call at least once per cycle in the simulator loop.
+    fn tick(&mut self, now: u64, mem: &mut MemoryHierarchy);
+
+    /// Appends one storage-efficiency sample (call every 100 K cycles to
+    /// match the paper's Fig. 2 methodology).
+    fn sample_efficiency(&mut self);
+
+    /// The statistics accumulated so far.
+    fn stats(&self) -> &IcacheStats;
+
+    /// Zeroes statistics (end of warmup), keeping contents.
+    fn reset_stats(&mut self);
+
+    /// Per-set and total storage accounting (Table III).
+    fn storage(&self) -> StorageBreakdown;
+}
+
+/// Validates trait-call preconditions shared by implementations.
+#[inline]
+pub(crate) fn debug_check_range(range: &FetchRange) {
+    debug_assert!(
+        range.within_one_line(),
+        "fetch range {range:?} spans blocks; split it first"
+    );
+}

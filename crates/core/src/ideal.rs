@@ -1,0 +1,82 @@
+//! An ideal (always-hit) instruction cache: the front-end upper bound.
+//!
+//! The FDIP literature (and the paper's related-work discussion) evaluates
+//! prefetchers against an ideal L1-I; this design gives experiments the
+//! same headroom yardstick — any gap between a real design and `IdealL1i`
+//! is the front-end opportunity that remains.
+
+use crate::icache::{debug_check_range, InstructionCache, L1I_LATENCY};
+use crate::stats::{AccessResult, IcacheStats};
+use crate::storage::{conv_storage, StorageBreakdown};
+use ubs_mem::MemoryHierarchy;
+use ubs_trace::FetchRange;
+
+/// An L1-I that never misses.
+#[derive(Debug, Default)]
+pub struct IdealL1i {
+    stats: IcacheStats,
+}
+
+impl IdealL1i {
+    /// A fresh ideal cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl InstructionCache for IdealL1i {
+    fn name(&self) -> &str {
+        "ideal"
+    }
+
+    fn latency(&self) -> u64 {
+        L1I_LATENCY
+    }
+
+    fn access(&mut self, range: FetchRange, _now: u64, _mem: &mut MemoryHierarchy) -> AccessResult {
+        debug_check_range(&range);
+        self.stats.accesses += 1;
+        self.stats.hits += 1;
+        AccessResult::Hit
+    }
+
+    fn prefetch(&mut self, _range: FetchRange, _now: u64, _mem: &mut MemoryHierarchy) {}
+
+    fn tick(&mut self, _now: u64, _mem: &mut MemoryHierarchy) {}
+
+    fn sample_efficiency(&mut self) {
+        // Every byte an ideal cache "holds" is by definition useful.
+        self.stats.efficiency_samples.push(1.0);
+    }
+
+    fn stats(&self) -> &IcacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn storage(&self) -> StorageBreakdown {
+        conv_storage("ideal", 32 << 10, 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_misses() {
+        let mut c = IdealL1i::new();
+        let mut m = MemoryHierarchy::paper();
+        for i in 0..1000u64 {
+            assert!(matches!(
+                c.access(FetchRange::new(i * 64, 16), i, &mut m),
+                AccessResult::Hit
+            ));
+        }
+        assert_eq!(c.stats().demand_misses(), 0);
+        assert_eq!(c.stats().hits, 1000);
+    }
+}

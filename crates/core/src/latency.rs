@@ -1,0 +1,140 @@
+//! Access-latency model (paper Table IV and §VI-I).
+//!
+//! The paper argues UBS does not lengthen the L1-I critical path by
+//! combining CACTI 7.0 array latencies with a synthesized range-check
+//! circuit. We cannot run CACTI or Cadence Genus, so this module encodes
+//! the paper's published numbers as constants and reproduces every
+//! derivation arithmetically — the substitution is documented in
+//! `DESIGN.md`. All times are nanoseconds at the paper's 22 nm node.
+
+use crate::way_config::UbsWayConfig;
+use serde::{Deserialize, Serialize};
+
+/// Tag/data array latencies reported by CACTI (Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrayLatency {
+    /// Number of ways.
+    pub ways: usize,
+    /// Number of sets.
+    pub sets: usize,
+    /// Tag array access latency (ns).
+    pub tag_ns: f64,
+    /// Data array access latency (ns).
+    pub data_ns: f64,
+}
+
+/// Table IV row 1: conventional 32 KB, 8-way, 64 sets.
+pub const CONV_8WAY: ArrayLatency = ArrayLatency {
+    ways: 8,
+    sets: 64,
+    tag_ns: 0.09,
+    data_ns: 0.77,
+};
+
+/// Table IV row 2: a 17-way, 64-set configuration mimicking the UBS tag
+/// array (16 data ways + predictor).
+pub const UBS_17WAY: ArrayLatency = ArrayLatency {
+    ways: 17,
+    sets: 64,
+    tag_ns: 0.12,
+    data_ns: 1.71,
+};
+
+/// CACTI comparator latency (§VI-I1).
+pub const COMPARATOR_NS: f64 = 0.018;
+/// Synthesized range-check latency relative to a tag comparator (§VI-I1:
+/// "the latency of the added logic is 1.6x of the tag comparison latency").
+pub const RANGE_CHECK_FACTOR: f64 = 1.6;
+/// 6-bit adder latency for the shift-amount calculation (§VI-I2).
+pub const ADDER6_NS: f64 = 0.01;
+
+/// The complete §VI-I latency analysis for a UBS configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyAnalysis {
+    /// Tag latency of the 17-way array (ns).
+    pub tag_array_ns: f64,
+    /// Tag latency with the comparator swapped for the range check (ns).
+    pub hit_detection_ns: f64,
+    /// Shift-amount availability (hit detection + 6-bit add) (ns).
+    pub shift_amount_ns: f64,
+    /// Data array latency of the consolidated physical ways (ns) — equal to
+    /// the conventional cache's because consolidation restores eight
+    /// 64-byte physical ways.
+    pub data_array_ns: f64,
+    /// Number of physical 64-byte data ways after consolidation (incl. the
+    /// predictor way).
+    pub physical_ways: usize,
+    /// Whether the tag path stays off the critical path.
+    pub tag_path_hidden: bool,
+}
+
+impl LatencyAnalysis {
+    /// Runs the §VI-I analysis for `ways`.
+    pub fn for_config(ways: &UbsWayConfig) -> Self {
+        // §VI-I1: replace the comparator with the 1.6× range check.
+        let hit_detection_ns =
+            UBS_17WAY.tag_ns - COMPARATOR_NS + COMPARATOR_NS * RANGE_CHECK_FACTOR;
+        // §VI-I2: shift amount needs one more 6-bit addition.
+        let shift_amount_ns = hit_detection_ns + ADDER6_NS;
+        // Consolidate logical ways into 64-byte physical ways; +1 for the
+        // predictor way.
+        let physical_ways = ways.consolidate_physical_ways().len() + 1;
+        LatencyAnalysis {
+            tag_array_ns: UBS_17WAY.tag_ns,
+            hit_detection_ns,
+            shift_amount_ns,
+            data_array_ns: CONV_8WAY.data_ns,
+            physical_ways,
+            tag_path_hidden: shift_amount_ns < CONV_8WAY.data_ns,
+        }
+    }
+
+    /// The effective UBS access latency in cycles: unchanged from the
+    /// conventional baseline when the tag path is hidden behind the data
+    /// array access (the paper's conclusion).
+    pub fn effective_latency_cycles(&self, baseline_cycles: u64) -> u64 {
+        if self.tag_path_hidden && self.physical_ways <= 8 {
+            baseline_cycles
+        } else {
+            // Conservative penalty if a configuration breaks the argument.
+            baseline_cycles + 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_detection_matches_paper() {
+        // §VI-I1: 0.12 − 0.018 + 0.028 ≈ 0.13 ns.
+        let a = LatencyAnalysis::for_config(&UbsWayConfig::paper_default());
+        assert!((a.hit_detection_ns - 0.1308).abs() < 1e-9, "{}", a.hit_detection_ns);
+        assert!((a.hit_detection_ns - 0.13).abs() < 0.005);
+    }
+
+    #[test]
+    fn shift_amount_matches_paper() {
+        // §VI-I2: 0.13 + 0.01 = 0.14 ns.
+        let a = LatencyAnalysis::for_config(&UbsWayConfig::paper_default());
+        assert!((a.shift_amount_ns - 0.1408).abs() < 1e-9);
+        assert!((a.shift_amount_ns - 0.14).abs() < 0.005);
+    }
+
+    #[test]
+    fn default_config_keeps_baseline_latency() {
+        let a = LatencyAnalysis::for_config(&UbsWayConfig::paper_default());
+        assert!(a.tag_path_hidden);
+        assert!(a.physical_ways <= 8, "{} physical ways", a.physical_ways);
+        assert_eq!(a.effective_latency_cycles(4), 4);
+    }
+
+    #[test]
+    fn tag_latencies_are_table_iv() {
+        assert_eq!(CONV_8WAY.tag_ns, 0.09);
+        assert_eq!(CONV_8WAY.data_ns, 0.77);
+        assert_eq!(UBS_17WAY.tag_ns, 0.12);
+        assert_eq!(UBS_17WAY.data_ns, 1.71);
+    }
+}

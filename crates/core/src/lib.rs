@@ -1,0 +1,45 @@
+//! # ubs-core — the Uneven Block Size instruction cache
+//!
+//! The paper's primary contribution plus every L1-I design it is compared
+//! against, all behind one [`InstructionCache`] trait:
+//!
+//! - [`UbsCache`]: unevenly-sized ways + the useful-byte predictor (§IV);
+//! - [`ConvL1i`]: the conventional baseline with byte-usage instrumentation;
+//! - [`storage`]: Table III storage accounting;
+//! - [`way_config`]: Table II / Fig. 16 way-size configurations.
+//!
+//! Comparator designs (small-block caches, Line Distillation, GHRP, ACIC)
+//! and the latency model land in sibling modules.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod acic;
+mod amoeba;
+mod conv;
+mod distill;
+mod ghrp;
+mod icache;
+mod ideal;
+pub mod latency;
+mod small_block;
+pub mod predictor;
+mod stats;
+pub mod storage;
+mod ubs_cache;
+pub mod way_config;
+
+pub use acic::AcicL1i;
+pub use amoeba::{AmoebaConfig, AmoebaL1i};
+pub use conv::ConvL1i;
+pub use distill::DistillL1i;
+pub use ghrp::GhrpL1i;
+pub use ideal::IdealL1i;
+pub use latency::LatencyAnalysis;
+pub use small_block::SmallBlockL1i;
+pub use icache::{InstructionCache, L1I_LATENCY};
+pub use predictor::{PredictorConfig, PredictorVictim, UsefulBytePredictor};
+pub use stats::{range_mask, AccessResult, ByteMask, IcacheStats, MissKind, TouchWindow, FULL_MASK};
+pub use storage::{conv_storage, small_block_storage, start_offset_bits, tag_bits, ubs_storage, StorageBreakdown};
+pub use ubs_cache::{UbsCache, UbsCacheConfig};
+pub use way_config::{ConfigFamily, UbsWayConfig, DEFAULT_CANDIDATE_WINDOW};

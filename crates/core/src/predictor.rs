@@ -1,0 +1,242 @@
+//! The useful-byte predictor (paper §IV-B).
+//!
+//! Every 64-byte block arriving from L2 is first placed here. A per-block
+//! bit-vector records which bytes the core fetches; when the block is
+//! evicted from the predictor, only the recorded bytes move into the UBS
+//! cache proper and the rest are discarded. The design exploits the Fig. 4
+//! observation that ~90–95 % of a block's lifetime-accessed bytes are
+//! touched before the next miss in its set, so a predictor the size of one
+//! extra way (64-set direct-mapped by default) is accurate enough.
+
+use crate::stats::ByteMask;
+use serde::{Deserialize, Serialize};
+use ubs_mem::{CacheConfig, PolicyKind, SetAssocCache};
+use ubs_trace::Line;
+
+/// Organization of the useful-byte predictor (Fig. 15 variants).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictorConfig {
+    /// Number of sets.
+    pub sets: usize,
+    /// Associativity (1 = direct-mapped).
+    pub ways: usize,
+    /// Replacement policy for associative organizations.
+    pub policy: PolicyKind,
+}
+
+impl PredictorConfig {
+    /// The default organization: 64-set direct-mapped (Table II).
+    pub fn paper_default() -> Self {
+        Self::direct_mapped(64)
+    }
+
+    /// A direct-mapped predictor with `entries` entries.
+    pub fn direct_mapped(entries: usize) -> Self {
+        PredictorConfig {
+            sets: entries,
+            ways: 1,
+            policy: PolicyKind::Lru,
+        }
+    }
+
+    /// A set-associative predictor (Fig. 15's 8-way variants).
+    pub fn set_assoc(sets: usize, ways: usize, policy: PolicyKind) -> Self {
+        PredictorConfig { sets, ways, policy }
+    }
+
+    /// A fully-associative predictor with `entries` entries.
+    pub fn fully_assoc(entries: usize, policy: PolicyKind) -> Self {
+        PredictorConfig {
+            sets: 1,
+            ways: entries,
+            policy,
+        }
+    }
+
+    /// Total entries.
+    pub fn entries(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Short label for reports, e.g. `dm-64`, `sa-8x8-fifo`, `fa-64`.
+    pub fn label(&self) -> String {
+        let policy = match self.policy {
+            PolicyKind::Lru => "lru",
+            PolicyKind::Fifo => "fifo",
+            PolicyKind::Random => "rand",
+            PolicyKind::Srrip => "srrip",
+        };
+        if self.ways == 1 {
+            format!("dm-{}", self.sets)
+        } else if self.sets == 1 {
+            format!("fa-{}-{}", self.ways, policy)
+        } else {
+            format!("sa-{}x{}-{}", self.sets, self.ways, policy)
+        }
+    }
+}
+
+/// A block evicted from the predictor: its address and accessed-byte mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictorVictim {
+    /// The evicted 64-byte block.
+    pub line: Line,
+    /// Bytes the core accessed while the block lived in the predictor
+    /// (plus any bytes pre-marked by the §IV-G dedup path).
+    pub used: ByteMask,
+}
+
+/// The useful-byte predictor: a small cache of full 64-byte blocks with
+/// per-block accessed-byte bit-vectors.
+#[derive(Debug)]
+pub struct UsefulBytePredictor {
+    cache: SetAssocCache<ByteMask>,
+    config: PredictorConfig,
+}
+
+impl UsefulBytePredictor {
+    /// Builds an empty predictor.
+    pub fn new(config: PredictorConfig) -> Self {
+        let cache = SetAssocCache::new(CacheConfig {
+            name: format!("ubs-predictor-{}", config.label()),
+            size_bytes: config.entries() * 64,
+            ways: config.ways,
+            block_bytes: 64,
+            policy: config.policy,
+        });
+        UsefulBytePredictor { cache, config }
+    }
+
+    /// The organization.
+    pub fn config(&self) -> &PredictorConfig {
+        &self.config
+    }
+
+    /// Whether `line` currently resides in the predictor.
+    pub fn contains(&self, line: Line) -> bool {
+        self.cache.contains(line.number())
+    }
+
+    /// Demand lookup: on hit, ORs `mask` into the block's bit-vector and
+    /// refreshes recency. Returns whether the block was present.
+    pub fn lookup_mark(&mut self, line: Line, mask: ByteMask) -> bool {
+        if let Some(used) = self.cache.meta_mut(line.number()) {
+            *used |= mask;
+            self.cache.touch(line.number());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Recency-only probe (prefetch path).
+    pub fn touch(&mut self, line: Line) -> bool {
+        self.cache.touch(line.number())
+    }
+
+    /// Installs an incoming 64-byte block with an initial accessed mask
+    /// (the §IV-G pre-marked bytes plus the demand bytes). Returns the
+    /// victim whose useful bytes must move into the UBS cache.
+    pub fn install(&mut self, line: Line, initial_mask: ByteMask) -> Option<PredictorVictim> {
+        self.cache
+            .fill(line.number(), initial_mask)
+            .map(|ev| PredictorVictim {
+                line: ev.line(),
+                used: ev.meta,
+            })
+    }
+
+    /// ORs extra useful bits into a resident block (dedup merging).
+    pub fn merge_mask(&mut self, line: Line, mask: ByteMask) -> bool {
+        match self.cache.meta_mut(line.number()) {
+            Some(used) => {
+                *used |= mask;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// `(resident_blocks, used_bytes)` for efficiency sampling: each
+    /// resident block holds 64 bytes of storage.
+    pub fn usage(&self) -> (usize, u64) {
+        let blocks = self.cache.occupancy();
+        let used: u64 = self.cache.iter().map(|(_, m)| m.count_ones() as u64).sum();
+        (blocks, used)
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.config.entries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> Line {
+        Line::from_number(n)
+    }
+
+    #[test]
+    fn install_then_mark_then_evict() {
+        let mut p = UsefulBytePredictor::new(PredictorConfig::direct_mapped(4));
+        assert!(p.install(line(0), 0b1111).is_none());
+        assert!(p.lookup_mark(line(0), 0b1111_0000));
+        // Same set (4 sets): line 4 maps to set 0 and evicts line 0.
+        let v = p.install(line(4), 0).expect("conflict eviction");
+        assert_eq!(v.line, line(0));
+        assert_eq!(v.used, 0b1111_1111);
+    }
+
+    #[test]
+    fn lookup_miss_returns_false() {
+        let mut p = UsefulBytePredictor::new(PredictorConfig::paper_default());
+        assert!(!p.lookup_mark(line(99), 1));
+    }
+
+    #[test]
+    fn merge_mask_requires_presence() {
+        let mut p = UsefulBytePredictor::new(PredictorConfig::paper_default());
+        assert!(!p.merge_mask(line(1), 0xff));
+        p.install(line(1), 0);
+        assert!(p.merge_mask(line(1), 0xff00));
+        let v = p.install(line(1 + 64), 0).unwrap();
+        assert_eq!(v.used, 0xff00);
+    }
+
+    #[test]
+    fn usage_counts_resident_bytes() {
+        let mut p = UsefulBytePredictor::new(PredictorConfig::direct_mapped(8));
+        p.install(line(0), 0b11);
+        p.install(line(1), 0b1);
+        let (blocks, used) = p.usage();
+        assert_eq!(blocks, 2);
+        assert_eq!(used, 3);
+    }
+
+    #[test]
+    fn associative_orgs_hold_conflicting_lines() {
+        let mut p = UsefulBytePredictor::new(PredictorConfig::fully_assoc(4, PolicyKind::Fifo));
+        for i in 0..4 {
+            assert!(p.install(line(i * 64), 0).is_none());
+        }
+        // A 5th block evicts the FIFO-oldest.
+        let v = p.install(line(4 * 64), 0).unwrap();
+        assert_eq!(v.line, line(0));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PredictorConfig::paper_default().label(), "dm-64");
+        assert_eq!(
+            PredictorConfig::set_assoc(8, 8, PolicyKind::Fifo).label(),
+            "sa-8x8-fifo"
+        );
+        assert_eq!(
+            PredictorConfig::fully_assoc(64, PolicyKind::Lru).label(),
+            "fa-64-lru"
+        );
+    }
+}

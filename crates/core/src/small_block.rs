@@ -1,0 +1,328 @@
+//! Small-block (16 B / 32 B) instruction caches (paper §VI-G).
+//!
+//! A straightforward way to attack storage inefficiency: shrink the block.
+//! Following the paper's setup, the cache still *fetches* full 64-byte
+//! blocks from L2, but on a demand fill only the requested chunks are
+//! installed; FDIP-prefetched 64-byte blocks land in a small prefetch
+//! buffer, from which demanded chunks migrate into the cache. The cost is
+//! more tag storage and lost spatial coverage — Fig. 12 shows UBS roughly
+//! doubling their gain on server workloads.
+
+use crate::icache::{debug_check_range, InstructionCache};
+use crate::stats::{range_mask, AccessResult, ByteMask, IcacheStats, MissKind};
+use crate::storage::{small_block_storage, StorageBreakdown};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use ubs_mem::{CacheConfig, MemoryHierarchy, MshrFile, PolicyKind, SetAssocCache};
+use ubs_trace::{FetchRange, Line};
+
+/// Capacity of the FDIP prefetch buffer, in 64-byte blocks.
+const PREFETCH_BUFFER_BLOCKS: usize = 16;
+
+/// A conventional cache with sub-64-byte blocks and a prefetch buffer.
+#[derive(Debug)]
+pub struct SmallBlockL1i {
+    name: String,
+    chunk_bytes: u32,
+    /// Presence at chunk granularity; metadata = used bytes (absolute
+    /// positions within the 64-byte parent block).
+    cache: SetAssocCache<ByteMask>,
+    mshrs: MshrFile,
+    /// Demanded chunk-masks per in-flight 64-byte line.
+    pending_masks: HashMap<Line, ByteMask>,
+    /// FDIP prefetch buffer: whole 64-byte blocks awaiting demand.
+    prefetch_buffer: VecDeque<Line>,
+    stats: IcacheStats,
+    size_bytes: usize,
+    ways: usize,
+}
+
+impl SmallBlockL1i {
+    /// A small-block cache of `size_bytes` data with `chunk_bytes` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `chunk_bytes` is 16 or 32 (the §VI-G designs).
+    pub fn new(name: impl Into<String>, size_bytes: usize, ways: usize, chunk_bytes: u32) -> Self {
+        assert!(
+            chunk_bytes == 16 || chunk_bytes == 32,
+            "small-block designs use 16- or 32-byte blocks"
+        );
+        let name = name.into();
+        let cache = SetAssocCache::new(CacheConfig {
+            name: name.clone(),
+            size_bytes,
+            ways,
+            block_bytes: chunk_bytes as usize,
+            policy: PolicyKind::Lru,
+        });
+        SmallBlockL1i {
+            name,
+            chunk_bytes,
+            cache,
+            mshrs: MshrFile::new(8),
+            pending_masks: HashMap::new(),
+            prefetch_buffer: VecDeque::with_capacity(PREFETCH_BUFFER_BLOCKS),
+            stats: IcacheStats::default(),
+            size_bytes,
+            ways,
+        }
+    }
+
+    /// The paper's 16-byte-block configuration (32 KB data, 8-way).
+    pub fn paper_16b() -> Self {
+        Self::new("conv-16b-block", 32 << 10, 8, 16)
+    }
+
+    /// The paper's 32-byte-block configuration (32 KB data, 8-way).
+    pub fn paper_32b() -> Self {
+        Self::new("conv-32b-block", 32 << 10, 8, 32)
+    }
+
+    /// Chunk keys covered by a (single-line) fetch range.
+    fn chunk_keys(&self, range: &FetchRange) -> impl Iterator<Item = u64> {
+        let first = range.start / self.chunk_bytes as u64;
+        let last = (range.end() - 1) / self.chunk_bytes as u64;
+        first..=last
+    }
+
+    /// The chunk-aligned byte mask (within the 64-byte parent) for a chunk.
+    fn chunk_span(&self, key: u64) -> ByteMask {
+        let start = (key * self.chunk_bytes as u64 % 64) as u8;
+        range_mask(start, self.chunk_bytes as u8)
+    }
+
+    /// Installs the chunks of `line` selected by `mask` (bytes demanded).
+    fn install_chunks(&mut self, line: Line, mask: ByteMask) {
+        if mask == 0 {
+            return;
+        }
+        let chunks_per_line = 64 / self.chunk_bytes as u64;
+        let base = line.number() * chunks_per_line;
+        for c in 0..chunks_per_line {
+            let key = base + c;
+            let span = self.chunk_span(key);
+            if mask & span != 0 {
+                if let Some(ev) = self.cache.fill(key, mask & span) {
+                    self.stats.count_eviction(ev.meta.count_ones());
+                }
+            }
+        }
+    }
+}
+
+impl InstructionCache for SmallBlockL1i {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn access(&mut self, range: FetchRange, now: u64, mem: &mut MemoryHierarchy) -> AccessResult {
+        debug_check_range(&range);
+        self.stats.accesses += 1;
+        let line = Line::containing(range.start);
+        let req = range_mask(range.start_offset(), range.bytes.min(64) as u8);
+
+        // Hit requires every covered chunk to be present.
+        let keys: Vec<u64> = self.chunk_keys(&range).collect();
+        if keys.iter().all(|&k| self.cache.contains(k)) {
+            for &k in &keys {
+                self.cache.access(k);
+                let span = self.chunk_span(k);
+                if let Some(used) = self.cache.meta_mut(k) {
+                    *used |= req & span;
+                }
+            }
+            self.stats.hits += 1;
+            return AccessResult::Hit;
+        }
+
+        // The prefetch buffer holds whole 64-byte blocks: a hit there
+        // migrates the demanded chunks into the cache.
+        if let Some(pos) = self.prefetch_buffer.iter().position(|&l| l == line) {
+            self.prefetch_buffer.remove(pos);
+            self.install_chunks(line, req);
+            self.stats.hits += 1;
+            return AccessResult::Hit;
+        }
+
+        // Miss: fetch the full 64-byte block from the hierarchy.
+        let kind = if keys.iter().any(|&k| self.cache.contains(k)) {
+            MissKind::MissingSubBlock
+        } else {
+            MissKind::Full
+        };
+        let ready_at = if let Some(existing) = self.mshrs.get(line).copied() {
+            if existing.is_prefetch {
+                self.stats.late_prefetch_merges += 1;
+            }
+            self.mshrs.allocate(line, existing.ready_at, false);
+            existing.ready_at
+        } else {
+            if self.mshrs.is_full() {
+                self.stats.mshr_full_rejects += 1;
+                return AccessResult::MshrFull;
+            }
+            let ready_at = mem.fetch_block(line, now + self.latency()).ready_at;
+            self.mshrs.allocate(line, ready_at, false);
+            ready_at
+        };
+        self.stats.count_miss(kind);
+        *self.pending_masks.entry(line).or_insert(0) |= req;
+        AccessResult::Miss { ready_at, kind }
+    }
+
+    fn prefetch(&mut self, range: FetchRange, now: u64, mem: &mut MemoryHierarchy) {
+        debug_check_range(&range);
+        let line = Line::containing(range.start);
+        if self.chunk_keys(&range).all(|k| self.cache.contains(k))
+            || self.prefetch_buffer.contains(&line)
+            || self.mshrs.get(line).is_some()
+            || self.mshrs.is_full()
+        {
+            return;
+        }
+        let ready_at = mem.fetch_block(line, now + self.latency()).ready_at;
+        self.mshrs.allocate(line, ready_at, true);
+        self.stats.prefetches_issued += 1;
+    }
+
+    fn tick(&mut self, now: u64, _mem: &mut MemoryHierarchy) {
+        for mshr in self.mshrs.drain_ready(now) {
+            let mask = self.pending_masks.remove(&mshr.line).unwrap_or(0);
+            if mshr.is_prefetch && mask == 0 {
+                // Prefetched block: parked in the buffer, not the cache.
+                if self.prefetch_buffer.len() >= PREFETCH_BUFFER_BLOCKS {
+                    self.prefetch_buffer.pop_front();
+                }
+                self.prefetch_buffer.push_back(mshr.line);
+            } else {
+                self.install_chunks(mshr.line, mask);
+            }
+        }
+    }
+
+    fn sample_efficiency(&mut self) {
+        let mut resident = 0u64;
+        let mut used = 0u64;
+        for (_, mask) in self.cache.iter() {
+            resident += self.chunk_bytes as u64;
+            used += mask.count_ones() as u64;
+        }
+        resident += self.prefetch_buffer.len() as u64 * 64;
+        if resident > 0 {
+            self.stats
+                .efficiency_samples
+                .push((used as f64 / resident as f64) as f32);
+        }
+    }
+
+    fn stats(&self) -> &IcacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+        self.cache.reset_stats();
+    }
+
+    fn storage(&self) -> StorageBreakdown {
+        small_block_storage(
+            self.name.clone(),
+            self.size_bytes,
+            self.ways,
+            self.chunk_bytes as usize,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> MemoryHierarchy {
+        MemoryHierarchy::paper()
+    }
+
+    fn range(addr: u64, bytes: u32) -> FetchRange {
+        FetchRange::new(addr, bytes)
+    }
+
+    fn fill(c: &mut SmallBlockL1i, m: &mut MemoryHierarchy, r: FetchRange, now: u64) -> u64 {
+        match c.access(r, now, m) {
+            AccessResult::Miss { ready_at, .. } => {
+                c.tick(ready_at, m);
+                ready_at
+            }
+            other => panic!("expected miss: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn only_requested_chunks_installed() {
+        let mut c = SmallBlockL1i::paper_16b();
+        let mut m = mem();
+        let t = fill(&mut c, &mut m, range(0, 8), 0);
+        // Bytes [0,8) live in chunk 0: hit.
+        assert!(matches!(c.access(range(0, 8), t, &mut m), AccessResult::Hit));
+        // Bytes [16,24) are chunk 1: never installed → miss.
+        assert!(matches!(
+            c.access(range(16, 8), t, &mut m),
+            AccessResult::Miss { .. }
+        ));
+    }
+
+    #[test]
+    fn range_spanning_chunks_requires_both() {
+        let mut c = SmallBlockL1i::paper_16b();
+        let mut m = mem();
+        // Request [12, 20): covers chunks 0 and 1; fill installs both.
+        let t = fill(&mut c, &mut m, range(12, 8), 0);
+        assert!(matches!(c.access(range(12, 8), t, &mut m), AccessResult::Hit));
+        assert!(matches!(c.access(range(0, 4), t, &mut m), AccessResult::Hit));
+        assert!(matches!(c.access(range(16, 4), t, &mut m), AccessResult::Hit));
+    }
+
+    #[test]
+    fn prefetch_goes_to_buffer_then_migrates() {
+        let mut c = SmallBlockL1i::paper_32b();
+        let mut m = mem();
+        c.prefetch(range(0x1000, 16), 0, &mut m);
+        c.tick(10_000, &mut m);
+        assert_eq!(c.prefetch_buffer.len(), 1);
+        // Demand hit in the buffer migrates the requested chunk.
+        assert!(matches!(
+            c.access(range(0x1000, 16), 10_001, &mut m),
+            AccessResult::Hit
+        ));
+        assert!(c.prefetch_buffer.is_empty());
+        assert!(matches!(
+            c.access(range(0x1000, 16), 10_002, &mut m),
+            AccessResult::Hit
+        ));
+    }
+
+    #[test]
+    fn efficiency_counts_chunk_bytes() {
+        let mut c = SmallBlockL1i::paper_16b();
+        let mut m = mem();
+        let _ = fill(&mut c, &mut m, range(0, 8), 0);
+        c.sample_efficiency();
+        let eff = *c.stats().efficiency_samples.last().unwrap();
+        assert!((eff - 0.5).abs() < 1e-6, "8 of 16 bytes used: {eff}");
+    }
+
+    #[test]
+    fn storage_exceeds_conv_due_to_tags() {
+        let s16 = SmallBlockL1i::paper_16b().storage();
+        let s32 = SmallBlockL1i::paper_32b().storage();
+        let conv = crate::storage::conv_storage("c", 32 << 10, 8);
+        assert!(s16.total_kib() > s32.total_kib());
+        assert!(s32.total_kib() > conv.total_kib());
+    }
+
+    #[test]
+    #[should_panic(expected = "16- or 32-byte")]
+    fn other_chunk_sizes_rejected() {
+        SmallBlockL1i::new("bad", 32 << 10, 8, 8);
+    }
+}

@@ -1,0 +1,293 @@
+//! Statistics shared by every L1-I design.
+//!
+//! Everything the paper's figures need is collected here:
+//!
+//! - the **eviction byte-usage histogram** (Fig. 1): how many bytes of a
+//!   64-byte block were accessed before it left the cache;
+//! - **storage-efficiency samples** (Fig. 2 / Fig. 7): every 100 K cycles the
+//!   fraction of resident bytes accessed at least once;
+//! - the **touch-window histogram** (Fig. 4): of the bytes a block's
+//!   lifetime accesses, how many were first touched before the next
+//!   1/2/3/4 misses in the same set;
+//! - **partial-miss classification** (Fig. 9) and plain hit/miss counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Byte-granular usage of one 64-byte block, as a bitmask (bit *i* = byte
+/// *i* accessed).
+pub type ByteMask = u64;
+
+/// A full 64-byte mask.
+pub const FULL_MASK: ByteMask = u64::MAX;
+
+/// Builds the mask covering bytes `[start, start+len)` of a block.
+///
+/// # Panics
+///
+/// Panics in debug builds if the range exceeds the block.
+#[inline]
+pub fn range_mask(start: u8, len: u8) -> ByteMask {
+    debug_assert!(start as u16 + len as u16 <= 64, "range {start}+{len} > 64");
+    if len == 0 {
+        return 0;
+    }
+    if len >= 64 {
+        return FULL_MASK;
+    }
+    ((1u64 << len) - 1) << start
+}
+
+/// Miss classification (paper §IV-E, Fig. 5/6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MissKind {
+    /// No tag matched: none of the 64-byte block is present.
+    Full,
+    /// Tag matched but the sub-block containing the request is absent.
+    MissingSubBlock,
+    /// The first requested bytes are present, the last are not.
+    Overrun,
+    /// The last requested bytes are present, the first are not.
+    Underrun,
+}
+
+impl MissKind {
+    /// Whether this is one of the three partial-miss categories.
+    pub fn is_partial(self) -> bool {
+        !matches!(self, MissKind::Full)
+    }
+}
+
+/// Result of an L1-I access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessResult {
+    /// All requested bytes are present; data after the cache latency.
+    Hit,
+    /// Miss: the fill arrives at `ready_at`; fetch stalls until then.
+    Miss {
+        /// Cycle the missing block becomes available.
+        ready_at: u64,
+        /// Miss classification.
+        kind: MissKind,
+    },
+    /// No MSHR available; the requester must retry next cycle.
+    MshrFull,
+}
+
+/// Touch-window accumulator for Fig. 4.
+///
+/// `within[k]` counts lifetime-accessed bytes first touched before the
+/// `(k+1)`-th miss in the block's set after its insertion; `total` counts
+/// all lifetime-accessed bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TouchWindow {
+    /// Bytes first touched within the next 1..=4 set misses.
+    pub within: [u64; 4],
+    /// All bytes accessed during block lifetimes.
+    pub total: u64,
+}
+
+impl TouchWindow {
+    /// Fraction of lifetime-accessed bytes touched before the `(k+1)`-th
+    /// set miss (Fig. 4's bars for n = k+1).
+    pub fn fraction(&self, k: usize) -> f64 {
+        self.within[k] as f64 / self.total.max(1) as f64
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &TouchWindow) {
+        for k in 0..4 {
+            self.within[k] += other.within[k];
+        }
+        self.total += other.total;
+    }
+}
+
+/// Statistics every L1-I design maintains.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IcacheStats {
+    /// Demand accesses (fetch ranges presented).
+    pub accesses: u64,
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand hits served by the useful-byte predictor (UBS designs only).
+    pub predictor_hits: u64,
+    /// Full misses.
+    pub full_misses: u64,
+    /// Partial misses: whole sub-block absent.
+    pub missing_sub_block: u64,
+    /// Partial misses: request overruns the resident sub-block.
+    pub overruns: u64,
+    /// Partial misses: request underruns the resident sub-block.
+    pub underruns: u64,
+    /// Accesses rejected because the MSHR file was full.
+    pub mshr_full_rejects: u64,
+    /// Prefetch requests sent to the lower hierarchy.
+    pub prefetches_issued: u64,
+    /// Demand misses that merged with an in-flight prefetch (late prefetch).
+    pub late_prefetch_merges: u64,
+    /// Histogram of bytes accessed per 64-byte block at eviction
+    /// (index = byte count 0..=64) — Fig. 1.
+    pub evict_used_hist: Vec<u64>,
+    /// Storage-efficiency samples (Fig. 2 / Fig. 7), one per sampling call.
+    pub efficiency_samples: Vec<f32>,
+    /// Touch-window accumulator (Fig. 4; conventional cache only).
+    pub touch_window: TouchWindow,
+}
+
+impl Default for IcacheStats {
+    fn default() -> Self {
+        IcacheStats {
+            accesses: 0,
+            hits: 0,
+            predictor_hits: 0,
+            full_misses: 0,
+            missing_sub_block: 0,
+            overruns: 0,
+            underruns: 0,
+            mshr_full_rejects: 0,
+            prefetches_issued: 0,
+            late_prefetch_merges: 0,
+            evict_used_hist: vec![0; 65],
+            efficiency_samples: Vec::new(),
+            touch_window: TouchWindow::default(),
+        }
+    }
+}
+
+impl IcacheStats {
+    /// Total demand misses (full + partial).
+    pub fn demand_misses(&self) -> u64 {
+        self.full_misses + self.missing_sub_block + self.overruns + self.underruns
+    }
+
+    /// Partial misses (paper Fig. 9 numerator).
+    pub fn partial_misses(&self) -> u64 {
+        self.missing_sub_block + self.overruns + self.underruns
+    }
+
+    /// Records a miss of `kind`.
+    pub fn count_miss(&mut self, kind: MissKind) {
+        match kind {
+            MissKind::Full => self.full_misses += 1,
+            MissKind::MissingSubBlock => self.missing_sub_block += 1,
+            MissKind::Overrun => self.overruns += 1,
+            MissKind::Underrun => self.underruns += 1,
+        }
+    }
+
+    /// Records a block eviction with `used` bytes accessed.
+    pub fn count_eviction(&mut self, used_bytes: u32) {
+        self.evict_used_hist[used_bytes.min(64) as usize] += 1;
+    }
+
+    /// Mean of the storage-efficiency samples (0.0 when unsampled).
+    pub fn mean_efficiency(&self) -> f64 {
+        if self.efficiency_samples.is_empty() {
+            return 0.0;
+        }
+        self.efficiency_samples.iter().map(|&x| x as f64).sum::<f64>()
+            / self.efficiency_samples.len() as f64
+    }
+
+    /// Minimum storage-efficiency sample (1.0 when unsampled).
+    pub fn min_efficiency(&self) -> f64 {
+        self.efficiency_samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, |a, b| a.min(b as f64))
+            .min(1.0)
+    }
+
+    /// Maximum storage-efficiency sample (0.0 when unsampled).
+    pub fn max_efficiency(&self) -> f64 {
+        self.efficiency_samples
+            .iter()
+            .copied()
+            .fold(0.0f64, |a, b| a.max(b as f64))
+    }
+
+    /// Cumulative fraction of evicted blocks with at most `bytes` bytes
+    /// used (the Fig. 1 CDF).
+    pub fn evict_cdf_at(&self, bytes: usize) -> f64 {
+        let total: u64 = self.evict_used_hist.iter().sum();
+        let upto: u64 = self.evict_used_hist[..=bytes.min(64)].iter().sum();
+        upto as f64 / total.max(1) as f64
+    }
+
+    /// Zeroes all counters and samples.
+    pub fn reset(&mut self) {
+        *self = IcacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_mask_basics() {
+        assert_eq!(range_mask(0, 4), 0b1111);
+        assert_eq!(range_mask(4, 4), 0b1111_0000);
+        assert_eq!(range_mask(0, 64), FULL_MASK);
+        assert_eq!(range_mask(63, 1), 1u64 << 63);
+        assert_eq!(range_mask(10, 0), 0);
+    }
+
+    #[test]
+    fn range_mask_counts() {
+        assert_eq!(range_mask(12, 16).count_ones(), 16);
+        assert_eq!(range_mask(60, 4).count_ones(), 4);
+    }
+
+    #[test]
+    fn miss_kind_partial() {
+        assert!(!MissKind::Full.is_partial());
+        assert!(MissKind::Overrun.is_partial());
+        assert!(MissKind::Underrun.is_partial());
+        assert!(MissKind::MissingSubBlock.is_partial());
+    }
+
+    #[test]
+    fn stats_miss_accounting() {
+        let mut s = IcacheStats::default();
+        s.count_miss(MissKind::Full);
+        s.count_miss(MissKind::Overrun);
+        s.count_miss(MissKind::Underrun);
+        s.count_miss(MissKind::MissingSubBlock);
+        assert_eq!(s.demand_misses(), 4);
+        assert_eq!(s.partial_misses(), 3);
+    }
+
+    #[test]
+    fn eviction_cdf() {
+        let mut s = IcacheStats::default();
+        s.count_eviction(8);
+        s.count_eviction(8);
+        s.count_eviction(64);
+        s.count_eviction(70); // clamped to 64
+        assert!((s.evict_cdf_at(8) - 0.5).abs() < 1e-9);
+        assert!((s.evict_cdf_at(64) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_sample_stats() {
+        let mut s = IcacheStats::default();
+        s.efficiency_samples.extend([0.4, 0.6]);
+        assert!((s.mean_efficiency() - 0.5).abs() < 1e-6);
+        assert!((s.min_efficiency() - 0.4).abs() < 1e-6);
+        assert!((s.max_efficiency() - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn touch_window_fraction() {
+        let mut t = TouchWindow::default();
+        t.within = [90, 95, 97, 99];
+        t.total = 100;
+        assert!((t.fraction(0) - 0.9).abs() < 1e-9);
+        assert!((t.fraction(3) - 0.99).abs() < 1e-9);
+        let mut u = TouchWindow::default();
+        u.merge(&t);
+        assert_eq!(u.total, 100);
+        assert_eq!(u.within[2], 97);
+    }
+}

@@ -1,0 +1,207 @@
+//! Storage accounting (paper Table III).
+//!
+//! Computes the per-set and total storage of the conventional L1-I and the
+//! UBS cache for a fixed-instruction-size (4-byte) ISA, reproducing every
+//! row of Table III: predictor bit-vectors, start_offsets, tags (+valid,
+//! +replacement bits), and the data arrays.
+
+use serde::{Deserialize, Serialize};
+
+/// Physical address bits assumed by the paper (§VI-I: 38-bit ⇒ 256 GB).
+pub const PHYS_ADDR_BITS: u32 = 38;
+/// Block offset bits for 64-byte blocks.
+pub const BLOCK_OFFSET_BITS: u32 = 6;
+
+/// Ceil(log2(n)) for n ≥ 1.
+fn ceil_log2(n: u64) -> u32 {
+    assert!(n >= 1);
+    64 - (n - 1).leading_zeros().max(0)
+}
+
+/// Tag width for a cache with `sets` sets and 64-byte blocks.
+pub fn tag_bits(sets: usize) -> u32 {
+    PHYS_ADDR_BITS - BLOCK_OFFSET_BITS - ceil_log2(sets as u64)
+}
+
+/// start_offset width for a UBS way of `way_size` bytes, 4-byte ISA
+/// (§VI-A): the number of 4-byte-aligned positions a sub-block of that size
+/// can start at within a 64-byte block.
+pub fn start_offset_bits(way_size: u32) -> u32 {
+    assert!(
+        (4..=64).contains(&way_size) && way_size % 4 == 0,
+        "way size {way_size} not a multiple of 4 in 4..=64"
+    );
+    let positions = (64 - way_size) / 4 + 1;
+    if positions <= 1 {
+        0
+    } else {
+        ceil_log2(positions as u64)
+    }
+}
+
+/// Storage accounting for one L1-I design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StorageBreakdown {
+    /// Design name.
+    pub name: String,
+    /// Number of sets.
+    pub sets: usize,
+    /// Data array bytes per set (UBS: Σ way sizes + 64 B predictor way).
+    pub data_bytes_per_set: u64,
+    /// Tag + valid + replacement bits per set.
+    pub tag_bits_per_set: u64,
+    /// start_offset bits per set (UBS only).
+    pub start_offset_bits_per_set: u64,
+    /// Predictor bit-vector bits per set (UBS only).
+    pub bitvector_bits_per_set: u64,
+}
+
+impl StorageBreakdown {
+    /// Total metadata + data bits per set.
+    pub fn bits_per_set(&self) -> u64 {
+        self.data_bytes_per_set * 8
+            + self.tag_bits_per_set
+            + self.start_offset_bits_per_set
+            + self.bitvector_bits_per_set
+    }
+
+    /// Bytes per set (may be fractional, e.g. 581.375 B for UBS).
+    pub fn bytes_per_set(&self) -> f64 {
+        self.bits_per_set() as f64 / 8.0
+    }
+
+    /// Total storage in bytes.
+    pub fn total_bytes(&self) -> f64 {
+        self.bytes_per_set() * self.sets as f64
+    }
+
+    /// Total storage in KiB.
+    pub fn total_kib(&self) -> f64 {
+        self.total_bytes() / 1024.0
+    }
+}
+
+/// Table III column 1: a conventional L1-I with 64-byte blocks.
+pub fn conv_storage(name: impl Into<String>, size_bytes: usize, ways: usize) -> StorageBreakdown {
+    let sets = size_bytes / (ways * 64);
+    assert!(sets > 0 && sets * ways * 64 == size_bytes, "bad geometry");
+    let repl_bits = ceil_log2(ways as u64).max(1);
+    let per_way = tag_bits(sets) as u64 + repl_bits as u64 + 1; // tag + LRU + valid
+    StorageBreakdown {
+        name: name.into(),
+        sets,
+        data_bytes_per_set: (ways * 64) as u64,
+        tag_bits_per_set: ways as u64 * per_way,
+        start_offset_bits_per_set: 0,
+        bitvector_bits_per_set: 0,
+    }
+}
+
+/// Table III column 2: a UBS cache with the given way sizes and a
+/// direct-mapped predictor of `predictor_entries_per_set` 64-byte ways
+/// (1 for the default organization).
+pub fn ubs_storage(
+    name: impl Into<String>,
+    way_sizes: &[u32],
+    sets: usize,
+    predictor_ways_per_set: usize,
+) -> StorageBreakdown {
+    assert!(!way_sizes.is_empty() && sets > 0);
+    let ways = way_sizes.len() as u64;
+    let repl_bits = ceil_log2(ways).max(1) as u64;
+    let data_tag_bits = ways * (tag_bits(sets) as u64 + repl_bits + 1);
+    // Direct-mapped predictor: tag + valid, no replacement bits.
+    let pred_tag_bits = predictor_ways_per_set as u64 * (tag_bits(sets) as u64 + 1);
+    let start_bits: u64 = way_sizes
+        .iter()
+        .map(|&s| start_offset_bits(s) as u64)
+        .sum();
+    // One bit per 4-byte instruction in each predictor block.
+    let bitvec_bits = predictor_ways_per_set as u64 * 16;
+    let data: u64 =
+        way_sizes.iter().map(|&s| s as u64).sum::<u64>() + predictor_ways_per_set as u64 * 64;
+    StorageBreakdown {
+        name: name.into(),
+        sets,
+        data_bytes_per_set: data,
+        tag_bits_per_set: data_tag_bits + pred_tag_bits,
+        start_offset_bits_per_set: start_bits,
+        bitvector_bits_per_set: bitvec_bits,
+    }
+}
+
+/// Storage for the §VI-G small-block designs: a conventional organization
+/// with `block_bytes`-byte blocks (more tags per byte of data).
+pub fn small_block_storage(
+    name: impl Into<String>,
+    size_bytes: usize,
+    ways: usize,
+    block_bytes: usize,
+) -> StorageBreakdown {
+    assert!(block_bytes.is_power_of_two() && block_bytes <= 64);
+    let sets = size_bytes / (ways * block_bytes);
+    assert!(sets > 0 && sets * ways * block_bytes == size_bytes, "bad geometry");
+    let offset_bits = ceil_log2(block_bytes as u64);
+    let tag = PHYS_ADDR_BITS as u64 - offset_bits as u64 - ceil_log2(sets as u64) as u64;
+    let repl_bits = ceil_log2(ways as u64).max(1) as u64;
+    StorageBreakdown {
+        name: name.into(),
+        sets,
+        data_bytes_per_set: (ways * block_bytes) as u64,
+        tag_bits_per_set: ways as u64 * (tag + repl_bits + 1),
+        start_offset_bits_per_set: 0,
+        bitvector_bits_per_set: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::way_config::UbsWayConfig;
+
+    #[test]
+    fn tag_bits_match_paper() {
+        // §VI-I: 32KB 8-way, 64B blocks, 38-bit physical ⇒ 26 tag bits.
+        assert_eq!(tag_bits(64), 26);
+    }
+
+    #[test]
+    fn start_offset_bits_match_table3() {
+        // Table III: 64B ways 0b, 52B 2b, 36B 3b, 32B and below 4b.
+        assert_eq!(start_offset_bits(64), 0);
+        assert_eq!(start_offset_bits(52), 2);
+        assert_eq!(start_offset_bits(36), 3);
+        assert_eq!(start_offset_bits(32), 4);
+        assert_eq!(start_offset_bits(4), 4);
+    }
+
+    #[test]
+    fn conv_32k_matches_table3() {
+        let s = conv_storage("conv-32k", 32 << 10, 8);
+        assert_eq!(s.sets, 64);
+        // 8 × (26 + 3 + 1) = 240 bits = 30 B of metadata; 512 B data.
+        assert_eq!(s.tag_bits_per_set, 240);
+        assert!((s.bytes_per_set() - 542.0).abs() < 1e-9);
+        assert!((s.total_kib() - 33.875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ubs_default_matches_table3() {
+        let cfg = UbsWayConfig::paper_default();
+        let s = ubs_storage("ubs", cfg.sizes(), 64, 1);
+        // Start offsets: 4b×10 + 3b×2 + 2b×1 + 0b×3 = 48 bits = 6 B.
+        assert_eq!(s.start_offset_bits_per_set, 48);
+        // Bit-vector: 16 bits = 2 B.
+        assert_eq!(s.bitvector_bits_per_set, 16);
+        // Tags: 16 × 31 + 27 = 523 bits = 65.375 B.
+        assert_eq!(s.tag_bits_per_set, 523);
+        // Data: Σ way sizes (444) + predictor way (64) = 508 B.
+        assert_eq!(s.data_bytes_per_set, 508);
+        // Total per set: 581.375 B; total: 36.34 KB; overhead: 2.46 KB.
+        assert!((s.bytes_per_set() - 581.375).abs() < 1e-9);
+        assert!((s.total_kib() - 36.3359375).abs() < 1e-6);
+        let conv = conv_storage("conv", 32 << 10, 8);
+        let overhead = s.total_kib() - conv.total_kib();
+        assert!((overhead - 2.4609375).abs() < 1e-6, "overhead {overhead}");
+    }
+}

@@ -1,0 +1,249 @@
+//! UBS way-size configurations (paper Table II, §IV-D, §VI-K).
+//!
+//! The defining idea of the UBS cache: the ways of a set hold *different*
+//! numbers of bytes, sized to match the spatial-locality distribution of
+//! Fig. 1. [`UbsWayConfig`] owns the size vector, the candidate-window
+//! computation for the modified-LRU placement (§IV-F), and the Fig. 16
+//! sensitivity-study presets.
+
+use serde::{Deserialize, Serialize};
+
+/// Width of the placement candidate window (§IV-F: "we choose to restrict
+/// the number of candidate ways for placing a sub-block to four").
+pub const DEFAULT_CANDIDATE_WINDOW: usize = 4;
+
+/// The way-size vector of a UBS set, ascending.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UbsWayConfig {
+    sizes: Vec<u32>,
+}
+
+/// The two way-sizing families compared in Fig. 16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConfigFamily {
+    /// Paper "config1": more small ways, several full-size ways.
+    Config1,
+    /// Paper "config2": a smoother size ramp.
+    Config2,
+}
+
+impl UbsWayConfig {
+    /// Builds a configuration from explicit sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes` is empty, not ascending, or contains sizes that are
+    /// not multiples of 4 in `4..=64`.
+    pub fn new(sizes: Vec<u32>) -> Self {
+        assert!(!sizes.is_empty(), "need at least one way");
+        for w in sizes.windows(2) {
+            assert!(w[0] <= w[1], "way sizes must be ascending: {sizes:?}");
+        }
+        for &s in &sizes {
+            assert!(
+                (4..=64).contains(&s) && s % 4 == 0,
+                "way size {s} not a multiple of 4 in 4..=64"
+            );
+        }
+        assert_eq!(
+            *sizes.last().expect("non-empty"),
+            64,
+            "largest way must hold a full 64-byte block"
+        );
+        UbsWayConfig { sizes }
+    }
+
+    /// The paper's default 16-way configuration (Table II):
+    /// 4, 4, 8, 8, 8, 12, 12, 16, 24, 32, 36, 36, 52, 64, 64, 64.
+    pub fn paper_default() -> Self {
+        UbsWayConfig::new(vec![4, 4, 8, 8, 8, 12, 12, 16, 24, 32, 36, 36, 52, 64, 64, 64])
+    }
+
+    /// A Fig. 16 preset: `ways` ∈ {10, 12, 14, 16, 18} from either family.
+    /// The 14-way vectors are the paper's own; the others follow the same
+    /// shapes (config1 keeps more small ways + three full-size ways,
+    /// config2 ramps smoothly).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unsupported way count.
+    pub fn preset(ways: usize, family: ConfigFamily) -> Self {
+        use ConfigFamily::*;
+        let sizes: Vec<u32> = match (ways, family) {
+            (10, Config1) => vec![4, 8, 16, 24, 32, 36, 52, 64, 64, 64],
+            (10, Config2) => vec![8, 16, 24, 32, 40, 48, 56, 64, 64, 64],
+            (12, Config1) => vec![4, 4, 8, 12, 24, 32, 36, 36, 52, 64, 64, 64],
+            (12, Config2) => vec![4, 8, 16, 24, 32, 36, 40, 48, 56, 64, 64, 64],
+            (14, Config1) => vec![4, 4, 8, 12, 16, 24, 28, 28, 32, 36, 36, 64, 64, 64],
+            (14, Config2) => vec![4, 4, 8, 16, 24, 28, 32, 36, 40, 44, 52, 60, 64, 64],
+            (16, Config1) => return Self::paper_default(),
+            (16, Config2) => {
+                vec![4, 4, 8, 12, 16, 24, 28, 32, 36, 40, 44, 48, 52, 56, 64, 64]
+            }
+            (18, Config1) => {
+                vec![4, 4, 4, 8, 8, 8, 12, 12, 16, 16, 24, 28, 32, 36, 36, 52, 64, 64]
+            }
+            (18, Config2) => {
+                vec![4, 4, 8, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 64, 64]
+            }
+            (w, f) => panic!("no preset for {w}-way {f:?}"),
+        };
+        UbsWayConfig::new(sizes)
+    }
+
+    /// Way sizes in bytes, ascending.
+    pub fn sizes(&self) -> &[u32] {
+        &self.sizes
+    }
+
+    /// Number of ways.
+    pub fn num_ways(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Capacity of `way` in bytes.
+    #[inline]
+    pub fn capacity(&self, way: usize) -> u32 {
+        self.sizes[way]
+    }
+
+    /// Data bytes per set (excluding the predictor's 64-byte way).
+    pub fn data_bytes_per_set(&self) -> u32 {
+        self.sizes.iter().sum()
+    }
+
+    /// The candidate ways for placing a sub-block of `len` bytes: starting
+    /// at the smallest way that fits it, a window of `window` ways (§IV-F).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or exceeds 64 bytes.
+    pub fn candidate_window(&self, len: u32, window: usize) -> std::ops::Range<usize> {
+        assert!((1..=64).contains(&len), "sub-block length {len} out of range");
+        let first = self
+            .sizes
+            .iter()
+            .position(|&s| s >= len)
+            .expect("largest way holds 64 bytes");
+        first..(first + window.max(1)).min(self.sizes.len())
+    }
+
+    /// First-fit-decreasing consolidation of logical ways into 64-byte
+    /// physical ways (§VI-I2). Returns the groups of logical way indices,
+    /// each group's sizes summing to at most 64 bytes.
+    pub fn consolidate_physical_ways(&self) -> Vec<Vec<usize>> {
+        let mut order: Vec<usize> = (0..self.sizes.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.sizes[i]));
+        let mut bins: Vec<(u32, Vec<usize>)> = Vec::new();
+        for i in order {
+            let sz = self.sizes[i];
+            match bins.iter_mut().find(|(used, _)| used + sz <= 64) {
+                Some((used, members)) => {
+                    *used += sz;
+                    members.push(i);
+                }
+                None => bins.push((sz, vec![i])),
+            }
+        }
+        bins.into_iter().map(|(_, m)| m).collect()
+    }
+}
+
+impl Default for UbsWayConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table2() {
+        let c = UbsWayConfig::paper_default();
+        assert_eq!(c.num_ways(), 16);
+        assert_eq!(c.data_bytes_per_set(), 444);
+        assert_eq!(c.capacity(0), 4);
+        assert_eq!(c.capacity(15), 64);
+    }
+
+    #[test]
+    fn candidate_window_matches_paper_example() {
+        // §IV-F: "a sub-block with 16 bytes can be placed in one of the ways
+        // from way-8 to way-11" (1-indexed: the 16-byte way is the 8th).
+        let c = UbsWayConfig::paper_default();
+        let w = c.candidate_window(16, DEFAULT_CANDIDATE_WINDOW);
+        assert_eq!(w, 7..11); // 0-indexed ways 7..=10 hold 16, 24, 32, 36 bytes
+        assert_eq!(c.capacity(7), 16);
+        assert_eq!(c.capacity(10), 36);
+    }
+
+    #[test]
+    fn candidate_window_clamps_at_top() {
+        let c = UbsWayConfig::paper_default();
+        let w = c.candidate_window(64, 4);
+        assert_eq!(w, 13..16);
+    }
+
+    #[test]
+    fn small_sub_block_starts_at_way_zero() {
+        let c = UbsWayConfig::paper_default();
+        assert_eq!(c.candidate_window(1, 4), 0..4);
+        assert_eq!(c.candidate_window(4, 4), 0..4);
+        assert_eq!(c.candidate_window(5, 4), 2..6);
+    }
+
+    #[test]
+    fn presets_are_valid_and_sized() {
+        for ways in [10usize, 12, 14, 16, 18] {
+            for fam in [ConfigFamily::Config1, ConfigFamily::Config2] {
+                let c = UbsWayConfig::preset(ways, fam);
+                assert_eq!(c.num_ways(), ways, "{ways}-way {fam:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_14way_vectors_verbatim() {
+        let c1 = UbsWayConfig::preset(14, ConfigFamily::Config1);
+        assert_eq!(
+            c1.sizes(),
+            &[4, 4, 8, 12, 16, 24, 28, 28, 32, 36, 36, 64, 64, 64]
+        );
+        let c2 = UbsWayConfig::preset(14, ConfigFamily::Config2);
+        assert_eq!(
+            c2.sizes(),
+            &[4, 4, 8, 16, 24, 28, 32, 36, 40, 44, 52, 60, 64, 64]
+        );
+    }
+
+    #[test]
+    fn consolidation_fits_eight_physical_ways() {
+        // §VI-I2: the default ways consolidate into 7 physical 64-byte ways
+        // (+ predictor as the 8th).
+        let c = UbsWayConfig::paper_default();
+        let groups = c.consolidate_physical_ways();
+        assert!(groups.len() <= 7, "{} physical ways", groups.len());
+        // Every logical way appears exactly once.
+        let mut seen: Vec<usize> = groups.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..16).collect::<Vec<_>>());
+        for g in &groups {
+            let total: u32 = g.iter().map(|&i| c.capacity(i)).sum();
+            assert!(total <= 64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_sizes_panic() {
+        UbsWayConfig::new(vec![8, 4, 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "full 64-byte block")]
+    fn missing_64_way_panics() {
+        UbsWayConfig::new(vec![4, 8, 16]);
+    }
+}

@@ -1,0 +1,106 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <experiment-id>... [--quick|--full] [--tiny-suites|--full-suites] [--json DIR]
+//! repro all [flags]
+//! repro list
+//! ```
+
+use std::path::PathBuf;
+use ubs_experiments::{all_ids, run_by_id, Effort, SuiteScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return;
+    }
+    if args[0] == "list" {
+        for id in all_ids() {
+            println!("{id}");
+        }
+        return;
+    }
+
+    let effort = Effort::from_flags(&args);
+    let scale = if args.iter().any(|a| a == "--tiny-suites") {
+        SuiteScale::tiny()
+    } else if args.iter().any(|a| a == "--full-suites") {
+        SuiteScale::full()
+    } else {
+        SuiteScale::default_scale()
+    };
+    let json_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+
+    let requested: Vec<&str> = if args.iter().any(|a| a == "all") {
+        all_ids()
+    } else {
+        args.iter()
+            .filter(|a| !a.starts_with("--"))
+            .map(|a| a.as_str())
+            .filter(|a| *a != "all")
+            .collect()
+    };
+    // Skip the value that followed --json.
+    let requested: Vec<&str> = requested
+        .into_iter()
+        .filter(|r| json_dir.as_deref().map(|d| d.to_str() != Some(r)).unwrap_or(true))
+        .collect();
+
+    if requested.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+
+    let mut failed = false;
+    for id in requested {
+        let started = std::time::Instant::now();
+        match run_by_id(id, effort, &scale) {
+            Ok(result) => {
+                println!("================ {id} ================");
+                println!("{}", result.text);
+                eprintln!("[{id} completed in {:.1}s]", started.elapsed().as_secs_f64());
+                if let Some(dir) = &json_dir {
+                    if let Err(e) = std::fs::create_dir_all(dir).and_then(|_| {
+                        std::fs::write(
+                            dir.join(format!("{id}.json")),
+                            serde_json::to_string_pretty(&result.json).unwrap_or_default(),
+                        )
+                    }) {
+                        eprintln!("warning: could not write JSON for {id}: {e}");
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "repro — regenerate the UBS paper's tables and figures\n\
+         \n\
+         usage: repro <id>... [--quick|--full] [--tiny-suites|--full-suites] [--json DIR]\n\
+         \n\
+         ids: {}  (or `all`, or `list`)\n\
+         \n\
+         --quick        short simulation windows (smoke)\n\
+         --full         the paper's 50M+50M windows (hours)\n\
+         --tiny-suites  2-3 workloads per category\n\
+         --full-suites  paper-sized suites (36 server workloads, ...)\n\
+         --json DIR     also write machine-readable results",
+        ubs_experiments::all_ids().join(" ")
+    );
+}

@@ -1,0 +1,176 @@
+//! Named L1-I design configurations used across experiments.
+
+use ubs_core::{
+    AcicL1i, AmoebaL1i, ConfigFamily, ConvL1i, DistillL1i, GhrpL1i, IdealL1i, InstructionCache,
+    PredictorConfig, SmallBlockL1i, UbsCache, UbsCacheConfig, UbsWayConfig,
+};
+use ubs_mem::PolicyKind;
+
+/// A buildable L1-I design.
+#[derive(Debug, Clone)]
+pub enum DesignSpec {
+    /// Conventional cache of `size_bytes` with `ways` ways.
+    Conv {
+        /// Display name.
+        name: String,
+        /// Capacity in bytes.
+        size_bytes: usize,
+        /// Associativity.
+        ways: usize,
+    },
+    /// A UBS cache with an explicit configuration.
+    Ubs(UbsCacheConfig),
+    /// §VI-G small-block design (16- or 32-byte blocks).
+    SmallBlock {
+        /// Block size in bytes (16 or 32).
+        chunk_bytes: u32,
+    },
+    /// GHRP predictive replacement + bypass.
+    Ghrp,
+    /// ACIC admission control.
+    Acic,
+    /// Line Distillation adapted to the L1-I.
+    Distill,
+    /// Amoeba-style variable-granularity cache (budget-matched to UBS).
+    Amoeba,
+    /// Ideal always-hit L1-I (front-end upper bound).
+    Ideal,
+}
+
+impl DesignSpec {
+    /// The Table I 32 KB baseline.
+    pub fn conv_32k() -> Self {
+        DesignSpec::Conv {
+            name: "conv-32k".into(),
+            size_bytes: 32 << 10,
+            ways: 8,
+        }
+    }
+
+    /// The 64 KB comparison cache.
+    pub fn conv_64k() -> Self {
+        DesignSpec::Conv {
+            name: "conv-64k".into(),
+            size_bytes: 64 << 10,
+            ways: 8,
+        }
+    }
+
+    /// A conventional cache of arbitrary size (8-way).
+    pub fn conv(size_bytes: usize) -> Self {
+        DesignSpec::Conv {
+            name: format!("conv-{}k", size_bytes / 1024),
+            size_bytes,
+            ways: 8,
+        }
+    }
+
+    /// The Table II UBS default.
+    pub fn ubs_default() -> Self {
+        DesignSpec::Ubs(UbsCacheConfig::paper_default())
+    }
+
+    /// UBS scaled to a data budget (Fig. 11).
+    pub fn ubs_budget(budget_bytes: usize) -> Self {
+        DesignSpec::Ubs(UbsCacheConfig::paper_default().with_data_budget(budget_bytes))
+    }
+
+    /// UBS with a Fig. 16 way preset.
+    pub fn ubs_ways(ways: usize, family: ConfigFamily) -> Self {
+        let mut cfg = UbsCacheConfig::paper_default();
+        cfg.ways = UbsWayConfig::preset(ways, family);
+        cfg.name = format!(
+            "ubs-{}w-{}",
+            ways,
+            match family {
+                ConfigFamily::Config1 => "c1",
+                ConfigFamily::Config2 => "c2",
+            }
+        );
+        DesignSpec::Ubs(cfg)
+    }
+
+    /// UBS with a Fig. 15 predictor organization.
+    pub fn ubs_predictor(pred: PredictorConfig) -> Self {
+        let mut cfg = UbsCacheConfig::paper_default();
+        cfg.name = format!("ubs-pred-{}", pred.label());
+        cfg.predictor = pred;
+        DesignSpec::Ubs(cfg)
+    }
+
+    /// The Fig. 15 predictor variants (default first).
+    pub fn fig15_variants() -> Vec<DesignSpec> {
+        vec![
+            Self::ubs_predictor(PredictorConfig::direct_mapped(64)),
+            Self::ubs_predictor(PredictorConfig::direct_mapped(128)),
+            Self::ubs_predictor(PredictorConfig::set_assoc(8, 8, PolicyKind::Lru)),
+            Self::ubs_predictor(PredictorConfig::set_assoc(8, 8, PolicyKind::Fifo)),
+            Self::ubs_predictor(PredictorConfig::fully_assoc(64, PolicyKind::Fifo)),
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            DesignSpec::Conv { name, .. } => name.clone(),
+            DesignSpec::Ubs(cfg) => cfg.name.clone(),
+            DesignSpec::SmallBlock { chunk_bytes } => format!("conv-{chunk_bytes}b-block"),
+            DesignSpec::Ghrp => "ghrp".into(),
+            DesignSpec::Acic => "acic".into(),
+            DesignSpec::Distill => "line-distillation".into(),
+            DesignSpec::Amoeba => "amoeba".into(),
+            DesignSpec::Ideal => "ideal".into(),
+        }
+    }
+
+    /// Instantiates the design.
+    pub fn build(&self) -> Box<dyn InstructionCache + Send> {
+        match self {
+            DesignSpec::Conv {
+                name,
+                size_bytes,
+                ways,
+            } => Box::new(ConvL1i::new(name.clone(), *size_bytes, *ways, 8)),
+            DesignSpec::Ubs(cfg) => Box::new(UbsCache::new(cfg.clone())),
+            DesignSpec::SmallBlock { chunk_bytes } => Box::new(SmallBlockL1i::new(
+                format!("conv-{chunk_bytes}b-block"),
+                32 << 10,
+                8,
+                *chunk_bytes,
+            )),
+            DesignSpec::Ghrp => Box::new(GhrpL1i::paper_default()),
+            DesignSpec::Acic => Box::new(AcicL1i::paper_default()),
+            DesignSpec::Distill => Box::new(DistillL1i::paper_default()),
+            DesignSpec::Amoeba => Box::new(AmoebaL1i::paper_default()),
+            DesignSpec::Ideal => Box::new(IdealL1i::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_designs_build() {
+        let specs = vec![
+            DesignSpec::conv_32k(),
+            DesignSpec::conv_64k(),
+            DesignSpec::ubs_default(),
+            DesignSpec::ubs_budget(20 << 10),
+            DesignSpec::ubs_ways(12, ConfigFamily::Config2),
+            DesignSpec::SmallBlock { chunk_bytes: 16 },
+            DesignSpec::SmallBlock { chunk_bytes: 32 },
+            DesignSpec::Ghrp,
+            DesignSpec::Acic,
+            DesignSpec::Distill,
+            DesignSpec::Amoeba,
+            DesignSpec::Ideal,
+        ];
+        for s in &specs {
+            let c = s.build();
+            assert_eq!(c.name(), s.name(), "name mismatch for {s:?}");
+        }
+        assert_eq!(DesignSpec::fig15_variants().len(), 5);
+    }
+}

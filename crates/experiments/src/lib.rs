@@ -1,0 +1,27 @@
+//! # ubs-experiments — the paper-reproduction harness
+//!
+//! One runner per table and figure of the UBS paper, all driven through the
+//! `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p ubs-experiments --bin repro -- fig10
+//! cargo run --release -p ubs-experiments --bin repro -- all --quick
+//! ```
+//!
+//! Each experiment returns an [`ExperimentResult`] with both a printable
+//! table (the same rows/series the paper reports) and a JSON value for
+//! archiving. See `DESIGN.md` for the experiment index and `EXPERIMENTS.md`
+//! for recorded paper-vs-measured numbers.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod designs;
+pub mod figures;
+mod runner;
+mod suitescale;
+
+pub use designs::DesignSpec;
+pub use figures::{all_ids, run_by_id, ExperimentResult};
+pub use runner::{run_matrix, Cell, Effort};
+pub use suitescale::SuiteScale;

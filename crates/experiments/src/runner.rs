@@ -1,0 +1,124 @@
+//! Parallel (workload × design) simulation matrices.
+
+use crate::designs::DesignSpec;
+use parking_lot::Mutex;
+use ubs_trace::synth::{SyntheticTrace, WorkloadSpec};
+use ubs_uarch::{SimConfig, SimReport};
+
+/// Effort level of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Minimal windows for criterion benches (shape only, heavy noise).
+    Smoke,
+    /// Fast smoke runs (CI / quick checks).
+    Quick,
+    /// Default: preserves the paper's shapes at tractable cost.
+    Default,
+    /// The paper's full 50 M + 50 M methodology.
+    Full,
+}
+
+impl Effort {
+    /// The simulation window for this effort level.
+    pub fn sim_config(self) -> SimConfig {
+        match self {
+            Effort::Smoke => SimConfig::scaled(30_000, 100_000),
+            Effort::Quick => SimConfig::scaled(100_000, 300_000),
+            Effort::Default => SimConfig::scaled(400_000, 1_200_000),
+            Effort::Full => SimConfig::paper_full(),
+        }
+    }
+
+    /// Parses `--quick` / `--full` style flags.
+    pub fn from_flags(args: &[String]) -> Self {
+        if args.iter().any(|a| a == "--full") {
+            Effort::Full
+        } else if args.iter().any(|a| a == "--quick") {
+            Effort::Quick
+        } else {
+            Effort::Default
+        }
+    }
+}
+
+/// One completed cell of a run matrix.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Workload index in the input slice.
+    pub workload: usize,
+    /// Design index in the input slice.
+    pub design: usize,
+    /// The simulation report.
+    pub report: SimReport,
+}
+
+/// Runs every workload against every design, in parallel across available
+/// threads. Results are returned in `(workload, design)` order.
+pub fn run_matrix(
+    workloads: &[WorkloadSpec],
+    designs: &[DesignSpec],
+    effort: Effort,
+) -> Vec<Vec<SimReport>> {
+    let sim_cfg = effort.sim_config();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let jobs: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..designs.len()).map(move |d| (w, d)))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let cells: Mutex<Vec<Cell>> = Mutex::new(Vec::with_capacity(jobs.len()));
+
+    // Program construction is the expensive part of a synthetic workload;
+    // build each program once and clone the walker per design.
+    let prototypes: Vec<SyntheticTrace> = workloads.iter().map(SyntheticTrace::build).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(jobs.len().max(1)) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(w, d)) = jobs.get(i) else { break };
+                let mut trace = prototypes[w].clone();
+                let mut icache = designs[d].build();
+                let report = ubs_uarch::simulate(&mut trace, icache.as_mut(), &sim_cfg);
+                cells.lock().push(Cell {
+                    workload: w,
+                    design: d,
+                    report,
+                });
+            });
+        }
+    })
+    .expect("simulation worker panicked");
+
+    let mut grid: Vec<Vec<Option<SimReport>>> = vec![vec![None; designs.len()]; workloads.len()];
+    for cell in cells.into_inner() {
+        grid[cell.workload][cell.design] = Some(cell.report);
+    }
+    grid.into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|r| r.expect("every cell completed"))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubs_trace::synth::Profile;
+
+    #[test]
+    fn matrix_shape_and_labels() {
+        let workloads = vec![WorkloadSpec::new(Profile::Client, 0)];
+        let designs = vec![DesignSpec::conv_32k(), DesignSpec::ubs_default()];
+        let grid = run_matrix(&workloads, &designs, Effort::Quick);
+        assert_eq!(grid.len(), 1);
+        assert_eq!(grid[0].len(), 2);
+        assert_eq!(grid[0][0].design, "conv-32k");
+        assert_eq!(grid[0][1].design, "ubs");
+        assert_eq!(grid[0][0].workload, "client_000");
+        assert!(grid[0][0].ipc() > 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Suite sizing: how many workloads per category an experiment uses.
+
+use ubs_trace::suites;
+use ubs_trace::synth::{Profile, WorkloadSpec};
+
+/// Workload counts per category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuiteScale {
+    /// Google workloads.
+    pub google: usize,
+    /// IPC-1-style server workloads.
+    pub server: usize,
+    /// IPC-1-style client workloads.
+    pub client: usize,
+    /// IPC-1-style SPEC workloads.
+    pub spec: usize,
+    /// CVP-1-style workloads per CVP category.
+    pub cvp: usize,
+}
+
+impl SuiteScale {
+    /// One workload per category: the smallest meaningful suite, used by
+    /// the criterion figure benches.
+    pub fn bench() -> Self {
+        SuiteScale {
+            google: 1,
+            server: 1,
+            client: 1,
+            spec: 1,
+            cvp: 1,
+        }
+    }
+
+    /// Tiny suites for smoke tests.
+    pub fn tiny() -> Self {
+        SuiteScale {
+            google: 2,
+            server: 3,
+            client: 2,
+            spec: 2,
+            cvp: 2,
+        }
+    }
+
+    /// Default experiment suites.
+    pub fn default_scale() -> Self {
+        SuiteScale {
+            google: suites::DEFAULT_GOOGLE,
+            server: suites::DEFAULT_SERVER,
+            client: suites::DEFAULT_CLIENT,
+            spec: suites::DEFAULT_SPEC,
+            cvp: 6,
+        }
+    }
+
+    /// Paper-sized suites (closer to the trace counts the paper uses).
+    pub fn full() -> Self {
+        SuiteScale {
+            google: 12,
+            server: 36,
+            client: 8,
+            spec: 10,
+            cvp: 12,
+        }
+    }
+
+    /// The suite for `profile` at this scale.
+    pub fn suite(&self, profile: Profile) -> Vec<WorkloadSpec> {
+        let n = match profile {
+            Profile::Google => self.google,
+            Profile::Server => self.server,
+            Profile::Client => self.client,
+            Profile::Spec => self.spec,
+            Profile::CvpServer | Profile::CvpFp | Profile::CvpInt => self.cvp,
+        };
+        suites::suite(profile, n)
+    }
+}
+
+impl Default for SuiteScale {
+    fn default() -> Self {
+        Self::default_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_give_expected_counts() {
+        assert_eq!(SuiteScale::tiny().suite(Profile::Server).len(), 3);
+        assert_eq!(
+            SuiteScale::default_scale().suite(Profile::Client).len(),
+            suites::DEFAULT_CLIENT
+        );
+        assert_eq!(SuiteScale::full().suite(Profile::Server).len(), 36);
+    }
+}

@@ -1,0 +1,32 @@
+//! Smoke test: every experiment id runs end-to-end at bench scale and
+//! produces non-empty text and JSON.
+
+use ubs_experiments::{all_ids, run_by_id, Effort, SuiteScale};
+
+#[test]
+fn every_experiment_runs() {
+    let scale = SuiteScale::bench();
+    for id in all_ids() {
+        let r = run_by_id(id, Effort::Smoke, &scale)
+            .unwrap_or_else(|e| panic!("{id} failed: {e}"));
+        assert_eq!(r.id, id);
+        assert!(!r.text.trim().is_empty(), "{id}: empty text");
+        assert!(
+            !r.json.is_null() || id.starts_with("table"),
+            "{id}: null json"
+        );
+    }
+}
+
+#[test]
+fn unknown_id_is_an_error() {
+    assert!(run_by_id("fig99", Effort::Smoke, &SuiteScale::bench()).is_err());
+}
+
+#[test]
+fn effort_flag_parsing() {
+    let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    assert_eq!(Effort::from_flags(&args(&["fig10", "--full"])), Effort::Full);
+    assert_eq!(Effort::from_flags(&args(&["--quick"])), Effort::Quick);
+    assert_eq!(Effort::from_flags(&args(&["fig10"])), Effort::Default);
+}

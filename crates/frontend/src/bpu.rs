@@ -1,0 +1,239 @@
+//! The combined branch prediction unit.
+//!
+//! Glues the [`Btb`], [`HashedPerceptron`] and [`Ras`] into the single
+//! component the decoupled front-end consults. The simulator is
+//! trace-driven, so the BPU sees each dynamic branch in program order:
+//! [`Bpu::process`] produces the prediction, immediately trains on the
+//! actual outcome (the standard trace-driven shortcut — ChampSim likewise
+//! resolves predictor state in order), and reports what the front-end needs:
+//! did the prediction match, and if taken, did the BTB/RAS supply a target?
+
+use crate::btb::Btb;
+use crate::perceptron::HashedPerceptron;
+use crate::ras::Ras;
+use ubs_trace::{Addr, BranchKind, TraceRecord, INSTR_BYTES};
+
+/// Outcome of predicting + resolving one dynamic branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchResolution {
+    /// The direction/target prediction disagreed with the actual outcome;
+    /// the front-end runahead must stop until the branch resolves.
+    pub mispredicted: bool,
+    /// The branch was (actually) taken but no target was available from the
+    /// BTB/RAS. Also forces a runahead stall, and FDIP loses its window.
+    pub target_unavailable: bool,
+}
+
+impl BranchResolution {
+    /// Whether the decoupled front-end must re-steer after this branch.
+    #[inline]
+    pub fn redirects(&self) -> bool {
+        self.mispredicted || self.target_unavailable
+    }
+}
+
+/// Branch prediction unit: BTB + hashed perceptron + RAS.
+#[derive(Debug)]
+pub struct Bpu {
+    btb: Btb,
+    cond: HashedPerceptron,
+    ras: Ras,
+    branches: u64,
+    mispredictions: u64,
+    btb_misses_taken: u64,
+}
+
+impl Default for Bpu {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl Bpu {
+    /// Table I configuration: 4K-entry BTB, hashed perceptron, 64-deep RAS.
+    pub fn paper() -> Self {
+        Bpu {
+            btb: Btb::paper(),
+            cond: HashedPerceptron::new(),
+            ras: Ras::new(64),
+            branches: 0,
+            mispredictions: 0,
+            btb_misses_taken: 0,
+        }
+    }
+
+    /// A BPU with custom structures (sensitivity studies).
+    pub fn new(btb: Btb, cond: HashedPerceptron, ras: Ras) -> Self {
+        Bpu {
+            btb,
+            cond,
+            ras,
+            branches: 0,
+            mispredictions: 0,
+            btb_misses_taken: 0,
+        }
+    }
+
+    /// Predicts and resolves the branch in `rec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rec` is not a branch.
+    pub fn process(&mut self, rec: &TraceRecord) -> BranchResolution {
+        let b = rec.branch.expect("process() requires a branch record");
+        self.branches += 1;
+        let pc = rec.pc;
+        let return_addr: Addr = pc + INSTR_BYTES;
+
+        // Predicted direction.
+        let (predicted_taken, cond_dir) = match b.kind {
+            BranchKind::Conditional => {
+                let d = self.cond.predict(pc);
+                (d.taken, Some(d))
+            }
+            _ => (true, None),
+        };
+
+        // Predicted target for a predicted-taken branch.
+        let predicted_target: Option<Addr> = if predicted_taken {
+            match b.kind {
+                BranchKind::Return => self.ras.pop(),
+                _ => self.btb.lookup(pc).map(|e| e.target),
+            }
+        } else {
+            None
+        };
+        // Calls push the return address regardless of target availability.
+        if b.kind.is_call() {
+            self.ras.push(return_addr);
+        }
+
+        // Resolve against the trace's actual outcome.
+        let direction_wrong = predicted_taken != b.taken;
+        let target_wrong =
+            b.taken && !direction_wrong && predicted_target.is_some_and(|t| t != b.target);
+        let target_unavailable = b.taken && !direction_wrong && predicted_target.is_none();
+        let mispredicted = direction_wrong || target_wrong;
+        if mispredicted {
+            self.mispredictions += 1;
+        }
+        if target_unavailable {
+            self.btb_misses_taken += 1;
+        }
+
+        // Train.
+        if let Some(d) = cond_dir {
+            self.cond.train(pc, b.taken, d);
+        } else {
+            self.cond.push_history(b.taken);
+        }
+        if b.taken && b.kind != BranchKind::Return {
+            self.btb.update(pc, b.target, b.kind);
+        }
+
+        BranchResolution {
+            mispredicted,
+            target_unavailable,
+        }
+    }
+
+    /// `(branches, mispredictions, taken-with-no-target)` counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.branches, self.mispredictions, self.btb_misses_taken)
+    }
+
+    /// MPKI of branch mispredictions given an instruction count.
+    pub fn mispredict_mpki(&self, instructions: u64) -> f64 {
+        self.mispredictions as f64 / (instructions as f64 / 1000.0).max(1e-9)
+    }
+
+    /// Zeroes counters (end of warmup), keeping learned state.
+    pub fn reset_stats(&mut self) {
+        self.branches = 0;
+        self.mispredictions = 0;
+        self.btb_misses_taken = 0;
+        self.cond.reset_stats();
+        self.btb.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubs_trace::BranchInfo;
+
+    fn branch(pc: Addr, kind: BranchKind, taken: bool, target: Addr) -> TraceRecord {
+        let mut r = TraceRecord::nop(pc);
+        r.branch = Some(BranchInfo {
+            kind,
+            taken,
+            target,
+        });
+        r
+    }
+
+    #[test]
+    fn first_taken_jump_misses_btb_then_hits() {
+        let mut bpu = Bpu::paper();
+        let rec = branch(0x100, BranchKind::DirectJump, true, 0x800);
+        let r1 = bpu.process(&rec);
+        assert!(r1.target_unavailable, "cold BTB has no target");
+        let r2 = bpu.process(&rec);
+        assert!(!r2.redirects(), "BTB learned the target");
+    }
+
+    #[test]
+    fn call_return_pair_uses_ras() {
+        let mut bpu = Bpu::paper();
+        let call = branch(0x100, BranchKind::DirectCall, true, 0x800);
+        bpu.process(&call);
+        bpu.process(&call); // now BTB-hit
+        let ret = branch(0x900, BranchKind::Return, true, 0x104);
+        let r = bpu.process(&ret);
+        assert!(
+            !r.redirects(),
+            "return target must come from the RAS: {r:?}"
+        );
+    }
+
+    #[test]
+    fn return_to_wrong_address_mispredicts() {
+        let mut bpu = Bpu::paper();
+        bpu.process(&branch(0x100, BranchKind::DirectCall, true, 0x800));
+        let ret = branch(0x900, BranchKind::Return, true, 0xdead0);
+        let r = bpu.process(&ret);
+        assert!(r.mispredicted);
+    }
+
+    #[test]
+    fn conditional_learns_bias() {
+        let mut bpu = Bpu::paper();
+        let rec = branch(0x200, BranchKind::Conditional, true, 0x400);
+        let mut redirects = 0;
+        for _ in 0..100 {
+            if bpu.process(&rec).redirects() {
+                redirects += 1;
+            }
+        }
+        assert!(redirects < 20, "{redirects} redirects on a biased branch");
+    }
+
+    #[test]
+    fn not_taken_conditional_with_cold_btb_is_fine() {
+        let mut bpu = Bpu::paper();
+        // Perceptron initializes to weakly-taken (output 0 => taken);
+        // train it not-taken first.
+        let rec = branch(0x300, BranchKind::Conditional, false, 0x500);
+        for _ in 0..32 {
+            bpu.process(&rec);
+        }
+        let r = bpu.process(&rec);
+        assert!(!r.redirects(), "{r:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a branch")]
+    fn non_branch_panics() {
+        Bpu::paper().process(&TraceRecord::nop(0));
+    }
+}

@@ -1,0 +1,182 @@
+//! Fetch target queue for the decoupled front-end.
+//!
+//! The BPU's runahead pushes [`FetchRange`]s (runs of instructions between
+//! predicted-taken branches, §IV-A) into the FTQ; the fetch engine consumes
+//! from the head. FDIP (Table I: 128-entry FTQ) walks the queue ahead of
+//! fetch and prefetches the 64-byte lines each entry touches — the queue
+//! tracks a prefetch cursor so each entry is prefetched exactly once.
+
+use std::collections::VecDeque;
+use ubs_trace::FetchRange;
+
+/// Fetch target queue with an FDIP prefetch cursor.
+#[derive(Debug, Clone)]
+pub struct Ftq {
+    entries: VecDeque<FetchRange>,
+    capacity: usize,
+    /// Index (within `entries`) of the first entry not yet scanned by FDIP.
+    prefetch_cursor: usize,
+}
+
+impl Ftq {
+    /// An empty FTQ of `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FTQ capacity must be positive");
+        Ftq {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            prefetch_cursor: 0,
+        }
+    }
+
+    /// The paper's 128-entry FTQ.
+    pub fn paper() -> Self {
+        Ftq::new(128)
+    }
+
+    /// Number of queued fetch ranges.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the queue is at capacity (runahead must pause).
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Enqueues a fetch range produced by the BPU runahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full; callers check [`Ftq::is_full`] first.
+    pub fn push(&mut self, range: FetchRange) {
+        assert!(!self.is_full(), "push into a full FTQ");
+        self.entries.push_back(range);
+    }
+
+    /// The range at the head (next to be fetched), if any.
+    pub fn peek(&self) -> Option<&FetchRange> {
+        self.entries.front()
+    }
+
+    /// Pops the head range for fetch.
+    pub fn pop(&mut self) -> Option<FetchRange> {
+        let e = self.entries.pop_front();
+        if e.is_some() {
+            self.prefetch_cursor = self.prefetch_cursor.saturating_sub(1);
+        }
+        e
+    }
+
+    /// Returns up to `max` entries not yet seen by the prefetcher and
+    /// advances the cursor past them.
+    pub fn take_unprefetched(&mut self, max: usize) -> Vec<FetchRange> {
+        self.take_unprefetched_within(max, usize::MAX)
+    }
+
+    /// Like [`Ftq::take_unprefetched`], but never scans past the first
+    /// `depth` queue entries — a bound on FDIP's prefetch distance. UBS's
+    /// useful-byte predictor holds one in-flight block per set, so
+    /// prefetching arbitrarily deep would evict prefetched blocks before
+    /// the core ever touches them.
+    pub fn take_unprefetched_within(&mut self, max: usize, depth: usize) -> Vec<FetchRange> {
+        let limit = self.entries.len().min(depth);
+        let avail = limit.saturating_sub(self.prefetch_cursor);
+        let n = avail.min(max);
+        let out: Vec<FetchRange> = self
+            .entries
+            .iter()
+            .skip(self.prefetch_cursor)
+            .take(n)
+            .copied()
+            .collect();
+        self.prefetch_cursor += n;
+        out
+    }
+
+    /// Clears the queue (front-end re-steer after a mispredict).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+        self.prefetch_cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(start: u64, bytes: u32) -> FetchRange {
+        FetchRange::new(start, bytes)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = Ftq::new(4);
+        q.push(r(0, 8));
+        q.push(r(8, 8));
+        assert_eq!(q.pop(), Some(r(0, 8)));
+        assert_eq!(q.pop(), Some(r(8, 8)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut q = Ftq::new(2);
+        q.push(r(0, 4));
+        q.push(r(4, 4));
+        assert!(q.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "full FTQ")]
+    fn push_full_panics() {
+        let mut q = Ftq::new(1);
+        q.push(r(0, 4));
+        q.push(r(4, 4));
+    }
+
+    #[test]
+    fn prefetch_cursor_sees_each_entry_once() {
+        let mut q = Ftq::new(8);
+        q.push(r(0, 4));
+        q.push(r(4, 4));
+        q.push(r(8, 4));
+        assert_eq!(q.take_unprefetched(2), vec![r(0, 4), r(4, 4)]);
+        assert_eq!(q.take_unprefetched(2), vec![r(8, 4)]);
+        assert!(q.take_unprefetched(2).is_empty());
+        // New entries become visible.
+        q.push(r(12, 4));
+        assert_eq!(q.take_unprefetched(4), vec![r(12, 4)]);
+    }
+
+    #[test]
+    fn pop_keeps_cursor_consistent() {
+        let mut q = Ftq::new(8);
+        q.push(r(0, 4));
+        q.push(r(4, 4));
+        q.take_unprefetched(1); // cursor past entry 0
+        q.pop(); // removes entry 0
+        // Entry at old index 1 must still be returned exactly once.
+        assert_eq!(q.take_unprefetched(4), vec![r(4, 4)]);
+    }
+
+    #[test]
+    fn flush_resets() {
+        let mut q = Ftq::new(4);
+        q.push(r(0, 4));
+        q.take_unprefetched(1);
+        q.flush();
+        assert!(q.is_empty());
+        q.push(r(8, 4));
+        assert_eq!(q.take_unprefetched(1), vec![r(8, 4)]);
+    }
+}

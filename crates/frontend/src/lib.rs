@@ -1,0 +1,43 @@
+//! # ubs-frontend — the core front-end
+//!
+//! Branch prediction and fetch-direction structures from the paper's
+//! Table I baseline:
+//!
+//! - [`Btb`]: 4K-entry set-associative branch target buffer;
+//! - [`HashedPerceptron`]: conditional direction predictor;
+//! - [`Ras`]: return address stack;
+//! - [`Bpu`]: the combined unit the decoupled front-end consults per branch;
+//! - [`Ftq`]: the 128-entry fetch target queue that carries BPU-produced
+//!   [`ubs_trace::FetchRange`]s to the fetch engine and feeds FDIP.
+//!
+//! The fetch engine and FDIP *driver* logic live in `ubs-uarch`, where they
+//! interact with the instruction cache and the cycle loop.
+//!
+//! ## Example
+//!
+//! ```
+//! use ubs_frontend::Bpu;
+//! use ubs_trace::{BranchInfo, BranchKind, TraceRecord};
+//!
+//! let mut bpu = Bpu::paper();
+//! let mut rec = TraceRecord::nop(0x100);
+//! rec.branch = Some(BranchInfo { kind: BranchKind::DirectJump, taken: true, target: 0x800 });
+//! let first = bpu.process(&rec);
+//! assert!(first.target_unavailable);      // cold BTB
+//! assert!(!bpu.process(&rec).redirects()); // learned
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bpu;
+mod btb;
+mod ftq;
+mod perceptron;
+mod ras;
+
+pub use bpu::{BranchResolution, Bpu};
+pub use btb::{Btb, BtbEntry};
+pub use ftq::Ftq;
+pub use perceptron::{Direction, HashedPerceptron};
+pub use ras::Ras;

@@ -1,0 +1,204 @@
+//! Hashed perceptron conditional branch predictor (Table I).
+//!
+//! A bank of weight tables indexed by hashes of the PC with geometrically
+//! increasing slices of global history, à la Tarjan & Skadron's hashed
+//! perceptron and the predictor ChampSim ships. The dot product of selected
+//! weights decides the direction; training occurs on mispredictions or when
+//! the output magnitude is below the adaptive threshold.
+
+use ubs_trace::Addr;
+
+/// Number of weight tables.
+const NUM_TABLES: usize = 8;
+/// Entries per table (power of two).
+const TABLE_ENTRIES: usize = 16384;
+/// Saturating weight range (signed 6-bit).
+const WEIGHT_MAX: i8 = 31;
+const WEIGHT_MIN: i8 = -32;
+/// History lengths per table (0 = bias table).
+const HISTORY_LENGTHS: [u32; NUM_TABLES] = [0, 3, 6, 12, 18, 27, 40, 60];
+
+/// Direction prediction with the raw perceptron output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Direction {
+    /// Predicted taken?
+    pub taken: bool,
+    /// Perceptron sum; |sum| is the confidence.
+    pub output: i32,
+}
+
+/// Hashed perceptron direction predictor with a 64-bit global history.
+#[derive(Debug, Clone)]
+pub struct HashedPerceptron {
+    tables: Vec<[i8; TABLE_ENTRIES]>,
+    ghr: u64,
+    threshold: i32,
+    /// Counter for dynamic threshold adaptation (Seznec-style).
+    tc: i32,
+    predictions: u64,
+    mispredictions: u64,
+}
+
+impl Default for HashedPerceptron {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HashedPerceptron {
+    /// A zero-initialized predictor.
+    pub fn new() -> Self {
+        HashedPerceptron {
+            tables: vec![[0i8; TABLE_ENTRIES]; NUM_TABLES],
+            ghr: 0,
+            threshold: (1.93 * NUM_TABLES as f64 + 14.0) as i32,
+            tc: 0,
+            predictions: 0,
+            mispredictions: 0,
+        }
+    }
+
+    #[inline]
+    fn index(&self, table: usize, pc: Addr) -> usize {
+        let hist_len = HISTORY_LENGTHS[table];
+        let hist = if hist_len == 0 {
+            0
+        } else {
+            self.ghr & ((1u64 << hist_len.min(63)) - 1)
+        };
+        // Mix pc and the history slice; constants from splitmix64.
+        let mut x = (pc >> 2) ^ hist.wrapping_mul(0xbf58_476d_1ce4_e5b9) ^ (table as u64) << 60;
+        x ^= x >> 31;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 29;
+        (x % TABLE_ENTRIES as u64) as usize
+    }
+
+    fn output(&self, pc: Addr) -> i32 {
+        (0..NUM_TABLES)
+            .map(|t| self.tables[t][self.index(t, pc)] as i32)
+            .sum()
+    }
+
+    /// Predicts the direction of the conditional branch at `pc`.
+    pub fn predict(&mut self, pc: Addr) -> Direction {
+        self.predictions += 1;
+        let output = self.output(pc);
+        Direction {
+            taken: output >= 0,
+            output,
+        }
+    }
+
+    /// Trains on the resolved outcome and shifts the global history.
+    ///
+    /// Call exactly once per conditional branch, after `predict`.
+    pub fn train(&mut self, pc: Addr, taken: bool, predicted: Direction) {
+        let mispredicted = predicted.taken != taken;
+        if mispredicted {
+            self.mispredictions += 1;
+        }
+        if mispredicted || predicted.output.abs() <= self.threshold {
+            for t in 0..NUM_TABLES {
+                let idx = self.index(t, pc);
+                let w = &mut self.tables[t][idx];
+                *w = if taken {
+                    (*w + 1).min(WEIGHT_MAX)
+                } else {
+                    (*w - 1).max(WEIGHT_MIN)
+                };
+            }
+            // Adaptive threshold (helps across workload diversity).
+            self.tc += if mispredicted { 1 } else { -1 };
+            if self.tc.abs() >= 64 {
+                self.threshold = (self.threshold + self.tc.signum()).clamp(4, 128);
+                self.tc = 0;
+            }
+        }
+        self.push_history(taken);
+    }
+
+    /// Records the direction of a non-conditional control transfer in the
+    /// history (unconditional branches shift a `taken` bit, matching the
+    /// common implementation).
+    pub fn push_history(&mut self, taken: bool) {
+        self.ghr = (self.ghr << 1) | taken as u64;
+    }
+
+    /// `(predictions, mispredictions)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.predictions, self.mispredictions)
+    }
+
+    /// Zeroes statistics (end of warmup), keeping learned weights.
+    pub fn reset_stats(&mut self) {
+        self.predictions = 0;
+        self.mispredictions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_always_taken() {
+        let mut p = HashedPerceptron::new();
+        let pc = 0x4000;
+        for _ in 0..64 {
+            let d = p.predict(pc);
+            p.train(pc, true, d);
+        }
+        assert!(p.predict(pc).taken);
+        let (preds, misses) = p.stats();
+        assert!(preds > 0);
+        // After warmup the branch must predict correctly.
+        assert!(misses < preds / 2, "{misses}/{preds} mispredictions");
+    }
+
+    #[test]
+    fn learns_alternating_pattern_with_history() {
+        let mut p = HashedPerceptron::new();
+        let pc = 0x8000;
+        let mut outcome = false;
+        // Warm up on a strict alternation.
+        for _ in 0..2000 {
+            let d = p.predict(pc);
+            p.train(pc, outcome, d);
+            outcome = !outcome;
+        }
+        // Measure accuracy on the next 200.
+        let mut correct = 0;
+        for _ in 0..200 {
+            let d = p.predict(pc);
+            if d.taken == outcome {
+                correct += 1;
+            }
+            p.train(pc, outcome, d);
+            outcome = !outcome;
+        }
+        assert!(correct > 180, "only {correct}/200 correct on alternation");
+    }
+
+    #[test]
+    fn distinct_pcs_learn_independently() {
+        let mut p = HashedPerceptron::new();
+        for _ in 0..200 {
+            let d1 = p.predict(0x1000);
+            p.train(0x1000, true, d1);
+            let d2 = p.predict(0x2000);
+            p.train(0x2000, false, d2);
+        }
+        assert!(p.predict(0x1000).taken);
+        assert!(!p.predict(0x2000).taken);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut p = HashedPerceptron::new();
+        let d = p.predict(0x10);
+        p.train(0x10, true, d);
+        p.reset_stats();
+        assert_eq!(p.stats(), (0, 0));
+    }
+}

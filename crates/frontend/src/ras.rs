@@ -1,0 +1,103 @@
+//! Return address stack.
+
+use ubs_trace::Addr;
+
+/// A fixed-depth return address stack with wrap-around on overflow
+/// (standard hardware behaviour: the oldest entry is silently clobbered).
+#[derive(Debug, Clone)]
+pub struct Ras {
+    slots: Vec<Addr>,
+    top: usize,
+    depth: usize,
+    len: usize,
+}
+
+impl Ras {
+    /// A RAS holding up to `depth` return addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "RAS depth must be positive");
+        Ras {
+            slots: vec![0; depth],
+            top: 0,
+            depth,
+            len: 0,
+        }
+    }
+
+    /// Pushes a return address (a call retired).
+    pub fn push(&mut self, addr: Addr) {
+        self.top = (self.top + 1) % self.depth;
+        self.slots[self.top] = addr;
+        self.len = (self.len + 1).min(self.depth);
+    }
+
+    /// Pops the predicted return target; `None` when empty (cold stack or
+    /// underflow after overflow-clobbering).
+    pub fn pop(&mut self) -> Option<Addr> {
+        if self.len == 0 {
+            return None;
+        }
+        let addr = self.slots[self.top];
+        self.top = (self.top + self.depth - 1) % self.depth;
+        self.len -= 1;
+        Some(addr)
+    }
+
+    /// The address a return would be predicted to, without popping.
+    pub fn peek(&self) -> Option<Addr> {
+        (self.len > 0).then(|| self.slots[self.top])
+    }
+
+    /// Current number of valid entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the stack has no valid entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_lifo() {
+        let mut r = Ras::new(4);
+        r.push(0x10);
+        r.push(0x20);
+        assert_eq!(r.peek(), Some(0x20));
+        assert_eq!(r.pop(), Some(0x20));
+        assert_eq!(r.pop(), Some(0x10));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn overflow_clobbers_oldest() {
+        let mut r = Ras::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // clobbers 1
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn len_tracks() {
+        let mut r = Ras::new(3);
+        assert!(r.is_empty());
+        r.push(1);
+        assert_eq!(r.len(), 1);
+        r.push(2);
+        r.push(3);
+        r.push(4);
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the front-end structures.
+
+use proptest::prelude::*;
+use ubs_frontend::{Btb, Ftq, HashedPerceptron, Ras};
+use ubs_trace::{BranchKind, FetchRange};
+
+proptest! {
+    /// The RAS is a bounded LIFO: with fewer pushes than capacity, pops
+    /// return pushed addresses in exact reverse order.
+    #[test]
+    fn ras_lifo(addrs in prop::collection::vec(1u64..1_000_000, 1..32)) {
+        let mut ras = Ras::new(64);
+        for &a in &addrs {
+            ras.push(a);
+        }
+        for &a in addrs.iter().rev() {
+            prop_assert_eq!(ras.pop(), Some(a));
+        }
+        prop_assert_eq!(ras.pop(), None);
+    }
+
+    /// BTB lookups after an update return the latest target, for any
+    /// interleaving of updates.
+    #[test]
+    fn btb_returns_latest_target(updates in prop::collection::vec((0u64..4096, 1u64..1_000_000), 1..200)) {
+        let mut btb = Btb::new(512, 4);
+        let mut last: std::collections::HashMap<u64, u64> = Default::default();
+        for (pc4, target) in updates {
+            let pc = pc4 * 4;
+            btb.update(pc, target, BranchKind::DirectJump);
+            last.insert(pc, target);
+            // The just-updated entry must be present with the new target.
+            prop_assert_eq!(btb.probe(pc).map(|e| e.target), Some(target));
+        }
+        // Any still-resident entry must carry its most recent target.
+        for (&pc, &target) in &last {
+            if let Some(e) = btb.probe(pc) {
+                prop_assert_eq!(e.target, target, "stale target for {:#x}", pc);
+            }
+        }
+    }
+
+    /// The perceptron's stats never report more mispredictions than
+    /// predictions, under arbitrary outcome streams.
+    #[test]
+    fn perceptron_stats_sane(outcomes in prop::collection::vec((0u64..64, any::<bool>()), 1..500)) {
+        let mut p = HashedPerceptron::new();
+        for (pc16, taken) in outcomes {
+            let pc = 0x1000 + pc16 * 16;
+            let d = p.predict(pc);
+            p.train(pc, taken, d);
+        }
+        let (preds, misses) = p.stats();
+        prop_assert!(misses <= preds);
+        prop_assert!(preds >= 1);
+    }
+
+    /// FTQ preserves order and never yields an unprefetched entry twice.
+    #[test]
+    fn ftq_prefetch_exactly_once(ops in prop::collection::vec((any::<bool>(), 1u32..64), 1..200)) {
+        let mut ftq = Ftq::new(32);
+        let mut pushed = 0u64;
+        let mut popped = 0u64;
+        let mut prefetched = Vec::new();
+        for (is_push, bytes) in ops {
+            if is_push && !ftq.is_full() {
+                ftq.push(FetchRange::new(pushed * 256, bytes));
+                pushed += 1;
+            } else if ftq.pop().is_some() {
+                popped += 1;
+            }
+            for r in ftq.take_unprefetched(2) {
+                prefetched.push(r.start);
+            }
+        }
+        prop_assert_eq!(ftq.len() as u64, pushed - popped);
+        // Each pushed range has a distinct start; no duplicates allowed.
+        let mut sorted = prefetched.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), prefetched.len(), "an entry was prefetched twice");
+    }
+}

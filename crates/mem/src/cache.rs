@@ -1,0 +1,395 @@
+//! Generic set-associative cache over fixed-size blocks.
+//!
+//! [`SetAssocCache`] stores *presence*, not data — this is a trace-driven
+//! performance model — plus caller-defined per-block metadata `M` (the
+//! conventional L1-I uses a byte-usage bit-vector there for the paper's
+//! storage-efficiency measurements).
+//!
+//! Blocks are identified by a [`BlockKey`]: the byte address divided by the
+//! cache's block size. For the ubiquitous 64-byte caches this is simply
+//! [`ubs_trace::Line::number`]; the 16-/32-byte-block designs of paper
+//! §VI-G derive their keys at their own granularity.
+
+use crate::replacement::{PolicyKind, Replacement};
+use ubs_trace::{Addr, Line, BLOCK_BYTES};
+
+/// Identifies a block at this cache's granularity: `byte_addr / block_bytes`.
+pub type BlockKey = u64;
+
+/// Geometry and policy of a set-associative cache.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CacheConfig {
+    /// Display name for reports (e.g. `"L1I"`).
+    pub name: String,
+    /// Total data capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Block size in bytes (64 across the paper's hierarchy).
+    pub block_bytes: usize,
+    /// Replacement policy.
+    pub policy: PolicyKind,
+}
+
+impl CacheConfig {
+    /// A conventional LRU cache of `size_bytes` with `ways` ways and
+    /// 64-byte blocks.
+    pub fn lru(name: impl Into<String>, size_bytes: usize, ways: usize) -> Self {
+        CacheConfig {
+            name: name.into(),
+            size_bytes,
+            ways,
+            block_bytes: BLOCK_BYTES as usize,
+            policy: PolicyKind::Lru,
+        }
+    }
+
+    /// The block key of the block containing `addr` at this block size.
+    #[inline]
+    pub fn key_of(&self, addr: Addr) -> BlockKey {
+        addr / self.block_bytes as u64
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly or is zero-sized.
+    pub fn sets(&self) -> usize {
+        assert!(self.ways > 0 && self.block_bytes > 0, "degenerate geometry");
+        let denom = self.ways * self.block_bytes;
+        assert!(
+            self.size_bytes % denom == 0 && self.size_bytes > 0,
+            "{}: size {} not divisible by ways*block {}",
+            self.name,
+            self.size_bytes,
+            denom
+        );
+        self.size_bytes / denom
+    }
+}
+
+/// A filled block slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Slot<M> {
+    key: BlockKey,
+    meta: M,
+}
+
+/// A block evicted by [`SetAssocCache::fill`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evicted<M> {
+    /// The evicted block's key.
+    pub key: BlockKey,
+    /// Its metadata at eviction time.
+    pub meta: M,
+}
+
+impl<M> Evicted<M> {
+    /// The evicted block as a 64-byte [`Line`] — only meaningful for caches
+    /// with 64-byte blocks.
+    pub fn line(&self) -> Line {
+        Line::from_number(self.key)
+    }
+}
+
+/// Set-associative presence cache with per-block metadata `M`.
+#[derive(Debug)]
+pub struct SetAssocCache<M = ()> {
+    config: CacheConfig,
+    sets: usize,
+    slots: Vec<Option<Slot<M>>>, // sets × ways
+    policy: Box<dyn Replacement + Send>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<M> SetAssocCache<M> {
+    /// Builds an empty cache from `config`.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        let ways = config.ways;
+        let policy = config.policy.build(sets, ways);
+        let mut slots = Vec::with_capacity(sets * ways);
+        slots.resize_with(sets * ways, || None);
+        SetAssocCache {
+            config,
+            sets,
+            slots,
+            policy,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration this cache was built from.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Demand hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Demand misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Set index for `key`.
+    #[inline]
+    pub fn set_index(&self, key: BlockKey) -> usize {
+        (key % self.sets as u64) as usize
+    }
+
+    #[inline]
+    fn slot_idx(&self, set: usize, way: usize) -> usize {
+        set * self.config.ways + way
+    }
+
+    fn find_way(&self, key: BlockKey) -> Option<usize> {
+        let set = self.set_index(key);
+        (0..self.config.ways).find(|&w| {
+            self.slots[self.slot_idx(set, w)]
+                .as_ref()
+                .is_some_and(|s| s.key == key)
+        })
+    }
+
+    /// Whether `key` is present (no statistics or recency update).
+    pub fn contains(&self, key: BlockKey) -> bool {
+        self.find_way(key).is_some()
+    }
+
+    /// Demand access: returns `true` on hit and updates recency + counters.
+    pub fn access(&mut self, key: BlockKey) -> bool {
+        match self.find_way(key) {
+            Some(way) => {
+                let set = self.set_index(key);
+                self.policy.on_hit(set, way);
+                self.hits += 1;
+                true
+            }
+            None => {
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Recency-updating probe without hit/miss accounting (used by fills
+    /// that promote existing blocks and by prefetch probes).
+    pub fn touch(&mut self, key: BlockKey) -> bool {
+        match self.find_way(key) {
+            Some(way) => {
+                let set = self.set_index(key);
+                self.policy.on_hit(set, way);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Mutable metadata access for a present block.
+    pub fn meta_mut(&mut self, key: BlockKey) -> Option<&mut M> {
+        let way = self.find_way(key)?;
+        let set = self.set_index(key);
+        let idx = self.slot_idx(set, way);
+        self.slots[idx].as_mut().map(|s| &mut s.meta)
+    }
+
+    /// Shared metadata access for a present block.
+    pub fn meta(&self, key: BlockKey) -> Option<&M> {
+        let way = self.find_way(key)?;
+        let set = self.set_index(key);
+        self.slots[self.slot_idx(set, way)].as_ref().map(|s| &s.meta)
+    }
+
+    /// Inserts `key`; returns the evicted block, if any.
+    ///
+    /// Filling an already-present key replaces its metadata and refreshes
+    /// recency without evicting anything.
+    pub fn fill(&mut self, key: BlockKey, meta: M) -> Option<Evicted<M>> {
+        let set = self.set_index(key);
+        if let Some(way) = self.find_way(key) {
+            let idx = self.slot_idx(set, way);
+            self.slots[idx] = Some(Slot { key, meta });
+            self.policy.on_fill(set, way);
+            return None;
+        }
+        // Prefer an invalid way.
+        let way = (0..self.config.ways)
+            .find(|&w| self.slots[self.slot_idx(set, w)].is_none())
+            .unwrap_or_else(|| {
+                let all: Vec<usize> = (0..self.config.ways).collect();
+                self.policy.victim(set, &all)
+            });
+        let idx = self.slot_idx(set, way);
+        let evicted = self.slots[idx].take().map(|s| Evicted {
+            key: s.key,
+            meta: s.meta,
+        });
+        self.slots[idx] = Some(Slot { key, meta });
+        self.policy.on_fill(set, way);
+        evicted
+    }
+
+    /// Removes `key`, returning its metadata if it was present.
+    pub fn invalidate(&mut self, key: BlockKey) -> Option<M> {
+        let way = self.find_way(key)?;
+        let set = self.set_index(key);
+        let idx = self.slot_idx(set, way);
+        self.policy.on_invalidate(set, way);
+        self.slots[idx].take().map(|s| s.meta)
+    }
+
+    /// Iterates over all resident blocks as `(key, &meta)`.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockKey, &M)> + '_ {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|s| (s.key, &s.meta)))
+    }
+
+    /// Number of valid blocks currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Drops all blocks and zeroes statistics.
+    pub fn reset(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Zeroes hit/miss statistics, keeping contents (end-of-warmup).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache<u32> {
+        // 2 sets × 2 ways × 64B = 256B
+        SetAssocCache::new(CacheConfig::lru("t", 256, 2))
+    }
+
+    #[test]
+    fn sets_math() {
+        assert_eq!(CacheConfig::lru("l1i", 32 << 10, 8).sets(), 64);
+        assert_eq!(CacheConfig::lru("l2", 512 << 10, 8).sets(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn bad_geometry_panics() {
+        CacheConfig::lru("bad", 1000, 3).sets();
+    }
+
+    #[test]
+    fn key_of_uses_block_size() {
+        let c = CacheConfig {
+            block_bytes: 16,
+            ..CacheConfig::lru("s", 512, 2)
+        };
+        assert_eq!(c.key_of(0), 0);
+        assert_eq!(c.key_of(16), 1);
+        assert_eq!(c.key_of(63), 3);
+        assert_eq!(CacheConfig::lru("l", 512, 2).key_of(63), 0);
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut c = small();
+        assert!(!c.access(0));
+        c.fill(0, 1);
+        assert!(c.access(0));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn eviction_returns_victim_meta() {
+        let mut c = small();
+        // Keys 0, 2, 4 all map to set 0 (2 sets).
+        c.fill(0, 10);
+        c.fill(2, 20);
+        let ev = c.fill(4, 30).expect("must evict");
+        assert_eq!(ev.key, 0);
+        assert_eq!(ev.meta, 10);
+        assert!(c.contains(2) && c.contains(4));
+    }
+
+    #[test]
+    fn lru_respected_by_fill() {
+        let mut c = small();
+        c.fill(0, 0);
+        c.fill(2, 0);
+        assert!(c.access(0)); // 0 MRU, 2 LRU
+        let ev = c.fill(4, 0).unwrap();
+        assert_eq!(ev.key, 2);
+    }
+
+    #[test]
+    fn refill_existing_key_does_not_evict() {
+        let mut c = small();
+        c.fill(0, 1);
+        c.fill(2, 2);
+        assert!(c.fill(0, 9).is_none());
+        assert_eq!(*c.meta(0).unwrap(), 9);
+        assert!(c.contains(2));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = small();
+        c.fill(0, 5);
+        assert_eq!(c.invalidate(0), Some(5));
+        assert!(!c.contains(0));
+        assert_eq!(c.invalidate(0), None);
+    }
+
+    #[test]
+    fn occupancy_and_iter() {
+        let mut c = small();
+        c.fill(0, 1);
+        c.fill(1, 2);
+        assert_eq!(c.occupancy(), 2);
+        let mut got: Vec<u64> = c.iter().map(|(k, _)| k).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = small();
+        c.fill(0, 1);
+        c.access(0);
+        c.reset();
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.hits(), 0);
+    }
+
+    #[test]
+    fn touch_refreshes_without_counting() {
+        let mut c = small();
+        c.fill(0, 0);
+        c.fill(2, 0);
+        assert!(c.touch(2)); // 2 MRU now, no hit counted
+        assert_eq!(c.hits(), 0);
+        let ev = c.fill(4, 0).unwrap();
+        assert_eq!(ev.key, 0);
+    }
+}

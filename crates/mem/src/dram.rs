@@ -1,0 +1,197 @@
+//! DRAM timing model.
+//!
+//! Models the paper's Table I memory: DDR-3200, one channel, one rank,
+//! eight banks with open-row policy and tRP = tRCD = tCAS = 12.5 ns. Times
+//! are expressed in core cycles at the conventional 4 GHz ChampSim core
+//! clock, so 12.5 ns = 50 cycles.
+
+use ubs_trace::Addr;
+
+/// DRAM timing and geometry, in core cycles.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DramConfig {
+    /// Number of banks on the single rank/channel.
+    pub banks: usize,
+    /// Row precharge, in core cycles.
+    pub t_rp: u64,
+    /// Row activate (RAS-to-CAS), in core cycles.
+    pub t_rcd: u64,
+    /// Column access, in core cycles.
+    pub t_cas: u64,
+    /// Data burst transfer for one 64-byte block, in core cycles.
+    pub t_burst: u64,
+    /// Row (page) size in bytes.
+    pub row_bytes: u64,
+}
+
+impl DramConfig {
+    /// Table I configuration: 8 banks, 12.5 ns tRP/tRCD/tCAS at a 4 GHz
+    /// core (50 cycles each), 8 KiB rows, 4-cycle burst.
+    pub fn paper() -> Self {
+        DramConfig {
+            banks: 8,
+            t_rp: 50,
+            t_rcd: 50,
+            t_cas: 50,
+            t_burst: 4,
+            row_bytes: 8 << 10,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: u64,
+}
+
+/// Open-row DRAM with per-bank busy tracking.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    config: DramConfig,
+    banks: Vec<Bank>,
+    row_hits: u64,
+    row_misses: u64,
+    row_conflicts: u64,
+}
+
+impl Dram {
+    /// An idle DRAM with all rows closed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero banks or zero-sized rows.
+    pub fn new(config: DramConfig) -> Self {
+        assert!(config.banks > 0, "DRAM needs at least one bank");
+        assert!(config.row_bytes > 0, "DRAM rows must be non-empty");
+        let banks = vec![Bank::default(); config.banks];
+        Dram {
+            config,
+            banks,
+            row_hits: 0,
+            row_misses: 0,
+            row_conflicts: 0,
+        }
+    }
+
+    /// The timing configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Row-buffer hits observed.
+    pub fn row_hits(&self) -> u64 {
+        self.row_hits
+    }
+
+    /// Accesses to banks with no open row.
+    pub fn row_misses(&self) -> u64 {
+        self.row_misses
+    }
+
+    /// Accesses that had to close another row first.
+    pub fn row_conflicts(&self) -> u64 {
+        self.row_conflicts
+    }
+
+    /// Issues a 64-byte read of `addr` at cycle `now`; returns the cycle the
+    /// data is available at the memory controller.
+    pub fn access(&mut self, addr: Addr, now: u64) -> u64 {
+        let c = &self.config;
+        let bank_idx = ((addr / c.row_bytes) % c.banks as u64) as usize;
+        let row = addr / (c.row_bytes * c.banks as u64);
+        let bank = &mut self.banks[bank_idx];
+
+        let start = now.max(bank.busy_until);
+        let access_lat = match bank.open_row {
+            Some(open) if open == row => {
+                self.row_hits += 1;
+                c.t_cas
+            }
+            Some(_) => {
+                self.row_conflicts += 1;
+                c.t_rp + c.t_rcd + c.t_cas
+            }
+            None => {
+                self.row_misses += 1;
+                c.t_rcd + c.t_cas
+            }
+        };
+        bank.open_row = Some(row);
+        let ready = start + access_lat + c.t_burst;
+        bank.busy_until = ready;
+        ready
+    }
+
+    /// Closes all rows and zeroes statistics.
+    pub fn reset(&mut self) {
+        for b in &mut self.banks {
+            *b = Bank::default();
+        }
+        self.row_hits = 0;
+        self.row_misses = 0;
+        self.row_conflicts = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_is_row_miss() {
+        let mut d = Dram::new(DramConfig::paper());
+        let t = d.access(0, 0);
+        assert_eq!(t, 50 + 50 + 4); // tRCD + tCAS + burst
+        assert_eq!(d.row_misses(), 1);
+    }
+
+    #[test]
+    fn same_row_hits_are_fast() {
+        let mut d = Dram::new(DramConfig::paper());
+        let t1 = d.access(0, 0);
+        let t2 = d.access(64, t1);
+        assert_eq!(t2 - t1, 50 + 4); // tCAS + burst
+        assert_eq!(d.row_hits(), 1);
+    }
+
+    #[test]
+    fn different_row_same_bank_conflicts() {
+        let cfg = DramConfig::paper();
+        let stride = cfg.row_bytes * cfg.banks as u64; // same bank, next row
+        let mut d = Dram::new(cfg);
+        let t1 = d.access(0, 0);
+        let t2 = d.access(stride, t1);
+        assert_eq!(t2 - t1, 50 + 50 + 50 + 4);
+        assert_eq!(d.row_conflicts(), 1);
+    }
+
+    #[test]
+    fn busy_bank_serializes() {
+        let mut d = Dram::new(DramConfig::paper());
+        let t1 = d.access(0, 0);
+        // Second access issued while the bank is still busy must queue.
+        let t2 = d.access(64, 0);
+        assert!(t2 > t1);
+        assert_eq!(t2, t1 + 50 + 4);
+    }
+
+    #[test]
+    fn different_banks_overlap() {
+        let cfg = DramConfig::paper();
+        let mut d = Dram::new(cfg.clone());
+        let t1 = d.access(0, 0);
+        let t2 = d.access(cfg.row_bytes, 0); // bank 1
+        assert_eq!(t1, t2, "independent banks should not serialize");
+    }
+
+    #[test]
+    fn reset_closes_rows() {
+        let mut d = Dram::new(DramConfig::paper());
+        d.access(0, 0);
+        d.reset();
+        assert_eq!(d.row_hits() + d.row_misses() + d.row_conflicts(), 0);
+        d.access(64, 0);
+        assert_eq!(d.row_misses(), 1, "row closed after reset");
+    }
+}

@@ -1,0 +1,193 @@
+//! The shared lower-level cache hierarchy: L2 → L3 → DRAM.
+//!
+//! The L1 caches (instruction side: conventional/UBS designs in `ubs-core`;
+//! data side: in `ubs-uarch`) send block fetches here. The hierarchy is a
+//! latency model: each level adds its Table I access latency, blocks are
+//! filled on the way back, and DRAM adds bank/row timing. Per-level MSHR
+//! contention below L1 is not modelled (a deliberate simplification — the
+//! paper's experiments are sensitive to L1-I behaviour and overall miss
+//! latency, both of which are preserved).
+
+use crate::cache::{CacheConfig, SetAssocCache};
+use crate::dram::{Dram, DramConfig};
+use ubs_trace::Line;
+
+/// Configuration of the L2/L3/DRAM chain.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HierarchyConfig {
+    /// L2 geometry (Table I: 512 KiB, 8-way, LRU).
+    pub l2: CacheConfig,
+    /// L2 access latency in cycles (Table I: 12).
+    pub l2_latency: u64,
+    /// L3 geometry (Table I: 2 MiB, 16-way, LRU).
+    pub l3: CacheConfig,
+    /// L3 access latency in cycles (Table I: 30).
+    pub l3_latency: u64,
+    /// DRAM timing.
+    pub dram: DramConfig,
+}
+
+impl HierarchyConfig {
+    /// The paper's Table I hierarchy.
+    pub fn paper() -> Self {
+        HierarchyConfig {
+            l2: CacheConfig::lru("L2", 512 << 10, 8),
+            l2_latency: 12,
+            l3: CacheConfig::lru("L3", 2 << 20, 16),
+            l3_latency: 30,
+            dram: DramConfig::paper(),
+        }
+    }
+}
+
+/// Where a block fetch was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillSource {
+    /// Served by the L2 cache.
+    L2,
+    /// Served by the last-level cache.
+    L3,
+    /// Served by DRAM.
+    Dram,
+}
+
+/// Result of a hierarchy fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchResult {
+    /// Cycle at which the 64-byte block arrives at the requesting L1.
+    pub ready_at: u64,
+    /// The level that supplied the data.
+    pub source: FillSource,
+}
+
+/// L2 → L3 → DRAM chain shared by the instruction and data L1 caches.
+#[derive(Debug)]
+pub struct MemoryHierarchy {
+    l2: SetAssocCache<()>,
+    l3: SetAssocCache<()>,
+    dram: Dram,
+    l2_latency: u64,
+    l3_latency: u64,
+}
+
+impl MemoryHierarchy {
+    /// An empty hierarchy from `config`.
+    pub fn new(config: HierarchyConfig) -> Self {
+        MemoryHierarchy {
+            l2: SetAssocCache::new(config.l2),
+            l3: SetAssocCache::new(config.l3),
+            dram: Dram::new(config.dram),
+            l2_latency: config.l2_latency,
+            l3_latency: config.l3_latency,
+        }
+    }
+
+    /// The paper's Table I hierarchy, empty.
+    pub fn paper() -> Self {
+        Self::new(HierarchyConfig::paper())
+    }
+
+    /// Fetches `line` for an L1 at cycle `now`, filling L2/L3 on the way.
+    pub fn fetch_block(&mut self, line: Line, now: u64) -> FetchResult {
+        let key = line.number();
+        if self.l2.access(key) {
+            return FetchResult {
+                ready_at: now + self.l2_latency,
+                source: FillSource::L2,
+            };
+        }
+        let after_l2 = now + self.l2_latency;
+        if self.l3.access(key) {
+            self.l2.fill(key, ());
+            return FetchResult {
+                ready_at: after_l2 + self.l3_latency,
+                source: FillSource::L3,
+            };
+        }
+        let after_l3 = after_l2 + self.l3_latency;
+        let ready_at = self.dram.access(line.base_addr(), after_l3);
+        self.l3.fill(key, ());
+        self.l2.fill(key, ());
+        FetchResult {
+            ready_at,
+            source: FillSource::Dram,
+        }
+    }
+
+    /// L2-level statistics `(hits, misses)`.
+    pub fn l2_stats(&self) -> (u64, u64) {
+        (self.l2.hits(), self.l2.misses())
+    }
+
+    /// L3-level statistics `(hits, misses)`.
+    pub fn l3_stats(&self) -> (u64, u64) {
+        (self.l3.hits(), self.l3.misses())
+    }
+
+    /// The DRAM model (row-buffer statistics).
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// Zeroes statistics, keeping cache contents (end of warmup).
+    pub fn reset_stats(&mut self) {
+        self.l2.reset_stats();
+        self.l3.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> Line {
+        Line::from_number(n)
+    }
+
+    #[test]
+    fn cold_fetch_goes_to_dram_and_fills() {
+        let mut h = MemoryHierarchy::paper();
+        let r = h.fetch_block(line(5), 0);
+        assert_eq!(r.source, FillSource::Dram);
+        // 12 (L2) + 30 (L3) + 104 (row miss + burst)
+        assert_eq!(r.ready_at, 12 + 30 + 104);
+        // Second fetch hits in L2.
+        let r2 = h.fetch_block(line(5), 1000);
+        assert_eq!(r2.source, FillSource::L2);
+        assert_eq!(r2.ready_at, 1012);
+    }
+
+    #[test]
+    fn l3_hit_after_l2_eviction() {
+        let mut h = MemoryHierarchy::paper();
+        h.fetch_block(line(5), 0);
+        // Evict line 5 from L2 by filling its set (1024 sets, 8 ways).
+        for i in 0..9u64 {
+            h.fetch_block(line(5 + (i + 1) * 1024), 0);
+        }
+        let r = h.fetch_block(line(5), 10_000);
+        assert_eq!(r.source, FillSource::L3);
+        assert_eq!(r.ready_at, 10_000 + 12 + 30);
+    }
+
+    #[test]
+    fn stats_track_levels() {
+        let mut h = MemoryHierarchy::paper();
+        h.fetch_block(line(1), 0);
+        h.fetch_block(line(1), 0);
+        let (l2h, l2m) = h.l2_stats();
+        assert_eq!((l2h, l2m), (1, 1));
+        let (l3h, l3m) = h.l3_stats();
+        assert_eq!((l3h, l3m), (0, 1));
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut h = MemoryHierarchy::paper();
+        h.fetch_block(line(1), 0);
+        h.reset_stats();
+        let r = h.fetch_block(line(1), 0);
+        assert_eq!(r.source, FillSource::L2, "contents survive stats reset");
+        assert_eq!(h.l2_stats(), (1, 0));
+    }
+}

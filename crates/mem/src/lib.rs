@@ -1,0 +1,37 @@
+//! # ubs-mem — cache substrate for the UBS reproduction
+//!
+//! Building blocks shared by every cache design in the repository:
+//!
+//! - [`SetAssocCache`]: a generic set-associative presence cache with
+//!   per-block metadata;
+//! - [`replacement`]: pluggable, candidate-aware replacement policies (LRU,
+//!   FIFO, random, SRRIP) — candidate-awareness is what lets the UBS cache
+//!   reuse plain LRU over its 4-way placement window (paper §IV-F);
+//! - [`MshrFile`]: miss status holding registers with prefetch merging;
+//! - [`MemoryHierarchy`]: the Table I L2 → L3 → DRAM chain;
+//! - [`Dram`]: open-row DRAM timing.
+//!
+//! ## Example
+//!
+//! ```
+//! use ubs_mem::{CacheConfig, SetAssocCache};
+//! let mut l1: SetAssocCache<()> = SetAssocCache::new(CacheConfig::lru("L1I", 32 << 10, 8));
+//! assert!(!l1.access(0x400));      // cold miss
+//! l1.fill(0x400, ());
+//! assert!(l1.access(0x400));       // hit
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cache;
+mod dram;
+mod hierarchy;
+mod mshr;
+pub mod replacement;
+
+pub use cache::{BlockKey, CacheConfig, Evicted, SetAssocCache};
+pub use dram::{Dram, DramConfig};
+pub use hierarchy::{FetchResult, FillSource, HierarchyConfig, MemoryHierarchy};
+pub use mshr::{Allocate, Mshr, MshrFile};
+pub use replacement::{PolicyKind, Replacement};

@@ -1,0 +1,218 @@
+//! Miss status holding registers (MSHRs).
+//!
+//! An [`MshrFile`] tracks in-flight fills for one cache level. Each entry
+//! remembers when its data arrives (`ready_at`) and whether the request was
+//! initiated by a prefetcher; a demand access that finds an in-flight
+//! prefetch *merges* with it and is counted as a late-prefetch partial hit —
+//! exactly the effect the paper's "stall cycles covered" metric is designed
+//! to capture (§VI-C).
+
+use ubs_trace::Line;
+
+/// One in-flight miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mshr {
+    /// The 64-byte block being fetched.
+    pub line: Line,
+    /// Cycle at which the fill data arrives.
+    pub ready_at: u64,
+    /// Whether the request was initiated by a prefetcher.
+    pub is_prefetch: bool,
+}
+
+/// Outcome of [`MshrFile::allocate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Allocate {
+    /// A new entry was created.
+    Fresh,
+    /// The block was already in flight; `ready_at` of the existing entry is
+    /// returned. A demand request landing on a prefetch entry promotes it.
+    Merged {
+        /// Arrival cycle of the pre-existing request.
+        ready_at: u64,
+        /// Whether the pre-existing request was a prefetch (before any
+        /// promotion by this call).
+        was_prefetch: bool,
+    },
+    /// No free entry: the requester must stall and retry.
+    Full,
+}
+
+/// A fixed-capacity MSHR file.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: Vec<Mshr>,
+    capacity: usize,
+    merges: u64,
+    rejects: u64,
+}
+
+impl MshrFile {
+    /// An empty file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be positive");
+        MshrFile {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            merges: 0,
+            rejects: 0,
+        }
+    }
+
+    /// Current number of in-flight misses.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no misses are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the file is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Number of merged (secondary) misses observed.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Number of allocations rejected because the file was full.
+    pub fn rejects(&self) -> u64 {
+        self.rejects
+    }
+
+    /// The in-flight entry for `line`, if any.
+    pub fn get(&self, line: Line) -> Option<&Mshr> {
+        self.entries.iter().find(|m| m.line == line)
+    }
+
+    /// Requests `line`, arriving at `ready_at`.
+    ///
+    /// A demand request (`is_prefetch == false`) that merges with an
+    /// in-flight prefetch promotes the entry to demand status.
+    pub fn allocate(&mut self, line: Line, ready_at: u64, is_prefetch: bool) -> Allocate {
+        if let Some(e) = self.entries.iter_mut().find(|m| m.line == line) {
+            self.merges += 1;
+            let was_prefetch = e.is_prefetch;
+            if !is_prefetch {
+                e.is_prefetch = false;
+            }
+            return Allocate::Merged {
+                ready_at: e.ready_at,
+                was_prefetch,
+            };
+        }
+        if self.is_full() {
+            self.rejects += 1;
+            return Allocate::Full;
+        }
+        self.entries.push(Mshr {
+            line,
+            ready_at,
+            is_prefetch,
+        });
+        Allocate::Fresh
+    }
+
+    /// Removes and returns every entry whose data has arrived by `now`.
+    pub fn drain_ready(&mut self, now: u64) -> Vec<Mshr> {
+        let mut ready = Vec::new();
+        self.entries.retain(|m| {
+            if m.ready_at <= now {
+                ready.push(*m);
+                false
+            } else {
+                true
+            }
+        });
+        ready
+    }
+
+    /// Earliest arrival cycle among in-flight entries.
+    pub fn next_ready_at(&self) -> Option<u64> {
+        self.entries.iter().map(|m| m.ready_at).min()
+    }
+
+    /// Drops all in-flight entries (simulation reset).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.merges = 0;
+        self.rejects = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> Line {
+        Line::from_number(n)
+    }
+
+    #[test]
+    fn allocate_and_drain() {
+        let mut f = MshrFile::new(2);
+        assert_eq!(f.allocate(line(1), 10, false), Allocate::Fresh);
+        assert_eq!(f.allocate(line(2), 20, true), Allocate::Fresh);
+        assert!(f.is_full());
+        assert_eq!(f.allocate(line(3), 30, false), Allocate::Full);
+        assert_eq!(f.rejects(), 1);
+
+        let ready = f.drain_ready(15);
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].line, line(1));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.next_ready_at(), Some(20));
+    }
+
+    #[test]
+    fn demand_promotes_prefetch() {
+        let mut f = MshrFile::new(4);
+        f.allocate(line(7), 100, true);
+        match f.allocate(line(7), 50, false) {
+            Allocate::Merged {
+                ready_at,
+                was_prefetch,
+            } => {
+                assert_eq!(ready_at, 100, "merge keeps original timing");
+                assert!(was_prefetch);
+            }
+            other => panic!("expected merge, got {other:?}"),
+        }
+        assert!(!f.get(line(7)).unwrap().is_prefetch, "promoted to demand");
+        assert_eq!(f.merges(), 1);
+    }
+
+    #[test]
+    fn merge_does_not_consume_capacity() {
+        let mut f = MshrFile::new(1);
+        f.allocate(line(1), 5, false);
+        assert!(matches!(
+            f.allocate(line(1), 9, false),
+            Allocate::Merged { .. }
+        ));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        MshrFile::new(0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut f = MshrFile::new(2);
+        f.allocate(line(1), 10, false);
+        f.reset();
+        assert!(f.is_empty());
+        assert_eq!(f.next_ready_at(), None);
+    }
+}

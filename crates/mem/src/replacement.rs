@@ -1,0 +1,326 @@
+//! Replacement policies for set-associative caches.
+//!
+//! Policies are driven through the [`Replacement`] trait, which is
+//! deliberately *candidate-aware*: `victim` chooses among an arbitrary
+//! subset of ways. A conventional cache passes all ways; the UBS cache
+//! passes its 4-way candidate window (paper §IV-F, "modified LRU"), reusing
+//! the same LRU machinery.
+
+use std::fmt;
+
+/// Chooses victims and tracks recency/insertion order for one cache.
+///
+/// `set`/`way` indices are the caller's; implementations allocate state for
+/// `sets × ways` slots up front.
+pub trait Replacement: fmt::Debug {
+    /// Notes that `way` in `set` was just filled.
+    fn on_fill(&mut self, set: usize, way: usize);
+    /// Notes a hit on `way` in `set`.
+    fn on_hit(&mut self, set: usize, way: usize);
+    /// Picks a victim among `candidates` (never empty) in `set`.
+    ///
+    /// Invalid ways should be passed by the caller in preference order
+    /// before consulting the policy; `victim` assumes all candidates hold
+    /// valid blocks.
+    fn victim(&mut self, set: usize, candidates: &[usize]) -> usize;
+    /// Notes that `way` in `set` was invalidated, so the slot should become
+    /// maximally replaceable.
+    fn on_invalidate(&mut self, set: usize, way: usize);
+}
+
+/// Classic least-recently-used, implemented with a global access clock.
+#[derive(Debug, Clone)]
+pub struct Lru {
+    ways: usize,
+    stamp: Vec<u64>,
+    clock: u64,
+}
+
+impl Lru {
+    /// LRU state for `sets × ways` slots.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Lru {
+            ways,
+            stamp: vec![0; sets * ways],
+            clock: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    fn touch(&mut self, set: usize, way: usize) {
+        self.clock += 1;
+        let s = self.slot(set, way);
+        self.stamp[s] = self.clock;
+    }
+}
+
+impl Replacement for Lru {
+    fn on_fill(&mut self, set: usize, way: usize) {
+        self.touch(set, way);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize) {
+        self.touch(set, way);
+    }
+
+    fn victim(&mut self, set: usize, candidates: &[usize]) -> usize {
+        assert!(!candidates.is_empty(), "victim called with no candidates");
+        *candidates
+            .iter()
+            .min_by_key(|&&w| self.stamp[self.slot(set, w)])
+            .expect("non-empty candidates")
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        let s = self.slot(set, way);
+        self.stamp[s] = 0;
+    }
+}
+
+/// First-in-first-out: only fills update the slot's age.
+#[derive(Debug, Clone)]
+pub struct Fifo {
+    ways: usize,
+    stamp: Vec<u64>,
+    clock: u64,
+}
+
+impl Fifo {
+    /// FIFO state for `sets × ways` slots.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Fifo {
+            ways,
+            stamp: vec![0; sets * ways],
+            clock: 0,
+        }
+    }
+}
+
+impl Replacement for Fifo {
+    fn on_fill(&mut self, set: usize, way: usize) {
+        self.clock += 1;
+        self.stamp[set * self.ways + way] = self.clock;
+    }
+
+    fn on_hit(&mut self, _set: usize, _way: usize) {}
+
+    fn victim(&mut self, set: usize, candidates: &[usize]) -> usize {
+        assert!(!candidates.is_empty(), "victim called with no candidates");
+        *candidates
+            .iter()
+            .min_by_key(|&&w| self.stamp[set * self.ways + w])
+            .expect("non-empty candidates")
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        self.stamp[set * self.ways + way] = 0;
+    }
+}
+
+/// Pseudo-random replacement with an embedded xorshift generator
+/// (no external RNG dependency, deterministic from `seed`).
+#[derive(Debug, Clone)]
+pub struct RandomRepl {
+    state: u64,
+}
+
+impl RandomRepl {
+    /// Random replacement seeded with `seed` (0 is remapped internally).
+    pub fn new(seed: u64) -> Self {
+        RandomRepl {
+            state: seed | 1,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+impl Replacement for RandomRepl {
+    fn on_fill(&mut self, _set: usize, _way: usize) {}
+    fn on_hit(&mut self, _set: usize, _way: usize) {}
+
+    fn victim(&mut self, _set: usize, candidates: &[usize]) -> usize {
+        assert!(!candidates.is_empty(), "victim called with no candidates");
+        candidates[(self.next() % candidates.len() as u64) as usize]
+    }
+
+    fn on_invalidate(&mut self, _set: usize, _way: usize) {}
+}
+
+/// Static re-reference interval prediction (SRRIP) with 2-bit counters.
+#[derive(Debug, Clone)]
+pub struct Srrip {
+    ways: usize,
+    rrpv: Vec<u8>,
+}
+
+/// Maximum re-reference prediction value for 2-bit SRRIP.
+const RRPV_MAX: u8 = 3;
+
+impl Srrip {
+    /// SRRIP state for `sets × ways` slots.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Srrip {
+            ways,
+            rrpv: vec![RRPV_MAX; sets * ways],
+        }
+    }
+}
+
+impl Replacement for Srrip {
+    fn on_fill(&mut self, set: usize, way: usize) {
+        self.rrpv[set * self.ways + way] = RRPV_MAX - 1;
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize) {
+        self.rrpv[set * self.ways + way] = 0;
+    }
+
+    fn victim(&mut self, set: usize, candidates: &[usize]) -> usize {
+        assert!(!candidates.is_empty(), "victim called with no candidates");
+        loop {
+            if let Some(&w) = candidates
+                .iter()
+                .find(|&&w| self.rrpv[set * self.ways + w] == RRPV_MAX)
+            {
+                return w;
+            }
+            for &w in candidates {
+                self.rrpv[set * self.ways + w] += 1;
+            }
+        }
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        self.rrpv[set * self.ways + way] = RRPV_MAX;
+    }
+}
+
+/// Policy selector for configuration files and sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum PolicyKind {
+    /// Least recently used.
+    Lru,
+    /// First in, first out.
+    Fifo,
+    /// Pseudo-random.
+    Random,
+    /// Static RRIP.
+    Srrip,
+}
+
+impl PolicyKind {
+    /// Instantiates the policy for a `sets × ways` cache.
+    pub fn build(self, sets: usize, ways: usize) -> Box<dyn Replacement + Send> {
+        match self {
+            PolicyKind::Lru => Box::new(Lru::new(sets, ways)),
+            PolicyKind::Fifo => Box::new(Fifo::new(sets, ways)),
+            PolicyKind::Random => Box::new(RandomRepl::new(0xdead_beef)),
+            PolicyKind::Srrip => Box::new(Srrip::new(sets, ways)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut lru = Lru::new(1, 4);
+        for w in 0..4 {
+            lru.on_fill(0, w);
+        }
+        lru.on_hit(0, 0); // 0 is now MRU; 1 is LRU
+        assert_eq!(lru.victim(0, &[0, 1, 2, 3]), 1);
+    }
+
+    #[test]
+    fn lru_candidate_window_restricts_choice() {
+        let mut lru = Lru::new(1, 8);
+        for w in 0..8 {
+            lru.on_fill(0, w);
+        }
+        // Way 0 is globally LRU, but only 4..8 are candidates.
+        assert_eq!(lru.victim(0, &[4, 5, 6, 7]), 4);
+    }
+
+    #[test]
+    fn lru_invalidate_makes_slot_preferred() {
+        let mut lru = Lru::new(1, 4);
+        for w in 0..4 {
+            lru.on_fill(0, w);
+        }
+        lru.on_invalidate(0, 3);
+        assert_eq!(lru.victim(0, &[0, 1, 2, 3]), 3);
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let mut fifo = Fifo::new(1, 3);
+        fifo.on_fill(0, 0);
+        fifo.on_fill(0, 1);
+        fifo.on_fill(0, 2);
+        fifo.on_hit(0, 0);
+        fifo.on_hit(0, 0);
+        assert_eq!(fifo.victim(0, &[0, 1, 2]), 0);
+    }
+
+    #[test]
+    fn random_stays_in_candidates() {
+        let mut r = RandomRepl::new(7);
+        for _ in 0..100 {
+            let v = r.victim(0, &[2, 5, 6]);
+            assert!([2, 5, 6].contains(&v));
+        }
+    }
+
+    #[test]
+    fn srrip_hits_protect_blocks() {
+        let mut s = Srrip::new(1, 2);
+        s.on_fill(0, 0);
+        s.on_fill(0, 1);
+        s.on_hit(0, 0);
+        // Way 1 should age to RRPV_MAX before way 0.
+        assert_eq!(s.victim(0, &[0, 1]), 1);
+    }
+
+    #[test]
+    fn policy_kind_builds_all() {
+        for k in [
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::Random,
+            PolicyKind::Srrip,
+        ] {
+            let mut p = k.build(2, 4);
+            p.on_fill(0, 0);
+            p.on_hit(0, 0);
+            let v = p.victim(0, &[0, 1, 2, 3]);
+            assert!(v < 4);
+        }
+    }
+
+    #[test]
+    fn lru_sets_are_independent() {
+        let mut lru = Lru::new(2, 2);
+        lru.on_fill(0, 0);
+        lru.on_fill(0, 1);
+        lru.on_fill(1, 1);
+        lru.on_fill(1, 0);
+        assert_eq!(lru.victim(0, &[0, 1]), 0);
+        assert_eq!(lru.victim(1, &[0, 1]), 1);
+    }
+}

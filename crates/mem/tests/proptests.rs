@@ -1,0 +1,106 @@
+//! Property-based tests for the cache substrate.
+
+use proptest::prelude::*;
+use ubs_mem::replacement::{Fifo, Lru, Replacement, Srrip};
+use ubs_mem::{Allocate, CacheConfig, Dram, DramConfig, MshrFile, SetAssocCache};
+use ubs_trace::Line;
+
+proptest! {
+    /// LRU victim is always one of the candidates, for any access history.
+    #[test]
+    fn lru_victim_in_candidates(
+        ops in prop::collection::vec((0usize..4, 0usize..8, any::<bool>()), 1..200),
+        cand in prop::collection::vec(0usize..8, 1..8),
+    ) {
+        let mut lru = Lru::new(4, 8);
+        for (set, way, is_fill) in ops {
+            if is_fill {
+                lru.on_fill(set, way);
+            } else {
+                lru.on_hit(set, way);
+            }
+        }
+        let mut cands = cand.clone();
+        cands.dedup();
+        let v = lru.victim(0, &cands);
+        prop_assert!(cands.contains(&v));
+    }
+
+    /// FIFO evicts in insertion order regardless of hits.
+    #[test]
+    fn fifo_order_invariant(hits in prop::collection::vec(0usize..4, 0..64)) {
+        let mut fifo = Fifo::new(1, 4);
+        for w in 0..4 {
+            fifo.on_fill(0, w);
+        }
+        for h in hits {
+            fifo.on_hit(0, h);
+        }
+        prop_assert_eq!(fifo.victim(0, &[0, 1, 2, 3]), 0);
+    }
+
+    /// SRRIP always terminates and returns a candidate.
+    #[test]
+    fn srrip_terminates(
+        accesses in prop::collection::vec((0usize..4, any::<bool>()), 0..100)
+    ) {
+        let mut s = Srrip::new(1, 4);
+        for (w, fill) in accesses {
+            if fill {
+                s.on_fill(0, w);
+            } else {
+                s.on_hit(0, w);
+            }
+        }
+        let v = s.victim(0, &[1, 3]);
+        prop_assert!(v == 1 || v == 3);
+    }
+
+    /// A cache's occupancy never exceeds sets × ways, and filled keys are
+    /// retrievable until evicted.
+    #[test]
+    fn cache_occupancy_bound(keys in prop::collection::vec(0u64..10_000, 1..500)) {
+        let cfg = CacheConfig::lru("p", 8 << 10, 4); // 32 sets x 4 ways
+        let mut c: SetAssocCache<u64> = SetAssocCache::new(cfg);
+        for &k in &keys {
+            c.fill(k, k);
+            prop_assert_eq!(c.meta(k), Some(&k));
+        }
+        prop_assert!(c.occupancy() <= 32 * 4);
+    }
+
+    /// MSHR merge preserves the original ready time, and occupancy never
+    /// exceeds capacity.
+    #[test]
+    fn mshr_merge_and_capacity(
+        reqs in prop::collection::vec((0u64..32, 1u64..1000, any::<bool>()), 1..100)
+    ) {
+        let mut f = MshrFile::new(8);
+        let mut first_ready: std::collections::HashMap<u64, u64> = Default::default();
+        for (lineno, ready, is_pf) in reqs {
+            match f.allocate(Line::from_number(lineno), ready, is_pf) {
+                Allocate::Fresh => {
+                    first_ready.insert(lineno, ready);
+                }
+                Allocate::Merged { ready_at, .. } => {
+                    prop_assert_eq!(ready_at, first_ready[&lineno]);
+                }
+                Allocate::Full => {}
+            }
+            prop_assert!(f.len() <= 8);
+        }
+    }
+
+    /// DRAM ready times never precede the request and bank state is
+    /// monotone per bank.
+    #[test]
+    fn dram_monotone(addrs in prop::collection::vec(0u64..(1u64 << 26), 1..100)) {
+        let mut d = Dram::new(DramConfig::paper());
+        let mut now = 0u64;
+        for a in addrs {
+            let ready = d.access(a & !63, now);
+            prop_assert!(ready > now);
+            now += 7;
+        }
+    }
+}

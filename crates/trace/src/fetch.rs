@@ -1,0 +1,146 @@
+//! Fetch ranges: the front-end ↔ instruction-cache interface.
+//!
+//! Paper §IV-A: instead of fetching aligned 16- or 32-byte chunks, the fetch
+//! engine hands the cache a *start byte address and a number of bytes* — the
+//! run of instructions between predicted-taken branches, split by fetch
+//! bandwidth. Both the conventional and UBS caches in this repository are
+//! accessed through this interface.
+
+use crate::record::{Addr, Line, BLOCK_BYTES};
+
+/// A contiguous run of instruction bytes requested from the L1-I.
+///
+/// ```
+/// use ubs_trace::FetchRange;
+/// let r = FetchRange::new(0x1038, 16);
+/// // The range crosses a 64-byte boundary, so it spans two blocks.
+/// assert_eq!(r.lines().count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FetchRange {
+    /// First byte requested.
+    pub start: Addr,
+    /// Number of bytes requested (≥ 1).
+    pub bytes: u32,
+}
+
+impl FetchRange {
+    /// A range of `bytes` starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn new(start: Addr, bytes: u32) -> Self {
+        assert!(bytes > 0, "fetch range must cover at least one byte");
+        FetchRange { start, bytes }
+    }
+
+    /// One past the last requested byte.
+    #[inline]
+    pub fn end(&self) -> Addr {
+        self.start + self.bytes as Addr
+    }
+
+    /// The 64-byte blocks this range touches, in address order.
+    pub fn lines(&self) -> impl Iterator<Item = Line> {
+        let first = Line::containing(self.start);
+        let last = Line::containing(self.end() - 1);
+        (first.number()..=last.number()).map(Line::from_number)
+    }
+
+    /// Splits the range into sub-ranges of at most `max_bytes` each,
+    /// additionally breaking at 64-byte block boundaries.
+    ///
+    /// Cache lookups operate within one block; the fetch engine (or cache
+    /// controller, §IV-A) performs this split before presenting requests.
+    pub fn split(&self, max_bytes: u32) -> impl Iterator<Item = FetchRange> + '_ {
+        assert!(max_bytes > 0, "split width must be positive");
+        let mut cursor = self.start;
+        let end = self.end();
+        std::iter::from_fn(move || {
+            if cursor >= end {
+                return None;
+            }
+            let block_end = Line::containing(cursor).next().base_addr();
+            let stop = end.min(block_end).min(cursor + max_bytes as Addr);
+            let r = FetchRange::new(cursor, (stop - cursor) as u32);
+            cursor = stop;
+            Some(r)
+        })
+    }
+
+    /// Whether the whole range lies within a single 64-byte block.
+    #[inline]
+    pub fn within_one_line(&self) -> bool {
+        Line::containing(self.start) == Line::containing(self.end() - 1)
+    }
+
+    /// Byte offset of the first requested byte within its block.
+    #[inline]
+    pub fn start_offset(&self) -> u8 {
+        (self.start % BLOCK_BYTES) as u8
+    }
+
+    /// Byte offset of the last requested byte within the *starting* block.
+    ///
+    /// Only meaningful when [`FetchRange::within_one_line`] holds.
+    #[inline]
+    pub fn end_offset(&self) -> u8 {
+        debug_assert!(self.within_one_line());
+        ((self.end() - 1) % BLOCK_BYTES) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_of_contained_range() {
+        let r = FetchRange::new(0x1000, 32);
+        let ls: Vec<_> = r.lines().collect();
+        assert_eq!(ls, vec![Line::containing(0x1000)]);
+        assert!(r.within_one_line());
+    }
+
+    #[test]
+    fn lines_of_spanning_range() {
+        let r = FetchRange::new(0x103c, 8); // last 4 bytes of one block + 4 of next
+        assert_eq!(r.lines().count(), 2);
+        assert!(!r.within_one_line());
+    }
+
+    #[test]
+    fn split_respects_block_boundaries() {
+        let r = FetchRange::new(0x1030, 40); // 16 bytes in block 0, 24 in block 1
+        let parts: Vec<_> = r.split(64).collect();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], FetchRange::new(0x1030, 16));
+        assert_eq!(parts[1], FetchRange::new(0x1040, 24));
+        assert!(parts.iter().all(|p| p.within_one_line()));
+    }
+
+    #[test]
+    fn split_respects_bandwidth() {
+        let r = FetchRange::new(0x1000, 64);
+        let parts: Vec<_> = r.split(16).collect();
+        assert_eq!(parts.len(), 4);
+        assert!(parts.iter().all(|p| p.bytes == 16));
+        // Re-assembling covers the original range.
+        assert_eq!(parts[0].start, r.start);
+        assert_eq!(parts.last().unwrap().end(), r.end());
+    }
+
+    #[test]
+    fn offsets() {
+        let r = FetchRange::new(0x1034, 8);
+        assert_eq!(r.start_offset(), 0x34);
+        assert_eq!(r.end_offset(), 0x3b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one byte")]
+    fn zero_length_panics() {
+        FetchRange::new(0, 0);
+    }
+}

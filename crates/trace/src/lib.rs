@@ -1,0 +1,42 @@
+//! # ubs-trace — instruction traces for the UBS cache reproduction
+//!
+//! This crate supplies everything the simulator consumes as input:
+//!
+//! - [`TraceRecord`]/[`TraceSource`] — the instruction-stream model shared by
+//!   every component;
+//! - [`champsim`] — a codec for ChampSim's 64-byte binary trace format, so
+//!   real (decompressed) IPC-1/CVP-style traces can drive the simulator;
+//! - [`synth`] — a CFG-based synthetic workload generator standing in for
+//!   the paper's proprietary Google/Qualcomm traces (see `DESIGN.md` for the
+//!   substitution rationale);
+//! - [`suites`] — named workload suites mirroring the paper's categories.
+//!
+//! ## Example
+//!
+//! ```
+//! use ubs_trace::synth::{Profile, SyntheticTrace, WorkloadSpec};
+//! use ubs_trace::TraceSource;
+//!
+//! let spec = WorkloadSpec::new(Profile::Client, 0);
+//! let mut trace = SyntheticTrace::build(&spec);
+//! let rec = trace.next_record().expect("synthetic traces are infinite");
+//! assert_eq!(rec.size as u64, ubs_trace::INSTR_BYTES);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod champsim;
+mod fetch;
+mod record;
+mod source;
+pub mod stats;
+pub mod suites;
+pub mod synth;
+
+pub use record::{
+    Addr, BranchInfo, BranchKind, Line, TraceRecord, BLOCK_BYTES, INSTRS_PER_BLOCK, INSTR_BYTES,
+    MAX_DST_REGS, MAX_SRC_REGS,
+};
+pub use fetch::FetchRange;
+pub use source::{collect_records, LoopingReplay, ReplaySource, TraceSource};

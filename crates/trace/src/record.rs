@@ -1,0 +1,255 @@
+//! Instruction trace records.
+//!
+//! A [`TraceRecord`] is the unit of information flowing from a trace source
+//! into the simulator: one retired instruction with its program counter,
+//! branch behaviour, memory operands and register operands. The layout
+//! mirrors what ChampSim-style trace-driven simulators consume.
+
+/// A raw 64-bit address (program counter or data address).
+///
+/// Kept as a plain alias for arithmetic ergonomics; places where the
+/// *cache-block* interpretation matters use [`Line`] instead.
+pub type Addr = u64;
+
+/// Size of a cache block in bytes, fixed at 64 across the hierarchy
+/// (paper §V: "we model a cache block size of 64-bytes across the entire
+/// cache hierarchy").
+pub const BLOCK_BYTES: u64 = 64;
+
+/// Instruction size in bytes for the fixed-length (ARM-like) ISA used by the
+/// synthetic traces. Matches the IPC-1 traces used for the paper's
+/// performance results (§III: "fixed 4-byte instruction size").
+pub const INSTR_BYTES: u64 = 4;
+
+/// Number of instructions per 64-byte cache block for the fixed-length ISA.
+pub const INSTRS_PER_BLOCK: usize = (BLOCK_BYTES / INSTR_BYTES) as usize;
+
+/// A 64-byte-aligned cache-block address (the address divided by 64).
+///
+/// Using a newtype prevents mixing raw byte addresses and block numbers,
+/// which is a classic source of off-by-`block_offset` bugs in cache
+/// simulators.
+///
+/// ```
+/// use ubs_trace::{Line, BLOCK_BYTES};
+/// let l = Line::containing(0x1234);
+/// assert_eq!(l.base_addr(), 0x1200 / BLOCK_BYTES * BLOCK_BYTES);
+/// assert_eq!(Line::containing(l.base_addr()), l);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Line(u64);
+
+impl Line {
+    /// The block containing byte address `addr`.
+    #[inline]
+    pub fn containing(addr: Addr) -> Self {
+        Line(addr / BLOCK_BYTES)
+    }
+
+    /// Constructs a `Line` directly from a block number.
+    #[inline]
+    pub fn from_number(n: u64) -> Self {
+        Line(n)
+    }
+
+    /// The block number (address / 64).
+    #[inline]
+    pub fn number(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the first byte of this block.
+    #[inline]
+    pub fn base_addr(self) -> Addr {
+        self.0 * BLOCK_BYTES
+    }
+
+    /// The block immediately following this one.
+    #[inline]
+    pub fn next(self) -> Self {
+        Line(self.0 + 1)
+    }
+
+    /// Byte offset of `addr` within this block.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `addr` is not inside this block.
+    #[inline]
+    pub fn offset_of(self, addr: Addr) -> u8 {
+        debug_assert_eq!(Line::containing(addr), self, "address not in block");
+        (addr % BLOCK_BYTES) as u8
+    }
+}
+
+/// Branch classes distinguished by the front-end.
+///
+/// The class determines which predictor structures are consulted: the
+/// direction predictor (conditional), the BTB (all taken branches) and the
+/// return address stack (calls push, returns pop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Conditional direct branch; direction comes from the perceptron.
+    Conditional,
+    /// Unconditional direct jump.
+    DirectJump,
+    /// Unconditional indirect jump (target from BTB).
+    IndirectJump,
+    /// Direct call; pushes return address on the RAS.
+    DirectCall,
+    /// Indirect call; pushes return address on the RAS, target from BTB.
+    IndirectCall,
+    /// Return; target predicted by the RAS.
+    Return,
+}
+
+impl BranchKind {
+    /// Whether this branch is always taken when executed.
+    #[inline]
+    pub fn is_unconditional(self) -> bool {
+        !matches!(self, BranchKind::Conditional)
+    }
+
+    /// Whether executing the branch pushes a return address on the RAS.
+    #[inline]
+    pub fn is_call(self) -> bool {
+        matches!(self, BranchKind::DirectCall | BranchKind::IndirectCall)
+    }
+}
+
+/// Branch behaviour of a single dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchInfo {
+    /// The branch class.
+    pub kind: BranchKind,
+    /// Whether the branch was taken in this dynamic instance.
+    pub taken: bool,
+    /// The target of the branch when taken.
+    pub target: Addr,
+}
+
+/// Maximum number of source registers carried per record (ChampSim uses 4).
+pub const MAX_SRC_REGS: usize = 4;
+/// Maximum number of destination registers carried per record (ChampSim uses 2).
+pub const MAX_DST_REGS: usize = 2;
+
+/// One retired instruction from a trace.
+///
+/// Register slots use `0` to mean "unused"; valid architectural registers
+/// are `1..=63` (register 0 is the hard-wired zero register in the ARM-like
+/// ISA the synthetic traces model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Program counter of the instruction.
+    pub pc: Addr,
+    /// Instruction size in bytes (always 4 for synthetic traces).
+    pub size: u8,
+    /// Branch behaviour, if the instruction is a branch.
+    pub branch: Option<BranchInfo>,
+    /// Load address, if the instruction reads memory.
+    pub load: Option<Addr>,
+    /// Store address, if the instruction writes memory.
+    pub store: Option<Addr>,
+    /// Source registers (`0` = slot unused).
+    pub src_regs: [u8; MAX_SRC_REGS],
+    /// Destination registers (`0` = slot unused).
+    pub dst_regs: [u8; MAX_DST_REGS],
+}
+
+impl TraceRecord {
+    /// A non-branch, non-memory instruction at `pc` with no register
+    /// operands — useful as a starting point for builders and tests.
+    pub fn nop(pc: Addr) -> Self {
+        TraceRecord {
+            pc,
+            size: INSTR_BYTES as u8,
+            branch: None,
+            load: None,
+            store: None,
+            src_regs: [0; MAX_SRC_REGS],
+            dst_regs: [0; MAX_DST_REGS],
+        }
+    }
+
+    /// The address of the next sequential instruction.
+    #[inline]
+    pub fn next_pc(&self) -> Addr {
+        self.pc + self.size as Addr
+    }
+
+    /// The address control flow actually transfers to after this
+    /// instruction (branch target if a taken branch, else sequential).
+    #[inline]
+    pub fn successor_pc(&self) -> Addr {
+        match self.branch {
+            Some(b) if b.taken => b.target,
+            _ => self.next_pc(),
+        }
+    }
+
+    /// Whether this record is a taken branch.
+    #[inline]
+    pub fn is_taken_branch(&self) -> bool {
+        matches!(self.branch, Some(b) if b.taken)
+    }
+
+    /// The cache block containing this instruction's first byte.
+    #[inline]
+    pub fn line(&self) -> Line {
+        Line::containing(self.pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_roundtrip() {
+        for addr in [0u64, 1, 63, 64, 65, 0xdead_beef] {
+            let l = Line::containing(addr);
+            assert!(l.base_addr() <= addr);
+            assert!(addr < l.base_addr() + BLOCK_BYTES);
+            assert_eq!(l.offset_of(addr) as u64, addr - l.base_addr());
+        }
+    }
+
+    #[test]
+    fn line_next_is_adjacent() {
+        let l = Line::containing(0x1000);
+        assert_eq!(l.next().base_addr(), 0x1040);
+    }
+
+    #[test]
+    fn successor_of_taken_branch_is_target() {
+        let mut r = TraceRecord::nop(0x100);
+        r.branch = Some(BranchInfo {
+            kind: BranchKind::DirectJump,
+            taken: true,
+            target: 0x2000,
+        });
+        assert_eq!(r.successor_pc(), 0x2000);
+        assert!(r.is_taken_branch());
+    }
+
+    #[test]
+    fn successor_of_not_taken_branch_is_sequential() {
+        let mut r = TraceRecord::nop(0x100);
+        r.branch = Some(BranchInfo {
+            kind: BranchKind::Conditional,
+            taken: false,
+            target: 0x2000,
+        });
+        assert_eq!(r.successor_pc(), 0x104);
+        assert!(!r.is_taken_branch());
+    }
+
+    #[test]
+    fn branch_kind_classification() {
+        assert!(BranchKind::DirectCall.is_call());
+        assert!(BranchKind::IndirectCall.is_call());
+        assert!(!BranchKind::Return.is_call());
+        assert!(BranchKind::Return.is_unconditional());
+        assert!(!BranchKind::Conditional.is_unconditional());
+    }
+}

@@ -1,0 +1,153 @@
+//! The [`TraceSource`] abstraction: anything that yields [`TraceRecord`]s.
+
+use crate::record::TraceRecord;
+
+/// A stream of retired instructions driving the simulator.
+///
+/// Sources may be finite (a trace file) or effectively infinite (the
+/// synthetic generator); the simulator decides how many records to consume
+/// for warmup and measurement.
+pub trait TraceSource {
+    /// Produces the next record, or `None` when the trace is exhausted.
+    fn next_record(&mut self) -> Option<TraceRecord>;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str {
+        "<unnamed trace>"
+    }
+}
+
+/// Replays a fixed slice of records; handy in tests and micro-benchmarks.
+///
+/// ```
+/// use ubs_trace::{ReplaySource, TraceRecord, TraceSource};
+/// let recs = vec![TraceRecord::nop(0x100), TraceRecord::nop(0x104)];
+/// let mut src = ReplaySource::new("unit", recs);
+/// assert_eq!(src.next_record().unwrap().pc, 0x100);
+/// assert_eq!(src.next_record().unwrap().pc, 0x104);
+/// assert!(src.next_record().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplaySource {
+    name: String,
+    records: Vec<TraceRecord>,
+    pos: usize,
+}
+
+impl ReplaySource {
+    /// Creates a replay over `records`.
+    pub fn new(name: impl Into<String>, records: Vec<TraceRecord>) -> Self {
+        ReplaySource {
+            name: name.into(),
+            records,
+            pos: 0,
+        }
+    }
+
+    /// Like [`ReplaySource::new`], but loops the slice forever.
+    pub fn looping(name: impl Into<String>, records: Vec<TraceRecord>) -> LoopingReplay {
+        LoopingReplay {
+            inner: ReplaySource::new(name, records),
+        }
+    }
+
+    /// Number of records remaining.
+    pub fn remaining(&self) -> usize {
+        self.records.len() - self.pos
+    }
+}
+
+impl TraceSource for ReplaySource {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        let r = self.records.get(self.pos).copied();
+        if r.is_some() {
+            self.pos += 1;
+        }
+        r
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A [`ReplaySource`] that restarts from the beginning when exhausted.
+///
+/// An empty record list yields `None` forever rather than looping
+/// infinitely without producing anything.
+#[derive(Debug, Clone)]
+pub struct LoopingReplay {
+    inner: ReplaySource,
+}
+
+impl TraceSource for LoopingReplay {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        if self.inner.records.is_empty() {
+            return None;
+        }
+        if self.inner.pos >= self.inner.records.len() {
+            self.inner.pos = 0;
+        }
+        self.inner.next_record()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        (**self).next_record()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// Collects up to `n` records from a source into a vector.
+pub fn collect_records<S: TraceSource + ?Sized>(src: &mut S, n: usize) -> Vec<TraceRecord> {
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        match src.next_record() {
+            Some(r) => out.push(r),
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_exhausts() {
+        let mut s = ReplaySource::new("t", vec![TraceRecord::nop(0)]);
+        assert_eq!(s.remaining(), 1);
+        assert!(s.next_record().is_some());
+        assert_eq!(s.remaining(), 0);
+        assert!(s.next_record().is_none());
+        assert!(s.next_record().is_none());
+    }
+
+    #[test]
+    fn looping_replay_wraps() {
+        let mut s = ReplaySource::looping("t", vec![TraceRecord::nop(0), TraceRecord::nop(4)]);
+        let pcs: Vec<_> = (0..5).map(|_| s.next_record().unwrap().pc).collect();
+        assert_eq!(pcs, vec![0, 4, 0, 4, 0]);
+    }
+
+    #[test]
+    fn looping_replay_empty_yields_none() {
+        let mut s = ReplaySource::looping("t", vec![]);
+        assert!(s.next_record().is_none());
+    }
+
+    #[test]
+    fn collect_stops_at_end() {
+        let mut s = ReplaySource::new("t", vec![TraceRecord::nop(0); 3]);
+        assert_eq!(collect_records(&mut s, 10).len(), 3);
+    }
+}

@@ -1,0 +1,209 @@
+//! Trace characterization: instruction mix, basic-block geometry and
+//! working-set estimation.
+//!
+//! These summaries are how the synthetic generator was validated against
+//! the paper's premises (multi-MB footprints, small basic blocks, hot/cold
+//! mixing), and they work on *any* [`TraceSource`] — including real
+//! ChampSim traces — so users can compare their own traces against the
+//! synthetic suites.
+
+use crate::record::{BranchKind, Line};
+use crate::source::TraceSource;
+use std::collections::HashMap;
+
+/// Aggregate statistics over a window of trace records.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Records analyzed.
+    pub instructions: u64,
+    /// Conditional branches.
+    pub conditionals: u64,
+    /// Taken branches of any kind.
+    pub taken_branches: u64,
+    /// Calls (direct + indirect).
+    pub calls: u64,
+    /// Returns.
+    pub returns: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Distinct 64-byte instruction lines touched.
+    pub distinct_lines: u64,
+    /// Histogram of dynamic basic-block lengths (instructions between
+    /// taken branches), capped at 64.
+    pub block_len_hist: Vec<u64>,
+}
+
+impl TraceSummary {
+    /// Fraction of instructions that are branches of any kind.
+    pub fn branch_fraction(&self) -> f64 {
+        (self.conditionals + self.taken_branches.saturating_sub(self.taken_conditional_estimate()))
+            as f64
+            / self.instructions.max(1) as f64
+    }
+
+    // Taken branches include taken conditionals; avoid double counting in
+    // branch_fraction with a conservative estimate.
+    fn taken_conditional_estimate(&self) -> u64 {
+        self.taken_branches.min(self.conditionals)
+    }
+
+    /// Fraction of instructions that load.
+    pub fn load_fraction(&self) -> f64 {
+        self.loads as f64 / self.instructions.max(1) as f64
+    }
+
+    /// Fraction of instructions that store.
+    pub fn store_fraction(&self) -> f64 {
+        self.stores as f64 / self.instructions.max(1) as f64
+    }
+
+    /// Touched instruction footprint in bytes (distinct lines × 64).
+    pub fn code_footprint_bytes(&self) -> u64 {
+        self.distinct_lines * 64
+    }
+
+    /// Mean dynamic run length between taken branches, in instructions.
+    pub fn mean_run_instrs(&self) -> f64 {
+        let (mut n, mut sum) = (0u64, 0u64);
+        for (len, &count) in self.block_len_hist.iter().enumerate() {
+            n += count;
+            sum += len as u64 * count;
+        }
+        sum as f64 / n.max(1) as f64
+    }
+}
+
+/// Analyzes up to `max_records` records from `src`.
+pub fn summarize<S: TraceSource + ?Sized>(src: &mut S, max_records: u64) -> TraceSummary {
+    let mut s = TraceSummary {
+        block_len_hist: vec![0; 65],
+        ..TraceSummary::default()
+    };
+    let mut lines: HashMap<Line, ()> = HashMap::new();
+    let mut run_len: usize = 0;
+    for _ in 0..max_records {
+        let Some(rec) = src.next_record() else { break };
+        s.instructions += 1;
+        lines.entry(rec.line()).or_insert(());
+        s.loads += rec.load.is_some() as u64;
+        s.stores += rec.store.is_some() as u64;
+        run_len += 1;
+        if let Some(b) = rec.branch {
+            match b.kind {
+                BranchKind::Conditional => s.conditionals += 1,
+                BranchKind::DirectCall | BranchKind::IndirectCall => s.calls += 1,
+                BranchKind::Return => s.returns += 1,
+                _ => {}
+            }
+            if b.taken {
+                s.taken_branches += 1;
+                s.block_len_hist[run_len.min(64)] += 1;
+                run_len = 0;
+            }
+        }
+    }
+    s.distinct_lines = lines.len() as u64;
+    s
+}
+
+/// Estimates the hot working set: the number of distinct lines covering
+/// `coverage` (e.g. 0.9) of all dynamic instruction fetches in the window.
+pub fn working_set_lines<S: TraceSource + ?Sized>(
+    src: &mut S,
+    max_records: u64,
+    coverage: f64,
+) -> usize {
+    assert!((0.0..=1.0).contains(&coverage), "coverage must be in [0,1]");
+    let mut counts: HashMap<Line, u64> = HashMap::new();
+    let mut total = 0u64;
+    for _ in 0..max_records {
+        let Some(rec) = src.next_record() else { break };
+        *counts.entry(rec.line()).or_insert(0) += 1;
+        total += 1;
+    }
+    let mut freqs: Vec<u64> = counts.into_values().collect();
+    freqs.sort_unstable_by(|a, b| b.cmp(a));
+    let target = (total as f64 * coverage) as u64;
+    let mut acc = 0u64;
+    for (i, f) in freqs.iter().enumerate() {
+        acc += f;
+        if acc >= target {
+            return i + 1;
+        }
+    }
+    freqs.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{BranchInfo, TraceRecord};
+    use crate::source::ReplaySource;
+    use crate::synth::{Profile, SyntheticTrace, WorkloadSpec};
+
+    #[test]
+    fn summary_counts_mix() {
+        let mut recs = Vec::new();
+        for i in 0..10u64 {
+            let mut r = TraceRecord::nop(0x1000 + i * 4);
+            if i == 4 {
+                r.load = Some(0x9000);
+            }
+            if i == 5 {
+                r.store = Some(0x9100);
+            }
+            if i == 9 {
+                r.branch = Some(BranchInfo {
+                    kind: BranchKind::DirectJump,
+                    taken: true,
+                    target: 0x1000,
+                });
+            }
+            recs.push(r);
+        }
+        let mut src = ReplaySource::new("t", recs);
+        let s = summarize(&mut src, 100);
+        assert_eq!(s.instructions, 10);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.taken_branches, 1);
+        assert_eq!(s.distinct_lines, 1);
+        assert_eq!(s.block_len_hist[10], 1);
+        assert!((s.mean_run_instrs() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn synthetic_server_matches_premises() {
+        let spec = WorkloadSpec::new(Profile::Server, 0);
+        let mut trace = SyntheticTrace::build(&spec);
+        let s = summarize(&mut trace, 300_000);
+        // Multi-10s-of-KB touched footprint and short runs between taken
+        // branches — the paper's premises.
+        assert!(s.code_footprint_bytes() > 16 << 10, "{}", s.code_footprint_bytes());
+        assert!(s.mean_run_instrs() < 20.0, "{}", s.mean_run_instrs());
+        assert!(s.load_fraction() > 0.05 && s.load_fraction() < 0.5);
+    }
+
+    #[test]
+    fn working_set_is_concentrated() {
+        let spec = WorkloadSpec::new(Profile::Client, 0);
+        let mut t1 = SyntheticTrace::build(&spec);
+        let ws90 = working_set_lines(&mut t1, 200_000, 0.9);
+        let mut t2 = SyntheticTrace::build(&spec);
+        let ws100 = working_set_lines(&mut t2, 200_000, 1.0);
+        assert!(ws90 > 0 && ws90 <= ws100);
+        assert!(
+            (ws90 as f64) < 0.9 * ws100 as f64 + 1.0,
+            "hot 90% set ({ws90}) should be much smaller than the full set ({ws100})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage")]
+    fn bad_coverage_panics() {
+        let mut src = ReplaySource::new("t", vec![]);
+        working_set_lines(&mut src, 1, 1.5);
+    }
+}

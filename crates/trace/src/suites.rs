@@ -1,0 +1,108 @@
+//! Named workload suites mirroring the paper's trace sets.
+//!
+//! The paper evaluates on four categories — Google server traces, and the
+//! IPC-1 server/client/SPEC traces — plus the CVP-1 integer/FP/server traces
+//! for the §VI-L robustness check. Suite sizes here default to a few
+//! workloads per category so full sweeps stay tractable; `scaled` suites
+//! grow them toward the paper's counts.
+
+use crate::synth::{Profile, WorkloadSpec};
+
+/// Default workload counts per category (a compromise between the paper's
+/// trace counts and simulation time).
+pub const DEFAULT_GOOGLE: usize = 6;
+/// Default number of IPC-1-style server workloads.
+pub const DEFAULT_SERVER: usize = 12;
+/// Default number of IPC-1-style client workloads.
+pub const DEFAULT_CLIENT: usize = 6;
+/// Default number of IPC-1-style SPEC workloads.
+pub const DEFAULT_SPEC: usize = 6;
+
+/// Builds the `n`-workload suite for `profile`.
+pub fn suite(profile: Profile, n: usize) -> Vec<WorkloadSpec> {
+    (0..n).map(|i| WorkloadSpec::new(profile, i)).collect()
+}
+
+/// Google server suite (Fig. 1a, Fig. 2, Fig. 7).
+pub fn google(n: usize) -> Vec<WorkloadSpec> {
+    suite(Profile::Google, n)
+}
+
+/// IPC-1 server suite (all performance figures).
+pub fn server(n: usize) -> Vec<WorkloadSpec> {
+    suite(Profile::Server, n)
+}
+
+/// IPC-1 client suite.
+pub fn client(n: usize) -> Vec<WorkloadSpec> {
+    suite(Profile::Client, n)
+}
+
+/// IPC-1 SPEC suite.
+pub fn spec(n: usize) -> Vec<WorkloadSpec> {
+    suite(Profile::Spec, n)
+}
+
+/// CVP-1 server suite (§VI-L).
+pub fn cvp_server(n: usize) -> Vec<WorkloadSpec> {
+    suite(Profile::CvpServer, n)
+}
+
+/// CVP-1 floating-point suite (§VI-L).
+pub fn cvp_fp(n: usize) -> Vec<WorkloadSpec> {
+    suite(Profile::CvpFp, n)
+}
+
+/// CVP-1 integer suite (§VI-L).
+pub fn cvp_int(n: usize) -> Vec<WorkloadSpec> {
+    suite(Profile::CvpInt, n)
+}
+
+/// The three IPC-1 categories at default sizes, in the paper's plotting
+/// order (client, server, SPEC).
+pub fn ipc1_default() -> Vec<(Profile, Vec<WorkloadSpec>)> {
+    vec![
+        (Profile::Client, client(DEFAULT_CLIENT)),
+        (Profile::Server, server(DEFAULT_SERVER)),
+        (Profile::Spec, spec(DEFAULT_SPEC)),
+    ]
+}
+
+/// All four storage-efficiency categories (google, client, server, SPEC) at
+/// default sizes.
+pub fn efficiency_default() -> Vec<(Profile, Vec<WorkloadSpec>)> {
+    vec![
+        (Profile::Google, google(DEFAULT_GOOGLE)),
+        (Profile::Client, client(DEFAULT_CLIENT)),
+        (Profile::Server, server(DEFAULT_SERVER)),
+        (Profile::Spec, spec(DEFAULT_SPEC)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_names_are_sequential() {
+        let s = server(3);
+        assert_eq!(s[0].name, "server_000");
+        assert_eq!(s[2].name, "server_002");
+    }
+
+    #[test]
+    fn suites_have_distinct_seeds() {
+        let s = server(8);
+        for i in 0..s.len() {
+            for j in i + 1..s.len() {
+                assert_ne!(s[i].seed, s[j].seed);
+            }
+        }
+    }
+
+    #[test]
+    fn default_bundles_cover_categories() {
+        assert_eq!(ipc1_default().len(), 3);
+        assert_eq!(efficiency_default().len(), 4);
+    }
+}

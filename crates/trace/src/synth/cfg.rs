@@ -1,0 +1,635 @@
+//! Static program model for the synthetic workload generator.
+//!
+//! A [`Program`] is a set of [`Function`]s laid out contiguously in a code
+//! address space. Each function is a laid-out sequence of [`Block`]s; block
+//! order *is* the code layout, so "the next block" is always the
+//! fall-through successor. Cold (rarely executed) blocks are physically
+//! interleaved with hot ones — inline right after their guard, or relocated
+//! to the function's end under PGO-like layouts — which is precisely the
+//! property that makes fixed 64-byte cache blocks storage-inefficient.
+
+use super::params::{ColdLayout, ProfileParams};
+use crate::record::{Addr, INSTR_BYTES};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Index of a function within its [`Program`].
+pub type FuncId = u32;
+/// Index of a block within its [`Function`] (layout order).
+pub type BlockId = u32;
+
+/// How a basic block transfers control once its instructions retire.
+///
+/// Targets are [`BlockId`]s in the same function; the fall-through successor
+/// is always `block_id + 1` in layout order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// No branch: execution continues at the next laid-out block.
+    FallThrough,
+    /// Conditional branch: taken (probability `taken_prob`) goes to
+    /// `target`, not-taken falls through.
+    Cond {
+        /// Taken target block.
+        target: BlockId,
+        /// Probability the branch is taken on a dynamic visit.
+        taken_prob: f32,
+    },
+    /// Unconditional direct jump to `target`.
+    Jump {
+        /// Jump target block.
+        target: BlockId,
+    },
+    /// Direct call; execution resumes at the next laid-out block.
+    Call {
+        /// Callee function.
+        callee: FuncId,
+    },
+    /// Indirect call through a function pointer that may resolve to any of
+    /// `callees`; execution resumes at the next laid-out block.
+    IndirectCall {
+        /// Possible callees, chosen uniformly per dynamic visit.
+        callees: Vec<FuncId>,
+    },
+    /// Return to the caller.
+    Return,
+    /// Dispatcher: calls a root function chosen from the walker's current
+    /// hot set, then re-executes this block — models a server's top-level
+    /// request loop.
+    Dispatch,
+}
+
+/// One laid-out basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Address of the first instruction.
+    pub pc: Addr,
+    /// Number of instructions, including the terminator when the terminator
+    /// is a branch.
+    pub instrs: u32,
+    /// Whether the block is on a rarely-executed path.
+    pub cold: bool,
+    /// Control transfer out of the block.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// Size of the block in bytes.
+    #[inline]
+    pub fn size_bytes(&self) -> u64 {
+        self.instrs as u64 * INSTR_BYTES
+    }
+
+    /// Address one past the last instruction.
+    #[inline]
+    pub fn end_pc(&self) -> Addr {
+        self.pc + self.size_bytes()
+    }
+
+    /// PC of the terminator (last) instruction.
+    #[inline]
+    pub fn term_pc(&self) -> Addr {
+        self.end_pc() - INSTR_BYTES
+    }
+}
+
+/// A function: entry is block 0; blocks are in layout order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// This function's id within the program.
+    pub id: FuncId,
+    /// Blocks in layout (address) order.
+    pub blocks: Vec<Block>,
+    /// Entry address (== `blocks[0].pc`).
+    pub entry_pc: Addr,
+}
+
+/// A whole synthetic program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// All functions; function 0 is the dispatcher.
+    pub functions: Vec<Function>,
+    /// First code byte.
+    pub code_base: Addr,
+    /// One past the last code byte.
+    pub code_end: Addr,
+}
+
+impl Program {
+    /// Total static code footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.code_end - self.code_base
+    }
+
+    /// Total static instruction count.
+    pub fn static_instrs(&self) -> u64 {
+        self.functions
+            .iter()
+            .flat_map(|f| f.blocks.iter())
+            .map(|b| b.instrs as u64)
+            .sum()
+    }
+
+    /// Fraction of static instructions in cold blocks.
+    pub fn cold_fraction(&self) -> f64 {
+        let (cold, total) = self
+            .functions
+            .iter()
+            .flat_map(|f| f.blocks.iter())
+            .fold((0u64, 0u64), |(c, t), b| {
+                (c + if b.cold { b.instrs as u64 } else { 0 }, t + b.instrs as u64)
+            });
+        cold as f64 / total.max(1) as f64
+    }
+
+    /// Checks structural invariants: layout-ordered PCs, in-range targets,
+    /// forward-only calls (no recursion), dispatcher shape.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.functions.is_empty() {
+            return Err("program has no functions".into());
+        }
+        let n = self.functions.len() as u32;
+        let mut prev_end = self.code_base;
+        for f in &self.functions {
+            if f.blocks.is_empty() {
+                return Err(format!("function {} has no blocks", f.id));
+            }
+            if f.entry_pc != f.blocks[0].pc {
+                return Err(format!("function {} entry_pc mismatch", f.id));
+            }
+            if f.entry_pc < prev_end {
+                return Err(format!("function {} overlaps its predecessor", f.id));
+            }
+            let mut pc = f.blocks[0].pc;
+            for (i, b) in f.blocks.iter().enumerate() {
+                if b.pc != pc {
+                    return Err(format!("function {} block {} not contiguous", f.id, i));
+                }
+                if b.instrs == 0 {
+                    return Err(format!("function {} block {} empty", f.id, i));
+                }
+                pc = b.end_pc();
+                let check_target = |t: BlockId| -> Result<(), String> {
+                    if t as usize >= f.blocks.len() {
+                        Err(format!("function {} block {} target {} out of range", f.id, i, t))
+                    } else {
+                        Ok(())
+                    }
+                };
+                match &b.term {
+                    Terminator::Cond { target, taken_prob } => {
+                        check_target(*target)?;
+                        if !(0.0..=1.0).contains(taken_prob) {
+                            return Err("taken_prob out of [0,1]".into());
+                        }
+                    }
+                    Terminator::Jump { target } => check_target(*target)?,
+                    Terminator::Call { callee } => {
+                        if *callee <= f.id || *callee >= n {
+                            return Err(format!(
+                                "function {} calls non-forward callee {}",
+                                f.id, callee
+                            ));
+                        }
+                    }
+                    Terminator::IndirectCall { callees } => {
+                        if callees.is_empty() {
+                            return Err("indirect call with no callees".into());
+                        }
+                        for c in callees {
+                            if *c <= f.id || *c >= n {
+                                return Err(format!(
+                                    "function {} indirectly calls non-forward callee {}",
+                                    f.id, c
+                                ));
+                            }
+                        }
+                    }
+                    Terminator::FallThrough => {
+                        if i + 1 == f.blocks.len() {
+                            return Err(format!("function {} falls off its end", f.id));
+                        }
+                    }
+                    Terminator::Return => {}
+                    Terminator::Dispatch => {
+                        if f.id != 0 {
+                            return Err("dispatch terminator outside function 0".into());
+                        }
+                    }
+                }
+                // Fall-through successors (cond not-taken, call return) must exist.
+                let falls_through = matches!(
+                    b.term,
+                    Terminator::Cond { .. }
+                        | Terminator::Call { .. }
+                        | Terminator::IndirectCall { .. }
+                        | Terminator::FallThrough
+                );
+                if falls_through && i + 1 == f.blocks.len() {
+                    return Err(format!("function {} last block falls through", f.id));
+                }
+            }
+            prev_end = pc;
+        }
+        Ok(())
+    }
+}
+
+/// Builds a [`Program`] from profile parameters. Deterministic in `seed`.
+pub fn build_program(params: &ProfileParams, seed: u64) -> Program {
+    Builder {
+        rng: SmallRng::seed_from_u64(seed),
+        params,
+    }
+    .build()
+}
+
+struct Builder<'a> {
+    rng: SmallRng,
+    params: &'a ProfileParams,
+}
+
+/// Per-hot-block plan entry used during function construction.
+struct HotPlan {
+    instrs: u32,
+    cold_run: Vec<u32>,  // instruction counts of attached cold blocks
+    out_of_line: bool,   // cold run relocated to function end
+    call: Option<CallPlan>,
+    loop_back_to: Option<u32>, // hot index of loop head
+    fwd_cond: Option<f32>,     // taken prob of a forward conditional
+}
+
+enum CallPlan {
+    Direct(FuncId),
+    Indirect(Vec<FuncId>),
+}
+
+impl Builder<'_> {
+    fn build(&mut self) -> Program {
+        const CODE_BASE: Addr = 0x0040_0000;
+        let p = self.params;
+        let instrs_per_fn =
+            (p.avg_blocks_per_fn as f64 * p.avg_bb_instrs).max(4.0);
+        let n_funcs = ((p.static_instrs() as f64 / instrs_per_fn).ceil() as usize).max(2);
+
+        let mut functions = Vec::with_capacity(n_funcs + 1);
+        let mut pc = CODE_BASE;
+
+        // Function 0: the dispatcher loop.
+        functions.push(self.build_dispatcher(&mut pc));
+
+        for id in 1..=n_funcs {
+            // Align functions to 16 bytes like typical compilers.
+            pc = (pc + 15) & !15;
+            let f = self.build_function(id as FuncId, n_funcs as u32 + 1, &mut pc);
+            functions.push(f);
+        }
+
+        Program {
+            functions,
+            code_base: CODE_BASE,
+            code_end: pc,
+        }
+    }
+
+    fn build_dispatcher(&mut self, pc: &mut Addr) -> Function {
+        let entry = *pc;
+        let b0 = Block {
+            pc: entry,
+            instrs: 8,
+            cold: false,
+            term: Terminator::Dispatch,
+        };
+        // After a request returns, the dispatcher jumps back to its loop
+        // head (a `Return` here would pop an empty RAS on every request).
+        let b1 = Block {
+            pc: b0.end_pc(),
+            instrs: 2,
+            cold: false,
+            term: Terminator::Jump { target: 0 },
+        };
+        *pc = b1.end_pc();
+        Function {
+            id: 0,
+            blocks: vec![b0, b1],
+            entry_pc: entry,
+        }
+    }
+
+    fn sample_bb_instrs(&mut self) -> u32 {
+        let p = self.params;
+        // Geometric with the configured mean, truncated to [min, max].
+        let mean = p.avg_bb_instrs.max(p.min_bb_instrs as f64);
+        let q = 1.0 / mean;
+        let mut n = p.min_bb_instrs;
+        while n < p.max_bb_instrs && self.rng.gen::<f64>() > q {
+            n += 1;
+        }
+        n
+    }
+
+    fn build_function(&mut self, id: FuncId, n_funcs: u32, pc: &mut Addr) -> Function {
+        let p = self.params.clone();
+        let n_hot = {
+            let mean = (p.avg_blocks_per_fn as f64 * (1.0 - p.cold_block_fraction)).max(3.0);
+            let lo = (mean * 0.5).max(3.0) as usize;
+            let hi = (mean * 1.6).max(lo as f64 + 1.0) as usize;
+            self.rng.gen_range(lo..=hi)
+        };
+
+        // Probability a hot block carries a cold run, chosen so the expected
+        // cold-block share matches `cold_block_fraction` with runs of ~1.5.
+        let p_cold_run = (p.cold_block_fraction / (1.0 - p.cold_block_fraction) / 1.5).min(0.9);
+
+        // Phase 1: plan hot block sizes.
+        let mut plan: Vec<HotPlan> = (0..n_hot)
+            .map(|_| HotPlan {
+                instrs: self.sample_bb_instrs(),
+                cold_run: Vec::new(),
+                out_of_line: false,
+                call: None,
+                loop_back_to: None,
+                fwd_cond: None,
+            })
+            .collect();
+
+        // Phase 2: calls first — the call-tree branching factor controls
+        // dynamic request depth, so calls take priority over cold runs.
+        let callee_window = 64u32;
+        for (i, hp) in plan.iter_mut().enumerate().take(n_hot - 1) {
+            let _ = i;
+            let lo = id + 1;
+            let hi = n_funcs.min(id + 1 + callee_window);
+            if self.rng.gen::<f64>() < p.call_fraction && lo < hi {
+                if self.rng.gen::<f64>() < p.indirect_call_fraction {
+                    let k = self.rng.gen_range(2..=4usize);
+                    let callees = (0..k).map(|_| self.rng.gen_range(lo..hi)).collect();
+                    hp.call = Some(CallPlan::Indirect(callees));
+                } else {
+                    hp.call = Some(CallPlan::Direct(self.rng.gen_range(lo..hi)));
+                }
+            }
+        }
+
+        // Phase 3: cold runs on the remaining (non-call, non-last) blocks.
+        for hp in plan.iter_mut().take(n_hot - 1) {
+            if hp.call.is_none() && self.rng.gen::<f64>() < p_cold_run {
+                let len = if self.rng.gen::<f64>() < 0.6 { 1 } else { 2 };
+                hp.cold_run = (0..len).map(|_| self.sample_bb_instrs()).collect();
+                hp.out_of_line = match p.cold_layout {
+                    ColdLayout::Inline => false,
+                    ColdLayout::OutOfLine { fraction } => self.rng.gen::<f64>() < fraction,
+                };
+            }
+        }
+
+        // Phase 3b: loops — a backward conditional from a plain tail block.
+        if self.rng.gen::<f64>() < p.loop_fraction && n_hot >= 4 {
+            let head = self.rng.gen_range(0..n_hot - 2);
+            let tail = (head + self.rng.gen_range(1..4)).min(n_hot - 2);
+            if plan[tail].cold_run.is_empty() && plan[tail].call.is_none() {
+                let continue_prob = (1.0 - 1.0 / p.avg_loop_iters.max(1.5)) as f32;
+                plan[tail].loop_back_to = Some(head as u32);
+                // Keep probabilities sane even for tiny avg iteration counts.
+                plan[tail].fwd_cond = Some(continue_prob);
+            }
+        }
+
+        // Phase 3c: forward conditionals on whatever is left.
+        for (i, hp) in plan.iter_mut().enumerate() {
+            let is_last = i + 1 == n_hot;
+            if is_last
+                || hp.loop_back_to.is_some()
+                || !hp.cold_run.is_empty()
+                || hp.call.is_some()
+            {
+                continue;
+            }
+            if i + 2 < n_hot && self.rng.gen::<f64>() < 0.55 {
+                // Real branch populations are strongly bimodal: most are
+                // heavily biased one way (learnable by the perceptron) and
+                // only a small fraction are genuinely hard.
+                let x: f64 = self.rng.gen();
+                let hard_frac = 0.05;
+                let prob = if x < hard_frac {
+                    self.rng.gen_range(0.25f32..0.75)
+                } else if x < hard_frac + p.cond_taken_bias {
+                    self.rng.gen_range(0.97f32..0.998)
+                } else {
+                    self.rng.gen_range(0.002f32..0.03)
+                };
+                hp.fwd_cond = Some(prob);
+            }
+        }
+
+        // Phase 4: layout. Inline cold runs go right after their guard;
+        // out-of-line runs are appended after the last hot block.
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut hot_pos: Vec<u32> = Vec::with_capacity(n_hot);
+        // (guard layout pos, run sizes, hot index to rejoin)
+        let mut deferred: Vec<(u32, Vec<u32>, usize)> = Vec::new();
+
+        let push = |blocks: &mut Vec<Block>, pc: &mut Addr, instrs: u32, cold: bool| -> u32 {
+            let idx = blocks.len() as u32;
+            blocks.push(Block {
+                pc: *pc,
+                instrs,
+                cold,
+                term: Terminator::FallThrough, // patched below
+            });
+            *pc += instrs as u64 * INSTR_BYTES;
+            idx
+        };
+
+        for (i, hp) in plan.iter().enumerate() {
+            let pos = push(&mut blocks, pc, hp.instrs, false);
+            hot_pos.push(pos);
+            if !hp.cold_run.is_empty() {
+                if hp.out_of_line {
+                    deferred.push((pos, hp.cold_run.clone(), i + 1));
+                } else {
+                    for &sz in &hp.cold_run {
+                        push(&mut blocks, pc, sz, true);
+                    }
+                }
+            }
+        }
+        // Append out-of-line cold runs.
+        let mut deferred_pos: Vec<u32> = Vec::new();
+        for (_, run, _) in &deferred {
+            let first = blocks.len() as u32;
+            for &sz in run {
+                push(&mut blocks, pc, sz, true);
+            }
+            deferred_pos.push(first);
+        }
+
+        // Phase 5: terminators.
+        for (i, hp) in plan.iter().enumerate() {
+            let pos = hot_pos[i] as usize;
+            let is_last_hot = i + 1 == n_hot;
+            if is_last_hot {
+                blocks[pos].term = Terminator::Return;
+                continue;
+            }
+            let next_hot = hot_pos[i + 1];
+            if !hp.cold_run.is_empty() {
+                if hp.out_of_line {
+                    // Guard: rarely taken branch to the relocated run.
+                    let d = deferred.iter().position(|(g, _, _)| *g == pos as u32).unwrap();
+                    blocks[pos].term = Terminator::Cond {
+                        target: deferred_pos[d],
+                        taken_prob: self.params.cold_exec_prob as f32,
+                    };
+                } else {
+                    // Guard: mostly-taken branch skipping the inline run.
+                    blocks[pos].term = Terminator::Cond {
+                        target: next_hot,
+                        taken_prob: 1.0 - self.params.cold_exec_prob as f32,
+                    };
+                    // Cold run tail falls through into next_hot already
+                    // (inline cold run is laid out right before it).
+                }
+            } else if let Some(head) = hp.loop_back_to {
+                blocks[pos].term = Terminator::Cond {
+                    target: hot_pos[head as usize],
+                    taken_prob: hp.fwd_cond.unwrap_or(0.9),
+                };
+            } else if let Some(call) = &hp.call {
+                blocks[pos].term = match call {
+                    CallPlan::Direct(c) => Terminator::Call { callee: *c },
+                    CallPlan::Indirect(cs) => Terminator::IndirectCall {
+                        callees: cs.clone(),
+                    },
+                };
+            } else if let Some(prob) = hp.fwd_cond {
+                let skip_to = hot_pos[(i + 2).min(n_hot - 1)];
+                blocks[pos].term = Terminator::Cond {
+                    target: skip_to,
+                    taken_prob: prob,
+                };
+            } else {
+                blocks[pos].term = Terminator::FallThrough;
+            }
+        }
+        // Out-of-line cold tails jump back to the rejoin hot block.
+        for (d, (_, run, rejoin_hot)) in deferred.iter().enumerate() {
+            let first = deferred_pos[d] as usize;
+            let last = first + run.len() - 1;
+            let rejoin = hot_pos[(*rejoin_hot).min(n_hot - 1)];
+            blocks[last].term = if *rejoin_hot >= n_hot {
+                Terminator::Return
+            } else {
+                Terminator::Jump { target: rejoin }
+            };
+        }
+
+        let entry_pc = blocks[0].pc;
+        Function {
+            id,
+            blocks,
+            entry_pc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::params::{Profile, WorkloadSpec};
+
+    fn small_params() -> ProfileParams {
+        let mut p = Profile::Client.base_params();
+        p.code_footprint_bytes = 32 << 10;
+        p
+    }
+
+    #[test]
+    fn built_program_validates() {
+        let p = small_params();
+        let prog = build_program(&p, 42);
+        prog.validate().expect("invalid program");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let p = small_params();
+        assert_eq!(build_program(&p, 7), build_program(&p, 7));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = small_params();
+        assert_ne!(build_program(&p, 1), build_program(&p, 2));
+    }
+
+    #[test]
+    fn footprint_close_to_requested() {
+        let p = small_params();
+        let prog = build_program(&p, 3);
+        let got = prog.footprint_bytes() as f64;
+        let want = p.code_footprint_bytes as f64;
+        assert!(
+            (got / want - 1.0).abs() < 0.5,
+            "footprint {got} vs requested {want}"
+        );
+    }
+
+    #[test]
+    fn cold_fraction_close_to_requested() {
+        let mut p = small_params();
+        p.code_footprint_bytes = 256 << 10;
+        let prog = build_program(&p, 9);
+        let got = prog.cold_fraction();
+        assert!(
+            (got - p.cold_block_fraction).abs() < 0.15,
+            "cold fraction {got} vs requested {}",
+            p.cold_block_fraction
+        );
+    }
+
+    #[test]
+    fn all_profiles_build_and_validate() {
+        for prof in Profile::all() {
+            let mut params = WorkloadSpec::new(prof, 0).params();
+            // Shrink so the test stays fast.
+            params.code_footprint_bytes = params.code_footprint_bytes.min(128 << 10);
+            build_program(&params, 11).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn google_layout_moves_cold_out_of_line() {
+        // Under the out-of-line layout, cold blocks should cluster at
+        // function ends: the average layout index of cold blocks (relative
+        // to function size) must exceed that of the inline layout.
+        let mut inline_p = Profile::Server.base_params();
+        inline_p.code_footprint_bytes = 128 << 10;
+        let mut ool_p = inline_p.clone();
+        ool_p.cold_layout = ColdLayout::OutOfLine { fraction: 1.0 };
+
+        let rel_cold_pos = |prog: &Program| -> f64 {
+            let mut sum = 0.0;
+            let mut n = 0.0f64;
+            for f in &prog.functions {
+                let len = f.blocks.len() as f64;
+                for (i, b) in f.blocks.iter().enumerate() {
+                    if b.cold {
+                        sum += i as f64 / len;
+                        n += 1.0;
+                    }
+                }
+            }
+            sum / n.max(1.0)
+        };
+        let inline_pos = rel_cold_pos(&build_program(&inline_p, 5));
+        let ool_pos = rel_cold_pos(&build_program(&ool_p, 5));
+        assert!(
+            ool_pos > inline_pos + 0.1,
+            "out-of-line cold position {ool_pos} not later than inline {inline_pos}"
+        );
+    }
+}

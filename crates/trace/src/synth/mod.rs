@@ -1,0 +1,20 @@
+//! Synthetic workload generation.
+//!
+//! Real server traces (Google [21], IPC-1 [22], CVP-1 [29]) are proprietary
+//! or impractically large; this module replaces them with a CFG-based
+//! program synthesizer whose knobs map directly onto the phenomena the paper
+//! measures: instruction footprint, basic-block geometry, hot/cold code
+//! mixing within 64-byte lines, loop behaviour and phase changes. See
+//! `DESIGN.md` §1 for the substitution argument.
+//!
+//! The pipeline is: [`Profile`] → [`ProfileParams`] (per-workload jitter) →
+//! [`build_program`] (static CFG + layout) → [`SyntheticTrace`] (dynamic
+//! walk emitting [`crate::TraceRecord`]s).
+
+mod cfg;
+mod params;
+mod walk;
+
+pub use cfg::{build_program, Block, BlockId, FuncId, Function, Program, Terminator};
+pub use params::{ColdLayout, Profile, ProfileParams, WorkloadSpec};
+pub use walk::SyntheticTrace;

@@ -1,0 +1,398 @@
+//! Workload profiles and generator parameters.
+//!
+//! Each paper workload category (Google, IPC-1 server/client/SPEC, CVP-1)
+//! maps to a [`Profile`] whose [`ProfileParams`] control the synthetic
+//! program's instruction footprint, basic-block geometry, hot/cold code
+//! mixing and data-side behaviour. Individual workloads within a category
+//! are derived by seed-controlled jitter so a suite shows the per-workload
+//! spread visible in the paper's Figures 8 and 10.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Where rarely-executed (cold) basic blocks are placed in the code layout.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ColdLayout {
+    /// Cold blocks sit immediately after the hot block that skips them —
+    /// the "hot and cold regions tightly mixed" behaviour the Google AsmDB
+    /// study reports for unoptimized layouts.
+    Inline,
+    /// A fraction of cold runs is relocated to the end of the function,
+    /// emulating profile-guided layout optimization (the paper notes Google
+    /// workloads show better storage efficiency for this reason).
+    OutOfLine {
+        /// Fraction of cold runs moved out of line (0.0–1.0).
+        fraction: f64,
+    },
+}
+
+/// Workload categories studied in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Profile {
+    /// Google server traces (§V-A, [21]): multi-MB footprint with
+    /// PGO-optimized layout.
+    Google,
+    /// Qualcomm IPC-1 server traces: multi-MB footprint, unoptimized
+    /// hot/cold mixing, high L1-I MPKI.
+    Server,
+    /// IPC-1 client traces: small footprint, loopy, low MPKI.
+    Client,
+    /// IPC-1 SPEC traces: small footprint, very loopy.
+    Spec,
+    /// CVP-1 server traces (§VI-L): server-like, different parameter draw.
+    CvpServer,
+    /// CVP-1 floating-point traces: moderate footprint, long loops.
+    CvpFp,
+    /// CVP-1 integer traces: small-to-moderate footprint.
+    CvpInt,
+}
+
+impl Profile {
+    /// Short lowercase label used in workload names (`server_003` etc.).
+    pub fn label(self) -> &'static str {
+        match self {
+            Profile::Google => "google",
+            Profile::Server => "server",
+            Profile::Client => "client",
+            Profile::Spec => "spec",
+            Profile::CvpServer => "cvp_server",
+            Profile::CvpFp => "cvp_fp",
+            Profile::CvpInt => "cvp_int",
+        }
+    }
+
+    /// The category's base parameters before per-workload jitter.
+    pub fn base_params(self) -> ProfileParams {
+        match self {
+            Profile::Google => ProfileParams {
+                code_footprint_bytes: 3 << 20,
+                avg_bb_instrs: 3.8,
+                min_bb_instrs: 2,
+                max_bb_instrs: 24,
+                cold_block_fraction: 0.42,
+                cold_exec_prob: 0.015,
+                cond_taken_bias: 0.55,
+                call_fraction: 0.19,
+                indirect_call_fraction: 0.12,
+                loop_fraction: 0.30,
+                avg_loop_iters: 12.0,
+                avg_blocks_per_fn: 14,
+                zipf_s: 1.1,
+                hot_set_size: 96,
+                phase_change_prob: 2e-6,
+                cold_layout: ColdLayout::OutOfLine { fraction: 0.5 },
+                data_footprint_bytes: 3 << 20,
+                load_fraction: 0.22,
+                store_fraction: 0.10,
+                stride_load_fraction: 0.75,
+                max_call_depth: 24,
+            },
+            Profile::Server => ProfileParams {
+                code_footprint_bytes: 4 << 20,
+                avg_bb_instrs: 3.4,
+                min_bb_instrs: 2,
+                max_bb_instrs: 24,
+                cold_block_fraction: 0.45,
+                cold_exec_prob: 0.02,
+                cond_taken_bias: 0.60,
+                call_fraction: 0.20,
+                indirect_call_fraction: 0.15,
+                loop_fraction: 0.25,
+                avg_loop_iters: 10.0,
+                avg_blocks_per_fn: 13,
+                zipf_s: 1.0,
+                hot_set_size: 128,
+                phase_change_prob: 3e-6,
+                cold_layout: ColdLayout::Inline,
+                data_footprint_bytes: 4 << 20,
+                load_fraction: 0.18,
+                store_fraction: 0.09,
+                stride_load_fraction: 0.8,
+                max_call_depth: 28,
+            },
+            Profile::Client => ProfileParams {
+                code_footprint_bytes: 96 << 10,
+                avg_bb_instrs: 4.5,
+                min_bb_instrs: 2,
+                max_bb_instrs: 48,
+                cold_block_fraction: 0.40,
+                cold_exec_prob: 0.01,
+                cond_taken_bias: 0.50,
+                call_fraction: 0.12,
+                indirect_call_fraction: 0.08,
+                loop_fraction: 0.45,
+                avg_loop_iters: 40.0,
+                avg_blocks_per_fn: 12,
+                zipf_s: 1.2,
+                hot_set_size: 48,
+                phase_change_prob: 1e-6,
+                cold_layout: ColdLayout::Inline,
+                data_footprint_bytes: 256 << 10,
+                load_fraction: 0.24,
+                store_fraction: 0.10,
+                stride_load_fraction: 0.75,
+                max_call_depth: 16,
+            },
+            Profile::Spec => ProfileParams {
+                code_footprint_bytes: 112 << 10,
+                avg_bb_instrs: 6.5,
+                min_bb_instrs: 2,
+                max_bb_instrs: 64,
+                cold_block_fraction: 0.35,
+                cold_exec_prob: 0.008,
+                cond_taken_bias: 0.40,
+                call_fraction: 0.08,
+                indirect_call_fraction: 0.04,
+                loop_fraction: 0.60,
+                avg_loop_iters: 90.0,
+                avg_blocks_per_fn: 11,
+                zipf_s: 1.3,
+                hot_set_size: 32,
+                phase_change_prob: 5e-7,
+                cold_layout: ColdLayout::Inline,
+                data_footprint_bytes: 1 << 20,
+                load_fraction: 0.30,
+                store_fraction: 0.12,
+                stride_load_fraction: 0.85,
+                max_call_depth: 12,
+            },
+            Profile::CvpServer => {
+                let mut p = Profile::Server.base_params();
+                p.code_footprint_bytes = 2 << 20;
+                p.cold_block_fraction = 0.40;
+                p.hot_set_size = 96;
+                p
+            }
+            Profile::CvpFp => {
+                let mut p = Profile::Spec.base_params();
+                p.code_footprint_bytes = 128 << 10;
+                p.avg_loop_iters = 200.0;
+                p.loop_fraction = 0.7;
+                p
+            }
+            Profile::CvpInt => {
+                let mut p = Profile::Spec.base_params();
+                p.code_footprint_bytes = 96 << 10;
+                p.avg_loop_iters = 30.0;
+                p
+            }
+        }
+    }
+
+    /// All profiles, for exhaustive sweeps.
+    pub fn all() -> [Profile; 7] {
+        [
+            Profile::Google,
+            Profile::Server,
+            Profile::Client,
+            Profile::Spec,
+            Profile::CvpServer,
+            Profile::CvpFp,
+            Profile::CvpInt,
+        ]
+    }
+}
+
+/// Tunable knobs of the synthetic program generator.
+///
+/// See [`Profile::base_params`] for per-category defaults; all fields are
+/// public so studies can build bespoke workloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileParams {
+    /// Static code size in bytes (instructions × 4).
+    pub code_footprint_bytes: usize,
+    /// Mean basic-block size in instructions (geometric-ish distribution).
+    pub avg_bb_instrs: f64,
+    /// Minimum basic-block size in instructions (≥1; the terminator counts).
+    pub min_bb_instrs: u32,
+    /// Maximum basic-block size in instructions.
+    pub max_bb_instrs: u32,
+    /// Fraction of basic blocks that are cold (error paths, rare cases).
+    pub cold_block_fraction: f64,
+    /// Probability that a guarded cold run actually executes.
+    pub cold_exec_prob: f64,
+    /// Mean taken probability of hot forward conditional branches.
+    pub cond_taken_bias: f64,
+    /// Fraction of hot blocks terminating in a direct call.
+    pub call_fraction: f64,
+    /// Of those calls, the fraction that are indirect.
+    pub indirect_call_fraction: f64,
+    /// Fraction of functions containing a loop.
+    pub loop_fraction: f64,
+    /// Mean dynamic iterations per loop visit (geometric).
+    pub avg_loop_iters: f64,
+    /// Mean number of basic blocks per function.
+    pub avg_blocks_per_fn: usize,
+    /// Zipf skew of function popularity within the hot set.
+    pub zipf_s: f64,
+    /// Number of root functions in the currently active phase.
+    pub hot_set_size: usize,
+    /// Per-instruction probability of a phase change (hot-set redraw).
+    pub phase_change_prob: f64,
+    /// Placement policy for cold blocks.
+    pub cold_layout: ColdLayout,
+    /// Data working-set size in bytes.
+    pub data_footprint_bytes: usize,
+    /// Fraction of non-terminator instructions that load.
+    pub load_fraction: f64,
+    /// Fraction of non-terminator instructions that store.
+    pub store_fraction: f64,
+    /// Fraction of loads that follow striding streams (the rest are random
+    /// within the data footprint).
+    pub stride_load_fraction: f64,
+    /// Call-depth cap; deeper calls are elided to keep stacks bounded.
+    pub max_call_depth: usize,
+}
+
+impl ProfileParams {
+    /// Derives per-workload parameters from the category base by jittering
+    /// footprint, cold fraction and loop behaviour with `seed`.
+    ///
+    /// The jitter is deliberately wide for server-class profiles: the paper's
+    /// per-workload results (Fig. 8/10) range from near-zero stall coverage
+    /// (huge reuse distances, e.g. `server_003`–`server_013`) to >60 %
+    /// coverage (working sets just above 32 KB).
+    pub fn jittered(&self, profile: Profile, seed: u64) -> ProfileParams {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut p = self.clone();
+        let server_like = matches!(
+            profile,
+            Profile::Server | Profile::Google | Profile::CvpServer
+        );
+        if server_like {
+            // Log-uniform footprint covering the "32→64 KB doubling helps a
+            // lot" regime through the "nothing fits anyway" regime.
+            let lo: f64 = 48.0 * 1024.0;
+            let hi: f64 = 4.0 * 1024.0 * 1024.0;
+            let x: f64 = rng.gen();
+            p.code_footprint_bytes = (lo * (hi / lo).powf(x)) as usize;
+            p.hot_set_size = (p.hot_set_size as f64 * rng.gen_range(0.25..2.0)) as usize;
+            p.phase_change_prob *= rng.gen_range(0.3..3.0);
+            // Reuse concentration spans "everything is hot" to "a few hot
+            // functions dominate" — this is what spreads workloads across
+            // the coverage spectrum of the paper's Fig. 8.
+            p.zipf_s = rng.gen_range(0.8..1.5);
+        } else {
+            p.code_footprint_bytes =
+                (p.code_footprint_bytes as f64 * rng.gen_range(0.5..2.0)) as usize;
+        }
+        p.cold_block_fraction = (p.cold_block_fraction * rng.gen_range(0.8..1.25)).min(0.7);
+        p.avg_loop_iters *= rng.gen_range(0.5..2.0);
+        p.avg_bb_instrs = (p.avg_bb_instrs * rng.gen_range(0.85..1.2))
+            .clamp(p.min_bb_instrs as f64, p.max_bb_instrs as f64);
+        p.cond_taken_bias = (p.cond_taken_bias * rng.gen_range(0.85..1.2)).min(0.9);
+        p.hot_set_size = p.hot_set_size.max(4);
+        p
+    }
+
+    /// Expected static instruction count implied by the code footprint.
+    pub fn static_instrs(&self) -> usize {
+        self.code_footprint_bytes / crate::record::INSTR_BYTES as usize
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.min_bb_instrs == 0 {
+            return Err("min_bb_instrs must be at least 1".into());
+        }
+        if self.min_bb_instrs > self.max_bb_instrs {
+            return Err("min_bb_instrs exceeds max_bb_instrs".into());
+        }
+        if !(0.0..=1.0).contains(&self.cold_block_fraction) {
+            return Err("cold_block_fraction out of [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.cold_exec_prob) {
+            return Err("cold_exec_prob out of [0,1]".into());
+        }
+        if self.avg_blocks_per_fn < 2 {
+            return Err("functions need at least 2 blocks".into());
+        }
+        if self.code_footprint_bytes < 4096 {
+            return Err("code footprint below 4 KiB is degenerate".into());
+        }
+        if self.load_fraction + self.store_fraction > 1.0 {
+            return Err("load_fraction + store_fraction exceeds 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Identifies one synthetic workload: a profile plus a seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Display name, e.g. `server_003`.
+    pub name: String,
+    /// Workload category.
+    pub profile: Profile,
+    /// RNG seed controlling both program structure and execution path.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Creates the `index`-th workload of `profile`'s suite.
+    pub fn new(profile: Profile, index: usize) -> Self {
+        WorkloadSpec {
+            name: format!("{}_{:03}", profile.label(), index),
+            profile,
+            seed: (index as u64 + 1) * 0x5851_f42d_4c95_7f2d ^ profile.label().len() as u64,
+        }
+    }
+
+    /// The fully jittered parameters for this workload.
+    pub fn params(&self) -> ProfileParams {
+        self.profile
+            .base_params()
+            .jittered(self.profile, self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_params_validate() {
+        for p in Profile::all() {
+            p.base_params().validate().unwrap_or_else(|e| {
+                panic!("profile {p:?} invalid: {e}");
+            });
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic() {
+        let spec = WorkloadSpec::new(Profile::Server, 3);
+        assert_eq!(spec.params(), spec.params());
+        assert_eq!(spec.name, "server_003");
+    }
+
+    #[test]
+    fn jitter_varies_across_seeds() {
+        let a = WorkloadSpec::new(Profile::Server, 1).params();
+        let b = WorkloadSpec::new(Profile::Server, 2).params();
+        assert_ne!(a.code_footprint_bytes, b.code_footprint_bytes);
+    }
+
+    #[test]
+    fn jittered_params_still_validate() {
+        for p in Profile::all() {
+            for i in 0..20 {
+                WorkloadSpec::new(p, i).params().validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn server_footprints_span_regimes() {
+        let sizes: Vec<usize> = (0..24)
+            .map(|i| WorkloadSpec::new(Profile::Server, i).params().code_footprint_bytes)
+            .collect();
+        assert!(sizes.iter().any(|&s| s < 256 << 10), "no small-footprint server workload");
+        assert!(sizes.iter().any(|&s| s > 1 << 20), "no large-footprint server workload");
+    }
+}

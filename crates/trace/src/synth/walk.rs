@@ -1,0 +1,508 @@
+//! Dynamic execution of a synthetic [`Program`]: the trace walker.
+//!
+//! [`SyntheticTrace`] walks the program's CFG with a seeded RNG, emitting one
+//! [`TraceRecord`] per retired instruction. Function 0 is the dispatcher: it
+//! repeatedly calls root functions drawn (Zipf-weighted) from the current
+//! *hot set*, modelling a server's request loop; periodic hot-set redraws
+//! model phase changes in the instruction working set.
+
+use super::cfg::{build_program, BlockId, FuncId, Program, Terminator};
+use super::params::{ProfileParams, WorkloadSpec};
+use crate::record::{Addr, BranchInfo, BranchKind, TraceRecord, INSTR_BYTES, MAX_SRC_REGS};
+use crate::source::TraceSource;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of concurrent striding load streams the data side models.
+const NUM_STREAMS: usize = 8;
+/// Base of the modelled heap region.
+const HEAP_BASE: Addr = 0x1000_0000;
+/// Base of the modelled stack region (grows down).
+const STACK_BASE: Addr = 0x7fff_ff00_0000;
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    func: FuncId,
+    resume_block: BlockId,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Cursor {
+    func: FuncId,
+    block: BlockId,
+    /// Index of the next instruction to emit within the block.
+    instr: u32,
+}
+
+/// An infinite instruction stream over a synthetic program.
+///
+/// ```
+/// use ubs_trace::synth::{Profile, SyntheticTrace, WorkloadSpec};
+/// use ubs_trace::TraceSource;
+/// let mut spec = WorkloadSpec::new(Profile::Client, 0);
+/// spec.seed = 1; // anything deterministic
+/// let mut trace = SyntheticTrace::build(&spec);
+/// let first = trace.next_record().expect("infinite stream");
+/// assert_eq!(first.size, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticTrace {
+    name: String,
+    program: Program,
+    params: ProfileParams,
+    rng: SmallRng,
+    stack: Vec<Frame>,
+    cur: Cursor,
+    hot_set: Vec<FuncId>,
+    zipf_cdf: Vec<f64>,
+    next_phase_at: u64,
+    emitted: u64,
+    dst_ring: [u8; 8],
+    ring_pos: usize,
+    reg_counter: u32,
+    stream_pos: [Addr; NUM_STREAMS],
+    stream_stride: [u64; NUM_STREAMS],
+}
+
+impl SyntheticTrace {
+    /// Builds the program for `spec` and starts a walk at the dispatcher.
+    ///
+    /// Program construction is the expensive part (proportional to the code
+    /// footprint); reuse the value and `clone` it to restart a walk.
+    pub fn build(spec: &WorkloadSpec) -> Self {
+        let params = spec.params();
+        let program = build_program(&params, spec.seed);
+        Self::from_parts(spec.name.clone(), program, params, spec.seed ^ 0xa5a5_a5a5)
+    }
+
+    /// Starts a walk over an already-built program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` fails [`Program::validate`].
+    pub fn from_parts(
+        name: String,
+        program: Program,
+        params: ProfileParams,
+        walk_seed: u64,
+    ) -> Self {
+        program
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid program for {name}: {e}"));
+        let mut rng = SmallRng::seed_from_u64(walk_seed);
+        let n = program.functions.len();
+        let hot_set = Self::draw_hot_set(&mut rng, n, params.hot_set_size);
+        let zipf_cdf = Self::zipf_cdf(params.zipf_s, hot_set.len());
+        let mut stream_pos = [0u64; NUM_STREAMS];
+        let mut stream_stride = [0u64; NUM_STREAMS];
+        for i in 0..NUM_STREAMS {
+            stream_pos[i] = HEAP_BASE + rng.gen_range(0..params.data_footprint_bytes as u64);
+            stream_stride[i] = *[8u64, 8, 8, 16, 16].get(i % 5).unwrap_or(&8);
+        }
+        let phase_len = (1.0 / params.phase_change_prob.max(1e-12)) as u64;
+        SyntheticTrace {
+            name,
+            cur: Cursor {
+                func: 0,
+                block: 0,
+                instr: 0,
+            },
+            next_phase_at: phase_len.max(1),
+            program,
+            params,
+            rng,
+            stack: Vec::with_capacity(64),
+            hot_set,
+            zipf_cdf,
+            emitted: 0,
+            dst_ring: [1; 8],
+            ring_pos: 0,
+            reg_counter: 0,
+            stream_pos,
+            stream_stride,
+        }
+    }
+
+    /// The program being walked.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Records emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn draw_hot_set(rng: &mut SmallRng, n_funcs: usize, size: usize) -> Vec<FuncId> {
+        let hi = n_funcs.max(2) as u32;
+        (0..size.max(1))
+            .map(|_| rng.gen_range(1..hi))
+            .collect()
+    }
+
+    fn zipf_cdf(s: f64, n: usize) -> Vec<f64> {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc.max(f64::MIN_POSITIVE);
+        for v in &mut cdf {
+            *v /= total;
+        }
+        cdf
+    }
+
+    fn pick_root(&mut self) -> FuncId {
+        let x: f64 = self.rng.gen();
+        let idx = self
+            .zipf_cdf
+            .iter()
+            .position(|&c| x <= c)
+            .unwrap_or(self.zipf_cdf.len() - 1);
+        self.hot_set[idx]
+    }
+
+    fn maybe_phase_change(&mut self) {
+        if self.emitted >= self.next_phase_at {
+            let n = self.program.functions.len();
+            self.hot_set = Self::draw_hot_set(&mut self.rng, n, self.params.hot_set_size);
+            let phase_len = (1.0 / self.params.phase_change_prob.max(1e-12)) as u64;
+            self.next_phase_at = self.emitted + phase_len.max(1);
+        }
+    }
+
+    fn next_dst_reg(&mut self) -> u8 {
+        self.reg_counter = self.reg_counter.wrapping_add(1);
+        let r = 1 + (self.reg_counter % 28) as u8;
+        self.dst_ring[self.ring_pos] = r;
+        self.ring_pos = (self.ring_pos + 1) % self.dst_ring.len();
+        r
+    }
+
+    fn recent_src(&mut self) -> u8 {
+        let i = self.rng.gen_range(0..self.dst_ring.len());
+        self.dst_ring[i]
+    }
+
+    fn gen_load_addr(&mut self) -> Addr {
+        let x: f64 = self.rng.gen();
+        if x < 0.5 {
+            // Stack-relative access: near the top of the modelled stack.
+            let depth = self.stack.len() as u64;
+            STACK_BASE - depth * 256 - self.rng.gen_range(0..32) * 8
+        } else if x < 0.5 + 0.5 * self.params.stride_load_fraction {
+            let i = self.rng.gen_range(0..NUM_STREAMS);
+            let a = self.stream_pos[i];
+            let fp = self.params.data_footprint_bytes as u64;
+            self.stream_pos[i] = HEAP_BASE + ((a - HEAP_BASE + self.stream_stride[i]) % fp.max(64));
+            a
+        } else if self.rng.gen::<f64>() < 0.8 {
+            // Pointer-chasing within the *hot* data region (L2/L3-resident):
+            // most irregular accesses in real servers touch hot objects.
+            let hot = (self.params.data_footprint_bytes as u64 / 16).clamp(64, 256 << 10);
+            HEAP_BASE + self.rng.gen_range(0..hot / 8) * 8
+        } else {
+            HEAP_BASE + self.rng.gen_range(0..self.params.data_footprint_bytes as u64 / 8) * 8
+        }
+    }
+
+    /// Emits a body (non-terminator) instruction at `pc`.
+    fn body_record(&mut self, pc: Addr) -> TraceRecord {
+        let mut rec = TraceRecord::nop(pc);
+        let x: f64 = self.rng.gen();
+        if x < self.params.load_fraction {
+            rec.load = Some(self.gen_load_addr());
+            rec.src_regs[0] = self.recent_src();
+            rec.dst_regs[0] = self.next_dst_reg();
+        } else if x < self.params.load_fraction + self.params.store_fraction {
+            rec.store = Some(self.gen_load_addr());
+            rec.src_regs[0] = self.recent_src();
+            rec.src_regs[1] = self.recent_src();
+        } else {
+            // Plain ALU op; dependencies are sparse enough that the OoO
+            // back-end can extract ILP (immediates, loop counters, and
+            // far-back registers all break chains in real code).
+            if self.rng.gen::<f64>() < 0.6 {
+                rec.src_regs[0] = self.recent_src();
+            }
+            if self.rng.gen::<f64>() < 0.25 {
+                rec.src_regs[1] = self.recent_src();
+            }
+            rec.dst_regs[0] = self.next_dst_reg();
+        }
+        debug_assert!(rec.src_regs.len() <= MAX_SRC_REGS);
+        rec
+    }
+
+    fn branch_record(&mut self, pc: Addr, kind: BranchKind, taken: bool, target: Addr) -> TraceRecord {
+        let mut rec = TraceRecord::nop(pc);
+        // Roughly half of conditionals compare against a recently produced
+        // value; the rest test loop counters / flags already long ready.
+        if kind == BranchKind::Conditional && self.rng.gen::<f64>() < 0.15 {
+            rec.src_regs[0] = self.recent_src();
+        }
+        rec.branch = Some(BranchInfo { kind, taken, target });
+        rec
+    }
+
+    #[inline]
+    fn block(&self, func: FuncId, block: BlockId) -> &super::cfg::Block {
+        &self.program.functions[func as usize].blocks[block as usize]
+    }
+
+    fn goto(&mut self, func: FuncId, block: BlockId) {
+        self.cur = Cursor {
+            func,
+            block,
+            instr: 0,
+        };
+    }
+}
+
+impl TraceSource for SyntheticTrace {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        let cur = self.cur;
+        let b = self.block(cur.func, cur.block);
+        let pc = b.pc + cur.instr as u64 * INSTR_BYTES;
+        let at_terminator = cur.instr + 1 == b.instrs;
+        let term = b.term.clone();
+        self.emitted += 1;
+
+        if !at_terminator {
+            self.cur.instr += 1;
+            return Some(self.body_record(pc));
+        }
+
+        // Terminator instruction: emit the branch (if any) and advance.
+        let func = cur.func;
+        let next_block = cur.block + 1;
+        let rec = match term {
+            Terminator::FallThrough => {
+                self.goto(func, next_block);
+                self.body_record(pc)
+            }
+            Terminator::Cond { target, taken_prob } => {
+                let taken = self.rng.gen::<f32>() < taken_prob;
+                let target_pc = self.block(func, target).pc;
+                if taken {
+                    self.goto(func, target);
+                } else {
+                    self.goto(func, next_block);
+                }
+                self.branch_record(pc, BranchKind::Conditional, taken, target_pc)
+            }
+            Terminator::Jump { target } => {
+                let target_pc = self.block(func, target).pc;
+                self.goto(func, target);
+                self.branch_record(pc, BranchKind::DirectJump, true, target_pc)
+            }
+            Terminator::Call { callee } => {
+                if self.stack.len() >= self.params.max_call_depth {
+                    // Depth cap: elide the call, treat as a plain instruction.
+                    self.goto(func, next_block);
+                    self.body_record(pc)
+                } else {
+                    let entry = self.program.functions[callee as usize].entry_pc;
+                    self.stack.push(Frame {
+                        func,
+                        resume_block: next_block,
+                    });
+                    self.goto(callee, 0);
+                    self.branch_record(pc, BranchKind::DirectCall, true, entry)
+                }
+            }
+            Terminator::IndirectCall { ref callees } => {
+                if self.stack.len() >= self.params.max_call_depth {
+                    self.goto(func, next_block);
+                    self.body_record(pc)
+                } else {
+                    // Indirect call sites are mostly monomorphic in practice:
+                    // the first target dominates, so the BTB predicts well.
+                    let idx = if self.rng.gen::<f64>() < 0.85 {
+                        0
+                    } else {
+                        self.rng.gen_range(0..callees.len())
+                    };
+                    let callee = callees[idx];
+                    let entry = self.program.functions[callee as usize].entry_pc;
+                    self.stack.push(Frame {
+                        func,
+                        resume_block: next_block,
+                    });
+                    self.goto(callee, 0);
+                    self.branch_record(pc, BranchKind::IndirectCall, true, entry)
+                }
+            }
+            Terminator::Return => match self.stack.pop() {
+                Some(frame) => {
+                    let target_pc = self.block(frame.func, frame.resume_block).pc;
+                    self.goto(frame.func, frame.resume_block);
+                    self.branch_record(pc, BranchKind::Return, true, target_pc)
+                }
+                None => {
+                    // Orphan return (shouldn't happen): restart the dispatcher.
+                    let target_pc = self.program.functions[0].entry_pc;
+                    self.goto(0, 0);
+                    self.branch_record(pc, BranchKind::Return, true, target_pc)
+                }
+            },
+            Terminator::Dispatch => {
+                self.maybe_phase_change();
+                let root = self.pick_root();
+                let entry = self.program.functions[root as usize].entry_pc;
+                self.stack.push(Frame {
+                    func: 0,
+                    resume_block: next_block,
+                });
+                self.goto(root, 0);
+                self.branch_record(pc, BranchKind::IndirectCall, true, entry)
+            }
+        };
+        Some(rec)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Line;
+    use crate::synth::params::Profile;
+    use std::collections::HashSet;
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "unit_client".into(),
+            profile: Profile::Client,
+            seed: 17,
+        }
+    }
+
+    fn small_trace() -> SyntheticTrace {
+        let spec = small_spec();
+        let mut params = spec.params();
+        params.code_footprint_bytes = 32 << 10;
+        let program = build_program(&params, spec.seed);
+        SyntheticTrace::from_parts(spec.name, program, params, 99)
+    }
+
+    #[test]
+    fn stream_is_infinite_and_consistent() {
+        let mut t = small_trace();
+        let mut prev: Option<TraceRecord> = None;
+        for i in 0..200_000 {
+            let r = t.next_record().expect("stream ended");
+            if let Some(p) = prev {
+                assert_eq!(
+                    p.successor_pc(),
+                    r.pc,
+                    "control-flow discontinuity at record {i}: {p:?} -> {r:?}"
+                );
+            }
+            prev = Some(r);
+        }
+    }
+
+    #[test]
+    fn pcs_stay_inside_code_region() {
+        let mut t = small_trace();
+        let (base, end) = (t.program().code_base, t.program().code_end);
+        for _ in 0..100_000 {
+            let r = t.next_record().unwrap();
+            assert!(r.pc >= base && r.pc < end, "pc {:x} out of code region", r.pc);
+        }
+    }
+
+    #[test]
+    fn walk_is_deterministic() {
+        let mut a = small_trace();
+        let mut b = small_trace();
+        for _ in 0..50_000 {
+            assert_eq!(a.next_record(), b.next_record());
+        }
+    }
+
+    #[test]
+    fn cold_code_rarely_executes() {
+        let mut t = small_trace();
+        // Count instruction executions landing in cold blocks.
+        let mut cold_pcs: HashSet<u64> = HashSet::new();
+        for f in &t.program().functions {
+            for b in &f.blocks {
+                if b.cold {
+                    for i in 0..b.instrs {
+                        cold_pcs.insert(b.pc + i as u64 * 4);
+                    }
+                }
+            }
+        }
+        let mut cold_execs = 0u64;
+        let n = 300_000;
+        for _ in 0..n {
+            let r = t.next_record().unwrap();
+            if cold_pcs.contains(&r.pc) {
+                cold_execs += 1;
+            }
+        }
+        let frac = cold_execs as f64 / n as f64;
+        assert!(frac < 0.12, "cold code executed too often: {frac}");
+    }
+
+    #[test]
+    fn touches_many_distinct_lines() {
+        let mut t = small_trace();
+        let mut lines: HashSet<Line> = HashSet::new();
+        for _ in 0..200_000 {
+            lines.insert(t.next_record().unwrap().line());
+        }
+        assert!(lines.len() > 50, "only {} lines touched", lines.len());
+    }
+
+    #[test]
+    fn loads_and_stores_present() {
+        let mut t = small_trace();
+        let (mut loads, mut stores) = (0, 0);
+        for _ in 0..100_000 {
+            let r = t.next_record().unwrap();
+            loads += r.load.is_some() as u64;
+            stores += r.store.is_some() as u64;
+        }
+        assert!(loads > 10_000, "too few loads: {loads}");
+        assert!(stores > 4_000, "too few stores: {stores}");
+    }
+
+    #[test]
+    fn branch_mix_is_reasonable() {
+        let mut t = small_trace();
+        let mut branches = 0u64;
+        let mut calls = 0u64;
+        let mut returns = 0u64;
+        let n = 200_000;
+        for _ in 0..n {
+            if let Some(b) = t.next_record().unwrap().branch {
+                branches += 1;
+                calls += b.kind.is_call() as u64;
+                returns += (b.kind == BranchKind::Return) as u64;
+            }
+        }
+        let bf = branches as f64 / n as f64;
+        assert!((0.05..0.5).contains(&bf), "branch fraction {bf}");
+        // Calls and returns should roughly balance on a long walk.
+        let ratio = calls as f64 / returns.max(1) as f64;
+        assert!((0.5..2.0).contains(&ratio), "call/return ratio {ratio}");
+    }
+
+    #[test]
+    fn build_from_spec_smoke() {
+        let mut spec = WorkloadSpec::new(Profile::Spec, 1);
+        spec.seed = 5;
+        let mut t = SyntheticTrace::build(&spec);
+        assert!(t.next_record().is_some());
+        assert_eq!(t.name(), "spec_001");
+    }
+}

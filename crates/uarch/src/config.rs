@@ -1,0 +1,139 @@
+//! Core configuration (paper Table I).
+
+use serde::{Deserialize, Serialize};
+use ubs_mem::HierarchyConfig;
+
+/// Parameters of the modelled out-of-order core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Fetch bandwidth in bytes per cycle (4-wide × 4-byte instructions).
+    pub fetch_width_bytes: u32,
+    /// Decode/dispatch width in instructions per cycle.
+    pub decode_width: usize,
+    /// Commit width in instructions per cycle.
+    pub commit_width: usize,
+    /// Reorder buffer entries.
+    pub rob_entries: usize,
+    /// Scheduler (issue queue) entries.
+    pub scheduler_entries: usize,
+    /// Load queue entries.
+    pub load_queue: usize,
+    /// Store queue entries.
+    pub store_queue: usize,
+    /// Fetch target queue entries (FDIP).
+    pub ftq_entries: usize,
+    /// Instructions the BPU runahead can advance per cycle.
+    pub runahead_instrs_per_cycle: usize,
+    /// FTQ entries FDIP scans for prefetching per cycle.
+    pub fdip_ranges_per_cycle: usize,
+    /// Maximum FTQ depth (in entries) FDIP prefetches ahead of fetch.
+    pub fdip_max_depth: usize,
+    /// Decode pipeline depth in cycles (fetch-buffer → dispatch).
+    pub decode_latency: u64,
+    /// Extra bubble after a resolved misprediction before runahead restarts.
+    pub redirect_bubble: u64,
+    /// Re-steer delay when decode discovers a BTB-missed taken branch.
+    pub btb_miss_penalty: u64,
+    /// L1-D size in bytes (Table I: 48 KB).
+    pub l1d_size: usize,
+    /// L1-D associativity (Table I: 12).
+    pub l1d_ways: usize,
+    /// L1-D hit latency (Table I: 5 cycles).
+    pub l1d_latency: u64,
+    /// Lower hierarchy (L2/L3/DRAM).
+    pub hierarchy: HierarchyConfig,
+}
+
+impl CoreConfig {
+    /// The paper's Table I configuration.
+    pub fn paper() -> Self {
+        CoreConfig {
+            fetch_width_bytes: 16,
+            decode_width: 4,
+            commit_width: 4,
+            rob_entries: 224,
+            scheduler_entries: 97,
+            load_queue: 128,
+            store_queue: 72,
+            ftq_entries: 128,
+            runahead_instrs_per_cycle: 16,
+            fdip_ranges_per_cycle: 8,
+            fdip_max_depth: 48,
+            decode_latency: 3,
+            redirect_bubble: 2,
+            btb_miss_penalty: 4,
+            l1d_size: 48 << 10,
+            l1d_ways: 12,
+            l1d_latency: 5,
+            hierarchy: HierarchyConfig::paper(),
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// How long to warm up and measure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Core parameters.
+    pub core: CoreConfig,
+    /// Instructions committed before statistics reset (paper: 50 M).
+    pub warmup_instrs: u64,
+    /// Instructions measured after warmup (paper: 50 M).
+    pub sim_instrs: u64,
+    /// Storage-efficiency sampling interval in cycles (paper: 100 K).
+    pub sample_interval_cycles: u64,
+}
+
+impl SimConfig {
+    /// The paper's methodology at full scale (50 M + 50 M).
+    pub fn paper_full() -> Self {
+        SimConfig {
+            core: CoreConfig::paper(),
+            warmup_instrs: 50_000_000,
+            sim_instrs: 50_000_000,
+            sample_interval_cycles: 100_000,
+        }
+    }
+
+    /// A scaled-down run preserving the methodology's shape (used by the
+    /// default experiment harness; `--full` switches to `paper_full`).
+    pub fn scaled(warmup: u64, sim: u64) -> Self {
+        SimConfig {
+            core: CoreConfig::paper(),
+            warmup_instrs: warmup,
+            sim_instrs: sim,
+            sample_interval_cycles: 100_000,
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::scaled(1_000_000, 3_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_matches_table1() {
+        let c = CoreConfig::paper();
+        assert_eq!(c.rob_entries, 224);
+        assert_eq!(c.scheduler_entries, 97);
+        assert_eq!(c.load_queue, 128);
+        assert_eq!(c.store_queue, 72);
+        assert_eq!(c.ftq_entries, 128);
+        assert_eq!(c.decode_width, 4);
+        assert_eq!(c.commit_width, 4);
+        assert_eq!(c.l1d_size, 48 << 10);
+        assert_eq!(c.l1d_ways, 12);
+        assert_eq!(c.l1d_latency, 5);
+    }
+}

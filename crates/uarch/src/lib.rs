@@ -1,0 +1,32 @@
+//! # ubs-uarch — the cycle-level core model
+//!
+//! A trace-driven simulator of the paper's Table I core: a decoupled
+//! front-end (BPU runahead → FTQ → FDIP → fetch) feeding a 4-wide,
+//! 224-entry-ROB out-of-order back-end, with any [`ubs_core`] design as the
+//! L1-I and the shared [`ubs_mem`] hierarchy underneath.
+//!
+//! ## Example
+//!
+//! ```
+//! use ubs_core::ConvL1i;
+//! use ubs_trace::synth::{Profile, SyntheticTrace, WorkloadSpec};
+//! use ubs_uarch::{simulate, SimConfig};
+//!
+//! let mut trace = SyntheticTrace::build(&WorkloadSpec::new(Profile::Client, 0));
+//! let mut icache = ConvL1i::paper_baseline();
+//! let report = simulate(&mut trace, &mut icache, &SimConfig::scaled(10_000, 50_000));
+//! assert!(report.ipc() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod l1d;
+mod report;
+mod simulator;
+
+pub use config::{CoreConfig, SimConfig};
+pub use l1d::L1d;
+pub use report::{geomean, SimReport};
+pub use simulator::simulate;

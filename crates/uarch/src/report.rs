@@ -1,0 +1,129 @@
+//! Simulation reports.
+
+use serde::{Deserialize, Serialize};
+use ubs_core::IcacheStats;
+
+/// Everything a simulation run measured.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Workload name.
+    pub workload: String,
+    /// L1-I design name.
+    pub design: String,
+    /// Instructions committed in the measurement window.
+    pub instructions: u64,
+    /// Cycles elapsed in the measurement window.
+    pub cycles: u64,
+    /// Cycles in which fetch delivered nothing because of an outstanding
+    /// L1-I miss — the paper's front-end stall metric (§VI-C).
+    pub icache_stall_cycles: u64,
+    /// Cycles in which fetch delivered nothing because the BPU runahead was
+    /// blocked on an unresolved branch (misprediction / BTB miss).
+    pub bpu_stall_cycles: u64,
+    /// Cycles in which fetch delivered nothing for any reason.
+    pub fetch_starved_cycles: u64,
+    /// L1-I statistics (hits, miss classes, efficiency samples, …).
+    pub l1i: IcacheStats,
+    /// Branches and BPU mispredictions.
+    pub branches: u64,
+    /// BPU mispredictions.
+    pub branch_mispredicts: u64,
+    /// Taken branches with no BTB/RAS target.
+    pub btb_misses_taken: u64,
+    /// L1-D hits and misses.
+    pub l1d_hits: u64,
+    /// L1-D misses.
+    pub l1d_misses: u64,
+    /// L2 hits and misses.
+    pub l2: (u64, u64),
+    /// L3 hits and misses.
+    pub l3: (u64, u64),
+}
+
+impl SimReport {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.instructions as f64 / self.cycles.max(1) as f64
+    }
+
+    /// L1-I demand misses per kilo-instruction.
+    pub fn l1i_mpki(&self) -> f64 {
+        self.l1i.demand_misses() as f64 / (self.instructions as f64 / 1000.0).max(1e-9)
+    }
+
+    /// Branch misprediction MPKI.
+    pub fn branch_mpki(&self) -> f64 {
+        self.branch_mispredicts as f64 / (self.instructions as f64 / 1000.0).max(1e-9)
+    }
+
+    /// Speedup of this run over a baseline run of the same workload.
+    pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
+        self.ipc() / baseline.ipc().max(1e-12)
+    }
+
+    /// Fraction of the baseline's icache stall cycles removed by this run
+    /// (the paper's *stall cycles covered*, Fig. 8). Positive is better.
+    pub fn stall_coverage_over(&self, baseline: &SimReport) -> f64 {
+        let base = baseline.icache_stall_cycles as f64;
+        if base <= 0.0 {
+            return 0.0;
+        }
+        (base - self.icache_stall_cycles as f64) / base
+    }
+}
+
+/// Geometric mean of speedups (the paper's aggregation for Figs. 10–13).
+pub fn geomean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for x in xs {
+        log_sum += x.max(1e-12).ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(instrs: u64, cycles: u64, stalls: u64) -> SimReport {
+        SimReport {
+            workload: "w".into(),
+            design: "d".into(),
+            instructions: instrs,
+            cycles,
+            icache_stall_cycles: stalls,
+            bpu_stall_cycles: 0,
+            fetch_starved_cycles: stalls,
+            l1i: IcacheStats::default(),
+            branches: 0,
+            branch_mispredicts: 0,
+            btb_misses_taken: 0,
+            l1d_hits: 0,
+            l1d_misses: 0,
+            l2: (0, 0),
+            l3: (0, 0),
+        }
+    }
+
+    #[test]
+    fn ipc_and_speedup() {
+        let base = report(1000, 1000, 500);
+        let fast = report(1000, 800, 300);
+        assert!((fast.ipc() - 1.25).abs() < 1e-9);
+        assert!((fast.speedup_over(&base) - 1.25).abs() < 1e-9);
+        assert!((fast.stall_coverage_over(&base) - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_of_identity() {
+        assert!((geomean([1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean([2.0, 0.5]) - 1.0).abs() < 1e-12);
+        assert!((geomean(std::iter::empty()) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,762 @@
+//! The trace-driven, cycle-level simulator.
+//!
+//! Models the paper's Table I core as a decoupled front-end feeding a
+//! capacity-limited out-of-order back-end:
+//!
+//! - **Runahead (BPU)**: walks the trace ahead of fetch, forming fetch
+//!   ranges (runs of instructions between predicted-taken branches, §IV-A)
+//!   that it pushes into the FTQ. A misprediction blocks runahead until the
+//!   branch executes; a taken branch with no BTB/RAS target blocks it until
+//!   decode re-steers — both collapse FDIP's prefetch window, exactly the
+//!   baseline behaviour the paper builds on.
+//! - **FDIP**: scans FTQ entries once each and prefetches their lines into
+//!   the L1-I.
+//! - **Fetch**: consumes FTQ head ranges within the fetch bandwidth,
+//!   accessing the [`InstructionCache`] per sub-range; misses stall fetch
+//!   until the fill arrives (data is forwarded from the fill, no re-probe).
+//! - **Back-end**: a 4-wide dispatch into a 224-entry ROB; instruction
+//!   completion = max(dispatch, source-ready) + latency, loads through the
+//!   L1-D/hierarchy; 4-wide in-order commit.
+//!
+//! Deliberate simplifications (documented in `DESIGN.md`): scheduler and
+//! load/store-queue occupancy are not enforced (ROB capacity dominates);
+//! wrong-path fetch is not simulated (standard for trace-driven runs);
+//! the BPU trains in program order at runahead time.
+
+use crate::config::SimConfig;
+use crate::l1d::L1d;
+use crate::report::SimReport;
+use std::collections::VecDeque;
+use ubs_core::{AccessResult, InstructionCache};
+use ubs_frontend::{Bpu, Ftq};
+use ubs_mem::MemoryHierarchy;
+use ubs_trace::{FetchRange, TraceRecord, TraceSource};
+
+/// Why the runahead front-end blocked on a branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Redirect {
+    /// Misprediction: resolves when the branch executes.
+    AtExecute,
+    /// BTB/RAS target missing on a taken branch: decode re-steers.
+    AtDecode,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendRec {
+    rec: TraceRecord,
+    seq: u64,
+    redirect: Option<Redirect>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Fetched {
+    ready_at: u64,
+    pr: PendRec,
+}
+
+/// Safety factor: a run aborts if it exceeds this many cycles per
+/// instruction (deadlock guard).
+const MAX_CPI: u64 = 1000;
+
+/// Runs `trace` through the core with `icache` as the L1-I.
+///
+/// Returns the measurement-window report. The trace must supply at least
+/// `warmup + sim` instructions (synthetic traces are infinite; replays that
+/// run dry end the measurement early, which the report reflects).
+pub fn simulate(
+    trace: &mut dyn TraceSource,
+    icache: &mut dyn InstructionCache,
+    cfg: &SimConfig,
+) -> SimReport {
+    Simulator::new(trace, icache, cfg).run()
+}
+
+struct Simulator<'a> {
+    cfg: &'a SimConfig,
+    trace: &'a mut dyn TraceSource,
+    icache: &'a mut dyn InstructionCache,
+    mem: MemoryHierarchy,
+    bpu: Bpu,
+    ftq: Ftq,
+    l1d: L1d,
+
+    // Runahead state.
+    pending: VecDeque<PendRec>,
+    next_seq: u64,
+    blocked_on: Option<u64>,
+    runahead_resume_at: u64,
+    trace_done: bool,
+
+    // Fetch state.
+    fetch_progress: u32,
+    fetch_stalled_until: u64,
+    stalled_sub: Option<FetchRange>,
+    fetched: VecDeque<Fetched>,
+
+    // Back-end state.
+    rob: VecDeque<u64>,
+    reg_ready: [u64; 64],
+
+    now: u64,
+    committed: u64,
+    icache_stall_cycles: u64,
+    bpu_stall_cycles: u64,
+    fetch_starved_cycles: u64,
+    next_sample_at: u64,
+}
+
+impl<'a> Simulator<'a> {
+    fn new(
+        trace: &'a mut dyn TraceSource,
+        icache: &'a mut dyn InstructionCache,
+        cfg: &'a SimConfig,
+    ) -> Self {
+        let core = &cfg.core;
+        Simulator {
+            trace,
+            icache,
+            mem: MemoryHierarchy::new(core.hierarchy.clone()),
+            bpu: Bpu::paper(),
+            ftq: Ftq::new(core.ftq_entries),
+            l1d: L1d::new(core.l1d_size, core.l1d_ways, core.l1d_latency),
+            pending: VecDeque::with_capacity(4096),
+            next_seq: 0,
+            blocked_on: None,
+            runahead_resume_at: 0,
+            trace_done: false,
+            fetch_progress: 0,
+            fetch_stalled_until: 0,
+            stalled_sub: None,
+            fetched: VecDeque::with_capacity(256),
+            rob: VecDeque::with_capacity(core.rob_entries),
+            reg_ready: [0; 64],
+            now: 0,
+            committed: 0,
+            icache_stall_cycles: 0,
+            bpu_stall_cycles: 0,
+            fetch_starved_cycles: 0,
+            next_sample_at: cfg.sample_interval_cycles,
+            cfg,
+        }
+    }
+
+    fn run(mut self) -> SimReport {
+        // Warmup.
+        let warm_target = self.cfg.warmup_instrs;
+        self.run_until(warm_target);
+        self.reset_measurement();
+
+        // Measurement.
+        let start_cycles = self.now;
+        let start_committed = self.committed;
+        self.run_until(start_committed + self.cfg.sim_instrs);
+
+        let (branches, mispredicts, btb_misses) = self.bpu.stats();
+        let (l1d_hits, l1d_misses) = self.l1d.stats();
+        SimReport {
+            workload: self.trace.name().to_string(),
+            design: self.icache.name().to_string(),
+            instructions: self.committed - start_committed,
+            cycles: self.now - start_cycles,
+            icache_stall_cycles: self.icache_stall_cycles,
+            bpu_stall_cycles: self.bpu_stall_cycles,
+            fetch_starved_cycles: self.fetch_starved_cycles,
+            l1i: self.icache.stats().clone(),
+            branches,
+            branch_mispredicts: mispredicts,
+            btb_misses_taken: btb_misses,
+            l1d_hits,
+            l1d_misses,
+            l2: self.mem.l2_stats(),
+            l3: self.mem.l3_stats(),
+        }
+    }
+
+    fn reset_measurement(&mut self) {
+        self.icache.reset_stats();
+        self.bpu.reset_stats();
+        self.l1d.reset_stats();
+        self.mem.reset_stats();
+        self.icache_stall_cycles = 0;
+        self.bpu_stall_cycles = 0;
+        self.fetch_starved_cycles = 0;
+        self.next_sample_at = self.now + self.cfg.sample_interval_cycles;
+    }
+
+    fn run_until(&mut self, target_committed: u64) {
+        let cycle_limit = self.now + (target_committed + 1_000) * MAX_CPI;
+        while self.committed < target_committed {
+            self.step();
+            if self.trace_done && self.rob.is_empty() && self.fetched.is_empty() {
+                break; // trace exhausted and pipeline drained
+            }
+            assert!(
+                self.now < cycle_limit,
+                "deadlock: {} committed of {} at cycle {} ({} / {} / {} in flight)",
+                self.committed,
+                target_committed,
+                self.now,
+                self.pending.len(),
+                self.fetched.len(),
+                self.rob.len()
+            );
+        }
+    }
+
+    /// One cycle.
+    fn step(&mut self) {
+        self.now += 1;
+        self.icache.tick(self.now, &mut self.mem);
+        self.commit();
+        self.dispatch();
+        self.fetch();
+        self.fdip();
+        self.runahead();
+        if self.now >= self.next_sample_at {
+            self.icache.sample_efficiency();
+            self.next_sample_at += self.cfg.sample_interval_cycles;
+        }
+    }
+
+    fn commit(&mut self) {
+        for _ in 0..self.cfg.core.commit_width {
+            match self.rob.front() {
+                Some(&done) if done <= self.now => {
+                    self.rob.pop_front();
+                    self.committed += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn dispatch(&mut self) {
+        for _ in 0..self.cfg.core.decode_width {
+            if self.rob.len() >= self.cfg.core.rob_entries {
+                break;
+            }
+            match self.fetched.front() {
+                Some(f) if f.ready_at <= self.now => {}
+                _ => break,
+            }
+            let f = self.fetched.pop_front().expect("peeked above");
+            let done_at = self.execute(&f.pr.rec);
+            self.rob.push_back(done_at);
+
+            if let Some(kind) = f.pr.redirect {
+                if self.blocked_on == Some(f.pr.seq) {
+                    self.blocked_on = None;
+                    self.runahead_resume_at = match kind {
+                        Redirect::AtExecute => done_at + self.cfg.core.redirect_bubble,
+                        Redirect::AtDecode => self.now + self.cfg.core.btb_miss_penalty,
+                    };
+                }
+            }
+        }
+    }
+
+    fn execute(&mut self, rec: &TraceRecord) -> u64 {
+        let mut src_ready = self.now;
+        for &r in &rec.src_regs {
+            if r != 0 {
+                src_ready = src_ready.max(self.reg_ready[(r & 63) as usize]);
+            }
+        }
+        let done = if let Some(addr) = rec.load {
+            let extra = rec
+                .src_regs
+                .iter()
+                .filter(|&&r| r != 0)
+                .count()
+                .min(1) as u64;
+            let _ = extra;
+            self.l1d.load(addr, src_ready, &mut self.mem)
+        } else if let Some(addr) = rec.store {
+            self.l1d.store(addr, src_ready, &mut self.mem)
+        } else {
+            src_ready + 1
+        };
+        for &d in &rec.dst_regs {
+            if d != 0 {
+                self.reg_ready[(d & 63) as usize] = done;
+            }
+        }
+        done
+    }
+
+    /// Delivers the records of a fetched sub-range into the decode pipe.
+    fn deliver(&mut self, sub: FetchRange) -> usize {
+        let n = (sub.bytes / 4) as usize;
+        let ready_at = self.now + self.icache.latency() + self.cfg.core.decode_latency;
+        for _ in 0..n {
+            let pr = self
+                .pending
+                .pop_front()
+                .expect("FTQ ranges and pending records must stay in sync");
+            debug_assert!(
+                pr.rec.pc >= sub.start && pr.rec.pc < sub.end(),
+                "record {:#x} outside sub-range {:?}",
+                pr.rec.pc,
+                sub
+            );
+            self.fetched.push_back(Fetched { ready_at, pr });
+        }
+        n
+    }
+
+    fn fetch(&mut self) {
+        let mut budget = self.cfg.core.fetch_width_bytes;
+        let mut delivered = 0usize;
+        let mut stalled_on_icache = false;
+
+        // A previously stalled sub-range whose fill has arrived is forwarded
+        // straight from the fill path (no re-probe of the arrays).
+        if let Some(sub) = self.stalled_sub {
+            if self.now >= self.fetch_stalled_until {
+                self.stalled_sub = None;
+                delivered += self.deliver(sub);
+                budget = budget.saturating_sub(sub.bytes);
+                self.advance_range(sub.bytes);
+            } else {
+                stalled_on_icache = true;
+            }
+        }
+
+        while budget > 0 && self.stalled_sub.is_none() {
+            let Some(&range) = self.ftq.peek() else { break };
+            let remaining = range.bytes - self.fetch_progress;
+            debug_assert!(remaining > 0);
+            let sub_start = range.start + self.fetch_progress as u64;
+            let to_boundary = 64 - (sub_start % 64) as u32;
+            let sub = FetchRange::new(sub_start, remaining.min(budget).min(to_boundary));
+            match self.icache.access(sub, self.now, &mut self.mem) {
+                AccessResult::Hit => {
+                    delivered += self.deliver(sub);
+                    budget -= sub.bytes;
+                    self.advance_range(sub.bytes);
+                }
+                AccessResult::Miss { ready_at, .. } => {
+                    self.fetch_stalled_until = ready_at.max(self.now + 1);
+                    self.stalled_sub = Some(sub);
+                    stalled_on_icache = true;
+                }
+                AccessResult::MshrFull => {
+                    self.fetch_stalled_until = self.now + 1;
+                    self.stalled_sub = None;
+                    stalled_on_icache = true;
+                    break;
+                }
+            }
+        }
+
+        if delivered == 0 {
+            self.fetch_starved_cycles += 1;
+            if stalled_on_icache {
+                self.icache_stall_cycles += 1;
+            } else if self.ftq.is_empty()
+                && (self.blocked_on.is_some() || self.now < self.runahead_resume_at)
+            {
+                // Starved because the BPU runahead is waiting on a branch
+                // resolution (misprediction or BTB-missed taken branch).
+                self.bpu_stall_cycles += 1;
+            }
+        }
+    }
+
+    /// Advances the FTQ head by `bytes`, popping completed ranges.
+    fn advance_range(&mut self, bytes: u32) {
+        self.fetch_progress += bytes;
+        if let Some(&range) = self.ftq.peek() {
+            if self.fetch_progress >= range.bytes {
+                debug_assert_eq!(self.fetch_progress, range.bytes);
+                self.ftq.pop();
+                self.fetch_progress = 0;
+            }
+        }
+    }
+
+    fn fdip(&mut self) {
+        for range in self
+            .ftq
+            .take_unprefetched_within(self.cfg.core.fdip_ranges_per_cycle, self.cfg.core.fdip_max_depth)
+        {
+            // Collect first: prefetch borrows self.mem mutably.
+            let subs: Vec<FetchRange> = range.split(64).collect();
+            for sub in subs {
+                self.icache.prefetch(sub, self.now, &mut self.mem);
+            }
+        }
+    }
+
+    fn runahead(&mut self) {
+        if self.trace_done || self.blocked_on.is_some() || self.now < self.runahead_resume_at {
+            return;
+        }
+        let mut budget = self.cfg.core.runahead_instrs_per_cycle as i64;
+        while budget > 0 && !self.ftq.is_full() {
+            // Build one fetch range.
+            let mut start: Option<u64> = None;
+            let mut bytes: u32 = 0;
+            let mut redirect_seq: Option<u64> = None;
+            loop {
+                let Some(rec) = self.trace.next_record() else {
+                    self.trace_done = true;
+                    break;
+                };
+                start.get_or_insert(rec.pc);
+                bytes += rec.size as u32;
+                budget -= 1;
+                let seq = self.next_seq;
+                self.next_seq += 1;
+
+                let mut redirect = None;
+                let mut ends_range = false;
+                if rec.branch.is_some() {
+                    let res = self.bpu.process(&rec);
+                    if res.mispredicted {
+                        redirect = Some(Redirect::AtExecute);
+                    } else if res.target_unavailable {
+                        redirect = Some(Redirect::AtDecode);
+                    }
+                    ends_range = rec.is_taken_branch() || redirect.is_some();
+                }
+                self.pending.push_back(PendRec { rec, seq, redirect });
+                if redirect.is_some() {
+                    redirect_seq = Some(seq);
+                }
+                if ends_range || budget <= 0 || bytes >= 256 {
+                    break;
+                }
+            }
+            if let Some(start) = start {
+                if bytes > 0 {
+                    self.ftq.push(FetchRange::new(start, bytes));
+                }
+            }
+            if let Some(seq) = redirect_seq {
+                self.blocked_on = Some(seq);
+                self.runahead_resume_at = u64::MAX;
+                break;
+            }
+            if self.trace_done {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use ubs_core::ConvL1i;
+    use ubs_trace::synth::{Profile, SyntheticTrace, WorkloadSpec};
+    use ubs_trace::{BranchInfo, BranchKind, ReplaySource};
+
+    fn tiny_cfg(warm: u64, sim: u64) -> SimConfig {
+        SimConfig::scaled(warm, sim)
+    }
+
+    /// A small straight-line loop trace: N instructions then jump back.
+    fn loop_trace(loop_instrs: u64, total: usize) -> ReplaySource {
+        let base = 0x1000u64;
+        let mut recs = Vec::with_capacity(loop_instrs as usize);
+        for i in 0..loop_instrs {
+            let pc = base + i * 4;
+            let mut r = TraceRecord::nop(pc);
+            if i == loop_instrs - 1 {
+                r.branch = Some(BranchInfo {
+                    kind: BranchKind::DirectJump,
+                    taken: true,
+                    target: base,
+                });
+            }
+            recs.push(r);
+        }
+        let mut all = Vec::with_capacity(total);
+        while all.len() < total {
+            all.extend_from_slice(&recs);
+        }
+        all.truncate(total);
+        ReplaySource::new("loop", all)
+    }
+
+    #[test]
+    fn tight_loop_reaches_high_ipc() {
+        let mut trace = loop_trace(64, 120_000);
+        let mut icache = ConvL1i::paper_baseline();
+        let r = simulate(&mut trace, &mut icache, &tiny_cfg(20_000, 80_000));
+        assert!(r.instructions >= 80_000, "only {} instrs", r.instructions);
+        let ipc = r.ipc();
+        assert!(ipc > 2.0, "loop IPC {ipc} too low");
+        assert!(r.l1i_mpki() < 0.5, "loop should fit in L1-I: {}", r.l1i_mpki());
+    }
+
+    #[test]
+    fn finite_trace_ends_cleanly() {
+        let mut trace = loop_trace(16, 5_000);
+        let mut icache = ConvL1i::paper_baseline();
+        let r = simulate(&mut trace, &mut icache, &tiny_cfg(1_000, 100_000));
+        assert!(r.instructions < 100_000);
+        assert!(r.instructions > 1_000);
+    }
+
+    #[test]
+    fn synthetic_client_workload_runs() {
+        let mut spec = WorkloadSpec::new(Profile::Client, 0);
+        spec.seed = 7;
+        let mut trace = SyntheticTrace::build(&spec);
+        let mut icache = ConvL1i::paper_baseline();
+        let r = simulate(&mut trace, &mut icache, &tiny_cfg(50_000, 200_000));
+        // Commit width 4 may overshoot the target by up to 3 instructions.
+        assert!((200_000..200_004).contains(&r.instructions), "{}", r.instructions);
+        let ipc = r.ipc();
+        assert!(ipc > 0.2 && ipc < 4.0, "implausible IPC {ipc}");
+        assert!(r.branches > 10_000, "branches {}", r.branches);
+    }
+
+    #[test]
+    fn server_workload_stresses_icache() {
+        let mut spec = WorkloadSpec::new(Profile::Server, 2);
+        spec.seed = 21;
+        let mut trace = SyntheticTrace::build(&spec);
+        let mut icache = ConvL1i::paper_baseline();
+        let r = simulate(&mut trace, &mut icache, &tiny_cfg(50_000, 200_000));
+        assert!(
+            r.l1i_mpki() > 5.0,
+            "server workload should thrash a 32 KB L1-I: MPKI {}",
+            r.l1i_mpki()
+        );
+        assert!(r.icache_stall_cycles > 0);
+    }
+
+    #[test]
+    fn bigger_icache_helps_server_workload() {
+        let mut spec = WorkloadSpec::new(Profile::Server, 2);
+        spec.seed = 21;
+        let cfg = tiny_cfg(100_000, 400_000);
+
+        let mut t1 = SyntheticTrace::build(&spec);
+        let mut small = ConvL1i::paper_baseline();
+        let r32 = simulate(&mut t1, &mut small, &cfg);
+
+        let mut t2 = SyntheticTrace::build(&spec);
+        let mut big = ConvL1i::new("conv-256k", 256 << 10, 8, 8);
+        let r256 = simulate(&mut t2, &mut big, &cfg);
+
+        assert!(
+            r256.ipc() > r32.ipc(),
+            "256K ({}) should beat 32K ({})",
+            r256.ipc(),
+            r32.ipc()
+        );
+        assert!(r256.l1i_mpki() < r32.l1i_mpki());
+    }
+
+    #[test]
+    fn efficiency_samples_collected() {
+        let mut spec = WorkloadSpec::new(Profile::Client, 1);
+        spec.seed = 3;
+        let mut trace = SyntheticTrace::build(&spec);
+        let mut icache = ConvL1i::paper_baseline();
+        let r = simulate(&mut trace, &mut icache, &tiny_cfg(50_000, 300_000));
+        assert!(
+            !r.l1i.efficiency_samples.is_empty(),
+            "no efficiency samples over {} cycles",
+            r.cycles
+        );
+        let mean = r.l1i.mean_efficiency();
+        assert!(mean > 0.05 && mean <= 1.0, "implausible efficiency {mean}");
+    }
+}
+
+#[cfg(test)]
+mod diag {
+    use super::*;
+    use crate::config::SimConfig;
+    use ubs_core::ConvL1i;
+    use ubs_trace::synth::{Profile, SyntheticTrace, WorkloadSpec};
+
+    #[test]
+    #[ignore]
+    fn diagnose_server() {
+        diagnose(Profile::Server, 2);
+    }
+
+    #[test]
+    #[ignore]
+    fn diagnose_google() {
+        diagnose(Profile::Google, 0);
+    }
+
+    #[test]
+    #[ignore]
+    fn diagnose_spec() {
+        diagnose(Profile::Spec, 0);
+    }
+
+    fn diagnose(profile: Profile, idx: usize) {
+        let spec = WorkloadSpec::new(profile, idx);
+        let mut trace = SyntheticTrace::build(&spec);
+        let mut icache = ConvL1i::paper_baseline();
+        let r = simulate(&mut trace, &mut icache, &SimConfig::scaled(100_000, 400_000));
+        eprintln!("{} ipc {:.3} cycles {} l1i_mpki {:.2} bmpki {:.2} btbmiss {} l1d h/m {}/{} icache_stall {} starved {} l2 {:?} l3 {:?} eff {:.3}",
+            spec.name, r.ipc(), r.cycles, r.l1i_mpki(), r.branch_mpki(), r.btb_misses_taken,
+            r.l1d_hits, r.l1d_misses, r.icache_stall_cycles, r.fetch_starved_cycles, r.l2, r.l3,
+            r.l1i.mean_efficiency());
+    }
+
+    #[test]
+    #[ignore]
+    fn diagnose_client() {
+        let mut spec = WorkloadSpec::new(Profile::Client, 0);
+        spec.seed = 7;
+        let mut trace = SyntheticTrace::build(&spec);
+        let mut icache = ConvL1i::paper_baseline();
+        let r = simulate(&mut trace, &mut icache, &SimConfig::scaled(50_000, 200_000));
+        eprintln!("ipc {:.3} cycles {} l1i_mpki {:.2} bmpki {:.2} btbmiss {} l1d h/m {}/{} icache_stall {} starved {} l2 {:?} l3 {:?}",
+            r.ipc(), r.cycles, r.l1i_mpki(), r.branch_mpki(), r.btb_misses_taken,
+            r.l1d_hits, r.l1d_misses, r.icache_stall_cycles, r.fetch_starved_cycles, r.l2, r.l3);
+    }
+}
+
+#[cfg(test)]
+mod diag2 {
+    use ubs_frontend::Bpu;
+    use ubs_trace::synth::{Profile, SyntheticTrace, WorkloadSpec};
+    use ubs_trace::{BranchKind, TraceSource};
+    use std::collections::HashMap;
+
+    #[test]
+    #[ignore]
+    fn mispredict_breakdown_server() {
+        let spec = WorkloadSpec::new(Profile::Server, 2);
+        let mut trace = SyntheticTrace::build(&spec);
+        let mut bpu = Bpu::paper();
+        let mut by_kind: HashMap<&'static str, (u64, u64, u64)> = HashMap::new();
+        let mut n = 0u64;
+        while n < 500_000 {
+            let rec = trace.next_record().unwrap();
+            n += 1;
+            if let Some(b) = rec.branch {
+                let res = bpu.process(&rec);
+                let k = match b.kind {
+                    BranchKind::Conditional => "cond",
+                    BranchKind::DirectJump => "jump",
+                    BranchKind::IndirectJump => "ijump",
+                    BranchKind::DirectCall => "call",
+                    BranchKind::IndirectCall => "icall",
+                    BranchKind::Return => "ret",
+                };
+                let e = by_kind.entry(k).or_default();
+                e.0 += 1;
+                e.1 += res.mispredicted as u64;
+                e.2 += res.target_unavailable as u64;
+            }
+        }
+        for (k, (cnt, mis, tu)) in &by_kind {
+            eprintln!("{k}: count {cnt} mispredict {mis} ({:.2}%) no-target {tu}", *mis as f64 / *cnt as f64 * 100.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod diag3 {
+    use super::*;
+    use crate::config::SimConfig;
+    use ubs_core::{ConvL1i, InstructionCache, UbsCache};
+    use ubs_trace::synth::{Profile, SyntheticTrace, WorkloadSpec};
+
+    fn run_one(profile: Profile, idx: usize, mk: &dyn Fn() -> Box<dyn InstructionCache>) -> crate::report::SimReport {
+        let spec = WorkloadSpec::new(profile, idx);
+        let mut trace = SyntheticTrace::build(&spec);
+        let mut icache = mk();
+        simulate(&mut trace, icache.as_mut(), &SimConfig::scaled(200_000, 500_000))
+    }
+
+    #[test]
+    #[ignore]
+    fn compare_designs_server() {
+        for idx in [0usize, 2, 4] {
+            let base = run_one(Profile::Server, idx, &|| Box::new(ConvL1i::paper_baseline()));
+            let big = run_one(Profile::Server, idx, &|| Box::new(ConvL1i::paper_64k()));
+            let ubs = run_one(Profile::Server, idx, &|| Box::new(UbsCache::paper_default()));
+            let ev_total: u64 = ubs.l1i.evict_used_hist.iter().sum();
+            eprintln!(
+                "server_{idx:03}: base ipc {:.3} mpki {:.1} stall {} | 64k speedup {:.3} cov {:.2} | ubs speedup {:.3} cov {:.2} partial {:.2} eff {:.2}",
+                base.ipc(), base.l1i_mpki(), base.icache_stall_cycles,
+                big.speedup_over(&base), big.stall_coverage_over(&base),
+                ubs.speedup_over(&base), ubs.stall_coverage_over(&base),
+                ubs.l1i.partial_misses() as f64 / ubs.l1i.demand_misses().max(1) as f64,
+                ubs.l1i.mean_efficiency(),
+            );
+            eprintln!(
+                "    base: misses {} pf {} late {} | ubs: full {} msb {} over {} under {} pf {} late {} evict0 {}/{} mshr_rej {}/{} predhit {}/{}",
+                base.l1i.demand_misses(), base.l1i.prefetches_issued, base.l1i.late_prefetch_merges,
+                ubs.l1i.full_misses, ubs.l1i.missing_sub_block, ubs.l1i.overruns, ubs.l1i.underruns,
+                ubs.l1i.prefetches_issued, ubs.l1i.late_prefetch_merges,
+                ubs.l1i.evict_used_hist[0], ev_total, base.l1i.mshr_full_rejects, ubs.l1i.mshr_full_rejects,
+                ubs.l1i.predictor_hits, ubs.l1i.hits,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod diag4 {
+    use super::*;
+    use crate::config::SimConfig;
+    use ubs_core::ConvL1i;
+    use ubs_trace::synth::{Profile, SyntheticTrace, WorkloadSpec};
+
+    #[test]
+    #[ignore]
+    fn premise_check() {
+        for (p, i) in [(Profile::Server, 2), (Profile::Server, 0), (Profile::Google, 0), (Profile::Client, 0), (Profile::Spec, 0)] {
+            let spec = WorkloadSpec::new(p, i);
+            let mut trace = SyntheticTrace::build(&spec);
+            let mut icache = ConvL1i::paper_baseline();
+            let r = simulate(&mut trace, &mut icache, &SimConfig::scaled(200_000, 500_000));
+            let s = &r.l1i;
+            eprintln!(
+                "{}: cdf8 {:.2} cdf16 {:.2} cdf32 {:.2} cdf63 {:.2} | touch1 {:.3} touch2 {:.3} touch4 {:.3} | eff {:.2}",
+                spec.name,
+                s.evict_cdf_at(8), s.evict_cdf_at(16), s.evict_cdf_at(32), s.evict_cdf_at(63),
+                s.touch_window.fraction(0), s.touch_window.fraction(1), s.touch_window.fraction(3),
+                s.mean_efficiency(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod diag5 {
+    use super::*;
+    use crate::config::SimConfig;
+    use ubs_core::{ConvL1i, InstructionCache, UbsCache};
+    use ubs_trace::synth::{Profile, SyntheticTrace, WorkloadSpec};
+
+    #[test]
+    #[ignore]
+    fn coverage_sweep() {
+        for idx in 0..10usize {
+            let spec = WorkloadSpec::new(Profile::Server, idx);
+            let cfg = SimConfig::scaled(200_000, 400_000);
+            let run = |mk: Box<dyn InstructionCache>| {
+                let mut t = SyntheticTrace::build(&spec);
+                let mut c = mk;
+                simulate(&mut t, c.as_mut(), &cfg)
+            };
+            let base = run(Box::new(ConvL1i::paper_baseline()));
+            let big = run(Box::new(ConvL1i::paper_64k()));
+            let ubs = run(Box::new(UbsCache::paper_default()));
+            eprintln!(
+                "server_{idx:03}: mpki {:.1} stall% {:.0} | 64k cov {:.2} spd {:.3} | ubs cov {:.2} spd {:.3}",
+                base.l1i_mpki(),
+                100.0 * base.icache_stall_cycles as f64 / base.cycles as f64,
+                big.stall_coverage_over(&base), big.speedup_over(&base),
+                ubs.stall_coverage_over(&base), ubs.speedup_over(&base),
+            );
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Design-space exploration: UBS way configurations (Fig. 16), predictor
+//! organizations (Fig. 15), and storage budgets (Fig. 11) on one server
+//! workload, plus the Table III / Table IV storage and latency accounting.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use ubs_icache::core::latency::LatencyAnalysis;
+use ubs_icache::core::{
+    ConfigFamily, ConvL1i, InstructionCache, PredictorConfig, UbsCache, UbsCacheConfig,
+    UbsWayConfig,
+};
+use ubs_icache::mem::PolicyKind;
+use ubs_icache::trace::synth::{Profile, SyntheticTrace, WorkloadSpec};
+use ubs_icache::uarch::{simulate, SimConfig, SimReport};
+
+fn run(spec: &WorkloadSpec, mut icache: Box<dyn InstructionCache>, cfg: &SimConfig) -> SimReport {
+    simulate(&mut SyntheticTrace::build(spec), icache.as_mut(), cfg)
+}
+
+fn main() {
+    let spec = WorkloadSpec::new(Profile::Server, 0);
+    let cfg = SimConfig::scaled(150_000, 450_000);
+    let base = run(&spec, Box::new(ConvL1i::paper_baseline()), &cfg);
+    println!("workload {}, baseline IPC {:.3}\n", spec.name, base.ipc());
+
+    println!("-- way configurations (Fig. 16) --");
+    for ways in [10usize, 12, 14, 16, 18] {
+        for family in [ConfigFamily::Config1, ConfigFamily::Config2] {
+            let mut c = UbsCacheConfig::paper_default();
+            c.ways = UbsWayConfig::preset(ways, family);
+            c.name = format!("{ways}-way {family:?}");
+            let r = run(&spec, Box::new(UbsCache::new(c.clone())), &cfg);
+            println!(
+                "  {:<18} data/set {:>4} B  speedup {:+.2}%",
+                c.name,
+                c.ways.data_bytes_per_set(),
+                100.0 * (r.speedup_over(&base) - 1.0)
+            );
+        }
+    }
+
+    println!("\n-- predictor organizations (Fig. 15) --");
+    for pred in [
+        PredictorConfig::direct_mapped(64),
+        PredictorConfig::direct_mapped(128),
+        PredictorConfig::set_assoc(8, 8, PolicyKind::Lru),
+        PredictorConfig::set_assoc(8, 8, PolicyKind::Fifo),
+        PredictorConfig::fully_assoc(64, PolicyKind::Fifo),
+    ] {
+        let mut c = UbsCacheConfig::paper_default();
+        c.name = pred.label();
+        c.predictor = pred;
+        let r = run(&spec, Box::new(UbsCache::new(c)), &cfg);
+        println!(
+            "  {:<14} speedup {:+.2}%",
+            r.design,
+            100.0 * (r.speedup_over(&base) - 1.0)
+        );
+    }
+
+    println!("\n-- storage budgets (Fig. 11 flavour) --");
+    for budget_kb in [16usize, 20, 32, 64] {
+        let c = UbsCacheConfig::paper_default().with_data_budget(budget_kb << 10);
+        let cache = UbsCache::new(c);
+        let kib = cache.storage().total_kib();
+        let r = run(&spec, Box::new(cache), &cfg);
+        println!(
+            "  {:<10} ({:>5.1} KiB with metadata)  speedup {:+.2}%",
+            r.design,
+            kib,
+            100.0 * (r.speedup_over(&base) - 1.0)
+        );
+    }
+
+    println!("\n-- latency sanity (Table IV / §VI-I) --");
+    let a = LatencyAnalysis::for_config(&UbsWayConfig::paper_default());
+    println!(
+        "  hit detection {:.3} ns, shift amount {:.3} ns, {} physical data ways,\n  tag path hidden: {} -> effective latency {} cycles",
+        a.hit_detection_ns,
+        a.shift_amount_ns,
+        a.physical_ways,
+        a.tag_path_hidden,
+        a.effective_latency_cycles(4)
+    );
+}

@@ -1,0 +1,52 @@
+//! Motivation study (paper §III): measure how inefficiently a conventional
+//! L1-I uses its storage on a server workload — byte-usage CDF at eviction
+//! (Fig. 1), storage-efficiency over time (Fig. 2), and the touch-window
+//! analysis that justifies the useful-byte predictor (Fig. 4).
+//!
+//! ```text
+//! cargo run --release --example frontend_study
+//! ```
+
+use ubs_icache::core::ConvL1i;
+use ubs_icache::trace::synth::{Profile, SyntheticTrace, WorkloadSpec};
+use ubs_icache::uarch::{simulate, SimConfig};
+
+fn main() {
+    let cfg = SimConfig::scaled(200_000, 800_000);
+    println!("Conventional 32 KB L1-I storage-efficiency study\n");
+
+    for profile in [Profile::Server, Profile::Google, Profile::Client] {
+        let spec = WorkloadSpec::new(profile, 0);
+        let mut trace = SyntheticTrace::build(&spec);
+        let mut icache = ConvL1i::paper_baseline();
+        let r = simulate(&mut trace, &mut icache, &cfg);
+        let s = &r.l1i;
+
+        println!("== {} (L1I MPKI {:.1}, IPC {:.2}) ==", spec.name, r.l1i_mpki(), r.ipc());
+        print!("  bytes used before eviction (CDF): ");
+        for mark in [8usize, 16, 32, 48, 63, 64] {
+            print!("<={mark}B: {:.0}%  ", 100.0 * s.evict_cdf_at(mark));
+        }
+        println!();
+        println!(
+            "  storage efficiency: mean {:.1}%  min {:.1}%  max {:.1}%  ({} samples)",
+            100.0 * s.mean_efficiency(),
+            100.0 * s.min_efficiency(),
+            100.0 * s.max_efficiency(),
+            s.efficiency_samples.len(),
+        );
+        print!("  accessed bytes touched before next n set-misses: ");
+        for n in 0..4 {
+            print!("n={}: {:.1}%  ", n + 1, 100.0 * s.touch_window.fraction(n));
+        }
+        println!("\n");
+    }
+
+    println!(
+        "The paper's insight: a fixed 64-byte block cannot match this spatial-locality\n\
+         variability — most blocks waste over half their bytes (the effective capacity\n\
+         of a 32 KB L1-I is under 16 KB), while ~90%+ of the bytes a block will ever\n\
+         use are touched before the next miss in its set, which is what makes a tiny\n\
+         one-shot useful-byte predictor accurate."
+    );
+}

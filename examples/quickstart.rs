@@ -1,0 +1,54 @@
+//! Quickstart: compare the UBS cache against the conventional baseline on
+//! one server workload.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ubs_icache::core::{ConvL1i, InstructionCache, UbsCache};
+use ubs_icache::trace::synth::{Profile, SyntheticTrace, WorkloadSpec};
+use ubs_icache::uarch::{simulate, SimConfig, SimReport};
+
+fn run(spec: &WorkloadSpec, mut icache: Box<dyn InstructionCache>, cfg: &SimConfig) -> SimReport {
+    let mut trace = SyntheticTrace::build(spec);
+    simulate(&mut trace, icache.as_mut(), cfg)
+}
+
+fn main() {
+    let spec = WorkloadSpec::new(Profile::Server, 0);
+    let cfg = SimConfig::scaled(200_000, 600_000);
+    println!("workload: {} (synthetic server trace, seed {:#x})", spec.name, spec.seed);
+
+    let base = run(&spec, Box::new(ConvL1i::paper_baseline()), &cfg);
+    let big = run(&spec, Box::new(ConvL1i::paper_64k()), &cfg);
+    let ubs = run(&spec, Box::new(UbsCache::paper_default()), &cfg);
+
+    println!("\n{:<10} {:>8} {:>10} {:>12} {:>14} {:>10}", "design", "IPC", "L1I MPKI", "stall cycles", "partial misses", "efficiency");
+    for r in [&base, &big, &ubs] {
+        println!(
+            "{:<10} {:>8.3} {:>10.2} {:>12} {:>14} {:>9.1}%",
+            r.design,
+            r.ipc(),
+            r.l1i_mpki(),
+            r.icache_stall_cycles,
+            r.l1i.partial_misses(),
+            100.0 * r.l1i.mean_efficiency(),
+        );
+    }
+
+    println!(
+        "\nUBS speedup over 32KB baseline: {:.2}% (64KB conv: {:.2}%)",
+        100.0 * (ubs.speedup_over(&base) - 1.0),
+        100.0 * (big.speedup_over(&base) - 1.0),
+    );
+    println!(
+        "UBS covers {:.1}% of the baseline's front-end stall cycles (64KB: {:.1}%)",
+        100.0 * ubs.stall_coverage_over(&base),
+        100.0 * big.stall_coverage_over(&base),
+    );
+    println!(
+        "storage: baseline {:.2} KiB, UBS {:.2} KiB",
+        ConvL1i::paper_baseline().storage().total_kib(),
+        UbsCache::paper_default().storage().total_kib(),
+    );
+}

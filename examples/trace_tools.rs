@@ -1,0 +1,70 @@
+//! Trace tooling: generate a synthetic workload, export it in ChampSim's
+//! binary format, read it back, and drive the simulator from the file —
+//! the same path a real (decompressed) IPC-1/CVP trace would take.
+//!
+//! ```text
+//! cargo run --release --example trace_tools
+//! ```
+
+use std::io::BufReader;
+use ubs_icache::core::ConvL1i;
+use ubs_icache::trace::champsim::{ChampSimReader, ChampSimWriter, CHAMPSIM_RECORD_BYTES};
+use ubs_icache::trace::synth::{Profile, SyntheticTrace, WorkloadSpec};
+use ubs_icache::trace::TraceSource;
+use ubs_icache::uarch::{simulate, SimConfig};
+
+fn main() -> std::io::Result<()> {
+    let spec = WorkloadSpec::new(Profile::Client, 2);
+    let n_records = 400_000usize;
+
+    // 1. Generate and export.
+    let path = std::env::temp_dir().join("ubs_example_trace.champsim");
+    {
+        let mut synth = SyntheticTrace::build(&spec);
+        let file = std::fs::File::create(&path)?;
+        let mut writer = ChampSimWriter::new(std::io::BufWriter::new(file));
+        for _ in 0..n_records {
+            let rec = synth.next_record().expect("synthetic traces are infinite");
+            writer.write_record(&rec)?;
+        }
+        writer.finish()?;
+    }
+    let bytes = std::fs::metadata(&path)?.len();
+    println!(
+        "wrote {n_records} records ({bytes} bytes, {} B/record) to {}",
+        CHAMPSIM_RECORD_BYTES,
+        path.display()
+    );
+
+    // 2. Read back and inspect.
+    let file = std::fs::File::open(&path)?;
+    let mut reader = ChampSimReader::new(spec.name.clone(), BufReader::new(file));
+    let mut branches = 0u64;
+    let mut loads = 0u64;
+    let mut total = 0u64;
+    while let Some(rec) = reader.next_record() {
+        total += 1;
+        branches += rec.branch.is_some() as u64;
+        loads += rec.load.is_some() as u64;
+    }
+    println!(
+        "read back {total} records: {:.1}% branches, {:.1}% loads",
+        100.0 * branches as f64 / total as f64,
+        100.0 * loads as f64 / total as f64
+    );
+
+    // 3. Drive the simulator from the file, exactly as with a real trace.
+    let file = std::fs::File::open(&path)?;
+    let mut reader = ChampSimReader::new(spec.name.clone(), BufReader::new(file));
+    let mut icache = ConvL1i::paper_baseline();
+    let report = simulate(&mut reader, &mut icache, &SimConfig::scaled(50_000, 300_000));
+    println!(
+        "simulated from file: {} instructions, IPC {:.3}, L1I MPKI {:.2}",
+        report.instructions,
+        report.ipc(),
+        report.l1i_mpki()
+    );
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

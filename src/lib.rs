@@ -1,0 +1,54 @@
+//! # ubs-icache — Uneven Block Size instruction cache
+//!
+//! A full reproduction of *"Weeding out Front-End Stalls with Uneven Block
+//! Size Instruction Cache"* (MICRO 2024): the UBS cache itself, every
+//! baseline it is compared against, the trace-driven core simulator used to
+//! evaluate it, a synthetic server-workload generator standing in for the
+//! paper's proprietary traces, and a harness that regenerates every table
+//! and figure.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`trace`] | `ubs-trace` | trace records, ChampSim codec, synthetic workloads |
+//! | [`mem`] | `ubs-mem` | cache substrate, MSHRs, L2/L3/DRAM |
+//! | [`frontend`] | `ubs-frontend` | BTB, perceptron, RAS, FTQ |
+//! | [`core`] | `ubs-core` | **UBS cache**, conventional/small-block/GHRP/ACIC/distillation designs, storage + latency models |
+//! | [`uarch`] | `ubs-uarch` | cycle-level core model and simulation driver |
+//! | [`experiments`] | `ubs-experiments` | per-figure/table experiment runners |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ubs_icache::core::{ConvL1i, UbsCache};
+//! use ubs_icache::trace::synth::{Profile, SyntheticTrace, WorkloadSpec};
+//! use ubs_icache::uarch::{simulate, SimConfig};
+//!
+//! let spec = WorkloadSpec::new(Profile::Client, 0);
+//! let cfg = SimConfig::scaled(20_000, 60_000);
+//!
+//! let mut baseline = ConvL1i::paper_baseline();
+//! let base = simulate(&mut SyntheticTrace::build(&spec), &mut baseline, &cfg);
+//!
+//! let mut ubs = UbsCache::paper_default();
+//! let with_ubs = simulate(&mut SyntheticTrace::build(&spec), &mut ubs, &cfg);
+//!
+//! println!("baseline IPC {:.3}, UBS IPC {:.3}", base.ipc(), with_ubs.ipc());
+//! # assert!(base.ipc() > 0.0 && with_ubs.ipc() > 0.0);
+//! ```
+//!
+//! To regenerate the paper's results:
+//!
+//! ```text
+//! cargo run --release -p ubs-experiments --bin repro -- all
+//! ```
+
+#![warn(missing_docs)]
+
+pub use ubs_core as core;
+pub use ubs_experiments as experiments;
+pub use ubs_frontend as frontend;
+pub use ubs_mem as mem;
+pub use ubs_trace as trace;
+pub use ubs_uarch as uarch;

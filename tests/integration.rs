@@ -1,0 +1,139 @@
+//! Cross-crate integration tests: full simulations through the facade.
+
+use ubs_icache::core::{
+    AcicL1i, ConvL1i, DistillL1i, GhrpL1i, InstructionCache, SmallBlockL1i, UbsCache,
+};
+use ubs_icache::trace::synth::{Profile, SyntheticTrace, WorkloadSpec};
+use ubs_icache::uarch::{simulate, SimConfig, SimReport};
+
+fn run(spec: &WorkloadSpec, mut icache: Box<dyn InstructionCache>, cfg: &SimConfig) -> SimReport {
+    simulate(&mut SyntheticTrace::build(spec), icache.as_mut(), cfg)
+}
+
+fn cfg() -> SimConfig {
+    SimConfig::scaled(100_000, 300_000)
+}
+
+#[test]
+fn every_design_completes_a_server_run() {
+    let spec = WorkloadSpec::new(Profile::Server, 1);
+    let designs: Vec<Box<dyn InstructionCache>> = vec![
+        Box::new(ConvL1i::paper_baseline()),
+        Box::new(ConvL1i::paper_64k()),
+        Box::new(UbsCache::paper_default()),
+        Box::new(SmallBlockL1i::paper_16b()),
+        Box::new(SmallBlockL1i::paper_32b()),
+        Box::new(GhrpL1i::paper_default()),
+        Box::new(AcicL1i::paper_default()),
+        Box::new(DistillL1i::paper_default()),
+    ];
+    for d in designs {
+        let name = d.name().to_string();
+        let r = run(&spec, d, &cfg());
+        assert!(r.instructions >= 300_000, "{name}: too few instructions");
+        let ipc = r.ipc();
+        assert!(ipc > 0.01 && ipc < 4.0, "{name}: implausible IPC {ipc}");
+        assert!(
+            r.l1i.accesses > r.l1i.demand_misses(),
+            "{name}: more misses than accesses"
+        );
+    }
+}
+
+#[test]
+fn simulations_are_deterministic_end_to_end() {
+    let spec = WorkloadSpec::new(Profile::Client, 3);
+    let a = run(&spec, Box::new(UbsCache::paper_default()), &cfg());
+    let b = run(&spec, Box::new(UbsCache::paper_default()), &cfg());
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.icache_stall_cycles, b.icache_stall_cycles);
+    assert_eq!(a.l1i.demand_misses(), b.l1i.demand_misses());
+    assert_eq!(a.l1i.partial_misses(), b.l1i.partial_misses());
+}
+
+#[test]
+fn bigger_conventional_cache_never_hurts_misses() {
+    let spec = WorkloadSpec::new(Profile::Server, 0);
+    let small = run(&spec, Box::new(ConvL1i::paper_baseline()), &cfg());
+    let big = run(&spec, Box::new(ConvL1i::new("conv-128k", 128 << 10, 8, 8)), &cfg());
+    assert!(
+        big.l1i_mpki() <= small.l1i_mpki() * 1.05,
+        "128K MPKI {} vs 32K MPKI {}",
+        big.l1i_mpki(),
+        small.l1i_mpki()
+    );
+}
+
+#[test]
+fn ubs_reduces_full_misses_on_server_workload() {
+    let spec = WorkloadSpec::new(Profile::Server, 0);
+    let base = run(&spec, Box::new(ConvL1i::paper_baseline()), &cfg());
+    let ubs = run(&spec, Box::new(UbsCache::paper_default()), &cfg());
+    assert!(
+        ubs.l1i.full_misses < base.l1i.demand_misses(),
+        "UBS full misses {} not below baseline misses {}",
+        ubs.l1i.full_misses,
+        base.l1i.demand_misses()
+    );
+    // UBS must report partial misses on a thrashing workload.
+    assert!(ubs.l1i.partial_misses() > 0);
+    // And better storage efficiency than the baseline (the paper's core claim).
+    assert!(
+        ubs.l1i.mean_efficiency() > base.l1i.mean_efficiency() + 0.05,
+        "UBS efficiency {:.2} vs baseline {:.2}",
+        ubs.l1i.mean_efficiency(),
+        base.l1i.mean_efficiency()
+    );
+}
+
+#[test]
+fn efficiency_ordering_matches_paper_directionally() {
+    // Google (PGO-like layout) baseline efficiency should beat the
+    // unoptimized server layout, as in Fig. 2.
+    let google = run(
+        &WorkloadSpec::new(Profile::Google, 0),
+        Box::new(ConvL1i::paper_baseline()),
+        &cfg(),
+    );
+    let server = run(
+        &WorkloadSpec::new(Profile::Server, 2),
+        Box::new(ConvL1i::paper_baseline()),
+        &cfg(),
+    );
+    assert!(
+        google.l1i.mean_efficiency() > server.l1i.mean_efficiency(),
+        "google {:.2} vs server {:.2}",
+        google.l1i.mean_efficiency(),
+        server.l1i.mean_efficiency()
+    );
+}
+
+#[test]
+fn storage_accounting_matches_paper_totals() {
+    let conv = ConvL1i::paper_baseline().storage();
+    let ubs = UbsCache::paper_default().storage();
+    assert!((conv.total_kib() - 33.875).abs() < 1e-9);
+    assert!((ubs.total_kib() - 36.336).abs() < 0.01);
+}
+
+#[test]
+fn champsim_roundtrip_preserves_simulation_behaviour() {
+    use ubs_icache::trace::champsim::{ChampSimReader, ChampSimWriter};
+    use ubs_icache::trace::TraceSource;
+
+    let spec = WorkloadSpec::new(Profile::Client, 1);
+    let mut synth = SyntheticTrace::build(&spec);
+    let mut bytes = Vec::new();
+    {
+        let mut w = ChampSimWriter::new(&mut bytes);
+        for _ in 0..200_000 {
+            w.write_record(&synth.next_record().unwrap()).unwrap();
+        }
+    }
+    let mut reader = ChampSimReader::new("roundtrip", bytes.as_slice());
+    let mut icache = ConvL1i::paper_baseline();
+    let r = simulate(&mut reader, &mut icache, &SimConfig::scaled(20_000, 150_000));
+    assert!(r.instructions >= 150_000);
+    assert!(r.ipc() > 0.05);
+}

@@ -1,0 +1,135 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! UBS cache's invariants.
+
+use proptest::prelude::*;
+use ubs_icache::core::{range_mask, AccessResult, InstructionCache, UbsCache};
+use ubs_icache::mem::{CacheConfig, MemoryHierarchy, SetAssocCache};
+use ubs_icache::trace::champsim::{ChampSimInstr, CHAMPSIM_RECORD_BYTES};
+use ubs_icache::trace::FetchRange;
+
+proptest! {
+    /// `range_mask` pops exactly `len` bits in the right place.
+    #[test]
+    fn range_mask_popcount(start in 0u8..64, len in 0u8..=64) {
+        prop_assume!(start as u16 + len as u16 <= 64);
+        let m = range_mask(start, len);
+        prop_assert_eq!(m.count_ones(), len as u32);
+        if len > 0 {
+            prop_assert_eq!(m.trailing_zeros(), start as u32);
+        }
+    }
+
+    /// Splitting a fetch range preserves coverage and stays within blocks.
+    #[test]
+    fn fetch_range_split_covers(start in 0u64..1_000_000, bytes in 1u32..512, width in 1u32..128) {
+        let r = FetchRange::new(start * 4, bytes);
+        let parts: Vec<FetchRange> = r.split(width).collect();
+        prop_assert!(!parts.is_empty());
+        prop_assert_eq!(parts[0].start, r.start);
+        prop_assert_eq!(parts.last().unwrap().end(), r.end());
+        let mut cursor = r.start;
+        for p in &parts {
+            prop_assert_eq!(p.start, cursor, "gap or overlap in split");
+            prop_assert!(p.bytes <= width);
+            prop_assert!(p.within_one_line());
+            cursor = p.end();
+        }
+    }
+
+    /// ChampSim wire-format decode inverts encode for arbitrary records.
+    #[test]
+    fn champsim_codec_roundtrip(
+        ip in any::<u64>(),
+        is_branch in 0u8..2,
+        taken in 0u8..2,
+        dst in any::<[u8; 2]>(),
+        src in any::<[u8; 4]>(),
+        dmem in any::<[u64; 2]>(),
+        smem in any::<[u64; 4]>(),
+    ) {
+        let c = ChampSimInstr {
+            ip,
+            is_branch,
+            branch_taken: taken,
+            destination_registers: dst,
+            source_registers: src,
+            destination_memory: dmem,
+            source_memory: smem,
+        };
+        let encoded = c.encode();
+        prop_assert_eq!(encoded.len(), CHAMPSIM_RECORD_BYTES);
+        prop_assert_eq!(ChampSimInstr::decode(&encoded), c);
+    }
+
+    /// A generic cache never exceeds its associativity per set and always
+    /// hits immediately after a fill.
+    #[test]
+    fn set_assoc_cache_fill_then_hit(keys in prop::collection::vec(0u64..4096, 1..200)) {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(CacheConfig::lru("p", 4 << 10, 4));
+        for (i, &k) in keys.iter().enumerate() {
+            c.fill(k, i as u32);
+            prop_assert!(c.contains(k), "fill({k}) not visible");
+        }
+        prop_assert!(c.occupancy() <= 64);
+    }
+
+    /// UBS invariant under random demand sequences: a fetch range that
+    /// missed and was filled must hit immediately after the fill, and the
+    /// cache never reports more hits than accesses.
+    #[test]
+    fn ubs_fill_forward_consistency(
+        offsets in prop::collection::vec((0u64..256, 0u8..16, 1u8..4), 20..120)
+    ) {
+        let mut ubs = UbsCache::paper_default();
+        let mut mem = MemoryHierarchy::paper();
+        let mut now = 0u64;
+        for (lineno, instr_off, instrs) in offsets {
+            now += 20;
+            let start = lineno * 64 + (instr_off as u64).min(15) * 4;
+            let bytes = (instrs as u32 * 4).min(64 - (start % 64) as u32).max(4);
+            let r = FetchRange::new(start, bytes);
+            match ubs.access(r, now, &mut mem) {
+                AccessResult::Hit => {}
+                AccessResult::Miss { ready_at, .. } => {
+                    ubs.tick(ready_at, &mut mem);
+                    now = ready_at + 1;
+                    // After the fill the same range must be present (in the
+                    // predictor or as sub-blocks).
+                    prop_assert!(
+                        matches!(ubs.access(r, now, &mut mem), AccessResult::Hit),
+                        "range {r:?} absent after its own fill"
+                    );
+                }
+                AccessResult::MshrFull => {
+                    now += 500;
+                    ubs.tick(now, &mut mem);
+                }
+            }
+        }
+        let s = ubs.stats();
+        prop_assert!(s.hits <= s.accesses);
+        prop_assert!(s.demand_misses() <= s.accesses);
+    }
+
+    /// UBS storage efficiency samples are always valid fractions.
+    #[test]
+    fn ubs_efficiency_in_unit_interval(
+        lines in prop::collection::vec(0u64..512, 1..60)
+    ) {
+        let mut ubs = UbsCache::paper_default();
+        let mut mem = MemoryHierarchy::paper();
+        let mut now = 0;
+        for l in lines {
+            now += 50;
+            let r = FetchRange::new(l * 64, 16);
+            if let AccessResult::Miss { ready_at, .. } = ubs.access(r, now, &mut mem) {
+                ubs.tick(ready_at, &mut mem);
+                now = ready_at;
+            }
+            ubs.sample_efficiency();
+        }
+        for &e in &ubs.stats().efficiency_samples {
+            prop_assert!((0.0..=1.0).contains(&(e as f64)), "efficiency {e}");
+        }
+    }
+}
