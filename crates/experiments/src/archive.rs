@@ -1,0 +1,703 @@
+//! Run artifacts and regression gating.
+//!
+//! Two halves:
+//!
+//! 1. **[`RunManifest`]** — a versioned, serde-serializable record of one
+//!    `repro` invocation (effort, suite scale, worker count, per-experiment
+//!    wall time, per-cell seeds and simulated-instruction throughput in
+//!    Minstr/s), written atomically as `manifest.json` alongside the
+//!    per-experiment JSON under the `--json` directory. Simulation results
+//!    are only comparable when the run conditions that produced them are
+//!    recorded; the manifest is that record.
+//! 2. **The diff engine** — [`diff_dirs`] compares two result directories
+//!    metric-by-metric with per-metric relative tolerances and produces a
+//!    [`DiffReport`]: a human-readable delta table plus a regression count
+//!    the `repro diff` subcommand turns into its exit status. This makes a
+//!    committed `results/` directory an enforced baseline instead of dead
+//!    weight.
+
+use crate::runner::{CellProgress, Effort};
+use crate::suitescale::SuiteScale;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Version of the manifest schema written by this build.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Timing and identity of one completed (workload × design) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellTiming {
+    /// Workload display name.
+    pub workload: String,
+    /// RNG seed the synthetic workload was built from.
+    pub workload_seed: u64,
+    /// Design display name.
+    pub design: String,
+    /// Instructions simulated in the measurement window.
+    pub instructions: u64,
+    /// Wall-clock seconds the cell took.
+    pub wall_seconds: f64,
+    /// Simulated-instruction throughput in Minstr/s.
+    pub minstr_per_sec: f64,
+}
+
+impl From<&CellProgress> for CellTiming {
+    fn from(p: &CellProgress) -> Self {
+        CellTiming {
+            workload: p.workload.clone(),
+            workload_seed: p.workload_seed,
+            design: p.design.clone(),
+            instructions: p.instructions,
+            wall_seconds: p.wall_seconds,
+            minstr_per_sec: p.minstr_per_sec(),
+        }
+    }
+}
+
+/// One experiment's entry in a [`RunManifest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment id (`fig10`, `table3`, …).
+    pub id: String,
+    /// End-to-end wall-clock seconds for the experiment.
+    pub wall_seconds: f64,
+    /// Total instructions simulated across all cells.
+    pub instructions: u64,
+    /// Aggregate simulated-instruction throughput in Minstr/s
+    /// (cell CPU seconds, not wall — comparable across thread counts).
+    pub minstr_per_sec: f64,
+    /// Per-cell timings, in completion order.
+    pub cells: Vec<CellTiming>,
+}
+
+impl ExperimentRecord {
+    /// Builds a record from an experiment's observed cells and wall time.
+    pub fn new(id: &str, wall_seconds: f64, cells: Vec<CellTiming>) -> Self {
+        let instructions: u64 = cells.iter().map(|c| c.instructions).sum();
+        let cpu_seconds: f64 = cells.iter().map(|c| c.wall_seconds).sum();
+        ExperimentRecord {
+            id: id.to_string(),
+            wall_seconds,
+            instructions,
+            minstr_per_sec: instructions as f64 / 1e6 / cpu_seconds.max(1e-9),
+            cells,
+        }
+    }
+}
+
+/// A versioned record of one `repro` run's conditions and performance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Manifest schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Effort level of the run.
+    pub effort: Effort,
+    /// Workloads per category.
+    pub scale: SuiteScale,
+    /// Worker threads the run used.
+    pub threads: usize,
+    /// One record per completed experiment, in run order.
+    pub experiments: Vec<ExperimentRecord>,
+}
+
+impl RunManifest {
+    /// File name the manifest is stored under in a results directory.
+    pub const FILE_NAME: &'static str = "manifest.json";
+
+    /// An empty manifest for a run under the given conditions.
+    pub fn new(effort: Effort, scale: SuiteScale, threads: usize) -> Self {
+        RunManifest {
+            schema_version: SCHEMA_VERSION,
+            effort,
+            scale,
+            threads,
+            experiments: Vec::new(),
+        }
+    }
+
+    /// Appends one experiment's record.
+    pub fn push(&mut self, record: ExperimentRecord) {
+        self.experiments.push(record);
+    }
+
+    /// Total wall-clock seconds across all experiments.
+    pub fn total_wall_seconds(&self) -> f64 {
+        self.experiments.iter().map(|e| e.wall_seconds).sum()
+    }
+
+    /// Aggregate Minstr/s over all cells of all experiments.
+    pub fn overall_minstr_per_sec(&self) -> f64 {
+        let instr: u64 = self.experiments.iter().map(|e| e.instructions).sum();
+        let cpu: f64 = self
+            .experiments
+            .iter()
+            .flat_map(|e| e.cells.iter())
+            .map(|c| c.wall_seconds)
+            .sum();
+        instr as f64 / 1e6 / cpu.max(1e-9)
+    }
+
+    /// Writes the manifest atomically (`manifest.json.tmp` + rename) into
+    /// `dir`, creating the directory if needed. Returns the final path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_atomic(&self, dir: &Path) -> io::Result<PathBuf> {
+        let value = serde_json::to_value(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        write_json_atomic(dir, Self::FILE_NAME, &value)
+    }
+
+    /// Loads `dir/manifest.json`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on missing/unreadable files, malformed JSON, or a schema
+    /// version newer than this build understands.
+    pub fn load(dir: &Path) -> io::Result<RunManifest> {
+        let body = std::fs::read_to_string(dir.join(Self::FILE_NAME))?;
+        let manifest: RunManifest = serde_json::from_str(&body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if manifest.schema_version > SCHEMA_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "manifest schema v{} is newer than supported v{SCHEMA_VERSION}",
+                    manifest.schema_version
+                ),
+            ));
+        }
+        Ok(manifest)
+    }
+}
+
+/// Atomically writes a pretty-printed JSON value as `dir/file_name`
+/// (`.tmp` + rename), creating `dir` if needed. Returns the final path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_json_atomic(dir: &Path, file_name: &str, value: &Value) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let body = serde_json::to_string_pretty(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let tmp = dir.join(format!("{file_name}.tmp"));
+    let path = dir.join(file_name);
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// Relative + absolute tolerance for one metric class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Relative component (fraction of the larger magnitude).
+    pub rel: f64,
+    /// Absolute floor (dominates near zero).
+    pub abs: f64,
+}
+
+impl Tolerance {
+    /// Exact match (integer/config metrics).
+    pub const EXACT: Tolerance = Tolerance { rel: 0.0, abs: 0.0 };
+
+    /// Whether `baseline` and `candidate` agree under this tolerance
+    /// scaled by `scale`.
+    pub fn accepts(&self, baseline: f64, candidate: f64, scale: f64) -> bool {
+        if baseline.is_nan() || candidate.is_nan() {
+            return baseline.is_nan() && candidate.is_nan();
+        }
+        let bound = scale * (self.abs + self.rel * baseline.abs().max(candidate.abs()));
+        (baseline - candidate).abs() <= bound
+    }
+}
+
+/// The gating tolerance for a metric, selected by the metric's final path
+/// segment (array indices stripped): `rows[3].results[1].speedup` → `speedup`.
+///
+/// Deterministic model constants (Table III storage, Table IV latency) are
+/// gated tightly; simulated ratios get a few percent; near-zero fraction
+/// metrics (coverage, efficiency, partial-miss mixes) use absolute floors so
+/// noise around zero never divides by zero.
+pub fn tolerance_for(metric: &str) -> Tolerance {
+    let key = metric
+        .rsplit('.')
+        .next()
+        .unwrap_or(metric)
+        .split('[')
+        .next()
+        .unwrap_or(metric);
+    match key {
+        // Structural/config integers must not drift at all.
+        "schema_version" | "sets" | "latency" | "mshr" | "window" | "physical_ways"
+        | "bytes" | "workload_seed" | "threads" => Tolerance::EXACT,
+        // Deterministic storage/latency model outputs (Tables III/IV).
+        k if k.ends_with("_kib") || k.ends_with("_ns") => Tolerance {
+            rel: 1e-6,
+            abs: 1e-9,
+        },
+        // Speedup-style ratios near 1.0: a 2% move is a real finding.
+        "speedup" | "geomean_speedup" | "ubs" | "conv64k" => Tolerance {
+            rel: 0.02,
+            abs: 0.005,
+        },
+        "ipc" | "base_ipc" => Tolerance {
+            rel: 0.05,
+            abs: 0.01,
+        },
+        k if k.contains("mpki") => Tolerance {
+            rel: 0.10,
+            abs: 0.10,
+        },
+        // Fractions in [0, 1]: absolute floors, since many sit near zero.
+        "coverage" => Tolerance {
+            rel: 0.0,
+            abs: 0.10,
+        },
+        "mean" | "min" | "max" | "cdf" | "fractions" | "missing_sub_block" | "overrun"
+        | "underrun" | "partial_fraction" => Tolerance {
+            rel: 0.0,
+            abs: 0.05,
+        },
+        k if k.ends_with("_share") => Tolerance {
+            rel: 0.0,
+            abs: 0.05,
+        },
+        _ => Tolerance {
+            rel: 0.05,
+            abs: 0.01,
+        },
+    }
+}
+
+/// A scalar leaf extracted from an experiment's JSON.
+#[derive(Debug, Clone, PartialEq)]
+enum Leaf {
+    Int(i64),
+    Num(f64),
+    Text(String),
+    Bool(bool),
+    Null,
+}
+
+fn flatten(prefix: &str, value: &Value, out: &mut BTreeMap<String, Leaf>) {
+    match value {
+        Value::Object(map) => {
+            for (k, v) in map {
+                let p = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(&p, v, out);
+            }
+        }
+        Value::Array(items) => {
+            for (i, v) in items.iter().enumerate() {
+                flatten(&format!("{prefix}[{i}]"), v, out);
+            }
+        }
+        Value::Number(n) => {
+            let leaf = if let Some(i) = n.as_i64() {
+                Leaf::Int(i)
+            } else {
+                Leaf::Num(n.as_f64().unwrap_or(f64::NAN))
+            };
+            out.insert(prefix.to_string(), leaf);
+        }
+        Value::String(s) => {
+            out.insert(prefix.to_string(), Leaf::Text(s.clone()));
+        }
+        Value::Bool(b) => {
+            out.insert(prefix.to_string(), Leaf::Bool(*b));
+        }
+        Value::Null => {
+            out.insert(prefix.to_string(), Leaf::Null);
+        }
+    }
+}
+
+/// One out-of-tolerance numeric metric.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// Experiment id (file stem) the metric belongs to.
+    pub experiment: String,
+    /// Flattened metric path, e.g. `rows[2].results[0].speedup`.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Candidate value.
+    pub candidate: f64,
+    /// The tolerance that was applied (before `tol_scale`).
+    pub tolerance: Tolerance,
+}
+
+impl MetricDelta {
+    /// Relative delta against the larger magnitude (0 when both are 0).
+    pub fn rel_delta(&self) -> f64 {
+        let mag = self.baseline.abs().max(self.candidate.abs());
+        if mag == 0.0 {
+            0.0
+        } else {
+            (self.candidate - self.baseline) / mag
+        }
+    }
+}
+
+/// Outcome of comparing two result directories.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Experiment files compared.
+    pub compared_files: usize,
+    /// Scalar metrics compared.
+    pub compared_metrics: usize,
+    /// Numeric metrics outside tolerance — each one is a regression.
+    pub failures: Vec<MetricDelta>,
+    /// Structural regressions: missing files/metrics, type or
+    /// string/bool mismatches.
+    pub structural: Vec<String>,
+    /// Non-gating observations (extra files, throughput deltas).
+    pub notes: Vec<String>,
+}
+
+impl DiffReport {
+    /// Number of gating regressions.
+    pub fn regressions(&self) -> usize {
+        self.failures.len() + self.structural.len()
+    }
+
+    /// True when nothing regressed.
+    pub fn is_clean(&self) -> bool {
+        self.regressions() == 0
+    }
+
+    /// Renders the human-readable delta table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "repro diff: {} files, {} metrics compared",
+            self.compared_files, self.compared_metrics
+        )
+        .unwrap();
+        for note in &self.notes {
+            writeln!(out, "  note: {note}").unwrap();
+        }
+        for s in &self.structural {
+            writeln!(out, "  STRUCTURAL: {s}").unwrap();
+        }
+        if !self.failures.is_empty() {
+            writeln!(
+                out,
+                "  {:<44} {:>14} {:>14} {:>9} {:>16}",
+                "metric", "baseline", "candidate", "delta", "tolerance"
+            )
+            .unwrap();
+            for f in &self.failures {
+                writeln!(
+                    out,
+                    "  {:<44} {:>14.6} {:>14.6} {:>8.2}% {:>7.3}r+{:.3}a",
+                    format!("{}:{}", f.experiment, f.metric),
+                    f.baseline,
+                    f.candidate,
+                    100.0 * f.rel_delta(),
+                    f.tolerance.rel,
+                    f.tolerance.abs,
+                )
+                .unwrap();
+            }
+        }
+        if self.is_clean() {
+            writeln!(out, "  OK: all gated metrics within tolerance").unwrap();
+        } else {
+            writeln!(out, "  FAIL: {} regression(s)", self.regressions()).unwrap();
+        }
+        out
+    }
+}
+
+/// Compares the flattened metrics of one experiment's baseline and
+/// candidate JSON values, appending findings to `report`.
+pub fn diff_values(
+    experiment: &str,
+    baseline: &Value,
+    candidate: &Value,
+    tol_scale: f64,
+    report: &mut DiffReport,
+) {
+    let mut base = BTreeMap::new();
+    let mut cand = BTreeMap::new();
+    flatten("", baseline, &mut base);
+    flatten("", candidate, &mut cand);
+
+    for (path, b) in &base {
+        report.compared_metrics += 1;
+        let Some(c) = cand.get(path) else {
+            report
+                .structural
+                .push(format!("{experiment}:{path} missing in candidate"));
+            continue;
+        };
+        match (b, c) {
+            (Leaf::Int(x), Leaf::Int(y)) => {
+                // Integer metrics are config/structural: exact match.
+                if x != y {
+                    report.failures.push(MetricDelta {
+                        experiment: experiment.to_string(),
+                        metric: path.clone(),
+                        baseline: *x as f64,
+                        candidate: *y as f64,
+                        tolerance: Tolerance::EXACT,
+                    });
+                }
+            }
+            // One side serialized 1.0 as 1: compare as floats.
+            (Leaf::Int(x), Leaf::Num(y)) => {
+                compare_floats(experiment, path, *x as f64, *y, tol_scale, report);
+            }
+            (Leaf::Num(x), Leaf::Int(y)) => {
+                compare_floats(experiment, path, *x, *y as f64, tol_scale, report);
+            }
+            (Leaf::Num(x), Leaf::Num(y)) => {
+                compare_floats(experiment, path, *x, *y, tol_scale, report);
+            }
+            (Leaf::Text(x), Leaf::Text(y)) if x == y => {}
+            (Leaf::Bool(x), Leaf::Bool(y)) if x == y => {}
+            (Leaf::Null, Leaf::Null) => {}
+            _ => {
+                report.structural.push(format!(
+                    "{experiment}:{path} mismatch: baseline {b:?} vs candidate {c:?}"
+                ));
+            }
+        }
+    }
+    for path in cand.keys() {
+        if !base.contains_key(path) {
+            report
+                .notes
+                .push(format!("{experiment}:{path} only in candidate (not gated)"));
+        }
+    }
+}
+
+fn compare_floats(
+    experiment: &str,
+    path: &str,
+    baseline: f64,
+    candidate: f64,
+    tol_scale: f64,
+    report: &mut DiffReport,
+) {
+    let tol = tolerance_for(path);
+    if !tol.accepts(baseline, candidate, tol_scale) {
+        report.failures.push(MetricDelta {
+            experiment: experiment.to_string(),
+            metric: path.to_string(),
+            baseline,
+            candidate,
+            tolerance: tol,
+        });
+    }
+}
+
+/// Lists the experiment JSON files (stem → path) of a results directory,
+/// excluding the manifest.
+fn experiment_files(dir: &Path) -> io::Result<BTreeMap<String, PathBuf>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if !name.ends_with(".json") || name == RunManifest::FILE_NAME {
+            continue;
+        }
+        out.insert(name.trim_end_matches(".json").to_string(), path);
+    }
+    Ok(out)
+}
+
+/// Compares every experiment JSON in `baseline` against `candidate`.
+///
+/// Every baseline experiment and metric must exist in the candidate and
+/// every numeric metric must agree within [`tolerance_for`] × `tol_scale`.
+/// Extra candidate files/metrics and manifest throughput changes are
+/// reported as non-gating notes.
+///
+/// # Errors
+///
+/// Fails when either directory is unreadable or a JSON file is malformed.
+pub fn diff_dirs(baseline: &Path, candidate: &Path, tol_scale: f64) -> Result<DiffReport, String> {
+    let base_files = experiment_files(baseline)
+        .map_err(|e| format!("cannot read baseline dir {}: {e}", baseline.display()))?;
+    let cand_files = experiment_files(candidate)
+        .map_err(|e| format!("cannot read candidate dir {}: {e}", candidate.display()))?;
+    if base_files.is_empty() {
+        return Err(format!(
+            "baseline dir {} contains no experiment JSON",
+            baseline.display()
+        ));
+    }
+
+    let mut report = DiffReport::default();
+    for (id, base_path) in &base_files {
+        let Some(cand_path) = cand_files.get(id) else {
+            report
+                .structural
+                .push(format!("{id}.json missing in candidate directory"));
+            continue;
+        };
+        let read = |p: &Path| -> Result<Value, String> {
+            let body =
+                std::fs::read_to_string(p).map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+            serde_json::from_str(&body).map_err(|e| format!("malformed JSON {}: {e}", p.display()))
+        };
+        let base_json = read(base_path)?;
+        let cand_json = read(cand_path)?;
+        report.compared_files += 1;
+        diff_values(id, &base_json, &cand_json, tol_scale, &mut report);
+    }
+    for id in cand_files.keys() {
+        if !base_files.contains_key(id) {
+            report
+                .notes
+                .push(format!("{id}.json only in candidate (not gated)"));
+        }
+    }
+
+    // Manifests, when both sides have one, contribute a non-gating
+    // harness-throughput comparison (machine-dependent, so never gated).
+    if let (Ok(b), Ok(c)) = (RunManifest::load(baseline), RunManifest::load(candidate)) {
+        report.notes.push(format!(
+            "harness throughput: baseline {:.2} Minstr/s vs candidate {:.2} Minstr/s",
+            b.overall_minstr_per_sec(),
+            c.overall_minstr_per_sec()
+        ));
+        if b.effort != c.effort {
+            report.structural.push(format!(
+                "effort mismatch: baseline {} vs candidate {} (runs are not comparable)",
+                b.effort.label(),
+                c.effort.label()
+            ));
+        }
+        if b.scale != c.scale {
+            report.structural.push(
+                "suite-scale mismatch between baseline and candidate manifests".to_string(),
+            );
+        }
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn tolerance_selection() {
+        assert_eq!(tolerance_for("rows[1].results[0].speedup").rel, 0.02);
+        assert_eq!(tolerance_for("ubs_total_kib").rel, 1e-6);
+        assert_eq!(tolerance_for("sets"), Tolerance::EXACT);
+        assert_eq!(tolerance_for("rows[0].cdf[3]").abs, 0.05);
+        assert_eq!(tolerance_for("rows[2].icache_stall_share").abs, 0.05);
+    }
+
+    #[test]
+    fn accepts_near_zero_with_abs_floor() {
+        let t = Tolerance { rel: 0.0, abs: 0.05 };
+        assert!(t.accepts(0.0, 0.03, 1.0));
+        assert!(!t.accepts(0.0, 0.07, 1.0));
+        assert!(t.accepts(0.0, 0.07, 2.0));
+    }
+
+    #[test]
+    fn identical_values_are_clean() {
+        let v = json!({ "rows": [{ "workload": "a", "speedup": 1.01, "n": 3 }] });
+        let mut r = DiffReport::default();
+        diff_values("fig10", &v, &v, 1.0, &mut r);
+        assert!(r.is_clean(), "{:?}", r);
+        assert_eq!(r.compared_metrics, 3);
+    }
+
+    #[test]
+    fn perturbed_metric_is_named() {
+        let b = json!({ "rows": [{ "speedup": 1.00 }] });
+        let c = json!({ "rows": [{ "speedup": 1.10 }] });
+        let mut r = DiffReport::default();
+        diff_values("fig10", &b, &c, 1.0, &mut r);
+        assert_eq!(r.regressions(), 1);
+        assert_eq!(r.failures[0].metric, "rows[0].speedup");
+        assert!(r.render().contains("rows[0].speedup"));
+    }
+
+    #[test]
+    fn missing_and_extra_metrics() {
+        let b = json!({ "a": 1.0, "b": 2.0 });
+        let c = json!({ "a": 1.0, "c": 3.0 });
+        let mut r = DiffReport::default();
+        diff_values("x", &b, &c, 1.0, &mut r);
+        assert_eq!(r.structural.len(), 1);
+        assert!(r.structural[0].contains("x:b missing"));
+        assert_eq!(r.notes.len(), 1);
+    }
+
+    #[test]
+    fn integer_metrics_are_exact() {
+        let b = json!({ "sets": 64 });
+        let c = json!({ "sets": 65 });
+        let mut r = DiffReport::default();
+        diff_values("table2", &b, &c, 1.0, &mut r);
+        assert_eq!(r.regressions(), 1);
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_atomic_write() {
+        let cells = vec![CellTiming {
+            workload: "server_000".into(),
+            workload_seed: 42,
+            design: "ubs".into(),
+            instructions: 2_000_000,
+            wall_seconds: 0.5,
+            minstr_per_sec: 4.0,
+        }];
+        let mut m = RunManifest::new(Effort::Quick, SuiteScale::tiny(), 8);
+        m.push(ExperimentRecord::new("fig10", 1.25, cells));
+        assert!((m.experiments[0].minstr_per_sec - 4.0).abs() < 1e-9);
+
+        let body = serde_json::to_string(&m).unwrap();
+        let back: RunManifest = serde_json::from_str(&body).unwrap();
+        assert_eq!(back, m);
+
+        let dir = std::env::temp_dir().join(format!("ubs-manifest-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = m.write_atomic(&dir).unwrap();
+        assert!(path.ends_with(RunManifest::FILE_NAME));
+        let loaded = RunManifest::load(&dir).unwrap();
+        assert_eq!(loaded, m);
+        assert!(loaded.total_wall_seconds() > 1.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn newer_schema_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("ubs-schema-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut m = RunManifest::new(Effort::Quick, SuiteScale::tiny(), 1);
+        m.schema_version = SCHEMA_VERSION + 1;
+        std::fs::write(
+            dir.join(RunManifest::FILE_NAME),
+            serde_json::to_string(&m).unwrap(),
+        )
+        .unwrap();
+        assert!(RunManifest::load(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

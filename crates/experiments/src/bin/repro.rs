@@ -1,81 +1,91 @@
-//! `repro` — regenerate the paper's tables and figures.
+//! `repro` — regenerate the paper's tables and figures, archive run
+//! manifests, and gate results against a committed baseline.
 //!
 //! Usage:
 //!
 //! ```text
-//! repro <experiment-id>... [--quick|--full] [--tiny-suites|--full-suites] [--json DIR]
+//! repro <experiment-id>... [--effort=<smoke|quick|default|full>] [--threads=N]
+//!                          [--tiny-suites|--full-suites] [--json DIR]
 //! repro all [flags]
 //! repro list
+//! repro diff <baseline-dir> <candidate-dir> [--tol-scale=F]
 //! ```
+//!
+//! With `--json DIR`, every experiment's machine-readable results land in
+//! `DIR/<id>.json` and a [`RunManifest`](ubs_experiments::RunManifest)
+//! (`DIR/manifest.json`) records the run conditions plus per-cell wall time
+//! and Minstr/s. `repro diff` compares two such directories metric-by-metric
+//! and exits nonzero on any out-of-tolerance change.
 
-use std::path::PathBuf;
-use ubs_experiments::{all_ids, run_by_id, Effort, SuiteScale};
+use parking_lot::Mutex;
+use std::time::Instant;
+use ubs_experiments::{
+    cli, diff_dirs, run_by_id_with, write_json_atomic, CellProgress, CellTiming,
+    ExperimentRecord, RunContext, RunManifest,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        print_usage();
-        return;
-    }
-    if args[0] == "list" {
-        for id in all_ids() {
-            println!("{id}");
+    let code = match cli::parse(&args) {
+        Ok(cli::Command::Help) => {
+            print_usage();
+            0
         }
-        return;
-    }
-
-    let effort = Effort::from_flags(&args);
-    let scale = if args.iter().any(|a| a == "--tiny-suites") {
-        SuiteScale::tiny()
-    } else if args.iter().any(|a| a == "--full-suites") {
-        SuiteScale::full()
-    } else {
-        SuiteScale::default_scale()
+        Ok(cli::Command::List) => {
+            for id in ubs_experiments::all_ids() {
+                println!("{id}");
+            }
+            0
+        }
+        Ok(cli::Command::Diff(opts)) => run_diff(&opts),
+        Ok(cli::Command::Run(opts)) => run_experiments(&opts),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            2
+        }
     };
-    let json_dir: Option<PathBuf> = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from);
+    std::process::exit(code);
+}
 
-    let requested: Vec<&str> = if args.iter().any(|a| a == "all") {
-        all_ids()
-    } else {
-        args.iter()
-            .filter(|a| !a.starts_with("--"))
-            .map(|a| a.as_str())
-            .filter(|a| *a != "all")
-            .collect()
-    };
-    // Skip the value that followed --json.
-    let requested: Vec<&str> = requested
-        .into_iter()
-        .filter(|r| json_dir.as_deref().map(|d| d.to_str() != Some(r)).unwrap_or(true))
-        .collect();
-
-    if requested.is_empty() {
-        print_usage();
-        std::process::exit(2);
-    }
-
+fn run_experiments(opts: &cli::RunOptions) -> i32 {
+    let base_ctx = RunContext::new(opts.effort, opts.scale).with_threads(opts.threads);
+    let threads = base_ctx.effective_threads();
+    let mut manifest = RunManifest::new(opts.effort, opts.scale, threads);
     let mut failed = false;
-    for id in requested {
-        let started = std::time::Instant::now();
-        match run_by_id(id, effort, &scale) {
+
+    for id in &opts.ids {
+        let cells: Mutex<Vec<CellTiming>> = Mutex::new(Vec::new());
+        let progress = |p: &CellProgress| {
+            eprintln!(
+                "[{id}] {}/{} {} × {}: {:.2}s, {:.2} Minstr/s",
+                p.completed,
+                p.total,
+                p.workload,
+                p.design,
+                p.wall_seconds,
+                p.minstr_per_sec()
+            );
+            cells.lock().push(CellTiming::from(p));
+        };
+        let ctx = base_ctx.with_progress(&progress);
+        let started = Instant::now();
+        match run_by_id_with(id, &ctx) {
             Ok(result) => {
+                let wall = started.elapsed().as_secs_f64();
                 println!("================ {id} ================");
                 println!("{}", result.text);
-                eprintln!("[{id} completed in {:.1}s]", started.elapsed().as_secs_f64());
-                if let Some(dir) = &json_dir {
-                    if let Err(e) = std::fs::create_dir_all(dir).and_then(|_| {
-                        std::fs::write(
-                            dir.join(format!("{id}.json")),
-                            serde_json::to_string_pretty(&result.json).unwrap_or_default(),
-                        )
-                    }) {
+                let record = ExperimentRecord::new(id, wall, cells.into_inner());
+                eprintln!(
+                    "[{id} completed in {wall:.1}s, {:.2} Minstr/s over {} cells]",
+                    record.minstr_per_sec,
+                    record.cells.len()
+                );
+                if let Some(dir) = &opts.json_dir {
+                    if let Err(e) = write_json_atomic(dir, &format!("{id}.json"), &result.json) {
                         eprintln!("warning: could not write JSON for {id}: {e}");
                     }
                 }
+                manifest.push(record);
             }
             Err(e) => {
                 eprintln!("error: {e}");
@@ -83,8 +93,35 @@ fn main() {
             }
         }
     }
-    if failed {
-        std::process::exit(1);
+
+    if let Some(dir) = &opts.json_dir {
+        match manifest.write_atomic(dir) {
+            Ok(path) => eprintln!(
+                "[manifest: {} — {} experiments, {:.1}s wall, {:.2} Minstr/s aggregate]",
+                path.display(),
+                manifest.experiments.len(),
+                manifest.total_wall_seconds(),
+                manifest.overall_minstr_per_sec()
+            ),
+            Err(e) => {
+                eprintln!("error: could not write run manifest: {e}");
+                failed = true;
+            }
+        }
+    }
+    i32::from(failed)
+}
+
+fn run_diff(opts: &cli::DiffOptions) -> i32 {
+    match diff_dirs(&opts.baseline, &opts.candidate, opts.tol_scale) {
+        Ok(report) => {
+            print!("{}", report.render());
+            i32::from(!report.is_clean())
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
     }
 }
 
@@ -92,15 +129,22 @@ fn print_usage() {
     eprintln!(
         "repro — regenerate the UBS paper's tables and figures\n\
          \n\
-         usage: repro <id>... [--quick|--full] [--tiny-suites|--full-suites] [--json DIR]\n\
+         usage: repro <id>... [flags]        run experiments\n\
+         \x20      repro all [flags]         run every experiment\n\
+         \x20      repro list                print every experiment id\n\
+         \x20      repro diff BASE CAND [--tol-scale=F]\n\
+         \x20                                compare two --json directories;\n\
+         \x20                                exit 1 on out-of-tolerance metrics\n\
          \n\
-         ids: {}  (or `all`, or `list`)\n\
+         ids: {}\n\
          \n\
-         --quick        short simulation windows (smoke)\n\
-         --full         the paper's 50M+50M windows (hours)\n\
+         --effort=NAME  smoke|quick|default|full simulation windows\n\
+         --quick        shorthand for --effort=quick\n\
+         --full         shorthand for --effort=full (the paper's 50M+50M, hours)\n\
+         --threads=N    fixed worker count (default: all cores)\n\
          --tiny-suites  2-3 workloads per category\n\
          --full-suites  paper-sized suites (36 server workloads, ...)\n\
-         --json DIR     also write machine-readable results",
+         --json DIR     write per-experiment JSON + run manifest to DIR",
         ubs_experiments::all_ids().join(" ")
     );
 }

@@ -1,0 +1,305 @@
+//! Typed command-line parsing for the `repro` binary.
+//!
+//! Replaces the old ad-hoc flag scanning (`Effort::from_flags` plus
+//! positional `--json` fishing) with a real parser: every flag value is
+//! consumed where it appears, so an experiment id that happens to equal the
+//! `--json` directory name is no longer silently dropped, and unknown flags
+//! are hard errors instead of being ignored.
+
+use crate::figures::all_ids;
+use crate::runner::Effort;
+use crate::suitescale::SuiteScale;
+use std::path::PathBuf;
+
+/// Options for a `repro <ids>...` experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOptions {
+    /// Experiment ids to run, in order (`all` already expanded).
+    pub ids: Vec<String>,
+    /// Simulation effort.
+    pub effort: Effort,
+    /// Suite sizing.
+    pub scale: SuiteScale,
+    /// Fixed worker count (`--threads=N`); `None` = all cores.
+    pub threads: Option<usize>,
+    /// Directory for machine-readable results + run manifest.
+    pub json_dir: Option<PathBuf>,
+}
+
+/// Options for `repro diff <baseline> <candidate>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffOptions {
+    /// Directory holding the baseline results.
+    pub baseline: PathBuf,
+    /// Directory holding the candidate results.
+    pub candidate: PathBuf,
+    /// Multiplier applied to every per-metric tolerance (default 1.0).
+    pub tol_scale: f64,
+}
+
+/// A parsed `repro` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print usage.
+    Help,
+    /// Print every experiment id.
+    List,
+    /// Run experiments.
+    Run(RunOptions),
+    /// Compare two results directories.
+    Diff(DiffOptions),
+}
+
+/// Splits `--flag=value` / `--flag value` style arguments: returns the
+/// value either embedded after `=` or taken from the next argument.
+fn flag_value<'a>(
+    arg: &'a str,
+    name: &str,
+    rest: &mut std::slice::Iter<'a, String>,
+) -> Option<Result<&'a str, String>> {
+    let tail = arg.strip_prefix(name)?;
+    if let Some(v) = tail.strip_prefix('=') {
+        return Some(Ok(v));
+    }
+    if !tail.is_empty() {
+        return None; // e.g. `--thread-pool` does not match `--threads`
+    }
+    match rest.next() {
+        Some(v) => Some(Ok(v.as_str())),
+        None => Some(Err(format!("{name} requires a value"))),
+    }
+}
+
+/// Parses a `repro` argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a one-line message for unknown flags/ids, missing or malformed
+/// flag values, and conflicting effort/suite selections.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        return Ok(Command::Help);
+    }
+    if args[0] == "list" {
+        return Ok(Command::List);
+    }
+    if args[0] == "diff" {
+        return parse_diff(&args[1..]);
+    }
+    parse_run(args)
+}
+
+fn parse_diff(args: &[String]) -> Result<Command, String> {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut tol_scale = 1.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(v) = flag_value(arg, "--tol-scale", &mut it) {
+            let v = v?;
+            tol_scale = v
+                .parse::<f64>()
+                .ok()
+                .filter(|t| t.is_finite() && *t > 0.0)
+                .ok_or_else(|| format!("--tol-scale expects a positive number, got `{v}`"))?;
+        } else if arg.starts_with('-') {
+            return Err(format!("unknown flag for diff: `{arg}`"));
+        } else {
+            dirs.push(PathBuf::from(arg));
+        }
+    }
+    if dirs.len() != 2 {
+        return Err(format!(
+            "diff expects exactly two directories (baseline, candidate), got {}",
+            dirs.len()
+        ));
+    }
+    let candidate = dirs.pop().expect("two dirs");
+    let baseline = dirs.pop().expect("two dirs");
+    Ok(Command::Diff(DiffOptions {
+        baseline,
+        candidate,
+        tol_scale,
+    }))
+}
+
+fn parse_run(args: &[String]) -> Result<Command, String> {
+    let mut effort: Option<Effort> = None;
+    let mut scale: Option<SuiteScale> = None;
+    let mut threads: Option<usize> = None;
+    let mut json_dir: Option<PathBuf> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut want_all = false;
+
+    let set_effort = |slot: &mut Option<Effort>, e: Effort| -> Result<(), String> {
+        match slot {
+            Some(prev) if *prev != e => Err(format!(
+                "conflicting effort flags: {} vs {}",
+                prev.label(),
+                e.label()
+            )),
+            _ => {
+                *slot = Some(e);
+                Ok(())
+            }
+        }
+    };
+    let set_scale = |slot: &mut Option<SuiteScale>, s: SuiteScale| -> Result<(), String> {
+        match slot {
+            Some(prev) if *prev != s => Err("conflicting suite-scale flags".to_string()),
+            _ => {
+                *slot = Some(s);
+                Ok(())
+            }
+        }
+    };
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(v) = flag_value(arg, "--effort", &mut it) {
+            set_effort(&mut effort, Effort::parse(v?)?)?;
+        } else if let Some(v) = flag_value(arg, "--threads", &mut it) {
+            let v = v?;
+            let n = v
+                .parse::<usize>()
+                .ok()
+                .filter(|n| *n >= 1)
+                .ok_or_else(|| format!("--threads expects an integer >= 1, got `{v}`"))?;
+            threads = Some(n);
+        } else if let Some(v) = flag_value(arg, "--json", &mut it) {
+            json_dir = Some(PathBuf::from(v?));
+        } else if arg == "--smoke" {
+            set_effort(&mut effort, Effort::Smoke)?;
+        } else if arg == "--quick" {
+            set_effort(&mut effort, Effort::Quick)?;
+        } else if arg == "--full" {
+            set_effort(&mut effort, Effort::Full)?;
+        } else if arg == "--tiny-suites" {
+            set_scale(&mut scale, SuiteScale::tiny())?;
+        } else if arg == "--full-suites" {
+            set_scale(&mut scale, SuiteScale::full())?;
+        } else if arg.starts_with('-') {
+            return Err(format!("unknown flag: `{arg}` (see --help)"));
+        } else if arg == "all" {
+            want_all = true;
+        } else {
+            ids.push(arg.clone());
+        }
+    }
+
+    let known = all_ids();
+    if want_all {
+        if !ids.is_empty() {
+            return Err("`all` cannot be combined with explicit experiment ids".to_string());
+        }
+        ids = known.iter().map(|s| s.to_string()).collect();
+    } else {
+        if ids.is_empty() {
+            return Err("no experiment ids given (try `repro list` or `repro all`)".to_string());
+        }
+        if let Some(bad) = ids.iter().find(|id| !known.contains(&id.as_str())) {
+            return Err(format!(
+                "unknown experiment id `{bad}` (valid: {})",
+                known.join(" ")
+            ));
+        }
+    }
+
+    Ok(Command::Run(RunOptions {
+        ids,
+        effort: effort.unwrap_or(Effort::Default),
+        scale: scale.unwrap_or_else(SuiteScale::default_scale),
+        threads,
+        json_dir,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_list() {
+        assert_eq!(parse(&args(&[])), Ok(Command::Help));
+        assert_eq!(parse(&args(&["fig10", "--help"])), Ok(Command::Help));
+        assert_eq!(parse(&args(&["list"])), Ok(Command::List));
+    }
+
+    #[test]
+    fn run_flags() {
+        let Command::Run(o) = parse(&args(&[
+            "fig10",
+            "table3",
+            "--effort=quick",
+            "--threads=4",
+            "--json",
+            "out",
+            "--tiny-suites",
+        ]))
+        .unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(o.ids, vec!["fig10", "table3"]);
+        assert_eq!(o.effort, Effort::Quick);
+        assert_eq!(o.threads, Some(4));
+        assert_eq!(o.json_dir, Some(PathBuf::from("out")));
+        assert_eq!(o.scale, SuiteScale::tiny());
+    }
+
+    #[test]
+    fn legacy_flags_still_parse() {
+        let Command::Run(o) =
+            parse(&args(&["all", "--quick", "--tiny-suites"])).unwrap()
+        else {
+            panic!("expected Run");
+        };
+        assert_eq!(o.effort, Effort::Quick);
+        assert_eq!(o.ids.len(), all_ids().len());
+    }
+
+    #[test]
+    fn json_dir_equal_to_id_is_not_dropped() {
+        // Regression test: `repro fig10 --json fig10` used to drop the
+        // requested id because the dir value leaked into the positional list.
+        let Command::Run(o) = parse(&args(&["fig10", "--json", "fig10"])).unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(o.ids, vec!["fig10"]);
+        assert_eq!(o.json_dir, Some(PathBuf::from("fig10")));
+    }
+
+    #[test]
+    fn errors_are_clear() {
+        assert!(parse(&args(&["fig10", "--frobnicate"]))
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(parse(&args(&["fig99"])).unwrap_err().contains("unknown experiment id"));
+        assert!(parse(&args(&["fig10", "--threads=0"]))
+            .unwrap_err()
+            .contains("--threads"));
+        assert!(parse(&args(&["fig10", "--effort=warp"]))
+            .unwrap_err()
+            .contains("unknown effort"));
+        assert!(parse(&args(&["fig10", "--quick", "--full"]))
+            .unwrap_err()
+            .contains("conflicting effort"));
+        assert!(parse(&args(&["--json"])).unwrap_err().contains("requires a value"));
+    }
+
+    #[test]
+    fn diff_parsing() {
+        let Command::Diff(d) =
+            parse(&args(&["diff", "base", "cand", "--tol-scale=2.5"])).unwrap()
+        else {
+            panic!("expected Diff");
+        };
+        assert_eq!(d.baseline, PathBuf::from("base"));
+        assert_eq!(d.candidate, PathBuf::from("cand"));
+        assert!((d.tol_scale - 2.5).abs() < 1e-12);
+        assert!(parse(&args(&["diff", "onlyone"])).is_err());
+        assert!(parse(&args(&["diff", "a", "b", "--weird"])).is_err());
+    }
+}

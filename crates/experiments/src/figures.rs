@@ -2,12 +2,17 @@
 //!
 //! Each function reproduces the rows/series of its figure and returns an
 //! [`ExperimentResult`]: a human-readable text table plus a JSON value so
-//! results can be archived and diffed. `EXPERIMENTS.md` records
-//! paper-vs-measured for each of these.
+//! results can be archived and diffed (`repro diff`). `EXPERIMENTS.md`
+//! records paper-vs-measured for each of these.
+//!
+//! Simulation-driven experiments take a [`RunContext`] (effort, suite
+//! scale, worker count, progress hook); [`run_by_id`] is the simple
+//! effort+scale entry point and [`run_by_id_with`] the full one.
 
 use crate::designs::DesignSpec;
-use crate::runner::{run_matrix, Effort};
+use crate::runner::{Effort, RunContext, RunGrid};
 use crate::suitescale::SuiteScale;
+use serde::{Deserialize, Serialize};
 use serde_json::{json, Value};
 use std::fmt::Write as _;
 use ubs_core::latency::{LatencyAnalysis, CONV_8WAY, UBS_17WAY};
@@ -16,7 +21,7 @@ use ubs_trace::synth::{Profile, WorkloadSpec};
 use ubs_uarch::{geomean, CoreConfig};
 
 /// Output of one experiment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentResult {
     /// Experiment id (`fig10`, `table3`, …).
     pub id: String,
@@ -57,7 +62,7 @@ fn efficiency_categories(scale: &SuiteScale) -> Vec<(Profile, Vec<WorkloadSpec>)
 
 /// Fig. 1: CDF of bytes accessed per 64-byte block before eviction, per
 /// workload, on the conventional 32 KB L1-I.
-pub fn fig1(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
+pub fn fig1(ctx: &RunContext<'_>) -> ExperimentResult {
     let mut text = String::new();
     let mut json_rows = Vec::new();
     let marks = [4usize, 8, 16, 24, 32, 40, 48, 56, 63, 64];
@@ -67,10 +72,10 @@ pub fn fig1(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
     )
     .unwrap();
     writeln!(text, "{:<14} {}", "workload", marks.map(|m| format!("{m:>6}")).join("")).unwrap();
-    for (profile, workloads) in efficiency_categories(scale) {
-        let grid = run_matrix(&workloads, &[DesignSpec::conv_32k()], effort);
+    for (profile, workloads) in efficiency_categories(&ctx.scale) {
+        let grid = ctx.run_matrix(&workloads, &[DesignSpec::conv_32k()]);
         for (w, spec) in workloads.iter().enumerate() {
-            let stats = &grid[w][0].l1i;
+            let stats = &grid.get(w, 0).l1i;
             let cdf: Vec<f64> = marks.iter().map(|&m| stats.evict_cdf_at(m)).collect();
             writeln!(
                 text,
@@ -97,26 +102,24 @@ pub fn fig1(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
 
 /// Fig. 2: storage-efficiency distribution of the conventional 32 KB L1-I,
 /// sampled every 100 K cycles.
-pub fn fig2(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
+pub fn fig2(ctx: &RunContext<'_>) -> ExperimentResult {
     efficiency_figure(
         "fig2",
         "Fig. 2 — storage efficiency of conv-32k (sampled / 100K cycles)",
         DesignSpec::conv_32k(),
         "Paper reference averages: google 60%, client 49%, server 41%, spec 52%; min as low as 24%.",
-        effort,
-        scale,
+        ctx,
     )
 }
 
 /// Fig. 7: storage efficiency of the UBS cache.
-pub fn fig7(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
+pub fn fig7(ctx: &RunContext<'_>) -> ExperimentResult {
     efficiency_figure(
         "fig7",
         "Fig. 7 — storage efficiency of UBS (sampled / 100K cycles)",
         DesignSpec::ubs_default(),
         "Paper reference averages: google 72%, client 75%, server 73%, spec 74%; min 60%, max 87%.",
-        effort,
-        scale,
+        ctx,
     )
 }
 
@@ -125,8 +128,7 @@ fn efficiency_figure(
     title: &str,
     design: DesignSpec,
     reference: &str,
-    effort: Effort,
-    scale: &SuiteScale,
+    ctx: &RunContext<'_>,
 ) -> ExperimentResult {
     let mut text = String::new();
     let mut json_rows = Vec::new();
@@ -137,11 +139,11 @@ fn efficiency_figure(
         "workload", "mean", "min", "max", "samples"
     )
     .unwrap();
-    for (profile, workloads) in efficiency_categories(scale) {
-        let grid = run_matrix(&workloads, &[design.clone()], effort);
+    for (profile, workloads) in efficiency_categories(&ctx.scale) {
+        let grid = ctx.run_matrix(&workloads, &[design.clone()]);
         let mut cat_means = Vec::new();
         for (w, spec) in workloads.iter().enumerate() {
-            let s = &grid[w][0].l1i;
+            let s = &grid.get(w, 0).l1i;
             writeln!(
                 text,
                 "{:<14} {:>7.1}% {:>7.1}% {:>7.1}% {:>9}",
@@ -170,7 +172,7 @@ fn efficiency_figure(
 
 /// Fig. 4: fraction of lifetime-accessed bytes touched before the next
 /// 1..4 misses in the same set (conv-32k).
-pub fn fig4(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
+pub fn fig4(ctx: &RunContext<'_>) -> ExperimentResult {
     let mut text = String::new();
     let mut json_rows = Vec::new();
     writeln!(
@@ -184,11 +186,11 @@ pub fn fig4(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
         "category", "n=1", "n=2", "n=3", "n=4"
     )
     .unwrap();
-    for (profile, workloads) in efficiency_categories(scale) {
-        let grid = run_matrix(&workloads, &[DesignSpec::conv_32k()], effort);
+    for (profile, workloads) in efficiency_categories(&ctx.scale) {
+        let grid = ctx.run_matrix(&workloads, &[DesignSpec::conv_32k()]);
         let mut merged = ubs_core::TouchWindow::default();
-        for row in &grid {
-            merged.merge(&row[0].l1i.touch_window);
+        for w in 0..grid.num_workloads() {
+            merged.merge(&grid.get(w, 0).l1i.touch_window);
         }
         let f: Vec<f64> = (0..4).map(|k| merged.fraction(k)).collect();
         writeln!(
@@ -218,8 +220,7 @@ fn perf_comparison(
     title: &str,
     designs: Vec<DesignSpec>,
     reference: &str,
-    effort: Effort,
-    scale: &SuiteScale,
+    ctx: &RunContext<'_>,
     show_coverage: bool,
 ) -> ExperimentResult {
     let mut all = vec![DesignSpec::conv_32k()];
@@ -236,18 +237,18 @@ fn perf_comparison(
     }
     writeln!(text, "   ({metric} vs conv-32k)").unwrap();
 
-    for (profile, workloads) in perf_categories(scale) {
-        let grid = run_matrix(&workloads, &all, effort);
+    for (profile, workloads) in perf_categories(&ctx.scale) {
+        let grid = ctx.run_matrix(&workloads, &all);
         let mut per_design: Vec<Vec<f64>> = vec![Vec::new(); all.len() - 1];
         for (w, spec) in workloads.iter().enumerate() {
-            let base = &grid[w][0];
+            let base = grid.get(w, 0);
             write!(text, "{:<14}", spec.name).unwrap();
             let mut row_json = vec![];
             // Coverage over a near-zero baseline is pure noise; report 0
             // when the baseline spends <1% of its cycles on L1-I stalls.
             let stall_share = base.icache_stall_cycles as f64 / base.cycles.max(1) as f64;
             for d in 1..all.len() {
-                let r = &grid[w][d];
+                let r = grid.get(w, d);
                 let v = if show_coverage {
                     if stall_share < 0.01 {
                         0.0
@@ -295,20 +296,19 @@ fn perf_comparison(
 
 /// Fig. 8: front-end stall-cycle coverage of UBS and conv-64k over the
 /// 32 KB baseline.
-pub fn fig8(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
+pub fn fig8(ctx: &RunContext<'_>) -> ExperimentResult {
     perf_comparison(
         "fig8",
         "Fig. 8 — front-end stall cycles covered over conv-32k (higher is better)",
         vec![DesignSpec::ubs_default(), DesignSpec::conv_64k()],
         "Paper reference (UBS): client 5.3%, server 16.5%, spec 4.8%; conv-64k slightly higher.",
-        effort,
-        scale,
+        ctx,
         true,
     )
 }
 
 /// Fig. 9: distribution of partial misses (UBS).
-pub fn fig9(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
+pub fn fig9(ctx: &RunContext<'_>) -> ExperimentResult {
     let mut text = String::new();
     let mut json_rows = Vec::new();
     writeln!(text, "Fig. 9 — partial misses as a fraction of all UBS misses").unwrap();
@@ -318,11 +318,11 @@ pub fn fig9(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
         "workload", "missing", "overrun", "underrun", "total"
     )
     .unwrap();
-    for (profile, workloads) in perf_categories(scale) {
-        let grid = run_matrix(&workloads, &[DesignSpec::ubs_default()], effort);
+    for (profile, workloads) in perf_categories(&ctx.scale) {
+        let grid = ctx.run_matrix(&workloads, &[DesignSpec::ubs_default()]);
         let mut cat = Vec::new();
         for (w, spec) in workloads.iter().enumerate() {
-            let s = &grid[w][0].l1i;
+            let s = &grid.get(w, 0).l1i;
             let total = s.demand_misses().max(1) as f64;
             let (m, o, u) = (
                 s.missing_sub_block as f64 / total,
@@ -363,21 +363,31 @@ pub fn fig9(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
 }
 
 /// Fig. 10: IPC speedup of UBS and conv-64k over the 32 KB baseline.
-pub fn fig10(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
+pub fn fig10(ctx: &RunContext<'_>) -> ExperimentResult {
     perf_comparison(
         "fig10",
         "Fig. 10 — speedup over conv-32k",
         vec![DesignSpec::ubs_default(), DesignSpec::conv_64k()],
         "Paper reference (server geomean): UBS +5.6%, conv-64k +6.3% (UBS ~89% of doubling).",
-        effort,
-        scale,
+        ctx,
         false,
     )
 }
 
+/// Per-design geomean speedups over column 0 of a grid, for one suite.
+fn geomean_speedups(grid: &RunGrid) -> Vec<f64> {
+    (1..grid.num_designs())
+        .map(|d| {
+            geomean(
+                (0..grid.num_workloads()).map(|w| grid.get(w, d).speedup_over(grid.get(w, 0))),
+            )
+        })
+        .collect()
+}
+
 /// Fig. 11: UBS vs conventional caches across storage budgets, normalized
 /// to a 16 KB conventional cache.
-pub fn fig11(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
+pub fn fig11(ctx: &RunContext<'_>) -> ExperimentResult {
     let conv_sizes = [16usize, 32, 64, 128, 192];
     let ubs_budgets = [16usize, 20, 32, 64, 128];
     let mut designs = vec![DesignSpec::conv(16 << 10)];
@@ -388,14 +398,12 @@ pub fn fig11(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
     let mut text = String::new();
     writeln!(text, "Fig. 11 — geomean speedup over conv-16k at different budgets").unwrap();
     let mut json_rows = Vec::new();
-    for (profile, workloads) in perf_categories(scale) {
-        let grid = run_matrix(&workloads, &designs, effort);
+    for (profile, workloads) in perf_categories(&ctx.scale) {
+        let grid = ctx.run_matrix(&workloads, &designs);
         write!(text, "{:<8}", profile.label()).unwrap();
         let mut series = Vec::new();
-        for d in 1..designs.len() {
-            let g = geomean(
-                (0..workloads.len()).map(|w| grid[w][d].speedup_over(&grid[w][0])),
-            );
+        for (i, g) in geomean_speedups(&grid).into_iter().enumerate() {
+            let d = i + 1;
             write!(text, " {}={:.4}", names[d], g).unwrap();
             series.push(json!({ "design": names[d], "geomean_speedup": g }));
         }
@@ -411,7 +419,7 @@ pub fn fig11(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
 }
 
 /// Fig. 12: UBS vs 16- and 32-byte-block conventional caches.
-pub fn fig12(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
+pub fn fig12(ctx: &RunContext<'_>) -> ExperimentResult {
     perf_comparison(
         "fig12",
         "Fig. 12 — small-block designs vs UBS (speedup over conv-32k)",
@@ -421,14 +429,13 @@ pub fn fig12(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
             DesignSpec::ubs_default(),
         ],
         "Paper reference: UBS about doubles the server-side gain of the 16B/32B designs;\nall three are similar on client/SPEC.",
-        effort,
-        scale,
+        ctx,
         false,
     )
 }
 
 /// Fig. 13: UBS vs GHRP, ACIC and Line Distillation.
-pub fn fig13(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
+pub fn fig13(ctx: &RunContext<'_>) -> ExperimentResult {
     perf_comparison(
         "fig13",
         "Fig. 13 — prior-work comparison (speedup over conv-32k)",
@@ -439,27 +446,25 @@ pub fn fig13(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
             DesignSpec::ubs_default(),
         ],
         "Paper reference: all three prior techniques help on server but less than UBS;\nLine Distillation slightly hurts client/SPEC.",
-        effort,
-        scale,
+        ctx,
         false,
     )
 }
 
 /// Fig. 15: predictor organization sensitivity.
-pub fn fig15(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
+pub fn fig15(ctx: &RunContext<'_>) -> ExperimentResult {
     perf_comparison(
         "fig15",
         "Fig. 15 — UBS predictor organizations (speedup over conv-32k)",
         DesignSpec::fig15_variants(),
         "Paper reference: all organizations perform similarly; 8-way LRU is slightly\nworse than direct-mapped, FIFO recovers it.",
-        effort,
-        scale,
+        ctx,
         false,
     )
 }
 
 /// Fig. 16: way-count/size sensitivity.
-pub fn fig16(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
+pub fn fig16(ctx: &RunContext<'_>) -> ExperimentResult {
     let mut designs = Vec::new();
     for ways in [10usize, 12, 14, 16, 18] {
         designs.push(DesignSpec::ubs_ways(ways, ConfigFamily::Config1));
@@ -476,14 +481,13 @@ pub fn fig16(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
         "Fig. 16 — UBS way configurations (speedup over conv-32k)",
         designs,
         "Paper reference: small variation for >=12 ways (5.2-5.9% on server); 10-way\nconfigs lose ~1.5-2 points; conv 16-way gains almost nothing (0.26%).",
-        effort,
-        scale,
+        ctx,
         false,
     )
 }
 
 /// §VI-L: CVP-1-style traces not used during design.
-pub fn cvp(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
+pub fn cvp(ctx: &RunContext<'_>) -> ExperimentResult {
     let designs = vec![
         DesignSpec::conv_32k(),
         DesignSpec::ubs_default(),
@@ -494,10 +498,10 @@ pub fn cvp(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
     writeln!(text, "§VI-L — CVP-1-style traces (geomean speedup over conv-32k)").unwrap();
     let mut json_rows = Vec::new();
     for profile in cats {
-        let workloads = scale.suite(profile);
-        let grid = run_matrix(&workloads, &designs, effort);
-        let ubs = geomean((0..workloads.len()).map(|w| grid[w][1].speedup_over(&grid[w][0])));
-        let big = geomean((0..workloads.len()).map(|w| grid[w][2].speedup_over(&grid[w][0])));
+        let workloads = ctx.scale.suite(profile);
+        let grid = ctx.run_matrix(&workloads, &designs);
+        let speedups = geomean_speedups(&grid);
+        let (ubs, big) = (speedups[0], speedups[1]);
         writeln!(
             text,
             "{:<12} ubs={ubs:.4}  conv-64k={big:.4}",
@@ -619,7 +623,7 @@ pub fn table4() -> ExperimentResult {
 
 /// Ablations beyond the paper: candidate-window width, fill-remaining and
 /// gap merging.
-pub fn ablate(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
+pub fn ablate(ctx: &RunContext<'_>) -> ExperimentResult {
     let mut designs = Vec::new();
     for window in [1usize, 2, 4, 8, 16] {
         let mut cfg = UbsCacheConfig::paper_default();
@@ -636,24 +640,26 @@ pub fn ablate(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
     no_merge.name = "ubs-nomerge".into();
     designs.push(DesignSpec::Ubs(no_merge));
 
-    let workloads = scale.suite(Profile::Server);
+    let workloads = ctx.scale.suite(Profile::Server);
     let mut all = vec![DesignSpec::conv_32k()];
     all.extend(designs);
     let names: Vec<String> = all.iter().map(|d| d.name()).collect();
-    let grid = run_matrix(&workloads, &all, effort);
+    let grid = ctx.run_matrix(&workloads, &all);
 
     let mut text = String::new();
     writeln!(text, "Ablations (server suite, geomean speedup over conv-32k)").unwrap();
     let mut json_rows = Vec::new();
     for d in 1..all.len() {
-        let g = geomean((0..workloads.len()).map(|w| grid[w][d].speedup_over(&grid[w][0])));
-        let partial: f64 = (0..workloads.len())
+        let g = geomean(
+            (0..grid.num_workloads()).map(|w| grid.get(w, d).speedup_over(grid.get(w, 0))),
+        );
+        let partial: f64 = (0..grid.num_workloads())
             .map(|w| {
-                grid[w][d].l1i.partial_misses() as f64
-                    / grid[w][d].l1i.demand_misses().max(1) as f64
+                grid.get(w, d).l1i.partial_misses() as f64
+                    / grid.get(w, d).l1i.demand_misses().max(1) as f64
             })
             .sum::<f64>()
-            / workloads.len() as f64;
+            / grid.num_workloads() as f64;
         writeln!(
             text,
             "{:<14} speedup {g:.4}  partial-miss fraction {:.1}%",
@@ -668,7 +674,7 @@ pub fn ablate(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
 
 /// Extension beyond the paper: UBS vs an Amoeba-style variable-granularity
 /// cache (its closest prior design, §VII) and the ideal L1-I headroom.
-pub fn amoeba(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
+pub fn amoeba(ctx: &RunContext<'_>) -> ExperimentResult {
     perf_comparison(
         "amoeba",
         "Extension — UBS vs Amoeba-style cache and the ideal L1-I (speedup over conv-32k)",
@@ -679,15 +685,14 @@ pub fn amoeba(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
         ],
         "Paper §VII argues UBS's fixed way sizes avoid Amoeba's replacement complexity
 at comparable flexibility; `ideal` bounds the remaining front-end opportunity.",
-        effort,
-        scale,
+        ctx,
         false,
     )
 }
 
 /// Extension: workload characterization table (baseline MPKIs and stall
 /// shares), useful for interpreting every other figure.
-pub fn workloads(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
+pub fn workloads(ctx: &RunContext<'_>) -> ExperimentResult {
     let mut text = String::new();
     writeln!(
         text,
@@ -697,10 +702,10 @@ pub fn workloads(effort: Effort, scale: &SuiteScale) -> ExperimentResult {
     )
     .unwrap();
     let mut json_rows = Vec::new();
-    for (profile, workloads) in efficiency_categories(scale) {
-        let grid = run_matrix(&workloads, &[DesignSpec::conv_32k()], effort);
+    for (profile, workloads) in efficiency_categories(&ctx.scale) {
+        let grid = ctx.run_matrix(&workloads, &[DesignSpec::conv_32k()]);
         for (w, spec) in workloads.iter().enumerate() {
-            let r = &grid[w][0];
+            let r = grid.get(w, 0);
             let cyc = r.cycles.max(1) as f64;
             writeln!(
                 text,
@@ -737,33 +742,43 @@ pub fn all_ids() -> Vec<&'static str> {
     ]
 }
 
-/// Runs one experiment by id.
+/// Runs one experiment by id under a full [`RunContext`] (fixed thread
+/// count, per-cell progress observation).
+///
+/// # Errors
+///
+/// Returns an error message for unknown ids.
+pub fn run_by_id_with(id: &str, ctx: &RunContext<'_>) -> Result<ExperimentResult, String> {
+    Ok(match id {
+        "fig1" => fig1(ctx),
+        "fig2" => fig2(ctx),
+        "fig4" => fig4(ctx),
+        "fig7" => fig7(ctx),
+        "fig8" => fig8(ctx),
+        "fig9" => fig9(ctx),
+        "fig10" => fig10(ctx),
+        "fig11" => fig11(ctx),
+        "fig12" => fig12(ctx),
+        "fig13" => fig13(ctx),
+        "fig15" => fig15(ctx),
+        "fig16" => fig16(ctx),
+        "table1" => table1(),
+        "table2" => table2(),
+        "table3" => table3(),
+        "table4" => table4(),
+        "cvp" => cvp(ctx),
+        "ablate" => ablate(ctx),
+        "amoeba" => amoeba(ctx),
+        "workloads" => workloads(ctx),
+        other => return Err(format!("unknown experiment id: {other}")),
+    })
+}
+
+/// Runs one experiment by id at the given effort and suite scale.
 ///
 /// # Errors
 ///
 /// Returns an error message for unknown ids.
 pub fn run_by_id(id: &str, effort: Effort, scale: &SuiteScale) -> Result<ExperimentResult, String> {
-    Ok(match id {
-        "fig1" => fig1(effort, scale),
-        "fig2" => fig2(effort, scale),
-        "fig4" => fig4(effort, scale),
-        "fig7" => fig7(effort, scale),
-        "fig8" => fig8(effort, scale),
-        "fig9" => fig9(effort, scale),
-        "fig10" => fig10(effort, scale),
-        "fig11" => fig11(effort, scale),
-        "fig12" => fig12(effort, scale),
-        "fig13" => fig13(effort, scale),
-        "fig15" => fig15(effort, scale),
-        "fig16" => fig16(effort, scale),
-        "table1" => table1(),
-        "table2" => table2(),
-        "table3" => table3(),
-        "table4" => table4(),
-        "cvp" => cvp(effort, scale),
-        "ablate" => ablate(effort, scale),
-        "amoeba" => amoeba(effort, scale),
-        "workloads" => workloads(effort, scale),
-        other => return Err(format!("unknown experiment id: {other}")),
-    })
+    run_by_id_with(id, &RunContext::new(effort, *scale))
 }

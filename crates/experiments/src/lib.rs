@@ -5,23 +5,35 @@
 //!
 //! ```text
 //! cargo run --release -p ubs-experiments --bin repro -- fig10
-//! cargo run --release -p ubs-experiments --bin repro -- all --quick
+//! cargo run --release -p ubs-experiments --bin repro -- all --effort=quick --threads=8
+//! cargo run --release -p ubs-experiments --bin repro -- diff results out
 //! ```
 //!
 //! Each experiment returns an [`ExperimentResult`] with both a printable
 //! table (the same rows/series the paper reports) and a JSON value for
-//! archiving. See `DESIGN.md` for the experiment index and `EXPERIMENTS.md`
-//! for recorded paper-vs-measured numbers.
+//! archiving. Runs given `--json DIR` also write a [`RunManifest`] recording
+//! the run conditions (effort, suite scale, seeds, worker count) and harness
+//! performance (per-cell wall time, Minstr/s); `repro diff` compares two
+//! such directories with per-metric tolerances and fails on regressions.
+//! See `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for
+//! recorded paper-vs-measured numbers.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod archive;
+pub mod cli;
 mod designs;
 pub mod figures;
 mod runner;
 mod suitescale;
 
+pub use archive::{
+    diff_dirs, diff_values, tolerance_for, write_json_atomic, CellTiming, DiffReport,
+    ExperimentRecord, MetricDelta, RunManifest, Tolerance, SCHEMA_VERSION,
+};
+pub use cli::{Command, DiffOptions, RunOptions};
 pub use designs::DesignSpec;
-pub use figures::{all_ids, run_by_id, ExperimentResult};
-pub use runner::{run_matrix, Cell, Effort};
+pub use figures::{all_ids, run_by_id, run_by_id_with, ExperimentResult};
+pub use runner::{run_matrix, Cell, CellProgress, Effort, ProgressHook, RunContext, RunGrid};
 pub use suitescale::SuiteScale;

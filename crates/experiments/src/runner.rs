@@ -1,12 +1,22 @@
 //! Parallel (workload × design) simulation matrices.
+//!
+//! [`run_matrix`] is the convenience entry point; [`RunContext`] is the full
+//! API: it carries the effort level, suite scale, an optional fixed worker
+//! count (`--threads=N`) and an optional progress hook that observes every
+//! completed cell (wall time + simulated-instruction throughput), which the
+//! `repro` binary uses for live progress lines and the [`crate::archive`]
+//! run manifest.
 
 use crate::designs::DesignSpec;
-use parking_lot::Mutex;
+use crate::suitescale::SuiteScale;
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+use std::time::Instant;
 use ubs_trace::synth::{SyntheticTrace, WorkloadSpec};
 use ubs_uarch::{SimConfig, SimReport};
 
 /// Effort level of an experiment run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Effort {
     /// Minimal windows for criterion benches (shape only, heavy noise).
     Smoke,
@@ -29,14 +39,30 @@ impl Effort {
         }
     }
 
-    /// Parses `--quick` / `--full` style flags.
-    pub fn from_flags(args: &[String]) -> Self {
-        if args.iter().any(|a| a == "--full") {
-            Effort::Full
-        } else if args.iter().any(|a| a == "--quick") {
-            Effort::Quick
-        } else {
-            Effort::Default
+    /// Parses an `--effort=<name>` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message listing the accepted names.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "smoke" => Ok(Effort::Smoke),
+            "quick" => Ok(Effort::Quick),
+            "default" => Ok(Effort::Default),
+            "full" => Ok(Effort::Full),
+            other => Err(format!(
+                "unknown effort `{other}` (expected smoke|quick|default|full)"
+            )),
+        }
+    }
+
+    /// The lowercase name accepted by [`Effort::parse`].
+    pub fn label(self) -> &'static str {
+        match self {
+            Effort::Smoke => "smoke",
+            Effort::Quick => "quick",
+            Effort::Default => "default",
+            Effort::Full => "full",
         }
     }
 }
@@ -50,24 +76,204 @@ pub struct Cell {
     pub design: usize,
     /// The simulation report.
     pub report: SimReport,
+    /// Wall-clock time this cell's simulation took.
+    pub wall_seconds: f64,
+}
+
+impl Cell {
+    /// Simulated-instruction throughput of this cell in Minstr/s.
+    pub fn minstr_per_sec(&self) -> f64 {
+        self.report.instructions as f64 / 1e6 / self.wall_seconds.max(1e-9)
+    }
+}
+
+/// A completed (workload × design) matrix with typed accessors.
+///
+/// Cells are stored row-major: all designs of workload 0, then workload 1, …
+#[derive(Debug, Clone)]
+pub struct RunGrid {
+    workload_names: Vec<String>,
+    design_names: Vec<String>,
+    cells: Vec<Cell>,
+}
+
+impl RunGrid {
+    /// The report for `(workload, design)` (indices into the input slices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn get(&self, workload: usize, design: usize) -> &SimReport {
+        &self.cell(workload, design).report
+    }
+
+    /// The full cell (report + timing) for `(workload, design)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn cell(&self, workload: usize, design: usize) -> &Cell {
+        assert!(workload < self.workload_names.len(), "workload {workload} out of range");
+        assert!(design < self.design_names.len(), "design {design} out of range");
+        &self.cells[workload * self.design_names.len() + design]
+    }
+
+    /// Number of workloads (rows).
+    pub fn num_workloads(&self) -> usize {
+        self.workload_names.len()
+    }
+
+    /// Number of designs (columns).
+    pub fn num_designs(&self) -> usize {
+        self.design_names.len()
+    }
+
+    /// Workload display names, in row order.
+    pub fn workload_names(&self) -> &[String] {
+        &self.workload_names
+    }
+
+    /// Design display names, in column order.
+    pub fn design_names(&self) -> &[String] {
+        &self.design_names
+    }
+
+    /// All cells in `(workload, design)` row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = &Cell> {
+        self.cells.iter()
+    }
+
+    /// The reports of one workload row, in design order.
+    pub fn row(&self, workload: usize) -> impl Iterator<Item = &SimReport> {
+        (0..self.num_designs()).map(move |d| self.get(workload, d))
+    }
+
+    /// Sum of simulated instructions across all cells.
+    pub fn total_instructions(&self) -> u64 {
+        self.cells.iter().map(|c| c.report.instructions).sum()
+    }
+}
+
+/// A finished cell as observed by a progress hook.
+#[derive(Debug, Clone)]
+pub struct CellProgress {
+    /// Workload display name.
+    pub workload: String,
+    /// RNG seed of the synthetic workload (for manifest reproducibility).
+    pub workload_seed: u64,
+    /// Design display name.
+    pub design: String,
+    /// Instructions simulated in this cell.
+    pub instructions: u64,
+    /// Wall-clock seconds this cell took.
+    pub wall_seconds: f64,
+    /// Cells finished so far in the current matrix (including this one).
+    pub completed: usize,
+    /// Total cells in the current matrix.
+    pub total: usize,
+}
+
+impl CellProgress {
+    /// Simulated-instruction throughput of this cell in Minstr/s.
+    pub fn minstr_per_sec(&self) -> f64 {
+        self.instructions as f64 / 1e6 / self.wall_seconds.max(1e-9)
+    }
+}
+
+/// Observer invoked (from worker threads) for every finished cell.
+pub type ProgressHook<'a> = &'a (dyn Fn(&CellProgress) + Sync);
+
+/// Everything an experiment run needs besides the workloads and designs:
+/// effort, suite scale, worker count, and an optional per-cell observer.
+#[derive(Clone, Copy)]
+pub struct RunContext<'a> {
+    /// Simulation window selection.
+    pub effort: Effort,
+    /// Workloads per category.
+    pub scale: SuiteScale,
+    /// Fixed worker count; `None` uses all available parallelism.
+    pub threads: Option<usize>,
+    /// Per-cell completion observer (called from worker threads).
+    pub progress: Option<ProgressHook<'a>>,
+}
+
+impl std::fmt::Debug for RunContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunContext")
+            .field("effort", &self.effort)
+            .field("scale", &self.scale)
+            .field("threads", &self.threads)
+            .field("progress", &self.progress.map(|_| "<hook>"))
+            .finish()
+    }
+}
+
+impl<'a> RunContext<'a> {
+    /// A context with no fixed thread count and no progress hook.
+    pub fn new(effort: Effort, scale: SuiteScale) -> Self {
+        RunContext {
+            effort,
+            scale,
+            threads: None,
+            progress: None,
+        }
+    }
+
+    /// Pins the worker count (for reproducible CI / benchmarking runs).
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Installs a per-cell progress observer.
+    pub fn with_progress(mut self, hook: ProgressHook<'a>) -> Self {
+        self.progress = Some(hook);
+        self
+    }
+
+    /// The worker count this context will use.
+    pub fn effective_threads(&self) -> usize {
+        self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+    }
+
+    /// Runs every workload against every design under this context.
+    pub fn run_matrix(&self, workloads: &[WorkloadSpec], designs: &[DesignSpec]) -> RunGrid {
+        run_matrix_inner(workloads, designs, self)
+    }
 }
 
 /// Runs every workload against every design, in parallel across available
-/// threads. Results are returned in `(workload, design)` order.
-pub fn run_matrix(
+/// threads. Results come back as a typed [`RunGrid`] in `(workload, design)`
+/// order. Use [`RunContext::run_matrix`] to pin the worker count or observe
+/// per-cell progress.
+pub fn run_matrix(workloads: &[WorkloadSpec], designs: &[DesignSpec], effort: Effort) -> RunGrid {
+    run_matrix_inner(
+        workloads,
+        designs,
+        &RunContext::new(effort, SuiteScale::default_scale()),
+    )
+}
+
+fn run_matrix_inner(
     workloads: &[WorkloadSpec],
     designs: &[DesignSpec],
-    effort: Effort,
-) -> Vec<Vec<SimReport>> {
-    let sim_cfg = effort.sim_config();
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    ctx: &RunContext<'_>,
+) -> RunGrid {
+    let sim_cfg = ctx.effort.sim_config();
+    let threads = ctx.effective_threads();
     let jobs: Vec<(usize, usize)> = (0..workloads.len())
         .flat_map(|w| (0..designs.len()).map(move |d| (w, d)))
         .collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let cells: Mutex<Vec<Cell>> = Mutex::new(Vec::with_capacity(jobs.len()));
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    // One pre-addressed slot per cell: workers write their own (w, d) slot
+    // directly, so no shared Vec mutex and no post-hoc reordering.
+    let slots: Vec<OnceLock<Cell>> = (0..jobs.len()).map(|_| OnceLock::new()).collect();
 
     // Program construction is the expensive part of a synthetic workload;
     // build each program once and clone the walker per design.
@@ -78,35 +284,50 @@ pub fn run_matrix(
             scope.spawn(|_| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(&(w, d)) = jobs.get(i) else { break };
+                let started = Instant::now();
                 let mut trace = prototypes[w].clone();
                 let mut icache = designs[d].build();
                 let report = ubs_uarch::simulate(&mut trace, icache.as_mut(), &sim_cfg);
-                cells.lock().push(Cell {
+                let cell = Cell {
                     workload: w,
                     design: d,
                     report,
-                });
+                    wall_seconds: started.elapsed().as_secs_f64(),
+                };
+                if let Some(hook) = ctx.progress {
+                    let completed = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                    hook(&CellProgress {
+                        workload: workloads[w].name.clone(),
+                        workload_seed: workloads[w].seed,
+                        design: designs[d].name(),
+                        instructions: cell.report.instructions,
+                        wall_seconds: cell.wall_seconds,
+                        completed,
+                        total: jobs.len(),
+                    });
+                }
+                slots[i]
+                    .set(cell)
+                    .unwrap_or_else(|_| unreachable!("cell {i} written twice"));
             });
         }
     })
     .expect("simulation worker panicked");
 
-    let mut grid: Vec<Vec<Option<SimReport>>> = vec![vec![None; designs.len()]; workloads.len()];
-    for cell in cells.into_inner() {
-        grid[cell.workload][cell.design] = Some(cell.report);
+    RunGrid {
+        workload_names: workloads.iter().map(|w| w.name.clone()).collect(),
+        design_names: designs.iter().map(|d| d.name()).collect(),
+        cells: slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every cell completed"))
+            .collect(),
     }
-    grid.into_iter()
-        .map(|row| {
-            row.into_iter()
-                .map(|r| r.expect("every cell completed"))
-                .collect()
-        })
-        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use ubs_trace::synth::Profile;
 
     #[test]
@@ -114,11 +335,64 @@ mod tests {
         let workloads = vec![WorkloadSpec::new(Profile::Client, 0)];
         let designs = vec![DesignSpec::conv_32k(), DesignSpec::ubs_default()];
         let grid = run_matrix(&workloads, &designs, Effort::Quick);
-        assert_eq!(grid.len(), 1);
-        assert_eq!(grid[0].len(), 2);
-        assert_eq!(grid[0][0].design, "conv-32k");
-        assert_eq!(grid[0][1].design, "ubs");
-        assert_eq!(grid[0][0].workload, "client_000");
-        assert!(grid[0][0].ipc() > 0.0);
+        assert_eq!(grid.num_workloads(), 1);
+        assert_eq!(grid.num_designs(), 2);
+        assert_eq!(grid.get(0, 0).design, "conv-32k");
+        assert_eq!(grid.get(0, 1).design, "ubs");
+        assert_eq!(grid.get(0, 0).workload, "client_000");
+        assert_eq!(grid.design_names(), &["conv-32k".to_string(), "ubs".to_string()]);
+        assert_eq!(grid.workload_names(), &["client_000".to_string()]);
+        assert!(grid.get(0, 0).ipc() > 0.0);
+        assert_eq!(grid.iter().count(), 2);
+        assert_eq!(grid.row(0).count(), 2);
+        assert!(grid.total_instructions() > 0);
+        for cell in grid.iter() {
+            assert!(cell.wall_seconds >= 0.0);
+            assert!(cell.minstr_per_sec() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn progress_hook_sees_every_cell_and_threads_are_honored() {
+        let workloads = vec![
+            WorkloadSpec::new(Profile::Client, 0),
+            WorkloadSpec::new(Profile::Spec, 0),
+        ];
+        let designs = vec![DesignSpec::conv_32k()];
+        let calls = AtomicUsize::new(0);
+        let hook = |p: &CellProgress| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            assert!(p.total == 2 && p.completed >= 1 && p.completed <= 2);
+            assert!(p.instructions > 0);
+        };
+        let ctx = RunContext::new(Effort::Smoke, SuiteScale::bench())
+            .with_threads(Some(1))
+            .with_progress(&hook);
+        assert_eq!(ctx.effective_threads(), 1);
+        let grid = ctx.run_matrix(&workloads, &designs);
+        assert_eq!(grid.num_workloads(), 2);
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let workloads = vec![WorkloadSpec::new(Profile::Client, 1)];
+        let designs = vec![DesignSpec::conv_32k()];
+        let one = RunContext::new(Effort::Smoke, SuiteScale::bench())
+            .with_threads(Some(1))
+            .run_matrix(&workloads, &designs);
+        let many = RunContext::new(Effort::Smoke, SuiteScale::bench())
+            .with_threads(Some(4))
+            .run_matrix(&workloads, &designs);
+        assert_eq!(one.get(0, 0).cycles, many.get(0, 0).cycles);
+        assert_eq!(one.get(0, 0).instructions, many.get(0, 0).instructions);
+    }
+
+    #[test]
+    fn effort_parse_roundtrip() {
+        for e in [Effort::Smoke, Effort::Quick, Effort::Default, Effort::Full] {
+            assert_eq!(Effort::parse(e.label()), Ok(e));
+        }
+        assert!(Effort::parse("turbo").is_err());
     }
 }

@@ -1,10 +1,11 @@
 //! Suite sizing: how many workloads per category an experiment uses.
 
+use serde::{Deserialize, Serialize};
 use ubs_trace::suites;
 use ubs_trace::synth::{Profile, WorkloadSpec};
 
 /// Workload counts per category.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SuiteScale {
     /// Google workloads.
     pub google: usize,

@@ -1,0 +1,157 @@
+//! Golden-file tests for the run-artifact + regression-gating layer:
+//! manifests round-trip through disk, identical result directories diff
+//! clean, and a perturbed metric is reported by name.
+
+use std::path::{Path, PathBuf};
+use ubs_experiments::{
+    diff_dirs, run_by_id, write_json_atomic, CellTiming, Effort, ExperimentRecord, RunManifest,
+    SuiteScale,
+};
+
+/// A unique scratch directory under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ubs-archive-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Writes a small but representative results directory: two structural
+/// tables (computed, not simulated — fast) plus a manifest.
+fn write_golden(dir: &Path) {
+    let scale = SuiteScale::bench();
+    let mut manifest = RunManifest::new(Effort::Smoke, scale, 2);
+    for id in ["table2", "table3", "table4"] {
+        let r = run_by_id(id, Effort::Smoke, &scale).unwrap();
+        write_json_atomic(dir, &format!("{id}.json"), &r.json).unwrap();
+        manifest.push(ExperimentRecord::new(
+            id,
+            0.01,
+            vec![CellTiming {
+                workload: "none".into(),
+                workload_seed: 0,
+                design: "structural".into(),
+                instructions: 1_000_000,
+                wall_seconds: 0.01,
+                minstr_per_sec: 100.0,
+            }],
+        ));
+    }
+    manifest.write_atomic(dir).unwrap();
+}
+
+#[test]
+fn identical_directories_diff_clean() {
+    let base = scratch("base");
+    let cand = scratch("cand");
+    write_golden(&base);
+    write_golden(&cand);
+
+    let report = diff_dirs(&base, &cand, 1.0).expect("diff runs");
+    assert!(report.is_clean(), "unexpected regressions:\n{}", report.render());
+    assert_eq!(report.compared_files, 3);
+    assert!(report.compared_metrics > 5);
+    // The throughput note is informational, never gating.
+    assert!(report.notes.iter().any(|n| n.contains("Minstr/s")));
+
+    let _ = std::fs::remove_dir_all(&base);
+    let _ = std::fs::remove_dir_all(&cand);
+}
+
+#[test]
+fn perturbed_metric_fails_and_is_named() {
+    let base = scratch("pbase");
+    let cand = scratch("pcand");
+    write_golden(&base);
+    write_golden(&cand);
+
+    // Perturb one gated scalar well beyond its (tight) tolerance.
+    let path = cand.join("table3.json");
+    let mut v: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let kib = v["ubs_total_kib"].as_f64().unwrap();
+    v["ubs_total_kib"] = serde_json::json!(kib * 1.10);
+    std::fs::write(&path, serde_json::to_string_pretty(&v).unwrap()).unwrap();
+
+    let report = diff_dirs(&base, &cand, 1.0).expect("diff runs");
+    assert_eq!(report.regressions(), 1, "{}", report.render());
+    assert_eq!(report.failures[0].experiment, "table3");
+    assert_eq!(report.failures[0].metric, "ubs_total_kib");
+    let rendered = report.render();
+    assert!(rendered.contains("table3:ubs_total_kib"), "{rendered}");
+    assert!(rendered.contains("FAIL"), "{rendered}");
+
+    let _ = std::fs::remove_dir_all(&base);
+    let _ = std::fs::remove_dir_all(&cand);
+}
+
+#[test]
+fn missing_experiment_file_is_structural_regression() {
+    let base = scratch("mbase");
+    let cand = scratch("mcand");
+    write_golden(&base);
+    write_golden(&cand);
+    std::fs::remove_file(cand.join("table4.json")).unwrap();
+
+    let report = diff_dirs(&base, &cand, 1.0).expect("diff runs");
+    assert!(!report.is_clean());
+    assert!(report
+        .structural
+        .iter()
+        .any(|s| s.contains("table4.json missing")));
+
+    let _ = std::fs::remove_dir_all(&base);
+    let _ = std::fs::remove_dir_all(&cand);
+}
+
+#[test]
+fn effort_mismatch_between_manifests_is_gating() {
+    let base = scratch("ebase");
+    let cand = scratch("ecand");
+    write_golden(&base);
+    write_golden(&cand);
+    let mut m = RunManifest::load(&cand).unwrap();
+    m.effort = Effort::Full;
+    m.write_atomic(&cand).unwrap();
+
+    let report = diff_dirs(&base, &cand, 1.0).expect("diff runs");
+    assert!(report
+        .structural
+        .iter()
+        .any(|s| s.contains("effort mismatch")));
+
+    let _ = std::fs::remove_dir_all(&base);
+    let _ = std::fs::remove_dir_all(&cand);
+}
+
+#[test]
+fn tolerance_scale_widens_the_gate() {
+    let base = scratch("tbase");
+    let cand = scratch("tcand");
+    write_golden(&base);
+    write_golden(&cand);
+
+    // A +3% nudge on a speedup-class metric: outside the 2% relative gate,
+    // inside it once tolerances are doubled.
+    write_json_atomic(
+        &base,
+        "fake.json",
+        &serde_json::json!({ "rows": [{ "design": "ubs", "geomean_speedup": 1.000 }] }),
+    )
+    .unwrap();
+    write_json_atomic(
+        &cand,
+        "fake.json",
+        &serde_json::json!({ "rows": [{ "design": "ubs", "geomean_speedup": 1.030 }] }),
+    )
+    .unwrap();
+
+    let strict = diff_dirs(&base, &cand, 1.0).expect("diff runs");
+    assert_eq!(strict.regressions(), 1);
+    assert_eq!(strict.failures[0].metric, "rows[0].geomean_speedup");
+    let loose = diff_dirs(&base, &cand, 2.0).expect("diff runs");
+    assert!(loose.is_clean(), "{}", loose.render());
+
+    let _ = std::fs::remove_dir_all(&base);
+    let _ = std::fs::remove_dir_all(&cand);
+}

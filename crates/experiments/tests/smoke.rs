@@ -26,7 +26,21 @@ fn unknown_id_is_an_error() {
 #[test]
 fn effort_flag_parsing() {
     let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
-    assert_eq!(Effort::from_flags(&args(&["fig10", "--full"])), Effort::Full);
-    assert_eq!(Effort::from_flags(&args(&["--quick"])), Effort::Quick);
-    assert_eq!(Effort::from_flags(&args(&["fig10"])), Effort::Default);
+    let effort_of = |v: &[&str]| match ubs_experiments::cli::parse(&args(v)) {
+        Ok(ubs_experiments::Command::Run(o)) => o.effort,
+        other => panic!("expected Run, got {other:?}"),
+    };
+    assert_eq!(effort_of(&["fig10", "--full"]), Effort::Full);
+    assert_eq!(effort_of(&["fig10", "--quick"]), Effort::Quick);
+    assert_eq!(effort_of(&["fig10", "--effort=smoke"]), Effort::Smoke);
+    assert_eq!(effort_of(&["fig10"]), Effort::Default);
+}
+
+#[test]
+fn experiment_result_serde_roundtrip() {
+    let scale = SuiteScale::bench();
+    let r = run_by_id("table3", Effort::Smoke, &scale).unwrap();
+    let body = serde_json::to_string(&r).unwrap();
+    let back: ubs_experiments::ExperimentResult = serde_json::from_str(&body).unwrap();
+    assert_eq!(back, r);
 }

@@ -56,6 +56,12 @@ impl SimReport {
         self.branch_mispredicts as f64 / (self.instructions as f64 / 1000.0).max(1e-9)
     }
 
+    /// Millions of instructions simulated — the numerator of the harness
+    /// throughput metric (Minstr/s) archived in run manifests.
+    pub fn minstr(&self) -> f64 {
+        self.instructions as f64 / 1e6
+    }
+
     /// Speedup of this run over a baseline run of the same workload.
     pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
         self.ipc() / baseline.ipc().max(1e-12)
@@ -118,6 +124,20 @@ mod tests {
         assert!((fast.ipc() - 1.25).abs() < 1e-9);
         assert!((fast.speedup_over(&base) - 1.25).abs() < 1e-9);
         assert!((fast.stall_coverage_over(&base) - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_serde_roundtrip() {
+        let r = report(123_456_789, 98_765, 4321);
+        assert!((r.minstr() - 123.456789).abs() < 1e-9);
+        let body = serde_json::to_string(&r).expect("serialize");
+        let back: SimReport = serde_json::from_str(&body).expect("deserialize");
+        assert_eq!(back.workload, r.workload);
+        assert_eq!(back.instructions, r.instructions);
+        assert_eq!(back.cycles, r.cycles);
+        assert_eq!(back.icache_stall_cycles, r.icache_stall_cycles);
+        assert_eq!(back.l2, r.l2);
+        assert!((back.ipc() - r.ipc()).abs() < 1e-12);
     }
 
     #[test]

@@ -38,10 +38,11 @@
 //! # assert!(base.ipc() > 0.0 && with_ubs.ipc() > 0.0);
 //! ```
 //!
-//! To regenerate the paper's results:
+//! To regenerate the paper's results (and archive a run manifest):
 //!
 //! ```text
-//! cargo run --release -p ubs-experiments --bin repro -- all
+//! cargo run --release -p ubs-experiments --bin repro -- all --json out
+//! cargo run --release -p ubs-experiments --bin repro -- diff results out
 //! ```
 
 #![warn(missing_docs)]
@@ -52,3 +53,12 @@ pub use ubs_frontend as frontend;
 pub use ubs_mem as mem;
 pub use ubs_trace as trace;
 pub use ubs_uarch as uarch;
+
+// The experiment-harness API surface, re-exported at the facade root: the
+// typed run grid, run context/progress plumbing, and the run-artifact +
+// regression-gating layer.
+pub use ubs_experiments::{
+    diff_dirs, run_by_id, run_by_id_with, run_matrix, Cell, CellProgress, CellTiming,
+    DiffReport, Effort, ExperimentRecord, ExperimentResult, RunContext, RunGrid, RunManifest,
+    SuiteScale,
+};
