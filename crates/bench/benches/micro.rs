@@ -6,6 +6,7 @@ use ubs_core::{AccessResult, ConvL1i, InstructionCache, PredictorConfig, UbsCach
 use ubs_mem::MemoryHierarchy;
 use ubs_trace::synth::{Profile, SyntheticTrace, WorkloadSpec};
 use ubs_trace::{FetchRange, Line, TraceSource};
+use ubs_uarch::{ChromeTraceSink, SimConfig, Telemetry};
 
 /// Pre-generates a stream of single-line fetch ranges from a client trace.
 fn fetch_ranges(n: usize) -> Vec<FetchRange> {
@@ -98,9 +99,58 @@ fn bench_trace_gen(c: &mut Criterion) {
     group.finish();
 }
 
+/// Telemetry overhead on a full simulation: the always-on attribution
+/// (integer adds) against runs that additionally retain a timeline or feed
+/// the Chrome-trace sink. The attribution-only configuration is the no-op
+/// baseline every harness run pays; target ≤ 2% over a telemetry-free
+/// build (see EXPERIMENTS.md).
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let spec = WorkloadSpec::new(Profile::Client, 0);
+    let proto = SyntheticTrace::build(&spec);
+    let cfg = SimConfig::scaled(10_000, 80_000);
+    let mut group = c.benchmark_group("telemetry");
+    group.throughput(Throughput::Elements(cfg.sim_instrs));
+
+    group.bench_function("attribution-only", |b| {
+        b.iter(|| {
+            let mut trace = proto.clone();
+            let mut cache = ConvL1i::paper_baseline();
+            let r = ubs_uarch::simulate(&mut trace, &mut cache, &cfg);
+            black_box(r.cycles)
+        })
+    });
+
+    group.bench_function("timeline", |b| {
+        let mut cfg = cfg.clone();
+        cfg.telemetry.timeline = true;
+        cfg.telemetry.epoch_cycles = 10_000;
+        b.iter(|| {
+            let mut trace = proto.clone();
+            let mut cache = ConvL1i::paper_baseline();
+            let r = ubs_uarch::simulate(&mut trace, &mut cache, &cfg);
+            black_box(r.cycles)
+        })
+    });
+
+    group.bench_function("chrome-sink", |b| {
+        let mut cfg = cfg.clone();
+        cfg.telemetry.timeline = true;
+        cfg.telemetry.epoch_cycles = 10_000;
+        b.iter(|| {
+            let mut trace = proto.clone();
+            let mut cache = ConvL1i::paper_baseline();
+            let mut sink = ChromeTraceSink::new("bench");
+            let mut tel = Telemetry::with_sink(cfg.telemetry.clone(), &mut sink);
+            let r = ubs_uarch::simulate_with(&mut trace, &mut cache, &cfg, &mut tel);
+            black_box((r.cycles, sink.len()))
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().without_plots();
-    targets = bench_lookups, bench_predictor, bench_trace_gen
+    targets = bench_lookups, bench_predictor, bench_trace_gen, bench_telemetry_overhead
 }
 criterion_main!(benches);

@@ -97,11 +97,11 @@ impl InstructionCache for AcicL1i {
             return AccessResult::Hit;
         }
 
-        let ready_at = if let Some(existing) = self.mshrs.get(line).copied() {
+        let (ready_at, fill) = if let Some(existing) = self.mshrs.get(line).copied() {
             if existing.is_prefetch {
                 self.stats.late_prefetch_merges += 1;
             }
-            self.mshrs.allocate(line, existing.ready_at, false);
+            self.mshrs.allocate(line, existing.ready_at, false, existing.source);
             // A merged demand miss is itself reuse evidence: admit.
             if let Some(p) = self.pending.get_mut(&line) {
                 p.0 |= req;
@@ -111,15 +111,17 @@ impl InstructionCache for AcicL1i {
             return AccessResult::Miss {
                 ready_at: existing.ready_at,
                 kind: MissKind::Full,
+                fill: existing.source,
             };
         } else {
             if self.mshrs.is_full() {
                 self.stats.mshr_full_rejects += 1;
                 return AccessResult::MshrFull;
             }
-            let ready_at = mem.fetch_block(line, now + self.latency()).ready_at;
-            self.mshrs.allocate(line, ready_at, false);
-            ready_at
+            let fill = mem.fetch_block(line, now + self.latency());
+            self.stats.count_fill(fill.source);
+            self.mshrs.allocate(line, fill.ready_at, false, fill.source);
+            (fill.ready_at, fill.source)
         };
         let admit = self.admit(line);
         self.stats.count_miss(MissKind::Full);
@@ -129,6 +131,7 @@ impl InstructionCache for AcicL1i {
         AccessResult::Miss {
             ready_at,
             kind: MissKind::Full,
+            fill,
         }
     }
 
@@ -144,8 +147,9 @@ impl InstructionCache for AcicL1i {
         // FDIP-initiated fills are admitted unconditionally: the prefetcher
         // only requests blocks on the predicted fetch path, which is itself
         // reuse evidence (admission control targets demand-streamed code).
-        let ready_at = mem.fetch_block(line, now + self.latency()).ready_at;
-        self.mshrs.allocate(line, ready_at, true);
+        let fill = mem.fetch_block(line, now + self.latency());
+        self.stats.count_fill(fill.source);
+        self.mshrs.allocate(line, fill.ready_at, true, fill.source);
         self.pending.entry(line).or_insert((0, true));
         self.stats.prefetches_issued += 1;
     }

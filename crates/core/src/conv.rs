@@ -134,12 +134,12 @@ impl InstructionCache for ConvL1i {
         }
 
         // Demand miss: merge with an in-flight request, or start a new one.
-        let ready_at = if let Some(existing) = self.mshrs.get(line).copied() {
+        let (ready_at, fill) = if let Some(existing) = self.mshrs.get(line).copied() {
             if existing.is_prefetch {
                 self.stats.late_prefetch_merges += 1;
             }
-            match self.mshrs.allocate(line, existing.ready_at, false) {
-                Allocate::Merged { ready_at, .. } => ready_at,
+            match self.mshrs.allocate(line, existing.ready_at, false, existing.source) {
+                Allocate::Merged { ready_at, .. } => (ready_at, existing.source),
                 other => unreachable!("existing entry must merge, got {other:?}"),
             }
         } else {
@@ -147,9 +147,10 @@ impl InstructionCache for ConvL1i {
                 self.stats.mshr_full_rejects += 1;
                 return AccessResult::MshrFull;
             }
-            let ready_at = mem.fetch_block(line, now + self.latency).ready_at;
-            self.mshrs.allocate(line, ready_at, false);
-            ready_at
+            let fill = mem.fetch_block(line, now + self.latency);
+            self.stats.count_fill(fill.source);
+            self.mshrs.allocate(line, fill.ready_at, false, fill.source);
+            (fill.ready_at, fill.source)
         };
         self.stats.count_miss(MissKind::Full);
         let set = self.cache.set_index(line.number());
@@ -158,6 +159,7 @@ impl InstructionCache for ConvL1i {
         AccessResult::Miss {
             ready_at,
             kind: MissKind::Full,
+            fill,
         }
     }
 
@@ -170,8 +172,9 @@ impl InstructionCache for ConvL1i {
         if self.mshrs.is_full() {
             return; // prefetches are droppable
         }
-        let ready_at = mem.fetch_block(line, now + self.latency).ready_at;
-        self.mshrs.allocate(line, ready_at, true);
+        let fill = mem.fetch_block(line, now + self.latency);
+        self.stats.count_fill(fill.source);
+        self.mshrs.allocate(line, fill.ready_at, true, fill.source);
         self.stats.prefetches_issued += 1;
     }
 
@@ -229,7 +232,7 @@ mod tests {
         let r = range(0x1000, 16);
         let res = c.access(r, 0, &mut m);
         let ready = match res {
-            AccessResult::Miss { ready_at, kind } => {
+            AccessResult::Miss { ready_at, kind, .. } => {
                 assert_eq!(kind, MissKind::Full);
                 ready_at
             }

@@ -12,6 +12,7 @@
 //! - **partial-miss classification** (Fig. 9) and plain hit/miss counters.
 
 use serde::{Deserialize, Serialize};
+use ubs_mem::FillSource;
 
 /// Byte-granular usage of one 64-byte block, as a bitmask (bit *i* = byte
 /// *i* accessed).
@@ -68,6 +69,9 @@ pub enum AccessResult {
         ready_at: u64,
         /// Miss classification.
         kind: MissKind,
+        /// Hierarchy level satisfying the fill (a merge with an in-flight
+        /// request reports the original request's source).
+        fill: FillSource,
     },
     /// No MSHR available; the requester must retry next cycle.
     MshrFull,
@@ -125,6 +129,15 @@ pub struct IcacheStats {
     pub prefetches_issued: u64,
     /// Demand misses that merged with an in-flight prefetch (late prefetch).
     pub late_prefetch_merges: u64,
+    /// Block fetches (demand or prefetch) satisfied by the L2.
+    #[serde(default)]
+    pub fill_l2: u64,
+    /// Block fetches satisfied by the L3.
+    #[serde(default)]
+    pub fill_l3: u64,
+    /// Block fetches satisfied by DRAM.
+    #[serde(default)]
+    pub fill_dram: u64,
     /// Histogram of bytes accessed per 64-byte block at eviction
     /// (index = byte count 0..=64) — Fig. 1.
     pub evict_used_hist: Vec<u64>,
@@ -147,6 +160,9 @@ impl Default for IcacheStats {
             mshr_full_rejects: 0,
             prefetches_issued: 0,
             late_prefetch_merges: 0,
+            fill_l2: 0,
+            fill_l3: 0,
+            fill_dram: 0,
             evict_used_hist: vec![0; 65],
             efficiency_samples: Vec::new(),
             touch_window: TouchWindow::default(),
@@ -163,6 +179,22 @@ impl IcacheStats {
     /// Partial misses (paper Fig. 9 numerator).
     pub fn partial_misses(&self) -> u64 {
         self.missing_sub_block + self.overruns + self.underruns
+    }
+
+    /// Records a block fetch sent to the hierarchy, by the level that
+    /// satisfied it. Merges with in-flight requests are *not* counted: one
+    /// fill, one count.
+    pub fn count_fill(&mut self, source: FillSource) {
+        match source {
+            FillSource::L2 => self.fill_l2 += 1,
+            FillSource::L3 => self.fill_l3 += 1,
+            FillSource::Dram => self.fill_dram += 1,
+        }
+    }
+
+    /// Total block fetches sent to the hierarchy (demand + prefetch).
+    pub fn fills_total(&self) -> u64 {
+        self.fill_l2 + self.fill_l3 + self.fill_dram
     }
 
     /// Records a miss of `kind`.
@@ -256,6 +288,19 @@ mod tests {
         s.count_miss(MissKind::MissingSubBlock);
         assert_eq!(s.demand_misses(), 4);
         assert_eq!(s.partial_misses(), 3);
+    }
+
+    #[test]
+    fn fill_level_accounting() {
+        let mut s = IcacheStats::default();
+        s.count_fill(FillSource::L2);
+        s.count_fill(FillSource::L2);
+        s.count_fill(FillSource::L3);
+        s.count_fill(FillSource::Dram);
+        assert_eq!((s.fill_l2, s.fill_l3, s.fill_dram), (2, 1, 1));
+        assert_eq!(s.fills_total(), 4);
+        s.reset();
+        assert_eq!(s.fills_total(), 0);
     }
 
     #[test]

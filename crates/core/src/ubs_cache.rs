@@ -357,24 +357,25 @@ impl InstructionCache for UbsCache {
 
         // Miss (full or partial): fetch the 64-byte block (§IV-F).
         let kind = self.classify_miss(set, line, req);
-        let ready_at = if let Some(existing) = self.mshrs.get(line).copied() {
+        let (ready_at, fill) = if let Some(existing) = self.mshrs.get(line).copied() {
             if existing.is_prefetch {
                 self.stats.late_prefetch_merges += 1;
             }
-            self.mshrs.allocate(line, existing.ready_at, false);
-            existing.ready_at
+            self.mshrs.allocate(line, existing.ready_at, false, existing.source);
+            (existing.ready_at, existing.source)
         } else {
             if self.mshrs.is_full() {
                 self.stats.mshr_full_rejects += 1;
                 return AccessResult::MshrFull;
             }
-            let ready_at = mem.fetch_block(line, now + self.cfg.latency).ready_at;
-            self.mshrs.allocate(line, ready_at, false);
-            ready_at
+            let fill = mem.fetch_block(line, now + self.cfg.latency);
+            self.stats.count_fill(fill.source);
+            self.mshrs.allocate(line, fill.ready_at, false, fill.source);
+            (fill.ready_at, fill.source)
         };
         self.stats.count_miss(kind);
         *self.pending_masks.entry(line).or_insert(0) |= req;
-        AccessResult::Miss { ready_at, kind }
+        AccessResult::Miss { ready_at, kind, fill }
     }
 
     fn prefetch(&mut self, range: FetchRange, now: u64, mem: &mut MemoryHierarchy) {
@@ -404,8 +405,9 @@ impl InstructionCache for UbsCache {
         if self.mshrs.is_full() {
             return;
         }
-        let ready_at = mem.fetch_block(line, now + self.cfg.latency).ready_at;
-        self.mshrs.allocate(line, ready_at, true);
+        let fill = mem.fetch_block(line, now + self.cfg.latency);
+        self.stats.count_fill(fill.source);
+        self.mshrs.allocate(line, fill.ready_at, true, fill.source);
         *self.pending_masks.entry(line).or_insert(0) |= req;
         self.stats.prefetches_issued += 1;
     }

@@ -26,7 +26,12 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Version of the manifest schema written by this build.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// History: v1 introduced the manifest; v2 added telemetry (per-experiment
+/// `timelines` pointers in [`ExperimentRecord`], matching the timeline
+/// schema version in `ubs_uarch::telemetry`). Older manifests still load —
+/// v2 fields are additive with defaults.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Timing and identity of one completed (workload × design) cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -72,6 +77,11 @@ pub struct ExperimentRecord {
     pub minstr_per_sec: f64,
     /// Per-cell timings, in completion order.
     pub cells: Vec<CellTiming>,
+    /// Paths (relative to the results directory) of per-cell interval
+    /// timelines written by a `--timeline` run. Empty otherwise (and on
+    /// schema-v1 manifests).
+    #[serde(default)]
+    pub timelines: Vec<String>,
 }
 
 impl ExperimentRecord {
@@ -85,6 +95,7 @@ impl ExperimentRecord {
             instructions,
             minstr_per_sec: instructions as f64 / 1e6 / cpu_seconds.max(1e-9),
             cells,
+            timelines: Vec::new(),
         }
     }
 }
@@ -682,6 +693,41 @@ mod tests {
         let loaded = RunManifest::load(&dir).unwrap();
         assert_eq!(loaded, m);
         assert!(loaded.total_wall_seconds() > 1.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_manifest_without_timelines_still_loads() {
+        let cells = vec![CellTiming {
+            workload: "client_000".into(),
+            workload_seed: 7,
+            design: "conv-32k".into(),
+            instructions: 1_000_000,
+            wall_seconds: 0.25,
+            minstr_per_sec: 4.0,
+        }];
+        let mut m = RunManifest::new(Effort::Quick, SuiteScale::tiny(), 2);
+        m.push(ExperimentRecord::new("fig10", 0.3, cells));
+
+        // Reconstruct the schema-v1 on-disk shape: no `timelines` field.
+        let mut v = serde_json::to_value(&m).unwrap();
+        v["schema_version"] = json!(1);
+        for exp in v["experiments"].as_array_mut().unwrap() {
+            exp.as_object_mut().unwrap().remove("timelines");
+        }
+
+        let dir = std::env::temp_dir().join(format!("ubs-v1-manifest-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join(RunManifest::FILE_NAME),
+            serde_json::to_string(&v).unwrap(),
+        )
+        .unwrap();
+        let loaded = RunManifest::load(&dir).unwrap();
+        assert_eq!(loaded.schema_version, 1);
+        assert!(loaded.experiments[0].timelines.is_empty());
+        assert_eq!(loaded.experiments[0].cells, m.experiments[0].cells);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

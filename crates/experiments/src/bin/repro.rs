@@ -5,24 +5,30 @@
 //!
 //! ```text
 //! repro <experiment-id>... [--effort=<smoke|quick|default|full>] [--threads=N]
-//!                          [--tiny-suites|--full-suites] [--json DIR]
+//!                          [--tiny-suites|--full-suites] [--json DIR] [--timeline]
 //! repro all [flags]
 //! repro list
 //! repro diff <baseline-dir> <candidate-dir> [--tol-scale=F]
+//! repro trace <workload> <design> [--effort=NAME] [--out FILE] [--timeline-out FILE]
 //! ```
 //!
 //! With `--json DIR`, every experiment's machine-readable results land in
 //! `DIR/<id>.json` and a [`RunManifest`](ubs_experiments::RunManifest)
 //! (`DIR/manifest.json`) records the run conditions plus per-cell wall time
 //! and Minstr/s. `repro diff` compares two such directories metric-by-metric
-//! and exits nonzero on any out-of-tolerance change.
+//! and exits nonzero on any out-of-tolerance change. Adding `--timeline`
+//! archives each cell's interval timeline under `DIR/timelines/<id>/`.
+//! `repro trace` runs one workload × design cell and writes a Chrome-trace
+//! JSON that opens directly in Perfetto (<https://ui.perfetto.dev>).
 
 use parking_lot::Mutex;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 use ubs_experiments::{
-    cli, diff_dirs, run_by_id_with, write_json_atomic, CellProgress, CellTiming,
+    cli, diff_dirs, run_by_id_with, run_trace, write_json_atomic, CellProgress, CellTiming,
     ExperimentRecord, RunContext, RunManifest,
 };
+use ubs_uarch::Timeline;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +44,7 @@ fn main() {
             0
         }
         Ok(cli::Command::Diff(opts)) => run_diff(&opts),
+        Ok(cli::Command::Trace(opts)) => run_trace_cmd(&opts),
         Ok(cli::Command::Run(opts)) => run_experiments(&opts),
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -48,13 +55,16 @@ fn main() {
 }
 
 fn run_experiments(opts: &cli::RunOptions) -> i32 {
-    let base_ctx = RunContext::new(opts.effort, opts.scale).with_threads(opts.threads);
+    let base_ctx = RunContext::new(opts.effort, opts.scale)
+        .with_threads(opts.threads)
+        .with_timeline(opts.timeline);
     let threads = base_ctx.effective_threads();
     let mut manifest = RunManifest::new(opts.effort, opts.scale, threads);
     let mut failed = false;
 
     for id in &opts.ids {
         let cells: Mutex<Vec<CellTiming>> = Mutex::new(Vec::new());
+        let timelines: Mutex<Vec<(String, Timeline)>> = Mutex::new(Vec::new());
         let progress = |p: &CellProgress| {
             eprintln!(
                 "[{id}] {}/{} {} × {}: {:.2}s, {:.2} Minstr/s",
@@ -66,6 +76,11 @@ fn run_experiments(opts: &cli::RunOptions) -> i32 {
                 p.minstr_per_sec()
             );
             cells.lock().push(CellTiming::from(p));
+            if let Some(tl) = &p.timeline {
+                timelines
+                    .lock()
+                    .push((format!("{}__{}", p.workload, p.design), tl.clone()));
+            }
         };
         let ctx = base_ctx.with_progress(&progress);
         let started = Instant::now();
@@ -74,7 +89,7 @@ fn run_experiments(opts: &cli::RunOptions) -> i32 {
                 let wall = started.elapsed().as_secs_f64();
                 println!("================ {id} ================");
                 println!("{}", result.text);
-                let record = ExperimentRecord::new(id, wall, cells.into_inner());
+                let mut record = ExperimentRecord::new(id, wall, cells.into_inner());
                 eprintln!(
                     "[{id} completed in {wall:.1}s, {:.2} Minstr/s over {} cells]",
                     record.minstr_per_sec,
@@ -84,6 +99,7 @@ fn run_experiments(opts: &cli::RunOptions) -> i32 {
                     if let Err(e) = write_json_atomic(dir, &format!("{id}.json"), &result.json) {
                         eprintln!("warning: could not write JSON for {id}: {e}");
                     }
+                    record.timelines = archive_timelines(dir, id, timelines.into_inner());
                 }
                 manifest.push(record);
             }
@@ -112,6 +128,91 @@ fn run_experiments(opts: &cli::RunOptions) -> i32 {
     i32::from(failed)
 }
 
+/// Writes each cell's timeline under `dir/timelines/<id>/` and returns the
+/// archived paths (relative to `dir`, sorted for a deterministic manifest).
+fn archive_timelines(dir: &Path, id: &str, timelines: Vec<(String, Timeline)>) -> Vec<String> {
+    let mut paths = Vec::new();
+    let tl_dir = dir.join("timelines").join(id);
+    for (key, tl) in timelines {
+        let value = match serde_json::to_value(&tl) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("warning: could not serialize timeline for {key}: {e}");
+                continue;
+            }
+        };
+        let file = format!("{key}.json");
+        match write_json_atomic(&tl_dir, &file, &value) {
+            Ok(_) => paths.push(format!("timelines/{id}/{file}")),
+            Err(e) => eprintln!("warning: could not write timeline for {key}: {e}"),
+        }
+    }
+    paths.sort();
+    paths
+}
+
+fn run_trace_cmd(opts: &cli::TraceOptions) -> i32 {
+    let outcome = match run_trace(opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    print!("{}", outcome.render_summary());
+
+    let out = opts.out.clone().unwrap_or_else(|| {
+        PathBuf::from(format!(
+            "trace_{}__{}.json",
+            outcome.report.workload, outcome.report.design
+        ))
+    });
+    if let Err(e) = write_value_at(&out, &outcome.trace) {
+        eprintln!("error: could not write trace to {}: {e}", out.display());
+        return 1;
+    }
+    println!("wrote {}", out.display());
+
+    if let Some(tl_out) = &opts.timeline_out {
+        let Some(tl) = outcome.timeline() else {
+            eprintln!("error: traced run recorded no timeline");
+            return 1;
+        };
+        let value = match serde_json::to_value(tl) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: could not serialize timeline: {e}");
+                return 1;
+            }
+        };
+        if let Err(e) = write_value_at(tl_out, &value) {
+            eprintln!("error: could not write timeline to {}: {e}", tl_out.display());
+            return 1;
+        }
+        println!("wrote {}", tl_out.display());
+    }
+    0
+}
+
+/// Splits an output path into (dir, file name) and writes the JSON there
+/// atomically.
+fn write_value_at(path: &Path, value: &serde_json::Value) -> std::io::Result<PathBuf> {
+    let file = path
+        .file_name()
+        .and_then(|f| f.to_str())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("`{}` has no file name", path.display()),
+            )
+        })?;
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    write_json_atomic(dir, file, value)
+}
+
 fn run_diff(opts: &cli::DiffOptions) -> i32 {
     match diff_dirs(&opts.baseline, &opts.candidate, opts.tol_scale) {
         Ok(report) => {
@@ -135,6 +236,10 @@ fn print_usage() {
          \x20      repro diff BASE CAND [--tol-scale=F]\n\
          \x20                                compare two --json directories;\n\
          \x20                                exit 1 on out-of-tolerance metrics\n\
+         \x20      repro trace WORKLOAD DESIGN [--effort=NAME] [--out FILE]\n\
+         \x20                                  [--timeline-out FILE]\n\
+         \x20                                trace one cell (e.g. server_000 ubs)\n\
+         \x20                                to Chrome-trace JSON for Perfetto\n\
          \n\
          ids: {}\n\
          \n\
@@ -144,7 +249,9 @@ fn print_usage() {
          --threads=N    fixed worker count (default: all cores)\n\
          --tiny-suites  2-3 workloads per category\n\
          --full-suites  paper-sized suites (36 server workloads, ...)\n\
-         --json DIR     write per-experiment JSON + run manifest to DIR",
+         --json DIR     write per-experiment JSON + run manifest to DIR\n\
+         --timeline     archive per-cell interval timelines under\n\
+         \x20            DIR/timelines/ (requires --json)",
         ubs_experiments::all_ids().join(" ")
     );
 }

@@ -24,6 +24,25 @@ pub struct RunOptions {
     pub threads: Option<usize>,
     /// Directory for machine-readable results + run manifest.
     pub json_dir: Option<PathBuf>,
+    /// Record per-cell interval timelines and archive them next to the
+    /// results (`--timeline`; requires `--json`).
+    pub timeline: bool,
+}
+
+/// Options for `repro trace <workload> <design>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceOptions {
+    /// Workload name, e.g. `server_000` (a suite label plus index).
+    pub workload: String,
+    /// Design name, e.g. `ubs` or `conv-32k` (see `repro list` docs).
+    pub design: String,
+    /// Simulation effort for the traced run.
+    pub effort: Effort,
+    /// Output path for the Chrome-trace JSON (default
+    /// `trace_<workload>__<design>.json`).
+    pub out: Option<PathBuf>,
+    /// Optional path to also write the interval timeline JSON.
+    pub timeline_out: Option<PathBuf>,
 }
 
 /// Options for `repro diff <baseline> <candidate>`.
@@ -48,6 +67,8 @@ pub enum Command {
     Run(RunOptions),
     /// Compare two results directories.
     Diff(DiffOptions),
+    /// Trace one workload × design cell to Chrome-trace JSON.
+    Trace(TraceOptions),
 }
 
 /// Splits `--flag=value` / `--flag value` style arguments: returns the
@@ -86,7 +107,52 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     if args[0] == "diff" {
         return parse_diff(&args[1..]);
     }
+    if args[0] == "trace" {
+        return parse_trace(&args[1..]);
+    }
     parse_run(args)
+}
+
+fn parse_trace(args: &[String]) -> Result<Command, String> {
+    let mut positionals: Vec<String> = Vec::new();
+    let mut effort: Option<Effort> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut timeline_out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(v) = flag_value(arg, "--effort", &mut it) {
+            effort = Some(Effort::parse(v?)?);
+        } else if let Some(v) = flag_value(arg, "--timeline-out", &mut it) {
+            timeline_out = Some(PathBuf::from(v?));
+        } else if let Some(v) = flag_value(arg, "--out", &mut it) {
+            out = Some(PathBuf::from(v?));
+        } else if arg == "--smoke" {
+            effort = Some(Effort::Smoke);
+        } else if arg == "--quick" {
+            effort = Some(Effort::Quick);
+        } else if arg == "--full" {
+            effort = Some(Effort::Full);
+        } else if arg.starts_with('-') {
+            return Err(format!("unknown flag for trace: `{arg}`"));
+        } else {
+            positionals.push(arg.clone());
+        }
+    }
+    if positionals.len() != 2 {
+        return Err(format!(
+            "trace expects exactly two arguments (workload, design), got {}",
+            positionals.len()
+        ));
+    }
+    let design = positionals.pop().expect("two positionals");
+    let workload = positionals.pop().expect("two positionals");
+    Ok(Command::Trace(TraceOptions {
+        workload,
+        design,
+        effort: effort.unwrap_or(Effort::Quick),
+        out,
+        timeline_out,
+    }))
 }
 
 fn parse_diff(args: &[String]) -> Result<Command, String> {
@@ -127,6 +193,7 @@ fn parse_run(args: &[String]) -> Result<Command, String> {
     let mut scale: Option<SuiteScale> = None;
     let mut threads: Option<usize> = None;
     let mut json_dir: Option<PathBuf> = None;
+    let mut timeline = false;
     let mut ids: Vec<String> = Vec::new();
     let mut want_all = false;
 
@@ -167,6 +234,8 @@ fn parse_run(args: &[String]) -> Result<Command, String> {
             threads = Some(n);
         } else if let Some(v) = flag_value(arg, "--json", &mut it) {
             json_dir = Some(PathBuf::from(v?));
+        } else if arg == "--timeline" {
+            timeline = true;
         } else if arg == "--smoke" {
             set_effort(&mut effort, Effort::Smoke)?;
         } else if arg == "--quick" {
@@ -204,12 +273,17 @@ fn parse_run(args: &[String]) -> Result<Command, String> {
         }
     }
 
+    if timeline && json_dir.is_none() {
+        return Err("--timeline requires --json <dir> (timelines are archived there)".to_string());
+    }
+
     Ok(Command::Run(RunOptions {
         ids,
         effort: effort.unwrap_or(Effort::Default),
         scale: scale.unwrap_or_else(SuiteScale::default_scale),
         threads,
         json_dir,
+        timeline,
     }))
 }
 
@@ -287,6 +361,61 @@ mod tests {
             .unwrap_err()
             .contains("conflicting effort"));
         assert!(parse(&args(&["--json"])).unwrap_err().contains("requires a value"));
+    }
+
+    #[test]
+    fn timeline_flag() {
+        let Command::Run(o) =
+            parse(&args(&["fig10", "--timeline", "--json", "out"])).unwrap()
+        else {
+            panic!("expected Run");
+        };
+        assert!(o.timeline);
+        assert_eq!(o.json_dir, Some(PathBuf::from("out")));
+
+        let Command::Run(o) = parse(&args(&["fig10"])).unwrap() else {
+            panic!("expected Run");
+        };
+        assert!(!o.timeline);
+
+        assert!(parse(&args(&["fig10", "--timeline"]))
+            .unwrap_err()
+            .contains("--timeline requires --json"));
+    }
+
+    #[test]
+    fn trace_parsing() {
+        let Command::Trace(t) = parse(&args(&[
+            "trace",
+            "server_000",
+            "ubs",
+            "--effort=smoke",
+            "--out",
+            "t.json",
+            "--timeline-out=tl.json",
+        ]))
+        .unwrap() else {
+            panic!("expected Trace");
+        };
+        assert_eq!(t.workload, "server_000");
+        assert_eq!(t.design, "ubs");
+        assert_eq!(t.effort, Effort::Smoke);
+        assert_eq!(t.out, Some(PathBuf::from("t.json")));
+        assert_eq!(t.timeline_out, Some(PathBuf::from("tl.json")));
+
+        let Command::Trace(t) = parse(&args(&["trace", "client_001", "conv-32k"])).unwrap()
+        else {
+            panic!("expected Trace");
+        };
+        assert_eq!(t.effort, Effort::Quick);
+        assert_eq!(t.out, None);
+        assert_eq!(t.timeline_out, None);
+
+        assert!(parse(&args(&["trace", "onlyone"])).is_err());
+        assert!(parse(&args(&["trace", "a", "b", "c"])).is_err());
+        assert!(parse(&args(&["trace", "a", "b", "--weird"]))
+            .unwrap_err()
+            .contains("unknown flag for trace"));
     }
 
     #[test]

@@ -690,15 +690,22 @@ at comparable flexibility; `ideal` bounds the remaining front-end opportunity.",
     )
 }
 
-/// Extension: workload characterization table (baseline MPKIs and stall
-/// shares), useful for interpreting every other figure.
+/// Extension: workload characterization table (baseline MPKIs, stall
+/// shares and top-down fetch-slot attribution), useful for interpreting
+/// every other figure.
+///
+/// The last three columns are slot shares from the closed attribution
+/// taxonomy: `fill%` is waiting on an L1-I fill (any level), `steer%` is
+/// front-end steering (redirects, BTB misses, FTQ-empty) and `rob%` is
+/// back-end backpressure. The full per-class counts land in the JSON.
 pub fn workloads(ctx: &RunContext<'_>) -> ExperimentResult {
     let mut text = String::new();
     writeln!(
         text,
         "Workload characterization on the conv-32k baseline
-{:<14} {:>7} {:>9} {:>9} {:>10} {:>10} {:>10}",
-        "workload", "IPC", "L1I MPKI", "bpu MPKI", "icache%", "bpu-wait%", "starved%"
+{:<14} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7}",
+        "workload", "IPC", "L1I MPKI", "bpu MPKI", "icache%", "bpu%", "starved%", "fill%", "steer%",
+        "rob%"
     )
     .unwrap();
     let mut json_rows = Vec::new();
@@ -707,9 +714,13 @@ pub fn workloads(ctx: &RunContext<'_>) -> ExperimentResult {
         for (w, spec) in workloads.iter().enumerate() {
             let r = grid.get(w, 0);
             let cyc = r.cycles.max(1) as f64;
+            let slots = &r.frontend.slots;
+            let tot = slots.total().max(1) as f64;
+            let steer = slots.bpu_redirect + slots.btb_miss + slots.ftq_empty;
             writeln!(
                 text,
-                "{:<14} {:>7.3} {:>9.2} {:>9.2} {:>9.1}% {:>9.1}% {:>9.1}%",
+                "{:<14} {:>7.3} {:>9.2} {:>9.2} {:>8.1}% {:>8.1}% {:>8.1}% {:>6.1}% {:>6.1}% \
+                 {:>6.1}%",
                 spec.name,
                 r.ipc(),
                 r.l1i_mpki(),
@@ -717,6 +728,9 @@ pub fn workloads(ctx: &RunContext<'_>) -> ExperimentResult {
                 100.0 * r.icache_stall_cycles as f64 / cyc,
                 100.0 * r.bpu_stall_cycles as f64 / cyc,
                 100.0 * r.fetch_starved_cycles as f64 / cyc,
+                100.0 * slots.icache_fill_slots() as f64 / tot,
+                100.0 * steer as f64 / tot,
+                100.0 * slots.rob_full as f64 / tot,
             )
             .unwrap();
             json_rows.push(json!({
@@ -727,6 +741,7 @@ pub fn workloads(ctx: &RunContext<'_>) -> ExperimentResult {
                 "branch_mpki": r.branch_mpki(),
                 "icache_stall_share": r.icache_stall_cycles as f64 / cyc,
                 "bpu_stall_share": r.bpu_stall_cycles as f64 / cyc,
+                "frontend": serde_json::to_value(&r.frontend).unwrap_or(Value::Null),
             }));
         }
     }

@@ -7,6 +7,7 @@
 //! cargo run --release -p ubs-experiments --bin repro -- fig10
 //! cargo run --release -p ubs-experiments --bin repro -- all --effort=quick --threads=8
 //! cargo run --release -p ubs-experiments --bin repro -- diff results out
+//! cargo run --release -p ubs-experiments --bin repro -- trace server_000 ubs
 //! ```
 //!
 //! Each experiment returns an [`ExperimentResult`] with both a printable
@@ -27,13 +28,15 @@ mod designs;
 pub mod figures;
 mod runner;
 mod suitescale;
+mod tracecmd;
 
 pub use archive::{
     diff_dirs, diff_values, tolerance_for, write_json_atomic, CellTiming, DiffReport,
     ExperimentRecord, MetricDelta, RunManifest, Tolerance, SCHEMA_VERSION,
 };
-pub use cli::{Command, DiffOptions, RunOptions};
+pub use cli::{Command, DiffOptions, RunOptions, TraceOptions};
 pub use designs::DesignSpec;
 pub use figures::{all_ids, run_by_id, run_by_id_with, ExperimentResult};
 pub use runner::{run_matrix, Cell, CellProgress, Effort, ProgressHook, RunContext, RunGrid};
 pub use suitescale::SuiteScale;
+pub use tracecmd::{design_by_name, parse_workload, run_trace, TraceOutcome};

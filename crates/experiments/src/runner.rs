@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
 use std::time::Instant;
 use ubs_trace::synth::{SyntheticTrace, WorkloadSpec};
-use ubs_uarch::{SimConfig, SimReport};
+use ubs_uarch::{SimConfig, SimReport, Timeline};
 
 /// Effort level of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -167,6 +167,9 @@ pub struct CellProgress {
     pub instructions: u64,
     /// Wall-clock seconds this cell took.
     pub wall_seconds: f64,
+    /// Interval timeline of the cell (present when the context enabled
+    /// timelines), for archiving alongside the manifest.
+    pub timeline: Option<Timeline>,
     /// Cells finished so far in the current matrix (including this one).
     pub completed: usize,
     /// Total cells in the current matrix.
@@ -193,6 +196,8 @@ pub struct RunContext<'a> {
     pub scale: SuiteScale,
     /// Fixed worker count; `None` uses all available parallelism.
     pub threads: Option<usize>,
+    /// Retain an interval timeline in every cell report (`--timeline`).
+    pub timeline: bool,
     /// Per-cell completion observer (called from worker threads).
     pub progress: Option<ProgressHook<'a>>,
 }
@@ -203,6 +208,7 @@ impl std::fmt::Debug for RunContext<'_> {
             .field("effort", &self.effort)
             .field("scale", &self.scale)
             .field("threads", &self.threads)
+            .field("timeline", &self.timeline)
             .field("progress", &self.progress.map(|_| "<hook>"))
             .finish()
     }
@@ -215,6 +221,7 @@ impl<'a> RunContext<'a> {
             effort,
             scale,
             threads: None,
+            timeline: false,
             progress: None,
         }
     }
@@ -222,6 +229,12 @@ impl<'a> RunContext<'a> {
     /// Pins the worker count (for reproducible CI / benchmarking runs).
     pub fn with_threads(mut self, threads: Option<usize>) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Retains per-epoch interval timelines in every cell report.
+    pub fn with_timeline(mut self, timeline: bool) -> Self {
+        self.timeline = timeline;
         self
     }
 
@@ -264,7 +277,8 @@ fn run_matrix_inner(
     designs: &[DesignSpec],
     ctx: &RunContext<'_>,
 ) -> RunGrid {
-    let sim_cfg = ctx.effort.sim_config();
+    let mut sim_cfg = ctx.effort.sim_config();
+    sim_cfg.telemetry.timeline = ctx.timeline;
     let threads = ctx.effective_threads();
     let jobs: Vec<(usize, usize)> = (0..workloads.len())
         .flat_map(|w| (0..designs.len()).map(move |d| (w, d)))
@@ -288,6 +302,15 @@ fn run_matrix_inner(
                 let mut trace = prototypes[w].clone();
                 let mut icache = designs[d].build();
                 let report = ubs_uarch::simulate(&mut trace, icache.as_mut(), &sim_cfg);
+                // The closed taxonomy must hold on every cell of every
+                // suite — a violation is a simulator bug, not bad data.
+                if let Err(e) = report.validate() {
+                    panic!(
+                        "stall-attribution invariant violated on {}/{}: {e}",
+                        workloads[w].name,
+                        designs[d].name()
+                    );
+                }
                 let cell = Cell {
                     workload: w,
                     design: d,
@@ -302,6 +325,7 @@ fn run_matrix_inner(
                         design: designs[d].name(),
                         instructions: cell.report.instructions,
                         wall_seconds: cell.wall_seconds,
+                        timeline: cell.report.timeline.clone(),
                         completed,
                         total: jobs.len(),
                     });
@@ -386,6 +410,35 @@ mod tests {
             .run_matrix(&workloads, &designs);
         assert_eq!(one.get(0, 0).cycles, many.get(0, 0).cycles);
         assert_eq!(one.get(0, 0).instructions, many.get(0, 0).instructions);
+        assert_eq!(one.get(0, 0).frontend, many.get(0, 0).frontend);
+    }
+
+    #[test]
+    fn timelines_are_deterministic_across_thread_counts() {
+        let workloads = vec![
+            WorkloadSpec::new(Profile::Server, 0),
+            WorkloadSpec::new(Profile::Client, 0),
+        ];
+        let designs = vec![DesignSpec::conv_32k()];
+        let run = |threads: usize| {
+            RunContext::new(Effort::Smoke, SuiteScale::bench())
+                .with_threads(Some(threads))
+                .with_timeline(true)
+                .run_matrix(&workloads, &designs)
+        };
+        let one = run(1);
+        let many = run(4);
+        for w in 0..workloads.len() {
+            let a = one.get(w, 0).timeline.as_ref().expect("timeline enabled");
+            let b = many.get(w, 0).timeline.as_ref().expect("timeline enabled");
+            assert_eq!(a, b, "timeline of workload {w} differs across thread counts");
+            assert!(!a.samples.is_empty());
+        }
+        // Timelines stay off unless asked for.
+        let plain = RunContext::new(Effort::Smoke, SuiteScale::bench())
+            .with_threads(Some(1))
+            .run_matrix(&workloads, &designs);
+        assert!(plain.get(0, 0).timeline.is_none());
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! The `repro trace` subcommand: run one workload × design cell with the
+//! Chrome-trace telemetry sink attached and hand back a validated
+//! `trace_event` JSON document (plus the interval timeline).
+//!
+//! The output opens directly in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`: front-end stall episodes render as duration slices on
+//! one track, and per-epoch IPC / L1-I MPKI / stall-mix render as counter
+//! tracks above it.
+
+use crate::cli::TraceOptions;
+use crate::designs::DesignSpec;
+use ubs_trace::synth::{Profile, SyntheticTrace, WorkloadSpec};
+use ubs_uarch::{
+    validate_chrome_trace, ChromeTraceSink, SimReport, StallClass, Telemetry, Timeline,
+};
+
+/// Everything a traced run produced.
+#[derive(Debug)]
+pub struct TraceOutcome {
+    /// The simulation report (with `frontend` attribution and timeline).
+    pub report: SimReport,
+    /// The validated Chrome-trace JSON document.
+    pub trace: serde_json::Value,
+    /// Number of events `validate_chrome_trace` checked (metadata excluded).
+    pub trace_events: usize,
+}
+
+impl TraceOutcome {
+    /// The interval timeline recorded alongside the trace.
+    pub fn timeline(&self) -> Option<&Timeline> {
+        self.report.timeline.as_ref()
+    }
+
+    /// A human-readable stall-attribution summary for the terminal.
+    pub fn render_summary(&self) -> String {
+        let r = &self.report;
+        let fe = &r.frontend;
+        let total = fe.slots.total().max(1);
+        let mut out = format!(
+            "{} × {}: {} instrs in {} cycles (IPC {:.3}, L1-I MPKI {:.2})\n\
+             fetch-slot attribution ({} slots/cycle):\n",
+            r.workload,
+            r.design,
+            r.instructions,
+            r.cycles,
+            r.ipc(),
+            r.l1i_mpki(),
+            fe.fetch_slots_per_cycle,
+        );
+        out.push_str(&format!(
+            "  {:<14} {:>14} {:>7.2}%\n",
+            "delivered",
+            fe.slots.delivered,
+            100.0 * fe.slots.delivered as f64 / total as f64
+        ));
+        for class in StallClass::ALL {
+            let slots = fe.slots.get(class);
+            if slots == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:<14} {:>14} {:>7.2}%\n",
+                class.label(),
+                slots,
+                100.0 * slots as f64 / total as f64
+            ));
+        }
+        if let Some(tl) = self.timeline() {
+            out.push_str(&format!(
+                "timeline: {} epochs of {} cycles ({} dropped)\n",
+                tl.samples.len(),
+                tl.epoch_cycles,
+                tl.dropped
+            ));
+        }
+        out.push_str(&format!("trace: {} events, validated\n", self.trace_events));
+        out
+    }
+}
+
+/// Resolves a `<suite>_<index>` workload name (e.g. `server_000`) into the
+/// suite's [`WorkloadSpec`] — the same spec the experiment runners use, so a
+/// traced cell is bit-identical to the matching matrix cell.
+///
+/// # Errors
+///
+/// Returns a one-line message for malformed names and unknown suites.
+pub fn parse_workload(name: &str) -> Result<WorkloadSpec, String> {
+    // Suite labels themselves contain underscores (`cvp_server`), so the
+    // index is everything after the *last* one.
+    let (label, index) = name.rsplit_once('_').ok_or_else(|| {
+        format!("workload `{name}` is not of the form <suite>_<index> (e.g. server_000)")
+    })?;
+    let index: usize = index
+        .parse()
+        .map_err(|_| format!("workload index `{index}` in `{name}` is not a number"))?;
+    let profile = Profile::all()
+        .into_iter()
+        .find(|p| p.label() == label)
+        .ok_or_else(|| {
+            let labels: Vec<&str> = Profile::all().iter().map(|p| p.label()).collect();
+            format!(
+                "unknown workload suite `{label}` (expected one of: {})",
+                labels.join(" ")
+            )
+        })?;
+    Ok(WorkloadSpec::new(profile, index))
+}
+
+/// Resolves a design name (as printed in experiment tables) into a
+/// [`DesignSpec`].
+///
+/// # Errors
+///
+/// Returns a one-line message listing the accepted names.
+pub fn design_by_name(name: &str) -> Result<DesignSpec, String> {
+    match name {
+        "ubs" => Ok(DesignSpec::ubs_default()),
+        "ghrp" => Ok(DesignSpec::Ghrp),
+        "acic" => Ok(DesignSpec::Acic),
+        "line-distillation" => Ok(DesignSpec::Distill),
+        "amoeba" => Ok(DesignSpec::Amoeba),
+        "ideal" => Ok(DesignSpec::Ideal),
+        "conv-16b-block" => Ok(DesignSpec::SmallBlock { chunk_bytes: 16 }),
+        "conv-32b-block" => Ok(DesignSpec::SmallBlock { chunk_bytes: 32 }),
+        other => {
+            if let Some(kib) = other
+                .strip_prefix("conv-")
+                .and_then(|t| t.strip_suffix('k'))
+                .and_then(|k| k.parse::<usize>().ok())
+                .filter(|k| (1..=1024).contains(k))
+            {
+                return Ok(DesignSpec::conv(kib << 10));
+            }
+            Err(format!(
+                "unknown design `{other}` (expected conv-<N>k, ubs, conv-16b-block, \
+                 conv-32b-block, ghrp, acic, line-distillation, amoeba, or ideal)"
+            ))
+        }
+    }
+}
+
+/// Runs one traced cell: simulates `workload × design` at the requested
+/// effort with a [`ChromeTraceSink`] attached and the interval timeline
+/// enabled, validates both the attribution invariant and the emitted
+/// Chrome-trace JSON, and returns everything.
+///
+/// # Errors
+///
+/// Returns a message for unknown workloads/designs, an attribution-invariant
+/// violation, or a trace document that fails [`validate_chrome_trace`] —
+/// the latter two are simulator bugs, surfaced rather than written to disk.
+pub fn run_trace(opts: &TraceOptions) -> Result<TraceOutcome, String> {
+    let spec = parse_workload(&opts.workload)?;
+    let design = design_by_name(&opts.design)?;
+    let mut cfg = opts.effort.sim_config();
+    cfg.telemetry.timeline = true;
+
+    let mut trace = SyntheticTrace::build(&spec);
+    let mut icache = design.build();
+    let mut sink = ChromeTraceSink::new(&format!("{} × {}", spec.name, design.name()));
+    let report = {
+        let mut tel = Telemetry::with_sink(cfg.telemetry.clone(), &mut sink);
+        ubs_uarch::simulate_with(&mut trace, icache.as_mut(), &cfg, &mut tel)
+    };
+    report.validate().map_err(|e| {
+        format!(
+            "stall-attribution invariant violated on {}/{}: {e}",
+            spec.name,
+            design.name()
+        )
+    })?;
+
+    let trace_json = sink.into_json();
+    let trace_events = validate_chrome_trace(&trace_json)
+        .map_err(|e| format!("generated Chrome trace failed validation: {e}"))?;
+
+    Ok(TraceOutcome {
+        report,
+        trace: trace_json,
+        trace_events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Effort;
+
+    #[test]
+    fn workload_names_round_trip() {
+        for profile in Profile::all() {
+            let spec = WorkloadSpec::new(profile, 7);
+            let parsed = parse_workload(&spec.name).unwrap();
+            assert_eq!(parsed, spec, "round-trip failed for {}", spec.name);
+        }
+        assert!(parse_workload("noindex").is_err());
+        assert!(parse_workload("server_x1").is_err());
+        assert!(parse_workload("warehouse_000").unwrap_err().contains("unknown workload suite"));
+    }
+
+    #[test]
+    fn design_names_resolve() {
+        for name in [
+            "conv-32k",
+            "conv-64k",
+            "conv-20k",
+            "ubs",
+            "conv-16b-block",
+            "conv-32b-block",
+            "ghrp",
+            "acic",
+            "line-distillation",
+            "amoeba",
+            "ideal",
+        ] {
+            let spec = design_by_name(name).unwrap();
+            assert_eq!(spec.name(), name, "resolved wrong design for `{name}`");
+        }
+        assert!(design_by_name("conv-0k").is_err());
+        assert!(design_by_name("btac").unwrap_err().contains("unknown design"));
+    }
+
+    #[test]
+    fn traced_run_end_to_end() {
+        let opts = TraceOptions {
+            workload: "server_000".into(),
+            design: "conv-32k".into(),
+            effort: Effort::Smoke,
+            out: None,
+            timeline_out: None,
+        };
+        let outcome = run_trace(&opts).unwrap();
+        assert!(outcome.trace_events > 0);
+        assert!(outcome.report.frontend.slots.total() > 0);
+        let tl = outcome.timeline().expect("trace runs record a timeline");
+        assert_eq!(
+            tl.samples.iter().map(|s| s.cycles).sum::<u64>(),
+            outcome.report.cycles
+        );
+        let summary = outcome.render_summary();
+        assert!(summary.contains("delivered"), "{summary}");
+        assert!(summary.contains("server_000"), "{summary}");
+    }
+
+    #[test]
+    fn unknown_inputs_are_rejected() {
+        let base = TraceOptions {
+            workload: "server_000".into(),
+            design: "conv-32k".into(),
+            effort: Effort::Smoke,
+            out: None,
+            timeline_out: None,
+        };
+        let mut bad_wl = base.clone();
+        bad_wl.workload = "nope_000".into();
+        assert!(run_trace(&bad_wl).is_err());
+        let mut bad_design = base;
+        bad_design.design = "nope".into();
+        assert!(run_trace(&bad_design).is_err());
+    }
+}

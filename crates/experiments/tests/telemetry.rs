@@ -1,0 +1,89 @@
+//! Harness-level telemetry integration: traced cells, timeline retention
+//! through the run matrix, and schema-v2 manifests with timeline pointers.
+
+use ubs_experiments::{
+    run_trace, CellTiming, DesignSpec, Effort, ExperimentRecord, RunContext, RunManifest,
+    SuiteScale, TraceOptions,
+};
+use ubs_trace::synth::{Profile, WorkloadSpec};
+use ubs_uarch::validate_chrome_trace;
+
+#[test]
+fn trace_subcommand_end_to_end() {
+    let outcome = run_trace(&TraceOptions {
+        workload: "client_000".into(),
+        design: "ubs".into(),
+        effort: Effort::Smoke,
+        out: None,
+        timeline_out: None,
+    })
+    .unwrap();
+
+    // The trace document must be openable by Perfetto: well-formed
+    // traceEvents with monotonic timestamps (re-checked here, not trusting
+    // run_trace's own validation call).
+    let events = validate_chrome_trace(&outcome.trace).unwrap();
+    assert_eq!(events, outcome.trace_events);
+    assert!(outcome.trace["traceEvents"].is_array());
+
+    // The attribution invariant holds and the timeline tiles the window.
+    outcome.report.validate().unwrap();
+    let tl = outcome.timeline().expect("traced runs retain a timeline");
+    assert_eq!(
+        tl.samples.iter().map(|s| s.cycles).sum::<u64>(),
+        outcome.report.cycles
+    );
+}
+
+#[test]
+fn run_matrix_retains_timelines_only_when_asked() {
+    let workloads = vec![WorkloadSpec::new(Profile::Client, 0)];
+    let designs = vec![DesignSpec::conv_32k()];
+
+    let plain = RunContext::new(Effort::Smoke, SuiteScale::bench());
+    let grid = plain.run_matrix(&workloads, &designs);
+    assert!(grid.get(0, 0).timeline.is_none(), "plain runs carry no timeline");
+
+    let timed = RunContext::new(Effort::Smoke, SuiteScale::bench()).with_timeline(true);
+    let grid = timed.run_matrix(&workloads, &designs);
+    let report = grid.get(0, 0);
+    let tl = report.timeline.as_ref().expect("--timeline retains timelines");
+    assert!(!tl.samples.is_empty());
+    assert_eq!(tl.samples.iter().map(|s| s.cycles).sum::<u64>(), report.cycles);
+    assert_eq!(
+        tl.samples.iter().map(|s| s.instructions).sum::<u64>(),
+        report.instructions
+    );
+    // Epochs are contiguous from measurement start.
+    let mut expect_start = 0;
+    for s in &tl.samples {
+        assert_eq!(s.start_cycle, expect_start);
+        expect_start += s.cycles;
+    }
+}
+
+#[test]
+fn manifest_records_timeline_paths() {
+    let cells = vec![CellTiming {
+        workload: "client_000".into(),
+        workload_seed: 1,
+        design: "conv-32k".into(),
+        instructions: 100_000,
+        wall_seconds: 0.1,
+        minstr_per_sec: 1.0,
+    }];
+    let mut record = ExperimentRecord::new("workloads", 0.1, cells);
+    record
+        .timelines
+        .push("timelines/workloads/client_000__conv-32k.json".to_string());
+    let mut m = RunManifest::new(Effort::Smoke, SuiteScale::bench(), 1);
+    m.push(record);
+
+    let dir = std::env::temp_dir().join(format!("ubs-tl-manifest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    m.write_atomic(&dir).unwrap();
+    let back = RunManifest::load(&dir).unwrap();
+    assert_eq!(back, m);
+    assert_eq!(back.experiments[0].timelines.len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

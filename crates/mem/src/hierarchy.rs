@@ -41,7 +41,9 @@ impl HierarchyConfig {
 }
 
 /// Where a block fetch was satisfied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum FillSource {
     /// Served by the L2 cache.
     L2,
@@ -49,6 +51,17 @@ pub enum FillSource {
     L3,
     /// Served by DRAM.
     Dram,
+}
+
+impl FillSource {
+    /// Lowercase display name (`l2` / `l3` / `dram`).
+    pub fn label(self) -> &'static str {
+        match self {
+            FillSource::L2 => "l2",
+            FillSource::L3 => "l3",
+            FillSource::Dram => "dram",
+        }
+    }
 }
 
 /// Result of a hierarchy fetch.

@@ -7,6 +7,7 @@
 //! exactly the effect the paper's "stall cycles covered" metric is designed
 //! to capture (§VI-C).
 
+use crate::hierarchy::FillSource;
 use ubs_trace::Line;
 
 /// One in-flight miss.
@@ -18,6 +19,8 @@ pub struct Mshr {
     pub ready_at: u64,
     /// Whether the request was initiated by a prefetcher.
     pub is_prefetch: bool,
+    /// Hierarchy level supplying the fill (for stall attribution).
+    pub source: FillSource,
 }
 
 /// Outcome of [`MshrFile::allocate`].
@@ -93,11 +96,19 @@ impl MshrFile {
         self.entries.iter().find(|m| m.line == line)
     }
 
-    /// Requests `line`, arriving at `ready_at`.
+    /// Requests `line`, arriving at `ready_at` from `source`.
     ///
     /// A demand request (`is_prefetch == false`) that merges with an
-    /// in-flight prefetch promotes the entry to demand status.
-    pub fn allocate(&mut self, line: Line, ready_at: u64, is_prefetch: bool) -> Allocate {
+    /// in-flight prefetch promotes the entry to demand status. A merge keeps
+    /// the existing entry's timing *and* fill source — the merged requester
+    /// waits on the original fill.
+    pub fn allocate(
+        &mut self,
+        line: Line,
+        ready_at: u64,
+        is_prefetch: bool,
+        source: FillSource,
+    ) -> Allocate {
         if let Some(e) = self.entries.iter_mut().find(|m| m.line == line) {
             self.merges += 1;
             let was_prefetch = e.is_prefetch;
@@ -117,6 +128,7 @@ impl MshrFile {
             line,
             ready_at,
             is_prefetch,
+            source,
         });
         Allocate::Fresh
     }
@@ -159,15 +171,16 @@ mod tests {
     #[test]
     fn allocate_and_drain() {
         let mut f = MshrFile::new(2);
-        assert_eq!(f.allocate(line(1), 10, false), Allocate::Fresh);
-        assert_eq!(f.allocate(line(2), 20, true), Allocate::Fresh);
+        assert_eq!(f.allocate(line(1), 10, false, FillSource::L2), Allocate::Fresh);
+        assert_eq!(f.allocate(line(2), 20, true, FillSource::Dram), Allocate::Fresh);
         assert!(f.is_full());
-        assert_eq!(f.allocate(line(3), 30, false), Allocate::Full);
+        assert_eq!(f.allocate(line(3), 30, false, FillSource::L3), Allocate::Full);
         assert_eq!(f.rejects(), 1);
 
         let ready = f.drain_ready(15);
         assert_eq!(ready.len(), 1);
         assert_eq!(ready[0].line, line(1));
+        assert_eq!(ready[0].source, FillSource::L2);
         assert_eq!(f.len(), 1);
         assert_eq!(f.next_ready_at(), Some(20));
     }
@@ -175,8 +188,8 @@ mod tests {
     #[test]
     fn demand_promotes_prefetch() {
         let mut f = MshrFile::new(4);
-        f.allocate(line(7), 100, true);
-        match f.allocate(line(7), 50, false) {
+        f.allocate(line(7), 100, true, FillSource::Dram);
+        match f.allocate(line(7), 50, false, FillSource::L2) {
             Allocate::Merged {
                 ready_at,
                 was_prefetch,
@@ -187,15 +200,20 @@ mod tests {
             other => panic!("expected merge, got {other:?}"),
         }
         assert!(!f.get(line(7)).unwrap().is_prefetch, "promoted to demand");
+        assert_eq!(
+            f.get(line(7)).unwrap().source,
+            FillSource::Dram,
+            "merge keeps the original fill source"
+        );
         assert_eq!(f.merges(), 1);
     }
 
     #[test]
     fn merge_does_not_consume_capacity() {
         let mut f = MshrFile::new(1);
-        f.allocate(line(1), 5, false);
+        f.allocate(line(1), 5, false, FillSource::L2);
         assert!(matches!(
-            f.allocate(line(1), 9, false),
+            f.allocate(line(1), 9, false, FillSource::L3),
             Allocate::Merged { .. }
         ));
         assert_eq!(f.len(), 1);
@@ -210,7 +228,7 @@ mod tests {
     #[test]
     fn reset_clears() {
         let mut f = MshrFile::new(2);
-        f.allocate(line(1), 10, false);
+        f.allocate(line(1), 10, false, FillSource::L2);
         f.reset();
         assert!(f.is_empty());
         assert_eq!(f.next_ready_at(), None);

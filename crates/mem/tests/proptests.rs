@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use ubs_mem::replacement::{Fifo, Lru, Replacement, Srrip};
-use ubs_mem::{Allocate, CacheConfig, Dram, DramConfig, MshrFile, SetAssocCache};
+use ubs_mem::{Allocate, CacheConfig, Dram, DramConfig, FillSource, MshrFile, SetAssocCache};
 use ubs_trace::Line;
 
 proptest! {
@@ -78,7 +78,7 @@ proptest! {
         let mut f = MshrFile::new(8);
         let mut first_ready: std::collections::HashMap<u64, u64> = Default::default();
         for (lineno, ready, is_pf) in reqs {
-            match f.allocate(Line::from_number(lineno), ready, is_pf) {
+            match f.allocate(Line::from_number(lineno), ready, is_pf, FillSource::L2) {
                 Allocate::Fresh => {
                     first_ready.insert(lineno, ready);
                 }

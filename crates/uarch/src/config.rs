@@ -1,5 +1,6 @@
 //! Core configuration (paper Table I).
 
+use crate::telemetry::TelemetryConfig;
 use serde::{Deserialize, Serialize};
 use ubs_mem::HierarchyConfig;
 
@@ -87,6 +88,9 @@ pub struct SimConfig {
     pub sim_instrs: u64,
     /// Storage-efficiency sampling interval in cycles (paper: 100 K).
     pub sample_interval_cycles: u64,
+    /// Telemetry: interval-sampler epoch and timeline retention.
+    #[serde(default)]
+    pub telemetry: TelemetryConfig,
 }
 
 impl SimConfig {
@@ -97,6 +101,7 @@ impl SimConfig {
             warmup_instrs: 50_000_000,
             sim_instrs: 50_000_000,
             sample_interval_cycles: 100_000,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -108,6 +113,7 @@ impl SimConfig {
             warmup_instrs: warmup,
             sim_instrs: sim,
             sample_interval_cycles: 100_000,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }

@@ -25,8 +25,13 @@ mod config;
 mod l1d;
 mod report;
 mod simulator;
+pub mod telemetry;
 
 pub use config::{CoreConfig, SimConfig};
 pub use l1d::L1d;
 pub use report::{geomean, SimReport};
-pub use simulator::simulate;
+pub use simulator::{simulate, simulate_with};
+pub use telemetry::{
+    validate_chrome_trace, ChromeTraceSink, FrontendStalls, IntervalSample, StallBreakdown,
+    StallClass, Telemetry, TelemetryConfig, TelemetrySink, Timeline, TIMELINE_SCHEMA_VERSION,
+};

@@ -1,5 +1,17 @@
 //! Simulation reports.
+//!
+//! ## Stall-counter semantics
+//!
+//! The three legacy per-cycle counters only count *fully starved* cycles
+//! (fetch delivered zero instructions) and attribute each such cycle to at
+//! most one cause: **an outstanding L1-I miss wins over a blocked BPU** when
+//! both hold, so `icache_stall_cycles + bpu_stall_cycles ≤
+//! fetch_starved_cycles ≤ cycles` always ([`SimReport::validate`] enforces
+//! it). The slot-level [`FrontendStalls`] taxonomy supersedes these
+//! counters with an exact decomposition; its own (top-down) priority order
+//! is documented in [`crate::telemetry`].
 
+use crate::telemetry::{FrontendStalls, Timeline};
 use serde::{Deserialize, Serialize};
 use ubs_core::IcacheStats;
 
@@ -15,13 +27,22 @@ pub struct SimReport {
     /// Cycles elapsed in the measurement window.
     pub cycles: u64,
     /// Cycles in which fetch delivered nothing because of an outstanding
-    /// L1-I miss — the paper's front-end stall metric (§VI-C).
+    /// L1-I miss — the paper's front-end stall metric (§VI-C). On a cycle
+    /// stalled for several reasons this bucket wins (see module docs).
     pub icache_stall_cycles: u64,
     /// Cycles in which fetch delivered nothing because the BPU runahead was
-    /// blocked on an unresolved branch (misprediction / BTB miss).
+    /// blocked on an unresolved branch (misprediction / BTB miss) and no
+    /// L1-I miss was outstanding.
     pub bpu_stall_cycles: u64,
     /// Cycles in which fetch delivered nothing for any reason.
     pub fetch_starved_cycles: u64,
+    /// Per-slot top-down stall attribution (zeroed
+    /// `fetch_slots_per_cycle` on reports predating telemetry).
+    #[serde(default)]
+    pub frontend: FrontendStalls,
+    /// Interval timeline, when the run was configured to retain one.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub timeline: Option<Timeline>,
     /// L1-I statistics (hits, miss classes, efficiency samples, …).
     pub l1i: IcacheStats,
     /// Branches and BPU mispredictions.
@@ -76,6 +97,26 @@ impl SimReport {
         }
         (base - self.icache_stall_cycles as f64) / base
     }
+
+    /// Checks the stall-accounting invariants: the legacy cycle counters
+    /// nest (`icache + bpu ≤ starved ≤ cycles`) and the slot attribution
+    /// sums exactly to `cycles × fetch_slots_per_cycle` (skipped on legacy
+    /// reports — see [`FrontendStalls::validate`]).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.icache_stall_cycles + self.bpu_stall_cycles > self.fetch_starved_cycles {
+            return Err(format!(
+                "stall buckets exceed starved cycles: {} + {} > {}",
+                self.icache_stall_cycles, self.bpu_stall_cycles, self.fetch_starved_cycles
+            ));
+        }
+        if self.fetch_starved_cycles > self.cycles {
+            return Err(format!(
+                "starved cycles {} exceed total cycles {}",
+                self.fetch_starved_cycles, self.cycles
+            ));
+        }
+        self.frontend.validate(self.cycles)
+    }
 }
 
 /// Geometric mean of speedups (the paper's aggregation for Figs. 10–13).
@@ -106,6 +147,8 @@ mod tests {
             icache_stall_cycles: stalls,
             bpu_stall_cycles: 0,
             fetch_starved_cycles: stalls,
+            frontend: FrontendStalls::default(),
+            timeline: None,
             l1i: IcacheStats::default(),
             branches: 0,
             branch_mispredicts: 0,
@@ -138,6 +181,44 @@ mod tests {
         assert_eq!(back.icache_stall_cycles, r.icache_stall_cycles);
         assert_eq!(back.l2, r.l2);
         assert!((back.ipc() - r.ipc()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_invariant_enforced() {
+        let mut r = report(1000, 1000, 400);
+        r.bpu_stall_cycles = 100;
+        r.fetch_starved_cycles = 600;
+        r.validate().expect("icache + bpu ≤ starved ≤ cycles holds");
+
+        let mut bad = r.clone();
+        bad.bpu_stall_cycles = 300; // 400 + 300 > 600
+        assert!(bad.validate().is_err(), "bucket sum above starved");
+
+        let mut bad = r.clone();
+        bad.fetch_starved_cycles = 1001; // > cycles
+        assert!(bad.validate().is_err(), "starved above cycles");
+
+        // Slot attribution participates once fetch_slots_per_cycle is set.
+        r.frontend.fetch_slots_per_cycle = 4;
+        r.frontend.slots.delivered = 4000 - 600;
+        r.frontend.slots.ftq_empty = 600;
+        r.validate().expect("exact slot sum accepted");
+        r.frontend.slots.ftq_empty = 599;
+        assert!(r.validate().is_err(), "off-by-one slot sum rejected");
+    }
+
+    #[test]
+    fn legacy_report_json_still_deserializes() {
+        // A report serialized before the telemetry fields existed.
+        let r = report(10, 20, 3);
+        let mut v = serde_json::to_value(&r).expect("serialize");
+        let obj = v.as_object_mut().unwrap();
+        obj.remove("frontend");
+        obj.remove("timeline");
+        let back: SimReport = serde_json::from_value(v).expect("legacy decode");
+        assert_eq!(back.frontend.fetch_slots_per_cycle, 0);
+        assert!(back.timeline.is_none());
+        back.validate().expect("legacy reports skip the slot invariant");
     }
 
     #[test]

@@ -26,10 +26,11 @@
 use crate::config::SimConfig;
 use crate::l1d::L1d;
 use crate::report::SimReport;
+use crate::telemetry::{StallClass, Telemetry};
 use std::collections::VecDeque;
-use ubs_core::{AccessResult, InstructionCache};
+use ubs_core::{AccessResult, InstructionCache, MissKind};
 use ubs_frontend::{Bpu, Ftq};
-use ubs_mem::MemoryHierarchy;
+use ubs_mem::{FillSource, MemoryHierarchy};
 use ubs_trace::{FetchRange, TraceRecord, TraceSource};
 
 /// Why the runahead front-end blocked on a branch.
@@ -68,10 +69,24 @@ pub fn simulate(
     icache: &mut dyn InstructionCache,
     cfg: &SimConfig,
 ) -> SimReport {
-    Simulator::new(trace, icache, cfg).run()
+    let mut tel = Telemetry::new(cfg.telemetry.clone());
+    Simulator::new(trace, icache, cfg, &mut tel).run()
 }
 
-struct Simulator<'a> {
+/// Like [`simulate`], with caller-supplied telemetry (typically built with
+/// [`Telemetry::with_sink`] to stream trace events). The telemetry's own
+/// [`crate::telemetry::TelemetryConfig`] governs epoch length and timeline
+/// retention, not `cfg.telemetry`.
+pub fn simulate_with(
+    trace: &mut dyn TraceSource,
+    icache: &mut dyn InstructionCache,
+    cfg: &SimConfig,
+    tel: &mut Telemetry<'_>,
+) -> SimReport {
+    Simulator::new(trace, icache, cfg, tel).run()
+}
+
+struct Simulator<'a, 's> {
     cfg: &'a SimConfig,
     trace: &'a mut dyn TraceSource,
     icache: &'a mut dyn InstructionCache,
@@ -84,6 +99,9 @@ struct Simulator<'a> {
     pending: VecDeque<PendRec>,
     next_seq: u64,
     blocked_on: Option<u64>,
+    /// Why runahead is (or last was) blocked, kept through the re-steer
+    /// bubble so starved cycles can be attributed to the redirect kind.
+    blocked_kind: Option<Redirect>,
     runahead_resume_at: u64,
     trace_done: bool,
 
@@ -91,6 +109,9 @@ struct Simulator<'a> {
     fetch_progress: u32,
     fetch_stalled_until: u64,
     stalled_sub: Option<FetchRange>,
+    /// Miss class and fill level of the in-flight stall, if fetch is
+    /// waiting on a fill (`None` while stalled means an MSHR reject).
+    stalled_fill: Option<(MissKind, FillSource)>,
     fetched: VecDeque<Fetched>,
 
     // Back-end state.
@@ -103,15 +124,21 @@ struct Simulator<'a> {
     bpu_stall_cycles: u64,
     fetch_starved_cycles: u64,
     next_sample_at: u64,
+
+    /// ROB was full when dispatch ran this cycle (top-down attribution).
+    rob_full_cycle: bool,
+    tel: &'a mut Telemetry<'s>,
 }
 
-impl<'a> Simulator<'a> {
+impl<'a, 's> Simulator<'a, 's> {
     fn new(
         trace: &'a mut dyn TraceSource,
         icache: &'a mut dyn InstructionCache,
         cfg: &'a SimConfig,
+        tel: &'a mut Telemetry<'s>,
     ) -> Self {
         let core = &cfg.core;
+        tel.start((core.fetch_width_bytes / 4) as u64);
         Simulator {
             trace,
             icache,
@@ -122,11 +149,13 @@ impl<'a> Simulator<'a> {
             pending: VecDeque::with_capacity(4096),
             next_seq: 0,
             blocked_on: None,
+            blocked_kind: None,
             runahead_resume_at: 0,
             trace_done: false,
             fetch_progress: 0,
             fetch_stalled_until: 0,
             stalled_sub: None,
+            stalled_fill: None,
             fetched: VecDeque::with_capacity(256),
             rob: VecDeque::with_capacity(core.rob_entries),
             reg_ready: [0; 64],
@@ -136,6 +165,8 @@ impl<'a> Simulator<'a> {
             bpu_stall_cycles: 0,
             fetch_starved_cycles: 0,
             next_sample_at: cfg.sample_interval_cycles,
+            rob_full_cycle: false,
+            tel,
             cfg,
         }
     }
@@ -153,7 +184,14 @@ impl<'a> Simulator<'a> {
 
         let (branches, mispredicts, btb_misses) = self.bpu.stats();
         let (l1d_hits, l1d_misses) = self.l1d.stats();
-        SimReport {
+        let l1i = self.icache.stats().clone();
+        let (frontend, timeline) = self.tel.finish(
+            self.now,
+            self.committed,
+            l1i.demand_misses(),
+            l1i.efficiency_samples.last().copied(),
+        );
+        let report = SimReport {
             workload: self.trace.name().to_string(),
             design: self.icache.name().to_string(),
             instructions: self.committed - start_committed,
@@ -161,7 +199,9 @@ impl<'a> Simulator<'a> {
             icache_stall_cycles: self.icache_stall_cycles,
             bpu_stall_cycles: self.bpu_stall_cycles,
             fetch_starved_cycles: self.fetch_starved_cycles,
-            l1i: self.icache.stats().clone(),
+            frontend,
+            timeline,
+            l1i,
             branches,
             branch_mispredicts: mispredicts,
             btb_misses_taken: btb_misses,
@@ -169,7 +209,13 @@ impl<'a> Simulator<'a> {
             l1d_misses,
             l2: self.mem.l2_stats(),
             l3: self.mem.l3_stats(),
-        }
+        };
+        debug_assert!(
+            report.validate().is_ok(),
+            "stall accounting broke its invariant: {}",
+            report.validate().unwrap_err()
+        );
+        report
     }
 
     fn reset_measurement(&mut self) {
@@ -181,6 +227,7 @@ impl<'a> Simulator<'a> {
         self.bpu_stall_cycles = 0;
         self.fetch_starved_cycles = 0;
         self.next_sample_at = self.now + self.cfg.sample_interval_cycles;
+        self.tel.begin_measurement(self.now, self.committed);
     }
 
     fn run_until(&mut self, target_committed: u64) {
@@ -216,6 +263,12 @@ impl<'a> Simulator<'a> {
             self.icache.sample_efficiency();
             self.next_sample_at += self.cfg.sample_interval_cycles;
         }
+        if self.tel.epoch_due(self.now) {
+            let misses = self.icache.stats().demand_misses();
+            let efficiency = self.icache.stats().efficiency_samples.last().copied();
+            let committed = self.committed;
+            self.tel.end_epoch(self.now, committed, misses, efficiency);
+        }
     }
 
     fn commit(&mut self) {
@@ -231,6 +284,7 @@ impl<'a> Simulator<'a> {
     }
 
     fn dispatch(&mut self) {
+        self.rob_full_cycle = self.rob.len() >= self.cfg.core.rob_entries;
         for _ in 0..self.cfg.core.decode_width {
             if self.rob.len() >= self.cfg.core.rob_entries {
                 break;
@@ -314,6 +368,7 @@ impl<'a> Simulator<'a> {
         if let Some(sub) = self.stalled_sub {
             if self.now >= self.fetch_stalled_until {
                 self.stalled_sub = None;
+                self.stalled_fill = None;
                 delivered += self.deliver(sub);
                 budget = budget.saturating_sub(sub.bytes);
                 self.advance_range(sub.bytes);
@@ -335,14 +390,20 @@ impl<'a> Simulator<'a> {
                     budget -= sub.bytes;
                     self.advance_range(sub.bytes);
                 }
-                AccessResult::Miss { ready_at, .. } => {
+                AccessResult::Miss {
+                    ready_at,
+                    kind,
+                    fill,
+                } => {
                     self.fetch_stalled_until = ready_at.max(self.now + 1);
                     self.stalled_sub = Some(sub);
+                    self.stalled_fill = Some((kind, fill));
                     stalled_on_icache = true;
                 }
                 AccessResult::MshrFull => {
                     self.fetch_stalled_until = self.now + 1;
                     self.stalled_sub = None;
+                    self.stalled_fill = None;
                     stalled_on_icache = true;
                     break;
                 }
@@ -361,6 +422,48 @@ impl<'a> Simulator<'a> {
                 self.bpu_stall_cycles += 1;
             }
         }
+
+        self.attribute_cycle(delivered, stalled_on_icache);
+    }
+
+    /// Top-down per-slot attribution for this cycle (priority order in
+    /// [`crate::telemetry`]'s module docs). Observation only: nothing is
+    /// written back into simulation state, so timing and the legacy
+    /// counters are unaffected.
+    fn attribute_cycle(&mut self, delivered: usize, stalled_on_icache: bool) {
+        let spc = (self.cfg.core.fetch_width_bytes / 4) as u64;
+        let delivered_slots = (delivered as u64).min(spc);
+        let class = if delivered_slots == spc {
+            None
+        } else if self.rob_full_cycle {
+            Some(StallClass::RobFull)
+        } else if stalled_on_icache {
+            Some(match self.stalled_fill {
+                Some((_, FillSource::L2)) => StallClass::IcacheL2,
+                Some((_, FillSource::L3)) => StallClass::IcacheL3,
+                Some((_, FillSource::Dram)) => StallClass::IcacheDram,
+                None => StallClass::IcacheMshr,
+            })
+        } else if self.ftq.is_empty() {
+            if self.blocked_on.is_some() || self.now < self.runahead_resume_at {
+                Some(match self.blocked_kind {
+                    Some(Redirect::AtExecute) => StallClass::BpuRedirect,
+                    Some(Redirect::AtDecode) => StallClass::BtbMiss,
+                    None => StallClass::FtqEmpty,
+                })
+            } else {
+                Some(StallClass::FtqEmpty)
+            }
+        } else {
+            // FTQ non-empty, no stall, yet short of a full fetch group:
+            // fetch-group fragmentation residual.
+            Some(StallClass::Other)
+        };
+        let kind = match class {
+            Some(c) if c.is_icache_fill() => self.stalled_fill.map(|(k, _)| k),
+            _ => None,
+        };
+        self.tel.record_cycle(self.now, delivered_slots, class, kind);
     }
 
     /// Advances the FTQ head by `bytes`, popping completed ranges.
@@ -392,12 +495,14 @@ impl<'a> Simulator<'a> {
         if self.trace_done || self.blocked_on.is_some() || self.now < self.runahead_resume_at {
             return;
         }
+        self.blocked_kind = None;
         let mut budget = self.cfg.core.runahead_instrs_per_cycle as i64;
         while budget > 0 && !self.ftq.is_full() {
             // Build one fetch range.
             let mut start: Option<u64> = None;
             let mut bytes: u32 = 0;
             let mut redirect_seq: Option<u64> = None;
+            let mut redirect_kind: Option<Redirect> = None;
             loop {
                 let Some(rec) = self.trace.next_record() else {
                     self.trace_done = true;
@@ -423,6 +528,7 @@ impl<'a> Simulator<'a> {
                 self.pending.push_back(PendRec { rec, seq, redirect });
                 if redirect.is_some() {
                     redirect_seq = Some(seq);
+                    redirect_kind = redirect;
                 }
                 if ends_range || budget <= 0 || bytes >= 256 {
                     break;
@@ -435,6 +541,7 @@ impl<'a> Simulator<'a> {
             }
             if let Some(seq) = redirect_seq {
                 self.blocked_on = Some(seq);
+                self.blocked_kind = redirect_kind;
                 self.runahead_resume_at = u64::MAX;
                 break;
             }
@@ -551,6 +658,117 @@ mod tests {
             r32.ipc()
         );
         assert!(r256.l1i_mpki() < r32.l1i_mpki());
+    }
+
+    #[test]
+    fn stall_attribution_sums_exactly() {
+        let mut spec = WorkloadSpec::new(Profile::Server, 2);
+        spec.seed = 21;
+        let mut trace = SyntheticTrace::build(&spec);
+        let mut icache = ConvL1i::paper_baseline();
+        let r = simulate(&mut trace, &mut icache, &tiny_cfg(50_000, 200_000));
+        r.validate().expect("closed taxonomy must sum exactly");
+        let f = &r.frontend;
+        assert_eq!(f.fetch_slots_per_cycle, 4);
+        assert_eq!(f.slots.total(), r.cycles * 4);
+        assert!(
+            f.slots.icache_fill_slots() > 0,
+            "an i-cache-thrashing workload must wait on fills"
+        );
+        assert_eq!(
+            f.miss_kind_slots.iter().sum::<u64>(),
+            f.slots.icache_fill_slots(),
+            "per-kind fill split must match per-level split"
+        );
+        // Every fully starved cycle contributes a whole group of stalled
+        // slots; partially delivered cycles can only add more.
+        assert!(f.slots.stall_slots() >= 4 * r.fetch_starved_cycles);
+    }
+
+    #[test]
+    fn timeline_epochs_tile_the_measurement_window() {
+        let mut spec = WorkloadSpec::new(Profile::Client, 0);
+        spec.seed = 7;
+        let mut trace = SyntheticTrace::build(&spec);
+        let mut icache = ConvL1i::paper_baseline();
+        let mut cfg = tiny_cfg(20_000, 150_000);
+        cfg.telemetry.timeline = true;
+        cfg.telemetry.epoch_cycles = 10_000;
+        let r = simulate(&mut trace, &mut icache, &cfg);
+        let t = r.timeline.as_ref().expect("timeline retained");
+        assert_eq!(t.schema_version, crate::telemetry::TIMELINE_SCHEMA_VERSION);
+        assert_eq!(t.epoch_cycles, 10_000);
+        assert_eq!(t.dropped, 0);
+        assert!(t.samples.len() >= 2, "run spans several epochs");
+        assert_eq!(
+            t.samples.iter().map(|s| s.cycles).sum::<u64>(),
+            r.cycles,
+            "epochs tile the window, including the partial tail"
+        );
+        assert_eq!(
+            t.samples.iter().map(|s| s.instructions).sum::<u64>(),
+            r.instructions
+        );
+        let mut expect_start = 0;
+        for s in &t.samples {
+            assert_eq!(s.start_cycle, expect_start, "epochs are contiguous");
+            expect_start += s.cycles;
+            assert_eq!(
+                s.stalls.total(),
+                s.cycles * 4,
+                "attribution sums exactly within every epoch"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_timing() {
+        let mut spec = WorkloadSpec::new(Profile::Google, 0);
+        spec.seed = 11;
+        let cfg_plain = tiny_cfg(20_000, 100_000);
+        let mut cfg_timeline = cfg_plain.clone();
+        cfg_timeline.telemetry.timeline = true;
+        cfg_timeline.telemetry.epoch_cycles = 7_001; // deliberate non-divisor
+
+        let mut t1 = SyntheticTrace::build(&spec);
+        let mut c1 = ConvL1i::paper_baseline();
+        let r1 = simulate(&mut t1, &mut c1, &cfg_plain);
+        let mut t2 = SyntheticTrace::build(&spec);
+        let mut c2 = ConvL1i::paper_baseline();
+        let r2 = simulate(&mut t2, &mut c2, &cfg_timeline);
+
+        assert_eq!(r1.cycles, r2.cycles, "telemetry must not change timing");
+        assert_eq!(r1.instructions, r2.instructions);
+        assert_eq!(r1.frontend, r2.frontend);
+        assert!(r1.timeline.is_none());
+        assert!(r2.timeline.is_some());
+    }
+
+    #[test]
+    fn chrome_trace_export_end_to_end() {
+        use crate::telemetry::{
+            validate_chrome_trace, ChromeTraceSink, Telemetry, TelemetryConfig,
+        };
+        let mut spec = WorkloadSpec::new(Profile::Server, 0);
+        spec.seed = 5;
+        let mut trace = SyntheticTrace::build(&spec);
+        let mut icache = ConvL1i::paper_baseline();
+        let mut sink = ChromeTraceSink::new("server_000/conv-32k");
+        let mut tel = Telemetry::with_sink(
+            TelemetryConfig {
+                epoch_cycles: 20_000,
+                timeline: true,
+                timeline_capacity: 64,
+            },
+            &mut sink,
+        );
+        let cfg = tiny_cfg(10_000, 60_000);
+        let r = simulate_with(&mut trace, &mut icache, &cfg, &mut tel);
+        r.validate().expect("invariant");
+        assert!(r.timeline.is_some());
+        let trace_json = sink.into_json();
+        let n = validate_chrome_trace(&trace_json).expect("Perfetto-acceptable trace");
+        assert!(n > 4, "expected metadata, episodes and counters, got {n}");
     }
 
     #[test]

@@ -1,0 +1,1134 @@
+//! In-simulator telemetry: per-slot stall attribution, interval timelines,
+//! and trace-event export.
+//!
+//! Three layers, each optional on top of the previous:
+//!
+//! 1. **Top-down slot attribution** (always on, a handful of integer adds per
+//!    cycle): every fetch-group slot of every measured cycle is classified
+//!    into the closed [`StallClass`] taxonomy, so the breakdown sums
+//!    *exactly* to `cycles × fetch_slots_per_cycle` and `repro diff` can
+//!    gate on it.
+//! 2. **Interval sampler**: with a timeline enabled (or any sink attached),
+//!    every `epoch_cycles` cycles an [`IntervalSample`] snapshots IPC, the
+//!    stall mix, L1-I MPKI and the latest storage-efficiency sample into a
+//!    ring-buffered [`Timeline`] serialized into the run artifact.
+//! 3. **Event sink**: a [`TelemetrySink`] receives stall-episode edges and
+//!    epoch samples. The default is no sink at all (a `None` branch in the
+//!    hot path); [`ChromeTraceSink`] renders the stream as Chrome
+//!    `trace_event` JSON that Perfetto (`ui.perfetto.dev`) opens directly.
+//!
+//! ## Attribution priority
+//!
+//! A cycle can have several simultaneous stall causes; each undelivered slot
+//! is charged to exactly one bucket, decided in this order (top-down, after
+//! Intel's TMA methodology — back-end backpressure outranks front-end
+//! causes because a fetch gap hidden behind a full ROB costs nothing):
+//!
+//! 1. [`StallClass::RobFull`] — the ROB was full at dispatch this cycle;
+//! 2. [`StallClass::IcacheL2`] / [`IcacheL3`](StallClass::IcacheL3) /
+//!    [`IcacheDram`](StallClass::IcacheDram) — fetch is waiting on an L1-I
+//!    fill, split by the hierarchy level serving it ([`FillSource`]);
+//! 3. [`StallClass::IcacheMshr`] — fetch was rejected by a full MSHR file;
+//! 4. [`StallClass::BpuRedirect`] — the FTQ ran dry because runahead is
+//!    blocked on a mispredicted branch;
+//! 5. [`StallClass::BtbMiss`] — the FTQ ran dry because runahead is blocked
+//!    on a taken branch with no BTB/RAS target (decode re-steer);
+//! 6. [`StallClass::FtqEmpty`] — the FTQ is empty for any other reason
+//!    (trace drained, redirect cause unknown);
+//! 7. [`StallClass::Other`] — residual (fetch-group fragmentation: budget
+//!    consumed by sub-ranges that are not a whole number of slots).
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use ubs_core::MissKind;
+use ubs_mem::FillSource;
+
+/// Version of the timeline / telemetry schema, bumped together with the run
+/// manifest schema (`ubs-experiments`): v2 introduced telemetry.
+pub const TIMELINE_SCHEMA_VERSION: u32 = 2;
+
+/// Why a fetch-group slot went undelivered (see the module docs for the
+/// priority order when several causes coincide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StallClass {
+    /// Waiting on an L1-I fill served by the L2.
+    IcacheL2,
+    /// Waiting on an L1-I fill served by the L3.
+    IcacheL3,
+    /// Waiting on an L1-I fill served by DRAM.
+    IcacheDram,
+    /// Fetch rejected because the L1-I MSHR file was full.
+    IcacheMshr,
+    /// FTQ empty: runahead blocked on a mispredicted branch.
+    BpuRedirect,
+    /// FTQ empty: runahead blocked on a BTB/RAS-missed taken branch.
+    BtbMiss,
+    /// FTQ empty for any other reason (e.g. trace drained).
+    FtqEmpty,
+    /// Back-end backpressure: the ROB was full at dispatch.
+    RobFull,
+    /// Residual bucket (fetch-group fragmentation); normally near zero.
+    Other,
+}
+
+impl StallClass {
+    /// Every class, in display order.
+    pub const ALL: [StallClass; 9] = [
+        StallClass::IcacheL2,
+        StallClass::IcacheL3,
+        StallClass::IcacheDram,
+        StallClass::IcacheMshr,
+        StallClass::BpuRedirect,
+        StallClass::BtbMiss,
+        StallClass::FtqEmpty,
+        StallClass::RobFull,
+        StallClass::Other,
+    ];
+
+    /// Stable snake_case name (used as trace-event and JSON keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            StallClass::IcacheL2 => "icache_l2",
+            StallClass::IcacheL3 => "icache_l3",
+            StallClass::IcacheDram => "icache_dram",
+            StallClass::IcacheMshr => "icache_mshr",
+            StallClass::BpuRedirect => "bpu_redirect",
+            StallClass::BtbMiss => "btb_miss",
+            StallClass::FtqEmpty => "ftq_empty",
+            StallClass::RobFull => "rob_full",
+            StallClass::Other => "other",
+        }
+    }
+
+    /// Whether this class is one of the three fill-level i-cache waits.
+    pub fn is_icache_fill(self) -> bool {
+        matches!(
+            self,
+            StallClass::IcacheL2 | StallClass::IcacheL3 | StallClass::IcacheDram
+        )
+    }
+}
+
+/// Slot counts per [`StallClass`], plus the delivered slots. The sum of all
+/// fields is `cycles × fetch_slots_per_cycle` by construction.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize,
+)]
+pub struct StallBreakdown {
+    /// Slots that delivered an instruction.
+    pub delivered: u64,
+    /// Undelivered: waiting on an L2-served L1-I fill.
+    pub icache_l2: u64,
+    /// Undelivered: waiting on an L3-served L1-I fill.
+    pub icache_l3: u64,
+    /// Undelivered: waiting on a DRAM-served L1-I fill.
+    pub icache_dram: u64,
+    /// Undelivered: L1-I MSHR file full.
+    pub icache_mshr: u64,
+    /// Undelivered: FTQ empty behind a mispredicted branch.
+    pub bpu_redirect: u64,
+    /// Undelivered: FTQ empty behind a BTB/RAS-missed taken branch.
+    pub btb_miss: u64,
+    /// Undelivered: FTQ empty, other causes.
+    pub ftq_empty: u64,
+    /// Undelivered: ROB full (back-end bound).
+    pub rob_full: u64,
+    /// Undelivered: residual.
+    pub other: u64,
+}
+
+impl StallBreakdown {
+    /// Adds `slots` to the bucket for `class`.
+    pub fn add(&mut self, class: StallClass, slots: u64) {
+        *self.bucket_mut(class) += slots;
+    }
+
+    /// Slot count of one stall bucket.
+    pub fn get(&self, class: StallClass) -> u64 {
+        match class {
+            StallClass::IcacheL2 => self.icache_l2,
+            StallClass::IcacheL3 => self.icache_l3,
+            StallClass::IcacheDram => self.icache_dram,
+            StallClass::IcacheMshr => self.icache_mshr,
+            StallClass::BpuRedirect => self.bpu_redirect,
+            StallClass::BtbMiss => self.btb_miss,
+            StallClass::FtqEmpty => self.ftq_empty,
+            StallClass::RobFull => self.rob_full,
+            StallClass::Other => self.other,
+        }
+    }
+
+    fn bucket_mut(&mut self, class: StallClass) -> &mut u64 {
+        match class {
+            StallClass::IcacheL2 => &mut self.icache_l2,
+            StallClass::IcacheL3 => &mut self.icache_l3,
+            StallClass::IcacheDram => &mut self.icache_dram,
+            StallClass::IcacheMshr => &mut self.icache_mshr,
+            StallClass::BpuRedirect => &mut self.bpu_redirect,
+            StallClass::BtbMiss => &mut self.btb_miss,
+            StallClass::FtqEmpty => &mut self.ftq_empty,
+            StallClass::RobFull => &mut self.rob_full,
+            StallClass::Other => &mut self.other,
+        }
+    }
+
+    /// Undelivered slots across all stall buckets.
+    pub fn stall_slots(&self) -> u64 {
+        StallClass::ALL.iter().map(|&c| self.get(c)).sum()
+    }
+
+    /// All slots: delivered plus stalled.
+    pub fn total(&self) -> u64 {
+        self.delivered + self.stall_slots()
+    }
+
+    /// Slots waiting on an L1-I fill, any level (excludes MSHR rejects).
+    pub fn icache_fill_slots(&self) -> u64 {
+        self.icache_l2 + self.icache_l3 + self.icache_dram
+    }
+
+    /// Element-wise difference `self - earlier` (breakdowns are cumulative,
+    /// so this yields an epoch delta).
+    pub fn minus(&self, earlier: &StallBreakdown) -> StallBreakdown {
+        let mut d = StallBreakdown {
+            delivered: self.delivered - earlier.delivered,
+            ..StallBreakdown::default()
+        };
+        for c in StallClass::ALL {
+            d.add(c, self.get(c) - earlier.get(c));
+        }
+        d
+    }
+}
+
+/// Whole-run slot attribution, embedded in `SimReport`.
+///
+/// `fetch_slots_per_cycle == 0` marks a report produced before telemetry
+/// existed (or built by hand); such reports skip the sum invariant.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize,
+)]
+pub struct FrontendStalls {
+    /// Fetch-group slots per cycle (fetch width in instructions).
+    pub fetch_slots_per_cycle: u64,
+    /// Per-class slot counts for the measurement window.
+    pub slots: StallBreakdown,
+    /// Fill-wait slots split by the [`MissKind`] of the stalling miss,
+    /// indexed `[Full, MissingSubBlock, Overrun, Underrun]`. Sums to
+    /// `slots.icache_fill_slots()`.
+    pub miss_kind_slots: [u64; 4],
+}
+
+/// Index of `kind` into [`FrontendStalls::miss_kind_slots`].
+pub fn miss_kind_index(kind: MissKind) -> usize {
+    match kind {
+        MissKind::Full => 0,
+        MissKind::MissingSubBlock => 1,
+        MissKind::Overrun => 2,
+        MissKind::Underrun => 3,
+    }
+}
+
+impl FrontendStalls {
+    /// Checks the closed-taxonomy invariants against the measured `cycles`:
+    /// all slots sum to `cycles × fetch_slots_per_cycle`, and the per-kind
+    /// fill split sums to the per-level fill split. No-op for legacy
+    /// reports (`fetch_slots_per_cycle == 0`).
+    pub fn validate(&self, cycles: u64) -> Result<(), String> {
+        if self.fetch_slots_per_cycle == 0 {
+            return Ok(());
+        }
+        let expect = cycles * self.fetch_slots_per_cycle;
+        let got = self.slots.total();
+        if got != expect {
+            return Err(format!(
+                "slot attribution sums to {got}, expected cycles × width = {expect}"
+            ));
+        }
+        let kind_sum: u64 = self.miss_kind_slots.iter().sum();
+        let level_sum = self.slots.icache_fill_slots();
+        if kind_sum != level_sum {
+            return Err(format!(
+                "miss-kind fill slots ({kind_sum}) != per-level fill slots ({level_sum})"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One interval sample of the timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalSample {
+    /// Epoch index since measurement start (monotonic even when the ring
+    /// drops old samples).
+    pub index: u64,
+    /// First cycle of the epoch, relative to measurement start.
+    pub start_cycle: u64,
+    /// Cycles in the epoch (the final epoch may be shorter).
+    pub cycles: u64,
+    /// Instructions committed in the epoch.
+    pub instructions: u64,
+    /// L1-I demand misses in the epoch.
+    pub l1i_misses: u64,
+    /// Slot attribution delta for the epoch.
+    pub stalls: StallBreakdown,
+    /// Latest storage-efficiency sample at the epoch boundary, if any.
+    pub efficiency: Option<f32>,
+}
+
+impl IntervalSample {
+    /// Instructions per cycle over the epoch.
+    pub fn ipc(&self) -> f64 {
+        self.instructions as f64 / self.cycles.max(1) as f64
+    }
+
+    /// L1-I demand misses per kilo-instruction over the epoch.
+    pub fn l1i_mpki(&self) -> f64 {
+        self.l1i_misses as f64 / (self.instructions as f64 / 1000.0).max(1e-9)
+    }
+}
+
+/// The ring-buffered interval timeline of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Schema version ([`TIMELINE_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Configured epoch length in cycles.
+    pub epoch_cycles: u64,
+    /// Fetch-group slots per cycle (denominator of stall shares).
+    pub fetch_slots_per_cycle: u64,
+    /// Samples dropped because the ring was full (oldest first).
+    pub dropped: u64,
+    /// Retained samples, oldest to newest.
+    pub samples: Vec<IntervalSample>,
+}
+
+/// Telemetry configuration, embedded in `SimConfig` (all off by default:
+/// attribution is always on, but no timeline is retained and no sink
+/// attached).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryConfig {
+    /// Interval-sampler epoch in cycles.
+    #[serde(default = "default_epoch_cycles")]
+    pub epoch_cycles: u64,
+    /// Whether to retain the interval timeline in the report.
+    #[serde(default)]
+    pub timeline: bool,
+    /// Ring capacity of the timeline (oldest samples drop beyond this).
+    #[serde(default = "default_timeline_capacity")]
+    pub timeline_capacity: usize,
+}
+
+fn default_epoch_cycles() -> u64 {
+    100_000
+}
+
+fn default_timeline_capacity() -> usize {
+    4096
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            epoch_cycles: default_epoch_cycles(),
+            timeline: false,
+            timeline_capacity: default_timeline_capacity(),
+        }
+    }
+}
+
+/// Receives telemetry events from a run. All methods default to no-ops so a
+/// sink only implements what it needs; with no sink attached the simulator
+/// skips event generation entirely.
+///
+/// Cycles passed to sinks are *absolute* simulator cycles (warmup
+/// included); `on_measurement_start` marks the stats-reset boundary.
+pub trait TelemetrySink {
+    /// Measurement window begins (warmup done, statistics reset).
+    fn on_measurement_start(&mut self, _cycle: u64) {}
+    /// A stall episode (maximal run of cycles with the same class) begins.
+    fn on_stall_begin(&mut self, _cycle: u64, _class: StallClass) {}
+    /// The open stall episode ends (`_cycle` is exclusive).
+    fn on_stall_end(&mut self, _cycle: u64, _class: StallClass) {}
+    /// An interval sample closed at `_end_cycle`.
+    fn on_epoch(&mut self, _end_cycle: u64, _sample: &IntervalSample) {}
+    /// The run is over.
+    fn on_finish(&mut self, _cycle: u64) {}
+}
+
+/// A sink that discards everything (useful for overhead benchmarks).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NopSink;
+
+impl TelemetrySink for NopSink {}
+
+/// One Chrome `trace_event`. Only the subset of the spec the exporter emits
+/// (`X` complete, `C` counter, `i` instant, `M` metadata events).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Event name.
+    pub name: String,
+    /// Category.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub cat: Option<String>,
+    /// Phase: `X` / `C` / `i` / `M`.
+    pub ph: String,
+    /// Timestamp in microseconds (1 simulated cycle = 1 µs).
+    pub ts: u64,
+    /// Duration in microseconds (`X` events only).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub dur: Option<u64>,
+    /// Process id (always 1: the simulated core).
+    pub pid: u64,
+    /// Thread id (1 = front-end stall track).
+    pub tid: u64,
+    /// Instant-event scope (`g` = global).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub s: Option<String>,
+    /// Free-form arguments.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub args: Option<serde_json::Value>,
+}
+
+/// A [`TelemetrySink`] that renders the event stream as Chrome
+/// `trace_event` JSON (the "JSON Array Format" wrapped in `traceEvents`),
+/// openable at `ui.perfetto.dev` or `chrome://tracing`. One simulated cycle
+/// maps to one microsecond of trace time.
+#[derive(Debug)]
+pub struct ChromeTraceSink {
+    events: Vec<TraceEvent>,
+    open: Option<(StallClass, u64)>,
+}
+
+impl ChromeTraceSink {
+    /// An empty sink labelled `label` (shown as the Perfetto process name).
+    pub fn new(label: &str) -> Self {
+        let meta = |name: &str, tid: u64, value: &str| TraceEvent {
+            name: name.to_string(),
+            cat: None,
+            ph: "M".to_string(),
+            ts: 0,
+            dur: None,
+            pid: 1,
+            tid,
+            s: None,
+            args: Some(serde_json::json!({ "name": value })),
+        };
+        ChromeTraceSink {
+            events: vec![
+                meta("process_name", 0, label),
+                meta("thread_name", 1, "front-end stalls"),
+            ],
+            open: None,
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Finalizes the trace: sorts events by timestamp and wraps them in the
+    /// `{"traceEvents": [...]}` object format.
+    pub fn into_json(mut self) -> serde_json::Value {
+        // `M` metadata sorts first at its timestamp (phase `C`/`X`/`i` > `M`
+        // in ASCII order happens to hold, but sort explicitly).
+        self.events
+            .sort_by_key(|e| (e.ts, if e.ph == "M" { 0u8 } else { 1 }));
+        serde_json::json!({
+            "traceEvents": self.events,
+            "displayTimeUnit": "ms",
+        })
+    }
+}
+
+impl TelemetrySink for ChromeTraceSink {
+    fn on_measurement_start(&mut self, cycle: u64) {
+        self.events.push(TraceEvent {
+            name: "measurement_start".to_string(),
+            cat: Some("sim".to_string()),
+            ph: "i".to_string(),
+            ts: cycle,
+            dur: None,
+            pid: 1,
+            tid: 1,
+            s: Some("g".to_string()),
+            args: None,
+        });
+    }
+
+    fn on_stall_begin(&mut self, cycle: u64, class: StallClass) {
+        debug_assert!(self.open.is_none(), "overlapping stall episodes");
+        self.open = Some((class, cycle));
+    }
+
+    fn on_stall_end(&mut self, cycle: u64, class: StallClass) {
+        if let Some((open_class, start)) = self.open.take() {
+            debug_assert_eq!(open_class, class, "mismatched episode class");
+            self.events.push(TraceEvent {
+                name: open_class.label().to_string(),
+                cat: Some("stall".to_string()),
+                ph: "X".to_string(),
+                ts: start,
+                dur: Some(cycle.saturating_sub(start).max(1)),
+                pid: 1,
+                tid: 1,
+                s: None,
+                args: None,
+            });
+        }
+    }
+
+    fn on_epoch(&mut self, end_cycle: u64, sample: &IntervalSample) {
+        let counter = |name: &str, args: serde_json::Value| TraceEvent {
+            name: name.to_string(),
+            cat: Some("interval".to_string()),
+            ph: "C".to_string(),
+            ts: end_cycle,
+            dur: None,
+            pid: 1,
+            tid: 0,
+            s: None,
+            args: Some(args),
+        };
+        self.events
+            .push(counter("ipc", serde_json::json!({ "ipc": sample.ipc() })));
+        self.events.push(counter(
+            "l1i_mpki",
+            serde_json::json!({ "mpki": sample.l1i_mpki() }),
+        ));
+        let mut mix = serde_json::Map::new();
+        for c in StallClass::ALL {
+            mix.insert(
+                c.label().to_string(),
+                serde_json::Value::from(sample.stalls.get(c)),
+            );
+        }
+        self.events
+            .push(counter("stall_slots", serde_json::Value::Object(mix)));
+    }
+
+    fn on_finish(&mut self, cycle: u64) {
+        // Defensive: the driver closes the last episode before finishing.
+        if let Some((class, _)) = self.open {
+            self.on_stall_end(cycle, class);
+        }
+    }
+}
+
+/// Validates Chrome-trace JSON structurally: a `traceEvents` array whose
+/// events have string `name`/`ph`, a non-negative numeric `ts`, monotonic
+/// non-decreasing timestamps (metadata aside), and a `dur` on every `X`
+/// event. Returns the event count.
+pub fn validate_chrome_trace(v: &serde_json::Value) -> Result<usize, String> {
+    let events = v
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .ok_or_else(|| "traceEvents missing or not an array".to_string())?;
+    let mut last_ts = -1.0f64;
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(|x| x.as_str())
+            .ok_or_else(|| format!("event {i}: missing string `ph`"))?;
+        if e.get("name").and_then(|x| x.as_str()).is_none() {
+            return Err(format!("event {i}: missing string `name`"));
+        }
+        if ph == "M" {
+            continue; // metadata carries no timing
+        }
+        let ts = e
+            .get("ts")
+            .and_then(|x| x.as_f64())
+            .ok_or_else(|| format!("event {i}: missing numeric `ts`"))?;
+        if ts < 0.0 {
+            return Err(format!("event {i}: negative ts {ts}"));
+        }
+        if ts < last_ts {
+            return Err(format!(
+                "event {i}: ts {ts} goes backwards (prev {last_ts})"
+            ));
+        }
+        last_ts = ts;
+        if ph == "X" && e.get("dur").and_then(|x| x.as_f64()).is_none() {
+            return Err(format!("event {i}: `X` event without numeric `dur`"));
+        }
+    }
+    Ok(events.len())
+}
+
+struct TimelineRing {
+    samples: VecDeque<IntervalSample>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TimelineRing {
+    fn new(capacity: usize) -> Self {
+        TimelineRing {
+            samples: VecDeque::with_capacity(capacity.min(1024)),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, sample: IntervalSample) {
+        if self.samples.len() >= self.capacity {
+            self.samples.pop_front();
+            self.dropped += 1;
+        }
+        self.samples.push_back(sample);
+    }
+
+    fn clear(&mut self) {
+        self.samples.clear();
+        self.dropped = 0;
+    }
+}
+
+/// The telemetry driver the simulator feeds each cycle. Construct with
+/// [`Telemetry::new`] (attribution only, plus a timeline if the config asks
+/// for one) or [`Telemetry::with_sink`] to also stream events.
+pub struct Telemetry<'s> {
+    cfg: TelemetryConfig,
+    sink: Option<&'s mut dyn TelemetrySink>,
+    slots_per_cycle: u64,
+
+    // Cumulative attribution (reset at measurement start).
+    breakdown: StallBreakdown,
+    kind_slots: [u64; 4],
+    cycles: u64,
+
+    // Stall-episode edge detection (sink only).
+    episode: Option<(StallClass, u64)>,
+
+    // Interval sampler.
+    ring: Option<TimelineRing>,
+    epoch_enabled: bool,
+    epoch_len: u64,
+    epoch_next: u64,
+    epoch_index: u64,
+    epoch_start: u64,
+    epoch_start_instructions: u64,
+    epoch_start_misses: u64,
+    epoch_start_breakdown: StallBreakdown,
+
+    measure_start: u64,
+}
+
+impl std::fmt::Debug for Telemetry<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("cfg", &self.cfg)
+            .field("sink", &self.sink.is_some())
+            .field("cycles", &self.cycles)
+            .field("breakdown", &self.breakdown)
+            .finish()
+    }
+}
+
+impl Telemetry<'static> {
+    /// Attribution (and, if configured, a timeline) with no event sink.
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        Self::build(cfg, None)
+    }
+
+    /// All-default telemetry: attribution only.
+    pub fn disabled() -> Self {
+        Self::new(TelemetryConfig::default())
+    }
+}
+
+impl<'s> Telemetry<'s> {
+    /// Telemetry streaming events into `sink`. The interval sampler runs
+    /// whenever a sink is attached, regardless of `cfg.timeline`.
+    pub fn with_sink(cfg: TelemetryConfig, sink: &'s mut dyn TelemetrySink) -> Self {
+        Self::build(cfg, Some(sink))
+    }
+
+    fn build(cfg: TelemetryConfig, sink: Option<&'s mut dyn TelemetrySink>) -> Self {
+        Telemetry {
+            slots_per_cycle: 0,
+            breakdown: StallBreakdown::default(),
+            kind_slots: [0; 4],
+            cycles: 0,
+            episode: None,
+            ring: None,
+            epoch_enabled: false,
+            epoch_len: cfg.epoch_cycles.max(1),
+            epoch_next: u64::MAX,
+            epoch_index: 0,
+            epoch_start: 0,
+            epoch_start_instructions: 0,
+            epoch_start_misses: 0,
+            epoch_start_breakdown: StallBreakdown::default(),
+            measure_start: 0,
+            sink,
+            cfg,
+        }
+    }
+
+    /// Re-initializes for a run with `slots_per_cycle` fetch slots. Called
+    /// by the simulator before the first cycle; a `Telemetry` may be reused
+    /// across runs.
+    pub fn start(&mut self, slots_per_cycle: u64) {
+        self.slots_per_cycle = slots_per_cycle;
+        self.breakdown = StallBreakdown::default();
+        self.kind_slots = [0; 4];
+        self.cycles = 0;
+        self.episode = None;
+        self.epoch_enabled = self.cfg.timeline || self.sink.is_some();
+        self.epoch_len = self.cfg.epoch_cycles.max(1);
+        self.epoch_next = if self.epoch_enabled { self.epoch_len } else { u64::MAX };
+        self.epoch_index = 0;
+        self.epoch_start = 0;
+        self.epoch_start_instructions = 0;
+        self.epoch_start_misses = 0;
+        self.epoch_start_breakdown = StallBreakdown::default();
+        self.measure_start = 0;
+        self.ring = if self.cfg.timeline {
+            Some(TimelineRing::new(self.cfg.timeline_capacity))
+        } else {
+            None
+        };
+    }
+
+    /// The measurement window begins: zero the cumulative attribution and
+    /// drop warmup-era timeline samples.
+    pub fn begin_measurement(&mut self, now: u64, instructions: u64) {
+        self.breakdown = StallBreakdown::default();
+        self.kind_slots = [0; 4];
+        self.cycles = 0;
+        self.measure_start = now;
+        self.epoch_index = 0;
+        self.epoch_start = now;
+        self.epoch_start_instructions = instructions;
+        self.epoch_start_misses = 0; // L1-I stats were just reset
+        self.epoch_start_breakdown = StallBreakdown::default();
+        if self.epoch_enabled {
+            self.epoch_next = now + self.epoch_len;
+        }
+        if let Some(ring) = &mut self.ring {
+            ring.clear();
+        }
+        if let Some(sink) = &mut self.sink {
+            sink.on_measurement_start(now);
+        }
+    }
+
+    /// Records one cycle: `delivered_slots` slots delivered, the rest (up
+    /// to the fetch width) charged to `class` (`None` means fully
+    /// delivered; an unclassified shortfall lands in [`StallClass::Other`]).
+    /// `kind` is the [`MissKind`] of the stalling miss for fill-wait
+    /// classes.
+    #[inline]
+    pub fn record_cycle(
+        &mut self,
+        now: u64,
+        delivered_slots: u64,
+        class: Option<StallClass>,
+        kind: Option<MissKind>,
+    ) {
+        self.cycles += 1;
+        let delivered = delivered_slots.min(self.slots_per_cycle);
+        self.breakdown.delivered += delivered;
+        let undelivered = self.slots_per_cycle - delivered;
+        let effective = if undelivered > 0 {
+            let c = class.unwrap_or(StallClass::Other);
+            self.breakdown.add(c, undelivered);
+            if c.is_icache_fill() {
+                if let Some(k) = kind {
+                    self.kind_slots[miss_kind_index(k)] += undelivered;
+                } else {
+                    // Fill waits always carry their miss kind; keep the
+                    // kind-vs-level invariant by charging Full.
+                    self.kind_slots[miss_kind_index(MissKind::Full)] += undelivered;
+                }
+            }
+            Some(c)
+        } else {
+            None
+        };
+        if self.sink.is_some() {
+            self.episode_edge(now, effective);
+        }
+    }
+
+    fn episode_edge(&mut self, now: u64, class: Option<StallClass>) {
+        match (self.episode, class) {
+            (Some((open, _)), Some(new)) if open == new => {}
+            (prev, next) => {
+                let sink = self.sink.as_mut().expect("checked by caller");
+                if let Some((open, _)) = prev {
+                    sink.on_stall_end(now, open);
+                }
+                self.episode = next.map(|c| {
+                    sink.on_stall_begin(now, c);
+                    (c, now)
+                });
+            }
+        }
+    }
+
+    /// Whether the current epoch ends at or before `now` (cheap hot-path
+    /// check; `false` whenever the sampler is inactive).
+    #[inline]
+    pub fn epoch_due(&self, now: u64) -> bool {
+        now >= self.epoch_next
+    }
+
+    /// Closes the current epoch at `now`. `instructions` and `l1i_misses`
+    /// are the simulator's cumulative counters; `efficiency` the latest
+    /// storage-efficiency sample.
+    pub fn end_epoch(
+        &mut self,
+        now: u64,
+        instructions: u64,
+        l1i_misses: u64,
+        efficiency: Option<f32>,
+    ) {
+        if now <= self.epoch_start {
+            self.epoch_next = now + self.epoch_len;
+            return;
+        }
+        let sample = IntervalSample {
+            index: self.epoch_index,
+            start_cycle: self.epoch_start.saturating_sub(self.measure_start),
+            cycles: now - self.epoch_start,
+            instructions: instructions.saturating_sub(self.epoch_start_instructions),
+            l1i_misses: l1i_misses.saturating_sub(self.epoch_start_misses),
+            stalls: self.breakdown.minus(&self.epoch_start_breakdown),
+            efficiency,
+        };
+        if let Some(ring) = &mut self.ring {
+            ring.push(sample.clone());
+        }
+        if let Some(sink) = &mut self.sink {
+            sink.on_epoch(now, &sample);
+        }
+        self.epoch_index += 1;
+        self.epoch_start = now;
+        self.epoch_start_instructions = instructions;
+        self.epoch_start_misses = l1i_misses;
+        self.epoch_start_breakdown = self.breakdown;
+        self.epoch_next = now + self.epoch_len;
+    }
+
+    /// Ends the run: emits the final partial epoch, closes any open stall
+    /// episode, and returns the whole-run attribution plus the timeline (if
+    /// one was retained).
+    pub fn finish(
+        &mut self,
+        now: u64,
+        instructions: u64,
+        l1i_misses: u64,
+        efficiency: Option<f32>,
+    ) -> (FrontendStalls, Option<Timeline>) {
+        if self.epoch_enabled && now > self.epoch_start {
+            self.end_epoch(now, instructions, l1i_misses, efficiency);
+        }
+        if let Some((open, _)) = self.episode.take() {
+            if let Some(sink) = &mut self.sink {
+                sink.on_stall_end(now, open);
+            }
+        }
+        if let Some(sink) = &mut self.sink {
+            sink.on_finish(now);
+        }
+        let frontend = FrontendStalls {
+            fetch_slots_per_cycle: self.slots_per_cycle,
+            slots: self.breakdown,
+            miss_kind_slots: self.kind_slots,
+        };
+        let timeline = self.ring.take().map(|ring| Timeline {
+            schema_version: TIMELINE_SCHEMA_VERSION,
+            epoch_cycles: self.epoch_len,
+            fetch_slots_per_cycle: self.slots_per_cycle,
+            dropped: ring.dropped,
+            samples: ring.samples.into_iter().collect(),
+        });
+        (frontend, timeline)
+    }
+
+    /// Cycles recorded since measurement start.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_sums_and_deltas() {
+        let mut b = StallBreakdown::default();
+        b.delivered = 100;
+        b.add(StallClass::IcacheDram, 7);
+        b.add(StallClass::FtqEmpty, 3);
+        assert_eq!(b.stall_slots(), 10);
+        assert_eq!(b.total(), 110);
+        assert_eq!(b.icache_fill_slots(), 7);
+
+        let mut later = b;
+        later.delivered += 50;
+        later.add(StallClass::IcacheDram, 5);
+        let d = later.minus(&b);
+        assert_eq!(d.delivered, 50);
+        assert_eq!(d.get(StallClass::IcacheDram), 5);
+        assert_eq!(d.get(StallClass::FtqEmpty), 0);
+    }
+
+    #[test]
+    fn frontend_validate_catches_bad_sums() {
+        let mut f = FrontendStalls::default();
+        assert!(f.validate(123).is_ok(), "legacy reports skip the check");
+        f.fetch_slots_per_cycle = 4;
+        f.slots.delivered = 36;
+        f.slots.add(StallClass::IcacheL2, 4);
+        f.miss_kind_slots[0] = 4;
+        assert!(f.validate(10).is_ok());
+        assert!(f.validate(11).is_err(), "wrong cycle count must fail");
+        f.miss_kind_slots[0] = 3;
+        assert!(f.validate(10).is_err(), "kind/level mismatch must fail");
+    }
+
+    fn drive(tel: &mut Telemetry<'_>, classes: &[Option<StallClass>]) {
+        tel.start(4);
+        tel.begin_measurement(0, 0);
+        for (i, &c) in classes.iter().enumerate() {
+            let delivered = if c.is_some() { 0 } else { 4 };
+            tel.record_cycle(i as u64 + 1, delivered, c, None);
+        }
+    }
+
+    #[test]
+    fn attribution_always_sums_to_width() {
+        let mut tel = Telemetry::disabled();
+        drive(
+            &mut tel,
+            &[
+                None,
+                Some(StallClass::IcacheDram),
+                Some(StallClass::IcacheDram),
+                Some(StallClass::RobFull),
+                None,
+            ],
+        );
+        let (f, timeline) = tel.finish(5, 20, 2, None);
+        assert!(timeline.is_none(), "no timeline unless configured");
+        assert_eq!(f.fetch_slots_per_cycle, 4);
+        assert_eq!(f.slots.total(), 5 * 4);
+        assert_eq!(f.slots.delivered, 8);
+        assert_eq!(f.slots.icache_dram, 8);
+        assert_eq!(f.slots.rob_full, 4);
+        // Fill waits without an explicit kind are charged as Full misses.
+        assert_eq!(f.miss_kind_slots, [8, 0, 0, 0]);
+        f.validate(5).expect("invariant");
+    }
+
+    #[test]
+    fn partial_delivery_charges_residual() {
+        let mut tel = Telemetry::disabled();
+        tel.start(4);
+        tel.begin_measurement(0, 0);
+        tel.record_cycle(1, 3, Some(StallClass::Other), None);
+        let (f, _) = tel.finish(1, 3, 0, None);
+        assert_eq!(f.slots.delivered, 3);
+        assert_eq!(f.slots.other, 1);
+        f.validate(1).expect("invariant");
+    }
+
+    #[test]
+    fn timeline_epochs_and_partial_tail() {
+        let mut tel = Telemetry::new(TelemetryConfig {
+            epoch_cycles: 10,
+            timeline: true,
+            timeline_capacity: 8,
+        });
+        tel.start(4);
+        tel.begin_measurement(100, 1000);
+        let mut instrs = 1000u64;
+        for cycle in 101..=125 {
+            tel.record_cycle(cycle, 4, None, None);
+            instrs += 4;
+            if tel.epoch_due(cycle) {
+                tel.end_epoch(cycle, instrs, 0, Some(0.5));
+            }
+        }
+        let (_, timeline) = tel.finish(125, instrs, 0, Some(0.5));
+        let t = timeline.expect("timeline configured");
+        assert_eq!(t.schema_version, TIMELINE_SCHEMA_VERSION);
+        assert_eq!(t.dropped, 0);
+        // 10 + 10 + partial 5 cycles.
+        assert_eq!(t.samples.len(), 3);
+        assert_eq!(t.samples[0].start_cycle, 0);
+        assert_eq!(t.samples[0].cycles, 10);
+        assert_eq!(t.samples[1].start_cycle, 10);
+        assert_eq!(t.samples[2].cycles, 5);
+        assert_eq!(t.samples[2].index, 2);
+        assert_eq!(t.samples.iter().map(|s| s.instructions).sum::<u64>(), 100);
+        assert!((t.samples[0].ipc() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_shorter_than_one_epoch_yields_one_sample() {
+        let mut tel = Telemetry::new(TelemetryConfig {
+            epoch_cycles: 1000,
+            timeline: true,
+            timeline_capacity: 8,
+        });
+        tel.start(4);
+        tel.begin_measurement(0, 0);
+        for cycle in 1..=7 {
+            tel.record_cycle(cycle, 4, None, None);
+            assert!(!tel.epoch_due(cycle));
+        }
+        let (_, timeline) = tel.finish(7, 28, 0, None);
+        let t = timeline.expect("timeline configured");
+        assert_eq!(t.samples.len(), 1);
+        assert_eq!(t.samples[0].cycles, 7);
+        assert_eq!(t.samples[0].instructions, 28);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut tel = Telemetry::new(TelemetryConfig {
+            epoch_cycles: 1,
+            timeline: true,
+            timeline_capacity: 3,
+        });
+        tel.start(4);
+        tel.begin_measurement(0, 0);
+        for cycle in 1..=5 {
+            tel.record_cycle(cycle, 4, None, None);
+            if tel.epoch_due(cycle) {
+                tel.end_epoch(cycle, cycle * 4, 0, None);
+            }
+        }
+        let (_, timeline) = tel.finish(5, 20, 0, None);
+        let t = timeline.expect("timeline configured");
+        assert_eq!(t.samples.len(), 3);
+        assert_eq!(t.dropped, 2);
+        assert_eq!(t.samples.first().unwrap().index, 2, "oldest dropped");
+        assert_eq!(t.samples.last().unwrap().index, 4);
+    }
+
+    #[test]
+    fn timeline_serde_roundtrip() {
+        let mut tel = Telemetry::new(TelemetryConfig {
+            epoch_cycles: 5,
+            timeline: true,
+            timeline_capacity: 16,
+        });
+        tel.start(4);
+        tel.begin_measurement(0, 0);
+        for cycle in 1..=12 {
+            let class = (cycle % 3 == 0).then_some(StallClass::IcacheL3);
+            let delivered = if class.is_some() { 0 } else { 4 };
+            tel.record_cycle(cycle, delivered, class, Some(MissKind::Overrun));
+            if tel.epoch_due(cycle) {
+                tel.end_epoch(cycle, cycle * 3, cycle / 3, Some(0.25));
+            }
+        }
+        let (f, timeline) = tel.finish(12, 36, 4, Some(0.25));
+        f.validate(12).expect("invariant");
+        let t = timeline.expect("timeline configured");
+        let body = serde_json::to_string(&t).expect("serialize");
+        let back: Timeline = serde_json::from_str(&body).expect("deserialize");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn chrome_sink_produces_valid_trace() {
+        let mut sink = ChromeTraceSink::new("unit");
+        let mut tel = Telemetry::with_sink(
+            TelemetryConfig {
+                epoch_cycles: 4,
+                timeline: false,
+                timeline_capacity: 8,
+            },
+            &mut sink,
+        );
+        tel.start(4);
+        tel.begin_measurement(0, 0);
+        let script = [
+            None,
+            Some(StallClass::IcacheDram),
+            Some(StallClass::IcacheDram),
+            Some(StallClass::BpuRedirect),
+            None,
+            Some(StallClass::FtqEmpty),
+        ];
+        for (i, &c) in script.iter().enumerate() {
+            let cycle = i as u64 + 1;
+            let delivered = if c.is_some() { 0 } else { 4 };
+            tel.record_cycle(cycle, delivered, c, None);
+            if tel.epoch_due(cycle) {
+                tel.end_epoch(cycle, cycle * 2, 1, None);
+            }
+        }
+        let (f, _) = tel.finish(6, 12, 2, None);
+        f.validate(6).expect("invariant");
+
+        let trace = sink.into_json();
+        let n = validate_chrome_trace(&trace).expect("valid trace");
+        assert!(n >= 6, "expected metadata + episodes + counters, got {n}");
+        let events = trace["traceEvents"].as_array().unwrap();
+        let durations: Vec<(&str, u64, u64)> = events
+            .iter()
+            .filter(|e| e["ph"] == "X")
+            .map(|e| {
+                (
+                    e["name"].as_str().unwrap(),
+                    e["ts"].as_u64().unwrap(),
+                    e["dur"].as_u64().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            durations,
+            vec![
+                ("icache_dram", 2, 2),
+                ("bpu_redirect", 4, 1),
+                ("ftq_empty", 6, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn chrome_validator_rejects_malformed() {
+        let bad = serde_json::json!({ "events": [] });
+        assert!(validate_chrome_trace(&bad).is_err());
+
+        let backwards = serde_json::json!({
+            "traceEvents": [
+                { "name": "a", "ph": "i", "ts": 10, "pid": 1, "tid": 1 },
+                { "name": "b", "ph": "i", "ts": 5, "pid": 1, "tid": 1 },
+            ]
+        });
+        assert!(validate_chrome_trace(&backwards)
+            .unwrap_err()
+            .contains("backwards"));
+
+        let no_dur = serde_json::json!({
+            "traceEvents": [
+                { "name": "a", "ph": "X", "ts": 1, "pid": 1, "tid": 1 },
+            ]
+        });
+        assert!(validate_chrome_trace(&no_dur).unwrap_err().contains("dur"));
+    }
+
+    #[test]
+    fn telemetry_config_serde_defaults() {
+        let cfg: TelemetryConfig = serde_json::from_str("{}").expect("defaults");
+        assert_eq!(cfg, TelemetryConfig::default());
+        assert_eq!(cfg.epoch_cycles, 100_000);
+        assert!(!cfg.timeline);
+    }
+}
