@@ -1,0 +1,132 @@
+//! Micro-benchmarks of the shared storage engine's hot-path structures.
+//!
+//! The headline comparison: the engine's flat [`PendingFills`] table against
+//! the `HashMap<Line, ByteMask>` it replaced in every design's miss path.
+//! MSHR capacity bounds the table at a handful of entries, so a linear scan
+//! over a contiguous array beats hashing — no SipHash, no allocation, no
+//! pointer chasing.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::collections::HashMap;
+use std::hint::black_box;
+use ubs_core::{PendingFills, SetArray};
+use ubs_mem::PolicyKind;
+use ubs_trace::Line;
+
+/// Operations per benchmark iteration.
+const OPS: usize = 10_000;
+
+/// An MSHR-shaped workload: at most `cap` lines in flight at once, each
+/// merged into a few times before being removed — the exact access pattern
+/// `FillEngine` drives on every miss and fill completion.
+fn pending_ops(cap: usize) -> Vec<(u64, u8, bool)> {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut xorshift = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut in_flight: Vec<u64> = Vec::new();
+    let mut ops = Vec::with_capacity(OPS);
+    for _ in 0..OPS {
+        let r = xorshift();
+        if in_flight.len() == cap || (!in_flight.is_empty() && r % 4 == 0) {
+            // Complete the oldest fill.
+            let line = in_flight.remove(0);
+            ops.push((line, 0, true));
+        } else {
+            // Merge into a random in-flight line, or allocate a new one.
+            let line = if !in_flight.is_empty() && r % 3 != 0 {
+                in_flight[(r >> 8) as usize % in_flight.len()]
+            } else {
+                let l = r >> 16;
+                in_flight.push(l);
+                l
+            };
+            ops.push((line, (r & 0xff) as u8, false));
+        }
+    }
+    ops
+}
+
+fn bench_pending_fills(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pending-fills");
+    group.throughput(Throughput::Elements(OPS as u64));
+
+    for cap in [8usize, 16] {
+        let ops = pending_ops(cap);
+
+        group.bench_function(&format!("flat-{cap}"), |b| {
+            b.iter(|| {
+                let mut pending: PendingFills<u64> = PendingFills::with_capacity(cap);
+                let mut acc = 0u64;
+                for &(line, mask, complete) in &ops {
+                    let line = Line::from_number(line);
+                    if complete {
+                        acc = acc.wrapping_add(pending.remove(line).unwrap_or(0));
+                    } else {
+                        *pending.entry_or(line, 0) |= u64::from(mask);
+                    }
+                }
+                black_box(acc)
+            })
+        });
+
+        group.bench_function(&format!("hashmap-{cap}"), |b| {
+            b.iter(|| {
+                let mut pending: HashMap<Line, u64> = HashMap::new();
+                let mut acc = 0u64;
+                for &(line, mask, complete) in &ops {
+                    let line = Line::from_number(line);
+                    if complete {
+                        acc = acc.wrapping_add(pending.remove(&line).unwrap_or(0));
+                    } else {
+                        *pending.entry(line).or_insert(0) |= u64::from(mask);
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The engine's flat tag array on a conventional-cache access pattern:
+/// lookups with occasional fills, all within one contiguous allocation.
+fn bench_set_array(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set-array");
+    group.throughput(Throughput::Elements(OPS as u64));
+
+    group.bench_function("access-fill-64x8", |b| {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let keys: Vec<u64> = (0..OPS)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state % 4096
+            })
+            .collect();
+        b.iter(|| {
+            let mut arr: SetArray<u64> = SetArray::new(64, 8, PolicyKind::Lru);
+            let mut hits = 0u64;
+            for &k in &keys {
+                if arr.access(k) {
+                    hits += 1;
+                } else {
+                    arr.fill(k, k);
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_pending_fills, bench_set_array
+}
+criterion_main!(benches);

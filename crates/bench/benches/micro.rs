@@ -2,7 +2,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
-use ubs_core::{AccessResult, ConvL1i, InstructionCache, PredictorConfig, UbsCache, UsefulBytePredictor};
+use ubs_core::{
+    AccessResult, ConvL1i, InstructionCache, PredictorConfig, UbsCache, UsefulBytePredictor,
+};
 use ubs_mem::MemoryHierarchy;
 use ubs_trace::synth::{Profile, SyntheticTrace, WorkloadSpec};
 use ubs_trace::{FetchRange, Line, TraceSource};

@@ -7,12 +7,17 @@
 //! block admits it. Streaming, never-reused code therefore cannot pollute
 //! the cache. Like GHRP, the mechanism operates at whole-block granularity
 //! and is complementary to UBS.
+//!
+//! Built on the shared [`engine`](crate::engine): the policy delta is the
+//! reuse filter and the admission bit carried in the pending payload.
 
+use crate::engine::{
+    demand_mask, push_efficiency_sample, DemandFetch, EngineConfig, FillEngine, SetArray,
+};
 use crate::icache::{debug_check_range, InstructionCache};
-use crate::stats::{range_mask, AccessResult, ByteMask, IcacheStats, MissKind};
+use crate::stats::{AccessResult, ByteMask, IcacheStats, MissKind};
 use crate::storage::{conv_storage, StorageBreakdown};
-use std::collections::HashMap;
-use ubs_mem::{CacheConfig, MemoryHierarchy, MshrFile, SetAssocCache};
+use ubs_mem::{MemoryHierarchy, PolicyKind};
 use ubs_trace::{FetchRange, Line};
 
 /// Entries in the reuse filter (tags only).
@@ -22,12 +27,12 @@ const FILTER_ENTRIES: usize = 1024;
 #[derive(Debug)]
 pub struct AcicL1i {
     name: String,
-    cache: SetAssocCache<ByteMask>,
+    cache: SetArray<ByteMask>,
     /// Reuse filter: direct-mapped tag store of recently missed lines.
     filter: Vec<Option<u64>>,
-    mshrs: MshrFile,
-    /// Pending fills: demanded bytes + whether the fill was admitted.
-    pending: HashMap<Line, (ByteMask, bool)>,
+    /// Pending fills carry the demanded bytes + whether the fill was
+    /// admitted.
+    engine: FillEngine<(ByteMask, bool)>,
     stats: IcacheStats,
     size_bytes: usize,
     ways: usize,
@@ -38,13 +43,11 @@ pub struct AcicL1i {
 impl AcicL1i {
     /// An ACIC cache of `size_bytes` with `ways` ways.
     pub fn new(name: impl Into<String>, size_bytes: usize, ways: usize) -> Self {
-        let name = name.into();
         AcicL1i {
-            cache: SetAssocCache::new(CacheConfig::lru(name.clone(), size_bytes, ways)),
-            name,
+            cache: SetArray::new(size_bytes / 64 / ways, ways, PolicyKind::Lru),
+            name: name.into(),
             filter: vec![None; FILTER_ENTRIES],
-            mshrs: MshrFile::new(8),
-            pending: HashMap::new(),
+            engine: FillEngine::new(EngineConfig::paper_default()),
             stats: IcacheStats::default(),
             size_bytes,
             ways,
@@ -87,7 +90,7 @@ impl InstructionCache for AcicL1i {
         debug_check_range(&range);
         self.stats.accesses += 1;
         let line = Line::containing(range.start);
-        let req = range_mask(range.start_offset(), range.bytes.min(64) as u8);
+        let req = demand_mask(&range);
 
         if self.cache.access(line.number()) {
             if let Some(used) = self.cache.meta_mut(line.number()) {
@@ -97,35 +100,26 @@ impl InstructionCache for AcicL1i {
             return AccessResult::Hit;
         }
 
-        let (ready_at, fill) = if let Some(existing) = self.mshrs.get(line).copied() {
-            if existing.is_prefetch {
-                self.stats.late_prefetch_merges += 1;
+        let (ready_at, fill) = match self.engine.demand_fetch(line, now, mem, &mut self.stats) {
+            DemandFetch::Merged { ready_at, fill } => {
+                // A merged demand miss is itself reuse evidence: admit.
+                if let Some(p) = self.engine.pending().get_mut(line) {
+                    p.0 |= req;
+                    p.1 = true;
+                }
+                self.stats.count_miss(MissKind::Full);
+                return AccessResult::Miss {
+                    ready_at,
+                    kind: MissKind::Full,
+                    fill,
+                };
             }
-            self.mshrs.allocate(line, existing.ready_at, false, existing.source);
-            // A merged demand miss is itself reuse evidence: admit.
-            if let Some(p) = self.pending.get_mut(&line) {
-                p.0 |= req;
-                p.1 = true;
-            }
-            self.stats.count_miss(MissKind::Full);
-            return AccessResult::Miss {
-                ready_at: existing.ready_at,
-                kind: MissKind::Full,
-                fill: existing.source,
-            };
-        } else {
-            if self.mshrs.is_full() {
-                self.stats.mshr_full_rejects += 1;
-                return AccessResult::MshrFull;
-            }
-            let fill = mem.fetch_block(line, now + self.latency());
-            self.stats.count_fill(fill.source);
-            self.mshrs.allocate(line, fill.ready_at, false, fill.source);
-            (fill.ready_at, fill.source)
+            DemandFetch::Rejected => return AccessResult::MshrFull,
+            DemandFetch::Fresh { ready_at, fill } => (ready_at, fill),
         };
         let admit = self.admit(line);
         self.stats.count_miss(MissKind::Full);
-        let p = self.pending.entry(line).or_insert((0, admit));
+        let p = self.engine.pending().entry_or(line, (0, admit));
         p.0 |= req;
         p.1 |= admit;
         AccessResult::Miss {
@@ -138,29 +132,24 @@ impl InstructionCache for AcicL1i {
     fn prefetch(&mut self, range: FetchRange, now: u64, mem: &mut MemoryHierarchy) {
         debug_check_range(&range);
         let line = Line::containing(range.start);
-        if self.cache.touch(line.number())
-            || self.mshrs.get(line).is_some()
-            || self.mshrs.is_full()
-        {
+        if self.cache.touch(line.number()) || self.engine.in_flight(line) {
             return;
         }
         // FDIP-initiated fills are admitted unconditionally: the prefetcher
         // only requests blocks on the predicted fetch path, which is itself
         // reuse evidence (admission control targets demand-streamed code).
-        let fill = mem.fetch_block(line, now + self.latency());
-        self.stats.count_fill(fill.source);
-        self.mshrs.allocate(line, fill.ready_at, true, fill.source);
-        self.pending.entry(line).or_insert((0, true));
-        self.stats.prefetches_issued += 1;
+        if self.engine.prefetch_fetch(line, now, mem, &mut self.stats) {
+            self.engine.pending().entry_or(line, (0, true));
+        }
     }
 
     fn tick(&mut self, now: u64, _mem: &mut MemoryHierarchy) {
-        for mshr in self.mshrs.drain_ready(now) {
-            let (mask, admit) = self.pending.remove(&mshr.line).unwrap_or((0, false));
+        for fill in self.engine.drain_completed(now) {
+            let (mask, admit) = fill.payload.unwrap_or((0, false));
             if admit {
                 self.admitted += 1;
-                if let Some(ev) = self.cache.fill(mshr.line.number(), mask) {
-                    self.stats.count_eviction(ev.meta.count_ones());
+                if let Some((_, used)) = self.cache.fill(fill.line.number(), mask) {
+                    self.stats.count_eviction(used.count_ones());
                 }
             } else {
                 self.rejected += 1;
@@ -175,11 +164,7 @@ impl InstructionCache for AcicL1i {
             resident += 64;
             used += mask.count_ones() as u64;
         }
-        if resident > 0 {
-            self.stats
-                .efficiency_samples
-                .push((used as f64 / resident as f64) as f32);
-        }
+        push_efficiency_sample(&mut self.stats, resident, used);
     }
 
     fn stats(&self) -> &IcacheStats {
@@ -188,7 +173,6 @@ impl InstructionCache for AcicL1i {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
-        self.cache.reset_stats();
     }
 
     fn storage(&self) -> StorageBreakdown {

@@ -19,12 +19,12 @@
 //! tracking — a *favourable* simplification for Amoeba, so UBS winning the
 //! comparison is not an artifact of a weak opponent.
 
+use crate::engine::{demand_mask, push_efficiency_sample, EngineConfig, FillEngine};
 use crate::icache::{debug_check_range, InstructionCache, L1I_LATENCY};
 use crate::predictor::{PredictorConfig, UsefulBytePredictor};
 use crate::stats::{range_mask, AccessResult, ByteMask, IcacheStats, MissKind};
 use crate::storage::{tag_bits, StorageBreakdown};
-use std::collections::HashMap;
-use ubs_mem::{MemoryHierarchy, MshrFile};
+use ubs_mem::MemoryHierarchy;
 use ubs_trace::{FetchRange, Line};
 
 /// Storage charged per resident block for tag + start/len metadata, in
@@ -89,8 +89,7 @@ pub struct AmoebaL1i {
     cfg: AmoebaConfig,
     sets: Vec<Vec<AmoebaBlock>>,
     predictor: UsefulBytePredictor,
-    mshrs: MshrFile,
-    pending_masks: HashMap<Line, ByteMask>,
+    engine: FillEngine<ByteMask>,
     clock: u64,
     stats: IcacheStats,
     /// Inserts that needed more than one eviction (the paper's complexity
@@ -109,8 +108,10 @@ impl AmoebaL1i {
         AmoebaL1i {
             sets: vec![Vec::new(); cfg.sets],
             predictor: UsefulBytePredictor::new(cfg.predictor.clone()),
-            mshrs: MshrFile::new(cfg.mshr_entries),
-            pending_masks: HashMap::new(),
+            engine: FillEngine::new(EngineConfig {
+                mshr_entries: cfg.mshr_entries,
+                latency: L1I_LATENCY,
+            }),
             clock: 0,
             stats: IcacheStats::default(),
             multi_evict_inserts: 0,
@@ -252,7 +253,7 @@ impl InstructionCache for AmoebaL1i {
         debug_check_range(&range);
         self.stats.accesses += 1;
         let line = Line::containing(range.start);
-        let req = range_mask(range.start_offset(), range.bytes.min(64) as u8);
+        let req = demand_mask(&range);
 
         if self.predictor.lookup_mark(line, req) {
             self.stats.hits += 1;
@@ -275,31 +276,14 @@ impl InstructionCache for AmoebaL1i {
         }
 
         let kind = self.classify_miss(set, line, req);
-        let (ready_at, fill) = if let Some(existing) = self.mshrs.get(line).copied() {
-            if existing.is_prefetch {
-                self.stats.late_prefetch_merges += 1;
-            }
-            self.mshrs.allocate(line, existing.ready_at, false, existing.source);
-            (existing.ready_at, existing.source)
-        } else {
-            if self.mshrs.is_full() {
-                self.stats.mshr_full_rejects += 1;
-                return AccessResult::MshrFull;
-            }
-            let fill = mem.fetch_block(line, now + self.latency());
-            self.stats.count_fill(fill.source);
-            self.mshrs.allocate(line, fill.ready_at, false, fill.source);
-            (fill.ready_at, fill.source)
-        };
-        self.stats.count_miss(kind);
-        *self.pending_masks.entry(line).or_insert(0) |= req;
-        AccessResult::Miss { ready_at, kind, fill }
+        self.engine
+            .demand_miss(line, req, kind, now, mem, &mut self.stats)
     }
 
     fn prefetch(&mut self, range: FetchRange, now: u64, mem: &mut MemoryHierarchy) {
         debug_check_range(&range);
         let line = Line::containing(range.start);
-        let req = range_mask(range.start_offset(), range.bytes.min(64) as u8);
+        let req = demand_mask(&range);
         if self.predictor.merge_mask(line, req) {
             self.predictor.touch(line);
             return;
@@ -312,24 +296,18 @@ impl InstructionCache for AmoebaL1i {
         {
             return;
         }
-        if self.mshrs.get(line).is_some() {
-            *self.pending_masks.entry(line).or_insert(0) |= req;
+        if self.engine.in_flight(line) {
+            *self.engine.pending().entry_or(line, 0) |= req;
             return;
         }
-        if self.mshrs.is_full() {
-            return;
+        if self.engine.prefetch_fetch(line, now, mem, &mut self.stats) {
+            *self.engine.pending().entry_or(line, 0) |= req;
         }
-        let fill = mem.fetch_block(line, now + self.latency());
-        self.stats.count_fill(fill.source);
-        self.mshrs.allocate(line, fill.ready_at, true, fill.source);
-        *self.pending_masks.entry(line).or_insert(0) |= req;
-        self.stats.prefetches_issued += 1;
     }
 
     fn tick(&mut self, now: u64, _mem: &mut MemoryHierarchy) {
-        for mshr in self.mshrs.drain_ready(now) {
-            let mask = self.pending_masks.remove(&mshr.line).unwrap_or(0);
-            self.install_into_predictor(mshr.line, mask);
+        for fill in self.engine.drain_completed(now) {
+            self.install_into_predictor(fill.line, fill.payload.unwrap_or(0));
         }
     }
 
@@ -345,11 +323,7 @@ impl InstructionCache for AmoebaL1i {
         let (pb, pu) = self.predictor.usage();
         resident += pb as u64 * 64;
         used += pu;
-        if resident > 0 {
-            self.stats
-                .efficiency_samples
-                .push((used as f64 / resident as f64) as f32);
-        }
+        push_efficiency_sample(&mut self.stats, resident, used);
     }
 
     fn stats(&self) -> &IcacheStats {
@@ -401,11 +375,17 @@ mod tests {
         let mut c = AmoebaL1i::paper_default();
         let mut m = mem();
         let t0 = fill(&mut c, &mut m, range(0, 12), 0);
-        assert!(matches!(c.access(range(0, 12), t0, &mut m), AccessResult::Hit));
+        assert!(matches!(
+            c.access(range(0, 12), t0, &mut m),
+            AccessResult::Hit
+        ));
         // Conflict-evict from the predictor (64 sets).
         let t1 = fill(&mut c, &mut m, range(64 * 64, 4), t0 + 10);
         // The 12-byte range now lives as a variable-size block.
-        assert!(matches!(c.access(range(0, 12), t1, &mut m), AccessResult::Hit));
+        assert!(matches!(
+            c.access(range(0, 12), t1, &mut m),
+            AccessResult::Hit
+        ));
         let set = c.set_of(Line::from_number(0));
         let idx = c.matching(set, Line::from_number(0));
         assert_eq!(idx.len(), 1);

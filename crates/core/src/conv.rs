@@ -4,12 +4,15 @@
 //! instrumented with byte-granular usage tracking so that the motivation
 //! studies (Fig. 1 byte-usage CDF, Fig. 2 storage-efficiency distribution,
 //! Fig. 4 touch-window analysis) fall out of ordinary simulation runs.
+//!
+//! Built on the shared [`engine`](crate::engine): the policy delta here is
+//! just the usage/touch-window metadata and per-set miss counters.
 
+use crate::engine::{demand_mask, push_efficiency_sample, EngineConfig, FillEngine, SetArray};
 use crate::icache::{debug_check_range, InstructionCache, L1I_LATENCY};
-use crate::stats::{range_mask, AccessResult, ByteMask, IcacheStats, MissKind};
+use crate::stats::{AccessResult, ByteMask, IcacheStats, MissKind};
 use crate::storage::{conv_storage, StorageBreakdown};
-use std::collections::HashMap;
-use ubs_mem::{Allocate, CacheConfig, MemoryHierarchy, MshrFile, SetAssocCache};
+use ubs_mem::{MemoryHierarchy, PolicyKind};
 use ubs_trace::{FetchRange, Line};
 
 /// Byte-usage metadata carried by each resident block.
@@ -27,12 +30,10 @@ pub(crate) struct UsageMeta {
 #[derive(Debug)]
 pub struct ConvL1i {
     name: String,
-    cache: SetAssocCache<UsageMeta>,
-    mshrs: MshrFile,
-    pending_masks: HashMap<Line, ByteMask>,
+    cache: SetArray<UsageMeta>,
+    engine: FillEngine<ByteMask>,
     set_misses: Vec<u64>,
     stats: IcacheStats,
-    latency: u64,
     size_bytes: usize,
     ways: usize,
 }
@@ -50,18 +51,22 @@ impl ConvL1i {
 
     /// A conventional L1-I of `size_bytes` with `ways` ways and
     /// `mshr_entries` MSHRs.
-    pub fn new(name: impl Into<String>, size_bytes: usize, ways: usize, mshr_entries: usize) -> Self {
-        let name = name.into();
-        let cache = SetAssocCache::new(CacheConfig::lru(name.clone(), size_bytes, ways));
-        let sets = cache.num_sets();
+    pub fn new(
+        name: impl Into<String>,
+        size_bytes: usize,
+        ways: usize,
+        mshr_entries: usize,
+    ) -> Self {
+        let sets = size_bytes / 64 / ways;
         ConvL1i {
-            name,
-            cache,
-            mshrs: MshrFile::new(mshr_entries),
-            pending_masks: HashMap::new(),
+            name: name.into(),
+            cache: SetArray::new(sets, ways, PolicyKind::Lru),
+            engine: FillEngine::new(EngineConfig {
+                mshr_entries,
+                latency: L1I_LATENCY,
+            }),
             set_misses: vec![0; sets],
             stats: IcacheStats::default(),
-            latency: L1I_LATENCY,
             size_bytes,
             ways,
         }
@@ -99,9 +104,8 @@ impl ConvL1i {
             within: [initial_mask; 4],
             inserted_at_miss: self.set_misses[set],
         };
-        if let Some(ev) = self.cache.fill(line.number(), meta) {
-            let m = ev.meta;
-            self.record_eviction(&m);
+        if let Some((_, old)) = self.cache.fill(line.number(), meta) {
+            self.record_eviction(&old);
         }
     }
 
@@ -118,14 +122,14 @@ impl InstructionCache for ConvL1i {
     }
 
     fn latency(&self) -> u64 {
-        self.latency
+        self.engine.latency()
     }
 
     fn access(&mut self, range: FetchRange, now: u64, mem: &mut MemoryHierarchy) -> AccessResult {
         debug_check_range(&range);
         self.stats.accesses += 1;
         let line = Line::containing(range.start);
-        let mask = range_mask(range.start_offset(), range.bytes.min(64) as u8);
+        let mask = demand_mask(&range);
 
         if self.cache.access(line.number()) {
             self.mark_used(line, mask);
@@ -134,54 +138,28 @@ impl InstructionCache for ConvL1i {
         }
 
         // Demand miss: merge with an in-flight request, or start a new one.
-        let (ready_at, fill) = if let Some(existing) = self.mshrs.get(line).copied() {
-            if existing.is_prefetch {
-                self.stats.late_prefetch_merges += 1;
-            }
-            match self.mshrs.allocate(line, existing.ready_at, false, existing.source) {
-                Allocate::Merged { ready_at, .. } => (ready_at, existing.source),
-                other => unreachable!("existing entry must merge, got {other:?}"),
-            }
-        } else {
-            if self.mshrs.is_full() {
-                self.stats.mshr_full_rejects += 1;
-                return AccessResult::MshrFull;
-            }
-            let fill = mem.fetch_block(line, now + self.latency);
-            self.stats.count_fill(fill.source);
-            self.mshrs.allocate(line, fill.ready_at, false, fill.source);
-            (fill.ready_at, fill.source)
-        };
-        self.stats.count_miss(MissKind::Full);
-        let set = self.cache.set_index(line.number());
-        self.set_misses[set] += 1;
-        *self.pending_masks.entry(line).or_insert(0) |= mask;
-        AccessResult::Miss {
-            ready_at,
-            kind: MissKind::Full,
-            fill,
+        let result = self
+            .engine
+            .demand_miss(line, mask, MissKind::Full, now, mem, &mut self.stats);
+        if matches!(result, AccessResult::Miss { .. }) {
+            let set = self.cache.set_index(line.number());
+            self.set_misses[set] += 1;
         }
+        result
     }
 
     fn prefetch(&mut self, range: FetchRange, now: u64, mem: &mut MemoryHierarchy) {
         debug_check_range(&range);
         let line = Line::containing(range.start);
-        if self.cache.touch(line.number()) || self.mshrs.get(line).is_some() {
+        if self.cache.touch(line.number()) || self.engine.in_flight(line) {
             return;
         }
-        if self.mshrs.is_full() {
-            return; // prefetches are droppable
-        }
-        let fill = mem.fetch_block(line, now + self.latency);
-        self.stats.count_fill(fill.source);
-        self.mshrs.allocate(line, fill.ready_at, true, fill.source);
-        self.stats.prefetches_issued += 1;
+        self.engine.prefetch_fetch(line, now, mem, &mut self.stats);
     }
 
     fn tick(&mut self, now: u64, _mem: &mut MemoryHierarchy) {
-        for mshr in self.mshrs.drain_ready(now) {
-            let mask = self.pending_masks.remove(&mshr.line).unwrap_or(0);
-            self.install(mshr.line, mask);
+        for fill in self.engine.drain_completed(now) {
+            self.install(fill.line, fill.payload.unwrap_or(0));
         }
     }
 
@@ -192,11 +170,7 @@ impl InstructionCache for ConvL1i {
             resident_bytes += 64;
             used_bytes += meta.used.count_ones() as u64;
         }
-        if resident_bytes > 0 {
-            self.stats
-                .efficiency_samples
-                .push((used_bytes as f64 / resident_bytes as f64) as f32);
-        }
+        push_efficiency_sample(&mut self.stats, resident_bytes, used_bytes);
     }
 
     fn stats(&self) -> &IcacheStats {
@@ -205,7 +179,6 @@ impl InstructionCache for ConvL1i {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
-        self.cache.reset_stats();
     }
 
     fn storage(&self) -> StorageBreakdown {
@@ -331,7 +304,10 @@ mod tests {
             other => panic!("{other:?}"),
         };
         c.tick(ready, &mut m);
-        assert!(matches!(c.access(range(8, 4), ready, &mut m), AccessResult::Hit));
+        assert!(matches!(
+            c.access(range(8, 4), ready, &mut m),
+            AccessResult::Hit
+        ));
         // Cause 2 more misses in set 0.
         for i in 1..3u64 {
             let ready = match c.access(range(i * 64 * 64, 4), 10_000 * i, &mut m) {

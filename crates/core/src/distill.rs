@@ -9,12 +9,15 @@
 //! the design cannot track the instruction stream's spatial-locality
 //! variability the way UBS's sixteen way sizes can — which is the point of
 //! the comparison.
+//!
+//! Built on the shared [`engine`](crate::engine): the policy delta is the
+//! LOC/WOC split and the distillation step on LOC evictions.
 
+use crate::engine::{demand_mask, push_efficiency_sample, EngineConfig, FillEngine, SetArray};
 use crate::icache::{debug_check_range, InstructionCache};
 use crate::stats::{range_mask, AccessResult, ByteMask, IcacheStats, MissKind};
 use crate::storage::{conv_storage, small_block_storage, StorageBreakdown};
-use std::collections::HashMap;
-use ubs_mem::{CacheConfig, MemoryHierarchy, MshrFile, PolicyKind, SetAssocCache};
+use ubs_mem::{MemoryHierarchy, PolicyKind};
 use ubs_trace::{FetchRange, Line};
 
 /// Word size of the WOC in bytes (the original design's granularity).
@@ -25,12 +28,11 @@ const WORD_BYTES: u64 = 8;
 pub struct DistillL1i {
     name: String,
     /// Line-organized half: 64-byte blocks with used-byte masks.
-    loc: SetAssocCache<ByteMask>,
+    loc: SetArray<ByteMask>,
     /// Word-organized half: 8-byte words keyed by `addr / 8`; metadata is
     /// the used-byte mask in absolute block positions.
-    woc: SetAssocCache<ByteMask>,
-    mshrs: MshrFile,
-    pending_masks: HashMap<Line, ByteMask>,
+    woc: SetArray<ByteMask>,
+    engine: FillEngine<ByteMask>,
     stats: IcacheStats,
     loc_bytes: usize,
     woc_bytes: usize,
@@ -40,26 +42,23 @@ impl DistillL1i {
     /// A distillation cache splitting `size_bytes` half/half between LOC
     /// and WOC (the original paper's configuration).
     pub fn new(name: impl Into<String>, size_bytes: usize) -> Self {
-        let name = name.into();
         let loc_bytes = size_bytes / 2;
         let woc_bytes = size_bytes - loc_bytes;
-        let loc = SetAssocCache::new(CacheConfig::lru(format!("{name}-loc"), loc_bytes, 4));
+        let loc_ways = 4;
+        let loc = SetArray::new(loc_bytes / 64 / loc_ways, loc_ways, PolicyKind::Lru);
         // WOC: same set count as typical L1-I, high word associativity.
         let woc_sets = 64;
-        let woc_ways = woc_bytes / (woc_sets * WORD_BYTES as usize);
-        let woc = SetAssocCache::new(CacheConfig {
-            name: format!("{name}-woc"),
-            size_bytes: woc_bytes,
-            ways: woc_ways.max(1),
-            block_bytes: WORD_BYTES as usize,
-            policy: PolicyKind::Lru,
-        });
+        let woc_ways = (woc_bytes / (woc_sets * WORD_BYTES as usize)).max(1);
+        let woc = SetArray::new(
+            woc_bytes / WORD_BYTES as usize / woc_ways,
+            woc_ways,
+            PolicyKind::Lru,
+        );
         DistillL1i {
-            name,
+            name: name.into(),
             loc,
             woc,
-            mshrs: MshrFile::new(8),
-            pending_masks: HashMap::new(),
+            engine: FillEngine::new(EngineConfig::paper_default()),
             stats: IcacheStats::default(),
             loc_bytes,
             woc_bytes,
@@ -93,17 +92,17 @@ impl DistillL1i {
             let key = base_word + w;
             let span = Self::word_span(key);
             if used & span != 0 {
-                if let Some(ev) = self.woc.fill(key, used & span) {
+                if let Some((_, dead)) = self.woc.fill(key, used & span) {
                     // A WOC word dies for good; count its bytes.
-                    self.stats.count_eviction(ev.meta.count_ones());
+                    self.stats.count_eviction(dead.count_ones());
                 }
             }
         }
     }
 
     fn install(&mut self, line: Line, mask: ByteMask) {
-        if let Some(ev) = self.loc.fill(line.number(), mask) {
-            self.distill(ev.line(), ev.meta);
+        if let Some((key, used)) = self.loc.fill(line.number(), mask) {
+            self.distill(Line::from_number(key), used);
         }
     }
 }
@@ -117,7 +116,7 @@ impl InstructionCache for DistillL1i {
         debug_check_range(&range);
         self.stats.accesses += 1;
         let line = Line::containing(range.start);
-        let req = range_mask(range.start_offset(), range.bytes.min(64) as u8);
+        let req = demand_mask(&range);
 
         if self.loc.access(line.number()) {
             if let Some(used) = self.loc.meta_mut(line.number()) {
@@ -144,46 +143,22 @@ impl InstructionCache for DistillL1i {
         } else {
             MissKind::Full
         };
-        let (ready_at, fill) = if let Some(existing) = self.mshrs.get(line).copied() {
-            if existing.is_prefetch {
-                self.stats.late_prefetch_merges += 1;
-            }
-            self.mshrs.allocate(line, existing.ready_at, false, existing.source);
-            (existing.ready_at, existing.source)
-        } else {
-            if self.mshrs.is_full() {
-                self.stats.mshr_full_rejects += 1;
-                return AccessResult::MshrFull;
-            }
-            let fill = mem.fetch_block(line, now + self.latency());
-            self.stats.count_fill(fill.source);
-            self.mshrs.allocate(line, fill.ready_at, false, fill.source);
-            (fill.ready_at, fill.source)
-        };
-        self.stats.count_miss(kind);
-        *self.pending_masks.entry(line).or_insert(0) |= req;
-        AccessResult::Miss { ready_at, kind, fill }
+        self.engine
+            .demand_miss(line, req, kind, now, mem, &mut self.stats)
     }
 
     fn prefetch(&mut self, range: FetchRange, now: u64, mem: &mut MemoryHierarchy) {
         debug_check_range(&range);
         let line = Line::containing(range.start);
-        if self.loc.touch(line.number())
-            || self.mshrs.get(line).is_some()
-            || self.mshrs.is_full()
-        {
+        if self.loc.touch(line.number()) || self.engine.in_flight(line) {
             return;
         }
-        let fill = mem.fetch_block(line, now + self.latency());
-        self.stats.count_fill(fill.source);
-        self.mshrs.allocate(line, fill.ready_at, true, fill.source);
-        self.stats.prefetches_issued += 1;
+        self.engine.prefetch_fetch(line, now, mem, &mut self.stats);
     }
 
     fn tick(&mut self, now: u64, _mem: &mut MemoryHierarchy) {
-        for mshr in self.mshrs.drain_ready(now) {
-            let mask = self.pending_masks.remove(&mshr.line).unwrap_or(0);
-            self.install(mshr.line, mask);
+        for fill in self.engine.drain_completed(now) {
+            self.install(fill.line, fill.payload.unwrap_or(0));
         }
     }
 
@@ -198,11 +173,7 @@ impl InstructionCache for DistillL1i {
             resident += WORD_BYTES;
             used += mask.count_ones() as u64;
         }
-        if resident > 0 {
-            self.stats
-                .efficiency_samples
-                .push((used as f64 / resident as f64) as f32);
-        }
+        push_efficiency_sample(&mut self.stats, resident, used);
     }
 
     fn stats(&self) -> &IcacheStats {
@@ -211,8 +182,6 @@ impl InstructionCache for DistillL1i {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
-        self.loc.reset_stats();
-        self.woc.reset_stats();
     }
 
     fn storage(&self) -> StorageBreakdown {
@@ -265,7 +234,10 @@ mod tests {
         let mut c = DistillL1i::paper_default();
         let mut m = mem();
         let t = fill(&mut c, &mut m, range(0x100, 16), 0);
-        assert!(matches!(c.access(range(0x100, 16), t, &mut m), AccessResult::Hit));
+        assert!(matches!(
+            c.access(range(0x100, 16), t, &mut m),
+            AccessResult::Hit
+        ));
     }
 
     #[test]
@@ -280,7 +252,10 @@ mod tests {
         }
         // Line 0 evicted from LOC; its used word 0 must hit via the WOC.
         assert!(!c.loc.contains(0));
-        assert!(matches!(c.access(range(0, 8), now, &mut m), AccessResult::Hit));
+        assert!(matches!(
+            c.access(range(0, 8), now, &mut m),
+            AccessResult::Hit
+        ));
         // Unused words of line 0 are gone.
         assert!(matches!(
             c.access(range(32, 8), now, &mut m),

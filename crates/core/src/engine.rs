@@ -1,0 +1,830 @@
+//! The shared L1-I storage engine.
+//!
+//! Every design in this crate models the same three mechanisms: a
+//! set-associative tag array, a miss-handling path (MSHRs plus the
+//! byte-masks demanded while a fill is in flight), and fill-completion
+//! polling. Before this module existed each of the seven designs carried
+//! its own copy — seven `HashMap<Line, ByteMask>` pending tables, seven
+//! transcriptions of the MSHR merge/reject/fetch protocol, seven `tick()`
+//! drains. The engine centralizes them:
+//!
+//! - [`SetArray`]: a flat, cache-friendly tag array (sets × ways
+//!   contiguous, tags separate from metadata so lookups scan a dense
+//!   `u64` row) driving a [`Replacement`] policy from `ubs_mem`. It
+//!   offers both a way-level API (UBS, GHRP) and the key-level API of
+//!   [`ubs_mem::SetAssocCache`] (conventional-style designs).
+//! - [`PendingFills`]: a bounded flat table of per-line fill payloads.
+//!   Capacity equals the MSHR count, so a linear scan over at most eight
+//!   entries replaces hashing and allocation on the access path.
+//! - [`FillEngine`]: MSHRs + pending payloads + fetch latency, with the
+//!   demand/prefetch/drain protocol — including the exact order of
+//!   statistics updates — implemented once.
+//!
+//! A design built on the engine reduces to its policy delta: what a hit
+//! requires, how a completed fill installs, and which victim to evict.
+
+use crate::stats::{range_mask, AccessResult, ByteMask, IcacheStats, MissKind};
+use ubs_mem::replacement::Replacement;
+use ubs_mem::{FillSource, MemoryHierarchy, MshrFile, PolicyKind};
+use ubs_trace::{FetchRange, Line};
+
+/// The demanded byte-mask of a fetch range within its 64-byte block.
+#[inline]
+pub fn demand_mask(range: &FetchRange) -> ByteMask {
+    range_mask(range.start_offset(), range.bytes.min(64) as u8)
+}
+
+/// Pushes a storage-efficiency sample (`used / resident`) if anything is
+/// resident. Every design samples through this helper so the metric is
+/// computed uniformly.
+#[inline]
+pub fn push_efficiency_sample(stats: &mut IcacheStats, resident_bytes: u64, used_bytes: u64) {
+    if resident_bytes > 0 {
+        stats
+            .efficiency_samples
+            .push((used_bytes as f64 / resident_bytes as f64) as f32);
+    }
+}
+
+/// Miss-path parameters shared by every design (MSHR count and hit
+/// latency; Table II: 8 entries, 4 cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// MSHR entries.
+    pub mshr_entries: usize,
+    /// Hit latency in cycles (added to `now` when fetching a block).
+    pub latency: u64,
+}
+
+impl EngineConfig {
+    /// The paper's configuration: 8 MSHRs, 4-cycle latency.
+    pub fn paper_default() -> Self {
+        EngineConfig {
+            mshr_entries: 8,
+            latency: crate::icache::L1I_LATENCY,
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PendingFills
+// ---------------------------------------------------------------------------
+
+/// A bounded table of per-line fill payloads (demanded byte-masks plus any
+/// design-specific state), keyed by [`Line`].
+///
+/// At most one payload can exist per in-flight MSHR, so the table is a
+/// fixed-capacity flat array searched linearly — no hashing, no
+/// allocation after construction. `P` is `ByteMask` for most designs;
+/// GHRP carries `(ByteMask, signature)` and ACIC `(ByteMask, admitted)`.
+#[derive(Debug, Clone)]
+pub struct PendingFills<P> {
+    slots: Vec<(Line, P)>,
+}
+
+impl<P> PendingFills<P> {
+    /// An empty table sized for `capacity` in-flight fills.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PendingFills {
+            slots: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of lines with pending payloads.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no payloads are pending.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    #[inline]
+    fn position(&self, line: Line) -> Option<usize> {
+        self.slots.iter().position(|(l, _)| *l == line)
+    }
+
+    /// Mutable payload for `line`, inserting `default` if absent
+    /// (the `HashMap::entry(..).or_insert(..)` idiom).
+    pub fn entry_or(&mut self, line: Line, default: P) -> &mut P {
+        match self.position(line) {
+            Some(i) => &mut self.slots[i].1,
+            None => {
+                self.slots.push((line, default));
+                &mut self.slots.last_mut().expect("just pushed").1
+            }
+        }
+    }
+
+    /// Mutable payload for `line`, if present.
+    pub fn get_mut(&mut self, line: Line) -> Option<&mut P> {
+        let i = self.position(line)?;
+        Some(&mut self.slots[i].1)
+    }
+
+    /// Removes and returns the payload for `line`.
+    pub fn remove(&mut self, line: Line) -> Option<P> {
+        let i = self.position(line)?;
+        Some(self.slots.swap_remove(i).1)
+    }
+
+    /// Drops all payloads.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FillEngine
+// ---------------------------------------------------------------------------
+
+/// Outcome of [`FillEngine::demand_fetch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DemandFetch {
+    /// A new fetch was sent to the hierarchy.
+    Fresh {
+        /// Cycle the block arrives.
+        ready_at: u64,
+        /// Hierarchy level satisfying the fetch.
+        fill: FillSource,
+    },
+    /// The block was already in flight; the request merged with it.
+    Merged {
+        /// Arrival cycle of the pre-existing request.
+        ready_at: u64,
+        /// Fill source of the pre-existing request.
+        fill: FillSource,
+    },
+    /// The MSHR file is full; the requester must retry.
+    Rejected,
+}
+
+/// A fill whose data has arrived, with its pending payload (if any
+/// requester recorded one while it was in flight).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedFill<P> {
+    /// The 64-byte block that arrived.
+    pub line: Line,
+    /// Whether the request that fetched it was (still) a prefetch.
+    pub is_prefetch: bool,
+    /// The payload accumulated while in flight.
+    pub payload: Option<P>,
+}
+
+/// The shared miss-handling path: MSHRs, pending payloads, fetch latency.
+///
+/// The three entry points mirror the three places every design touches
+/// the miss path, preserving the exact statistics protocol:
+///
+/// - [`demand_fetch`](Self::demand_fetch): merge with an in-flight
+///   request (counting a late-prefetch merge when it promotes one),
+///   reject when full (counting the reject), or fetch (counting the fill
+///   by source *before* allocating the MSHR).
+/// - [`prefetch_fetch`](Self::prefetch_fetch): drop silently when full,
+///   else fetch, allocate a prefetch entry and count the issue.
+/// - [`drain_completed`](Self::drain_completed): pop every arrived fill
+///   with its pending payload, in MSHR allocation order.
+#[derive(Debug)]
+pub struct FillEngine<P> {
+    mshrs: MshrFile,
+    pending: PendingFills<P>,
+    latency: u64,
+}
+
+impl<P> FillEngine<P> {
+    /// An engine with `cfg.mshr_entries` MSHRs and `cfg.latency` cycles of
+    /// hit latency.
+    pub fn new(cfg: EngineConfig) -> Self {
+        FillEngine {
+            mshrs: MshrFile::new(cfg.mshr_entries),
+            pending: PendingFills::with_capacity(cfg.mshr_entries),
+            latency: cfg.latency,
+        }
+    }
+
+    /// The configured hit latency.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Whether a fetch of `line` is in flight.
+    pub fn in_flight(&self, line: Line) -> bool {
+        self.mshrs.get(line).is_some()
+    }
+
+    /// Whether the MSHR file is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.mshrs.is_full()
+    }
+
+    /// Earliest arrival cycle among in-flight fetches.
+    pub fn next_ready_at(&self) -> Option<u64> {
+        self.mshrs.next_ready_at()
+    }
+
+    /// The pending payload table.
+    pub fn pending(&mut self) -> &mut PendingFills<P> {
+        &mut self.pending
+    }
+
+    /// Requests `line` on behalf of a demand miss.
+    ///
+    /// Merges with an in-flight request (counting a late-prefetch merge if
+    /// it promotes a prefetch), rejects when the file is full (counting
+    /// the reject), or sends a fetch to the hierarchy (counting the fill
+    /// by source). The caller classifies and counts the miss itself —
+    /// miss accounting is a policy decision (ACIC counts a merged miss on
+    /// a different path than a fresh one).
+    pub fn demand_fetch(
+        &mut self,
+        line: Line,
+        now: u64,
+        mem: &mut MemoryHierarchy,
+        stats: &mut IcacheStats,
+    ) -> DemandFetch {
+        if let Some(existing) = self.mshrs.get(line).copied() {
+            if existing.is_prefetch {
+                stats.late_prefetch_merges += 1;
+            }
+            self.mshrs
+                .allocate(line, existing.ready_at, false, existing.source);
+            DemandFetch::Merged {
+                ready_at: existing.ready_at,
+                fill: existing.source,
+            }
+        } else {
+            if self.mshrs.is_full() {
+                stats.mshr_full_rejects += 1;
+                return DemandFetch::Rejected;
+            }
+            let fill = mem.fetch_block(line, now + self.latency);
+            stats.count_fill(fill.source);
+            self.mshrs.allocate(line, fill.ready_at, false, fill.source);
+            DemandFetch::Fresh {
+                ready_at: fill.ready_at,
+                fill: fill.source,
+            }
+        }
+    }
+
+    /// Requests `line` on behalf of a prefetcher. Returns whether the
+    /// fetch was issued (prefetches are droppable: a full MSHR file drops
+    /// silently). The caller must have checked [`in_flight`](Self::in_flight)
+    /// first — merging is the caller's policy decision.
+    pub fn prefetch_fetch(
+        &mut self,
+        line: Line,
+        now: u64,
+        mem: &mut MemoryHierarchy,
+        stats: &mut IcacheStats,
+    ) -> bool {
+        if self.mshrs.is_full() {
+            return false;
+        }
+        let fill = mem.fetch_block(line, now + self.latency);
+        stats.count_fill(fill.source);
+        self.mshrs.allocate(line, fill.ready_at, true, fill.source);
+        stats.prefetches_issued += 1;
+        true
+    }
+
+    /// Removes and returns every fill whose data has arrived by `now`,
+    /// paired with its pending payload, in MSHR allocation order. Returns
+    /// without scanning payloads when nothing is ready (the per-cycle
+    /// fast path).
+    pub fn drain_completed(&mut self, now: u64) -> Vec<CompletedFill<P>> {
+        if self.mshrs.next_ready_at().is_none_or(|t| t > now) {
+            return Vec::new();
+        }
+        self.mshrs
+            .drain_ready(now)
+            .into_iter()
+            .map(|m| CompletedFill {
+                line: m.line,
+                is_prefetch: m.is_prefetch,
+                payload: self.pending.remove(m.line),
+            })
+            .collect()
+    }
+}
+
+impl FillEngine<ByteMask> {
+    /// The complete demand-miss tail for designs whose pending payload is
+    /// a plain byte-mask: fetch (or merge/reject), count the classified
+    /// miss, accumulate the demanded bytes, and build the access result.
+    pub fn demand_miss(
+        &mut self,
+        line: Line,
+        req: ByteMask,
+        kind: MissKind,
+        now: u64,
+        mem: &mut MemoryHierarchy,
+        stats: &mut IcacheStats,
+    ) -> AccessResult {
+        let (ready_at, fill) = match self.demand_fetch(line, now, mem, stats) {
+            DemandFetch::Rejected => return AccessResult::MshrFull,
+            DemandFetch::Fresh { ready_at, fill } | DemandFetch::Merged { ready_at, fill } => {
+                (ready_at, fill)
+            }
+        };
+        stats.count_miss(kind);
+        *self.pending.entry_or(line, 0) |= req;
+        AccessResult::Miss {
+            ready_at,
+            kind,
+            fill,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SetArray
+// ---------------------------------------------------------------------------
+
+/// Tag value of an empty way.
+const INVALID_TAG: u64 = u64::MAX;
+
+/// A flat set-associative tag array with per-way metadata `E` and a
+/// pluggable [`Replacement`] policy.
+///
+/// Tags and metadata live in separate `sets × ways` vectors: a lookup
+/// scans a dense row of `u64` tags without dragging metadata through the
+/// cache. A way is empty iff its tag is `u64::MAX` (no block key reaches
+/// that value: keys are `addr / block_bytes`).
+///
+/// Two API levels coexist:
+///
+/// - **key-level** ([`access`](Self::access), [`touch`](Self::touch),
+///   [`fill`](Self::fill), [`meta_mut`](Self::meta_mut), …) matches
+///   [`ubs_mem::SetAssocCache`] for conventional-style designs, where one
+///   key occupies at most one way;
+/// - **way-level** ([`find_matching`](Self::find_matching),
+///   [`install_at`](Self::install_at), [`take`](Self::take),
+///   [`victim_among`](Self::victim_among), …) serves UBS and GHRP, which
+///   keep several sub-blocks of one line or pick victims themselves.
+#[derive(Debug)]
+pub struct SetArray<E> {
+    sets: usize,
+    ways: usize,
+    tags: Vec<u64>,
+    metas: Vec<E>,
+    policy: Box<dyn Replacement + Send>,
+    /// Scratch candidate buffer for victim selection (retained capacity,
+    /// so steady-state victim picks allocate nothing).
+    scratch: Vec<usize>,
+}
+
+impl<E: Default> SetArray<E> {
+    /// An empty array of `sets × ways` slots under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-sized geometry.
+    pub fn new(sets: usize, ways: usize, policy: PolicyKind) -> Self {
+        assert!(sets > 0 && ways > 0, "degenerate geometry {sets}x{ways}");
+        let mut metas = Vec::with_capacity(sets * ways);
+        metas.resize_with(sets * ways, E::default);
+        SetArray {
+            sets,
+            ways,
+            tags: vec![INVALID_TAG; sets * ways],
+            metas,
+            policy: policy.build(sets, ways),
+            scratch: Vec::with_capacity(ways),
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Number of ways.
+    pub fn num_ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Set index for `key`.
+    #[inline]
+    pub fn set_index(&self, key: u64) -> usize {
+        (key % self.sets as u64) as usize
+    }
+
+    #[inline]
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    /// The key stored in `(set, way)`, or `None` if the way is empty.
+    #[inline]
+    pub fn tag(&self, set: usize, way: usize) -> Option<u64> {
+        let t = self.tags[self.slot(set, way)];
+        (t != INVALID_TAG).then_some(t)
+    }
+
+    /// Metadata of `(set, way)` if the way holds a block.
+    #[inline]
+    pub fn get(&self, set: usize, way: usize) -> Option<&E> {
+        let idx = self.slot(set, way);
+        (self.tags[idx] != INVALID_TAG).then(|| &self.metas[idx])
+    }
+
+    /// Mutable metadata of `(set, way)` if the way holds a block.
+    #[inline]
+    pub fn get_mut(&mut self, set: usize, way: usize) -> Option<&mut E> {
+        let idx = self.slot(set, way);
+        (self.tags[idx] != INVALID_TAG).then(|| &mut self.metas[idx])
+    }
+
+    /// The way of `set` holding `key`, if any.
+    #[inline]
+    pub fn find(&self, set: usize, key: u64) -> Option<usize> {
+        let base = set * self.ways;
+        self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == key)
+    }
+
+    /// Ways of `set` holding `key` (several, for designs keeping multiple
+    /// sub-blocks of one line). Allocation-free.
+    #[inline]
+    pub fn find_matching(&self, set: usize, key: u64) -> impl Iterator<Item = usize> + '_ {
+        let base = set * self.ways;
+        self.tags[base..base + self.ways]
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &t)| t == key)
+            .map(|(w, _)| w)
+    }
+
+    /// First empty way of `set`, if any.
+    #[inline]
+    pub fn first_empty(&self, set: usize) -> Option<usize> {
+        let base = set * self.ways;
+        self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == INVALID_TAG)
+    }
+
+    /// Notes a recency-updating touch on `(set, way)`.
+    pub fn touch_way(&mut self, set: usize, way: usize) {
+        self.policy.on_hit(set, way);
+    }
+
+    /// Installs `key` into `(set, way)`, returning the displaced block
+    /// (key and metadata) if the way was occupied.
+    pub fn install_at(&mut self, set: usize, way: usize, key: u64, meta: E) -> Option<(u64, E)> {
+        debug_assert_ne!(key, INVALID_TAG, "key collides with the invalid tag");
+        let idx = self.slot(set, way);
+        let old_tag = self.tags[idx];
+        let old = (old_tag != INVALID_TAG).then(|| (old_tag, std::mem::take(&mut self.metas[idx])));
+        self.tags[idx] = key;
+        self.metas[idx] = meta;
+        self.policy.on_fill(set, way);
+        old
+    }
+
+    /// Removes the block in `(set, way)`, returning its key and metadata.
+    /// The slot becomes maximally replaceable.
+    pub fn take(&mut self, set: usize, way: usize) -> Option<(u64, E)> {
+        let idx = self.slot(set, way);
+        let tag = self.tags[idx];
+        if tag == INVALID_TAG {
+            return None;
+        }
+        self.tags[idx] = INVALID_TAG;
+        self.policy.on_invalidate(set, way);
+        Some((tag, std::mem::take(&mut self.metas[idx])))
+    }
+
+    /// Picks a victim among `candidates` via the replacement policy.
+    /// Candidates are collected into a retained scratch buffer, so the
+    /// steady state allocates nothing.
+    pub fn victim_among(&mut self, set: usize, candidates: impl Iterator<Item = usize>) -> usize {
+        self.scratch.clear();
+        self.scratch.extend(candidates);
+        self.policy.victim(set, &self.scratch)
+    }
+
+    // -- key-level API (SetAssocCache-compatible) ---------------------------
+
+    /// Whether `key` is resident (no recency update).
+    pub fn contains(&self, key: u64) -> bool {
+        self.find(self.set_index(key), key).is_some()
+    }
+
+    /// Demand access: returns `true` on presence and updates recency.
+    pub fn access(&mut self, key: u64) -> bool {
+        let set = self.set_index(key);
+        match self.find(set, key) {
+            Some(way) => {
+                self.policy.on_hit(set, way);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Recency-updating probe (identical to [`access`](Self::access); kept
+    /// separate to mirror the demand/prefetch distinction at call sites).
+    pub fn touch(&mut self, key: u64) -> bool {
+        self.access(key)
+    }
+
+    /// Mutable metadata for a resident `key`.
+    pub fn meta_mut(&mut self, key: u64) -> Option<&mut E> {
+        let set = self.set_index(key);
+        let way = self.find(set, key)?;
+        let idx = self.slot(set, way);
+        Some(&mut self.metas[idx])
+    }
+
+    /// Inserts `key`, preferring an empty way, else the policy victim over
+    /// all ways; returns the evicted block's key and metadata, if any.
+    ///
+    /// Filling an already-present key replaces its metadata and refreshes
+    /// recency without evicting anything.
+    pub fn fill(&mut self, key: u64, meta: E) -> Option<(u64, E)> {
+        let set = self.set_index(key);
+        if let Some(way) = self.find(set, key) {
+            let idx = self.slot(set, way);
+            self.metas[idx] = meta;
+            self.policy.on_fill(set, way);
+            return None;
+        }
+        let way = self.first_empty(set).unwrap_or_else(|| {
+            self.scratch.clear();
+            self.scratch.extend(0..self.ways);
+            self.policy.victim(set, &self.scratch)
+        });
+        self.install_at(set, way, key, meta)
+    }
+
+    /// Iterates over all resident blocks as `(key, &meta)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &E)> + '_ {
+        self.tags
+            .iter()
+            .zip(&self.metas)
+            .filter(|(&t, _)| t != INVALID_TAG)
+            .map(|(&t, m)| (t, m))
+    }
+
+    /// Number of resident blocks.
+    pub fn occupancy(&self) -> usize {
+        self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> Line {
+        Line::from_number(n)
+    }
+
+    // -- PendingFills -------------------------------------------------------
+
+    #[test]
+    fn pending_entry_merges_and_removes() {
+        let mut p: PendingFills<ByteMask> = PendingFills::with_capacity(4);
+        *p.entry_or(line(1), 0) |= 0b0011;
+        *p.entry_or(line(1), 0) |= 0b1100;
+        *p.entry_or(line(2), 0) |= 0xf0;
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.remove(line(1)), Some(0b1111));
+        assert_eq!(p.remove(line(1)), None);
+        assert_eq!(p.get_mut(line(2)).copied(), Some(0xf0));
+        p.clear();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn pending_matches_hashmap_semantics() {
+        use std::collections::HashMap;
+        let mut flat: PendingFills<ByteMask> = PendingFills::with_capacity(8);
+        let mut map: HashMap<Line, ByteMask> = HashMap::new();
+        // Deterministic pseudo-random workload of merges and removals.
+        let mut x = 0x1234_5678_u64;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let l = line(x % 16);
+            if x.is_multiple_of(5) {
+                assert_eq!(flat.remove(l), map.remove(&l));
+            } else {
+                let bit = 1u64 << (x % 64);
+                *flat.entry_or(l, 0) |= bit;
+                *map.entry(l).or_insert(0) |= bit;
+            }
+        }
+        for n in 0..16 {
+            assert_eq!(flat.remove(line(n)), map.remove(&line(n)), "line {n}");
+        }
+    }
+
+    // -- FillEngine ---------------------------------------------------------
+
+    fn mem() -> MemoryHierarchy {
+        MemoryHierarchy::paper()
+    }
+
+    fn engine() -> FillEngine<ByteMask> {
+        FillEngine::new(EngineConfig {
+            mshr_entries: 2,
+            latency: 4,
+        })
+    }
+
+    #[test]
+    fn demand_fetch_counts_fill_and_merges() {
+        let mut e = engine();
+        let mut m = mem();
+        let mut s = IcacheStats::default();
+        let first = e.demand_fetch(line(1), 0, &mut m, &mut s);
+        assert!(matches!(first, DemandFetch::Fresh { .. }));
+        assert_eq!(s.fills_total(), 1);
+        // Second demand to the same line merges without a new fill.
+        let second = e.demand_fetch(line(1), 1, &mut m, &mut s);
+        match (first, second) {
+            (DemandFetch::Fresh { ready_at: a, .. }, DemandFetch::Merged { ready_at: b, .. }) => {
+                assert_eq!(a, b, "merge keeps original timing");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.fills_total(), 1);
+        assert_eq!(s.late_prefetch_merges, 0);
+    }
+
+    #[test]
+    fn demand_on_prefetch_counts_late_merge() {
+        let mut e = engine();
+        let mut m = mem();
+        let mut s = IcacheStats::default();
+        assert!(e.prefetch_fetch(line(7), 0, &mut m, &mut s));
+        assert_eq!(s.prefetches_issued, 1);
+        assert!(matches!(
+            e.demand_fetch(line(7), 1, &mut m, &mut s),
+            DemandFetch::Merged { .. }
+        ));
+        assert_eq!(s.late_prefetch_merges, 1);
+    }
+
+    #[test]
+    fn full_mshrs_reject_demand_and_drop_prefetch() {
+        let mut e = engine();
+        let mut m = mem();
+        let mut s = IcacheStats::default();
+        e.demand_fetch(line(1), 0, &mut m, &mut s);
+        e.demand_fetch(line(2), 0, &mut m, &mut s);
+        assert!(matches!(
+            e.demand_fetch(line(3), 0, &mut m, &mut s),
+            DemandFetch::Rejected
+        ));
+        assert_eq!(s.mshr_full_rejects, 1);
+        assert!(!e.prefetch_fetch(line(4), 0, &mut m, &mut s));
+        assert_eq!(s.prefetches_issued, 0);
+    }
+
+    #[test]
+    fn drain_returns_payloads_in_allocation_order() {
+        let mut e = engine();
+        let mut m = mem();
+        let mut s = IcacheStats::default();
+        let t1 = match e.demand_fetch(line(1), 0, &mut m, &mut s) {
+            DemandFetch::Fresh { ready_at, .. } => ready_at,
+            other => panic!("{other:?}"),
+        };
+        *e.pending().entry_or(line(1), 0) |= 0xff;
+        let t2 = match e.demand_fetch(line(2), 0, &mut m, &mut s) {
+            DemandFetch::Fresh { ready_at, .. } => ready_at,
+            other => panic!("{other:?}"),
+        };
+        let done = e.drain_completed(t1.max(t2));
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].line, line(1));
+        assert_eq!(done[0].payload, Some(0xff));
+        assert_eq!(done[1].line, line(2));
+        assert_eq!(done[1].payload, None);
+        assert!(e.drain_completed(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn demand_miss_builds_result_and_accumulates_mask() {
+        let mut e = engine();
+        let mut m = mem();
+        let mut s = IcacheStats::default();
+        let r = e.demand_miss(line(9), 0x0f, MissKind::Full, 0, &mut m, &mut s);
+        let ready = match r {
+            AccessResult::Miss {
+                ready_at,
+                kind: MissKind::Full,
+                ..
+            } => ready_at,
+            other => panic!("{other:?}"),
+        };
+        e.demand_miss(line(9), 0xf0, MissKind::Full, 1, &mut m, &mut s);
+        assert_eq!(s.full_misses, 2);
+        assert_eq!(s.fills_total(), 1);
+        let done = e.drain_completed(ready);
+        assert_eq!(done[0].payload, Some(0xff));
+    }
+
+    // -- SetArray -----------------------------------------------------------
+
+    #[test]
+    fn key_level_fill_access_evict() {
+        // 2 sets × 2 ways; keys 0, 2, 4 collide in set 0.
+        let mut a: SetArray<u32> = SetArray::new(2, 2, PolicyKind::Lru);
+        assert!(!a.access(0));
+        assert!(a.fill(0, 10).is_none());
+        assert!(a.fill(2, 20).is_none());
+        assert!(a.access(0)); // 0 MRU, 2 LRU
+        let (k, v) = a.fill(4, 30).expect("must evict");
+        assert_eq!((k, v), (2, 20));
+        assert!(a.contains(0) && a.contains(4) && !a.contains(2));
+        assert_eq!(a.occupancy(), 2);
+    }
+
+    #[test]
+    fn refill_existing_key_replaces_without_eviction() {
+        let mut a: SetArray<u32> = SetArray::new(2, 2, PolicyKind::Lru);
+        a.fill(0, 1);
+        a.fill(2, 2);
+        assert!(a.fill(0, 9).is_none());
+        assert_eq!(a.meta_mut(0).copied(), Some(9));
+        assert!(a.contains(2));
+    }
+
+    #[test]
+    fn way_level_install_take_and_matching() {
+        let mut a: SetArray<ByteMask> = SetArray::new(4, 3, PolicyKind::Lru);
+        // Two sub-blocks of key 8 in set 0 (way-level: duplicates allowed).
+        assert!(a.install_at(0, 0, 8, 0x0f).is_none());
+        assert!(a.install_at(0, 2, 8, 0xf0).is_none());
+        let ways: Vec<usize> = a.find_matching(0, 8).collect();
+        assert_eq!(ways, vec![0, 2]);
+        assert_eq!(a.first_empty(0), Some(1));
+        let (tag, meta) = a.take(0, 2).expect("occupied");
+        assert_eq!((tag, meta), (8, 0xf0));
+        assert_eq!(a.take(0, 2), None);
+        let displaced = a.install_at(0, 0, 12, 0xff).expect("displaces");
+        assert_eq!(displaced, (8, 0x0f));
+    }
+
+    #[test]
+    fn victim_among_respects_lru_and_candidates() {
+        let mut a: SetArray<()> = SetArray::new(1, 4, PolicyKind::Lru);
+        for w in 0..4 {
+            a.install_at(0, w, w as u64, ());
+        }
+        a.touch_way(0, 0); // way 0 MRU; way 1 LRU
+        assert_eq!(a.victim_among(0, 0..4), 1);
+        // Restricting candidates excludes the global LRU.
+        assert_eq!(a.victim_among(0, 2..4), 2);
+    }
+
+    #[test]
+    fn matches_set_assoc_cache_behaviour() {
+        use ubs_mem::{CacheConfig, SetAssocCache};
+        // Same geometry, same pseudo-random key stream: identical hit
+        // pattern and identical eviction victims.
+        let mut flat: SetArray<u64> = SetArray::new(4, 2, PolicyKind::Lru);
+        let mut reference: SetAssocCache<u64> = SetAssocCache::new(CacheConfig::lru("r", 512, 2));
+        assert_eq!(flat.num_sets(), reference.num_sets());
+        let mut x = 0x9e37_79b9_u64;
+        for i in 0..5_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x % 24;
+            match x % 3 {
+                0 => assert_eq!(flat.access(key), reference.access(key), "step {i}"),
+                1 => assert_eq!(flat.touch(key), reference.touch(key), "step {i}"),
+                _ => {
+                    let a = flat.fill(key, i);
+                    let b = reference.fill(key, i).map(|e| (e.key, e.meta));
+                    assert_eq!(a, b, "step {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn iter_lists_resident_blocks() {
+        let mut a: SetArray<u8> = SetArray::new(2, 2, PolicyKind::Lru);
+        a.fill(0, 1);
+        a.fill(1, 2);
+        let mut got: Vec<(u64, u8)> = a.iter().map(|(k, &m)| (k, m)).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 1), (1, 2)]);
+    }
+}

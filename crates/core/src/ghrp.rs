@@ -8,12 +8,18 @@
 //! predicted-dead fills bypass the cache entirely. The mechanism works at
 //! whole-block granularity — which is exactly the limitation UBS's
 //! sub-block approach targets.
+//!
+//! Built on the shared [`engine`](crate::engine): the policy delta is the
+//! signature machinery and the dead-first victim preference layered over
+//! the engine's LRU fallback.
 
+use crate::engine::{
+    demand_mask, push_efficiency_sample, DemandFetch, EngineConfig, FillEngine, SetArray,
+};
 use crate::icache::{debug_check_range, InstructionCache};
-use crate::stats::{range_mask, AccessResult, ByteMask, IcacheStats, MissKind};
+use crate::stats::{AccessResult, ByteMask, IcacheStats, MissKind};
 use crate::storage::{conv_storage, StorageBreakdown};
-use std::collections::HashMap;
-use ubs_mem::{MemoryHierarchy, MshrFile};
+use ubs_mem::{MemoryHierarchy, PolicyKind};
 use ubs_trace::{FetchRange, Line};
 
 /// Entries per prediction table.
@@ -23,30 +29,27 @@ const COUNTER_MAX: u8 = 3;
 /// A counter at or above this predicts dead.
 const DEAD_THRESHOLD: u8 = 2;
 
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    line: Line,
+/// Per-block GHRP state (tag and recency live in the [`SetArray`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct GhrpMeta {
     used: ByteMask,
     /// Signature of the most recent access to this block.
     last_sig: (usize, usize),
     /// Whether the block was re-referenced after its fill.
+    #[allow(dead_code)]
     reused: bool,
-    lru: u64,
 }
 
 /// GHRP-managed conventional L1-I.
 #[derive(Debug)]
 pub struct GhrpL1i {
     name: String,
-    sets: usize,
-    ways: usize,
-    entries: Vec<Option<Entry>>,
+    cache: SetArray<GhrpMeta>,
     tables: [Vec<u8>; 2],
     /// Global history of recent accessed block addresses (hashed).
     history: u64,
-    mshrs: MshrFile,
-    pending: HashMap<Line, (ByteMask, (usize, usize))>,
-    clock: u64,
+    /// Pending fills carry the demanded bytes + fill-time signature.
+    engine: FillEngine<(ByteMask, (usize, usize))>,
     stats: IcacheStats,
     size_bytes: usize,
     bypasses: u64,
@@ -56,17 +59,12 @@ impl GhrpL1i {
     /// A GHRP cache of `size_bytes` with `ways` ways.
     pub fn new(name: impl Into<String>, size_bytes: usize, ways: usize) -> Self {
         let sets = size_bytes / (ways * 64);
-        assert!(sets > 0, "degenerate geometry");
         GhrpL1i {
             name: name.into(),
-            sets,
-            ways,
-            entries: vec![None; sets * ways],
+            cache: SetArray::new(sets, ways, PolicyKind::Lru),
             tables: [vec![0; TABLE_SIZE], vec![0; TABLE_SIZE]],
             history: 0,
-            mshrs: MshrFile::new(8),
-            pending: HashMap::new(),
-            clock: 0,
+            engine: FillEngine::new(EngineConfig::paper_default()),
             stats: IcacheStats::default(),
             size_bytes,
             bypasses: 0,
@@ -113,22 +111,8 @@ impl GhrpL1i {
         }
     }
 
-    #[inline]
-    fn slot(&self, set: usize, way: usize) -> usize {
-        set * self.ways + way
-    }
-
-    fn find_way(&self, set: usize, line: Line) -> Option<usize> {
-        (0..self.ways).find(|&w| {
-            self.entries[self.slot(set, w)]
-                .as_ref()
-                .is_some_and(|e| e.line == line)
-        })
-    }
-
     fn evict_and_train(&mut self, set: usize, way: usize) {
-        let idx = self.slot(set, way);
-        if let Some(old) = self.entries[idx].take() {
+        if let Some((_, old)) = self.cache.take(set, way) {
             self.stats.count_eviction(old.used.count_ones());
             // The block died after its last access: its final signature was
             // a correct "dead" indicator.
@@ -143,33 +127,32 @@ impl GhrpL1i {
             self.bypasses += 1;
             return;
         }
-        let set = (line.number() % self.sets as u64) as usize;
-        let way = (0..self.ways)
-            .find(|&w| self.entries[self.slot(set, w)].is_none())
+        let set = self.cache.set_index(line.number());
+        let ways = self.cache.num_ways();
+        let way = self
+            .cache
+            .first_empty(set)
             .or_else(|| {
                 // Prefer a predicted-dead victim.
-                (0..self.ways).find(|&w| {
-                    self.entries[self.slot(set, w)]
-                        .as_ref()
+                (0..ways).find(|&w| {
+                    self.cache
+                        .get(set, w)
                         .is_some_and(|e| self.predict_dead(e.last_sig))
                 })
             })
-            .unwrap_or_else(|| {
-                // Fall back to LRU.
-                (0..self.ways)
-                    .min_by_key(|&w| self.entries[self.slot(set, w)].as_ref().map_or(0, |e| e.lru))
-                    .expect("non-zero ways")
-            });
+            // Fall back to LRU.
+            .unwrap_or_else(|| self.cache.victim_among(set, 0..ways));
         self.evict_and_train(set, way);
-        self.clock += 1;
-        let idx = self.slot(set, way);
-        self.entries[idx] = Some(Entry {
-            line,
-            used: mask,
-            last_sig: fill_sig,
-            reused: false,
-            lru: self.clock,
-        });
+        self.cache.install_at(
+            set,
+            way,
+            line.number(),
+            GhrpMeta {
+                used: mask,
+                last_sig: fill_sig,
+                reused: false,
+            },
+        );
     }
 }
 
@@ -182,18 +165,15 @@ impl InstructionCache for GhrpL1i {
         debug_check_range(&range);
         self.stats.accesses += 1;
         let line = Line::containing(range.start);
-        let req = range_mask(range.start_offset(), range.bytes.min(64) as u8);
-        let set = (line.number() % self.sets as u64) as usize;
+        let req = demand_mask(&range);
+        let set = self.cache.set_index(line.number());
         let sig = self.signature(line);
 
-        if let Some(way) = self.find_way(set, line) {
-            self.clock += 1;
-            let clock = self.clock;
-            let idx = self.slot(set, way);
+        if let Some(way) = self.cache.find(set, line.number()) {
+            self.cache.touch_way(set, way);
             let old_sig = {
-                let e = self.entries[idx].as_mut().expect("found way is valid");
+                let e = self.cache.get_mut(set, way).expect("found way is valid");
                 e.used |= req;
-                e.lru = clock;
                 let old = e.last_sig;
                 e.last_sig = sig;
                 e.reused = true;
@@ -207,24 +187,14 @@ impl InstructionCache for GhrpL1i {
         }
 
         self.push_history(line);
-        let (ready_at, fill) = if let Some(existing) = self.mshrs.get(line).copied() {
-            if existing.is_prefetch {
-                self.stats.late_prefetch_merges += 1;
+        let (ready_at, fill) = match self.engine.demand_fetch(line, now, mem, &mut self.stats) {
+            DemandFetch::Rejected => return AccessResult::MshrFull,
+            DemandFetch::Fresh { ready_at, fill } | DemandFetch::Merged { ready_at, fill } => {
+                (ready_at, fill)
             }
-            self.mshrs.allocate(line, existing.ready_at, false, existing.source);
-            (existing.ready_at, existing.source)
-        } else {
-            if self.mshrs.is_full() {
-                self.stats.mshr_full_rejects += 1;
-                return AccessResult::MshrFull;
-            }
-            let fill = mem.fetch_block(line, now + self.latency());
-            self.stats.count_fill(fill.source);
-            self.mshrs.allocate(line, fill.ready_at, false, fill.source);
-            (fill.ready_at, fill.source)
         };
         self.stats.count_miss(MissKind::Full);
-        let p = self.pending.entry(line).or_insert((0, sig));
+        let p = self.engine.pending().entry_or(line, (0, sig));
         p.0 |= req;
         AccessResult::Miss {
             ready_at,
@@ -236,43 +206,32 @@ impl InstructionCache for GhrpL1i {
     fn prefetch(&mut self, range: FetchRange, now: u64, mem: &mut MemoryHierarchy) {
         debug_check_range(&range);
         let line = Line::containing(range.start);
-        let set = (line.number() % self.sets as u64) as usize;
-        if self.find_way(set, line).is_some()
-            || self.mshrs.get(line).is_some()
-            || self.mshrs.is_full()
-        {
+        if self.cache.contains(line.number()) || self.engine.in_flight(line) {
             return;
         }
         let sig = self.signature(line);
-        let fill = mem.fetch_block(line, now + self.latency());
-        self.stats.count_fill(fill.source);
-        self.mshrs.allocate(line, fill.ready_at, true, fill.source);
-        self.pending.entry(line).or_insert((0, sig));
-        self.stats.prefetches_issued += 1;
+        if self.engine.prefetch_fetch(line, now, mem, &mut self.stats) {
+            self.engine.pending().entry_or(line, (0, sig));
+        }
     }
 
     fn tick(&mut self, now: u64, _mem: &mut MemoryHierarchy) {
-        for mshr in self.mshrs.drain_ready(now) {
-            let (mask, sig) = self
-                .pending
-                .remove(&mshr.line)
-                .unwrap_or((0, self.signature(mshr.line)));
-            self.install(mshr.line, mask, sig);
+        for fill in self.engine.drain_completed(now) {
+            let (mask, sig) = fill
+                .payload
+                .unwrap_or_else(|| (0, self.signature(fill.line)));
+            self.install(fill.line, mask, sig);
         }
     }
 
     fn sample_efficiency(&mut self) {
         let mut resident = 0u64;
         let mut used = 0u64;
-        for e in self.entries.iter().flatten() {
+        for (_, e) in self.cache.iter() {
             resident += 64;
             used += e.used.count_ones() as u64;
         }
-        if resident > 0 {
-            self.stats
-                .efficiency_samples
-                .push((used as f64 / resident as f64) as f32);
-        }
+        push_efficiency_sample(&mut self.stats, resident, used);
     }
 
     fn stats(&self) -> &IcacheStats {
@@ -286,9 +245,15 @@ impl InstructionCache for GhrpL1i {
     fn storage(&self) -> StorageBreakdown {
         // Prediction tables add 2 × 4096 × 2 bits on top of the baseline;
         // spread over the sets for the per-set view.
-        let mut s = conv_storage(self.name.clone(), self.size_bytes, self.ways);
+        let mut s = conv_storage(self.name.clone(), self.size_bytes, self.ways());
         s.tag_bits_per_set += (2 * TABLE_SIZE as u64 * 2) / s.sets as u64;
         s
+    }
+}
+
+impl GhrpL1i {
+    fn ways(&self) -> usize {
+        self.cache.num_ways()
     }
 }
 
@@ -319,7 +284,10 @@ mod tests {
         let mut c = GhrpL1i::paper_default();
         let mut m = mem();
         let t = fill(&mut c, &mut m, range(0x100, 8), 0);
-        assert!(matches!(c.access(range(0x100, 8), t, &mut m), AccessResult::Hit));
+        assert!(matches!(
+            c.access(range(0x100, 8), t, &mut m),
+            AccessResult::Hit
+        ));
     }
 
     #[test]

@@ -110,7 +110,11 @@ mod tests {
     fn hit_detection_matches_paper() {
         // §VI-I1: 0.12 − 0.018 + 0.028 ≈ 0.13 ns.
         let a = LatencyAnalysis::for_config(&UbsWayConfig::paper_default());
-        assert!((a.hit_detection_ns - 0.1308).abs() < 1e-9, "{}", a.hit_detection_ns);
+        assert!(
+            (a.hit_detection_ns - 0.1308).abs() < 1e-9,
+            "{}",
+            a.hit_detection_ns
+        );
         assert!((a.hit_detection_ns - 0.13).abs() < 0.005);
     }
 

@@ -18,12 +18,13 @@ mod acic;
 mod amoeba;
 mod conv;
 mod distill;
+pub mod engine;
 mod ghrp;
 mod icache;
 mod ideal;
 pub mod latency;
-mod small_block;
 pub mod predictor;
+mod small_block;
 mod stats;
 pub mod storage;
 mod ubs_cache;
@@ -33,13 +34,18 @@ pub use acic::AcicL1i;
 pub use amoeba::{AmoebaConfig, AmoebaL1i};
 pub use conv::ConvL1i;
 pub use distill::DistillL1i;
+pub use engine::{EngineConfig, FillEngine, PendingFills, SetArray};
 pub use ghrp::GhrpL1i;
+pub use icache::{InstructionCache, L1I_LATENCY};
 pub use ideal::IdealL1i;
 pub use latency::LatencyAnalysis;
-pub use small_block::SmallBlockL1i;
-pub use icache::{InstructionCache, L1I_LATENCY};
 pub use predictor::{PredictorConfig, PredictorVictim, UsefulBytePredictor};
-pub use stats::{range_mask, AccessResult, ByteMask, IcacheStats, MissKind, TouchWindow, FULL_MASK};
-pub use storage::{conv_storage, small_block_storage, start_offset_bits, tag_bits, ubs_storage, StorageBreakdown};
+pub use small_block::SmallBlockL1i;
+pub use stats::{
+    range_mask, AccessResult, ByteMask, IcacheStats, MissKind, TouchWindow, FULL_MASK,
+};
+pub use storage::{
+    conv_storage, small_block_storage, start_offset_bits, tag_bits, ubs_storage, StorageBreakdown,
+};
 pub use ubs_cache::{UbsCache, UbsCacheConfig};
 pub use way_config::{ConfigFamily, UbsWayConfig, DEFAULT_CANDIDATE_WINDOW};

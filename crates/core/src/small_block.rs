@@ -7,13 +7,16 @@
 //! buffer, from which demanded chunks migrate into the cache. The cost is
 //! more tag storage and lost spatial coverage — Fig. 12 shows UBS roughly
 //! doubling their gain on server workloads.
+//!
+//! Built on the shared [`engine`](crate::engine): the policy delta is
+//! chunk-granular presence plus the prefetch buffer.
 
+use crate::engine::{demand_mask, push_efficiency_sample, EngineConfig, FillEngine, SetArray};
 use crate::icache::{debug_check_range, InstructionCache};
 use crate::stats::{range_mask, AccessResult, ByteMask, IcacheStats, MissKind};
 use crate::storage::{small_block_storage, StorageBreakdown};
-use std::collections::HashMap;
 use std::collections::VecDeque;
-use ubs_mem::{CacheConfig, MemoryHierarchy, MshrFile, PolicyKind, SetAssocCache};
+use ubs_mem::{MemoryHierarchy, PolicyKind};
 use ubs_trace::{FetchRange, Line};
 
 /// Capacity of the FDIP prefetch buffer, in 64-byte blocks.
@@ -26,10 +29,8 @@ pub struct SmallBlockL1i {
     chunk_bytes: u32,
     /// Presence at chunk granularity; metadata = used bytes (absolute
     /// positions within the 64-byte parent block).
-    cache: SetAssocCache<ByteMask>,
-    mshrs: MshrFile,
-    /// Demanded chunk-masks per in-flight 64-byte line.
-    pending_masks: HashMap<Line, ByteMask>,
+    cache: SetArray<ByteMask>,
+    engine: FillEngine<ByteMask>,
     /// FDIP prefetch buffer: whole 64-byte blocks awaiting demand.
     prefetch_buffer: VecDeque<Line>,
     stats: IcacheStats,
@@ -48,20 +49,12 @@ impl SmallBlockL1i {
             chunk_bytes == 16 || chunk_bytes == 32,
             "small-block designs use 16- or 32-byte blocks"
         );
-        let name = name.into();
-        let cache = SetAssocCache::new(CacheConfig {
-            name: name.clone(),
-            size_bytes,
-            ways,
-            block_bytes: chunk_bytes as usize,
-            policy: PolicyKind::Lru,
-        });
+        let sets = size_bytes / chunk_bytes as usize / ways;
         SmallBlockL1i {
-            name,
+            name: name.into(),
             chunk_bytes,
-            cache,
-            mshrs: MshrFile::new(8),
-            pending_masks: HashMap::new(),
+            cache: SetArray::new(sets, ways, PolicyKind::Lru),
+            engine: FillEngine::new(EngineConfig::paper_default()),
             prefetch_buffer: VecDeque::with_capacity(PREFETCH_BUFFER_BLOCKS),
             stats: IcacheStats::default(),
             size_bytes,
@@ -103,8 +96,8 @@ impl SmallBlockL1i {
             let key = base + c;
             let span = self.chunk_span(key);
             if mask & span != 0 {
-                if let Some(ev) = self.cache.fill(key, mask & span) {
-                    self.stats.count_eviction(ev.meta.count_ones());
+                if let Some((_, used)) = self.cache.fill(key, mask & span) {
+                    self.stats.count_eviction(used.count_ones());
                 }
             }
         }
@@ -120,7 +113,7 @@ impl InstructionCache for SmallBlockL1i {
         debug_check_range(&range);
         self.stats.accesses += 1;
         let line = Line::containing(range.start);
-        let req = range_mask(range.start_offset(), range.bytes.min(64) as u8);
+        let req = demand_mask(&range);
 
         // Hit requires every covered chunk to be present.
         let keys: Vec<u64> = self.chunk_keys(&range).collect();
@@ -151,25 +144,8 @@ impl InstructionCache for SmallBlockL1i {
         } else {
             MissKind::Full
         };
-        let (ready_at, fill) = if let Some(existing) = self.mshrs.get(line).copied() {
-            if existing.is_prefetch {
-                self.stats.late_prefetch_merges += 1;
-            }
-            self.mshrs.allocate(line, existing.ready_at, false, existing.source);
-            (existing.ready_at, existing.source)
-        } else {
-            if self.mshrs.is_full() {
-                self.stats.mshr_full_rejects += 1;
-                return AccessResult::MshrFull;
-            }
-            let fill = mem.fetch_block(line, now + self.latency());
-            self.stats.count_fill(fill.source);
-            self.mshrs.allocate(line, fill.ready_at, false, fill.source);
-            (fill.ready_at, fill.source)
-        };
-        self.stats.count_miss(kind);
-        *self.pending_masks.entry(line).or_insert(0) |= req;
-        AccessResult::Miss { ready_at, kind, fill }
+        self.engine
+            .demand_miss(line, req, kind, now, mem, &mut self.stats)
     }
 
     fn prefetch(&mut self, range: FetchRange, now: u64, mem: &mut MemoryHierarchy) {
@@ -177,28 +153,24 @@ impl InstructionCache for SmallBlockL1i {
         let line = Line::containing(range.start);
         if self.chunk_keys(&range).all(|k| self.cache.contains(k))
             || self.prefetch_buffer.contains(&line)
-            || self.mshrs.get(line).is_some()
-            || self.mshrs.is_full()
+            || self.engine.in_flight(line)
         {
             return;
         }
-        let fill = mem.fetch_block(line, now + self.latency());
-        self.stats.count_fill(fill.source);
-        self.mshrs.allocate(line, fill.ready_at, true, fill.source);
-        self.stats.prefetches_issued += 1;
+        self.engine.prefetch_fetch(line, now, mem, &mut self.stats);
     }
 
     fn tick(&mut self, now: u64, _mem: &mut MemoryHierarchy) {
-        for mshr in self.mshrs.drain_ready(now) {
-            let mask = self.pending_masks.remove(&mshr.line).unwrap_or(0);
-            if mshr.is_prefetch && mask == 0 {
+        for fill in self.engine.drain_completed(now) {
+            let mask = fill.payload.unwrap_or(0);
+            if fill.is_prefetch && mask == 0 {
                 // Prefetched block: parked in the buffer, not the cache.
                 if self.prefetch_buffer.len() >= PREFETCH_BUFFER_BLOCKS {
                     self.prefetch_buffer.pop_front();
                 }
-                self.prefetch_buffer.push_back(mshr.line);
+                self.prefetch_buffer.push_back(fill.line);
             } else {
-                self.install_chunks(mshr.line, mask);
+                self.install_chunks(fill.line, mask);
             }
         }
     }
@@ -211,11 +183,7 @@ impl InstructionCache for SmallBlockL1i {
             used += mask.count_ones() as u64;
         }
         resident += self.prefetch_buffer.len() as u64 * 64;
-        if resident > 0 {
-            self.stats
-                .efficiency_samples
-                .push((used as f64 / resident as f64) as f32);
-        }
+        push_efficiency_sample(&mut self.stats, resident, used);
     }
 
     fn stats(&self) -> &IcacheStats {
@@ -224,7 +192,6 @@ impl InstructionCache for SmallBlockL1i {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
-        self.cache.reset_stats();
     }
 
     fn storage(&self) -> StorageBreakdown {
@@ -265,7 +232,10 @@ mod tests {
         let mut m = mem();
         let t = fill(&mut c, &mut m, range(0, 8), 0);
         // Bytes [0,8) live in chunk 0: hit.
-        assert!(matches!(c.access(range(0, 8), t, &mut m), AccessResult::Hit));
+        assert!(matches!(
+            c.access(range(0, 8), t, &mut m),
+            AccessResult::Hit
+        ));
         // Bytes [16,24) are chunk 1: never installed → miss.
         assert!(matches!(
             c.access(range(16, 8), t, &mut m),
@@ -279,9 +249,18 @@ mod tests {
         let mut m = mem();
         // Request [12, 20): covers chunks 0 and 1; fill installs both.
         let t = fill(&mut c, &mut m, range(12, 8), 0);
-        assert!(matches!(c.access(range(12, 8), t, &mut m), AccessResult::Hit));
-        assert!(matches!(c.access(range(0, 4), t, &mut m), AccessResult::Hit));
-        assert!(matches!(c.access(range(16, 4), t, &mut m), AccessResult::Hit));
+        assert!(matches!(
+            c.access(range(12, 8), t, &mut m),
+            AccessResult::Hit
+        ));
+        assert!(matches!(
+            c.access(range(0, 4), t, &mut m),
+            AccessResult::Hit
+        ));
+        assert!(matches!(
+            c.access(range(16, 4), t, &mut m),
+            AccessResult::Hit
+        ));
     }
 
     #[test]

@@ -217,7 +217,10 @@ impl IcacheStats {
         if self.efficiency_samples.is_empty() {
             return 0.0;
         }
-        self.efficiency_samples.iter().map(|&x| x as f64).sum::<f64>()
+        self.efficiency_samples
+            .iter()
+            .map(|&x| x as f64)
+            .sum::<f64>()
             / self.efficiency_samples.len() as f64
     }
 
@@ -325,9 +328,10 @@ mod tests {
 
     #[test]
     fn touch_window_fraction() {
-        let mut t = TouchWindow::default();
-        t.within = [90, 95, 97, 99];
-        t.total = 100;
+        let t = TouchWindow {
+            within: [90, 95, 97, 99],
+            total: 100,
+        };
         assert!((t.fraction(0) - 0.9).abs() < 1e-9);
         assert!((t.fraction(3) - 0.99).abs() < 1e-9);
         let mut u = TouchWindow::default();

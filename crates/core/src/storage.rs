@@ -15,7 +15,7 @@ pub const BLOCK_OFFSET_BITS: u32 = 6;
 /// Ceil(log2(n)) for n ≥ 1.
 fn ceil_log2(n: u64) -> u32 {
     assert!(n >= 1);
-    64 - (n - 1).leading_zeros().max(0)
+    64 - (n - 1).leading_zeros()
 }
 
 /// Tag width for a cache with `sets` sets and 64-byte blocks.
@@ -28,7 +28,7 @@ pub fn tag_bits(sets: usize) -> u32 {
 /// can start at within a 64-byte block.
 pub fn start_offset_bits(way_size: u32) -> u32 {
     assert!(
-        (4..=64).contains(&way_size) && way_size % 4 == 0,
+        (4..=64).contains(&way_size) && way_size.is_multiple_of(4),
         "way size {way_size} not a multiple of 4 in 4..=64"
     );
     let positions = (64 - way_size) / 4 + 1;
@@ -112,10 +112,7 @@ pub fn ubs_storage(
     let data_tag_bits = ways * (tag_bits(sets) as u64 + repl_bits + 1);
     // Direct-mapped predictor: tag + valid, no replacement bits.
     let pred_tag_bits = predictor_ways_per_set as u64 * (tag_bits(sets) as u64 + 1);
-    let start_bits: u64 = way_sizes
-        .iter()
-        .map(|&s| start_offset_bits(s) as u64)
-        .sum();
+    let start_bits: u64 = way_sizes.iter().map(|&s| start_offset_bits(s) as u64).sum();
     // One bit per 4-byte instruction in each predictor block.
     let bitvec_bits = predictor_ways_per_set as u64 * 16;
     let data: u64 =
@@ -140,7 +137,10 @@ pub fn small_block_storage(
 ) -> StorageBreakdown {
     assert!(block_bytes.is_power_of_two() && block_bytes <= 64);
     let sets = size_bytes / (ways * block_bytes);
-    assert!(sets > 0 && sets * ways * block_bytes == size_bytes, "bad geometry");
+    assert!(
+        sets > 0 && sets * ways * block_bytes == size_bytes,
+        "bad geometry"
+    );
     let offset_bits = ceil_log2(block_bytes as u64);
     let tag = PHYS_ADDR_BITS as u64 - offset_bits as u64 - ceil_log2(sets as u64) as u64;
     let repl_bits = ceil_log2(ways as u64).max(1) as u64;

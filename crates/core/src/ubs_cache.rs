@@ -18,15 +18,18 @@
 //! - **Duplicate avoidance** (§IV-G): when a block enters the predictor,
 //!   any of its sub-blocks already resident in the cache are invalidated
 //!   and their bytes pre-marked useful in the predictor's bit-vector.
+//!
+//! Storage is the shared [`engine`](crate::engine)'s [`SetArray`] at the
+//! way level (one line can own several sub-blocks in one set), and the
+//! miss path is a [`FillEngine`] — the access path allocates nothing.
 
+use crate::engine::{demand_mask, EngineConfig, FillEngine, SetArray};
 use crate::icache::{debug_check_range, InstructionCache, L1I_LATENCY};
 use crate::predictor::{PredictorConfig, UsefulBytePredictor};
 use crate::stats::{range_mask, AccessResult, ByteMask, IcacheStats, MissKind};
 use crate::storage::{ubs_storage, StorageBreakdown};
 use crate::way_config::{UbsWayConfig, DEFAULT_CANDIDATE_WINDOW};
-use std::collections::HashMap;
-use ubs_mem::replacement::{Lru, Replacement};
-use ubs_mem::{MemoryHierarchy, MshrFile};
+use ubs_mem::{MemoryHierarchy, PolicyKind};
 use ubs_trace::{FetchRange, Line};
 
 /// Full configuration of a UBS cache instance.
@@ -81,14 +84,26 @@ impl UbsCacheConfig {
         self.name = format!("ubs-{}k", budget_bytes / 1024);
         self
     }
+
+    /// The shared miss-path configuration this instance hands its
+    /// [`FillEngine`].
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            mshr_entries: self.mshr_entries,
+            latency: self.latency,
+        }
+    }
 }
 
-/// One resident sub-block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct UbsEntry {
-    line: Line,
+/// Per-sub-block state (the tag and recency live in the [`SetArray`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct UbsMeta {
     /// Offset of the first resident byte within the 64-byte block.
+    #[allow(dead_code)]
     start_offset: u8,
+    /// Resident bytes (absolute block positions). Equal to the way span
+    /// when `fill_remaining` is on; possibly shorter when it is off.
+    span: ByteMask,
     /// Accessed bytes (absolute block positions) while resident.
     used: ByteMask,
 }
@@ -97,11 +112,9 @@ struct UbsEntry {
 #[derive(Debug)]
 pub struct UbsCache {
     cfg: UbsCacheConfig,
-    entries: Vec<Option<UbsEntry>>, // sets × ways
-    lru: Lru,
+    cache: SetArray<UbsMeta>,
     predictor: UsefulBytePredictor,
-    mshrs: MshrFile,
-    pending_masks: HashMap<Line, ByteMask>,
+    engine: FillEngine<ByteMask>,
     stats: IcacheStats,
 }
 
@@ -113,14 +126,14 @@ impl UbsCache {
     /// Panics on a degenerate configuration (zero sets/window).
     pub fn new(cfg: UbsCacheConfig) -> Self {
         assert!(cfg.sets > 0, "UBS cache needs at least one set");
-        assert!(cfg.candidate_window > 0, "candidate window must be positive");
-        let ways = cfg.ways.num_ways();
+        assert!(
+            cfg.candidate_window > 0,
+            "candidate window must be positive"
+        );
         UbsCache {
-            entries: vec![None; cfg.sets * ways],
-            lru: Lru::new(cfg.sets, ways),
+            cache: SetArray::new(cfg.sets, cfg.ways.num_ways(), PolicyKind::Lru),
             predictor: UsefulBytePredictor::new(cfg.predictor.clone()),
-            mshrs: MshrFile::new(cfg.mshr_entries),
-            pending_masks: HashMap::new(),
+            engine: FillEngine::new(cfg.engine_config()),
             stats: IcacheStats::default(),
             cfg,
         }
@@ -141,11 +154,6 @@ impl UbsCache {
         (line.number() % self.cfg.sets as u64) as usize
     }
 
-    #[inline]
-    fn slot(&self, set: usize, way: usize) -> usize {
-        set * self.cfg.ways.num_ways() + way
-    }
-
     /// Resident byte span of an entry placed in `way`: starts at its
     /// `start_offset` and covers the way capacity, clamped to the block end.
     #[inline]
@@ -157,28 +165,22 @@ impl UbsCache {
 
     /// Resident bytes of the entry in (set, way), or 0 if invalid.
     fn resident_mask(&self, set: usize, way: usize) -> ByteMask {
-        match &self.entries[self.slot(set, way)] {
-            Some(e) => self.span_mask(way, e.start_offset),
-            None => 0,
-        }
+        self.cache.get(set, way).map_or(0, |e| e.span)
     }
 
-    /// Ways of `set` whose tags match `line`.
+    /// Ways of `set` whose tags match `line` (test helper; the access path
+    /// iterates [`SetArray::find_matching`] without collecting).
+    #[cfg(test)]
     fn matching_ways(&self, set: usize, line: Line) -> Vec<usize> {
-        (0..self.cfg.ways.num_ways())
-            .filter(|&w| {
-                self.entries[self.slot(set, w)]
-                    .as_ref()
-                    .is_some_and(|e| e.line == line)
-            })
-            .collect()
+        self.cache.find_matching(set, line.number()).collect()
     }
 
     /// Classifies a non-hit access (§IV-E): which partial-miss category?
     fn classify_miss(&self, set: usize, line: Line, req: ByteMask) -> MissKind {
-        let matches = self.matching_ways(set, line);
+        let key = line.number();
+        let any_match = self.cache.find_matching(set, key).next().is_some();
         let in_predictor = self.predictor.contains(line);
-        if matches.is_empty() && !in_predictor {
+        if !any_match && !in_predictor {
             return MissKind::Full;
         }
         // The predictor holds full blocks, so a predictor-resident line
@@ -188,9 +190,9 @@ impl UbsCache {
         let first_bit = req.trailing_zeros() as u8;
         let last_bit = (63 - req.leading_zeros()) as u8;
         let covered = |bit: u8| {
-            matches
-                .iter()
-                .any(|&w| self.resident_mask(set, w) & (1u64 << bit) != 0)
+            self.cache
+                .find_matching(set, key)
+                .any(|w| self.resident_mask(set, w) & (1u64 << bit) != 0)
         };
         if covered(first_bit) {
             MissKind::Overrun
@@ -205,12 +207,14 @@ impl UbsCache {
     /// of their resident bytes so they can be pre-marked in the predictor.
     fn invalidate_sub_blocks(&mut self, line: Line) -> ByteMask {
         let set = self.set_of(line);
+        let key = line.number();
         let mut mask = 0;
-        for w in self.matching_ways(set, line) {
-            mask |= self.resident_mask(set, w);
-            let idx = self.slot(set, w);
-            self.entries[idx] = None;
-            self.lru.on_invalidate(set, w);
+        for w in 0..self.cache.num_ways() {
+            if self.cache.tag(set, w) == Some(key) {
+                if let Some((_, e)) = self.cache.take(set, w) {
+                    mask |= e.span;
+                }
+            }
         }
         mask
     }
@@ -242,7 +246,11 @@ impl UbsCache {
             let after = remaining >> start;
             let mut len = after.trailing_ones().min(64 - start as u32);
             loop {
-                let rest = if start as u32 + len >= 64 { 0 } else { after >> len };
+                let rest = if start as u32 + len >= 64 {
+                    0
+                } else {
+                    after >> len
+                };
                 if rest == 0 {
                     break;
                 }
@@ -253,21 +261,16 @@ impl UbsCache {
                 let next_run = (rest >> gap).trailing_ones();
                 len = (len + gap + next_run).min(64 - start as u32);
             }
-            let window = self.cfg.ways.candidate_window(len, self.cfg.candidate_window);
+            let window = self
+                .cfg
+                .ways
+                .candidate_window(len, self.cfg.candidate_window);
 
             // Prefer an invalid candidate way; otherwise modified LRU.
-            let candidates: Vec<usize> = window.collect();
-            let way = candidates
-                .iter()
-                .copied()
-                .find(|&w| self.entries[self.slot(set, w)].is_none())
-                .unwrap_or_else(|| self.lru.victim(set, &candidates));
-
-            // Evict the occupant, recording its usage.
-            let victim_idx = self.slot(set, way);
-            if let Some(old) = self.entries[victim_idx].take() {
-                self.stats.count_eviction(old.used.count_ones());
-            }
+            let way = window
+                .clone()
+                .find(|&w| self.cache.tag(set, w).is_none())
+                .unwrap_or_else(|| self.cache.victim_among(set, window));
 
             // Resident span: the run, extended to the way capacity with
             // following bytes when `fill_remaining` is on (§IV-F).
@@ -277,13 +280,20 @@ impl UbsCache {
                 let cap = self.cfg.ways.capacity(way).min(64 - start as u32);
                 range_mask(start, len.min(cap) as u8)
             };
-            let idx = self.slot(set, way);
-            self.entries[idx] = Some(UbsEntry {
-                line,
-                start_offset: start,
-                used: used & span,
-            });
-            self.lru.on_fill(set, way);
+            // Evict the occupant (recording its usage) and install the run.
+            let displaced = self.cache.install_at(
+                set,
+                way,
+                line.number(),
+                UbsMeta {
+                    start_offset: start,
+                    span,
+                    used: used & span,
+                },
+            );
+            if let Some((_, old)) = displaced {
+                self.stats.count_eviction(old.used.count_ones());
+            }
 
             // Bytes covered by this span are resident; drop them from the
             // remaining work so spans never overlap.
@@ -299,19 +309,21 @@ impl UbsCache {
     /// predictor and the cache.
     fn check_no_overlap(&self, line: Line) -> bool {
         let set = self.set_of(line);
-        let ways = self.matching_ways(set, line);
-        if self.predictor.contains(line) && !ways.is_empty() {
-            return false;
-        }
+        let key = line.number();
+        let mut any = false;
         let mut acc: ByteMask = 0;
-        for w in ways {
+        for w in 0..self.cache.num_ways() {
+            if self.cache.tag(set, w) != Some(key) {
+                continue;
+            }
+            any = true;
             let m = self.resident_mask(set, w);
             if acc & m != 0 {
                 return false;
             }
             acc |= m;
         }
-        true
+        !(self.predictor.contains(line) && any)
     }
 }
 
@@ -328,7 +340,7 @@ impl InstructionCache for UbsCache {
         debug_check_range(&range);
         self.stats.accesses += 1;
         let line = Line::containing(range.start);
-        let req = range_mask(range.start_offset(), range.bytes.min(64) as u8);
+        let req = demand_mask(&range);
 
         // Predictor and cache are probed in parallel (§IV-E); a request can
         // hit in exactly one of the two.
@@ -339,49 +351,31 @@ impl InstructionCache for UbsCache {
         }
         let set = self.set_of(line);
         let mut hit_way = None;
-        for w in self.matching_ways(set, line) {
+        for w in self.cache.find_matching(set, line.number()) {
             if self.resident_mask(set, w) & req == req {
                 debug_assert!(hit_way.is_none(), "request contained by two sub-blocks");
                 hit_way = Some(w);
             }
         }
         if let Some(w) = hit_way {
-            let idx = self.slot(set, w);
-            if let Some(e) = &mut self.entries[idx] {
+            if let Some(e) = self.cache.get_mut(set, w) {
                 e.used |= req;
             }
-            self.lru.on_hit(set, w);
+            self.cache.touch_way(set, w);
             self.stats.hits += 1;
             return AccessResult::Hit;
         }
 
         // Miss (full or partial): fetch the 64-byte block (§IV-F).
         let kind = self.classify_miss(set, line, req);
-        let (ready_at, fill) = if let Some(existing) = self.mshrs.get(line).copied() {
-            if existing.is_prefetch {
-                self.stats.late_prefetch_merges += 1;
-            }
-            self.mshrs.allocate(line, existing.ready_at, false, existing.source);
-            (existing.ready_at, existing.source)
-        } else {
-            if self.mshrs.is_full() {
-                self.stats.mshr_full_rejects += 1;
-                return AccessResult::MshrFull;
-            }
-            let fill = mem.fetch_block(line, now + self.cfg.latency);
-            self.stats.count_fill(fill.source);
-            self.mshrs.allocate(line, fill.ready_at, false, fill.source);
-            (fill.ready_at, fill.source)
-        };
-        self.stats.count_miss(kind);
-        *self.pending_masks.entry(line).or_insert(0) |= req;
-        AccessResult::Miss { ready_at, kind, fill }
+        self.engine
+            .demand_miss(line, req, kind, now, mem, &mut self.stats)
     }
 
     fn prefetch(&mut self, range: FetchRange, now: u64, mem: &mut MemoryHierarchy) {
         debug_check_range(&range);
         let line = Line::containing(range.start);
-        let req = range_mask(range.start_offset(), range.bytes.min(64) as u8);
+        let req = demand_mask(&range);
         // FDIP prefetches are fetch-directed: the FTQ range *is* the set of
         // bytes the fetch stream will consume, so pre-mark them useful
         // wherever the block lives. If the block is evicted from the
@@ -392,30 +386,29 @@ impl InstructionCache for UbsCache {
             return;
         }
         let set = self.set_of(line);
-        for w in self.matching_ways(set, line) {
+        let mut covered_way = None;
+        for w in self.cache.find_matching(set, line.number()) {
             if self.resident_mask(set, w) & req == req {
-                self.lru.on_hit(set, w);
-                return;
+                covered_way = Some(w);
+                break;
             }
         }
-        if self.mshrs.get(line).is_some() {
-            *self.pending_masks.entry(line).or_insert(0) |= req;
+        if let Some(w) = covered_way {
+            self.cache.touch_way(set, w);
             return;
         }
-        if self.mshrs.is_full() {
+        if self.engine.in_flight(line) {
+            *self.engine.pending().entry_or(line, 0) |= req;
             return;
         }
-        let fill = mem.fetch_block(line, now + self.cfg.latency);
-        self.stats.count_fill(fill.source);
-        self.mshrs.allocate(line, fill.ready_at, true, fill.source);
-        *self.pending_masks.entry(line).or_insert(0) |= req;
-        self.stats.prefetches_issued += 1;
+        if self.engine.prefetch_fetch(line, now, mem, &mut self.stats) {
+            *self.engine.pending().entry_or(line, 0) |= req;
+        }
     }
 
     fn tick(&mut self, now: u64, _mem: &mut MemoryHierarchy) {
-        for mshr in self.mshrs.drain_ready(now) {
-            let mask = self.pending_masks.remove(&mshr.line).unwrap_or(0);
-            self.install_into_predictor(mshr.line, mask);
+        for fill in self.engine.drain_completed(now) {
+            self.install_into_predictor(fill.line, fill.payload.unwrap_or(0));
         }
     }
 
@@ -423,8 +416,8 @@ impl InstructionCache for UbsCache {
         let mut resident = 0u64;
         let mut used = 0u64;
         for set in 0..self.cfg.sets {
-            for way in 0..self.cfg.ways.num_ways() {
-                if let Some(e) = &self.entries[self.slot(set, way)] {
+            for way in 0..self.cache.num_ways() {
+                if let Some(e) = self.cache.get(set, way) {
                     // Physical storage held is the full way capacity.
                     resident += self.cfg.ways.capacity(way) as u64;
                     used += e.used.count_ones() as u64;
@@ -434,11 +427,7 @@ impl InstructionCache for UbsCache {
         let (pred_blocks, pred_used) = self.predictor.usage();
         resident += pred_blocks as u64 * 64;
         used += pred_used;
-        if resident > 0 {
-            self.stats
-                .efficiency_samples
-                .push((used as f64 / resident as f64) as f32);
-        }
+        crate::engine::push_efficiency_sample(&mut self.stats, resident, used);
     }
 
     fn stats(&self) -> &IcacheStats {
@@ -450,8 +439,7 @@ impl InstructionCache for UbsCache {
     }
 
     fn storage(&self) -> StorageBreakdown {
-        let pred_ways_per_set =
-            (self.cfg.predictor.entries() + self.cfg.sets - 1) / self.cfg.sets;
+        let pred_ways_per_set = self.cfg.predictor.entries().div_ceil(self.cfg.sets);
         ubs_storage(
             self.cfg.name.clone(),
             self.cfg.ways.sizes(),
@@ -509,12 +497,18 @@ mod tests {
         // Touch 16 bytes of line 0 (set 0), then force a predictor conflict
         // with line 64 (64 sets → same predictor set).
         let t0 = miss_and_fill(&mut c, &mut m, range(0, 16), 0);
-        assert!(matches!(c.access(range(0, 16), t0, &mut m), AccessResult::Hit));
+        assert!(matches!(
+            c.access(range(0, 16), t0, &mut m),
+            AccessResult::Hit
+        ));
         let t1 = miss_and_fill(&mut c, &mut m, range(64 * 64, 4), t0 + 10);
         // Line 0's 16 used bytes should now live in a UBS way; the request
         // for them must hit in the cache (not the predictor).
         assert!(!c.predictor.contains(Line::from_number(0)));
-        assert!(matches!(c.access(range(0, 16), t1, &mut m), AccessResult::Hit));
+        assert!(matches!(
+            c.access(range(0, 16), t1, &mut m),
+            AccessResult::Hit
+        ));
     }
 
     #[test]
@@ -546,10 +540,13 @@ mod tests {
             AccessResult::Miss { kind, .. } => assert_eq!(kind, MissKind::Overrun),
             other => panic!("{other:?}"),
         }
-        let t2 = c.mshrs.next_ready_at().unwrap();
+        let t2 = c.engine.next_ready_at().unwrap();
         c.tick(t2, &mut m);
         // Re-populate: full block is in predictor again. Evict to ways.
-        assert!(matches!(c.access(range(16, 16), t2, &mut m), AccessResult::Hit));
+        assert!(matches!(
+            c.access(range(16, 16), t2, &mut m),
+            AccessResult::Hit
+        ));
         let t3 = miss_and_fill(&mut c, &mut m, range(2 * 64 * 64, 4), t2 + 10);
         // Now bytes [16,32) resident. Request [8, 24): underrun (its start
         // is absent, its end is present).
@@ -575,8 +572,14 @@ mod tests {
         // ...and its bytes pre-marked: evicting the predictor block moves
         // both [0,8) and [32,40) into ways.
         let t3 = miss_and_fill(&mut c, &mut m, range(3 * 64 * 64, 4), t2 + 10);
-        assert!(matches!(c.access(range(0, 8), t3, &mut m), AccessResult::Hit));
-        assert!(matches!(c.access(range(32, 8), t3, &mut m), AccessResult::Hit));
+        assert!(matches!(
+            c.access(range(0, 8), t3, &mut m),
+            AccessResult::Hit
+        ));
+        assert!(matches!(
+            c.access(range(32, 8), t3, &mut m),
+            AccessResult::Hit
+        ));
     }
 
     #[test]
@@ -584,7 +587,10 @@ mod tests {
         let mut c = UbsCache::paper_default();
         let mut m = mem();
         let t0 = miss_and_fill(&mut c, &mut m, range(0, 4), 0);
-        assert!(matches!(c.access(range(40, 8), t0, &mut m), AccessResult::Hit));
+        assert!(matches!(
+            c.access(range(40, 8), t0, &mut m),
+            AccessResult::Hit
+        ));
         // Evict predictor block: runs [0,4) and [40,48).
         let t1 = miss_and_fill(&mut c, &mut m, range(64 * 64, 4), t0 + 10);
         let line = Line::from_number(0);
@@ -597,8 +603,14 @@ mod tests {
                 true
             }
         );
-        assert!(matches!(c.access(range(0, 4), t1, &mut m), AccessResult::Hit));
-        assert!(matches!(c.access(range(40, 8), t1, &mut m), AccessResult::Hit));
+        assert!(matches!(
+            c.access(range(0, 4), t1, &mut m),
+            AccessResult::Hit
+        ));
+        assert!(matches!(
+            c.access(range(40, 8), t1, &mut m),
+            AccessResult::Hit
+        ));
         assert!(c.check_no_overlap(line));
     }
 

@@ -56,7 +56,9 @@ impl UbsWayConfig {
     /// The paper's default 16-way configuration (Table II):
     /// 4, 4, 8, 8, 8, 12, 12, 16, 24, 32, 36, 36, 52, 64, 64, 64.
     pub fn paper_default() -> Self {
-        UbsWayConfig::new(vec![4, 4, 8, 8, 8, 12, 12, 16, 24, 32, 36, 36, 52, 64, 64, 64])
+        UbsWayConfig::new(vec![
+            4, 4, 8, 8, 8, 12, 12, 16, 24, 32, 36, 36, 52, 64, 64, 64,
+        ])
     }
 
     /// A Fig. 16 preset: `ways` ∈ {10, 12, 14, 16, 18} from either family.
@@ -81,10 +83,14 @@ impl UbsWayConfig {
                 vec![4, 4, 8, 12, 16, 24, 28, 32, 36, 40, 44, 48, 52, 56, 64, 64]
             }
             (18, Config1) => {
-                vec![4, 4, 4, 8, 8, 8, 12, 12, 16, 16, 24, 28, 32, 36, 36, 52, 64, 64]
+                vec![
+                    4, 4, 4, 8, 8, 8, 12, 12, 16, 16, 24, 28, 32, 36, 36, 52, 64, 64,
+                ]
             }
             (18, Config2) => {
-                vec![4, 4, 8, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 64, 64]
+                vec![
+                    4, 4, 8, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 64, 64,
+                ]
             }
             (w, f) => panic!("no preset for {w}-way {f:?}"),
         };
@@ -119,7 +125,10 @@ impl UbsWayConfig {
     ///
     /// Panics if `len` is zero or exceeds 64 bytes.
     pub fn candidate_window(&self, len: u32, window: usize) -> std::ops::Range<usize> {
-        assert!((1..=64).contains(&len), "sub-block length {len} out of range");
+        assert!(
+            (1..=64).contains(&len),
+            "sub-block length {len} out of range"
+        );
         let first = self
             .sizes
             .iter()

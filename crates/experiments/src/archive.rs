@@ -245,8 +245,8 @@ pub fn tolerance_for(metric: &str) -> Tolerance {
         .unwrap_or(metric);
     match key {
         // Structural/config integers must not drift at all.
-        "schema_version" | "sets" | "latency" | "mshr" | "window" | "physical_ways"
-        | "bytes" | "workload_seed" | "threads" => Tolerance::EXACT,
+        "schema_version" | "sets" | "latency" | "mshr" | "window" | "physical_ways" | "bytes"
+        | "workload_seed" | "threads" => Tolerance::EXACT,
         // Deterministic storage/latency model outputs (Tables III/IV).
         k if k.ends_with("_kib") || k.ends_with("_ns") => Tolerance {
             rel: 1e-6,
@@ -564,8 +564,8 @@ pub fn diff_dirs(baseline: &Path, candidate: &Path, tol_scale: f64) -> Result<Di
             continue;
         };
         let read = |p: &Path| -> Result<Value, String> {
-            let body =
-                std::fs::read_to_string(p).map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+            let body = std::fs::read_to_string(p)
+                .map_err(|e| format!("cannot read {}: {e}", p.display()))?;
             serde_json::from_str(&body).map_err(|e| format!("malformed JSON {}: {e}", p.display()))
         };
         let base_json = read(base_path)?;
@@ -597,9 +597,9 @@ pub fn diff_dirs(baseline: &Path, candidate: &Path, tol_scale: f64) -> Result<Di
             ));
         }
         if b.scale != c.scale {
-            report.structural.push(
-                "suite-scale mismatch between baseline and candidate manifests".to_string(),
-            );
+            report
+                .structural
+                .push("suite-scale mismatch between baseline and candidate manifests".to_string());
         }
     }
 
@@ -622,7 +622,10 @@ mod tests {
 
     #[test]
     fn accepts_near_zero_with_abs_floor() {
-        let t = Tolerance { rel: 0.0, abs: 0.05 };
+        let t = Tolerance {
+            rel: 0.0,
+            abs: 0.05,
+        };
         assert!(t.accepts(0.0, 0.03, 1.0));
         assert!(!t.accepts(0.0, 0.07, 1.0));
         assert!(t.accepts(0.0, 0.07, 2.0));

@@ -186,7 +186,10 @@ fn run_trace_cmd(opts: &cli::TraceOptions) -> i32 {
             }
         };
         if let Err(e) = write_value_at(tl_out, &value) {
-            eprintln!("error: could not write timeline to {}: {e}", tl_out.display());
+            eprintln!(
+                "error: could not write timeline to {}: {e}",
+                tl_out.display()
+            );
             return 1;
         }
         println!("wrote {}", tl_out.display());
@@ -197,15 +200,12 @@ fn run_trace_cmd(opts: &cli::TraceOptions) -> i32 {
 /// Splits an output path into (dir, file name) and writes the JSON there
 /// atomically.
 fn write_value_at(path: &Path, value: &serde_json::Value) -> std::io::Result<PathBuf> {
-    let file = path
-        .file_name()
-        .and_then(|f| f.to_str())
-        .ok_or_else(|| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidInput,
-                format!("`{}` has no file name", path.display()),
-            )
-        })?;
+    let file = path.file_name().and_then(|f| f.to_str()).ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("`{}` has no file name", path.display()),
+        )
+    })?;
     let dir = match path.parent() {
         Some(p) if !p.as_os_str().is_empty() => p,
         _ => Path::new("."),

@@ -325,9 +325,7 @@ mod tests {
 
     #[test]
     fn legacy_flags_still_parse() {
-        let Command::Run(o) =
-            parse(&args(&["all", "--quick", "--tiny-suites"])).unwrap()
-        else {
+        let Command::Run(o) = parse(&args(&["all", "--quick", "--tiny-suites"])).unwrap() else {
             panic!("expected Run");
         };
         assert_eq!(o.effort, Effort::Quick);
@@ -350,7 +348,9 @@ mod tests {
         assert!(parse(&args(&["fig10", "--frobnicate"]))
             .unwrap_err()
             .contains("unknown flag"));
-        assert!(parse(&args(&["fig99"])).unwrap_err().contains("unknown experiment id"));
+        assert!(parse(&args(&["fig99"]))
+            .unwrap_err()
+            .contains("unknown experiment id"));
         assert!(parse(&args(&["fig10", "--threads=0"]))
             .unwrap_err()
             .contains("--threads"));
@@ -360,13 +360,14 @@ mod tests {
         assert!(parse(&args(&["fig10", "--quick", "--full"]))
             .unwrap_err()
             .contains("conflicting effort"));
-        assert!(parse(&args(&["--json"])).unwrap_err().contains("requires a value"));
+        assert!(parse(&args(&["--json"]))
+            .unwrap_err()
+            .contains("requires a value"));
     }
 
     #[test]
     fn timeline_flag() {
-        let Command::Run(o) =
-            parse(&args(&["fig10", "--timeline", "--json", "out"])).unwrap()
+        let Command::Run(o) = parse(&args(&["fig10", "--timeline", "--json", "out"])).unwrap()
         else {
             panic!("expected Run");
         };
@@ -403,8 +404,7 @@ mod tests {
         assert_eq!(t.out, Some(PathBuf::from("t.json")));
         assert_eq!(t.timeline_out, Some(PathBuf::from("tl.json")));
 
-        let Command::Trace(t) = parse(&args(&["trace", "client_001", "conv-32k"])).unwrap()
-        else {
+        let Command::Trace(t) = parse(&args(&["trace", "client_001", "conv-32k"])).unwrap() else {
             panic!("expected Trace");
         };
         assert_eq!(t.effort, Effort::Quick);
@@ -420,8 +420,7 @@ mod tests {
 
     #[test]
     fn diff_parsing() {
-        let Command::Diff(d) =
-            parse(&args(&["diff", "base", "cand", "--tol-scale=2.5"])).unwrap()
+        let Command::Diff(d) = parse(&args(&["diff", "base", "cand", "--tol-scale=2.5"])).unwrap()
         else {
             panic!("expected Diff");
         };

@@ -1,8 +1,9 @@
 //! Named L1-I design configurations used across experiments.
 
 use ubs_core::{
-    AcicL1i, AmoebaL1i, ConfigFamily, ConvL1i, DistillL1i, GhrpL1i, IdealL1i, InstructionCache,
-    PredictorConfig, SmallBlockL1i, UbsCache, UbsCacheConfig, UbsWayConfig,
+    AcicL1i, AmoebaConfig, AmoebaL1i, ConfigFamily, ConvL1i, DistillL1i, EngineConfig, GhrpL1i,
+    IdealL1i, InstructionCache, PredictorConfig, SmallBlockL1i, UbsCache, UbsCacheConfig,
+    UbsWayConfig,
 };
 use ubs_mem::PolicyKind;
 
@@ -123,6 +124,25 @@ impl DesignSpec {
         }
     }
 
+    /// The shared fill-engine parameters (MSHR count, fill latency) the
+    /// built design runs with, or `None` for the ideal cache, which never
+    /// misses. Every comparator sits on the same `ubs_core::engine`
+    /// substrate; only these knobs and the per-design policy differ.
+    pub fn engine_config(&self) -> Option<EngineConfig> {
+        match self {
+            DesignSpec::Ideal => None,
+            DesignSpec::Ubs(cfg) => Some(cfg.engine_config()),
+            DesignSpec::Amoeba => {
+                let cfg = AmoebaConfig::ubs_budget_matched();
+                Some(EngineConfig {
+                    mshr_entries: cfg.mshr_entries,
+                    ..EngineConfig::paper_default()
+                })
+            }
+            _ => Some(EngineConfig::paper_default()),
+        }
+    }
+
     /// Instantiates the design.
     pub fn build(&self) -> Box<dyn InstructionCache + Send> {
         match self {
@@ -170,6 +190,15 @@ mod tests {
         for s in &specs {
             let c = s.build();
             assert_eq!(c.name(), s.name(), "name mismatch for {s:?}");
+            match s.engine_config() {
+                Some(e) => {
+                    assert!(
+                        e.mshr_entries > 0 && e.latency > 0,
+                        "degenerate engine {s:?}"
+                    )
+                }
+                None => assert!(matches!(s, DesignSpec::Ideal)),
+            }
         }
         assert_eq!(DesignSpec::fig15_variants().len(), 5);
     }

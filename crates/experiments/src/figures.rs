@@ -71,7 +71,13 @@ pub fn fig1(ctx: &RunContext<'_>) -> ExperimentResult {
         "Fig. 1 — cumulative fraction of evicted blocks using at most N bytes (conv-32k)"
     )
     .unwrap();
-    writeln!(text, "{:<14} {}", "workload", marks.map(|m| format!("{m:>6}")).join("")).unwrap();
+    writeln!(
+        text,
+        "{:<14} {}",
+        "workload",
+        marks.map(|m| format!("{m:>6}")).join("")
+    )
+    .unwrap();
     for (profile, workloads) in efficiency_categories(&ctx.scale) {
         let grid = ctx.run_matrix(&workloads, &[DesignSpec::conv_32k()]);
         for (w, spec) in workloads.iter().enumerate() {
@@ -140,7 +146,7 @@ fn efficiency_figure(
     )
     .unwrap();
     for (profile, workloads) in efficiency_categories(&ctx.scale) {
-        let grid = ctx.run_matrix(&workloads, &[design.clone()]);
+        let grid = ctx.run_matrix(&workloads, std::slice::from_ref(&design));
         let mut cat_means = Vec::new();
         for (w, spec) in workloads.iter().enumerate() {
             let s = &grid.get(w, 0).l1i;
@@ -164,7 +170,13 @@ fn efficiency_figure(
             }));
         }
         let avg = cat_means.iter().sum::<f64>() / cat_means.len().max(1) as f64;
-        writeln!(text, "  -> {} average: {:.1}%", profile.label(), 100.0 * avg).unwrap();
+        writeln!(
+            text,
+            "  -> {} average: {:.1}%",
+            profile.label(),
+            100.0 * avg
+        )
+        .unwrap();
     }
     writeln!(text, "\n{reference}").unwrap();
     ExperimentResult::new(id, text, json!({ "rows": json_rows }))
@@ -311,7 +323,11 @@ pub fn fig8(ctx: &RunContext<'_>) -> ExperimentResult {
 pub fn fig9(ctx: &RunContext<'_>) -> ExperimentResult {
     let mut text = String::new();
     let mut json_rows = Vec::new();
-    writeln!(text, "Fig. 9 — partial misses as a fraction of all UBS misses").unwrap();
+    writeln!(
+        text,
+        "Fig. 9 — partial misses as a fraction of all UBS misses"
+    )
+    .unwrap();
     writeln!(
         text,
         "{:<14} {:>9} {:>9} {:>9} {:>9}",
@@ -378,9 +394,7 @@ pub fn fig10(ctx: &RunContext<'_>) -> ExperimentResult {
 fn geomean_speedups(grid: &RunGrid) -> Vec<f64> {
     (1..grid.num_designs())
         .map(|d| {
-            geomean(
-                (0..grid.num_workloads()).map(|w| grid.get(w, d).speedup_over(grid.get(w, 0))),
-            )
+            geomean((0..grid.num_workloads()).map(|w| grid.get(w, d).speedup_over(grid.get(w, 0))))
         })
         .collect()
 }
@@ -391,12 +405,21 @@ pub fn fig11(ctx: &RunContext<'_>) -> ExperimentResult {
     let conv_sizes = [16usize, 32, 64, 128, 192];
     let ubs_budgets = [16usize, 20, 32, 64, 128];
     let mut designs = vec![DesignSpec::conv(16 << 10)];
-    designs.extend(conv_sizes.iter().skip(1).map(|&k| DesignSpec::conv(k << 10)));
+    designs.extend(
+        conv_sizes
+            .iter()
+            .skip(1)
+            .map(|&k| DesignSpec::conv(k << 10)),
+    );
     designs.extend(ubs_budgets.iter().map(|&k| DesignSpec::ubs_budget(k << 10)));
     let names: Vec<String> = designs.iter().map(|d| d.name()).collect();
 
     let mut text = String::new();
-    writeln!(text, "Fig. 11 — geomean speedup over conv-16k at different budgets").unwrap();
+    writeln!(
+        text,
+        "Fig. 11 — geomean speedup over conv-16k at different budgets"
+    )
+    .unwrap();
     let mut json_rows = Vec::new();
     for (profile, workloads) in perf_categories(&ctx.scale) {
         let grid = ctx.run_matrix(&workloads, &designs);
@@ -495,7 +518,11 @@ pub fn cvp(ctx: &RunContext<'_>) -> ExperimentResult {
     ];
     let cats = [Profile::CvpServer, Profile::CvpFp, Profile::CvpInt];
     let mut text = String::new();
-    writeln!(text, "§VI-L — CVP-1-style traces (geomean speedup over conv-32k)").unwrap();
+    writeln!(
+        text,
+        "§VI-L — CVP-1-style traces (geomean speedup over conv-32k)"
+    )
+    .unwrap();
     let mut json_rows = Vec::new();
     for profile in cats {
         let workloads = ctx.scale.suite(profile);
@@ -530,8 +557,14 @@ pub fn table1() -> ExperimentResult {
          L1D: {}KB {}-way {}-cycle LRU\n\
          L2: 512KB 8-way 12-cycle; L3: 2MB 16-way 30-cycle\n\
          DRAM: 3200, 1 channel, 8 banks, tRP=tRCD=tCAS=12.5ns\n",
-        c.rob_entries, c.scheduler_entries, c.load_queue, c.store_queue, c.ftq_entries,
-        c.l1d_size >> 10, c.l1d_ways, c.l1d_latency,
+        c.rob_entries,
+        c.scheduler_entries,
+        c.load_queue,
+        c.store_queue,
+        c.ftq_entries,
+        c.l1d_size >> 10,
+        c.l1d_ways,
+        c.l1d_latency,
     );
     let json = serde_json::to_value(&c).unwrap_or(Value::Null);
     ExperimentResult::new("table1", text, json)
@@ -577,12 +610,24 @@ pub fn table3() -> ExperimentResult {
          {:<28} {:>12.3} {:>12.3}\n\
          {:<28} {:>11.3}K {:>11.3}K\n\
          UBS overhead: {:.3} KB (paper: 2.46 KB)\n",
-        "", "conv-32k", "UBS",
-        "bit-vector bits/set", conv.bitvector_bits_per_set, ubs.bitvector_bits_per_set,
-        "start-offset bits/set", conv.start_offset_bits_per_set, ubs.start_offset_bits_per_set,
-        "tag+valid+repl bits/set", conv.tag_bits_per_set, ubs.tag_bits_per_set,
-        "bytes/set", conv.bytes_per_set(), ubs.bytes_per_set(),
-        "total", conv.total_kib(), ubs.total_kib(),
+        "",
+        "conv-32k",
+        "UBS",
+        "bit-vector bits/set",
+        conv.bitvector_bits_per_set,
+        ubs.bitvector_bits_per_set,
+        "start-offset bits/set",
+        conv.start_offset_bits_per_set,
+        ubs.start_offset_bits_per_set,
+        "tag+valid+repl bits/set",
+        conv.tag_bits_per_set,
+        ubs.tag_bits_per_set,
+        "bytes/set",
+        conv.bytes_per_set(),
+        ubs.bytes_per_set(),
+        "total",
+        conv.total_kib(),
+        ubs.total_kib(),
         ubs.total_kib() - conv.total_kib(),
     );
     let json = json!({
@@ -607,9 +652,15 @@ pub fn table4() -> ExperimentResult {
          physical data ways after consolidation: {} (paper: 8 incl. predictor)\n\
          tag path hidden behind {:.2} ns data access: {}\n\
          => UBS effective latency: {} cycles (same as baseline)\n",
-        "", "tag", "data",
-        "8-way 64-set", CONV_8WAY.tag_ns, CONV_8WAY.data_ns,
-        "17-way 64-set", UBS_17WAY.tag_ns, UBS_17WAY.data_ns,
+        "",
+        "tag",
+        "data",
+        "8-way 64-set",
+        CONV_8WAY.tag_ns,
+        CONV_8WAY.data_ns,
+        "17-way 64-set",
+        UBS_17WAY.tag_ns,
+        UBS_17WAY.data_ns,
         a.hit_detection_ns,
         a.shift_amount_ns,
         a.physical_ways,
@@ -647,12 +698,15 @@ pub fn ablate(ctx: &RunContext<'_>) -> ExperimentResult {
     let grid = ctx.run_matrix(&workloads, &all);
 
     let mut text = String::new();
-    writeln!(text, "Ablations (server suite, geomean speedup over conv-32k)").unwrap();
+    writeln!(
+        text,
+        "Ablations (server suite, geomean speedup over conv-32k)"
+    )
+    .unwrap();
     let mut json_rows = Vec::new();
-    for d in 1..all.len() {
-        let g = geomean(
-            (0..grid.num_workloads()).map(|w| grid.get(w, d).speedup_over(grid.get(w, 0))),
-        );
+    for (d, name) in names.iter().enumerate().skip(1) {
+        let g =
+            geomean((0..grid.num_workloads()).map(|w| grid.get(w, d).speedup_over(grid.get(w, 0))));
         let partial: f64 = (0..grid.num_workloads())
             .map(|w| {
                 grid.get(w, d).l1i.partial_misses() as f64
@@ -662,12 +716,12 @@ pub fn ablate(ctx: &RunContext<'_>) -> ExperimentResult {
             / grid.num_workloads() as f64;
         writeln!(
             text,
-            "{:<14} speedup {g:.4}  partial-miss fraction {:.1}%",
-            names[d],
+            "{name:<14} speedup {g:.4}  partial-miss fraction {:.1}%",
             100.0 * partial
         )
         .unwrap();
-        json_rows.push(json!({ "design": names[d], "geomean_speedup": g, "partial_fraction": partial }));
+        json_rows
+            .push(json!({ "design": name, "geomean_speedup": g, "partial_fraction": partial }));
     }
     ExperimentResult::new("ablate", text, json!({ "rows": json_rows }))
 }
@@ -704,7 +758,15 @@ pub fn workloads(ctx: &RunContext<'_>) -> ExperimentResult {
         text,
         "Workload characterization on the conv-32k baseline
 {:<14} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7}",
-        "workload", "IPC", "L1I MPKI", "bpu MPKI", "icache%", "bpu%", "starved%", "fill%", "steer%",
+        "workload",
+        "IPC",
+        "L1I MPKI",
+        "bpu MPKI",
+        "icache%",
+        "bpu%",
+        "starved%",
+        "fill%",
+        "steer%",
         "rob%"
     )
     .unwrap();
@@ -741,7 +803,7 @@ pub fn workloads(ctx: &RunContext<'_>) -> ExperimentResult {
                 "branch_mpki": r.branch_mpki(),
                 "icache_stall_share": r.icache_stall_cycles as f64 / cyc,
                 "bpu_stall_share": r.bpu_stall_cycles as f64 / cyc,
-                "frontend": serde_json::to_value(&r.frontend).unwrap_or(Value::Null),
+                "frontend": serde_json::to_value(r.frontend).unwrap_or(Value::Null),
             }));
         }
     }
@@ -751,8 +813,25 @@ pub fn workloads(ctx: &RunContext<'_>) -> ExperimentResult {
 /// Every experiment id the `repro` binary accepts.
 pub fn all_ids() -> Vec<&'static str> {
     vec![
-        "fig1", "fig2", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-        "fig15", "fig16", "table1", "table2", "table3", "table4", "cvp", "ablate", "amoeba",
+        "fig1",
+        "fig2",
+        "fig4",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig15",
+        "fig16",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "cvp",
+        "ablate",
+        "amoeba",
         "workloads",
     ]
 }

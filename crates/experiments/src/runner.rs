@@ -113,8 +113,14 @@ impl RunGrid {
     ///
     /// Panics if either index is out of range.
     pub fn cell(&self, workload: usize, design: usize) -> &Cell {
-        assert!(workload < self.workload_names.len(), "workload {workload} out of range");
-        assert!(design < self.design_names.len(), "design {design} out of range");
+        assert!(
+            workload < self.workload_names.len(),
+            "workload {workload} out of range"
+        );
+        assert!(
+            design < self.design_names.len(),
+            "design {design} out of range"
+        );
         &self.cells[workload * self.design_names.len() + design]
     }
 
@@ -246,12 +252,13 @@ impl<'a> RunContext<'a> {
 
     /// The worker count this context will use.
     pub fn effective_threads(&self) -> usize {
-        self.threads.unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-        .max(1)
+        self.threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .max(1)
     }
 
     /// Runs every workload against every design under this context.
@@ -364,7 +371,10 @@ mod tests {
         assert_eq!(grid.get(0, 0).design, "conv-32k");
         assert_eq!(grid.get(0, 1).design, "ubs");
         assert_eq!(grid.get(0, 0).workload, "client_000");
-        assert_eq!(grid.design_names(), &["conv-32k".to_string(), "ubs".to_string()]);
+        assert_eq!(
+            grid.design_names(),
+            &["conv-32k".to_string(), "ubs".to_string()]
+        );
         assert_eq!(grid.workload_names(), &["client_000".to_string()]);
         assert!(grid.get(0, 0).ipc() > 0.0);
         assert_eq!(grid.iter().count(), 2);
@@ -431,7 +441,10 @@ mod tests {
         for w in 0..workloads.len() {
             let a = one.get(w, 0).timeline.as_ref().expect("timeline enabled");
             let b = many.get(w, 0).timeline.as_ref().expect("timeline enabled");
-            assert_eq!(a, b, "timeline of workload {w} differs across thread counts");
+            assert_eq!(
+                a, b,
+                "timeline of workload {w} differs across thread counts"
+            );
             assert!(!a.samples.is_empty());
         }
         // Timelines stay off unless asked for.

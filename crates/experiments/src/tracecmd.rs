@@ -196,7 +196,9 @@ mod tests {
         }
         assert!(parse_workload("noindex").is_err());
         assert!(parse_workload("server_x1").is_err());
-        assert!(parse_workload("warehouse_000").unwrap_err().contains("unknown workload suite"));
+        assert!(parse_workload("warehouse_000")
+            .unwrap_err()
+            .contains("unknown workload suite"));
     }
 
     #[test]
@@ -218,7 +220,9 @@ mod tests {
             assert_eq!(spec.name(), name, "resolved wrong design for `{name}`");
         }
         assert!(design_by_name("conv-0k").is_err());
-        assert!(design_by_name("btac").unwrap_err().contains("unknown design"));
+        assert!(design_by_name("btac")
+            .unwrap_err()
+            .contains("unknown design"));
     }
 
     #[test]

@@ -48,7 +48,11 @@ fn identical_directories_diff_clean() {
     write_golden(&cand);
 
     let report = diff_dirs(&base, &cand, 1.0).expect("diff runs");
-    assert!(report.is_clean(), "unexpected regressions:\n{}", report.render());
+    assert!(
+        report.is_clean(),
+        "unexpected regressions:\n{}",
+        report.render()
+    );
     assert_eq!(report.compared_files, 3);
     assert!(report.compared_metrics > 5);
     // The throughput note is informational, never gating.

@@ -7,8 +7,7 @@ use ubs_experiments::{all_ids, run_by_id, Effort, SuiteScale};
 fn every_experiment_runs() {
     let scale = SuiteScale::bench();
     for id in all_ids() {
-        let r = run_by_id(id, Effort::Smoke, &scale)
-            .unwrap_or_else(|e| panic!("{id} failed: {e}"));
+        let r = run_by_id(id, Effort::Smoke, &scale).unwrap_or_else(|e| panic!("{id} failed: {e}"));
         assert_eq!(r.id, id);
         assert!(!r.text.trim().is_empty(), "{id}: empty text");
         assert!(

@@ -42,14 +42,23 @@ fn run_matrix_retains_timelines_only_when_asked() {
 
     let plain = RunContext::new(Effort::Smoke, SuiteScale::bench());
     let grid = plain.run_matrix(&workloads, &designs);
-    assert!(grid.get(0, 0).timeline.is_none(), "plain runs carry no timeline");
+    assert!(
+        grid.get(0, 0).timeline.is_none(),
+        "plain runs carry no timeline"
+    );
 
     let timed = RunContext::new(Effort::Smoke, SuiteScale::bench()).with_timeline(true);
     let grid = timed.run_matrix(&workloads, &designs);
     let report = grid.get(0, 0);
-    let tl = report.timeline.as_ref().expect("--timeline retains timelines");
+    let tl = report
+        .timeline
+        .as_ref()
+        .expect("--timeline retains timelines");
     assert!(!tl.samples.is_empty());
-    assert_eq!(tl.samples.iter().map(|s| s.cycles).sum::<u64>(), report.cycles);
+    assert_eq!(
+        tl.samples.iter().map(|s| s.cycles).sum::<u64>(),
+        report.cycles
+    );
     assert_eq!(
         tl.samples.iter().map(|s| s.instructions).sum::<u64>(),
         report.instructions

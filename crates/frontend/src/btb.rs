@@ -43,7 +43,10 @@ impl Btb {
     /// Panics if `entries` is not divisible by `assoc` or either is zero.
     pub fn new(entries: usize, assoc: usize) -> Self {
         assert!(entries > 0 && assoc > 0, "degenerate BTB");
-        assert!(entries % assoc == 0, "entries must divide by associativity");
+        assert!(
+            entries.is_multiple_of(assoc),
+            "entries must divide by associativity"
+        );
         let sets = entries / assoc;
         Btb {
             sets,
@@ -76,13 +79,14 @@ impl Btb {
         let set = self.index(pc);
         let tag = Self::tag(pc);
         self.clock += 1;
-        for w in &mut self.ways[set * self.assoc..(set + 1) * self.assoc] {
-            if let Some(way) = w {
-                if way.tag == tag {
-                    way.lru = self.clock;
-                    self.hits += 1;
-                    return Some(way.entry);
-                }
+        for way in self.ways[set * self.assoc..(set + 1) * self.assoc]
+            .iter_mut()
+            .flatten()
+        {
+            if way.tag == tag {
+                way.lru = self.clock;
+                self.hits += 1;
+                return Some(way.entry);
             }
         }
         self.misses += 1;
@@ -113,17 +117,14 @@ impl Btb {
             return;
         }
         // Fill an invalid way, else evict LRU.
-        let victim = slice
-            .iter()
-            .position(|w| w.is_none())
-            .unwrap_or_else(|| {
-                slice
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, w)| w.map_or(0, |w| w.lru))
-                    .map(|(i, _)| i)
-                    .expect("non-zero associativity")
-            });
+        let victim = slice.iter().position(|w| w.is_none()).unwrap_or_else(|| {
+            slice
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.map_or(0, |w| w.lru))
+                .map(|(i, _)| i)
+                .expect("non-zero associativity")
+        });
         slice[victim] = Some(Way {
             tag,
             entry: BtbEntry { target, kind },
@@ -169,7 +170,7 @@ mod tests {
     #[test]
     fn conflict_evicts_lru() {
         let mut b = Btb::new(8, 2); // 4 sets, 2 ways
-        // pcs mapping to the same set: (pc>>2) % 4 == 0.
+                                    // pcs mapping to the same set: (pc>>2) % 4 == 0.
         let pcs = [0x0u64, 0x10, 0x20];
         b.update(pcs[0], 1, BranchKind::DirectJump);
         b.update(pcs[1], 2, BranchKind::DirectJump);

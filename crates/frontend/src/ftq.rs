@@ -165,7 +165,7 @@ mod tests {
         q.push(r(4, 4));
         q.take_unprefetched(1); // cursor past entry 0
         q.pop(); // removes entry 0
-        // Entry at old index 1 must still be returned exactly once.
+                 // Entry at old index 1 must still be returned exactly once.
         assert_eq!(q.take_unprefetched(4), vec![r(4, 4)]);
     }
 

@@ -36,7 +36,7 @@ mod ftq;
 mod perceptron;
 mod ras;
 
-pub use bpu::{BranchResolution, Bpu};
+pub use bpu::{Bpu, BranchResolution};
 pub use btb::{Btb, BtbEntry};
 pub use ftq::Ftq;
 pub use perceptron::{Direction, HashedPerceptron};

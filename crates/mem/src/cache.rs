@@ -59,7 +59,7 @@ impl CacheConfig {
         assert!(self.ways > 0 && self.block_bytes > 0, "degenerate geometry");
         let denom = self.ways * self.block_bytes;
         assert!(
-            self.size_bytes % denom == 0 && self.size_bytes > 0,
+            self.size_bytes.is_multiple_of(denom) && self.size_bytes > 0,
             "{}: size {} not divisible by ways*block {}",
             self.name,
             self.size_bytes,
@@ -208,7 +208,9 @@ impl<M> SetAssocCache<M> {
     pub fn meta(&self, key: BlockKey) -> Option<&M> {
         let way = self.find_way(key)?;
         let set = self.set_index(key);
-        self.slots[self.slot_idx(set, way)].as_ref().map(|s| &s.meta)
+        self.slots[self.slot_idx(set, way)]
+            .as_ref()
+            .map(|s| &s.meta)
     }
 
     /// Inserts `key`; returns the evicted block, if any.

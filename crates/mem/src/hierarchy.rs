@@ -41,9 +41,7 @@ impl HierarchyConfig {
 }
 
 /// Where a block fetch was satisfied.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum FillSource {
     /// Served by the L2 cache.
     L2,

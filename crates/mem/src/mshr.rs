@@ -171,10 +171,19 @@ mod tests {
     #[test]
     fn allocate_and_drain() {
         let mut f = MshrFile::new(2);
-        assert_eq!(f.allocate(line(1), 10, false, FillSource::L2), Allocate::Fresh);
-        assert_eq!(f.allocate(line(2), 20, true, FillSource::Dram), Allocate::Fresh);
+        assert_eq!(
+            f.allocate(line(1), 10, false, FillSource::L2),
+            Allocate::Fresh
+        );
+        assert_eq!(
+            f.allocate(line(2), 20, true, FillSource::Dram),
+            Allocate::Fresh
+        );
         assert!(f.is_full());
-        assert_eq!(f.allocate(line(3), 30, false, FillSource::L3), Allocate::Full);
+        assert_eq!(
+            f.allocate(line(3), 30, false, FillSource::L3),
+            Allocate::Full
+        );
         assert_eq!(f.rejects(), 1);
 
         let ready = f.drain_ready(15);

@@ -131,9 +131,7 @@ pub struct RandomRepl {
 impl RandomRepl {
     /// Random replacement seeded with `seed` (0 is remapped internally).
     pub fn new(seed: u64) -> Self {
-        RandomRepl {
-            state: seed | 1,
-        }
+        RandomRepl { state: seed | 1 }
     }
 
     fn next(&mut self) -> u64 {

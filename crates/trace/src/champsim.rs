@@ -193,7 +193,8 @@ pub fn to_champsim(rec: &TraceRecord) -> ChampSimInstr {
                 }
                 BranchKind::IndirectJump => {
                     c.destination_registers[0] = regs::IP;
-                    c.source_registers[0] = rec.src_regs.iter().copied().find(|&r| r != 0).unwrap_or(1);
+                    c.source_registers[0] =
+                        rec.src_regs.iter().copied().find(|&r| r != 0).unwrap_or(1);
                 }
                 BranchKind::DirectCall => {
                     c.destination_registers = [regs::IP, regs::SP];
@@ -204,7 +205,8 @@ pub fn to_champsim(rec: &TraceRecord) -> ChampSimInstr {
                     c.destination_registers = [regs::IP, regs::SP];
                     c.source_registers[0] = regs::IP;
                     c.source_registers[1] = regs::SP;
-                    c.source_registers[2] = rec.src_regs.iter().copied().find(|&r| r != 0).unwrap_or(1);
+                    c.source_registers[2] =
+                        rec.src_regs.iter().copied().find(|&r| r != 0).unwrap_or(1);
                 }
                 BranchKind::Return => {
                     c.destination_registers = [regs::IP, regs::SP];
@@ -279,7 +281,11 @@ impl<R: Read> ChampSimReader<R> {
                 // the trace, approximate with a forward skip.
                 cur.ip + 2 * INSTR_BYTES
             };
-            rec.branch = Some(BranchInfo { kind, taken, target });
+            rec.branch = Some(BranchInfo {
+                kind,
+                taken,
+                target,
+            });
         }
         rec
     }

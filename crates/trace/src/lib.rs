@@ -34,9 +34,9 @@ pub mod stats;
 pub mod suites;
 pub mod synth;
 
+pub use fetch::FetchRange;
 pub use record::{
     Addr, BranchInfo, BranchKind, Line, TraceRecord, BLOCK_BYTES, INSTRS_PER_BLOCK, INSTR_BYTES,
     MAX_DST_REGS, MAX_SRC_REGS,
 };
-pub use fetch::FetchRange;
 pub use source::{collect_records, LoopingReplay, ReplaySource, TraceSource};

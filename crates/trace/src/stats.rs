@@ -38,8 +38,10 @@ pub struct TraceSummary {
 impl TraceSummary {
     /// Fraction of instructions that are branches of any kind.
     pub fn branch_fraction(&self) -> f64 {
-        (self.conditionals + self.taken_branches.saturating_sub(self.taken_conditional_estimate()))
-            as f64
+        (self.conditionals
+            + self
+                .taken_branches
+                .saturating_sub(self.taken_conditional_estimate())) as f64
             / self.instructions.max(1) as f64
     }
 
@@ -181,7 +183,11 @@ mod tests {
         let s = summarize(&mut trace, 300_000);
         // Multi-10s-of-KB touched footprint and short runs between taken
         // branches — the paper's premises.
-        assert!(s.code_footprint_bytes() > 16 << 10, "{}", s.code_footprint_bytes());
+        assert!(
+            s.code_footprint_bytes() > 16 << 10,
+            "{}",
+            s.code_footprint_bytes()
+        );
         assert!(s.mean_run_instrs() < 20.0, "{}", s.mean_run_instrs());
         assert!(s.load_fraction() > 0.05 && s.load_fraction() < 0.5);
     }

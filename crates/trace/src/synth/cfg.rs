@@ -131,13 +131,16 @@ impl Program {
 
     /// Fraction of static instructions in cold blocks.
     pub fn cold_fraction(&self) -> f64 {
-        let (cold, total) = self
-            .functions
-            .iter()
-            .flat_map(|f| f.blocks.iter())
-            .fold((0u64, 0u64), |(c, t), b| {
-                (c + if b.cold { b.instrs as u64 } else { 0 }, t + b.instrs as u64)
-            });
+        let (cold, total) =
+            self.functions
+                .iter()
+                .flat_map(|f| f.blocks.iter())
+                .fold((0u64, 0u64), |(c, t), b| {
+                    (
+                        c + if b.cold { b.instrs as u64 } else { 0 },
+                        t + b.instrs as u64,
+                    )
+                });
         cold as f64 / total.max(1) as f64
     }
 
@@ -174,7 +177,10 @@ impl Program {
                 pc = b.end_pc();
                 let check_target = |t: BlockId| -> Result<(), String> {
                     if t as usize >= f.blocks.len() {
-                        Err(format!("function {} block {} target {} out of range", f.id, i, t))
+                        Err(format!(
+                            "function {} block {} target {} out of range",
+                            f.id, i, t
+                        ))
                     } else {
                         Ok(())
                     }
@@ -255,8 +261,8 @@ struct Builder<'a> {
 /// Per-hot-block plan entry used during function construction.
 struct HotPlan {
     instrs: u32,
-    cold_run: Vec<u32>,  // instruction counts of attached cold blocks
-    out_of_line: bool,   // cold run relocated to function end
+    cold_run: Vec<u32>, // instruction counts of attached cold blocks
+    out_of_line: bool,  // cold run relocated to function end
     call: Option<CallPlan>,
     loop_back_to: Option<u32>, // hot index of loop head
     fwd_cond: Option<f32>,     // taken prob of a forward conditional
@@ -271,8 +277,7 @@ impl Builder<'_> {
     fn build(&mut self) -> Program {
         const CODE_BASE: Addr = 0x0040_0000;
         let p = self.params;
-        let instrs_per_fn =
-            (p.avg_blocks_per_fn as f64 * p.avg_bb_instrs).max(4.0);
+        let instrs_per_fn = (p.avg_blocks_per_fn as f64 * p.avg_bb_instrs).max(4.0);
         let n_funcs = ((p.static_instrs() as f64 / instrs_per_fn).ceil() as usize).max(2);
 
         let mut functions = Vec::with_capacity(n_funcs + 1);
@@ -401,10 +406,7 @@ impl Builder<'_> {
         // Phase 3c: forward conditionals on whatever is left.
         for (i, hp) in plan.iter_mut().enumerate() {
             let is_last = i + 1 == n_hot;
-            if is_last
-                || hp.loop_back_to.is_some()
-                || !hp.cold_run.is_empty()
-                || hp.call.is_some()
+            if is_last || hp.loop_back_to.is_some() || !hp.cold_run.is_empty() || hp.call.is_some()
             {
                 continue;
             }
@@ -479,7 +481,10 @@ impl Builder<'_> {
             if !hp.cold_run.is_empty() {
                 if hp.out_of_line {
                     // Guard: rarely taken branch to the relocated run.
-                    let d = deferred.iter().position(|(g, _, _)| *g == pos as u32).unwrap();
+                    let d = deferred
+                        .iter()
+                        .position(|(g, _, _)| *g == pos as u32)
+                        .unwrap();
                     blocks[pos].term = Terminator::Cond {
                         target: deferred_pos[d],
                         taken_prob: self.params.cold_exec_prob as f32,

@@ -339,15 +339,14 @@ impl WorkloadSpec {
         WorkloadSpec {
             name: format!("{}_{:03}", profile.label(), index),
             profile,
-            seed: (index as u64 + 1) * 0x5851_f42d_4c95_7f2d ^ profile.label().len() as u64,
+            seed: (index as u64 + 1).wrapping_mul(0x5851_f42d_4c95_7f2d)
+                ^ profile.label().len() as u64,
         }
     }
 
     /// The fully jittered parameters for this workload.
     pub fn params(&self) -> ProfileParams {
-        self.profile
-            .base_params()
-            .jittered(self.profile, self.seed)
+        self.profile.base_params().jittered(self.profile, self.seed)
     }
 }
 
@@ -390,9 +389,19 @@ mod tests {
     #[test]
     fn server_footprints_span_regimes() {
         let sizes: Vec<usize> = (0..24)
-            .map(|i| WorkloadSpec::new(Profile::Server, i).params().code_footprint_bytes)
+            .map(|i| {
+                WorkloadSpec::new(Profile::Server, i)
+                    .params()
+                    .code_footprint_bytes
+            })
             .collect();
-        assert!(sizes.iter().any(|&s| s < 256 << 10), "no small-footprint server workload");
-        assert!(sizes.iter().any(|&s| s > 1 << 20), "no large-footprint server workload");
+        assert!(
+            sizes.iter().any(|&s| s < 256 << 10),
+            "no small-footprint server workload"
+        );
+        assert!(
+            sizes.iter().any(|&s| s > 1 << 20),
+            "no large-footprint server workload"
+        );
     }
 }

@@ -135,9 +135,7 @@ impl SyntheticTrace {
 
     fn draw_hot_set(rng: &mut SmallRng, n_funcs: usize, size: usize) -> Vec<FuncId> {
         let hi = n_funcs.max(2) as u32;
-        (0..size.max(1))
-            .map(|_| rng.gen_range(1..hi))
-            .collect()
+        (0..size.max(1)).map(|_| rng.gen_range(1..hi)).collect()
     }
 
     fn zipf_cdf(s: f64, n: usize) -> Vec<f64> {
@@ -204,7 +202,11 @@ impl SyntheticTrace {
             let hot = (self.params.data_footprint_bytes as u64 / 16).clamp(64, 256 << 10);
             HEAP_BASE + self.rng.gen_range(0..hot / 8) * 8
         } else {
-            HEAP_BASE + self.rng.gen_range(0..self.params.data_footprint_bytes as u64 / 8) * 8
+            HEAP_BASE
+                + self
+                    .rng
+                    .gen_range(0..self.params.data_footprint_bytes as u64 / 8)
+                    * 8
         }
     }
 
@@ -236,14 +238,24 @@ impl SyntheticTrace {
         rec
     }
 
-    fn branch_record(&mut self, pc: Addr, kind: BranchKind, taken: bool, target: Addr) -> TraceRecord {
+    fn branch_record(
+        &mut self,
+        pc: Addr,
+        kind: BranchKind,
+        taken: bool,
+        target: Addr,
+    ) -> TraceRecord {
         let mut rec = TraceRecord::nop(pc);
         // Roughly half of conditionals compare against a recently produced
         // value; the rest test loop counters / flags already long ready.
         if kind == BranchKind::Conditional && self.rng.gen::<f64>() < 0.15 {
             rec.src_regs[0] = self.recent_src();
         }
-        rec.branch = Some(BranchInfo { kind, taken, target });
+        rec.branch = Some(BranchInfo {
+            kind,
+            taken,
+            target,
+        });
         rec
     }
 
@@ -414,7 +426,11 @@ mod tests {
         let (base, end) = (t.program().code_base, t.program().code_end);
         for _ in 0..100_000 {
             let r = t.next_record().unwrap();
-            assert!(r.pc >= base && r.pc < end, "pc {:x} out of code region", r.pc);
+            assert!(
+                r.pc >= base && r.pc < end,
+                "pc {:x} out of code region",
+                r.pc
+            );
         }
     }
 

@@ -218,7 +218,8 @@ mod tests {
         let back: SimReport = serde_json::from_value(v).expect("legacy decode");
         assert_eq!(back.frontend.fetch_slots_per_cycle, 0);
         assert!(back.timeline.is_none());
-        back.validate().expect("legacy reports skip the slot invariant");
+        back.validate()
+            .expect("legacy reports skip the slot invariant");
     }
 
     #[test]

@@ -41,7 +41,6 @@
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use ubs_core::MissKind;
-use ubs_mem::FillSource;
 
 /// Version of the timeline / telemetry schema, bumped together with the run
 /// manifest schema (`ubs-experiments`): v2 introduced telemetry.
@@ -111,9 +110,7 @@ impl StallClass {
 
 /// Slot counts per [`StallClass`], plus the delivered slots. The sum of all
 /// fields is `cycles × fetch_slots_per_cycle` by construction.
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StallBreakdown {
     /// Slots that delivered an instruction.
     pub delivered: u64,
@@ -205,9 +202,7 @@ impl StallBreakdown {
 ///
 /// `fetch_slots_per_cycle == 0` marks a report produced before telemetry
 /// existed (or built by hand); such reports skip the sum invariant.
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FrontendStalls {
     /// Fetch-group slots per cycle (fetch width in instructions).
     pub fetch_slots_per_cycle: u64,
@@ -684,7 +679,11 @@ impl<'s> Telemetry<'s> {
         self.episode = None;
         self.epoch_enabled = self.cfg.timeline || self.sink.is_some();
         self.epoch_len = self.cfg.epoch_cycles.max(1);
-        self.epoch_next = if self.epoch_enabled { self.epoch_len } else { u64::MAX };
+        self.epoch_next = if self.epoch_enabled {
+            self.epoch_len
+        } else {
+            u64::MAX
+        };
         self.epoch_index = 0;
         self.epoch_start = 0;
         self.epoch_start_instructions = 0;
@@ -867,8 +866,10 @@ mod tests {
 
     #[test]
     fn breakdown_sums_and_deltas() {
-        let mut b = StallBreakdown::default();
-        b.delivered = 100;
+        let mut b = StallBreakdown {
+            delivered: 100,
+            ..Default::default()
+        };
         b.add(StallClass::IcacheDram, 7);
         b.add(StallClass::FtqEmpty, 3);
         assert_eq!(b.stall_slots(), 10);

@@ -22,7 +22,12 @@ fn main() {
         let r = simulate(&mut trace, &mut icache, &cfg);
         let s = &r.l1i;
 
-        println!("== {} (L1I MPKI {:.1}, IPC {:.2}) ==", spec.name, r.l1i_mpki(), r.ipc());
+        println!(
+            "== {} (L1I MPKI {:.1}, IPC {:.2}) ==",
+            spec.name,
+            r.l1i_mpki(),
+            r.ipc()
+        );
         print!("  bytes used before eviction (CDF): ");
         for mark in [8usize, 16, 32, 48, 63, 64] {
             print!("<={mark}B: {:.0}%  ", 100.0 * s.evict_cdf_at(mark));

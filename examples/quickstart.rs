@@ -17,13 +17,19 @@ fn run(spec: &WorkloadSpec, mut icache: Box<dyn InstructionCache>, cfg: &SimConf
 fn main() {
     let spec = WorkloadSpec::new(Profile::Server, 0);
     let cfg = SimConfig::scaled(200_000, 600_000);
-    println!("workload: {} (synthetic server trace, seed {:#x})", spec.name, spec.seed);
+    println!(
+        "workload: {} (synthetic server trace, seed {:#x})",
+        spec.name, spec.seed
+    );
 
     let base = run(&spec, Box::new(ConvL1i::paper_baseline()), &cfg);
     let big = run(&spec, Box::new(ConvL1i::paper_64k()), &cfg);
     let ubs = run(&spec, Box::new(UbsCache::paper_default()), &cfg);
 
-    println!("\n{:<10} {:>8} {:>10} {:>12} {:>14} {:>10}", "design", "IPC", "L1I MPKI", "stall cycles", "partial misses", "efficiency");
+    println!(
+        "\n{:<10} {:>8} {:>10} {:>12} {:>14} {:>10}",
+        "design", "IPC", "L1I MPKI", "stall cycles", "partial misses", "efficiency"
+    );
     for r in [&base, &big, &ubs] {
         println!(
             "{:<10} {:>8.3} {:>10.2} {:>12} {:>14} {:>9.1}%",

@@ -57,7 +57,11 @@ fn main() -> std::io::Result<()> {
     let file = std::fs::File::open(&path)?;
     let mut reader = ChampSimReader::new(spec.name.clone(), BufReader::new(file));
     let mut icache = ConvL1i::paper_baseline();
-    let report = simulate(&mut reader, &mut icache, &SimConfig::scaled(50_000, 300_000));
+    let report = simulate(
+        &mut reader,
+        &mut icache,
+        &SimConfig::scaled(50_000, 300_000),
+    );
     println!(
         "simulated from file: {} instructions, IPC {:.3}, L1I MPKI {:.2}",
         report.instructions,

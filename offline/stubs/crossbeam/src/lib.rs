@@ -1,0 +1,45 @@
+//! Offline stand-in for `crossbeam`'s scoped threads, backed by
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Only `crossbeam::scope` / `Scope::spawn` are provided — the surface this
+//! workspace uses. Like the real crate, `scope` joins every spawned thread
+//! before returning and surfaces child panics through its `Result`.
+
+use std::any::Any;
+
+/// Scope handle passed to the `scope` closure; mirrors
+/// `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again, like
+    /// crossbeam's API (this workspace ignores that argument).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope in which scoped threads can be spawned; joins them all
+/// before returning. Returns `Err` with the panic payload if the closure
+/// itself panics (child panics propagate on join, as with crossbeam).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }));
+    result
+}
+
+/// Namespace alias so `crossbeam::thread::scope` also resolves.
+pub mod thread {
+    pub use super::{scope, Scope};
+}

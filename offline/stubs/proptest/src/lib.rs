@@ -1,0 +1,342 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! `proptest!` macro over named-argument strategies, integer range and
+//! `any::<T>()` strategies, strategy tuples, and `prop::collection::vec`.
+//! Each test runs 256 deterministic pseudo-random cases (seeded from the
+//! test name). There is no shrinking: a failing case prints its generated
+//! inputs and re-panics, which is enough signal for local debugging.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic case generator (xorshift64*; internal only — proptest's
+/// own generation stream is not a compatibility surface).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds the generator; zero is remapped to a fixed odd constant.
+    pub fn new(seed: u64) -> Self {
+        TestRng(if seed == 0 { 0x9e3779b97f4a7c15 } else { seed })
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform-ish value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// Error carrier kept for API compatibility with real proptest.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+/// A source of random values for one test-case argument.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: std::fmt::Debug;
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                (self.start as u64).wrapping_add(rng.below(span)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as u64).wrapping_add(rng.below(span)) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The `any::<T>()` strategy: arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A fixed-value strategy (real proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// Collection size specification (subset of proptest's `SizeRange`).
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec` resolves from the prelude.
+pub mod prop {
+    pub use super::collection;
+}
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use super::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume,
+        proptest, Any, Arbitrary, Just, ProptestConfig, SizeRange, Strategy, TestCaseError,
+        TestRng,
+    };
+}
+
+/// Per-module test configuration (`#![proptest_config(...)]`); only the
+/// case count is honoured by the stub.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: CASES as u32 }
+    }
+}
+
+/// Number of cases per property (matches real proptest's default).
+pub const CASES: usize = 256;
+
+#[doc(hidden)]
+pub fn seed_from_name(name: &str) -> u64 {
+    // FNV-1a over the test path: stable across runs, distinct per test.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`CASES`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! { @cases ($cfg).cases as usize; $($rest)* }
+    };
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $crate::proptest! { @cases $crate::CASES; $(
+            $(#[$meta])*
+            fn $name($($arg in $strat),*) $body
+        )* }
+    };
+    (@cases $cases:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        // Tests carry their own `#[test]` attribute (matched into `$meta`),
+        // exactly as real proptest expects; adding another here would
+        // register each test twice.
+        $(#[$meta])*
+        fn $name() {
+            let mut __rng = $crate::TestRng::new($crate::seed_from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            )));
+            for __case in 0..$cases {
+                let __vals = ($($crate::Strategy::generate(&($strat), &mut __rng),)*);
+                let __desc = format!("{:?}", __vals);
+                let __result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || {
+                        let ($($arg,)*) = __vals;
+                        $body
+                    }),
+                );
+                if let Err(e) = __result {
+                    eprintln!(
+                        "proptest stub: {} failed on case #{__case} with inputs {__desc}",
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(e);
+                }
+            }
+        }
+    )*};
+}
+
+/// Rejects a test case when its precondition fails. The stub simply skips
+/// the case (early return from the harness closure) instead of drawing a
+/// replacement like real proptest.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Asserts a condition inside a property (panics, no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

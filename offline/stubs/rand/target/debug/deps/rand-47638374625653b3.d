@@ -1,0 +1,7 @@
+/root/repo/offline/stubs/rand/target/debug/deps/rand-47638374625653b3.d: src/lib.rs
+
+/root/repo/offline/stubs/rand/target/debug/deps/librand-47638374625653b3.rlib: src/lib.rs
+
+/root/repo/offline/stubs/rand/target/debug/deps/librand-47638374625653b3.rmeta: src/lib.rs
+
+src/lib.rs:

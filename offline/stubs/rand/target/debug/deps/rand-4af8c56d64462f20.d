@@ -1,0 +1,5 @@
+/root/repo/offline/stubs/rand/target/debug/deps/rand-4af8c56d64462f20.d: src/lib.rs
+
+/root/repo/offline/stubs/rand/target/debug/deps/rand-4af8c56d64462f20: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,371 @@
+//! Offline stand-in for `serde`.
+//!
+//! Real serde streams through `Serializer`/`Deserializer` visitors; the only
+//! consumer in this workspace is `serde_json`, so this stub collapses the
+//! model to one JSON-shaped value tree: `Serialize` renders into
+//! [`value::Value`] and `Deserialize` reads back out of it. The derive
+//! macros (behind the `derive` feature, from the sibling `serde_derive`
+//! stub) generate field-by-field impls honouring the `#[serde(default)]`,
+//! `#[serde(default = "path")]` and `#[serde(skip_serializing_if = "path")]`
+//! attributes this workspace uses.
+//!
+//! Struct serialization preserves field declaration order, matching real
+//! `serde_json` output, and unit enum variants serialize as their name —
+//! the externally-tagged default.
+
+pub mod value;
+
+use value::{Map, Number, Value};
+
+/// Error raised when a value tree does not match the requested type.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Convenience constructor mirroring `serde::de::Error::custom`.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Self(msg.to_string())
+    }
+}
+
+/// A value that can render itself into a JSON-shaped tree.
+pub trait Serialize {
+    /// Renders `self` as a [`Value`].
+    fn to_value_tree(&self) -> Value;
+}
+
+/// A value that can be reconstructed from a JSON-shaped tree.
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a [`Value`].
+    fn from_value_tree(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Owned-deserialization alias (real serde's `de::DeserializeOwned`).
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+/// Namespace mirroring `serde::de` for error construction in generated code.
+pub mod de {
+    pub use super::{DeError as Error, Deserialize, DeserializeOwned};
+}
+
+/// Namespace mirroring `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+// --- Serialize impls ---
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value_tree(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value_tree(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::from_u64(v as u64))
+                } else {
+                    Value::Number(Number::from_i64(v))
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value_tree(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value_tree(&self) -> Value {
+        Value::Number(Number::from_f64(*self as f64))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value_tree(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value_tree(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value_tree(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value_tree(&self) -> Value {
+        (**self).to_value_tree()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value_tree(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value_tree).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value_tree(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value_tree).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value_tree(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value_tree).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value_tree(&self) -> Value {
+        match self {
+            Some(v) => v.to_value_tree(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value_tree(&self) -> Value {
+        (**self).to_value_tree()
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value_tree(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.to_value_tree());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<V: Serialize, S> Serialize for std::collections::HashMap<String, V, S> {
+    fn to_value_tree(&self) -> Value {
+        // Sort for deterministic output, like serde_json's default map.
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        let mut m = Map::new();
+        for (k, v) in entries {
+            m.insert(k.clone(), v.to_value_tree());
+        }
+        Value::Object(m)
+    }
+}
+
+macro_rules! ser_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value_tree(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value_tree()),+])
+            }
+        }
+    };
+}
+ser_tuple!(A: 0);
+ser_tuple!(A: 0, B: 1);
+ser_tuple!(A: 0, B: 1, C: 2);
+ser_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+// --- Deserialize impls ---
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value_tree(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(n) => n
+                        .as_u64()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| DeError(format!(
+                            "invalid number for {}: {n:?}", stringify!($t)
+                        ))),
+                    other => Err(DeError(format!(
+                        "expected unsigned integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value_tree(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| DeError(format!(
+                            "invalid number for {}: {n:?}", stringify!($t)
+                        ))),
+                    other => Err(DeError(format!(
+                        "expected integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value_tree(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Number(n) => n
+                .as_f64()
+                .ok_or_else(|| DeError(format!("invalid float: {n:?}"))),
+            other => Err(DeError(format!("expected float, got {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value_tree(v: &Value) -> Result<Self, DeError> {
+        f64::from_value_tree(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value_tree(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value_tree(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value_tree(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value_tree).collect(),
+            other => Err(DeError(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value_tree(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value_tree(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value_tree(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value_tree(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value_tree(v: &Value) -> Result<Self, DeError> {
+        T::from_value_tree(v).map(Box::new)
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value_tree(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value_tree(v)?)))
+                .collect(),
+            other => Err(DeError(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_value_tree(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value_tree(v)?)))
+                .collect(),
+            other => Err(DeError(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($($name:ident : $idx:tt),+ ; $len:expr) => {
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value_tree(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($name::from_value_tree(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError(format!(
+                        "expected array of length {}, got {other:?}", $len
+                    ))),
+                }
+            }
+        }
+    };
+}
+de_tuple!(A: 0; 1);
+de_tuple!(A: 0, B: 1; 2);
+de_tuple!(A: 0, B: 1, C: 2; 3);
+de_tuple!(A: 0, B: 1, C: 2, D: 3; 4);
+
+impl Serialize for Value {
+    fn to_value_tree(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value_tree(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

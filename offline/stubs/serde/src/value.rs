@@ -1,0 +1,566 @@
+//! The JSON-shaped value tree shared by the `serde` and `serde_json` stubs.
+//!
+//! `serde_json` re-exports these types as `serde_json::Value`, `Number` and
+//! `Map`; they live here because the `Serialize`/`Deserialize` stub traits
+//! render through them. The `Map` preserves insertion order so struct
+//! serialization matches real `serde_json`'s declaration-order output.
+
+/// A JSON number: unsigned, signed, or floating point (like `serde_json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Number(N);
+
+#[derive(Debug, Clone, PartialEq)]
+enum N {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    /// Builds a number holding a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        Number(N::PosInt(v))
+    }
+
+    /// Builds a number holding an `i64` (negative values only stay signed).
+    pub fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            Number(N::PosInt(v as u64))
+        } else {
+            Number(N::NegInt(v))
+        }
+    }
+
+    /// Builds a number holding an `f64` (non-finite maps to `Null` at the
+    /// `Value` layer, mirroring serde_json's lossy behaviour).
+    pub fn from_f64(v: f64) -> Self {
+        Number(N::Float(v))
+    }
+
+    /// Returns the value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::PosInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `i64` if it is integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::PosInt(v) => i64::try_from(v).ok(),
+            N::NegInt(v) => Some(v),
+            N::Float(_) => None,
+        }
+    }
+
+    /// Returns the value as `f64` (integers convert losslessly enough).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            N::PosInt(v) => Some(v as f64),
+            N::NegInt(v) => Some(v as f64),
+            N::Float(v) => Some(v),
+        }
+    }
+
+    /// Whether this number is a float.
+    pub fn is_f64(&self) -> bool {
+        matches!(self.0, N::Float(_))
+    }
+
+    /// Whether this number fits `u64`.
+    pub fn is_u64(&self) -> bool {
+        matches!(self.0, N::PosInt(_))
+    }
+
+    /// Renders the number as JSON text.
+    pub fn render(&self) -> String {
+        match self.0 {
+            N::PosInt(v) => v.to_string(),
+            N::NegInt(v) => v.to_string(),
+            N::Float(v) => render_f64(v),
+        }
+    }
+}
+
+/// Formats an `f64` like serde_json/ryu: whole floats keep a trailing `.0`.
+fn render_f64(v: f64) -> String {
+    if !v.is_finite() {
+        // serde_json refuses non-finite numbers; the Value layer emits null
+        // before reaching here, but keep a defensive rendering.
+        return "null".to_owned();
+    }
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// An order-preserving string-keyed object, mirroring `serde_json::Map`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a key, replacing in place if it already exists.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        let key = key.into();
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Looks up a key mutably.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Removes a key, returning its value.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates entries mutably in insertion order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&String, &mut Value)> {
+        self.entries.iter_mut().map(|(k, v)| (&*k, v))
+    }
+
+    /// Iterates keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl<'a> IntoIterator for &'a Map {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (String, Value)>,
+        fn(&'a (String, Value)) -> (&'a String, &'a Value),
+    >;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// A JSON value tree, mirroring `serde_json::Value`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object.
+    Object(Map),
+}
+
+impl Value {
+    /// Returns the string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `u64`, if a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `i64`, if an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns the array payload mutably, if this is an array.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns the object payload, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the object payload mutably, if this is an object.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    fn eq_str(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+
+    /// Whether this value is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// Whether this value is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Whether this value is a string.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// Whether this value is a number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// Object-key or array-index lookup, like `serde_json::Value::get`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// JSON Pointer lookup (RFC 6901), like `serde_json::Value::pointer`.
+    pub fn pointer(&self, pointer: &str) -> Option<&Value> {
+        if pointer.is_empty() {
+            return Some(self);
+        }
+        let mut cur = self;
+        for token in pointer.strip_prefix('/')?.split('/') {
+            let token = token.replace("~1", "/").replace("~0", "~");
+            cur = match cur {
+                Value::Object(m) => m.get(&token)?,
+                Value::Array(a) => a.get(token.parse::<usize>().ok()?)?,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if let Value::Null = self {
+            *self = Value::Object(Map::new());
+        }
+        let map = match self {
+            Value::Object(m) => m,
+            other => panic!("cannot index non-object value {other:?} with a string key"),
+        };
+        if !map.contains_key(key) {
+            map.insert(key.to_owned(), Value::Null);
+        }
+        map.get_mut(key).expect("just inserted")
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => &a[idx],
+            other => panic!("cannot index non-array value {other:?} with {idx}"),
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.eq_str(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.eq_str(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.eq_str(other)
+    }
+}
+
+impl PartialEq<Value> for str {
+    fn eq(&self, other: &Value) -> bool {
+        other.eq_str(self)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.eq_str(self)
+    }
+}
+
+impl PartialEq<Value> for String {
+    fn eq(&self, other: &Value) -> bool {
+        other.eq_str(self)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        if v.is_finite() {
+            Value::Number(Number::from_f64(v))
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::from(v as f64)
+    }
+}
+
+macro_rules! value_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(Number::from_u64(v as u64))
+            }
+        }
+    )*};
+}
+value_from_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! value_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(Number::from_i64(v as i64))
+            }
+        }
+    )*};
+}
+value_from_int!(i8, i16, i32, i64, isize);
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(m: Map) -> Self {
+        Value::Object(m)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&render(self, None, 0))
+    }
+}
+
+/// Renders a value as JSON text; `indent = Some(width)` pretty-prints.
+pub fn render(v: &Value, indent: Option<usize>, depth: usize) -> String {
+    match v {
+        Value::Null => "null".to_owned(),
+        Value::Bool(b) => b.to_string(),
+        Value::Number(n) => {
+            if n.is_f64() && !n.as_f64().unwrap().is_finite() {
+                "null".to_owned()
+            } else {
+                n.render()
+            }
+        }
+        Value::String(s) => render_string(s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                return "[]".to_owned();
+            }
+            match indent {
+                None => {
+                    let inner: Vec<String> =
+                        items.iter().map(|i| render(i, None, 0)).collect();
+                    format!("[{}]", inner.join(","))
+                }
+                Some(w) => {
+                    let pad = " ".repeat(w * (depth + 1));
+                    let close = " ".repeat(w * depth);
+                    let inner: Vec<String> = items
+                        .iter()
+                        .map(|i| format!("{pad}{}", render(i, indent, depth + 1)))
+                        .collect();
+                    format!("[\n{}\n{close}]", inner.join(",\n"))
+                }
+            }
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                return "{}".to_owned();
+            }
+            match indent {
+                None => {
+                    let inner: Vec<String> = map
+                        .iter()
+                        .map(|(k, v)| format!("{}:{}", render_string(k), render(v, None, 0)))
+                        .collect();
+                    format!("{{{}}}", inner.join(","))
+                }
+                Some(w) => {
+                    let pad = " ".repeat(w * (depth + 1));
+                    let close = " ".repeat(w * depth);
+                    let inner: Vec<String> = map
+                        .iter()
+                        .map(|(k, v)| {
+                            format!("{pad}{}: {}", render_string(k), render(v, indent, depth + 1))
+                        })
+                        .collect();
+                    format!("{{\n{}\n{close}}}", inner.join(",\n"))
+                }
+            }
+        }
+    }
+}
+
+fn render_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,511 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the stub `serde::Serialize` / `serde::Deserialize`
+//! value-tree traits (see `offline/stubs/serde`). Supported input shapes are
+//! exactly what this workspace uses:
+//!
+//! - structs with named fields (serialized as objects in declaration order)
+//! - newtype structs (serialized as the inner value)
+//! - enums with unit and/or named-field struct variants (externally tagged:
+//!   unit variants as the variant-name string, struct variants as
+//!   `{"Variant": {fields}}` — matching real serde's default)
+//!
+//! Supported field attributes: `#[serde(default)]`,
+//! `#[serde(default = "path")]`, `#[serde(skip_serializing_if = "path")]`.
+//! `Option<T>` fields are implicitly optional on deserialize, like real
+//! serde. Anything else produces a compile error naming the construct, so
+//! unsupported serde features fail loudly instead of misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed named field.
+struct Field {
+    name: String,
+    is_option: bool,
+    default: Option<DefaultKind>,
+    skip_if: Option<String>,
+}
+
+enum DefaultKind {
+    Trait,        // #[serde(default)]
+    Path(String), // #[serde(default = "path")]
+}
+
+/// One parsed enum variant: unit (`fields: None`) or struct-like.
+struct Variant {
+    name: String,
+    fields: Option<Vec<Field>>,
+}
+
+enum Input {
+    Struct { name: String, fields: Vec<Field> },
+    Newtype { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &parsed {
+        Input::Struct { name, fields } => {
+            let mut inserts = String::new();
+            for f in fields {
+                let insert = format!(
+                    "map.insert(\"{n}\", ::serde::Serialize::to_value_tree(&self.{n}));\n",
+                    n = f.name
+                );
+                if let Some(skip) = &f.skip_if {
+                    inserts.push_str(&format!(
+                        "if !{skip}(&self.{n}) {{ {insert} }}\n",
+                        n = f.name
+                    ));
+                } else {
+                    inserts.push_str(&insert);
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value_tree(&self) -> ::serde::value::Value {{\n\
+                 let mut map = ::serde::value::Map::new();\n\
+                 {inserts}\
+                 ::serde::value::Value::Object(map)\n\
+                 }}\n}}\n"
+            )
+        }
+        Input::Newtype { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value_tree(&self) -> ::serde::value::Value {{\n\
+             ::serde::Serialize::to_value_tree(&self.0)\n\
+             }}\n}}\n"
+        ),
+        Input::Enum { name, variants } => {
+            // Externally tagged, like real serde: unit variants render as the
+            // variant-name string, struct variants as {"Variant": {fields}}.
+            let arms: String = variants
+                .iter()
+                .map(|v| match &v.fields {
+                    None => format!(
+                        "{name}::{v} => ::serde::value::Value::String(\"{v}\".to_owned()),\n",
+                        v = v.name
+                    ),
+                    Some(fields) => {
+                        let binds: String = fields
+                            .iter()
+                            .map(|f| format!("{}, ", f.name))
+                            .collect();
+                        let inserts: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "inner.insert(\"{n}\", ::serde::Serialize::to_value_tree({n}));\n",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             let mut inner = ::serde::value::Map::new();\n\
+                             {inserts}\
+                             let mut outer = ::serde::value::Map::new();\n\
+                             outer.insert(\"{v}\", ::serde::value::Value::Object(inner));\n\
+                             ::serde::value::Value::Object(outer)\n\
+                             }}\n",
+                            v = v.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value_tree(&self) -> ::serde::value::Value {{\n\
+                 match self {{ {arms} }}\n\
+                 }}\n}}\n"
+            )
+        }
+    };
+    body.parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &parsed {
+        Input::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let missing = match (&f.default, f.is_option) {
+                    (Some(DefaultKind::Path(p)), _) => format!("{p}()"),
+                    (Some(DefaultKind::Trait), _) | (None, true) => {
+                        "::core::default::Default::default()".to_owned()
+                    }
+                    (None, false) => format!(
+                        "return Err(::serde::DeError(format!(\
+                         \"missing field `{n}` in {name}\")))",
+                        n = f.name
+                    ),
+                };
+                inits.push_str(&format!(
+                    "{n}: match map.get(\"{n}\") {{\n\
+                     Some(x) => ::serde::Deserialize::from_value_tree(x)?,\n\
+                     None => {missing},\n\
+                     }},\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value_tree(v: &::serde::value::Value) \
+                 -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 let map = v.as_object().ok_or_else(|| ::serde::DeError(\
+                 format!(\"expected object for {name}, got {{v:?}}\")))?;\n\
+                 Ok({name} {{ {inits} }})\n\
+                 }}\n}}\n"
+            )
+        }
+        Input::Newtype { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value_tree(v: &::serde::value::Value) \
+             -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+             Ok({name}(::serde::Deserialize::from_value_tree(v)?))\n\
+             }}\n}}\n"
+        ),
+        Input::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| format!("Some(\"{v}\") => return Ok({name}::{v}),\n", v = v.name))
+                .collect();
+            let mut data_arms = String::new();
+            for v in variants.iter() {
+                let Some(fields) = &v.fields else { continue };
+                let mut inits = String::new();
+                for f in fields {
+                    let missing = if f.is_option {
+                        "::core::default::Default::default()".to_owned()
+                    } else {
+                        format!(
+                            "return Err(::serde::DeError(format!(\
+                             \"missing field `{n}` in {name}::{v}\")))",
+                            n = f.name,
+                            v = v.name
+                        )
+                    };
+                    inits.push_str(&format!(
+                        "{n}: match map.get(\"{n}\") {{\n\
+                         Some(x) => ::serde::Deserialize::from_value_tree(x)?,\n\
+                         None => {missing},\n\
+                         }},\n",
+                        n = f.name
+                    ));
+                }
+                data_arms.push_str(&format!(
+                    "if let Some(inner) = obj.get(\"{v}\") {{\n\
+                     let map = inner.as_object().ok_or_else(|| ::serde::DeError(\
+                     format!(\"expected object for {name}::{v}, got {{inner:?}}\")))?;\n\
+                     return Ok({name}::{v} {{ {inits} }});\n\
+                     }}\n",
+                    v = v.name
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value_tree(v: &::serde::value::Value) \
+                 -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 match v.as_str() {{\n\
+                 {unit_arms}\
+                 _ => {{}}\n\
+                 }}\n\
+                 if let Some(obj) = v.as_object() {{\n\
+                 let _ = obj;\n\
+                 {data_arms}\
+                 }}\n\
+                 Err(::serde::DeError(format!(\
+                 \"unrecognized {name} value {{v:?}}\")))\n\
+                 }}\n}}\n"
+            )
+        }
+    };
+    body.parse().expect("generated Deserialize impl must parse")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Parses the derive input into one of the supported shapes.
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // # [..]
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // pub(crate) and friends
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde stub derive: expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde stub derive: expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stub derive: generic type {name} is not supported offline"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Input::Struct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                if arity == 1 {
+                    Ok(Input::Newtype { name })
+                } else {
+                    Err(format!(
+                        "serde stub derive: tuple struct {name} with {arity} fields unsupported"
+                    ))
+                }
+            }
+            other => Err(format!("serde stub derive: unsupported struct body {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(&name, g.stream())?;
+                Ok(Input::Enum { name, variants })
+            }
+            other => Err(format!("serde stub derive: unsupported enum body {other:?}")),
+        },
+        other => Err(format!("serde stub derive: unsupported item kind `{other}`")),
+    }
+}
+
+/// Parses `name: Type` fields with optional `#[serde(...)]` attributes.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default = None;
+        let mut skip_if = None;
+        // Attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(attr)) = tokens.get(i + 1) {
+                parse_serde_attr(attr.stream(), &mut default, &mut skip_if)?;
+            }
+            i += 2;
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // Field name.
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde stub derive: expected field name, got {other:?}")),
+        };
+        i += 1;
+        // Colon.
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("serde stub derive: expected `:`, got {other:?}")),
+        }
+        // Type: consume until a top-level comma, tracking angle depth.
+        let mut angle = 0i32;
+        let mut ty_tokens: Vec<String> = Vec::new();
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            ty_tokens.push(tok.to_string());
+            i += 1;
+        }
+        let is_option = matches!(ty_tokens.first().map(String::as_str), Some("Option"));
+        fields.push(Field {
+            name,
+            is_option,
+            default,
+            skip_if,
+        });
+    }
+    Ok(fields)
+}
+
+/// Extracts `default` / `default = "path"` / `skip_serializing_if = "path"`
+/// from one `#[serde(...)]`-shaped attribute body (`serde ( ... )`).
+fn parse_serde_attr(
+    stream: TokenStream,
+    default: &mut Option<DefaultKind>,
+    skip_if: &mut Option<String>,
+) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    // Only interested in `serde ( ... )`.
+    let [TokenTree::Ident(head), TokenTree::Group(args)] = &tokens[..] else {
+        return Ok(()); // doc comments and other attributes
+    };
+    if head.to_string() != "serde" {
+        return Ok(());
+    }
+    let items: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < items.len() {
+        let key = match &items[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                j += 1;
+                continue;
+            }
+            other => return Err(format!("serde stub derive: unsupported serde attr {other:?}")),
+        };
+        j += 1;
+        let value = match items.get(j) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                j += 1;
+                match items.get(j) {
+                    Some(TokenTree::Literal(lit)) => {
+                        j += 1;
+                        let s = lit.to_string();
+                        Some(s.trim_matches('"').to_owned())
+                    }
+                    other => {
+                        return Err(format!(
+                            "serde stub derive: expected string literal, got {other:?}"
+                        ))
+                    }
+                }
+            }
+            _ => None,
+        };
+        match (key.as_str(), value) {
+            ("default", None) => *default = Some(DefaultKind::Trait),
+            ("default", Some(path)) => *default = Some(DefaultKind::Path(path)),
+            ("skip_serializing_if", Some(path)) => *skip_if = Some(path),
+            (other, _) => {
+                return Err(format!(
+                    "serde stub derive: unsupported serde attribute `{other}`"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut count = 1;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => {}
+        }
+    }
+    count
+}
+
+/// Parses enum variants: unit variants and struct variants with named
+/// fields. Tuple variants and discriminants are rejected.
+fn parse_variants(name: &str, stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes / doc comments.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let variant = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => {
+                return Err(format!(
+                    "serde stub derive: expected variant in {name}, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        let mut fields = None;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Brace => {
+                    fields = Some(parse_named_fields(g.stream())?);
+                    i += 1;
+                }
+                _ => {
+                    return Err(format!(
+                        "serde stub derive: enum {name} variant {variant} is a tuple \
+                         variant — unsupported"
+                    ))
+                }
+            }
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "serde stub derive: enum {name} has discriminants — unsupported"
+                ))
+            }
+            other => {
+                return Err(format!(
+                    "serde stub derive: unexpected token after {name}::{variant}: {other:?}"
+                ))
+            }
+        }
+        variants.push(Variant {
+            name: variant,
+            fields,
+        });
+    }
+    Ok(variants)
+}

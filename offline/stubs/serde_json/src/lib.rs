@@ -1,0 +1,444 @@
+//! Offline stand-in for `serde_json`, built on the `serde` stub's value tree.
+//!
+//! Provides the surface this workspace uses: `Value`/`Number`/`Map`,
+//! `to_string{,_pretty}`, `from_str`, `to_value`, `from_value`, and a
+//! `json!` macro restricted to string-literal keys (every call site in this
+//! workspace uses literal keys). The emitted JSON matches real serde_json's
+//! conventions: declaration-order object fields, `.0`-suffixed whole floats,
+//! and `null` for non-finite numbers.
+
+pub use serde::value::{Map, Number, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::value::render(&value.to_value_tree(), None, 0))
+}
+
+/// Serializes a value to 2-space-indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::value::render(&value.to_value_tree(), Some(2), 0))
+}
+
+/// Converts a value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_value_tree())
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    T::from_value_tree(&value).map_err(Into::into)
+}
+
+/// Parses JSON text into a typed value.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    let v = parse(text)?;
+    T::from_value_tree(&v).map_err(Into::into)
+}
+
+/// Parses JSON from bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+// --- JSON text parser ---
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(text: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(Error(format!(
+                "unexpected character {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected `,` or `]`, found {:?} at byte {}",
+                        other.map(|c| c as char),
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}`, found {:?} at byte {}",
+                        other.map(|c| c as char),
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let cp = self.unicode_escape()?;
+                            out.push(cp);
+                            continue;
+                        }
+                        other => {
+                            return Err(Error(format!(
+                                "invalid escape {:?} at byte {}",
+                                other.map(|c| c as char),
+                                self.pos
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (already valid, input is &str).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| Error(e.to_string()))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error("unterminated string".into())),
+            }
+        }
+    }
+
+    /// Parses the 4 hex digits after `\u` (cursor on `u`), handling
+    /// surrogate pairs.
+    fn unicode_escape(&mut self) -> Result<char> {
+        self.pos += 1; // past 'u'
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate; expect \uXXXX low surrogate.
+            if self.peek() == Some(b'\\') {
+                self.pos += 1;
+                if self.peek() == Some(b'u') {
+                    self.pos += 1;
+                    let lo = self.hex4()?;
+                    let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    return char::from_u32(cp)
+                        .ok_or_else(|| Error("invalid surrogate pair".into()));
+                }
+            }
+            return Err(Error("lone high surrogate".into()));
+        }
+        char::from_u32(hi).ok_or_else(|| Error("invalid \\u escape".into()))
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error("truncated \\u escape".into()));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|e| Error(e.to_string()))?;
+        let v = u32::from_str_radix(s, 16).map_err(|e| Error(e.to_string()))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| Error(e.to_string()))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::from_u64(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::from_i64(i)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::from_f64(f)))
+            .map_err(|e| Error(format!("invalid number `{text}`: {e}")))
+    }
+}
+
+// --- json! macro ---
+
+/// Builds a [`Value`] from JSON-like syntax. Keys may be string literals or
+/// single-token string expressions (e.g. a `&str` variable); values may be
+/// nested JSON syntax or arbitrary `Serialize` expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_items!(items, $($tt)*);
+        $crate::Value::Array(items)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut object = $crate::Map::new();
+        $crate::json_entries!(object, $($tt)*);
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).unwrap_or($crate::Value::Null)
+    };
+}
+
+/// Internal muncher for `json!` array elements.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_items {
+    ($items:ident,) => {};
+    ($items:ident) => {};
+    ($items:ident, null $(, $($rest:tt)*)?) => {
+        $items.push($crate::Value::Null);
+        $($crate::json_items!($items, $($rest)*);)?
+    };
+    ($items:ident, [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!([ $($arr)* ]));
+        $($crate::json_items!($items, $($rest)*);)?
+    };
+    ($items:ident, { $($map:tt)* } $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!({ $($map)* }));
+        $($crate::json_items!($items, $($rest)*);)?
+    };
+    ($items:ident, $value:expr $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!($value));
+        $($crate::json_items!($items, $($rest)*);)?
+    };
+}
+
+/// Internal muncher for `json!` object entries.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_entries {
+    ($object:ident,) => {};
+    ($object:ident) => {};
+    ($object:ident, $key:tt : null $(, $($rest:tt)*)?) => {
+        $object.insert(($key).to_string(), $crate::Value::Null);
+        $($crate::json_entries!($object, $($rest)*);)?
+    };
+    ($object:ident, $key:tt : [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $object.insert(($key).to_string(), $crate::json!([ $($arr)* ]));
+        $($crate::json_entries!($object, $($rest)*);)?
+    };
+    ($object:ident, $key:tt : { $($map:tt)* } $(, $($rest:tt)*)?) => {
+        $object.insert(($key).to_string(), $crate::json!({ $($map)* }));
+        $($crate::json_entries!($object, $($rest)*);)?
+    };
+    ($object:ident, $key:tt : $value:expr $(, $($rest:tt)*)?) => {
+        $object.insert(($key).to_string(), $crate::json!($value));
+        $($crate::json_entries!($object, $($rest)*);)?
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("hi\n").unwrap(), "\"hi\\n\"");
+        let v: f64 = from_str("2.5e3").unwrap();
+        assert_eq!(v, 2500.0);
+        let u: u64 = from_str("18446744073709551615").unwrap();
+        assert_eq!(u, u64::MAX);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let name = "cpu";
+        let v = json!({ "name": name, "pid": 1u32, "args": { "xs": [1u32, 2u32] }, "n": null });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"name":"cpu","pid":1,"args":{"xs":[1,2]},"n":null}"#
+        );
+        let arr = json!([]);
+        assert_eq!(to_string(&arr).unwrap(), "[]");
+        let empty = json!({});
+        assert_eq!(to_string(&empty).unwrap(), "{}");
+    }
+
+    #[test]
+    fn parse_nested() {
+        let v: Value = from_str(r#"{"a":[1,2.5,"x",{"b":null,"c":true}]}"#).unwrap();
+        assert_eq!(v["a"][1].as_f64(), Some(2.5));
+        assert_eq!(v["a"][3]["c"].as_bool(), Some(true));
+        assert!(v["a"][3]["b"].is_null());
+        assert_eq!(v.pointer("/a/3/c").and_then(Value::as_bool), Some(true));
+    }
+}

@@ -1,0 +1,8 @@
+/root/repo/offline/stubs/serde_json/target/debug/deps/serde-35a9c58ad8ce095b.d: /root/repo/offline/stubs/serde/src/lib.rs /root/repo/offline/stubs/serde/src/value.rs
+
+/root/repo/offline/stubs/serde_json/target/debug/deps/libserde-35a9c58ad8ce095b.rlib: /root/repo/offline/stubs/serde/src/lib.rs /root/repo/offline/stubs/serde/src/value.rs
+
+/root/repo/offline/stubs/serde_json/target/debug/deps/libserde-35a9c58ad8ce095b.rmeta: /root/repo/offline/stubs/serde/src/lib.rs /root/repo/offline/stubs/serde/src/value.rs
+
+/root/repo/offline/stubs/serde/src/lib.rs:
+/root/repo/offline/stubs/serde/src/value.rs:

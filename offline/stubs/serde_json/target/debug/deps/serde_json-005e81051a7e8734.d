@@ -1,0 +1,5 @@
+/root/repo/offline/stubs/serde_json/target/debug/deps/serde_json-005e81051a7e8734.d: src/lib.rs
+
+/root/repo/offline/stubs/serde_json/target/debug/deps/serde_json-005e81051a7e8734: src/lib.rs
+
+src/lib.rs:

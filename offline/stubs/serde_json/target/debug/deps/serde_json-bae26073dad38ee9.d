@@ -1,0 +1,7 @@
+/root/repo/offline/stubs/serde_json/target/debug/deps/serde_json-bae26073dad38ee9.d: src/lib.rs
+
+/root/repo/offline/stubs/serde_json/target/debug/deps/libserde_json-bae26073dad38ee9.rlib: src/lib.rs
+
+/root/repo/offline/stubs/serde_json/target/debug/deps/libserde_json-bae26073dad38ee9.rmeta: src/lib.rs
+
+src/lib.rs:

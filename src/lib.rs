@@ -58,7 +58,6 @@ pub use ubs_uarch as uarch;
 // typed run grid, run context/progress plumbing, and the run-artifact +
 // regression-gating layer.
 pub use ubs_experiments::{
-    diff_dirs, run_by_id, run_by_id_with, run_matrix, Cell, CellProgress, CellTiming,
-    DiffReport, Effort, ExperimentRecord, ExperimentResult, RunContext, RunGrid, RunManifest,
-    SuiteScale,
+    diff_dirs, run_by_id, run_by_id_with, run_matrix, Cell, CellProgress, CellTiming, DiffReport,
+    Effort, ExperimentRecord, ExperimentResult, RunContext, RunGrid, RunManifest, SuiteScale,
 };

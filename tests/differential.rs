@@ -1,0 +1,152 @@
+//! Cross-design differential properties: every `DesignSpec` — all seven
+//! comparator L1-I designs plus the ideal cache — is driven over the same
+//! randomly generated access sequence and must satisfy the accounting
+//! invariants the shared storage engine guarantees.
+//!
+//! The designs differ wildly in policy (admission control, dead-block
+//! bypass, sub-block splitting, variable-size blocks), but they all sit on
+//! `ubs_core::engine`, so their stats must balance the same way.
+
+use proptest::prelude::*;
+use ubs_icache::core::{AccessResult, InstructionCache};
+use ubs_icache::experiments::DesignSpec;
+use ubs_icache::mem::MemoryHierarchy;
+use ubs_icache::trace::FetchRange;
+
+/// Every buildable design, conv-like (strict whole-block eviction
+/// accounting) flagged separately: UBS and Amoeba split one fill into
+/// several blocks and may evict more than once per fill, so `evictions <=
+/// fills` only binds the single-block designs.
+fn all_specs() -> Vec<(DesignSpec, bool)> {
+    vec![
+        (DesignSpec::conv_32k(), true),
+        (DesignSpec::conv_64k(), true),
+        (DesignSpec::SmallBlock { chunk_bytes: 16 }, false),
+        (DesignSpec::SmallBlock { chunk_bytes: 32 }, false),
+        (DesignSpec::Ghrp, true),
+        (DesignSpec::Acic, true),
+        (DesignSpec::Distill, false),
+        (DesignSpec::ubs_default(), false),
+        (DesignSpec::Amoeba, false),
+        (DesignSpec::Ideal, true),
+    ]
+}
+
+/// Drives one design over the access sequence, interleaving demand
+/// accesses, prefetches, ticks, and efficiency samples the way the
+/// simulator does.
+fn drive(cache: &mut dyn InstructionCache, seq: &[(u64, u8, u8, bool)]) -> (u64, u64, u64, u64) {
+    let mut mem = MemoryHierarchy::paper();
+    let mut now = 0u64;
+    let mut accesses = 0u64;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let mut rejects = 0u64;
+    for &(lineno, off, len, is_prefetch) in seq {
+        now += 7;
+        cache.tick(now, &mut mem);
+        let start = lineno * 64 + u64::from(off.min(15)) * 4;
+        let bytes = (u32::from(len % 16) * 4 + 4).min(64 - (start % 64) as u32);
+        let r = FetchRange::new(start, bytes);
+        if is_prefetch {
+            cache.prefetch(r, now, &mut mem);
+            continue;
+        }
+        accesses += 1;
+        match cache.access(r, now, &mut mem) {
+            AccessResult::Hit => hits += 1,
+            AccessResult::Miss { ready_at, .. } => {
+                misses += 1;
+                // Occasionally let the fill land before moving on.
+                if lineno % 3 == 0 {
+                    cache.tick(ready_at, &mut mem);
+                    now = ready_at;
+                }
+            }
+            AccessResult::MshrFull => {
+                rejects += 1;
+                now += 400;
+                cache.tick(now, &mut mem);
+            }
+        }
+        if accesses.is_multiple_of(16) {
+            cache.sample_efficiency();
+        }
+    }
+    // Drain every outstanding fill so the books close.
+    cache.tick(now + 10_000, &mut mem);
+    cache.sample_efficiency();
+    (accesses, hits, misses, rejects)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Shared engine invariants hold for every design over one sequence.
+    #[test]
+    fn designs_agree_on_engine_invariants(
+        seq in prop::collection::vec(
+            (0u64..96, any::<u8>(), any::<u8>(), any::<bool>()),
+            40..160,
+        )
+    ) {
+        for (spec, strict_evictions) in all_specs() {
+            let mut cache = spec.build();
+            let (accesses, hits, misses, rejects) = drive(cache.as_mut(), &seq);
+            let s = cache.stats();
+
+            // The result enum and the stats block must tell the same story.
+            prop_assert_eq!(s.accesses, accesses, "{}: accesses", spec.name());
+            prop_assert_eq!(s.hits, hits, "{}: hits", spec.name());
+            prop_assert_eq!(s.demand_misses(), misses, "{}: misses", spec.name());
+            prop_assert_eq!(s.mshr_full_rejects, rejects, "{}: rejects", spec.name());
+            prop_assert_eq!(
+                s.hits + s.demand_misses() + s.mshr_full_rejects,
+                s.accesses,
+                "{}: access accounting does not balance",
+                spec.name()
+            );
+
+            // Every fill was requested by a demand miss or a prefetch.
+            prop_assert!(
+                s.fills_total() <= s.demand_misses() + s.prefetches_issued,
+                "{}: {} fills from {} misses + {} prefetches",
+                spec.name(),
+                s.fills_total(),
+                s.demand_misses(),
+                s.prefetches_issued
+            );
+
+            // Single-block designs cannot evict more than they fill.
+            if strict_evictions {
+                let evictions: u64 = s.evict_used_hist.iter().sum();
+                prop_assert!(
+                    evictions <= s.fills_total(),
+                    "{}: {} evictions from {} fills",
+                    spec.name(),
+                    evictions,
+                    s.fills_total()
+                );
+            }
+
+            // Efficiency samples are fractions of resident bytes.
+            for &e in &s.efficiency_samples {
+                prop_assert!(
+                    (0.0..=1.0).contains(&f64::from(e)),
+                    "{}: efficiency sample {e}",
+                    spec.name()
+                );
+            }
+
+            // Storage accounting is positive and self-consistent.
+            let st = cache.storage();
+            prop_assert!(st.sets > 0, "{}: zero sets", spec.name());
+            prop_assert!(st.total_bytes() > 0.0, "{}: zero storage", spec.name());
+            prop_assert!(
+                (st.bytes_per_set() * st.sets as f64 - st.total_bytes()).abs() < 1e-6,
+                "{}: per-set x sets != total",
+                spec.name()
+            );
+        }
+    }
+}

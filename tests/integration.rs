@@ -56,7 +56,11 @@ fn simulations_are_deterministic_end_to_end() {
 fn bigger_conventional_cache_never_hurts_misses() {
     let spec = WorkloadSpec::new(Profile::Server, 0);
     let small = run(&spec, Box::new(ConvL1i::paper_baseline()), &cfg());
-    let big = run(&spec, Box::new(ConvL1i::new("conv-128k", 128 << 10, 8, 8)), &cfg());
+    let big = run(
+        &spec,
+        Box::new(ConvL1i::new("conv-128k", 128 << 10, 8, 8)),
+        &cfg(),
+    );
     assert!(
         big.l1i_mpki() <= small.l1i_mpki() * 1.05,
         "128K MPKI {} vs 32K MPKI {}",
@@ -90,23 +94,27 @@ fn ubs_reduces_full_misses_on_server_workload() {
 #[test]
 fn efficiency_ordering_matches_paper_directionally() {
     // Google (PGO-like layout) baseline efficiency should beat the
-    // unoptimized server layout, as in Fig. 2.
-    let google = run(
-        &WorkloadSpec::new(Profile::Google, 0),
-        Box::new(ConvL1i::paper_baseline()),
-        &cfg(),
-    );
-    let server = run(
-        &WorkloadSpec::new(Profile::Server, 2),
-        Box::new(ConvL1i::paper_baseline()),
-        &cfg(),
-    );
-    assert!(
-        google.l1i.mean_efficiency() > server.l1i.mean_efficiency(),
-        "google {:.2} vs server {:.2}",
-        google.l1i.mean_efficiency(),
-        server.l1i.mean_efficiency()
-    );
+    // unoptimized server layout, as in Fig. 2. The figure reports
+    // category averages, so compare means over a few workloads rather
+    // than one seed pair (individual draws overlap across categories).
+    let mean_eff = |profile: Profile| {
+        let runs = 3;
+        (0..runs)
+            .map(|i| {
+                run(
+                    &WorkloadSpec::new(profile, i),
+                    Box::new(ConvL1i::paper_baseline()),
+                    &cfg(),
+                )
+                .l1i
+                .mean_efficiency()
+            })
+            .sum::<f64>()
+            / runs as f64
+    };
+    let google = mean_eff(Profile::Google);
+    let server = mean_eff(Profile::Server);
+    assert!(google > server, "google {google:.2} vs server {server:.2}");
 }
 
 #[test]
@@ -133,7 +141,11 @@ fn champsim_roundtrip_preserves_simulation_behaviour() {
     }
     let mut reader = ChampSimReader::new("roundtrip", bytes.as_slice());
     let mut icache = ConvL1i::paper_baseline();
-    let r = simulate(&mut reader, &mut icache, &SimConfig::scaled(20_000, 150_000));
+    let r = simulate(
+        &mut reader,
+        &mut icache,
+        &SimConfig::scaled(20_000, 150_000),
+    );
     assert!(r.instructions >= 150_000);
     assert!(r.ipc() > 0.05);
 }
