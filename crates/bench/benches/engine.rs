@@ -124,9 +124,40 @@ fn bench_set_array(c: &mut Criterion) {
     group.finish();
 }
 
+/// End-to-end cost of the cache-internals metrics registry: the same
+/// smoke-effort cell simulated with metrics off and on. The registry's
+/// zero-cost-when-disabled discipline means "off" must match a build that
+/// predates it, and "on" is gated < 2% by the `metrics_overhead` test in
+/// `ubs-core` (this bench is the exploratory view of the same question).
+fn bench_metrics_registry(c: &mut Criterion) {
+    use ubs_core::ConvL1i;
+    use ubs_trace::synth::{Profile, SyntheticTrace, WorkloadSpec};
+    use ubs_uarch::SimConfig;
+
+    let mut group = c.benchmark_group("metrics-registry");
+    group.sample_size(10);
+    let spec = WorkloadSpec::new(Profile::Server, 0);
+    let proto = SyntheticTrace::build(&spec);
+    let cfg_off = SimConfig::scaled(10_000, 50_000);
+    let mut cfg_on = cfg_off.clone();
+    cfg_on.metrics = true;
+
+    for (name, cfg) in [("sim-metrics-off", &cfg_off), ("sim-metrics-on", &cfg_on)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut trace = proto.clone();
+                let mut icache = ConvL1i::paper_baseline();
+                let report = ubs_uarch::simulate(&mut trace, &mut icache, cfg);
+                black_box(report.cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().without_plots();
-    targets = bench_pending_fills, bench_set_array
+    targets = bench_pending_fills, bench_set_array, bench_metrics_registry
 }
 criterion_main!(benches);

@@ -21,6 +21,7 @@
 
 use crate::engine::{demand_mask, push_efficiency_sample, EngineConfig, FillEngine};
 use crate::icache::{debug_check_range, InstructionCache, L1I_LATENCY};
+use crate::metrics::MetricsReport;
 use crate::predictor::{PredictorConfig, UsefulBytePredictor};
 use crate::stats::{range_mask, AccessResult, ByteMask, IcacheStats, MissKind};
 use crate::storage::{tag_bits, StorageBreakdown};
@@ -188,6 +189,7 @@ impl AmoebaL1i {
     fn move_to_cache(&mut self, line: Line, used: ByteMask) {
         if used == 0 {
             self.stats.count_eviction(0);
+            self.engine.metrics_mut().record_eviction(line.number(), 0);
             return;
         }
         let set = self.set_of(line);
@@ -211,6 +213,9 @@ impl AmoebaL1i {
                 };
                 let victim = self.sets[set].remove(lru_idx);
                 self.stats.count_eviction(victim.used.count_ones());
+                self.engine
+                    .metrics_mut()
+                    .record_eviction(victim.line.number(), victim.used.count_ones());
                 evictions += 1;
             }
             if evictions > 1 {
@@ -218,6 +223,7 @@ impl AmoebaL1i {
             }
             if self.set_occupancy(set) + need <= self.cfg.set_budget_bytes {
                 self.clock += 1;
+                self.engine.metrics_mut().record_install();
                 self.sets[set].push(AmoebaBlock {
                     line,
                     start,
@@ -335,16 +341,58 @@ impl InstructionCache for AmoebaL1i {
     }
 
     fn storage(&self) -> StorageBreakdown {
-        // Amoeba has no fixed tag array; charge the set budget plus the
-        // predictor against the data row and report predictor tags.
+        // Amoeba has no fixed tag array: tags travel with the blocks, so
+        // the per-block metadata is itemized at the worst-case block count
+        // (1 data byte + TAG_OVERHEAD_BYTES each). Each block's 5-byte
+        // overhead splits as 28 bits of tag/valid and 12 bits of 6-bit
+        // start + 6-bit len; the total per-set bit count is identical to
+        // charging the whole budget to the data row.
+        let max_blocks = (self.cfg.set_budget_bytes / (1 + TAG_OVERHEAD_BYTES)) as u64;
         StorageBreakdown {
             name: self.cfg.name.clone(),
             sets: self.cfg.sets,
-            data_bytes_per_set: self.cfg.set_budget_bytes as u64 + 64,
-            tag_bits_per_set: tag_bits(self.cfg.sets) as u64 + 1 + 16,
-            start_offset_bits_per_set: 0,
+            data_bytes_per_set: self.cfg.set_budget_bytes as u64 + 64
+                - max_blocks * TAG_OVERHEAD_BYTES as u64,
+            tag_bits_per_set: tag_bits(self.cfg.sets) as u64 + 1 + 16 + max_blocks * 28,
+            start_offset_bits_per_set: max_blocks * 12,
             bitvector_bits_per_set: 0,
         }
+    }
+
+    fn metrics_enable(&mut self, enabled: bool) {
+        if enabled {
+            self.engine.metrics_mut().enable();
+        } else {
+            self.engine.metrics_mut().disable();
+        }
+    }
+
+    fn metrics_snapshot(&mut self, now: u64) {
+        if !self.engine.metrics().enabled() {
+            return;
+        }
+        self.engine.snapshot_mshr(now);
+        // Variable-size blocks: resident bytes are the exact block lengths
+        // (tag overhead is storage accounting, not residency).
+        let sets: Vec<(u32, u32)> = self
+            .sets
+            .iter()
+            .map(|set| {
+                let resident = set.iter().map(|b| b.len as u32).sum();
+                let used = set.iter().map(|b| b.used.count_ones()).sum();
+                (resident, used)
+            })
+            .collect();
+        self.engine
+            .metrics_mut()
+            .record_heatmap(now, self.cfg.set_budget_bytes, &sets);
+    }
+
+    fn metrics_report(&self) -> Option<MetricsReport> {
+        self.engine
+            .metrics()
+            .enabled()
+            .then(|| self.engine.metrics().report())
     }
 }
 
@@ -420,6 +468,17 @@ mod tests {
             AccessResult::Miss { kind, .. } => assert_eq!(kind, MissKind::Overrun),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn storage_itemizes_per_block_metadata() {
+        let s = AmoebaL1i::paper_default().storage();
+        // 444 / 6 = 74 worst-case blocks per set.
+        assert_eq!(s.start_offset_bits_per_set, 74 * 12);
+        assert_eq!(s.tag_bits_per_set, 26 + 1 + 16 + 74 * 28);
+        assert_eq!(s.data_bytes_per_set, 444 + 64 - 74 * 5);
+        // Itemizing must not change the total: (444 + 64) * 8 + 43 bits.
+        assert_eq!(s.bits_per_set(), 4107);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::engine::{demand_mask, push_efficiency_sample, EngineConfig, FillEngine, SetArray};
 use crate::icache::{debug_check_range, InstructionCache, L1I_LATENCY};
+use crate::metrics::MetricsReport;
 use crate::stats::{AccessResult, ByteMask, IcacheStats, MissKind};
 use crate::storage::{conv_storage, StorageBreakdown};
 use ubs_mem::{MemoryHierarchy, PolicyKind};
@@ -89,8 +90,11 @@ impl ConvL1i {
         }
     }
 
-    fn record_eviction(&mut self, meta: &UsageMeta) {
+    fn record_eviction(&mut self, key: u64, meta: &UsageMeta) {
         self.stats.count_eviction(meta.used.count_ones());
+        self.engine
+            .metrics_mut()
+            .record_eviction(key, meta.used.count_ones());
         self.stats.touch_window.total += meta.used.count_ones() as u64;
         for k in 0..4 {
             self.stats.touch_window.within[k] += meta.within[k].count_ones() as u64;
@@ -104,8 +108,9 @@ impl ConvL1i {
             within: [initial_mask; 4],
             inserted_at_miss: self.set_misses[set],
         };
-        if let Some((_, old)) = self.cache.fill(line.number(), meta) {
-            self.record_eviction(&old);
+        self.engine.metrics_mut().record_install();
+        if let Some((key, old)) = self.cache.fill(line.number(), meta) {
+            self.record_eviction(key, &old);
         }
     }
 
@@ -183,6 +188,34 @@ impl InstructionCache for ConvL1i {
 
     fn storage(&self) -> StorageBreakdown {
         conv_storage(self.name.clone(), self.size_bytes, self.ways)
+    }
+
+    fn metrics_enable(&mut self, enabled: bool) {
+        if enabled {
+            self.engine.metrics_mut().enable();
+        } else {
+            self.engine.metrics_mut().disable();
+        }
+    }
+
+    fn metrics_snapshot(&mut self, now: u64) {
+        if !self.engine.metrics().enabled() {
+            return;
+        }
+        self.engine.snapshot_mshr(now);
+        let sets = self
+            .cache
+            .per_set_occupancy(|_, meta| (64, meta.used.count_ones()));
+        self.engine
+            .metrics_mut()
+            .record_heatmap(now, (self.ways * 64) as u32, &sets);
+    }
+
+    fn metrics_report(&self) -> Option<MetricsReport> {
+        self.engine
+            .metrics()
+            .enabled()
+            .then(|| self.engine.metrics().report())
     }
 }
 
@@ -344,5 +377,30 @@ mod tests {
         c.access(range(0, 4), 0, &mut m);
         assert_eq!(c.set_miss_count(0), 1);
         assert_eq!(c.set_miss_count(1), 0);
+    }
+
+    #[test]
+    fn metrics_registry_collects_fills_and_heatmaps() {
+        let mut c = ConvL1i::paper_baseline();
+        let mut m = mem();
+        assert!(c.metrics_report().is_none(), "disabled by default");
+        c.metrics_enable(true);
+        let ready = match c.access(range(0x1000, 16), 0, &mut m) {
+            AccessResult::Miss { ready_at, .. } => ready_at,
+            other => panic!("{other:?}"),
+        };
+        c.tick(ready, &mut m);
+        c.metrics_snapshot(ready);
+        let rep = c.metrics_report().expect("enabled");
+        assert_eq!(rep.fills, 1);
+        assert_eq!(rep.installs, 1);
+        assert_eq!(rep.heatmaps.len(), 1);
+        let hm = &rep.heatmaps[0];
+        assert_eq!(hm.capacity_bytes, 512);
+        assert_eq!(hm.resident.len(), 64);
+        assert_eq!(hm.resident.iter().sum::<u32>(), 64, "one resident block");
+        assert_eq!(hm.used.iter().sum::<u32>(), 16, "16 demanded bytes");
+        assert_eq!(rep.mshr_series.len(), 1);
+        assert_eq!(rep.mshr_capacity, 8);
     }
 }

@@ -15,6 +15,7 @@
 
 use crate::engine::{demand_mask, push_efficiency_sample, EngineConfig, FillEngine, SetArray};
 use crate::icache::{debug_check_range, InstructionCache};
+use crate::metrics::MetricsReport;
 use crate::stats::{range_mask, AccessResult, ByteMask, IcacheStats, MissKind};
 use crate::storage::{conv_storage, small_block_storage, StorageBreakdown};
 use ubs_mem::{MemoryHierarchy, PolicyKind};
@@ -92,16 +93,23 @@ impl DistillL1i {
             let key = base_word + w;
             let span = Self::word_span(key);
             if used & span != 0 {
-                if let Some((_, dead)) = self.woc.fill(key, used & span) {
+                if let Some((dead_key, dead)) = self.woc.fill(key, used & span) {
                     // A WOC word dies for good; count its bytes.
                     self.stats.count_eviction(dead.count_ones());
+                    self.engine
+                        .metrics_mut()
+                        .record_eviction(dead_key, dead.count_ones());
                 }
             }
         }
     }
 
     fn install(&mut self, line: Line, mask: ByteMask) {
+        self.engine.metrics_mut().record_install();
         if let Some((key, used)) = self.loc.fill(line.number(), mask) {
+            self.engine
+                .metrics_mut()
+                .record_eviction(key, used.count_ones());
             self.distill(Line::from_number(key), used);
         }
     }
@@ -204,6 +212,37 @@ impl InstructionCache for DistillL1i {
             start_offset_bits_per_set: 0,
             bitvector_bits_per_set: 0,
         }
+    }
+
+    fn metrics_enable(&mut self, enabled: bool) {
+        if enabled {
+            self.engine.metrics_mut().enable();
+        } else {
+            self.engine.metrics_mut().disable();
+        }
+    }
+
+    fn metrics_snapshot(&mut self, now: u64) {
+        if !self.engine.metrics().enabled() {
+            return;
+        }
+        self.engine.snapshot_mshr(now);
+        // The heatmap covers the line-organized half; the WOC's word-grain
+        // residency is already summarised by the efficiency samples.
+        let capacity = (self.loc.num_ways() * 64) as u32;
+        let sets = self
+            .loc
+            .per_set_occupancy(|_, used| (64, used.count_ones()));
+        self.engine
+            .metrics_mut()
+            .record_heatmap(now, capacity, &sets);
+    }
+
+    fn metrics_report(&self) -> Option<MetricsReport> {
+        self.engine
+            .metrics()
+            .enabled()
+            .then(|| self.engine.metrics().report())
     }
 }
 

@@ -23,6 +23,7 @@
 //! A design built on the engine reduces to its policy delta: what a hit
 //! requires, how a completed fill installs, and which victim to evict.
 
+use crate::metrics::MetricsRegistry;
 use crate::stats::{range_mask, AccessResult, ByteMask, IcacheStats, MissKind};
 use ubs_mem::replacement::Replacement;
 use ubs_mem::{FillSource, MemoryHierarchy, MshrFile, PolicyKind};
@@ -196,6 +197,7 @@ pub struct FillEngine<P> {
     mshrs: MshrFile,
     pending: PendingFills<P>,
     latency: u64,
+    metrics: MetricsRegistry,
 }
 
 impl<P> FillEngine<P> {
@@ -206,7 +208,28 @@ impl<P> FillEngine<P> {
             mshrs: MshrFile::new(cfg.mshr_entries),
             pending: PendingFills::with_capacity(cfg.mshr_entries),
             latency: cfg.latency,
+            metrics: MetricsRegistry::default(),
         }
+    }
+
+    /// The cache-internals metrics registry (disabled by default).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics registry (designs record evictions,
+    /// installs, and confusion pairs through it).
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Samples the MSHR occupancy into the registry (called by designs on
+    /// the epoch grid; a no-op while the registry is disabled).
+    pub fn snapshot_mshr(&mut self, now: u64) {
+        let high_water = self.mshrs.high_water() as u64;
+        self.metrics
+            .record_mshr_depth(now, self.mshrs.len() as u32, self.mshrs.capacity() as u32);
+        self.metrics.observe_mshr_high_water(high_water);
     }
 
     /// The configured hit latency.
@@ -266,6 +289,7 @@ impl<P> FillEngine<P> {
             }
             let fill = mem.fetch_block(line, now + self.latency);
             stats.count_fill(fill.source);
+            self.metrics.record_fill(line.number());
             self.mshrs.allocate(line, fill.ready_at, false, fill.source);
             DemandFetch::Fresh {
                 ready_at: fill.ready_at,
@@ -290,6 +314,7 @@ impl<P> FillEngine<P> {
         }
         let fill = mem.fetch_block(line, now + self.latency);
         stats.count_fill(fill.source);
+        self.metrics.record_fill(line.number());
         self.mshrs.allocate(line, fill.ready_at, true, fill.source);
         stats.prefetches_issued += 1;
         true
@@ -579,6 +604,27 @@ impl<E: Default> SetArray<E> {
     /// Number of resident blocks.
     pub fn occupancy(&self) -> usize {
         self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
+    }
+
+    /// Per-set `(resident_bytes, used_bytes)` totals for heatmap snapshots:
+    /// `f` maps each resident way's metadata to its contribution. Runs on
+    /// the epoch grid, never on the access path.
+    pub fn per_set_occupancy<F>(&self, f: F) -> Vec<(u32, u32)>
+    where
+        F: Fn(usize, &E) -> (u32, u32),
+    {
+        let mut out = vec![(0u32, 0u32); self.sets];
+        for (set, totals) in out.iter_mut().enumerate() {
+            for way in 0..self.ways {
+                let idx = self.slot(set, way);
+                if self.tags[idx] != INVALID_TAG {
+                    let (r, u) = f(way, &self.metas[idx]);
+                    totals.0 += r;
+                    totals.1 += u;
+                }
+            }
+        }
+        out
     }
 }
 

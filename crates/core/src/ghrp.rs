@@ -17,6 +17,7 @@ use crate::engine::{
     demand_mask, push_efficiency_sample, DemandFetch, EngineConfig, FillEngine, SetArray,
 };
 use crate::icache::{debug_check_range, InstructionCache};
+use crate::metrics::MetricsReport;
 use crate::stats::{AccessResult, ByteMask, IcacheStats, MissKind};
 use crate::storage::{conv_storage, StorageBreakdown};
 use ubs_mem::{MemoryHierarchy, PolicyKind};
@@ -112,8 +113,11 @@ impl GhrpL1i {
     }
 
     fn evict_and_train(&mut self, set: usize, way: usize) {
-        if let Some((_, old)) = self.cache.take(set, way) {
+        if let Some((key, old)) = self.cache.take(set, way) {
             self.stats.count_eviction(old.used.count_ones());
+            self.engine
+                .metrics_mut()
+                .record_eviction(key, old.used.count_ones());
             // The block died after its last access: its final signature was
             // a correct "dead" indicator.
             let sig = old.last_sig;
@@ -143,6 +147,7 @@ impl GhrpL1i {
             // Fall back to LRU.
             .unwrap_or_else(|| self.cache.victim_among(set, 0..ways));
         self.evict_and_train(set, way);
+        self.engine.metrics_mut().record_install();
         self.cache.install_at(
             set,
             way,
@@ -248,6 +253,35 @@ impl InstructionCache for GhrpL1i {
         let mut s = conv_storage(self.name.clone(), self.size_bytes, self.ways());
         s.tag_bits_per_set += (2 * TABLE_SIZE as u64 * 2) / s.sets as u64;
         s
+    }
+
+    fn metrics_enable(&mut self, enabled: bool) {
+        if enabled {
+            self.engine.metrics_mut().enable();
+        } else {
+            self.engine.metrics_mut().disable();
+        }
+    }
+
+    fn metrics_snapshot(&mut self, now: u64) {
+        if !self.engine.metrics().enabled() {
+            return;
+        }
+        self.engine.snapshot_mshr(now);
+        let capacity = (self.cache.num_ways() * 64) as u32;
+        let sets = self
+            .cache
+            .per_set_occupancy(|_, meta| (64, meta.used.count_ones()));
+        self.engine
+            .metrics_mut()
+            .record_heatmap(now, capacity, &sets);
+    }
+
+    fn metrics_report(&self) -> Option<MetricsReport> {
+        self.engine
+            .metrics()
+            .enabled()
+            .then(|| self.engine.metrics().report())
     }
 }
 

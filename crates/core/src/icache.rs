@@ -7,6 +7,7 @@
 //! GHRP/ACIC/Line-Distillation comparators all implement this trait, so the
 //! simulator and every experiment are design-agnostic.
 
+use crate::metrics::MetricsReport;
 use crate::stats::{AccessResult, IcacheStats};
 use crate::storage::StorageBreakdown;
 use ubs_mem::MemoryHierarchy;
@@ -52,6 +53,20 @@ pub trait InstructionCache {
 
     /// Per-set and total storage accounting (Table III).
     fn storage(&self) -> StorageBreakdown;
+
+    /// Enables (or disables) the cache-internals metrics registry. The
+    /// default implementation ignores the request — designs without an
+    /// engine (the ideal cache) collect nothing.
+    fn metrics_enable(&mut self, _enabled: bool) {}
+
+    /// Records one epoch-grid snapshot (per-set heatmap, MSHR occupancy)
+    /// into the registry. No-op by default and while metrics are disabled.
+    fn metrics_snapshot(&mut self, _now: u64) {}
+
+    /// The collected cache-internals metrics, if the registry was enabled.
+    fn metrics_report(&self) -> Option<MetricsReport> {
+        None
+    }
 }
 
 /// Validates trait-call preconditions shared by implementations.

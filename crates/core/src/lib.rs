@@ -23,6 +23,7 @@ mod ghrp;
 mod icache;
 mod ideal;
 pub mod latency;
+pub mod metrics;
 pub mod predictor;
 mod small_block;
 mod stats;
@@ -39,6 +40,9 @@ pub use ghrp::GhrpL1i;
 pub use icache::{InstructionCache, L1I_LATENCY};
 pub use ideal::IdealL1i;
 pub use latency::LatencyAnalysis;
+pub use metrics::{
+    ConfusionMatrix, HeatmapSnapshot, Log2Histogram, MetricsRegistry, MetricsReport, MshrSample,
+};
 pub use predictor::{PredictorConfig, PredictorVictim, UsefulBytePredictor};
 pub use small_block::SmallBlockL1i;
 pub use stats::{

@@ -1,0 +1,550 @@
+//! Cache-internals metrics registry.
+//!
+//! [`MetricsRegistry`] is the zero-cost-when-disabled observability layer of
+//! the shared engine: typed counters, gauges, and log2-bucketed histograms
+//! that every design gets for free through [`FillEngine`](crate::FillEngine),
+//! plus per-set occupancy/fragmentation heatmap snapshots, a useful-byte
+//! predictor confusion matrix, and an MSHR depth time series.
+//!
+//! ## Zero-cost guarantee
+//!
+//! The registry follows the same discipline as the telemetry sink in
+//! `ubs-uarch`:
+//!
+//! - **Disabled is the default** and every recording method starts with an
+//!   `if !self.enabled { return }` check — a single predictable branch.
+//! - **No allocation on the access path.** All storage (snapshot rings, the
+//!   recent-eviction window) is preallocated by [`MetricsRegistry::enable`];
+//!   per-access recording only increments integers and scans a 16-entry
+//!   fixed window. Snapshots (which do allocate one `Vec` per epoch) happen
+//!   on the 100K-cycle epoch grid, never per access.
+//! - **The hit path records nothing.** Hooks fire only on miss, fill,
+//!   eviction, and epoch-snapshot events.
+//! - **Recording never reads or writes simulated state**, so enabling the
+//!   registry cannot perturb simulation results (gated by the repro diff in
+//!   CI with `--metrics` on).
+
+use crate::stats::ByteMask;
+use serde::{Deserialize, Serialize};
+
+/// Number of log2 buckets: bucket `i` counts values `v` with
+/// `floor(log2(v)) == i - 1` (bucket 0 counts zeros), up to `2^15` and above
+/// in the last bucket.
+pub const LOG2_BUCKETS: usize = 17;
+
+/// Recently-evicted keys remembered for replacement-churn detection.
+const CHURN_WINDOW: usize = 16;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// A last-value-wins gauge that also tracks its high-water mark.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gauge {
+    /// Most recently observed value.
+    pub value: u64,
+    /// Largest value ever observed.
+    pub high_water: u64,
+}
+
+impl Gauge {
+    /// Records the current value.
+    #[inline]
+    pub fn set(&mut self, v: u64) {
+        self.value = v;
+        self.high_water = self.high_water.max(v);
+    }
+}
+
+/// A log2-bucketed histogram of non-negative values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Log2Histogram {
+    /// `buckets[0]` counts zeros; `buckets[i]` counts values in
+    /// `[2^(i-1), 2^i)`; the last bucket absorbs everything larger.
+    pub buckets: [u64; LOG2_BUCKETS],
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: [0; LOG2_BUCKETS],
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let idx = if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(LOG2_BUCKETS - 1)
+        };
+        self.buckets[idx] += 1;
+    }
+
+    /// Total number of recorded values.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+/// Predicted-vs-actual touched-byte confusion matrix for byte-provisioning
+/// predictors (UBS useful-byte predictor, ACIC admission filter).
+///
+/// Classification happens at block removal, comparing the bytes the design
+/// *provisioned* (UBS: the installed span; ACIC: the full 64-byte block)
+/// against the bytes actually touched while resident. Because a resident
+/// block can only be touched within its provisioned bytes, the
+/// `under_provisioned` row is fed by *extra-miss attribution* instead: a
+/// demand miss that a correct provision would have avoided (UBS: a partial
+/// miss on a resident line; ACIC: a miss on a recently bypassed line).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Removals where predicted == actual touched bytes.
+    pub exact: u64,
+    /// Removals where the prediction strictly covered the touched bytes.
+    pub over_provisioned: u64,
+    /// Removals where bytes were touched outside the prediction (possible
+    /// only with hand-fed masks; resident blocks cannot exceed their span).
+    pub under_provisioned: u64,
+    /// Bytes provisioned but never touched (wasted), summed over removals.
+    pub wasted_bytes: u64,
+    /// Bytes touched outside the prediction, summed over removals.
+    pub missed_bytes: u64,
+    /// Demand misses attributed to under-provisioning (extra misses a
+    /// correct provision would have avoided).
+    pub under_extra_misses: u64,
+}
+
+impl ConfusionMatrix {
+    /// Classifies one `(predicted, actual)` mask pair.
+    #[inline]
+    pub fn record(&mut self, predicted: ByteMask, actual: ByteMask) {
+        let wasted = (predicted & !actual).count_ones() as u64;
+        let missed = (actual & !predicted).count_ones() as u64;
+        self.wasted_bytes += wasted;
+        self.missed_bytes += missed;
+        if missed > 0 {
+            self.under_provisioned += 1;
+        } else if wasted > 0 {
+            self.over_provisioned += 1;
+        } else {
+            self.exact += 1;
+        }
+    }
+
+    /// Total classified removals.
+    pub fn total(&self) -> u64 {
+        self.exact + self.over_provisioned + self.under_provisioned
+    }
+}
+
+/// One per-set occupancy/fragmentation snapshot on the epoch grid.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeatmapSnapshot {
+    /// Simulation cycle the snapshot was taken at.
+    pub cycle: u64,
+    /// Data capacity of each set in bytes (uniform across sets).
+    pub capacity_bytes: u32,
+    /// Resident (provisioned) bytes per set.
+    pub resident: Vec<u32>,
+    /// Touched bytes per set (fragmentation = 1 − used/resident).
+    pub used: Vec<u32>,
+}
+
+/// One MSHR occupancy sample on the epoch grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MshrSample {
+    /// Simulation cycle of the sample.
+    pub cycle: u64,
+    /// In-flight misses at that cycle.
+    pub occupancy: u32,
+}
+
+/// Serializable summary of everything a [`MetricsRegistry`] collected.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Memory-side fills issued by the engine (demand + prefetch).
+    pub fills: u64,
+    /// Blocks installed into the cache structure by the design.
+    pub installs: u64,
+    /// Block removals recorded by the design.
+    pub evictions: u64,
+    /// Removals whose block was never touched while resident.
+    pub dead_on_arrival: u64,
+    /// Fills of a key evicted within the last [`CHURN_WINDOW`] evictions.
+    pub churn_refills: u64,
+    /// Log2 histogram of touched bytes at removal.
+    pub evict_used_log2: Log2Histogram,
+    /// Predictor confusion matrix (meaningful for `ubs` and `acic`).
+    pub confusion: ConfusionMatrix,
+    /// MSHR capacity of the engine.
+    pub mshr_capacity: u32,
+    /// MSHR occupancy gauge (last value + high water).
+    pub mshr: Gauge,
+    /// MSHR occupancy samples on the epoch grid.
+    pub mshr_series: Vec<MshrSample>,
+    /// Heatmap snapshots on the epoch grid, oldest first.
+    pub heatmaps: Vec<HeatmapSnapshot>,
+    /// Snapshots dropped because the retention cap was reached.
+    pub snapshots_dropped: u64,
+}
+
+/// The per-cache metrics registry. Embedded in
+/// [`FillEngine`](crate::FillEngine); see the module docs for the zero-cost
+/// discipline every method follows.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    fills: Counter,
+    installs: Counter,
+    evictions: Counter,
+    dead_on_arrival: Counter,
+    churn_refills: Counter,
+    evict_used_log2: Log2Histogram,
+    confusion: ConfusionMatrix,
+    /// Fixed window of recently evicted keys (u64::MAX = empty slot).
+    recent_evictions: Vec<u64>,
+    evict_cursor: usize,
+    /// Fixed window of recently bypassed keys (ACIC extra-miss attribution).
+    recent_bypasses: Vec<u64>,
+    bypass_cursor: usize,
+    mshr_capacity: u32,
+    mshr: Gauge,
+    mshr_series: Vec<MshrSample>,
+    heatmaps: Vec<HeatmapSnapshot>,
+    snapshot_capacity: usize,
+    snapshots_dropped: u64,
+}
+
+/// Default retention cap for epoch-grid snapshots (heatmaps and MSHR
+/// samples each); oldest snapshots are dropped beyond it.
+pub const DEFAULT_SNAPSHOT_CAPACITY: usize = 1024;
+
+impl MetricsRegistry {
+    /// Whether the registry is recording.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables recording, preallocating all access-path storage.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+        if self.recent_evictions.is_empty() {
+            self.recent_evictions = vec![u64::MAX; CHURN_WINDOW];
+            self.recent_bypasses = vec![u64::MAX; CHURN_WINDOW];
+        }
+        if self.snapshot_capacity == 0 {
+            self.snapshot_capacity = DEFAULT_SNAPSHOT_CAPACITY;
+            self.heatmaps.reserve(64);
+            self.mshr_series.reserve(256);
+        }
+    }
+
+    /// Disables recording (collected data is retained).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Records a memory-side fill of `key` issued by the engine. Counts a
+    /// churn refill when `key` was evicted within the last
+    /// [`CHURN_WINDOW`] evictions.
+    #[inline]
+    pub fn record_fill(&mut self, key: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.fills.inc();
+        if self.recent_evictions.contains(&key) {
+            self.churn_refills.inc();
+        }
+    }
+
+    /// Records a block install into the cache structure.
+    #[inline]
+    pub fn record_install(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        self.installs.inc();
+    }
+
+    /// Records removal of `key` with `used_bytes` touched while resident.
+    /// A removal with zero touched bytes counts as dead-on-arrival.
+    #[inline]
+    pub fn record_eviction(&mut self, key: u64, used_bytes: u32) {
+        if !self.enabled {
+            return;
+        }
+        self.evictions.inc();
+        self.evict_used_log2.record(used_bytes as u64);
+        if used_bytes == 0 {
+            self.dead_on_arrival.inc();
+        }
+        self.recent_evictions[self.evict_cursor] = key;
+        self.evict_cursor = (self.evict_cursor + 1) % CHURN_WINDOW;
+    }
+
+    /// Records one predicted-vs-actual mask pair at block removal.
+    #[inline]
+    pub fn record_confusion(&mut self, predicted: ByteMask, actual: ByteMask) {
+        if !self.enabled {
+            return;
+        }
+        self.confusion.record(predicted, actual);
+    }
+
+    /// Attributes one demand miss to under-provisioning.
+    #[inline]
+    pub fn record_under_extra_miss(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        self.confusion.under_extra_misses += 1;
+    }
+
+    /// Notes that a fill of `key` was bypassed (not installed), so a later
+    /// miss on it can be attributed via [`Self::check_bypass_miss`].
+    #[inline]
+    pub fn note_bypass(&mut self, key: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.recent_bypasses[self.bypass_cursor] = key;
+        self.bypass_cursor = (self.bypass_cursor + 1) % CHURN_WINDOW;
+    }
+
+    /// Attributes a miss on `key` to under-provisioning when `key` was
+    /// recently bypassed.
+    #[inline]
+    pub fn check_bypass_miss(&mut self, key: u64) {
+        if !self.enabled {
+            return;
+        }
+        if self.recent_bypasses.contains(&key) {
+            self.confusion.under_extra_misses += 1;
+        }
+    }
+
+    /// Records the engine's MSHR occupancy on the epoch grid.
+    pub fn record_mshr_depth(&mut self, cycle: u64, occupancy: u32, capacity: u32) {
+        if !self.enabled {
+            return;
+        }
+        self.mshr_capacity = capacity;
+        self.mshr.set(occupancy as u64);
+        if self.mshr_series.len() >= self.snapshot_capacity {
+            self.mshr_series.remove(0);
+            self.snapshots_dropped += 1;
+        }
+        self.mshr_series.push(MshrSample { cycle, occupancy });
+    }
+
+    /// Folds the MSHR's lifetime high-water mark into the occupancy gauge
+    /// (epoch-grid sampling alone would miss bursts between snapshots).
+    pub fn observe_mshr_high_water(&mut self, high_water: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.mshr.high_water = self.mshr.high_water.max(high_water);
+    }
+
+    /// Records one per-set heatmap snapshot. `sets` holds per-set
+    /// `(resident_bytes, used_bytes)`; `capacity_bytes` is the per-set data
+    /// capacity. Oldest snapshots are dropped beyond the retention cap.
+    pub fn record_heatmap(&mut self, cycle: u64, capacity_bytes: u32, sets: &[(u32, u32)]) {
+        if !self.enabled {
+            return;
+        }
+        if self.heatmaps.len() >= self.snapshot_capacity {
+            self.heatmaps.remove(0);
+            self.snapshots_dropped += 1;
+        }
+        self.heatmaps.push(HeatmapSnapshot {
+            cycle,
+            capacity_bytes,
+            resident: sets.iter().map(|&(r, _)| r).collect(),
+            used: sets.iter().map(|&(_, u)| u).collect(),
+        });
+    }
+
+    /// The confusion matrix collected so far.
+    pub fn confusion(&self) -> &ConfusionMatrix {
+        &self.confusion
+    }
+
+    /// Snapshots everything collected into a serializable report.
+    pub fn report(&self) -> MetricsReport {
+        MetricsReport {
+            fills: self.fills.get(),
+            installs: self.installs.get(),
+            evictions: self.evictions.get(),
+            dead_on_arrival: self.dead_on_arrival.get(),
+            churn_refills: self.churn_refills.get(),
+            evict_used_log2: self.evict_used_log2,
+            confusion: self.confusion,
+            mshr_capacity: self.mshr_capacity,
+            mshr: self.mshr,
+            mshr_series: self.mshr_series.clone(),
+            heatmaps: self.heatmaps.clone(),
+            snapshots_dropped: self.snapshots_dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing_and_allocates_nothing() {
+        let mut r = MetricsRegistry::default();
+        r.record_fill(1);
+        r.record_install();
+        r.record_eviction(1, 8);
+        r.record_confusion(0xff, 0x0f);
+        r.record_under_extra_miss();
+        r.note_bypass(2);
+        r.check_bypass_miss(2);
+        r.record_mshr_depth(100, 3, 8);
+        r.record_heatmap(100, 512, &[(64, 32)]);
+        let rep = r.report();
+        assert_eq!(rep, MetricsReport::default());
+        assert_eq!(r.recent_evictions.capacity(), 0, "no allocation disabled");
+        assert_eq!(r.heatmaps.capacity(), 0);
+    }
+
+    #[test]
+    fn log2_histogram_buckets() {
+        let mut h = Log2Histogram::default();
+        for v in [0, 1, 2, 3, 4, 63, 64, 1 << 20] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets[0], 1, "zero bucket");
+        assert_eq!(h.buckets[1], 1, "[1,2)");
+        assert_eq!(h.buckets[2], 2, "[2,4)");
+        assert_eq!(h.buckets[3], 1, "[4,8)");
+        assert_eq!(h.buckets[6], 1, "[32,64)");
+        assert_eq!(h.buckets[7], 1, "[64,128)");
+        assert_eq!(h.buckets[LOG2_BUCKETS - 1], 1, "overflow bucket");
+        assert_eq!(h.total(), 8);
+    }
+
+    #[test]
+    fn confusion_classifies_exact_over_under() {
+        let mut c = ConfusionMatrix::default();
+        c.record(0x0f, 0x0f); // exact
+        c.record(0xff, 0x0f); // over: 4 wasted bytes
+        c.record(0x0f, 0x3f); // under: 2 missed bytes
+        c.record(0x0f, 0x33); // under AND wasted: under wins, both byte sums
+        assert_eq!(c.exact, 1);
+        assert_eq!(c.over_provisioned, 1);
+        assert_eq!(c.under_provisioned, 2);
+        assert_eq!(c.wasted_bytes, 4 + 2);
+        assert_eq!(c.missed_bytes, 2 + 2);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn churn_and_dead_on_arrival() {
+        let mut r = MetricsRegistry::default();
+        r.enable();
+        r.record_fill(7);
+        assert_eq!(r.report().churn_refills, 0, "never-evicted key");
+        r.record_eviction(7, 0);
+        r.record_fill(7);
+        let rep = r.report();
+        assert_eq!(rep.churn_refills, 1, "refill of recent eviction");
+        assert_eq!(rep.dead_on_arrival, 1, "zero touched bytes");
+        assert_eq!(rep.evictions, 1);
+        assert_eq!(rep.fills, 2);
+
+        // Push the key out of the churn window.
+        for k in 100..100 + CHURN_WINDOW as u64 {
+            r.record_eviction(k, 4);
+        }
+        r.record_fill(7);
+        assert_eq!(r.report().churn_refills, 1, "window evicted the key");
+    }
+
+    #[test]
+    fn bypass_extra_miss_attribution() {
+        let mut r = MetricsRegistry::default();
+        r.enable();
+        r.note_bypass(42);
+        r.check_bypass_miss(41);
+        assert_eq!(r.report().confusion.under_extra_misses, 0);
+        r.check_bypass_miss(42);
+        assert_eq!(r.report().confusion.under_extra_misses, 1);
+    }
+
+    #[test]
+    fn snapshots_drop_oldest_beyond_cap() {
+        let mut r = MetricsRegistry::default();
+        r.enable();
+        r.snapshot_capacity = 2;
+        for cycle in [100, 200, 300] {
+            r.record_heatmap(cycle, 512, &[(512, 256), (64, 64)]);
+            r.record_mshr_depth(cycle, (cycle / 100) as u32, 8);
+        }
+        let rep = r.report();
+        assert_eq!(rep.heatmaps.len(), 2);
+        assert_eq!(rep.heatmaps[0].cycle, 200, "oldest dropped");
+        assert_eq!(rep.heatmaps[1].used, vec![256, 64]);
+        assert_eq!(rep.mshr_series.len(), 2);
+        assert_eq!(rep.snapshots_dropped, 2);
+        assert_eq!(rep.mshr.high_water, 3);
+        assert_eq!(rep.mshr_capacity, 8);
+    }
+
+    #[test]
+    fn mshr_high_water_folds_lifetime_peak() {
+        let mut r = MetricsRegistry::default();
+        r.enable();
+        r.record_mshr_depth(100, 1, 8);
+        r.observe_mshr_high_water(5);
+        let rep = r.report();
+        assert_eq!(rep.mshr.value, 1);
+        assert_eq!(rep.mshr.high_water, 5, "lifetime peak beats samples");
+    }
+
+    #[test]
+    fn report_serde_roundtrip() {
+        let mut r = MetricsRegistry::default();
+        r.enable();
+        r.record_fill(1);
+        r.record_install();
+        r.record_eviction(1, 16);
+        r.record_confusion(0xffff, 0xff);
+        r.record_heatmap(100_000, 512, &[(128, 64)]);
+        r.record_mshr_depth(100_000, 2, 8);
+        let rep = r.report();
+        let body = serde_json::to_string(&rep).expect("serialize");
+        let back: MetricsReport = serde_json::from_str(&body).expect("deserialize");
+        assert_eq!(back, rep);
+    }
+}

@@ -13,6 +13,7 @@
 
 use crate::engine::{demand_mask, push_efficiency_sample, EngineConfig, FillEngine, SetArray};
 use crate::icache::{debug_check_range, InstructionCache};
+use crate::metrics::MetricsReport;
 use crate::stats::{range_mask, AccessResult, ByteMask, IcacheStats, MissKind};
 use crate::storage::{small_block_storage, StorageBreakdown};
 use std::collections::VecDeque;
@@ -96,8 +97,12 @@ impl SmallBlockL1i {
             let key = base + c;
             let span = self.chunk_span(key);
             if mask & span != 0 {
-                if let Some((_, used)) = self.cache.fill(key, mask & span) {
+                self.engine.metrics_mut().record_install();
+                if let Some((old_key, used)) = self.cache.fill(key, mask & span) {
                     self.stats.count_eviction(used.count_ones());
+                    self.engine
+                        .metrics_mut()
+                        .record_eviction(old_key, used.count_ones());
                 }
             }
         }
@@ -201,6 +206,36 @@ impl InstructionCache for SmallBlockL1i {
             self.ways,
             self.chunk_bytes as usize,
         )
+    }
+
+    fn metrics_enable(&mut self, enabled: bool) {
+        if enabled {
+            self.engine.metrics_mut().enable();
+        } else {
+            self.engine.metrics_mut().disable();
+        }
+    }
+
+    fn metrics_snapshot(&mut self, now: u64) {
+        if !self.engine.metrics().enabled() {
+            return;
+        }
+        self.engine.snapshot_mshr(now);
+        let chunk = self.chunk_bytes;
+        let capacity = self.ways as u32 * chunk;
+        let sets = self
+            .cache
+            .per_set_occupancy(|_, used| (chunk, used.count_ones()));
+        self.engine
+            .metrics_mut()
+            .record_heatmap(now, capacity, &sets);
+    }
+
+    fn metrics_report(&self) -> Option<MetricsReport> {
+        self.engine
+            .metrics()
+            .enabled()
+            .then(|| self.engine.metrics().report())
     }
 }
 

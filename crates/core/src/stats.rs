@@ -107,7 +107,7 @@ impl TouchWindow {
 }
 
 /// Statistics every L1-I design maintains.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IcacheStats {
     /// Demand accesses (fetch ranges presented).
     pub accesses: u64,
@@ -324,6 +324,36 @@ mod tests {
         assert!((s.mean_efficiency() - 0.5).abs() < 1e-6);
         assert!((s.min_efficiency() - 0.4).abs() < 1e-6);
         assert!((s.max_efficiency() - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_clears_every_field() {
+        // Full struct literal, no `..Default::default()`: adding a field to
+        // IcacheStats without updating this test is a compile error, so
+        // `reset` can never silently miss a new counter.
+        let mut s = IcacheStats {
+            accesses: 1,
+            hits: 2,
+            predictor_hits: 3,
+            full_misses: 4,
+            missing_sub_block: 5,
+            overruns: 6,
+            underruns: 7,
+            mshr_full_rejects: 8,
+            prefetches_issued: 9,
+            late_prefetch_merges: 10,
+            fill_l2: 11,
+            fill_l3: 12,
+            fill_dram: 13,
+            evict_used_hist: vec![14; 65],
+            efficiency_samples: vec![0.5],
+            touch_window: TouchWindow {
+                within: [15, 16, 17, 18],
+                total: 19,
+            },
+        };
+        s.reset();
+        assert_eq!(s, IcacheStats::default());
     }
 
     #[test]

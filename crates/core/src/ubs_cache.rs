@@ -25,6 +25,7 @@
 
 use crate::engine::{demand_mask, EngineConfig, FillEngine, SetArray};
 use crate::icache::{debug_check_range, InstructionCache, L1I_LATENCY};
+use crate::metrics::MetricsReport;
 use crate::predictor::{PredictorConfig, UsefulBytePredictor};
 use crate::stats::{range_mask, AccessResult, ByteMask, IcacheStats, MissKind};
 use crate::storage::{ubs_storage, StorageBreakdown};
@@ -233,8 +234,13 @@ impl UbsCache {
     /// (§IV-F). Each maximal run of useful bytes becomes one sub-block.
     fn move_to_cache(&mut self, line: Line, used: ByteMask) {
         if used == 0 {
-            // Nothing was accessed: the whole block is weeded out.
+            // Nothing was accessed: the whole block is weeded out. The
+            // predictor provisioned zero bytes and zero were touched — an
+            // exact prediction.
             self.stats.count_eviction(0);
+            let m = self.engine.metrics_mut();
+            m.record_eviction(line.number(), 0);
+            m.record_confusion(0, 0);
             return;
         }
         let set = self.set_of(line);
@@ -281,6 +287,7 @@ impl UbsCache {
                 range_mask(start, len.min(cap) as u8)
             };
             // Evict the occupant (recording its usage) and install the run.
+            self.engine.metrics_mut().record_install();
             let displaced = self.cache.install_at(
                 set,
                 way,
@@ -291,8 +298,12 @@ impl UbsCache {
                     used: used & span,
                 },
             );
-            if let Some((_, old)) = displaced {
+            if let Some((old_key, old)) = displaced {
                 self.stats.count_eviction(old.used.count_ones());
+                // Score the provisioned span against the bytes touched.
+                let m = self.engine.metrics_mut();
+                m.record_eviction(old_key, old.used.count_ones());
+                m.record_confusion(old.span, old.used);
             }
 
             // Bytes covered by this span are resident; drop them from the
@@ -368,6 +379,11 @@ impl InstructionCache for UbsCache {
 
         // Miss (full or partial): fetch the 64-byte block (§IV-F).
         let kind = self.classify_miss(set, line, req);
+        if kind != MissKind::Full {
+            // A partial miss on a resident line is an extra miss that a
+            // wider (correct) provision would have avoided.
+            self.engine.metrics_mut().record_under_extra_miss();
+        }
         self.engine
             .demand_miss(line, req, kind, now, mem, &mut self.stats)
     }
@@ -446,6 +462,38 @@ impl InstructionCache for UbsCache {
             self.cfg.sets,
             pred_ways_per_set.max(1),
         )
+    }
+
+    fn metrics_enable(&mut self, enabled: bool) {
+        if enabled {
+            self.engine.metrics_mut().enable();
+        } else {
+            self.engine.metrics_mut().disable();
+        }
+    }
+
+    fn metrics_snapshot(&mut self, now: u64) {
+        if !self.engine.metrics().enabled() {
+            return;
+        }
+        self.engine.snapshot_mshr(now);
+        // Per-way capacities differ (Table II); resident bytes of a way are
+        // its capacity, touched bytes come from the usage mask.
+        let ways = &self.cfg.ways;
+        let capacity = ways.data_bytes_per_set();
+        let sets = self
+            .cache
+            .per_set_occupancy(|w, e| (ways.capacity(w), e.used.count_ones()));
+        self.engine
+            .metrics_mut()
+            .record_heatmap(now, capacity, &sets);
+    }
+
+    fn metrics_report(&self) -> Option<MetricsReport> {
+        self.engine
+            .metrics()
+            .enabled()
+            .then(|| self.engine.metrics().report())
     }
 }
 
@@ -668,6 +716,81 @@ mod tests {
         // One predictor block resident: 32 of 64 bytes used.
         assert!((eff - 0.5).abs() < 1e-6, "eff {eff}");
         let _ = t0;
+    }
+
+    #[test]
+    fn weeded_out_block_is_exact_dead_on_arrival() {
+        let mut c = UbsCache::paper_default();
+        c.metrics_enable(true);
+        // A predictor victim with no touched bytes is weeded out entirely:
+        // zero provisioned, zero touched — an exact prediction and a
+        // dead-on-arrival removal.
+        c.move_to_cache(Line::from_number(7), 0);
+        let rep = c.metrics_report().expect("metrics enabled");
+        assert_eq!(rep.evictions, 1);
+        assert_eq!(rep.dead_on_arrival, 1);
+        assert_eq!(rep.confusion.exact, 1);
+        assert_eq!(rep.confusion.total(), rep.evictions);
+    }
+
+    #[test]
+    fn confusion_totals_match_evictions_under_pressure() {
+        let mut c = UbsCache::paper_default();
+        c.metrics_enable(true);
+        let mut m = mem();
+        // Stream many lines mapping to one set/predictor row; every
+        // predictor displacement moves runs into ways, and way displacement
+        // classifies span-vs-used.
+        let mut now = 0;
+        for i in 0..40u64 {
+            now = miss_and_fill(&mut c, &mut m, range(i * 64 * 64, 8), now + 10);
+        }
+        let rep = c.metrics_report().expect("metrics enabled");
+        assert!(rep.evictions > 0);
+        assert_eq!(
+            rep.confusion.total(),
+            rep.evictions,
+            "every UBS removal (weed-out or displacement) is classified"
+        );
+        assert_eq!(rep.fills, 40);
+        assert!(rep.installs > 0);
+    }
+
+    #[test]
+    fn partial_miss_attributed_as_under_provision_extra_miss() {
+        let mut c = UbsCache::paper_default();
+        let mut m = mem();
+        c.metrics_enable(true);
+        // Resident sub-block [0,8); request [32,40) partially misses.
+        let t0 = miss_and_fill(&mut c, &mut m, range(0, 8), 0);
+        let t1 = miss_and_fill(&mut c, &mut m, range(64 * 64, 4), t0 + 10);
+        match c.access(range(32, 8), t1 + 10, &mut m) {
+            AccessResult::Miss { kind, .. } => assert_eq!(kind, MissKind::MissingSubBlock),
+            other => panic!("{other:?}"),
+        }
+        let rep = c.metrics_report().expect("metrics enabled");
+        assert_eq!(rep.confusion.under_extra_misses, 1);
+    }
+
+    #[test]
+    fn heatmap_uses_way_capacities() {
+        let mut c = UbsCache::paper_default();
+        let mut m = mem();
+        c.metrics_enable(true);
+        // Move an 8-byte run of line 0 into the ways.
+        let t0 = miss_and_fill(&mut c, &mut m, range(0, 8), 0);
+        let _ = miss_and_fill(&mut c, &mut m, range(64 * 64, 4), t0 + 10);
+        c.metrics_snapshot(100_000);
+        let rep = c.metrics_report().expect("metrics enabled");
+        assert_eq!(rep.heatmaps.len(), 1);
+        let h = &rep.heatmaps[0];
+        assert_eq!(h.capacity_bytes, c.cfg.ways.data_bytes_per_set());
+        assert_eq!(h.resident.len(), c.cfg.sets);
+        let resident: u32 = h.resident.iter().sum();
+        let used: u32 = h.used.iter().sum();
+        assert!(resident >= 8, "sub-block resident in some way: {resident}");
+        assert_eq!(used, 8, "8 touched bytes across the array");
+        assert_eq!(rep.mshr_capacity, c.cfg.mshr_entries as u32);
     }
 
     #[test]

@@ -24,14 +24,17 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
+use ubs_uarch::PhaseProfile;
 
 /// Version of the manifest schema written by this build.
 ///
 /// History: v1 introduced the manifest; v2 added telemetry (per-experiment
 /// `timelines` pointers in [`ExperimentRecord`], matching the timeline
-/// schema version in `ubs_uarch::telemetry`). Older manifests still load —
-/// v2 fields are additive with defaults.
-pub const SCHEMA_VERSION: u32 = 2;
+/// schema version in `ubs_uarch::telemetry`); v3 added host-side
+/// self-profiling (optional per-cell `phases` in [`CellTiming`], written by
+/// `--metrics` runs). Older manifests still load — v2/v3 fields are
+/// additive with defaults.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Timing and identity of one completed (workload × design) cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -48,6 +51,10 @@ pub struct CellTiming {
     pub wall_seconds: f64,
     /// Simulated-instruction throughput in Minstr/s.
     pub minstr_per_sec: f64,
+    /// Host-side per-phase wall time (present on `--metrics` runs;
+    /// absent on plain runs and on schema ≤ v2 manifests).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub phases: Option<PhaseProfile>,
 }
 
 impl From<&CellProgress> for CellTiming {
@@ -59,6 +66,7 @@ impl From<&CellProgress> for CellTiming {
             instructions: p.instructions,
             wall_seconds: p.wall_seconds,
             minstr_per_sec: p.minstr_per_sec(),
+            phases: p.phases,
         }
     }
 }
@@ -680,6 +688,7 @@ mod tests {
             instructions: 2_000_000,
             wall_seconds: 0.5,
             minstr_per_sec: 4.0,
+            phases: None,
         }];
         let mut m = RunManifest::new(Effort::Quick, SuiteScale::tiny(), 8);
         m.push(ExperimentRecord::new("fig10", 1.25, cells));
@@ -708,6 +717,7 @@ mod tests {
             instructions: 1_000_000,
             wall_seconds: 0.25,
             minstr_per_sec: 4.0,
+            phases: None,
         }];
         let mut m = RunManifest::new(Effort::Quick, SuiteScale::tiny(), 2);
         m.push(ExperimentRecord::new("fig10", 0.3, cells));
@@ -732,6 +742,30 @@ mod tests {
         assert!(loaded.experiments[0].timelines.is_empty());
         assert_eq!(loaded.experiments[0].cells, m.experiments[0].cells);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn committed_v2_baseline_manifest_still_loads() {
+        // The quick-tiny baseline in the repository was archived under
+        // schema v2 (no per-cell `phases`); it must keep loading after the
+        // v3 bump, with every optional field defaulted.
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("results/baselines/quick-tiny");
+        let m = RunManifest::load(&dir).expect("committed baseline manifest loads");
+        assert!(m.schema_version <= SCHEMA_VERSION);
+        assert!(!m.experiments.is_empty());
+        // Structural experiments (tables) legitimately have no cells;
+        // simulated ones must, and none carries a v3-only phase profile.
+        let cells: Vec<_> = m.experiments.iter().flat_map(|e| e.cells.iter()).collect();
+        assert!(!cells.is_empty());
+        for cell in cells {
+            assert!(cell.phases.is_none(), "v2 cells carry no phase profile");
+        }
+        // Serializing it back under the current build must not invent the
+        // optional fields.
+        let body = serde_json::to_string(&m).unwrap();
+        assert!(!body.contains("\"phases\""));
     }
 
     #[test]

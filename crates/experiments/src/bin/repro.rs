@@ -10,6 +10,7 @@
 //! repro list
 //! repro diff <baseline-dir> <candidate-dir> [--tol-scale=F]
 //! repro trace <workload> <design> [--effort=NAME] [--out FILE] [--timeline-out FILE]
+//! repro inspect <workload> <design> [--effort=NAME] [--json DIR]
 //! ```
 //!
 //! With `--json DIR`, every experiment's machine-readable results land in
@@ -20,13 +21,17 @@
 //! archives each cell's interval timeline under `DIR/timelines/<id>/`.
 //! `repro trace` runs one workload × design cell and writes a Chrome-trace
 //! JSON that opens directly in Perfetto (<https://ui.perfetto.dev>).
+//! `repro inspect` runs one cell with the cache-internals metrics registry
+//! enabled and archives a self-contained HTML page (per-set heatmaps,
+//! predictor confusion, MSHR depth series, host self-profile) plus
+//! `metrics.json` under `DIR/inspect/<workload>__<design>/`.
 
 use parking_lot::Mutex;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 use ubs_experiments::{
-    cli, diff_dirs, run_by_id_with, run_trace, write_json_atomic, CellProgress, CellTiming,
-    ExperimentRecord, RunContext, RunManifest,
+    cli, diff_dirs, run_by_id_with, run_inspect, run_trace, write_json_atomic, CellProgress,
+    CellTiming, ExperimentRecord, RunContext, RunManifest,
 };
 use ubs_uarch::Timeline;
 
@@ -45,6 +50,7 @@ fn main() {
         }
         Ok(cli::Command::Diff(opts)) => run_diff(&opts),
         Ok(cli::Command::Trace(opts)) => run_trace_cmd(&opts),
+        Ok(cli::Command::Inspect(opts)) => run_inspect_cmd(&opts),
         Ok(cli::Command::Run(opts)) => run_experiments(&opts),
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -57,7 +63,8 @@ fn main() {
 fn run_experiments(opts: &cli::RunOptions) -> i32 {
     let base_ctx = RunContext::new(opts.effort, opts.scale)
         .with_threads(opts.threads)
-        .with_timeline(opts.timeline);
+        .with_timeline(opts.timeline)
+        .with_metrics(opts.metrics);
     let threads = base_ctx.effective_threads();
     let mut manifest = RunManifest::new(opts.effort, opts.scale, threads);
     let mut failed = false;
@@ -213,6 +220,34 @@ fn write_value_at(path: &Path, value: &serde_json::Value) -> std::io::Result<Pat
     write_json_atomic(dir, file, value)
 }
 
+fn run_inspect_cmd(opts: &cli::InspectOptions) -> i32 {
+    let outcome = match run_inspect(opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    print!("{}", outcome.render_summary());
+
+    let dir = opts.json_dir.join("inspect").join(&outcome.id);
+    if let Err(e) = write_json_atomic(&dir, "metrics.json", &outcome.json) {
+        eprintln!("error: could not write metrics.json: {e}");
+        return 1;
+    }
+    // Same tmp-then-rename discipline as the JSON writer.
+    let html_path = dir.join("inspect.html");
+    let tmp = dir.join("inspect.html.tmp");
+    if let Err(e) =
+        std::fs::write(&tmp, &outcome.html).and_then(|()| std::fs::rename(&tmp, &html_path))
+    {
+        eprintln!("error: could not write {}: {e}", html_path.display());
+        return 1;
+    }
+    println!("wrote {}", dir.display());
+    0
+}
+
 fn run_diff(opts: &cli::DiffOptions) -> i32 {
     match diff_dirs(&opts.baseline, &opts.candidate, opts.tol_scale) {
         Ok(report) => {
@@ -240,6 +275,10 @@ fn print_usage() {
          \x20                                  [--timeline-out FILE]\n\
          \x20                                trace one cell (e.g. server_000 ubs)\n\
          \x20                                to Chrome-trace JSON for Perfetto\n\
+         \x20      repro inspect WORKLOAD DESIGN [--effort=NAME] [--json DIR]\n\
+         \x20                                render one cell's cache internals\n\
+         \x20                                (heatmaps, confusion, MSHR) as HTML\n\
+         \x20                                + JSON under DIR/inspect/\n\
          \n\
          ids: {}\n\
          \n\
@@ -251,7 +290,9 @@ fn print_usage() {
          --full-suites  paper-sized suites (36 server workloads, ...)\n\
          --json DIR     write per-experiment JSON + run manifest to DIR\n\
          --timeline     archive per-cell interval timelines under\n\
-         \x20            DIR/timelines/ (requires --json)",
+         \x20            DIR/timelines/ (requires --json)\n\
+         --metrics      collect cache-internals metrics + host self-profiling\n\
+         \x20            (bit-exact results; manifest gains per-cell phases)",
         ubs_experiments::all_ids().join(" ")
     );
 }

@@ -27,6 +27,24 @@ pub struct RunOptions {
     /// Record per-cell interval timelines and archive them next to the
     /// results (`--timeline`; requires `--json`).
     pub timeline: bool,
+    /// Collect cache-internals metrics + host self-profiling in every cell
+    /// (`--metrics`). Simulated results are bit-exact either way; the
+    /// manifest gains per-cell phase profiles.
+    pub metrics: bool,
+}
+
+/// Options for `repro inspect <workload> <design>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InspectOptions {
+    /// Workload name, e.g. `server_000` (a suite label plus index).
+    pub workload: String,
+    /// Design name, e.g. `ubs` or `conv-32k` (see `repro list` docs).
+    pub design: String,
+    /// Simulation effort for the inspected run.
+    pub effort: Effort,
+    /// Results directory; artifacts land under `<dir>/inspect/<id>/`
+    /// (default `results`).
+    pub json_dir: PathBuf,
 }
 
 /// Options for `repro trace <workload> <design>`.
@@ -69,6 +87,9 @@ pub enum Command {
     Diff(DiffOptions),
     /// Trace one workload × design cell to Chrome-trace JSON.
     Trace(TraceOptions),
+    /// Render one cell's cache internals (heatmaps, confusion, MSHR
+    /// series, self-profile) to HTML + JSON.
+    Inspect(InspectOptions),
 }
 
 /// Splits `--flag=value` / `--flag value` style arguments: returns the
@@ -110,7 +131,48 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     if args[0] == "trace" {
         return parse_trace(&args[1..]);
     }
+    if args[0] == "inspect" {
+        return parse_inspect(&args[1..]);
+    }
     parse_run(args)
+}
+
+fn parse_inspect(args: &[String]) -> Result<Command, String> {
+    let mut positionals: Vec<String> = Vec::new();
+    let mut effort: Option<Effort> = None;
+    let mut json_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(v) = flag_value(arg, "--effort", &mut it) {
+            effort = Some(Effort::parse(v?)?);
+        } else if let Some(v) = flag_value(arg, "--json", &mut it) {
+            json_dir = Some(PathBuf::from(v?));
+        } else if arg == "--smoke" {
+            effort = Some(Effort::Smoke);
+        } else if arg == "--quick" {
+            effort = Some(Effort::Quick);
+        } else if arg == "--full" {
+            effort = Some(Effort::Full);
+        } else if arg.starts_with('-') {
+            return Err(format!("unknown flag for inspect: `{arg}`"));
+        } else {
+            positionals.push(arg.clone());
+        }
+    }
+    if positionals.len() != 2 {
+        return Err(format!(
+            "inspect expects exactly two arguments (workload, design), got {}",
+            positionals.len()
+        ));
+    }
+    let design = positionals.pop().expect("two positionals");
+    let workload = positionals.pop().expect("two positionals");
+    Ok(Command::Inspect(InspectOptions {
+        workload,
+        design,
+        effort: effort.unwrap_or(Effort::Quick),
+        json_dir: json_dir.unwrap_or_else(|| PathBuf::from("results")),
+    }))
 }
 
 fn parse_trace(args: &[String]) -> Result<Command, String> {
@@ -194,6 +256,7 @@ fn parse_run(args: &[String]) -> Result<Command, String> {
     let mut threads: Option<usize> = None;
     let mut json_dir: Option<PathBuf> = None;
     let mut timeline = false;
+    let mut metrics = false;
     let mut ids: Vec<String> = Vec::new();
     let mut want_all = false;
 
@@ -236,6 +299,8 @@ fn parse_run(args: &[String]) -> Result<Command, String> {
             json_dir = Some(PathBuf::from(v?));
         } else if arg == "--timeline" {
             timeline = true;
+        } else if arg == "--metrics" {
+            metrics = true;
         } else if arg == "--smoke" {
             set_effort(&mut effort, Effort::Smoke)?;
         } else if arg == "--quick" {
@@ -284,6 +349,7 @@ fn parse_run(args: &[String]) -> Result<Command, String> {
         threads,
         json_dir,
         timeline,
+        metrics,
     }))
 }
 
@@ -382,6 +448,49 @@ mod tests {
         assert!(parse(&args(&["fig10", "--timeline"]))
             .unwrap_err()
             .contains("--timeline requires --json"));
+    }
+
+    #[test]
+    fn metrics_flag() {
+        let Command::Run(o) = parse(&args(&["fig10", "--metrics", "--json", "out"])).unwrap()
+        else {
+            panic!("expected Run");
+        };
+        assert!(o.metrics);
+        let Command::Run(o) = parse(&args(&["fig10"])).unwrap() else {
+            panic!("expected Run");
+        };
+        assert!(!o.metrics);
+    }
+
+    #[test]
+    fn inspect_parsing() {
+        let Command::Inspect(i) = parse(&args(&[
+            "inspect",
+            "server_000",
+            "ubs",
+            "--effort=smoke",
+            "--json=out",
+        ]))
+        .unwrap() else {
+            panic!("expected Inspect");
+        };
+        assert_eq!(i.workload, "server_000");
+        assert_eq!(i.design, "ubs");
+        assert_eq!(i.effort, Effort::Smoke);
+        assert_eq!(i.json_dir, PathBuf::from("out"));
+
+        let Command::Inspect(i) = parse(&args(&["inspect", "google_000", "conv-32k"])).unwrap()
+        else {
+            panic!("expected Inspect");
+        };
+        assert_eq!(i.effort, Effort::Quick);
+        assert_eq!(i.json_dir, PathBuf::from("results"));
+
+        assert!(parse(&args(&["inspect", "onlyone"])).is_err());
+        assert!(parse(&args(&["inspect", "a", "b", "--weird"]))
+            .unwrap_err()
+            .contains("unknown flag for inspect"));
     }
 
     #[test]

@@ -1,0 +1,503 @@
+//! The `repro inspect` subcommand: run one workload × design cell with the
+//! cache-internals metrics registry and host self-profiling enabled, and
+//! render the result as a self-contained HTML page (per-set occupancy /
+//! fragmentation heatmaps on the epoch grid, the predictor confusion
+//! matrix, the MSHR depth series, and the per-phase wall-time profile)
+//! plus a machine-readable `metrics.json`.
+//!
+//! The HTML uses only inline CSS and inline SVG — no external assets, no
+//! scripts — so a single file archived under `--json DIR/inspect/<id>/`
+//! opens anywhere.
+
+use crate::cli::InspectOptions;
+use crate::tracecmd::{design_by_name, parse_workload};
+use serde_json::json;
+use std::fmt::Write as _;
+use std::time::Instant;
+use ubs_core::MetricsReport;
+use ubs_trace::synth::SyntheticTrace;
+use ubs_uarch::SimReport;
+
+/// Heatmap snapshots rendered into the HTML. When a run produced more, we
+/// sample evenly across the grid and say so in the page (the JSON always
+/// carries every snapshot).
+const MAX_RENDERED_HEATMAPS: usize = 8;
+
+/// Sets per visual heatmap row (wide caches wrap onto several rows).
+const HEATMAP_ROW_SETS: usize = 64;
+
+/// Everything an inspected run produced.
+#[derive(Debug)]
+pub struct InspectOutcome {
+    /// The simulation report, with `cache_metrics` and `phase_profile` set.
+    pub report: SimReport,
+    /// Artifact id, `<workload>__<design>`.
+    pub id: String,
+    /// The rendered self-contained HTML page.
+    pub html: String,
+    /// The machine-readable metrics document.
+    pub json: serde_json::Value,
+}
+
+impl InspectOutcome {
+    /// A terminal one-liner summarizing the inspected cell.
+    pub fn render_summary(&self) -> String {
+        let m = self.metrics();
+        format!(
+            "{}: {} instrs in {} cycles (IPC {:.3}, L1-I MPKI {:.2})\n\
+             metrics: {} fills, {} evictions ({} dead-on-arrival), \
+             {} heatmap snapshots, MSHR high-water {}/{}\n",
+            self.id,
+            self.report.instructions,
+            self.report.cycles,
+            self.report.ipc(),
+            self.report.l1i_mpki(),
+            m.fills,
+            m.evictions,
+            m.dead_on_arrival,
+            m.heatmaps.len(),
+            m.mshr.high_water,
+            m.mshr_capacity,
+        )
+    }
+
+    fn metrics(&self) -> &MetricsReport {
+        self.report
+            .cache_metrics
+            .as_ref()
+            .expect("inspect runs always collect metrics")
+    }
+}
+
+/// Runs one inspected cell: simulates `workload × design` at the requested
+/// effort with the metrics registry and self-profiler enabled, then renders
+/// the HTML page and JSON document.
+///
+/// # Errors
+///
+/// Returns a one-line message for unknown workloads/designs, or if the run
+/// produced no metrics payload (a harness bug, surfaced rather than
+/// rendered as an empty page).
+pub fn run_inspect(opts: &InspectOptions) -> Result<InspectOutcome, String> {
+    let spec = parse_workload(&opts.workload)?;
+    let design = design_by_name(&opts.design)?;
+    let mut cfg = opts.effort.sim_config();
+    cfg.metrics = true;
+    cfg.profile = true;
+
+    let started = Instant::now();
+    let mut trace = SyntheticTrace::build(&spec);
+    let decode_s = started.elapsed().as_secs_f64();
+    let mut icache = design.build();
+    let mut report = ubs_uarch::simulate(&mut trace, icache.as_mut(), &cfg);
+    if let Some(p) = report.phase_profile.as_mut() {
+        p.trace_decode_s = decode_s;
+    }
+    report.validate().map_err(|e| {
+        format!(
+            "stall-attribution invariant violated on {}/{}: {e}",
+            spec.name,
+            design.name()
+        )
+    })?;
+    if report.cache_metrics.is_none() {
+        return Err(format!(
+            "inspect run of {}/{} produced no metrics payload",
+            spec.name,
+            design.name()
+        ));
+    }
+
+    let id = format!("{}__{}", spec.name, design.name());
+    let html = render_html(&report);
+    let json = json!({
+        "workload": report.workload,
+        "design": report.design,
+        "effort": opts.effort.label(),
+        "instructions": report.instructions,
+        "cycles": report.cycles,
+        "ipc": report.ipc(),
+        "l1i_mpki": report.l1i_mpki(),
+        "cache_metrics": report.cache_metrics,
+        "phase_profile": report.phase_profile,
+    });
+    Ok(InspectOutcome {
+        report,
+        id,
+        html,
+        json,
+    })
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Renders the whole self-contained inspection page.
+fn render_html(report: &SimReport) -> String {
+    let m = report
+        .cache_metrics
+        .as_ref()
+        .expect("caller checked metrics presence");
+    let title = format!("{} × {}", esc(&report.workload), esc(&report.design));
+    let mut out = String::with_capacity(64 * 1024);
+    writeln!(
+        out,
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n\
+         <title>cache internals — {title}</title>\n\
+         <style>\n\
+         body{{font:14px/1.45 system-ui,sans-serif;margin:2em auto;max-width:70em;color:#222}}\n\
+         h1{{font-size:1.4em}} h2{{font-size:1.1em;margin-top:2em}}\n\
+         table{{border-collapse:collapse}} \n\
+         td,th{{border:1px solid #ccc;padding:2px 8px;text-align:right}}\n\
+         th{{background:#f3f3f3}}\n\
+         table.heat td{{border:none;padding:0;width:10px;height:10px}}\n\
+         .note{{color:#666;font-size:0.9em}}\n\
+         </style></head><body>\n<h1>Cache internals — {title}</h1>"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "<p>{} instructions in {} cycles — IPC {:.3}, L1-I MPKI {:.2}.</p>",
+        report.instructions,
+        report.cycles,
+        report.ipc(),
+        report.l1i_mpki()
+    )
+    .unwrap();
+
+    render_profile(&mut out, report);
+    render_counters(&mut out, m);
+    render_confusion(&mut out, m);
+    render_heatmaps(&mut out, m);
+    render_mshr(&mut out, m);
+    render_evict_hist(&mut out, m);
+
+    out.push_str("</body></html>\n");
+    out
+}
+
+fn render_profile(out: &mut String, report: &SimReport) {
+    let Some(p) = report.phase_profile else {
+        return;
+    };
+    out.push_str("<h2>Host self-profile</h2>\n<table><tr><th>phase</th><th>wall (s)</th><th>share</th></tr>\n");
+    let sim_total = (p.frontend_s + p.cache_s + p.backend_s).max(1e-12);
+    for (name, secs) in [
+        ("trace decode", p.trace_decode_s),
+        ("front-end", p.frontend_s),
+        ("cache", p.cache_s),
+        ("back-end", p.backend_s),
+    ] {
+        writeln!(
+            out,
+            "<tr><td style=\"text-align:left\">{name}</td><td>{secs:.4}</td><td>{:.1}%</td></tr>",
+            100.0 * secs / (sim_total + p.trace_decode_s)
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "</table>\n<p class=\"note\">Simulator phases extrapolated from {} of {} \
+         cycles sampled; trace decode measured once around trace construction.</p>",
+        p.sampled_cycles, p.total_cycles
+    )
+    .unwrap();
+}
+
+fn render_counters(out: &mut String, m: &MetricsReport) {
+    out.push_str("<h2>Fill &amp; replacement</h2>\n<table><tr>");
+    for h in [
+        "fills",
+        "installs",
+        "evictions",
+        "dead-on-arrival",
+        "churn refills",
+    ] {
+        write!(out, "<th>{h}</th>").unwrap();
+    }
+    writeln!(
+        out,
+        "</tr>\n<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr></table>",
+        m.fills, m.installs, m.evictions, m.dead_on_arrival, m.churn_refills
+    )
+    .unwrap();
+}
+
+fn render_confusion(out: &mut String, m: &MetricsReport) {
+    out.push_str("<h2>Predictor confusion</h2>\n");
+    let c = &m.confusion;
+    if c.total() == 0 && c.under_extra_misses == 0 {
+        out.push_str(
+            "<p class=\"note\">No provisioning decisions recorded — this design \
+             has no useful-byte predictor.</p>\n",
+        );
+        return;
+    }
+    let total = c.total().max(1);
+    out.push_str(
+        "<table><tr><th>class</th><th>removals</th><th>share</th><th>byte cost</th></tr>\n",
+    );
+    for (name, count, cost) in [
+        ("exact", c.exact, String::new()),
+        (
+            "over-provisioned",
+            c.over_provisioned,
+            format!("{} wasted bytes", c.wasted_bytes),
+        ),
+        (
+            "under-provisioned",
+            c.under_provisioned,
+            format!("{} missed bytes", c.missed_bytes),
+        ),
+    ] {
+        writeln!(
+            out,
+            "<tr><td style=\"text-align:left\">{name}</td><td>{count}</td>\
+             <td>{:.1}%</td><td style=\"text-align:left\">{cost}</td></tr>",
+            100.0 * count as f64 / total as f64
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "</table>\n<p class=\"note\">{} demand misses attributed to \
+         under-provisioning (misses a correct provision would have avoided).</p>",
+        c.under_extra_misses
+    )
+    .unwrap();
+}
+
+fn render_heatmaps(out: &mut String, m: &MetricsReport) {
+    out.push_str("<h2>Per-set occupancy heatmaps</h2>\n");
+    if m.heatmaps.is_empty() {
+        out.push_str(
+            "<p class=\"note\">No snapshots — the run was shorter than one \
+             epoch.</p>\n",
+        );
+        return;
+    }
+    out.push_str(
+        "<p class=\"note\">One cell per set. Hue: green = every resident byte \
+         touched, red = fully fragmented. Darkness: provisioned fraction of the \
+         set's capacity.</p>\n",
+    );
+    let n = m.heatmaps.len();
+    let rendered: Vec<usize> = if n <= MAX_RENDERED_HEATMAPS {
+        (0..n).collect()
+    } else {
+        // Evenly sampled, always including first and last.
+        (0..MAX_RENDERED_HEATMAPS)
+            .map(|i| i * (n - 1) / (MAX_RENDERED_HEATMAPS - 1))
+            .collect()
+    };
+    if rendered.len() < n {
+        writeln!(
+            out,
+            "<p class=\"note\">{} of {} snapshots rendered (evenly sampled); \
+             the JSON document carries all of them.</p>",
+            rendered.len(),
+            n
+        )
+        .unwrap();
+    }
+    for &i in &rendered {
+        let snap = &m.heatmaps[i];
+        writeln!(
+            out,
+            "<h3 style=\"font-size:1em\">cycle {} — {} sets × {} B</h3>\n<table class=\"heat\">",
+            snap.cycle,
+            snap.resident.len(),
+            snap.capacity_bytes
+        )
+        .unwrap();
+        for row in snap
+            .resident
+            .chunks(HEATMAP_ROW_SETS)
+            .zip(snap.used.chunks(HEATMAP_ROW_SETS))
+        {
+            out.push_str("<tr>");
+            for (&resident, &used) in row.0.iter().zip(row.1) {
+                let occ = resident as f64 / snap.capacity_bytes.max(1) as f64;
+                let util = if resident == 0 {
+                    1.0
+                } else {
+                    used as f64 / resident as f64
+                };
+                write!(
+                    out,
+                    "<td title=\"resident {resident}/{} B, used {used} B\" \
+                     style=\"background:hsl({:.0},70%,{:.0}%)\"></td>",
+                    snap.capacity_bytes,
+                    120.0 * util,
+                    95.0 - 50.0 * occ
+                )
+                .unwrap();
+            }
+            out.push_str("</tr>\n");
+        }
+        out.push_str("</table>\n");
+    }
+    if m.snapshots_dropped > 0 {
+        writeln!(
+            out,
+            "<p class=\"note\">{} snapshots dropped at the retention cap.</p>",
+            m.snapshots_dropped
+        )
+        .unwrap();
+    }
+}
+
+fn render_mshr(out: &mut String, m: &MetricsReport) {
+    out.push_str("<h2>MSHR occupancy</h2>\n");
+    writeln!(
+        out,
+        "<p>capacity {}, high water {}.</p>",
+        m.mshr_capacity, m.mshr.high_water
+    )
+    .unwrap();
+    if m.mshr_series.len() < 2 {
+        out.push_str("<p class=\"note\">Too few samples for a series plot.</p>\n");
+        return;
+    }
+    let (w, h) = (600.0f64, 90.0f64);
+    let cap = m.mshr_capacity.max(1) as f64;
+    let first = m.mshr_series.first().expect("len >= 2").cycle as f64;
+    let last = m.mshr_series.last().expect("len >= 2").cycle as f64;
+    let span = (last - first).max(1.0);
+    let points: Vec<String> = m
+        .mshr_series
+        .iter()
+        .map(|s| {
+            format!(
+                "{:.1},{:.1}",
+                (s.cycle as f64 - first) / span * w,
+                h - s.occupancy as f64 / cap * (h - 10.0)
+            )
+        })
+        .collect();
+    writeln!(
+        out,
+        "<svg width=\"{w:.0}\" height=\"{:.0}\" viewBox=\"0 0 {w:.0} {:.0}\" \
+         role=\"img\" aria-label=\"MSHR occupancy over cycles\">\n\
+         <line x1=\"0\" y1=\"10\" x2=\"{w:.0}\" y2=\"10\" stroke=\"#c33\" \
+         stroke-dasharray=\"4 3\"/>\n\
+         <polyline fill=\"none\" stroke=\"#369\" stroke-width=\"1.5\" \
+         points=\"{}\"/>\n</svg>\n\
+         <p class=\"note\">Dashed line: capacity ({:.0}). {} samples, cycles \
+         {:.0}–{:.0}.</p>",
+        h + 4.0,
+        h + 4.0,
+        points.join(" "),
+        cap,
+        m.mshr_series.len(),
+        first,
+        last
+    )
+    .unwrap();
+}
+
+fn render_evict_hist(out: &mut String, m: &MetricsReport) {
+    let hist = &m.evict_used_log2;
+    if hist.total() == 0 {
+        return;
+    }
+    out.push_str("<h2>Touched bytes at removal (log2 buckets)</h2>\n<table><tr><th>bytes</th><th>removals</th><th></th></tr>\n");
+    let max = hist.buckets.iter().copied().max().unwrap_or(1).max(1);
+    for (i, &count) in hist.buckets.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let label = match i {
+            0 => "0".to_string(),
+            1 => "1".to_string(),
+            _ => format!("{}–{}", 1u64 << (i - 1), (1u64 << i) - 1),
+        };
+        writeln!(
+            out,
+            "<tr><td>{label}</td><td>{count}</td><td style=\"text-align:left\">\
+             <div style=\"background:#369;height:10px;width:{}px\"></div></td></tr>",
+            (200 * count / max).max(1)
+        )
+        .unwrap();
+    }
+    out.push_str("</table>\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Effort;
+    use std::path::PathBuf;
+
+    fn opts(workload: &str, design: &str) -> InspectOptions {
+        InspectOptions {
+            workload: workload.into(),
+            design: design.into(),
+            effort: Effort::Smoke,
+            json_dir: PathBuf::from("unused"),
+        }
+    }
+
+    #[test]
+    fn inspect_conv_renders_heatmap_and_profile() {
+        let outcome = run_inspect(&opts("server_000", "conv-32k")).unwrap();
+        assert_eq!(outcome.id, "server_000__conv-32k");
+        let m = outcome.report.cache_metrics.as_ref().unwrap();
+        assert!(m.fills > 0);
+        assert!(outcome.html.starts_with("<!DOCTYPE html>"));
+        assert!(outcome.html.contains("Per-set occupancy heatmaps"));
+        assert!(outcome.html.contains("MSHR occupancy"));
+        assert!(outcome.html.contains("Host self-profile"));
+        // conv has no useful-byte predictor.
+        assert!(outcome.html.contains("no useful-byte predictor"));
+        assert!(!outcome.html.contains("<script"), "page must be inert");
+        assert!(outcome.json["cache_metrics"]["fills"].as_u64().unwrap() > 0);
+        assert_eq!(outcome.json["design"], "conv-32k");
+        assert!(outcome.render_summary().contains("server_000__conv-32k"));
+    }
+
+    #[test]
+    fn inspect_ubs_renders_confusion_matrix() {
+        let outcome = run_inspect(&opts("server_000", "ubs")).unwrap();
+        let m = outcome.report.cache_metrics.as_ref().unwrap();
+        assert_eq!(
+            m.confusion.total(),
+            m.evictions,
+            "every removal is classified"
+        );
+        assert!(outcome.html.contains("Predictor confusion"));
+        assert!(outcome.html.contains("over-provisioned"));
+        assert!(
+            outcome.json["cache_metrics"]["confusion"]["exact"]
+                .as_u64()
+                .is_some(),
+            "confusion matrix serialized"
+        );
+        assert!(
+            outcome.json["phase_profile"]["sampled_cycles"]
+                .as_u64()
+                .unwrap()
+                > 0
+        );
+    }
+
+    #[test]
+    fn unknown_inputs_are_rejected() {
+        assert!(run_inspect(&opts("nope_000", "ubs")).is_err());
+        assert!(run_inspect(&opts("server_000", "nope")).is_err());
+    }
+
+    #[test]
+    fn heatmap_sampling_includes_endpoints() {
+        let n = 30usize;
+        let idx: Vec<usize> = (0..MAX_RENDERED_HEATMAPS)
+            .map(|i| i * (n - 1) / (MAX_RENDERED_HEATMAPS - 1))
+            .collect();
+        assert_eq!(idx.first(), Some(&0));
+        assert_eq!(idx.last(), Some(&(n - 1)));
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -26,6 +26,7 @@ pub mod archive;
 pub mod cli;
 mod designs;
 pub mod figures;
+mod inspectcmd;
 mod runner;
 mod suitescale;
 mod tracecmd;
@@ -34,9 +35,10 @@ pub use archive::{
     diff_dirs, diff_values, tolerance_for, write_json_atomic, CellTiming, DiffReport,
     ExperimentRecord, MetricDelta, RunManifest, Tolerance, SCHEMA_VERSION,
 };
-pub use cli::{Command, DiffOptions, RunOptions, TraceOptions};
+pub use cli::{Command, DiffOptions, InspectOptions, RunOptions, TraceOptions};
 pub use designs::DesignSpec;
 pub use figures::{all_ids, run_by_id, run_by_id_with, ExperimentResult};
+pub use inspectcmd::{run_inspect, InspectOutcome};
 pub use runner::{run_matrix, Cell, CellProgress, Effort, ProgressHook, RunContext, RunGrid};
 pub use suitescale::SuiteScale;
 pub use tracecmd::{design_by_name, parse_workload, run_trace, TraceOutcome};

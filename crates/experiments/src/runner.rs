@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
 use std::time::Instant;
 use ubs_trace::synth::{SyntheticTrace, WorkloadSpec};
-use ubs_uarch::{SimConfig, SimReport, Timeline};
+use ubs_uarch::{PhaseProfile, SimConfig, SimReport, Timeline};
 
 /// Effort level of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -176,6 +176,10 @@ pub struct CellProgress {
     /// Interval timeline of the cell (present when the context enabled
     /// timelines), for archiving alongside the manifest.
     pub timeline: Option<Timeline>,
+    /// Host-side per-phase wall time (present when the context enabled
+    /// metrics), with `trace_decode_s` filled in from the workload's
+    /// prototype build time.
+    pub phases: Option<PhaseProfile>,
     /// Cells finished so far in the current matrix (including this one).
     pub completed: usize,
     /// Total cells in the current matrix.
@@ -204,6 +208,10 @@ pub struct RunContext<'a> {
     pub threads: Option<usize>,
     /// Retain an interval timeline in every cell report (`--timeline`).
     pub timeline: bool,
+    /// Collect cache-internals metrics and host self-profiling in every
+    /// cell report (`--metrics`). Simulated results are bit-exact either
+    /// way; this only adds observability payload.
+    pub metrics: bool,
     /// Per-cell completion observer (called from worker threads).
     pub progress: Option<ProgressHook<'a>>,
 }
@@ -215,6 +223,7 @@ impl std::fmt::Debug for RunContext<'_> {
             .field("scale", &self.scale)
             .field("threads", &self.threads)
             .field("timeline", &self.timeline)
+            .field("metrics", &self.metrics)
             .field("progress", &self.progress.map(|_| "<hook>"))
             .finish()
     }
@@ -228,6 +237,7 @@ impl<'a> RunContext<'a> {
             scale,
             threads: None,
             timeline: false,
+            metrics: false,
             progress: None,
         }
     }
@@ -241,6 +251,13 @@ impl<'a> RunContext<'a> {
     /// Retains per-epoch interval timelines in every cell report.
     pub fn with_timeline(mut self, timeline: bool) -> Self {
         self.timeline = timeline;
+        self
+    }
+
+    /// Collects cache-internals metrics and host self-profiling in every
+    /// cell report.
+    pub fn with_metrics(mut self, metrics: bool) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -286,6 +303,8 @@ fn run_matrix_inner(
 ) -> RunGrid {
     let mut sim_cfg = ctx.effort.sim_config();
     sim_cfg.telemetry.timeline = ctx.timeline;
+    sim_cfg.metrics = ctx.metrics;
+    sim_cfg.profile = ctx.metrics;
     let threads = ctx.effective_threads();
     let jobs: Vec<(usize, usize)> = (0..workloads.len())
         .flat_map(|w| (0..designs.len()).map(move |d| (w, d)))
@@ -297,8 +316,18 @@ fn run_matrix_inner(
     let slots: Vec<OnceLock<Cell>> = (0..jobs.len()).map(|_| OnceLock::new()).collect();
 
     // Program construction is the expensive part of a synthetic workload;
-    // build each program once and clone the walker per design.
-    let prototypes: Vec<SyntheticTrace> = workloads.iter().map(SyntheticTrace::build).collect();
+    // build each program once and clone the walker per design. The build
+    // wall time doubles as the self-profiler's trace-decode phase.
+    let mut decode_secs = Vec::with_capacity(workloads.len());
+    let prototypes: Vec<SyntheticTrace> = workloads
+        .iter()
+        .map(|w| {
+            let started = Instant::now();
+            let proto = SyntheticTrace::build(w);
+            decode_secs.push(started.elapsed().as_secs_f64());
+            proto
+        })
+        .collect();
 
     crossbeam::scope(|scope| {
         for _ in 0..threads.min(jobs.len().max(1)) {
@@ -308,7 +337,10 @@ fn run_matrix_inner(
                 let started = Instant::now();
                 let mut trace = prototypes[w].clone();
                 let mut icache = designs[d].build();
-                let report = ubs_uarch::simulate(&mut trace, icache.as_mut(), &sim_cfg);
+                let mut report = ubs_uarch::simulate(&mut trace, icache.as_mut(), &sim_cfg);
+                if let Some(p) = report.phase_profile.as_mut() {
+                    p.trace_decode_s = decode_secs[w];
+                }
                 // The closed taxonomy must hold on every cell of every
                 // suite — a violation is a simulator bug, not bad data.
                 if let Err(e) = report.validate() {
@@ -333,6 +365,7 @@ fn run_matrix_inner(
                         instructions: cell.report.instructions,
                         wall_seconds: cell.wall_seconds,
                         timeline: cell.report.timeline.clone(),
+                        phases: cell.report.phase_profile,
                         completed,
                         total: jobs.len(),
                     });
@@ -452,6 +485,39 @@ mod tests {
             .with_threads(Some(1))
             .run_matrix(&workloads, &designs);
         assert!(plain.get(0, 0).timeline.is_none());
+    }
+
+    #[test]
+    fn metrics_runs_are_bit_exact_and_carry_payload() {
+        let workloads = vec![WorkloadSpec::new(Profile::Client, 2)];
+        let designs = vec![DesignSpec::conv_32k(), DesignSpec::ubs_default()];
+        let plain = RunContext::new(Effort::Smoke, SuiteScale::bench())
+            .with_threads(Some(1))
+            .run_matrix(&workloads, &designs);
+        let seen = AtomicUsize::new(0);
+        let hook = |p: &CellProgress| {
+            assert!(p.phases.is_some(), "metrics runs carry phase profiles");
+            seen.fetch_add(1, Ordering::Relaxed);
+        };
+        let ctx = RunContext::new(Effort::Smoke, SuiteScale::bench())
+            .with_threads(Some(1))
+            .with_metrics(true)
+            .with_progress(&hook);
+        let metered = ctx.run_matrix(&workloads, &designs);
+        assert_eq!(seen.load(Ordering::Relaxed), designs.len());
+        for d in 0..designs.len() {
+            let a = plain.get(0, d);
+            let b = metered.get(0, d);
+            assert_eq!(a.cycles, b.cycles, "metrics must not perturb timing");
+            assert_eq!(a.instructions, b.instructions);
+            assert_eq!(a.frontend, b.frontend);
+            assert_eq!(a.l1i, b.l1i);
+            assert!(a.cache_metrics.is_none() && a.phase_profile.is_none());
+            let m = b.cache_metrics.as_ref().expect("metrics payload present");
+            assert!(m.fills > 0);
+            let p = b.phase_profile.expect("self-profile present");
+            assert!(p.trace_decode_s > 0.0, "harness fills trace decode time");
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@ fn write_golden(dir: &Path) {
                 instructions: 1_000_000,
                 wall_seconds: 0.01,
                 minstr_per_sec: 100.0,
+                phases: None,
             }],
         ));
     }

@@ -80,6 +80,7 @@ fn manifest_records_timeline_paths() {
         instructions: 100_000,
         wall_seconds: 0.1,
         minstr_per_sec: 1.0,
+        phases: None,
     }];
     let mut record = ExperimentRecord::new("workloads", 0.1, cells);
     record

@@ -48,6 +48,7 @@ pub struct MshrFile {
     capacity: usize,
     merges: u64,
     rejects: u64,
+    high_water: usize,
 }
 
 impl MshrFile {
@@ -63,12 +64,24 @@ impl MshrFile {
             capacity,
             merges: 0,
             rejects: 0,
+            high_water: 0,
         }
     }
 
     /// Current number of in-flight misses.
     pub fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Configured entry count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Largest number of simultaneously in-flight misses ever observed
+    /// (cleared by [`reset`](Self::reset)).
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// Whether no misses are in flight.
@@ -130,6 +143,7 @@ impl MshrFile {
             is_prefetch,
             source,
         });
+        self.high_water = self.high_water.max(self.entries.len());
         Allocate::Fresh
     }
 
@@ -157,6 +171,7 @@ impl MshrFile {
         self.entries.clear();
         self.merges = 0;
         self.rejects = 0;
+        self.high_water = 0;
     }
 }
 
@@ -241,5 +256,20 @@ mod tests {
         f.reset();
         assert!(f.is_empty());
         assert_eq!(f.next_ready_at(), None);
+        assert_eq!(f.high_water(), 0);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let mut f = MshrFile::new(4);
+        assert_eq!(f.capacity(), 4);
+        f.allocate(line(1), 10, false, FillSource::L2);
+        f.allocate(line(2), 20, false, FillSource::L2);
+        assert_eq!(f.high_water(), 2);
+        f.drain_ready(30);
+        assert!(f.is_empty());
+        assert_eq!(f.high_water(), 2, "peak survives drains");
+        f.allocate(line(3), 40, false, FillSource::L2);
+        assert_eq!(f.high_water(), 2);
     }
 }

@@ -91,6 +91,14 @@ pub struct SimConfig {
     /// Telemetry: interval-sampler epoch and timeline retention.
     #[serde(default)]
     pub telemetry: TelemetryConfig,
+    /// Collect cache-internals metrics (per-set heatmaps, predictor
+    /// confusion, MSHR depth series). Zero-cost when off; bit-exact
+    /// simulation results either way.
+    #[serde(default)]
+    pub metrics: bool,
+    /// Sample host-side per-phase wall time (self-profiling).
+    #[serde(default)]
+    pub profile: bool,
 }
 
 impl SimConfig {
@@ -102,6 +110,8 @@ impl SimConfig {
             sim_instrs: 50_000_000,
             sample_interval_cycles: 100_000,
             telemetry: TelemetryConfig::default(),
+            metrics: false,
+            profile: false,
         }
     }
 
@@ -114,6 +124,8 @@ impl SimConfig {
             sim_instrs: sim,
             sample_interval_cycles: 100_000,
             telemetry: TelemetryConfig::default(),
+            metrics: false,
+            profile: false,
         }
     }
 }

@@ -29,7 +29,7 @@ pub mod telemetry;
 
 pub use config::{CoreConfig, SimConfig};
 pub use l1d::L1d;
-pub use report::{geomean, SimReport};
+pub use report::{geomean, PhaseProfile, SimReport};
 pub use simulator::{simulate, simulate_with};
 pub use telemetry::{
     validate_chrome_trace, ChromeTraceSink, FrontendStalls, IntervalSample, StallBreakdown,

@@ -13,7 +13,31 @@
 
 use crate::telemetry::{FrontendStalls, Timeline};
 use serde::{Deserialize, Serialize};
-use ubs_core::IcacheStats;
+use ubs_core::{IcacheStats, MetricsReport};
+
+/// Host-side per-phase wall time of one simulated cell (self-profiling).
+///
+/// The simulator samples `Instant` pairs around each phase on a subset of
+/// cycles (every 1024th) and extrapolates to the whole run, so profiling
+/// costs little and, being host-side only, can never perturb simulated
+/// state. `trace_decode_s` is measured by the harness around trace
+/// construction rather than inside the cycle loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    /// Wall seconds building/decoding the workload trace.
+    #[serde(default)]
+    pub trace_decode_s: f64,
+    /// Extrapolated wall seconds in the front end (fetch + FDIP + runahead).
+    pub frontend_s: f64,
+    /// Extrapolated wall seconds in the L1-I (`tick` + access path).
+    pub cache_s: f64,
+    /// Extrapolated wall seconds in the back end (dispatch + commit).
+    pub backend_s: f64,
+    /// Cycles actually timed.
+    pub sampled_cycles: u64,
+    /// Cycles in the run (sampled + unsampled).
+    pub total_cycles: u64,
+}
 
 /// Everything a simulation run measured.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -43,6 +67,12 @@ pub struct SimReport {
     /// Interval timeline, when the run was configured to retain one.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub timeline: Option<Timeline>,
+    /// Cache-internals metrics, when the run enabled the registry.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cache_metrics: Option<MetricsReport>,
+    /// Host-side per-phase wall time, when the run enabled self-profiling.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub phase_profile: Option<PhaseProfile>,
     /// L1-I statistics (hits, miss classes, efficiency samples, …).
     pub l1i: IcacheStats,
     /// Branches and BPU mispredictions.
@@ -149,6 +179,8 @@ mod tests {
             fetch_starved_cycles: stalls,
             frontend: FrontendStalls::default(),
             timeline: None,
+            cache_metrics: None,
+            phase_profile: None,
             l1i: IcacheStats::default(),
             branches: 0,
             branch_mispredicts: 0,
@@ -174,6 +206,10 @@ mod tests {
         let r = report(123_456_789, 98_765, 4321);
         assert!((r.minstr() - 123.456789).abs() < 1e-9);
         let body = serde_json::to_string(&r).expect("serialize");
+        assert!(
+            !body.contains("cache_metrics") && !body.contains("phase_profile"),
+            "optional observability fields must not appear in disabled runs"
+        );
         let back: SimReport = serde_json::from_str(&body).expect("deserialize");
         assert_eq!(back.workload, r.workload);
         assert_eq!(back.instructions, r.instructions);
@@ -215,9 +251,13 @@ mod tests {
         let obj = v.as_object_mut().unwrap();
         obj.remove("frontend");
         obj.remove("timeline");
+        obj.remove("cache_metrics");
+        obj.remove("phase_profile");
         let back: SimReport = serde_json::from_value(v).expect("legacy decode");
         assert_eq!(back.frontend.fetch_slots_per_cycle, 0);
         assert!(back.timeline.is_none());
+        assert!(back.cache_metrics.is_none());
+        assert!(back.phase_profile.is_none());
         back.validate()
             .expect("legacy reports skip the slot invariant");
     }

@@ -25,9 +25,10 @@
 
 use crate::config::SimConfig;
 use crate::l1d::L1d;
-use crate::report::SimReport;
+use crate::report::{PhaseProfile, SimReport};
 use crate::telemetry::{StallClass, Telemetry};
 use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 use ubs_core::{AccessResult, InstructionCache, MissKind};
 use ubs_frontend::{Bpu, Ftq};
 use ubs_mem::{FillSource, MemoryHierarchy};
@@ -124,11 +125,24 @@ struct Simulator<'a, 's> {
     bpu_stall_cycles: u64,
     fetch_starved_cycles: u64,
     next_sample_at: u64,
+    /// Next cache-internals snapshot cycle (`u64::MAX` when metrics are
+    /// off, so the per-cycle check is a single always-false compare).
+    next_metrics_at: u64,
+
+    // Host-side self-profiling accumulators (cfg.profile).
+    prof_frontend: Duration,
+    prof_cache: Duration,
+    prof_backend: Duration,
+    prof_sampled: u64,
 
     /// ROB was full when dispatch ran this cycle (top-down attribution).
     rob_full_cycle: bool,
     tel: &'a mut Telemetry<'s>,
 }
+
+/// Profile every 2^10th cycle: cheap enough to leave on, dense enough to
+/// extrapolate per-phase wall time.
+const PROFILE_CYCLE_MASK: u64 = 1023;
 
 impl<'a, 's> Simulator<'a, 's> {
     fn new(
@@ -165,6 +179,15 @@ impl<'a, 's> Simulator<'a, 's> {
             bpu_stall_cycles: 0,
             fetch_starved_cycles: 0,
             next_sample_at: cfg.sample_interval_cycles,
+            next_metrics_at: if cfg.metrics {
+                cfg.telemetry.epoch_cycles
+            } else {
+                u64::MAX
+            },
+            prof_frontend: Duration::ZERO,
+            prof_cache: Duration::ZERO,
+            prof_backend: Duration::ZERO,
+            prof_sampled: 0,
             rob_full_cycle: false,
             tel,
             cfg,
@@ -172,6 +195,9 @@ impl<'a, 's> Simulator<'a, 's> {
     }
 
     fn run(mut self) -> SimReport {
+        if self.cfg.metrics {
+            self.icache.metrics_enable(true);
+        }
         // Warmup.
         let warm_target = self.cfg.warmup_instrs;
         self.run_until(warm_target);
@@ -191,6 +217,18 @@ impl<'a, 's> Simulator<'a, 's> {
             l1i.demand_misses(),
             l1i.efficiency_samples.last().copied(),
         );
+        let cache_metrics = self.icache.metrics_report();
+        let phase_profile = self.cfg.profile.then(|| {
+            let scale = self.now as f64 / self.prof_sampled.max(1) as f64;
+            PhaseProfile {
+                trace_decode_s: 0.0, // measured by the harness, not the loop
+                frontend_s: self.prof_frontend.as_secs_f64() * scale,
+                cache_s: self.prof_cache.as_secs_f64() * scale,
+                backend_s: self.prof_backend.as_secs_f64() * scale,
+                sampled_cycles: self.prof_sampled,
+                total_cycles: self.now,
+            }
+        });
         let report = SimReport {
             workload: self.trace.name().to_string(),
             design: self.icache.name().to_string(),
@@ -201,6 +239,8 @@ impl<'a, 's> Simulator<'a, 's> {
             fetch_starved_cycles: self.fetch_starved_cycles,
             frontend,
             timeline,
+            cache_metrics,
+            phase_profile,
             l1i,
             branches,
             branch_mispredicts: mispredicts,
@@ -253,15 +293,18 @@ impl<'a, 's> Simulator<'a, 's> {
     /// One cycle.
     fn step(&mut self) {
         self.now += 1;
-        self.icache.tick(self.now, &mut self.mem);
-        self.commit();
-        self.dispatch();
-        self.fetch();
-        self.fdip();
-        self.runahead();
+        if self.cfg.profile && self.now & PROFILE_CYCLE_MASK == 0 {
+            self.step_timed();
+        } else {
+            self.step_phases();
+        }
         if self.now >= self.next_sample_at {
             self.icache.sample_efficiency();
             self.next_sample_at += self.cfg.sample_interval_cycles;
+        }
+        if self.now >= self.next_metrics_at {
+            self.icache.metrics_snapshot(self.now);
+            self.next_metrics_at += self.cfg.telemetry.epoch_cycles;
         }
         if self.tel.epoch_due(self.now) {
             let misses = self.icache.stats().demand_misses();
@@ -269,6 +312,35 @@ impl<'a, 's> Simulator<'a, 's> {
             let committed = self.committed;
             self.tel.end_epoch(self.now, committed, misses, efficiency);
         }
+    }
+
+    /// One cycle's worth of pipeline phases, in simulation order.
+    fn step_phases(&mut self) {
+        self.icache.tick(self.now, &mut self.mem);
+        self.commit();
+        self.dispatch();
+        self.fetch();
+        self.fdip();
+        self.runahead();
+    }
+
+    /// [`Self::step_phases`] with host `Instant` pairs around each phase
+    /// group. Purely host-side: the simulated work is identical.
+    fn step_timed(&mut self) {
+        let t0 = Instant::now();
+        self.icache.tick(self.now, &mut self.mem);
+        let t1 = Instant::now();
+        self.commit();
+        self.dispatch();
+        let t2 = Instant::now();
+        self.fetch();
+        self.fdip();
+        self.runahead();
+        let t3 = Instant::now();
+        self.prof_cache += t1 - t0;
+        self.prof_backend += t2 - t1;
+        self.prof_frontend += t3 - t2;
+        self.prof_sampled += 1;
     }
 
     fn commit(&mut self) {
@@ -746,6 +818,42 @@ mod tests {
         assert_eq!(r1.frontend, r2.frontend);
         assert!(r1.timeline.is_none());
         assert!(r2.timeline.is_some());
+    }
+
+    #[test]
+    fn metrics_do_not_perturb_timing() {
+        let mut spec = WorkloadSpec::new(Profile::Google, 0);
+        spec.seed = 13;
+        let cfg_plain = tiny_cfg(20_000, 100_000);
+        let mut cfg_metrics = cfg_plain.clone();
+        cfg_metrics.metrics = true;
+        cfg_metrics.profile = true;
+        cfg_metrics.telemetry.epoch_cycles = 9_001; // deliberate non-divisor
+
+        let mut t1 = SyntheticTrace::build(&spec);
+        let mut c1 = ConvL1i::paper_baseline();
+        let r1 = simulate(&mut t1, &mut c1, &cfg_plain);
+        let mut t2 = SyntheticTrace::build(&spec);
+        let mut c2 = ConvL1i::paper_baseline();
+        let r2 = simulate(&mut t2, &mut c2, &cfg_metrics);
+
+        assert_eq!(r1.cycles, r2.cycles, "metrics must not change timing");
+        assert_eq!(r1.instructions, r2.instructions);
+        assert_eq!(r1.frontend, r2.frontend);
+        assert_eq!(r1.l1i, r2.l1i, "metrics must not change cache behaviour");
+        assert!(r1.cache_metrics.is_none() && r1.phase_profile.is_none());
+
+        let m = r2.cache_metrics.as_ref().expect("metrics collected");
+        assert!(!m.heatmaps.is_empty(), "epoch grid produced snapshots");
+        assert!(!m.mshr_series.is_empty());
+        assert!(m.fills > 0, "fills observed during the run");
+
+        let p = r2.phase_profile.expect("self-profile collected");
+        assert!(p.sampled_cycles > 0 && p.sampled_cycles <= p.total_cycles);
+        assert!(
+            p.total_cycles >= r2.cycles,
+            "total_cycles covers warmup + measurement"
+        );
     }
 
     #[test]

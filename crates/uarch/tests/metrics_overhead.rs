@@ -1,0 +1,60 @@
+//! Release-mode gate on the cost of the cache-internals metrics registry.
+//!
+//! Ignored by default (timing is meaningless in debug builds and on noisy
+//! machines); CI runs it explicitly with
+//! `cargo test --release -p ubs-uarch --test metrics_overhead -- --ignored`.
+
+use std::time::{Duration, Instant};
+use ubs_core::ConvL1i;
+use ubs_trace::synth::{Profile, SyntheticTrace, WorkloadSpec};
+use ubs_uarch::{simulate, SimConfig};
+
+/// Interleaved trials per configuration; the minimum is compared, which
+/// discards scheduler noise rather than averaging it in.
+const TRIALS: usize = 5;
+
+/// Maximum tolerated slowdown with the registry collecting (2%).
+const MAX_OVERHEAD: f64 = 1.02;
+
+fn time_run(proto: &SyntheticTrace, cfg: &SimConfig) -> (Duration, u64) {
+    let mut trace = proto.clone();
+    let mut icache = ConvL1i::paper_baseline();
+    let started = Instant::now();
+    let report = simulate(&mut trace, &mut icache, cfg);
+    (started.elapsed(), report.cycles)
+}
+
+#[test]
+#[ignore = "timing gate; run in release mode via CI"]
+fn metrics_overhead_below_two_percent() {
+    let spec = WorkloadSpec::new(Profile::Server, 0);
+    let proto = SyntheticTrace::build(&spec);
+    let cfg_off = SimConfig::scaled(50_000, 400_000);
+    let mut cfg_on = cfg_off.clone();
+    cfg_on.metrics = true;
+
+    // Warm caches/allocator once per configuration before timing.
+    let (_, cycles_off) = time_run(&proto, &cfg_off);
+    let (_, cycles_on) = time_run(&proto, &cfg_on);
+    assert_eq!(
+        cycles_off, cycles_on,
+        "metrics collection must be bit-exact"
+    );
+
+    let mut best_off = Duration::MAX;
+    let mut best_on = Duration::MAX;
+    // Interleave so drift (thermal, frequency scaling) hits both equally.
+    for _ in 0..TRIALS {
+        best_off = best_off.min(time_run(&proto, &cfg_off).0);
+        best_on = best_on.min(time_run(&proto, &cfg_on).0);
+    }
+
+    let ratio = best_on.as_secs_f64() / best_off.as_secs_f64().max(1e-9);
+    assert!(
+        ratio < MAX_OVERHEAD,
+        "metrics-on run is {:.1}% slower than metrics-off \
+         (off: {best_off:?}, on: {best_on:?}; gate is {:.0}%)",
+        100.0 * (ratio - 1.0),
+        100.0 * (MAX_OVERHEAD - 1.0)
+    );
+}

@@ -147,6 +147,59 @@ proptest! {
                 "{}: per-set x sets != total",
                 spec.name()
             );
+
+            // A metered re-run over the same sequence must be bit-exact,
+            // and its registry must balance against the stats block: the
+            // registry counts fills and evictions at the same sites as
+            // `count_fill` / `count_eviction`, so the totals are equal by
+            // construction — this pins that every design keeps it so.
+            let mut metered = spec.build();
+            metered.metrics_enable(true);
+            let metered_counts = drive(metered.as_mut(), &seq);
+            prop_assert_eq!(
+                (accesses, hits, misses, rejects),
+                metered_counts,
+                "{}: metrics collection perturbed the run",
+                spec.name()
+            );
+            let ms = metered.stats();
+            prop_assert_eq!(ms.fills_total(), s.fills_total(), "{}: fills drifted", spec.name());
+            if let Some(m) = metered.metrics_report() {
+                prop_assert_eq!(
+                    m.fills,
+                    ms.fills_total(),
+                    "{}: registry fills vs stats fills",
+                    spec.name()
+                );
+                let evictions: u64 = ms.evict_used_hist.iter().sum();
+                prop_assert_eq!(
+                    m.evictions,
+                    evictions,
+                    "{}: registry evictions vs stats histogram",
+                    spec.name()
+                );
+                prop_assert_eq!(
+                    m.evict_used_log2.total(),
+                    m.evictions,
+                    "{}: every eviction lands in the log2 histogram",
+                    spec.name()
+                );
+                prop_assert!(
+                    m.dead_on_arrival <= m.evictions,
+                    "{}: dead-on-arrival is a subset of evictions",
+                    spec.name()
+                );
+                // Designs with a useful-byte predictor classify every
+                // removal; the rest record no confusion pairs at all.
+                let classified = m.confusion.total();
+                prop_assert!(
+                    classified == m.evictions || classified == 0,
+                    "{}: {} confusion pairs from {} evictions",
+                    spec.name(),
+                    classified,
+                    m.evictions
+                );
+            }
         }
     }
 }
