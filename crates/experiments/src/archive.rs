@@ -16,7 +16,7 @@
 //!    committed `results/` directory an enforced baseline instead of dead
 //!    weight.
 
-use crate::runner::{CellProgress, Effort};
+use crate::runner::{CellProgress, CellStatus, Effort};
 use crate::suitescale::SuiteScale;
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
@@ -32,9 +32,13 @@ use ubs_uarch::PhaseProfile;
 /// `timelines` pointers in [`ExperimentRecord`], matching the timeline
 /// schema version in `ubs_uarch::telemetry`); v3 added host-side
 /// self-profiling (optional per-cell `phases` in [`CellTiming`], written by
-/// `--metrics` runs). Older manifests still load — v2/v3 fields are
-/// additive with defaults.
-pub const SCHEMA_VERSION: u32 = 3;
+/// `--metrics` runs); v4 added fault isolation (per-cell `status` recording
+/// contained panics, and `resumed` marking cells replayed from a
+/// `--resume` journal). Older manifests still load — v2/v3/v4 fields are
+/// additive with defaults, and healthy non-resumed cells serialize without
+/// the v4 keys, so clean manifests are byte-identical to v3 apart from the
+/// version number.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Timing and identity of one completed (workload × design) cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -55,6 +59,19 @@ pub struct CellTiming {
     /// absent on plain runs and on schema ≤ v2 manifests).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub phases: Option<PhaseProfile>,
+    /// Whether the cell completed or failed (schema v4; the key is
+    /// omitted for completed cells).
+    #[serde(default, skip_serializing_if = "CellStatus::is_ok")]
+    pub status: CellStatus,
+    /// True when the cell was replayed from a resume journal (schema v4;
+    /// the key is omitted for freshly simulated cells).
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub resumed: bool,
+}
+
+/// `skip_serializing_if` helper: omit a `bool` field that is `false`.
+fn is_false(v: &bool) -> bool {
+    !*v
 }
 
 impl From<&CellProgress> for CellTiming {
@@ -67,6 +84,8 @@ impl From<&CellProgress> for CellTiming {
             wall_seconds: p.wall_seconds,
             minstr_per_sec: p.minstr_per_sec(),
             phases: p.phases,
+            status: p.status.clone(),
+            resumed: p.resumed,
         }
     }
 }
@@ -196,18 +215,40 @@ impl RunManifest {
 }
 
 /// Atomically writes a pretty-printed JSON value as `dir/file_name`
-/// (`.tmp` + rename), creating `dir` if needed. Returns the final path.
+/// (fsync'd `.tmp` + rename), creating `dir` if needed. Returns the final
+/// path.
+///
+/// A reader of `dir/file_name` either sees the previous complete file or
+/// the new complete file, never a partial write — a crash at any point
+/// leaves at most a stray `.tmp`, which every consumer (the diff engine,
+/// the resume journal) ignores.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors.
 pub fn write_json_atomic(dir: &Path, file_name: &str, value: &Value) -> io::Result<PathBuf> {
-    std::fs::create_dir_all(dir)?;
     let body = serde_json::to_string_pretty(value)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    write_bytes_atomic(dir, file_name, body.as_bytes())
+}
+
+/// Atomically writes raw bytes as `dir/file_name` (fsync'd `.tmp` +
+/// rename), creating `dir` if needed. Returns the final path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_bytes_atomic(dir: &Path, file_name: &str, bytes: &[u8]) -> io::Result<PathBuf> {
+    use std::io::Write as _;
+    std::fs::create_dir_all(dir)?;
     let tmp = dir.join(format!("{file_name}.tmp"));
     let path = dir.join(file_name);
-    std::fs::write(&tmp, body)?;
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    // Flush file contents to stable storage before the rename makes the
+    // entry visible, so a crash cannot publish an empty or partial file.
+    file.sync_all()?;
+    drop(file);
     std::fs::rename(&tmp, &path)?;
     Ok(path)
 }
@@ -689,6 +730,8 @@ mod tests {
             wall_seconds: 0.5,
             minstr_per_sec: 4.0,
             phases: None,
+            status: CellStatus::Ok,
+            resumed: false,
         }];
         let mut m = RunManifest::new(Effort::Quick, SuiteScale::tiny(), 8);
         m.push(ExperimentRecord::new("fig10", 1.25, cells));
@@ -718,6 +761,8 @@ mod tests {
             wall_seconds: 0.25,
             minstr_per_sec: 4.0,
             phases: None,
+            status: CellStatus::Ok,
+            resumed: false,
         }];
         let mut m = RunManifest::new(Effort::Quick, SuiteScale::tiny(), 2);
         m.push(ExperimentRecord::new("fig10", 0.3, cells));
@@ -766,6 +811,149 @@ mod tests {
         // optional fields.
         let body = serde_json::to_string(&m).unwrap();
         assert!(!body.contains("\"phases\""));
+        assert!(!body.contains("\"status\""), "v4 key invented on ok cells");
+        assert!(
+            !body.contains("\"resumed\""),
+            "v4 key invented on fresh cells"
+        );
+    }
+
+    #[test]
+    fn v3_manifest_without_status_still_loads() {
+        // Schema v3 cells have no `status`/`resumed`; they must load with
+        // the v4 defaults (Ok, not resumed).
+        let cells = vec![CellTiming {
+            workload: "spec_000".into(),
+            workload_seed: 3,
+            design: "ubs".into(),
+            instructions: 500_000,
+            wall_seconds: 0.1,
+            minstr_per_sec: 5.0,
+            phases: None,
+            status: CellStatus::Ok,
+            resumed: false,
+        }];
+        let mut m = RunManifest::new(Effort::Quick, SuiteScale::tiny(), 2);
+        m.push(ExperimentRecord::new("fig10", 0.2, cells));
+        let mut v = serde_json::to_value(&m).unwrap();
+        v["schema_version"] = json!(3);
+
+        let dir = std::env::temp_dir().join(format!("ubs-v3-manifest-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join(RunManifest::FILE_NAME),
+            serde_json::to_string(&v).unwrap(),
+        )
+        .unwrap();
+        let loaded = RunManifest::load(&dir).unwrap();
+        assert_eq!(loaded.schema_version, 3);
+        let cell = &loaded.experiments[0].cells[0];
+        assert!(cell.status.is_ok());
+        assert!(!cell.resumed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_and_resumed_cells_roundtrip() {
+        let cells = vec![
+            CellTiming {
+                workload: "server_000".into(),
+                workload_seed: 42,
+                design: "ubs".into(),
+                instructions: 0,
+                wall_seconds: 0.7,
+                minstr_per_sec: 0.0,
+                phases: None,
+                status: CellStatus::Failed {
+                    error: "forward-progress watchdog[livelock]: wedged".into(),
+                    backtrace: "0: somewhere".into(),
+                },
+                resumed: false,
+            },
+            CellTiming {
+                workload: "server_001".into(),
+                workload_seed: 43,
+                design: "ubs".into(),
+                instructions: 1_000_000,
+                wall_seconds: 0.5,
+                minstr_per_sec: 2.0,
+                phases: None,
+                status: CellStatus::Ok,
+                resumed: true,
+            },
+        ];
+        let mut m = RunManifest::new(Effort::Quick, SuiteScale::tiny(), 2);
+        m.push(ExperimentRecord::new("fig10", 1.2, cells));
+        let body = serde_json::to_string(&m).unwrap();
+        assert!(body.contains("\"status\""));
+        assert!(body.contains("watchdog"));
+        assert!(body.contains("\"resumed\""));
+        let back: RunManifest = serde_json::from_str(&body).unwrap();
+        assert_eq!(back, m);
+        assert!(!back.experiments[0].cells[0].status.is_ok());
+        assert!(back.experiments[0].cells[1].resumed);
+    }
+
+    #[test]
+    fn stray_tmp_from_a_crashed_writer_is_invisible() {
+        // A crash between the temp-file write and the rename leaves
+        // `<name>.json.tmp` behind. Neither the diff engine nor the
+        // manifest loader may see it, and the previous complete file
+        // must survive.
+        let dir = std::env::temp_dir().join(format!("ubs-crash-tmp-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let m = RunManifest::new(Effort::Quick, SuiteScale::tiny(), 1);
+        m.write_atomic(&dir).unwrap();
+        write_json_atomic(&dir, "fig10.json", &json!({ "rows": [1.0] })).unwrap();
+
+        // Simulate the crashed writer mid-update.
+        std::fs::write(dir.join("fig10.json.tmp"), "{ \"rows\": [").unwrap();
+        std::fs::write(dir.join("manifest.json.tmp"), "{ partial").unwrap();
+
+        let files = experiment_files(&dir).unwrap();
+        assert_eq!(
+            files.keys().cloned().collect::<Vec<String>>(),
+            vec!["fig10".to_string()]
+        );
+        let loaded = RunManifest::load(&dir).unwrap();
+        assert_eq!(loaded, m);
+        let report = diff_dirs(&dir, &dir, 1.0).unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_reader_never_observes_a_partial_write() {
+        // Hammer the same file with atomic writes while a reader loops:
+        // every successful read must parse as complete JSON with the
+        // expected shape (the rename is the publication point).
+        let dir = std::env::temp_dir().join(format!("ubs-atomic-race-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let payload: Vec<u64> = (0..2_000).collect();
+        write_json_atomic(&dir, "cell.json", &json!({ "payload": payload })).unwrap();
+        let path = dir.join("cell.json");
+
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                for i in 0..100u64 {
+                    let payload: Vec<u64> = (i..i + 2_000).collect();
+                    write_json_atomic(&dir, "cell.json", &json!({ "payload": payload })).unwrap();
+                }
+            });
+            let reader = scope.spawn(|| {
+                let mut seen = 0usize;
+                while seen < 200 {
+                    let body = std::fs::read_to_string(&path).expect("file always present");
+                    let v: Value = serde_json::from_str(&body).expect("file always complete JSON");
+                    assert_eq!(v["payload"].as_array().expect("payload array").len(), 2_000);
+                    seen += 1;
+                }
+            });
+            writer.join().unwrap();
+            reader.join().unwrap();
+        });
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! ```text
 //! repro <experiment-id>... [--effort=<smoke|quick|default|full>] [--threads=N]
 //!                          [--tiny-suites|--full-suites] [--json DIR] [--timeline]
+//!                          [--cell-timeout SECS]
 //! repro all [flags]
+//! repro all --resume DIR    re-run only failed/missing cells of a prior run
 //! repro list
 //! repro diff <baseline-dir> <candidate-dir> [--tol-scale=F]
 //! repro trace <workload> <design> [--effort=NAME] [--out FILE] [--timeline-out FILE]
@@ -25,13 +27,21 @@
 //! enabled and archives a self-contained HTML page (per-set heatmaps,
 //! predictor confusion, MSHR depth series, host self-profile) plus
 //! `metrics.json` under `DIR/inspect/<workload>__<design>/`.
+//!
+//! Every completed cell is journaled to `DIR/journal/` as it finishes; a
+//! panicking cell becomes a typed failure in the manifest while the rest of
+//! the grid completes. `--resume DIR` replays journaled cells bit-exactly
+//! instead of re-simulating them. Exit codes are a stable contract:
+//! 0 success, 1 diff regression, 2 usage error, 3 cell failure(s), 4
+//! infrastructure error.
 
 use parking_lot::Mutex;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 use ubs_experiments::{
-    cli, diff_dirs, run_by_id_with, run_inspect, run_trace, write_json_atomic, CellProgress,
-    CellTiming, ExperimentRecord, RunContext, RunManifest,
+    cli, diff_dirs, run_by_id_with, run_inspect, run_trace, write_bytes_atomic, write_json_atomic,
+    CellJournal, CellProgress, CellTiming, ExitCode, ExperimentError, ExperimentRecord, FaultPlan,
+    JournalMeta, RunContext, RunManifest,
 };
 use ubs_uarch::Timeline;
 
@@ -40,13 +50,13 @@ fn main() {
     let code = match cli::parse(&args) {
         Ok(cli::Command::Help) => {
             print_usage();
-            0
+            ExitCode::Success
         }
         Ok(cli::Command::List) => {
             for id in ubs_experiments::all_ids() {
                 println!("{id}");
             }
-            0
+            ExitCode::Success
         }
         Ok(cli::Command::Diff(opts)) => run_diff(&opts),
         Ok(cli::Command::Trace(opts)) => run_trace_cmd(&opts),
@@ -54,34 +64,86 @@ fn main() {
         Ok(cli::Command::Run(opts)) => run_experiments(&opts),
         Err(msg) => {
             eprintln!("error: {msg}");
-            2
+            ExitCode::Usage
         }
     };
-    std::process::exit(code);
+    std::process::exit(code.code());
 }
 
-fn run_experiments(opts: &cli::RunOptions) -> i32 {
+fn run_experiments(opts: &cli::RunOptions) -> ExitCode {
+    let fault = match FaultPlan::from_env() {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::Usage;
+        }
+    };
+    if fault.is_some() {
+        eprintln!(
+            "warning: fault injection active via {} — this run is expected to fail",
+            FaultPlan::ENV_VAR
+        );
+    }
+
+    let journal = match &opts.json_dir {
+        Some(dir) => {
+            let meta = JournalMeta::new(opts.effort, opts.scale, opts.timeline, opts.metrics);
+            let opened = if opts.resume {
+                CellJournal::resume(dir, &meta)
+            } else {
+                CellJournal::fresh(dir, &meta)
+            };
+            match opened {
+                Ok(j) => {
+                    for w in j.warnings() {
+                        eprintln!("warning: {w}");
+                    }
+                    if opts.resume {
+                        eprintln!("[resume: {} journaled cells will be replayed]", j.len());
+                    }
+                    Some(j)
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::Infra;
+                }
+            }
+        }
+        None => None,
+    };
+
     let base_ctx = RunContext::new(opts.effort, opts.scale)
         .with_threads(opts.threads)
         .with_timeline(opts.timeline)
-        .with_metrics(opts.metrics);
+        .with_metrics(opts.metrics)
+        .with_journal(journal.as_ref())
+        .with_cell_timeout(opts.cell_timeout)
+        .with_fault(fault.as_ref());
     let threads = base_ctx.effective_threads();
     let mut manifest = RunManifest::new(opts.effort, opts.scale, threads);
-    let mut failed = false;
+    let mut infra_failed = false;
 
     for id in &opts.ids {
         let cells: Mutex<Vec<CellTiming>> = Mutex::new(Vec::new());
         let timelines: Mutex<Vec<(String, Timeline)>> = Mutex::new(Vec::new());
         let progress = |p: &CellProgress| {
-            eprintln!(
-                "[{id}] {}/{} {} × {}: {:.2}s, {:.2} Minstr/s",
-                p.completed,
-                p.total,
-                p.workload,
-                p.design,
-                p.wall_seconds,
-                p.minstr_per_sec()
-            );
+            if p.status.is_ok() {
+                let how = if p.resumed { "resumed" } else { "simulated" };
+                eprintln!(
+                    "[{id}] {}/{} {} × {}: {:.2}s, {:.2} Minstr/s ({how})",
+                    p.completed,
+                    p.total,
+                    p.workload,
+                    p.design,
+                    p.wall_seconds,
+                    p.minstr_per_sec()
+                );
+            } else {
+                eprintln!(
+                    "[{id}] {}/{} {} × {}: FAILED after {:.2}s",
+                    p.completed, p.total, p.workload, p.design, p.wall_seconds
+                );
+            }
             cells.lock().push(CellTiming::from(p));
             if let Some(tl) = &p.timeline {
                 timelines
@@ -91,12 +153,13 @@ fn run_experiments(opts: &cli::RunOptions) -> i32 {
         };
         let ctx = base_ctx.with_progress(&progress);
         let started = Instant::now();
-        match run_by_id_with(id, &ctx) {
+        let outcome = run_by_id_with(id, &ctx);
+        let wall = started.elapsed().as_secs_f64();
+        let mut record = ExperimentRecord::new(id, wall, cells.into_inner());
+        match outcome {
             Ok(result) => {
-                let wall = started.elapsed().as_secs_f64();
                 println!("================ {id} ================");
                 println!("{}", result.text);
-                let mut record = ExperimentRecord::new(id, wall, cells.into_inner());
                 eprintln!(
                     "[{id} completed in {wall:.1}s, {:.2} Minstr/s over {} cells]",
                     record.minstr_per_sec,
@@ -110,12 +173,32 @@ fn run_experiments(opts: &cli::RunOptions) -> i32 {
                 }
                 manifest.push(record);
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                failed = true;
+            Err(ExperimentError::Cells(failures)) => {
+                // The failed cells are already in `record.cells` with their
+                // typed status (the progress hook saw them); archive what
+                // completed so a --resume can pick up from here.
+                eprintln!("error: [{id}] {} cell(s) failed", failures.len());
+                for f in &failures {
+                    eprintln!("  {f}");
+                }
+                if let Some(dir) = &opts.json_dir {
+                    record.timelines = archive_timelines(dir, id, timelines.into_inner());
+                }
+                manifest.push(record);
+            }
+            Err(ExperimentError::Other(e)) => {
+                eprintln!("error: [{id}] {e}");
+                infra_failed = true;
             }
         }
     }
+
+    let failed_cells: Vec<String> = manifest
+        .experiments
+        .iter()
+        .flat_map(|r| r.cells.iter().filter(|c| !c.status.is_ok()))
+        .map(|c| format!("{} × {}", c.workload, c.design))
+        .collect();
 
     if let Some(dir) = &opts.json_dir {
         match manifest.write_atomic(dir) {
@@ -128,11 +211,29 @@ fn run_experiments(opts: &cli::RunOptions) -> i32 {
             ),
             Err(e) => {
                 eprintln!("error: could not write run manifest: {e}");
-                failed = true;
+                infra_failed = true;
             }
         }
     }
-    i32::from(failed)
+
+    if infra_failed {
+        return ExitCode::Infra;
+    }
+    if !failed_cells.is_empty() {
+        eprintln!("{} cell(s) failed:", failed_cells.len());
+        for cell in &failed_cells {
+            eprintln!("  {cell}");
+        }
+        if let Some(dir) = &opts.json_dir {
+            eprintln!(
+                "completed cells are journaled; rerun with `--resume {}` to retry only \
+                 the failures",
+                dir.display()
+            );
+        }
+        return ExitCode::CellFailure;
+    }
+    ExitCode::Success
 }
 
 /// Writes each cell's timeline under `dir/timelines/<id>/` and returns the
@@ -158,12 +259,12 @@ fn archive_timelines(dir: &Path, id: &str, timelines: Vec<(String, Timeline)>) -
     paths
 }
 
-fn run_trace_cmd(opts: &cli::TraceOptions) -> i32 {
+fn run_trace_cmd(opts: &cli::TraceOptions) -> ExitCode {
     let outcome = match run_trace(opts) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            return 2;
+            return ExitCode::Usage;
         }
     };
     print!("{}", outcome.render_summary());
@@ -176,20 +277,20 @@ fn run_trace_cmd(opts: &cli::TraceOptions) -> i32 {
     });
     if let Err(e) = write_value_at(&out, &outcome.trace) {
         eprintln!("error: could not write trace to {}: {e}", out.display());
-        return 1;
+        return ExitCode::Infra;
     }
     println!("wrote {}", out.display());
 
     if let Some(tl_out) = &opts.timeline_out {
         let Some(tl) = outcome.timeline() else {
             eprintln!("error: traced run recorded no timeline");
-            return 1;
+            return ExitCode::Infra;
         };
         let value = match serde_json::to_value(tl) {
             Ok(v) => v,
             Err(e) => {
                 eprintln!("error: could not serialize timeline: {e}");
-                return 1;
+                return ExitCode::Infra;
             }
         };
         if let Err(e) = write_value_at(tl_out, &value) {
@@ -197,11 +298,11 @@ fn run_trace_cmd(opts: &cli::TraceOptions) -> i32 {
                 "error: could not write timeline to {}: {e}",
                 tl_out.display()
             );
-            return 1;
+            return ExitCode::Infra;
         }
         println!("wrote {}", tl_out.display());
     }
-    0
+    ExitCode::Success
 }
 
 /// Splits an output path into (dir, file name) and writes the JSON there
@@ -220,12 +321,12 @@ fn write_value_at(path: &Path, value: &serde_json::Value) -> std::io::Result<Pat
     write_json_atomic(dir, file, value)
 }
 
-fn run_inspect_cmd(opts: &cli::InspectOptions) -> i32 {
+fn run_inspect_cmd(opts: &cli::InspectOptions) -> ExitCode {
     let outcome = match run_inspect(opts) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            return 2;
+            return ExitCode::Usage;
         }
     };
     print!("{}", outcome.render_summary());
@@ -233,30 +334,32 @@ fn run_inspect_cmd(opts: &cli::InspectOptions) -> i32 {
     let dir = opts.json_dir.join("inspect").join(&outcome.id);
     if let Err(e) = write_json_atomic(&dir, "metrics.json", &outcome.json) {
         eprintln!("error: could not write metrics.json: {e}");
-        return 1;
+        return ExitCode::Infra;
     }
-    // Same tmp-then-rename discipline as the JSON writer.
-    let html_path = dir.join("inspect.html");
-    let tmp = dir.join("inspect.html.tmp");
-    if let Err(e) =
-        std::fs::write(&tmp, &outcome.html).and_then(|()| std::fs::rename(&tmp, &html_path))
-    {
-        eprintln!("error: could not write {}: {e}", html_path.display());
-        return 1;
+    if let Err(e) = write_bytes_atomic(&dir, "inspect.html", outcome.html.as_bytes()) {
+        eprintln!(
+            "error: could not write {}: {e}",
+            dir.join("inspect.html").display()
+        );
+        return ExitCode::Infra;
     }
     println!("wrote {}", dir.display());
-    0
+    ExitCode::Success
 }
 
-fn run_diff(opts: &cli::DiffOptions) -> i32 {
+fn run_diff(opts: &cli::DiffOptions) -> ExitCode {
     match diff_dirs(&opts.baseline, &opts.candidate, opts.tol_scale) {
         Ok(report) => {
             print!("{}", report.render());
-            i32::from(!report.is_clean())
+            if report.is_clean() {
+                ExitCode::Success
+            } else {
+                ExitCode::Regression
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");
-            2
+            ExitCode::Infra
         }
     }
 }
@@ -267,6 +370,7 @@ fn print_usage() {
          \n\
          usage: repro <id>... [flags]        run experiments\n\
          \x20      repro all [flags]         run every experiment\n\
+         \x20      repro all --resume DIR    re-run only failed/missing cells\n\
          \x20      repro list                print every experiment id\n\
          \x20      repro diff BASE CAND [--tol-scale=F]\n\
          \x20                                compare two --json directories;\n\
@@ -292,7 +396,15 @@ fn print_usage() {
          --timeline     archive per-cell interval timelines under\n\
          \x20            DIR/timelines/ (requires --json)\n\
          --metrics      collect cache-internals metrics + host self-profiling\n\
-         \x20            (bit-exact results; manifest gains per-cell phases)",
+         \x20            (bit-exact results; manifest gains per-cell phases)\n\
+         --resume DIR   resume a prior `--json DIR` run: journaled cells are\n\
+         \x20            replayed bit-exactly, only failed/missing cells run\n\
+         --cell-timeout SECS\n\
+         \x20            per-cell wall-clock budget; exceeding it fails the\n\
+         \x20            cell via the forward-progress watchdog\n\
+         \n\
+         exit codes: 0 success, 1 diff regression, 2 usage error,\n\
+         \x20           3 cell failure(s) (rerun with --resume), 4 infra error",
         ubs_experiments::all_ids().join(" ")
     );
 }

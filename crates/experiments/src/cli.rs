@@ -31,6 +31,45 @@ pub struct RunOptions {
     /// (`--metrics`). Simulated results are bit-exact either way; the
     /// manifest gains per-cell phase profiles.
     pub metrics: bool,
+    /// Resume from the cell journal in `json_dir` (`--resume DIR`): cells
+    /// already journaled there are replayed instead of re-simulated.
+    pub resume: bool,
+    /// Per-cell wall-clock budget in seconds (`--cell-timeout SECS`); a
+    /// cell exceeding it is failed by the forward-progress watchdog.
+    pub cell_timeout: Option<f64>,
+}
+
+/// Process exit codes shared by every `repro` subcommand.
+///
+/// The codes are part of the CLI contract (CI scripts match on them):
+/// `0` success, `1` metric regression from `repro diff`, `2` usage error,
+/// `3` one or more grid cells failed (rerun with `--resume`), `4`
+/// infrastructure error (I/O, malformed artifacts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitCode {
+    /// Everything completed and, for `diff`, stayed within tolerance.
+    Success,
+    /// `repro diff` found at least one out-of-tolerance metric.
+    Regression,
+    /// Bad command line (unknown flag/id, missing value).
+    Usage,
+    /// At least one grid cell failed; completed cells were journaled.
+    CellFailure,
+    /// Harness infrastructure error: I/O failure, unreadable artifacts.
+    Infra,
+}
+
+impl ExitCode {
+    /// The process exit code for this outcome.
+    pub fn code(self) -> i32 {
+        match self {
+            ExitCode::Success => 0,
+            ExitCode::Regression => 1,
+            ExitCode::Usage => 2,
+            ExitCode::CellFailure => 3,
+            ExitCode::Infra => 4,
+        }
+    }
 }
 
 /// Options for `repro inspect <workload> <design>`.
@@ -255,8 +294,10 @@ fn parse_run(args: &[String]) -> Result<Command, String> {
     let mut scale: Option<SuiteScale> = None;
     let mut threads: Option<usize> = None;
     let mut json_dir: Option<PathBuf> = None;
+    let mut resume_dir: Option<PathBuf> = None;
     let mut timeline = false;
     let mut metrics = false;
+    let mut cell_timeout: Option<f64> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut want_all = false;
 
@@ -297,6 +338,16 @@ fn parse_run(args: &[String]) -> Result<Command, String> {
             threads = Some(n);
         } else if let Some(v) = flag_value(arg, "--json", &mut it) {
             json_dir = Some(PathBuf::from(v?));
+        } else if let Some(v) = flag_value(arg, "--resume", &mut it) {
+            resume_dir = Some(PathBuf::from(v?));
+        } else if let Some(v) = flag_value(arg, "--cell-timeout", &mut it) {
+            let v = v?;
+            let secs = v
+                .parse::<f64>()
+                .ok()
+                .filter(|t| t.is_finite() && *t > 0.0)
+                .ok_or_else(|| format!("--cell-timeout expects a positive number, got `{v}`"))?;
+            cell_timeout = Some(secs);
         } else if arg == "--timeline" {
             timeline = true;
         } else if arg == "--metrics" {
@@ -338,6 +389,21 @@ fn parse_run(args: &[String]) -> Result<Command, String> {
         }
     }
 
+    let resume = match (&resume_dir, &json_dir) {
+        (Some(r), Some(j)) if r != j => {
+            return Err(
+                "--resume DIR and --json DIR must agree (the journal lives in the results \
+                 directory); pass just --resume DIR"
+                    .to_string(),
+            );
+        }
+        (Some(_), _) => true,
+        (None, _) => false,
+    };
+    if let Some(r) = resume_dir {
+        json_dir = Some(r);
+    }
+
     if timeline && json_dir.is_none() {
         return Err("--timeline requires --json <dir> (timelines are archived there)".to_string());
     }
@@ -350,6 +416,8 @@ fn parse_run(args: &[String]) -> Result<Command, String> {
         json_dir,
         timeline,
         metrics,
+        resume,
+        cell_timeout,
     }))
 }
 
@@ -448,6 +516,52 @@ mod tests {
         assert!(parse(&args(&["fig10", "--timeline"]))
             .unwrap_err()
             .contains("--timeline requires --json"));
+    }
+
+    #[test]
+    fn resume_and_cell_timeout_flags() {
+        // --resume implies --json at the same directory.
+        let Command::Run(o) = parse(&args(&["all", "--resume", "out"])).unwrap() else {
+            panic!("expected Run");
+        };
+        assert!(o.resume);
+        assert_eq!(o.json_dir, Some(PathBuf::from("out")));
+
+        // Matching --json is accepted; a different one is a usage error.
+        let Command::Run(o) = parse(&args(&["all", "--resume=out", "--json=out"])).unwrap() else {
+            panic!("expected Run");
+        };
+        assert!(o.resume);
+        assert!(parse(&args(&["all", "--resume=a", "--json=b"]))
+            .unwrap_err()
+            .contains("--resume"));
+
+        let Command::Run(o) = parse(&args(&["fig10", "--cell-timeout=2.5"])).unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(o.cell_timeout, Some(2.5));
+        assert!(parse(&args(&["fig10", "--cell-timeout=-1"]))
+            .unwrap_err()
+            .contains("--cell-timeout"));
+        assert!(parse(&args(&["fig10", "--cell-timeout=nope"]))
+            .unwrap_err()
+            .contains("--cell-timeout"));
+
+        let Command::Run(o) = parse(&args(&["fig10"])).unwrap() else {
+            panic!("expected Run");
+        };
+        assert!(!o.resume);
+        assert_eq!(o.cell_timeout, None);
+    }
+
+    #[test]
+    fn exit_codes_are_stable() {
+        // These values are the CLI contract; CI matches on them.
+        assert_eq!(ExitCode::Success.code(), 0);
+        assert_eq!(ExitCode::Regression.code(), 1);
+        assert_eq!(ExitCode::Usage.code(), 2);
+        assert_eq!(ExitCode::CellFailure.code(), 3);
+        assert_eq!(ExitCode::Infra.code(), 4);
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Fault injection for the experiment harness.
+//!
+//! A [`FaultPlan`] names grid cells that should misbehave: panic before
+//! simulating, or have their L1-I wedge (reject every access on a full
+//! MSHR) from a given cycle so the simulator's forward-progress watchdog
+//! trips. The plan reaches the runner either programmatically
+//! ([`RunContext::with_fault`](crate::RunContext::with_fault)) or through
+//! the `UBS_FAULT` environment variable, which lets CI drive the released
+//! `repro` binary through every recovery path without special builds:
+//!
+//! ```text
+//! UBS_FAULT=panic:server_000:ubs           repro all --quick ...
+//! UBS_FAULT=stall:server_000:ubs:50000     repro fig10 --quick ...
+//! ```
+//!
+//! Injected faults only ever touch the named cell — every other cell of
+//! the grid must complete bit-exact to a fault-free run (the resilience
+//! integration suite asserts this).
+
+use std::fs::OpenOptions;
+use std::io::{self, Write as _};
+use std::path::Path;
+use ubs_core::{AccessResult, IcacheStats, InstructionCache, MetricsReport, StorageBreakdown};
+use ubs_mem::MemoryHierarchy;
+use ubs_trace::FetchRange;
+
+/// A stall fault: the cell's L1-I rejects every access from `at_cycle` on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallFault {
+    /// Workload display name of the target cell.
+    pub workload: String,
+    /// Design display name of the target cell.
+    pub design: String,
+    /// First cycle at which the cache starts rejecting.
+    pub at_cycle: u64,
+}
+
+/// Which cells of a run should misbehave, and how.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Panic (before simulating) in this `(workload, design)` cell.
+    pub panic_cell: Option<(String, String)>,
+    /// Wedge the L1-I of one cell from a given cycle.
+    pub stall: Option<StallFault>,
+}
+
+impl FaultPlan {
+    /// Environment variable the `repro` binary reads a plan from.
+    pub const ENV_VAR: &'static str = "UBS_FAULT";
+
+    /// A plan that panics in one cell.
+    pub fn panic_at(workload: &str, design: &str) -> Self {
+        FaultPlan {
+            panic_cell: Some((workload.into(), design.into())),
+            stall: None,
+        }
+    }
+
+    /// A plan that wedges one cell's L1-I from `at_cycle` on.
+    pub fn stall_at(workload: &str, design: &str, at_cycle: u64) -> Self {
+        FaultPlan {
+            panic_cell: None,
+            stall: Some(StallFault {
+                workload: workload.into(),
+                design: design.into(),
+                at_cycle,
+            }),
+        }
+    }
+
+    /// Parses a fault directive (`;`-separated list of
+    /// `panic:<workload>:<design>` and `stall:<workload>:<design>:<cycle>`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message naming the malformed directive.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::default();
+        for directive in spec.split(';').filter(|s| !s.trim().is_empty()) {
+            let parts: Vec<&str> = directive.trim().split(':').collect();
+            match parts.as_slice() {
+                ["panic", workload, design] => {
+                    plan.panic_cell = Some(((*workload).into(), (*design).into()));
+                }
+                ["stall", workload, design, cycle] => {
+                    let at_cycle = cycle.parse::<u64>().map_err(|_| {
+                        format!("bad cycle `{cycle}` in fault directive `{directive}`")
+                    })?;
+                    plan.stall = Some(StallFault {
+                        workload: (*workload).into(),
+                        design: (*design).into(),
+                        at_cycle,
+                    });
+                }
+                _ => {
+                    return Err(format!(
+                        "bad fault directive `{directive}` (expected \
+                         panic:<workload>:<design> or stall:<workload>:<design>:<cycle>)"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Reads a plan from [`Self::ENV_VAR`]; `Ok(None)` when unset or empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Self::parse`] error for a malformed value.
+    pub fn from_env() -> Result<Option<Self>, String> {
+        match std::env::var(Self::ENV_VAR) {
+            Ok(spec) if !spec.trim().is_empty() => Self::parse(&spec).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.panic_cell.is_none() && self.stall.is_none()
+    }
+
+    /// Should this cell panic before simulating?
+    pub fn should_panic(&self, workload: &str, design: &str) -> bool {
+        self.panic_cell
+            .as_ref()
+            .is_some_and(|(w, d)| w == workload && d == design)
+    }
+
+    /// The stall cycle for this cell, if one is injected.
+    pub fn stall_cycle(&self, workload: &str, design: &str) -> Option<u64> {
+        self.stall
+            .as_ref()
+            .filter(|s| s.workload == workload && s.design == design)
+            .map(|s| s.at_cycle)
+    }
+}
+
+/// An [`InstructionCache`] wrapper that delegates to the real design until
+/// `stall_from`, then rejects every access as [`AccessResult::MshrFull`]
+/// forever — the leaked-MSHR wedge the livelock watchdog exists to catch.
+pub struct StallingIcache {
+    inner: Box<dyn InstructionCache + Send>,
+    stall_from: u64,
+}
+
+impl std::fmt::Debug for StallingIcache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StallingIcache")
+            .field("inner", &self.inner.name())
+            .field("stall_from", &self.stall_from)
+            .finish()
+    }
+}
+
+impl StallingIcache {
+    /// Wraps `inner`, wedging it from cycle `stall_from`.
+    pub fn new(inner: Box<dyn InstructionCache + Send>, stall_from: u64) -> Self {
+        StallingIcache { inner, stall_from }
+    }
+}
+
+impl InstructionCache for StallingIcache {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn latency(&self) -> u64 {
+        self.inner.latency()
+    }
+
+    fn access(&mut self, range: FetchRange, now: u64, mem: &mut MemoryHierarchy) -> AccessResult {
+        if now >= self.stall_from {
+            return AccessResult::MshrFull;
+        }
+        self.inner.access(range, now, mem)
+    }
+
+    fn prefetch(&mut self, range: FetchRange, now: u64, mem: &mut MemoryHierarchy) {
+        if now < self.stall_from {
+            self.inner.prefetch(range, now, mem);
+        }
+    }
+
+    fn tick(&mut self, now: u64, mem: &mut MemoryHierarchy) {
+        self.inner.tick(now, mem);
+    }
+
+    fn sample_efficiency(&mut self) {
+        self.inner.sample_efficiency();
+    }
+
+    fn stats(&self) -> &IcacheStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+    }
+
+    fn storage(&self) -> StorageBreakdown {
+        self.inner.storage()
+    }
+
+    fn metrics_enable(&mut self, enabled: bool) {
+        self.inner.metrics_enable(enabled);
+    }
+
+    fn metrics_snapshot(&mut self, now: u64) {
+        self.inner.metrics_snapshot(now);
+    }
+
+    fn metrics_report(&self) -> Option<MetricsReport> {
+        self.inner.metrics_report()
+    }
+}
+
+/// Truncates `path` to its first `keep` bytes — a crash mid-write, for
+/// journal/manifest corruption tests.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error with the file path attached.
+pub fn truncate_file(path: &Path, keep: u64) -> io::Result<()> {
+    let file = OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| annotate(path, e))?;
+    file.set_len(keep).map_err(|e| annotate(path, e))
+}
+
+/// Overwrites `path` with bytes that are not valid JSON — bit rot, for
+/// journal/manifest corruption tests.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error with the file path attached.
+pub fn corrupt_file(path: &Path) -> io::Result<()> {
+    let mut file = OpenOptions::new()
+        .write(true)
+        .truncate(true)
+        .open(path)
+        .map_err(|e| annotate(path, e))?;
+    file.write_all(b"\x00{not json")
+        .map_err(|e| annotate(path, e))
+}
+
+fn annotate(path: &Path, e: io::Error) -> io::Error {
+    io::Error::new(e.kind(), format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_panic_and_stall_directives() {
+        let p = FaultPlan::parse("panic:server_000:ubs").unwrap();
+        assert!(p.should_panic("server_000", "ubs"));
+        assert!(!p.should_panic("server_000", "conv-32k"));
+        assert!(p.stall.is_none());
+
+        let p = FaultPlan::parse("stall:client_001:conv-32k:50000").unwrap();
+        assert_eq!(p.stall_cycle("client_001", "conv-32k"), Some(50_000));
+        assert_eq!(p.stall_cycle("client_001", "ubs"), None);
+
+        let p = FaultPlan::parse("panic:a:b;stall:c:d:9").unwrap();
+        assert!(p.should_panic("a", "b"));
+        assert_eq!(p.stall_cycle("c", "d"), Some(9));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_directives() {
+        assert!(FaultPlan::parse("panic:only-one").is_err());
+        assert!(FaultPlan::parse("stall:a:b:notanumber").is_err());
+        assert!(FaultPlan::parse("explode:a:b").is_err());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn stalling_icache_rejects_after_threshold() {
+        use ubs_trace::FetchRange;
+        let inner = crate::DesignSpec::conv_32k().build();
+        let mut cache = StallingIcache::new(inner, 100);
+        let mut mem = MemoryHierarchy::paper();
+        let range = FetchRange::new(0x4000, 16);
+        // Before the threshold the wrapped design answers normally...
+        assert_ne!(cache.access(range, 10, &mut mem), AccessResult::MshrFull);
+        // ...and from the threshold on every access is rejected.
+        for now in [100u64, 101, 10_000] {
+            assert_eq!(cache.access(range, now, &mut mem), AccessResult::MshrFull);
+        }
+        assert_eq!(cache.name(), "conv-32k");
+    }
+}

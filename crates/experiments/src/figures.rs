@@ -10,7 +10,7 @@
 //! effort+scale entry point and [`run_by_id_with`] the full one.
 
 use crate::designs::DesignSpec;
-use crate::runner::{Effort, RunContext, RunGrid};
+use crate::runner::{CellFailure, Effort, GridError, RunContext, RunGrid};
 use crate::suitescale::SuiteScale;
 use serde::{Deserialize, Serialize};
 use serde_json::{json, Value};
@@ -41,6 +41,41 @@ impl ExperimentResult {
     }
 }
 
+/// Why an experiment produced no result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentError {
+    /// One or more grid cells failed (contained panic / watchdog trip);
+    /// the surviving cells completed and were journaled, but the figure
+    /// cannot be assembled from a grid with holes. Maps to the
+    /// `cell-failure` exit code (3), distinct from infrastructure errors.
+    Cells(Vec<CellFailure>),
+    /// Anything else: an unknown experiment id, a harness defect.
+    Other(String),
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::Cells(failures) => {
+                writeln!(f, "{} cell(s) failed:", failures.len())?;
+                for failure in failures {
+                    writeln!(f, "  {failure}")?;
+                }
+                Ok(())
+            }
+            ExperimentError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<GridError> for ExperimentError {
+    fn from(e: GridError) -> Self {
+        ExperimentError::Cells(e.failures)
+    }
+}
+
 /// The categories used by the performance figures, in plotting order.
 fn perf_categories(scale: &SuiteScale) -> Vec<(Profile, Vec<WorkloadSpec>)> {
     vec![
@@ -62,7 +97,11 @@ fn efficiency_categories(scale: &SuiteScale) -> Vec<(Profile, Vec<WorkloadSpec>)
 
 /// Fig. 1: CDF of bytes accessed per 64-byte block before eviction, per
 /// workload, on the conventional 32 KB L1-I.
-pub fn fig1(ctx: &RunContext<'_>) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Cells`] when any grid cell fails.
+pub fn fig1(ctx: &RunContext<'_>) -> Result<ExperimentResult, ExperimentError> {
     let mut text = String::new();
     let mut json_rows = Vec::new();
     let marks = [4usize, 8, 16, 24, 32, 40, 48, 56, 63, 64];
@@ -79,7 +118,7 @@ pub fn fig1(ctx: &RunContext<'_>) -> ExperimentResult {
     )
     .unwrap();
     for (profile, workloads) in efficiency_categories(&ctx.scale) {
-        let grid = ctx.run_matrix(&workloads, &[DesignSpec::conv_32k()]);
+        let grid = ctx.try_run_matrix(&workloads, &[DesignSpec::conv_32k()])?;
         for (w, spec) in workloads.iter().enumerate() {
             let stats = &grid.get(w, 0).l1i;
             let cdf: Vec<f64> = marks.iter().map(|&m| stats.evict_cdf_at(m)).collect();
@@ -103,12 +142,20 @@ pub fn fig1(ctx: &RunContext<'_>) -> ExperimentResult {
         "\nPaper reference: ~60% of blocks use <=32 bytes; ~12% use all 64; ~20% use >=60."
     )
     .unwrap();
-    ExperimentResult::new("fig1", text, json!({ "rows": json_rows }))
+    Ok(ExperimentResult::new(
+        "fig1",
+        text,
+        json!({ "rows": json_rows }),
+    ))
 }
 
 /// Fig. 2: storage-efficiency distribution of the conventional 32 KB L1-I,
 /// sampled every 100 K cycles.
-pub fn fig2(ctx: &RunContext<'_>) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Cells`] when any grid cell fails.
+pub fn fig2(ctx: &RunContext<'_>) -> Result<ExperimentResult, ExperimentError> {
     efficiency_figure(
         "fig2",
         "Fig. 2 — storage efficiency of conv-32k (sampled / 100K cycles)",
@@ -119,7 +166,11 @@ pub fn fig2(ctx: &RunContext<'_>) -> ExperimentResult {
 }
 
 /// Fig. 7: storage efficiency of the UBS cache.
-pub fn fig7(ctx: &RunContext<'_>) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Cells`] when any grid cell fails.
+pub fn fig7(ctx: &RunContext<'_>) -> Result<ExperimentResult, ExperimentError> {
     efficiency_figure(
         "fig7",
         "Fig. 7 — storage efficiency of UBS (sampled / 100K cycles)",
@@ -135,7 +186,7 @@ fn efficiency_figure(
     design: DesignSpec,
     reference: &str,
     ctx: &RunContext<'_>,
-) -> ExperimentResult {
+) -> Result<ExperimentResult, ExperimentError> {
     let mut text = String::new();
     let mut json_rows = Vec::new();
     writeln!(text, "{title}").unwrap();
@@ -146,7 +197,7 @@ fn efficiency_figure(
     )
     .unwrap();
     for (profile, workloads) in efficiency_categories(&ctx.scale) {
-        let grid = ctx.run_matrix(&workloads, std::slice::from_ref(&design));
+        let grid = ctx.try_run_matrix(&workloads, std::slice::from_ref(&design))?;
         let mut cat_means = Vec::new();
         for (w, spec) in workloads.iter().enumerate() {
             let s = &grid.get(w, 0).l1i;
@@ -179,12 +230,20 @@ fn efficiency_figure(
         .unwrap();
     }
     writeln!(text, "\n{reference}").unwrap();
-    ExperimentResult::new(id, text, json!({ "rows": json_rows }))
+    Ok(ExperimentResult::new(
+        id,
+        text,
+        json!({ "rows": json_rows }),
+    ))
 }
 
 /// Fig. 4: fraction of lifetime-accessed bytes touched before the next
 /// 1..4 misses in the same set (conv-32k).
-pub fn fig4(ctx: &RunContext<'_>) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Cells`] when any grid cell fails.
+pub fn fig4(ctx: &RunContext<'_>) -> Result<ExperimentResult, ExperimentError> {
     let mut text = String::new();
     let mut json_rows = Vec::new();
     writeln!(
@@ -199,7 +258,7 @@ pub fn fig4(ctx: &RunContext<'_>) -> ExperimentResult {
     )
     .unwrap();
     for (profile, workloads) in efficiency_categories(&ctx.scale) {
-        let grid = ctx.run_matrix(&workloads, &[DesignSpec::conv_32k()]);
+        let grid = ctx.try_run_matrix(&workloads, &[DesignSpec::conv_32k()])?;
         let mut merged = ubs_core::TouchWindow::default();
         for w in 0..grid.num_workloads() {
             merged.merge(&grid.get(w, 0).l1i.touch_window);
@@ -222,7 +281,11 @@ pub fn fig4(ctx: &RunContext<'_>) -> ExperimentResult {
         "\nPaper reference at n=1: google 94.6%, client 90.4%, server 93.3%, spec 89.8%."
     )
     .unwrap();
-    ExperimentResult::new("fig4", text, json!({ "rows": json_rows }))
+    Ok(ExperimentResult::new(
+        "fig4",
+        text,
+        json!({ "rows": json_rows }),
+    ))
 }
 
 /// Shared helper for the speedup/coverage figures: runs `designs` plus the
@@ -234,7 +297,7 @@ fn perf_comparison(
     reference: &str,
     ctx: &RunContext<'_>,
     show_coverage: bool,
-) -> ExperimentResult {
+) -> Result<ExperimentResult, ExperimentError> {
     let mut all = vec![DesignSpec::conv_32k()];
     all.extend(designs);
     let names: Vec<String> = all.iter().map(|d| d.name()).collect();
@@ -250,7 +313,7 @@ fn perf_comparison(
     writeln!(text, "   ({metric} vs conv-32k)").unwrap();
 
     for (profile, workloads) in perf_categories(&ctx.scale) {
-        let grid = ctx.run_matrix(&workloads, &all);
+        let grid = ctx.try_run_matrix(&workloads, &all)?;
         let mut per_design: Vec<Vec<f64>> = vec![Vec::new(); all.len() - 1];
         for (w, spec) in workloads.iter().enumerate() {
             let base = grid.get(w, 0);
@@ -303,12 +366,20 @@ fn perf_comparison(
         writeln!(text).unwrap();
     }
     writeln!(text, "\n{reference}").unwrap();
-    ExperimentResult::new(id, text, json!({ "rows": json_rows }))
+    Ok(ExperimentResult::new(
+        id,
+        text,
+        json!({ "rows": json_rows }),
+    ))
 }
 
 /// Fig. 8: front-end stall-cycle coverage of UBS and conv-64k over the
 /// 32 KB baseline.
-pub fn fig8(ctx: &RunContext<'_>) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Cells`] when any grid cell fails.
+pub fn fig8(ctx: &RunContext<'_>) -> Result<ExperimentResult, ExperimentError> {
     perf_comparison(
         "fig8",
         "Fig. 8 — front-end stall cycles covered over conv-32k (higher is better)",
@@ -320,7 +391,11 @@ pub fn fig8(ctx: &RunContext<'_>) -> ExperimentResult {
 }
 
 /// Fig. 9: distribution of partial misses (UBS).
-pub fn fig9(ctx: &RunContext<'_>) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Cells`] when any grid cell fails.
+pub fn fig9(ctx: &RunContext<'_>) -> Result<ExperimentResult, ExperimentError> {
     let mut text = String::new();
     let mut json_rows = Vec::new();
     writeln!(
@@ -335,7 +410,7 @@ pub fn fig9(ctx: &RunContext<'_>) -> ExperimentResult {
     )
     .unwrap();
     for (profile, workloads) in perf_categories(&ctx.scale) {
-        let grid = ctx.run_matrix(&workloads, &[DesignSpec::ubs_default()]);
+        let grid = ctx.try_run_matrix(&workloads, &[DesignSpec::ubs_default()])?;
         let mut cat = Vec::new();
         for (w, spec) in workloads.iter().enumerate() {
             let s = &grid.get(w, 0).l1i;
@@ -375,11 +450,19 @@ pub fn fig9(ctx: &RunContext<'_>) -> ExperimentResult {
         "\nPaper reference: client 23%, server 18.2%, spec 26.6% of misses are partial;\nmissing sub-blocks and overruns dominate, underruns are rare."
     )
     .unwrap();
-    ExperimentResult::new("fig9", text, json!({ "rows": json_rows }))
+    Ok(ExperimentResult::new(
+        "fig9",
+        text,
+        json!({ "rows": json_rows }),
+    ))
 }
 
 /// Fig. 10: IPC speedup of UBS and conv-64k over the 32 KB baseline.
-pub fn fig10(ctx: &RunContext<'_>) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Cells`] when any grid cell fails.
+pub fn fig10(ctx: &RunContext<'_>) -> Result<ExperimentResult, ExperimentError> {
     perf_comparison(
         "fig10",
         "Fig. 10 — speedup over conv-32k",
@@ -401,7 +484,11 @@ fn geomean_speedups(grid: &RunGrid) -> Vec<f64> {
 
 /// Fig. 11: UBS vs conventional caches across storage budgets, normalized
 /// to a 16 KB conventional cache.
-pub fn fig11(ctx: &RunContext<'_>) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Cells`] when any grid cell fails.
+pub fn fig11(ctx: &RunContext<'_>) -> Result<ExperimentResult, ExperimentError> {
     let conv_sizes = [16usize, 32, 64, 128, 192];
     let ubs_budgets = [16usize, 20, 32, 64, 128];
     let mut designs = vec![DesignSpec::conv(16 << 10)];
@@ -422,7 +509,7 @@ pub fn fig11(ctx: &RunContext<'_>) -> ExperimentResult {
     .unwrap();
     let mut json_rows = Vec::new();
     for (profile, workloads) in perf_categories(&ctx.scale) {
-        let grid = ctx.run_matrix(&workloads, &designs);
+        let grid = ctx.try_run_matrix(&workloads, &designs)?;
         write!(text, "{:<8}", profile.label()).unwrap();
         let mut series = Vec::new();
         for (i, g) in geomean_speedups(&grid).into_iter().enumerate() {
@@ -438,11 +525,19 @@ pub fn fig11(ctx: &RunContext<'_>) -> ExperimentResult {
         "\nPaper reference: a 20 KB UBS outperforms a 32 KB conv on server; at equal\nbudget UBS always outperforms conv."
     )
     .unwrap();
-    ExperimentResult::new("fig11", text, json!({ "rows": json_rows }))
+    Ok(ExperimentResult::new(
+        "fig11",
+        text,
+        json!({ "rows": json_rows }),
+    ))
 }
 
 /// Fig. 12: UBS vs 16- and 32-byte-block conventional caches.
-pub fn fig12(ctx: &RunContext<'_>) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Cells`] when any grid cell fails.
+pub fn fig12(ctx: &RunContext<'_>) -> Result<ExperimentResult, ExperimentError> {
     perf_comparison(
         "fig12",
         "Fig. 12 — small-block designs vs UBS (speedup over conv-32k)",
@@ -458,7 +553,11 @@ pub fn fig12(ctx: &RunContext<'_>) -> ExperimentResult {
 }
 
 /// Fig. 13: UBS vs GHRP, ACIC and Line Distillation.
-pub fn fig13(ctx: &RunContext<'_>) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Cells`] when any grid cell fails.
+pub fn fig13(ctx: &RunContext<'_>) -> Result<ExperimentResult, ExperimentError> {
     perf_comparison(
         "fig13",
         "Fig. 13 — prior-work comparison (speedup over conv-32k)",
@@ -475,7 +574,11 @@ pub fn fig13(ctx: &RunContext<'_>) -> ExperimentResult {
 }
 
 /// Fig. 15: predictor organization sensitivity.
-pub fn fig15(ctx: &RunContext<'_>) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Cells`] when any grid cell fails.
+pub fn fig15(ctx: &RunContext<'_>) -> Result<ExperimentResult, ExperimentError> {
     perf_comparison(
         "fig15",
         "Fig. 15 — UBS predictor organizations (speedup over conv-32k)",
@@ -487,7 +590,11 @@ pub fn fig15(ctx: &RunContext<'_>) -> ExperimentResult {
 }
 
 /// Fig. 16: way-count/size sensitivity.
-pub fn fig16(ctx: &RunContext<'_>) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Cells`] when any grid cell fails.
+pub fn fig16(ctx: &RunContext<'_>) -> Result<ExperimentResult, ExperimentError> {
     let mut designs = Vec::new();
     for ways in [10usize, 12, 14, 16, 18] {
         designs.push(DesignSpec::ubs_ways(ways, ConfigFamily::Config1));
@@ -510,7 +617,11 @@ pub fn fig16(ctx: &RunContext<'_>) -> ExperimentResult {
 }
 
 /// §VI-L: CVP-1-style traces not used during design.
-pub fn cvp(ctx: &RunContext<'_>) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Cells`] when any grid cell fails.
+pub fn cvp(ctx: &RunContext<'_>) -> Result<ExperimentResult, ExperimentError> {
     let designs = vec![
         DesignSpec::conv_32k(),
         DesignSpec::ubs_default(),
@@ -526,7 +637,7 @@ pub fn cvp(ctx: &RunContext<'_>) -> ExperimentResult {
     let mut json_rows = Vec::new();
     for profile in cats {
         let workloads = ctx.scale.suite(profile);
-        let grid = ctx.run_matrix(&workloads, &designs);
+        let grid = ctx.try_run_matrix(&workloads, &designs)?;
         let speedups = geomean_speedups(&grid);
         let (ubs, big) = (speedups[0], speedups[1]);
         writeln!(
@@ -542,7 +653,11 @@ pub fn cvp(ctx: &RunContext<'_>) -> ExperimentResult {
         "\nPaper reference: UBS +2.6%/+1.5%/+0.29% vs conv-64k +1.9%/+0.9%/+0.26%\n(server/fp/int)."
     )
     .unwrap();
-    ExperimentResult::new("cvp", text, json!({ "rows": json_rows }))
+    Ok(ExperimentResult::new(
+        "cvp",
+        text,
+        json!({ "rows": json_rows }),
+    ))
 }
 
 /// Table I: core parameters.
@@ -674,7 +789,11 @@ pub fn table4() -> ExperimentResult {
 
 /// Ablations beyond the paper: candidate-window width, fill-remaining and
 /// gap merging.
-pub fn ablate(ctx: &RunContext<'_>) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Cells`] when any grid cell fails.
+pub fn ablate(ctx: &RunContext<'_>) -> Result<ExperimentResult, ExperimentError> {
     let mut designs = Vec::new();
     for window in [1usize, 2, 4, 8, 16] {
         let mut cfg = UbsCacheConfig::paper_default();
@@ -695,7 +814,7 @@ pub fn ablate(ctx: &RunContext<'_>) -> ExperimentResult {
     let mut all = vec![DesignSpec::conv_32k()];
     all.extend(designs);
     let names: Vec<String> = all.iter().map(|d| d.name()).collect();
-    let grid = ctx.run_matrix(&workloads, &all);
+    let grid = ctx.try_run_matrix(&workloads, &all)?;
 
     let mut text = String::new();
     writeln!(
@@ -723,12 +842,20 @@ pub fn ablate(ctx: &RunContext<'_>) -> ExperimentResult {
         json_rows
             .push(json!({ "design": name, "geomean_speedup": g, "partial_fraction": partial }));
     }
-    ExperimentResult::new("ablate", text, json!({ "rows": json_rows }))
+    Ok(ExperimentResult::new(
+        "ablate",
+        text,
+        json!({ "rows": json_rows }),
+    ))
 }
 
 /// Extension beyond the paper: UBS vs an Amoeba-style variable-granularity
 /// cache (its closest prior design, §VII) and the ideal L1-I headroom.
-pub fn amoeba(ctx: &RunContext<'_>) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Cells`] when any grid cell fails.
+pub fn amoeba(ctx: &RunContext<'_>) -> Result<ExperimentResult, ExperimentError> {
     perf_comparison(
         "amoeba",
         "Extension — UBS vs Amoeba-style cache and the ideal L1-I (speedup over conv-32k)",
@@ -752,7 +879,11 @@ at comparable flexibility; `ideal` bounds the remaining front-end opportunity.",
 /// taxonomy: `fill%` is waiting on an L1-I fill (any level), `steer%` is
 /// front-end steering (redirects, BTB misses, FTQ-empty) and `rob%` is
 /// back-end backpressure. The full per-class counts land in the JSON.
-pub fn workloads(ctx: &RunContext<'_>) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Cells`] when any grid cell fails.
+pub fn workloads(ctx: &RunContext<'_>) -> Result<ExperimentResult, ExperimentError> {
     let mut text = String::new();
     writeln!(
         text,
@@ -772,7 +903,7 @@ pub fn workloads(ctx: &RunContext<'_>) -> ExperimentResult {
     .unwrap();
     let mut json_rows = Vec::new();
     for (profile, workloads) in efficiency_categories(&ctx.scale) {
-        let grid = ctx.run_matrix(&workloads, &[DesignSpec::conv_32k()]);
+        let grid = ctx.try_run_matrix(&workloads, &[DesignSpec::conv_32k()])?;
         for (w, spec) in workloads.iter().enumerate() {
             let r = grid.get(w, 0);
             let cyc = r.cycles.max(1) as f64;
@@ -807,7 +938,11 @@ pub fn workloads(ctx: &RunContext<'_>) -> ExperimentResult {
             }));
         }
     }
-    ExperimentResult::new("workloads", text, json!({ "rows": json_rows }))
+    Ok(ExperimentResult::new(
+        "workloads",
+        text,
+        json!({ "rows": json_rows }),
+    ))
 }
 
 /// Every experiment id the `repro` binary accepts.
@@ -837,13 +972,14 @@ pub fn all_ids() -> Vec<&'static str> {
 }
 
 /// Runs one experiment by id under a full [`RunContext`] (fixed thread
-/// count, per-cell progress observation).
+/// count, per-cell progress observation, fault isolation).
 ///
 /// # Errors
 ///
-/// Returns an error message for unknown ids.
-pub fn run_by_id_with(id: &str, ctx: &RunContext<'_>) -> Result<ExperimentResult, String> {
-    Ok(match id {
+/// Returns [`ExperimentError::Other`] for unknown ids and
+/// [`ExperimentError::Cells`] when any grid cell fails.
+pub fn run_by_id_with(id: &str, ctx: &RunContext<'_>) -> Result<ExperimentResult, ExperimentError> {
+    match id {
         "fig1" => fig1(ctx),
         "fig2" => fig2(ctx),
         "fig4" => fig4(ctx),
@@ -856,23 +992,25 @@ pub fn run_by_id_with(id: &str, ctx: &RunContext<'_>) -> Result<ExperimentResult
         "fig13" => fig13(ctx),
         "fig15" => fig15(ctx),
         "fig16" => fig16(ctx),
-        "table1" => table1(),
-        "table2" => table2(),
-        "table3" => table3(),
-        "table4" => table4(),
+        "table1" => Ok(table1()),
+        "table2" => Ok(table2()),
+        "table3" => Ok(table3()),
+        "table4" => Ok(table4()),
         "cvp" => cvp(ctx),
         "ablate" => ablate(ctx),
         "amoeba" => amoeba(ctx),
         "workloads" => workloads(ctx),
-        other => return Err(format!("unknown experiment id: {other}")),
-    })
+        other => Err(ExperimentError::Other(format!(
+            "unknown experiment id: {other}"
+        ))),
+    }
 }
 
 /// Runs one experiment by id at the given effort and suite scale.
 ///
 /// # Errors
 ///
-/// Returns an error message for unknown ids.
+/// Returns an error message for unknown ids or failed cells.
 pub fn run_by_id(id: &str, effort: Effort, scale: &SuiteScale) -> Result<ExperimentResult, String> {
-    run_by_id_with(id, &RunContext::new(effort, *scale))
+    run_by_id_with(id, &RunContext::new(effort, *scale)).map_err(|e| e.to_string())
 }

@@ -1,0 +1,374 @@
+//! Crash-safe per-cell checkpoint journal for resumable runs.
+//!
+//! With `--json DIR`, the runner appends every completed cell's full
+//! [`SimReport`] to `DIR/journal/<workload>__<design>.json` the moment the
+//! cell finishes — each entry written with the same fsync'd
+//! temp-file-then-rename discipline as the run manifest, so a `kill -9` at
+//! any instant leaves only whole entries (plus at most one ignorable
+//! `*.tmp`). `--resume DIR` then reloads the journal and replays journaled
+//! cells without re-simulating them; only failed or missing cells run
+//! again. Because every workload is seeded and the simulator is
+//! deterministic, a resumed run's results are bit-identical to an
+//! uninterrupted run (`repro diff` clean).
+//!
+//! `DIR/journal/meta.json` pins the run conditions (effort, suite scale,
+//! timeline/metrics capture). A resume against a journal recorded under
+//! different conditions is refused rather than silently mixing
+//! incompatible results.
+
+use crate::archive::{write_json_atomic, SCHEMA_VERSION};
+use crate::runner::Effort;
+use crate::suitescale::SuiteScale;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use ubs_uarch::SimReport;
+
+/// Run conditions a journal is only valid under.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalMeta {
+    /// Manifest schema version the journal was written by.
+    pub schema_version: u32,
+    /// Simulation effort of the run.
+    pub effort: Effort,
+    /// Suite sizing of the run.
+    pub scale: SuiteScale,
+    /// Whether cells carried interval timelines.
+    pub timeline: bool,
+    /// Whether cells collected cache-internals metrics.
+    pub metrics: bool,
+}
+
+impl JournalMeta {
+    /// Meta for a run under the given conditions.
+    pub fn new(effort: Effort, scale: SuiteScale, timeline: bool, metrics: bool) -> Self {
+        JournalMeta {
+            schema_version: SCHEMA_VERSION,
+            effort,
+            scale,
+            timeline,
+            metrics,
+        }
+    }
+
+    /// Why `other` cannot resume a journal recorded under `self`, if it
+    /// cannot.
+    fn incompatibility(&self, other: &JournalMeta) -> Option<String> {
+        if self.effort != other.effort {
+            return Some(format!(
+                "effort {} vs {}",
+                self.effort.label(),
+                other.effort.label()
+            ));
+        }
+        if self.scale != other.scale {
+            return Some("suite scale differs".into());
+        }
+        if self.timeline != other.timeline {
+            return Some("timeline capture differs".into());
+        }
+        if self.metrics != other.metrics {
+            return Some("metrics capture differs".into());
+        }
+        None
+    }
+}
+
+/// One journaled cell: the full report, so a resume can replay the cell
+/// without re-simulating it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JournalEntry {
+    /// Workload display name.
+    pub workload: String,
+    /// RNG seed of the synthetic workload (stale-entry guard).
+    pub workload_seed: u64,
+    /// Design display name.
+    pub design: String,
+    /// Wall seconds the original simulation took.
+    pub wall_seconds: f64,
+    /// The complete simulation report.
+    pub report: SimReport,
+}
+
+/// The on-disk cell journal backing `--json` / `--resume`.
+///
+/// Shared by reference across runner worker threads; `record` may be
+/// called concurrently.
+#[derive(Debug)]
+pub struct CellJournal {
+    dir: PathBuf,
+    resume: bool,
+    entries: Mutex<HashMap<String, JournalEntry>>,
+    warnings: Vec<String>,
+}
+
+impl CellJournal {
+    /// Journal directory name under the `--json` directory.
+    pub const DIR_NAME: &'static str = "journal";
+    /// Run-conditions file inside the journal directory.
+    pub const META_FILE: &'static str = "meta.json";
+
+    /// Starts a fresh journal under `json_dir`, discarding any previous
+    /// one (a run without `--resume` must not replay stale cells).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the offending path on I/O failure.
+    pub fn fresh(json_dir: &Path, meta: &JournalMeta) -> Result<Self, String> {
+        let dir = json_dir.join(Self::DIR_NAME);
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir)
+                .map_err(|e| format!("could not clear journal {}: {e}", dir.display()))?;
+        }
+        Self::create(dir, meta, false, HashMap::new(), Vec::new())
+    }
+
+    /// Reopens the journal under `json_dir`, loading every intact entry so
+    /// the runner can skip those cells. A missing journal starts fresh; a
+    /// journal recorded under different run conditions is refused.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the offending path on I/O failure or on a
+    /// run-conditions mismatch.
+    pub fn resume(json_dir: &Path, meta: &JournalMeta) -> Result<Self, String> {
+        let dir = json_dir.join(Self::DIR_NAME);
+        if !dir.exists() {
+            return Self::create(dir, meta, true, HashMap::new(), Vec::new());
+        }
+
+        let meta_path = dir.join(Self::META_FILE);
+        let recorded: JournalMeta = std::fs::read_to_string(&meta_path)
+            .map_err(|e| format!("could not read {}: {e}", meta_path.display()))
+            .and_then(|body| {
+                serde_json::from_str(&body)
+                    .map_err(|e| format!("corrupt journal meta {}: {e}", meta_path.display()))
+            })?;
+        if let Some(why) = recorded.incompatibility(meta) {
+            return Err(format!(
+                "journal {} was recorded under different run conditions ({why}); \
+                 rerun without --resume to start over",
+                dir.display()
+            ));
+        }
+
+        let mut entries = HashMap::new();
+        let mut warnings = Vec::new();
+        let listing = std::fs::read_dir(&dir)
+            .map_err(|e| format!("could not list journal {}: {e}", dir.display()))?;
+        let mut paths: Vec<PathBuf> = listing
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension().is_some_and(|x| x == "json")
+                    && p.file_name().is_some_and(|f| f != Self::META_FILE)
+            })
+            .collect();
+        paths.sort();
+        for path in paths {
+            match std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|body| {
+                    serde_json::from_str::<JournalEntry>(&body).map_err(|e| e.to_string())
+                }) {
+                Ok(entry) => {
+                    entries.insert(cell_key(&entry.workload, &entry.design), entry);
+                }
+                Err(e) => warnings.push(format!(
+                    "journal entry {} is unreadable ({e}); its cell will be re-simulated",
+                    path.display()
+                )),
+            }
+        }
+        Self::create(dir, meta, true, entries, warnings)
+    }
+
+    fn create(
+        dir: PathBuf,
+        meta: &JournalMeta,
+        resume: bool,
+        entries: HashMap<String, JournalEntry>,
+        warnings: Vec<String>,
+    ) -> Result<Self, String> {
+        let meta_value = serde_json::to_value(meta)
+            .map_err(|e| format!("could not serialize journal meta: {e}"))?;
+        write_json_atomic(&dir, Self::META_FILE, &meta_value).map_err(|e| {
+            format!(
+                "could not write {}: {e}",
+                dir.join(Self::META_FILE).display()
+            )
+        })?;
+        Ok(CellJournal {
+            dir,
+            resume,
+            entries: Mutex::new(entries),
+            warnings,
+        })
+    }
+
+    /// The journal directory (`<json_dir>/journal`).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// True when this journal was opened with `--resume`.
+    pub fn is_resume(&self) -> bool {
+        self.resume
+    }
+
+    /// Number of cells currently journaled (in memory).
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when no cells are journaled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Problems found while reloading (corrupt or truncated entries).
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// The journaled result for a cell, if this is a resume and an intact
+    /// entry with a matching workload seed exists. Fresh journals always
+    /// answer `None`: without `--resume`, every cell is re-simulated.
+    pub fn cached(&self, workload: &str, seed: u64, design: &str) -> Option<JournalEntry> {
+        if !self.resume {
+            return None;
+        }
+        self.entries
+            .lock()
+            .get(&cell_key(workload, design))
+            .filter(|e| e.workload_seed == seed)
+            .cloned()
+    }
+
+    /// Journals one completed cell, atomically (fsync'd temp file, then
+    /// rename) so an interrupted run never leaves a partial entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the offending path on I/O failure. Callers
+    /// should treat this as a warning: the journal is a checkpoint cache,
+    /// not a correctness dependency.
+    pub fn record(&self, entry: JournalEntry) -> Result<PathBuf, String> {
+        let key = cell_key(&entry.workload, &entry.design);
+        let value = serde_json::to_value(&entry)
+            .map_err(|e| format!("could not serialize journal entry {key}: {e}"))?;
+        let path = write_json_atomic(&self.dir, &format!("{key}.json"), &value).map_err(|e| {
+            format!(
+                "could not write journal entry {}: {e}",
+                self.dir.join(format!("{key}.json")).display()
+            )
+        })?;
+        self.entries.lock().insert(key, entry);
+        Ok(path)
+    }
+}
+
+/// The journal file stem for a cell.
+fn cell_key(workload: &str, design: &str) -> String {
+    format!("{workload}__{design}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunContext;
+    use crate::DesignSpec;
+    use ubs_trace::synth::{Profile, WorkloadSpec};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ubs-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_entry() -> JournalEntry {
+        let workloads = vec![WorkloadSpec::new(Profile::Client, 0)];
+        let designs = vec![DesignSpec::conv_32k()];
+        let grid = RunContext::new(Effort::Smoke, SuiteScale::bench())
+            .with_threads(Some(1))
+            .run_matrix(&workloads, &designs);
+        JournalEntry {
+            workload: "client_000".into(),
+            workload_seed: workloads[0].seed,
+            design: "conv-32k".into(),
+            wall_seconds: grid.cell(0, 0).wall_seconds,
+            report: grid.get(0, 0).clone(),
+        }
+    }
+
+    fn meta() -> JournalMeta {
+        JournalMeta::new(Effort::Smoke, SuiteScale::bench(), false, false)
+    }
+
+    #[test]
+    fn fresh_journal_never_replays_and_resume_does() {
+        let dir = temp_dir("roundtrip");
+        let entry = sample_entry();
+        let seed = entry.workload_seed;
+
+        let journal = CellJournal::fresh(&dir, &meta()).unwrap();
+        journal.record(entry.clone()).unwrap();
+        // A fresh journal records but never replays.
+        assert!(journal.cached("client_000", seed, "conv-32k").is_none());
+        assert_eq!(journal.len(), 1);
+
+        let resumed = CellJournal::resume(&dir, &meta()).unwrap();
+        assert!(resumed.warnings().is_empty());
+        let cached = resumed.cached("client_000", seed, "conv-32k").unwrap();
+        assert_eq!(cached.report.cycles, entry.report.cycles);
+        // Wrong seed or unknown cell: no replay.
+        assert!(resumed.cached("client_000", seed + 1, "conv-32k").is_none());
+        assert!(resumed.cached("client_000", seed, "ubs").is_none());
+
+        // Opening fresh again discards the previous journal.
+        let fresh = CellJournal::fresh(&dir, &meta()).unwrap();
+        assert!(fresh.is_empty());
+        let reloaded = CellJournal::resume(&dir, &meta()).unwrap();
+        assert!(reloaded.cached("client_000", seed, "conv-32k").is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn incompatible_meta_is_refused() {
+        let dir = temp_dir("meta");
+        CellJournal::fresh(&dir, &meta()).unwrap();
+        let other = JournalMeta::new(Effort::Quick, SuiteScale::bench(), false, false);
+        let err = CellJournal::resume(&dir, &other).unwrap_err();
+        assert!(err.contains("different run conditions"), "{err}");
+        assert!(err.contains("effort"), "{err}");
+        let timeline_on = JournalMeta::new(Effort::Smoke, SuiteScale::bench(), true, false);
+        assert!(CellJournal::resume(&dir, &timeline_on).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entries_surface_as_warnings_not_errors() {
+        let dir = temp_dir("corrupt");
+        let entry = sample_entry();
+        let seed = entry.workload_seed;
+        let journal = CellJournal::fresh(&dir, &meta()).unwrap();
+        let path = journal.record(entry).unwrap();
+        crate::fault::truncate_file(&path, 40).unwrap();
+
+        let resumed = CellJournal::resume(&dir, &meta()).unwrap();
+        assert_eq!(resumed.warnings().len(), 1);
+        assert!(resumed.warnings()[0].contains("re-simulated"));
+        assert!(resumed.cached("client_000", seed, "conv-32k").is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_journal_resumes_as_fresh_start() {
+        let dir = temp_dir("missing");
+        let journal = CellJournal::resume(&dir, &meta()).unwrap();
+        assert!(journal.is_resume() && journal.is_empty());
+        assert!(dir.join(CellJournal::DIR_NAME).join("meta.json").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

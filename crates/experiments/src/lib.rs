@@ -18,6 +18,15 @@
 //! such directories with per-metric tolerances and fails on regressions.
 //! See `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for
 //! recorded paper-vs-measured numbers.
+//!
+//! ## Resilience
+//!
+//! Grid cells run under per-cell panic containment: a panicking cell is
+//! reported as a typed [`CellFailure`] while the rest of the grid completes.
+//! `repro all --json DIR` journals each completed cell ([`CellJournal`]),
+//! and `--resume DIR` replays journaled cells without re-simulating them.
+//! A [`FaultPlan`] (or the `UBS_FAULT` environment variable) injects panics
+//! and simulator livelocks for testing every recovery path.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -25,20 +34,27 @@
 pub mod archive;
 pub mod cli;
 mod designs;
+pub mod fault;
 pub mod figures;
 mod inspectcmd;
+pub mod journal;
 mod runner;
 mod suitescale;
 mod tracecmd;
 
 pub use archive::{
-    diff_dirs, diff_values, tolerance_for, write_json_atomic, CellTiming, DiffReport,
-    ExperimentRecord, MetricDelta, RunManifest, Tolerance, SCHEMA_VERSION,
+    diff_dirs, diff_values, tolerance_for, write_bytes_atomic, write_json_atomic, CellTiming,
+    DiffReport, ExperimentRecord, MetricDelta, RunManifest, Tolerance, SCHEMA_VERSION,
 };
-pub use cli::{Command, DiffOptions, InspectOptions, RunOptions, TraceOptions};
+pub use cli::{Command, DiffOptions, ExitCode, InspectOptions, RunOptions, TraceOptions};
 pub use designs::DesignSpec;
-pub use figures::{all_ids, run_by_id, run_by_id_with, ExperimentResult};
+pub use fault::{corrupt_file, truncate_file, FaultPlan, StallFault, StallingIcache};
+pub use figures::{all_ids, run_by_id, run_by_id_with, ExperimentError, ExperimentResult};
 pub use inspectcmd::{run_inspect, InspectOutcome};
-pub use runner::{run_matrix, Cell, CellProgress, Effort, ProgressHook, RunContext, RunGrid};
+pub use journal::{CellJournal, JournalEntry, JournalMeta};
+pub use runner::{
+    run_matrix, Cell, CellFailure, CellProgress, CellStatus, Effort, GridError, ProgressHook,
+    RunContext, RunGrid,
+};
 pub use suitescale::SuiteScale;
 pub use tracecmd::{design_by_name, parse_workload, run_trace, TraceOutcome};

@@ -6,8 +6,20 @@
 //! completed cell (wall time + simulated-instruction throughput), which the
 //! `repro` binary uses for live progress lines and the [`crate::archive`]
 //! run manifest.
+//!
+//! Every cell runs under panic containment: a cell that panics (an injected
+//! fault, a watchdog trip, a simulator bug) becomes a typed [`CellFailure`]
+//! carrying the panic message and backtrace while the rest of the grid
+//! completes normally. [`RunContext::try_run_matrix`] surfaces those
+//! failures as a [`GridError`]; the legacy [`RunContext::run_matrix`] keeps
+//! its panicking contract. A [`CellJournal`](crate::journal::CellJournal)
+//! on the context checkpoints each finished cell and replays journaled
+//! cells on `--resume`; a [`FaultPlan`](crate::fault::FaultPlan) injects
+//! panics or L1-I wedges into named cells for the resilience test suite.
 
 use crate::designs::DesignSpec;
+use crate::fault::{FaultPlan, StallingIcache};
+use crate::journal::{CellJournal, JournalEntry};
 use crate::suitescale::SuiteScale;
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
@@ -86,6 +98,80 @@ impl Cell {
         self.report.instructions as f64 / 1e6 / self.wall_seconds.max(1e-9)
     }
 }
+
+/// Outcome of one cell, as observed by progress hooks and recorded in run
+/// manifests (schema v4). Healthy cells serialize without extra keys, so a
+/// clean run's manifest is unchanged from schema v3.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub enum CellStatus {
+    /// The cell completed and its report validated.
+    #[default]
+    Ok,
+    /// The cell panicked (fault injection, watchdog trip, simulator bug).
+    Failed {
+        /// The panic message (a watchdog trip renders its full diagnostic
+        /// here, prefixed with `ubs_uarch::WATCHDOG_PANIC_MARKER`).
+        error: String,
+        /// Backtrace captured at the panic site.
+        backtrace: String,
+    },
+}
+
+impl CellStatus {
+    /// True for a completed cell (used to omit the key when serializing).
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellStatus::Ok)
+    }
+}
+
+/// A cell that did not complete: which cell, and what its panic said.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellFailure {
+    /// Workload display name.
+    pub workload: String,
+    /// Design display name.
+    pub design: String,
+    /// The contained panic message.
+    pub error: String,
+    /// Backtrace captured at the panic site.
+    #[serde(default, skip_serializing_if = "String::is_empty")]
+    pub backtrace: String,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let first_line = self.error.lines().next().unwrap_or("(empty panic message)");
+        write!(f, "{} × {}: {first_line}", self.workload, self.design)
+    }
+}
+
+/// Error of [`RunContext::try_run_matrix`]: one or more cells failed. The
+/// rest of the grid completed (and was journaled, when a journal is
+/// attached), so a `--resume` re-runs only the failed cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridError {
+    /// Every failed cell, in grid order.
+    pub failures: Vec<CellFailure>,
+    /// Total cells in the attempted grid.
+    pub total_cells: usize,
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} of {} cells failed:",
+            self.failures.len(),
+            self.total_cells
+        )?;
+        for failure in &self.failures {
+            writeln!(f, "  {failure}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for GridError {}
 
 /// A completed (workload × design) matrix with typed accessors.
 ///
@@ -184,6 +270,12 @@ pub struct CellProgress {
     pub completed: usize,
     /// Total cells in the current matrix.
     pub total: usize,
+    /// Whether the cell completed or failed (failed cells report zero
+    /// instructions and carry the contained panic in the status).
+    pub status: CellStatus,
+    /// True when the cell was replayed from a resume journal instead of
+    /// being simulated.
+    pub resumed: bool,
 }
 
 impl CellProgress {
@@ -214,6 +306,15 @@ pub struct RunContext<'a> {
     pub metrics: bool,
     /// Per-cell completion observer (called from worker threads).
     pub progress: Option<ProgressHook<'a>>,
+    /// Checkpoint journal: completed cells are recorded as they finish,
+    /// and (when the journal was opened with `--resume`) journaled cells
+    /// are replayed instead of re-simulated.
+    pub journal: Option<&'a CellJournal>,
+    /// Wall-clock budget per cell in seconds (`--cell-timeout`), enforced
+    /// by the simulator's forward-progress watchdog.
+    pub cell_timeout: Option<f64>,
+    /// Faults to inject into named cells (tests / `UBS_FAULT`).
+    pub fault: Option<&'a FaultPlan>,
 }
 
 impl std::fmt::Debug for RunContext<'_> {
@@ -225,6 +326,9 @@ impl std::fmt::Debug for RunContext<'_> {
             .field("timeline", &self.timeline)
             .field("metrics", &self.metrics)
             .field("progress", &self.progress.map(|_| "<hook>"))
+            .field("journal", &self.journal.map(CellJournal::dir))
+            .field("cell_timeout", &self.cell_timeout)
+            .field("fault", &self.fault)
             .finish()
     }
 }
@@ -239,6 +343,9 @@ impl<'a> RunContext<'a> {
             timeline: false,
             metrics: false,
             progress: None,
+            journal: None,
+            cell_timeout: None,
+            fault: None,
         }
     }
 
@@ -267,6 +374,25 @@ impl<'a> RunContext<'a> {
         self
     }
 
+    /// Attaches a checkpoint journal (record always; replay on resume).
+    pub fn with_journal(mut self, journal: Option<&'a CellJournal>) -> Self {
+        self.journal = journal;
+        self
+    }
+
+    /// Sets a per-cell wall-clock budget in seconds, enforced by the
+    /// simulator's watchdog (a cell over budget fails; the grid continues).
+    pub fn with_cell_timeout(mut self, secs: Option<f64>) -> Self {
+        self.cell_timeout = secs;
+        self
+    }
+
+    /// Injects the given faults into matching cells.
+    pub fn with_fault(mut self, fault: Option<&'a FaultPlan>) -> Self {
+        self.fault = fault;
+        self
+    }
+
     /// The worker count this context will use.
     pub fn effective_threads(&self) -> usize {
         self.threads
@@ -279,7 +405,29 @@ impl<'a> RunContext<'a> {
     }
 
     /// Runs every workload against every design under this context.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the collected failure summary if any cell fails; use
+    /// [`RunContext::try_run_matrix`] for typed failures.
     pub fn run_matrix(&self, workloads: &[WorkloadSpec], designs: &[DesignSpec]) -> RunGrid {
+        self.try_run_matrix(workloads, designs)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs every workload against every design under this context, with
+    /// per-cell fault isolation: a panicking cell becomes a
+    /// [`CellFailure`] in the returned [`GridError`] while every other
+    /// cell completes (and is journaled) normally.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GridError`] listing every failed cell.
+    pub fn try_run_matrix(
+        &self,
+        workloads: &[WorkloadSpec],
+        designs: &[DesignSpec],
+    ) -> Result<RunGrid, GridError> {
         run_matrix_inner(workloads, designs, self)
     }
 }
@@ -288,23 +436,26 @@ impl<'a> RunContext<'a> {
 /// threads. Results come back as a typed [`RunGrid`] in `(workload, design)`
 /// order. Use [`RunContext::run_matrix`] to pin the worker count or observe
 /// per-cell progress.
+///
+/// # Panics
+///
+/// Panics with the collected failure summary if any cell fails.
 pub fn run_matrix(workloads: &[WorkloadSpec], designs: &[DesignSpec], effort: Effort) -> RunGrid {
-    run_matrix_inner(
-        workloads,
-        designs,
-        &RunContext::new(effort, SuiteScale::default_scale()),
-    )
+    RunContext::new(effort, SuiteScale::default_scale()).run_matrix(workloads, designs)
 }
 
 fn run_matrix_inner(
     workloads: &[WorkloadSpec],
     designs: &[DesignSpec],
     ctx: &RunContext<'_>,
-) -> RunGrid {
+) -> Result<RunGrid, GridError> {
     let mut sim_cfg = ctx.effort.sim_config();
     sim_cfg.telemetry.timeline = ctx.timeline;
     sim_cfg.metrics = ctx.metrics;
     sim_cfg.profile = ctx.metrics;
+    if let Some(secs) = ctx.cell_timeout {
+        sim_cfg.watchdog.wall_budget_secs = Some(secs);
+    }
     let threads = ctx.effective_threads();
     let jobs: Vec<(usize, usize)> = (0..workloads.len())
         .flat_map(|w| (0..designs.len()).map(move |d| (w, d)))
@@ -313,7 +464,8 @@ fn run_matrix_inner(
     let done = std::sync::atomic::AtomicUsize::new(0);
     // One pre-addressed slot per cell: workers write their own (w, d) slot
     // directly, so no shared Vec mutex and no post-hoc reordering.
-    let slots: Vec<OnceLock<Cell>> = (0..jobs.len()).map(|_| OnceLock::new()).collect();
+    let slots: Vec<OnceLock<Result<Cell, CellFailure>>> =
+        (0..jobs.len()).map(|_| OnceLock::new()).collect();
 
     // Program construction is the expensive part of a synthetic workload;
     // build each program once and clone the walker per design. The build
@@ -329,62 +481,202 @@ fn run_matrix_inner(
         })
         .collect();
 
+    let notify = |w: usize, d: usize, cell: Option<&Cell>, status: CellStatus, resumed: bool| {
+        let completed = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        if let Some(hook) = ctx.progress {
+            hook(&CellProgress {
+                workload: workloads[w].name.clone(),
+                workload_seed: workloads[w].seed,
+                design: designs[d].name(),
+                instructions: cell.map_or(0, |c| c.report.instructions),
+                wall_seconds: cell.map_or(0.0, |c| c.wall_seconds),
+                timeline: cell.and_then(|c| c.report.timeline.clone()),
+                phases: cell.and_then(|c| c.report.phase_profile),
+                completed,
+                total: jobs.len(),
+                status,
+                resumed,
+            });
+        }
+    };
+
     crossbeam::scope(|scope| {
         for _ in 0..threads.min(jobs.len().max(1)) {
             scope.spawn(|_| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(&(w, d)) = jobs.get(i) else { break };
+                let workload = &workloads[w];
+                let design_name = designs[d].name();
+
+                // Resume: replay a journaled cell instead of re-simulating.
+                if let Some(entry) = ctx
+                    .journal
+                    .and_then(|j| j.cached(&workload.name, workload.seed, &design_name))
+                {
+                    let cell = Cell {
+                        workload: w,
+                        design: d,
+                        report: entry.report,
+                        wall_seconds: entry.wall_seconds,
+                    };
+                    notify(w, d, Some(&cell), CellStatus::Ok, true);
+                    slots[i]
+                        .set(Ok(cell))
+                        .unwrap_or_else(|_| unreachable!("cell {i} written twice"));
+                    continue;
+                }
+
                 let started = Instant::now();
-                let mut trace = prototypes[w].clone();
-                let mut icache = designs[d].build();
-                let mut report = ubs_uarch::simulate(&mut trace, icache.as_mut(), &sim_cfg);
-                if let Some(p) = report.phase_profile.as_mut() {
-                    p.trace_decode_s = decode_secs[w];
-                }
-                // The closed taxonomy must hold on every cell of every
-                // suite — a violation is a simulator bug, not bad data.
-                if let Err(e) = report.validate() {
-                    panic!(
-                        "stall-attribution invariant violated on {}/{}: {e}",
-                        workloads[w].name,
-                        designs[d].name()
-                    );
-                }
-                let cell = Cell {
-                    workload: w,
-                    design: d,
-                    report,
-                    wall_seconds: started.elapsed().as_secs_f64(),
+                let outcome = isolate::run(|| {
+                    if ctx
+                        .fault
+                        .is_some_and(|f| f.should_panic(&workload.name, &design_name))
+                    {
+                        panic!(
+                            "injected fault: forced panic in cell {} × {design_name}",
+                            workload.name
+                        );
+                    }
+                    let mut trace = prototypes[w].clone();
+                    let mut icache = designs[d].build();
+                    if let Some(at) = ctx
+                        .fault
+                        .and_then(|f| f.stall_cycle(&workload.name, &design_name))
+                    {
+                        icache = Box::new(StallingIcache::new(icache, at));
+                    }
+                    let mut report = ubs_uarch::simulate(&mut trace, icache.as_mut(), &sim_cfg);
+                    if let Some(p) = report.phase_profile.as_mut() {
+                        p.trace_decode_s = decode_secs[w];
+                    }
+                    // The closed taxonomy must hold on every cell of every
+                    // suite — a violation is a simulator bug, not bad data.
+                    if let Err(e) = report.validate() {
+                        panic!(
+                            "stall-attribution invariant violated on {}/{design_name}: {e}",
+                            workload.name
+                        );
+                    }
+                    report
+                });
+
+                let result = match outcome {
+                    Ok(report) => {
+                        let cell = Cell {
+                            workload: w,
+                            design: d,
+                            report,
+                            wall_seconds: started.elapsed().as_secs_f64(),
+                        };
+                        if let Some(journal) = ctx.journal {
+                            // Best-effort checkpoint: a failed write only
+                            // costs a future resume this cell.
+                            if let Err(e) = journal.record(JournalEntry {
+                                workload: workload.name.clone(),
+                                workload_seed: workload.seed,
+                                design: design_name.clone(),
+                                wall_seconds: cell.wall_seconds,
+                                report: cell.report.clone(),
+                            }) {
+                                eprintln!("warning: {e}");
+                            }
+                        }
+                        notify(w, d, Some(&cell), CellStatus::Ok, false);
+                        Ok(cell)
+                    }
+                    Err((error, backtrace)) => {
+                        let failure = CellFailure {
+                            workload: workload.name.clone(),
+                            design: design_name,
+                            error: error.clone(),
+                            backtrace: backtrace.clone(),
+                        };
+                        notify(w, d, None, CellStatus::Failed { error, backtrace }, false);
+                        Err(failure)
+                    }
                 };
-                if let Some(hook) = ctx.progress {
-                    let completed = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
-                    hook(&CellProgress {
-                        workload: workloads[w].name.clone(),
-                        workload_seed: workloads[w].seed,
-                        design: designs[d].name(),
-                        instructions: cell.report.instructions,
-                        wall_seconds: cell.wall_seconds,
-                        timeline: cell.report.timeline.clone(),
-                        phases: cell.report.phase_profile,
-                        completed,
-                        total: jobs.len(),
-                    });
-                }
                 slots[i]
-                    .set(cell)
+                    .set(result)
                     .unwrap_or_else(|_| unreachable!("cell {i} written twice"));
             });
         }
     })
     .expect("simulation worker panicked");
 
-    RunGrid {
+    let mut cells = Vec::with_capacity(jobs.len());
+    let mut failures = Vec::new();
+    for slot in slots {
+        match slot.into_inner().expect("every cell completed") {
+            Ok(cell) => cells.push(cell),
+            Err(failure) => failures.push(failure),
+        }
+    }
+    if !failures.is_empty() {
+        return Err(GridError {
+            failures,
+            total_cells: jobs.len(),
+        });
+    }
+    Ok(RunGrid {
         workload_names: workloads.iter().map(|w| w.name.clone()).collect(),
         design_names: designs.iter().map(|d| d.name()).collect(),
-        cells: slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("every cell completed"))
-            .collect(),
+        cells,
+    })
+}
+
+/// Per-cell panic containment.
+///
+/// [`run`](isolate::run) executes a closure under `catch_unwind` and, via a
+/// process-wide chaining panic hook, captures a backtrace for panics raised
+/// inside it — without muting panics from anywhere else (the hook only
+/// engages on threads currently inside [`run`](isolate::run), and defers to
+/// the previously installed hook otherwise).
+mod isolate {
+    use std::backtrace::Backtrace;
+    use std::cell::RefCell;
+    use std::panic::{self, AssertUnwindSafe};
+    use std::sync::Once;
+
+    thread_local! {
+        /// `Some` while this thread is inside [`run`]; filled with the
+        /// backtrace by the hook when a contained panic fires.
+        static CAPTURE: RefCell<Option<String>> = const { RefCell::new(None) };
+    }
+    static INSTALL_HOOK: Once = Once::new();
+
+    /// Runs `f`, converting a panic into `Err((message, backtrace))`.
+    pub fn run<T>(f: impl FnOnce() -> T) -> Result<T, (String, String)> {
+        INSTALL_HOOK.call_once(|| {
+            let previous = panic::take_hook();
+            panic::set_hook(Box::new(move |info| {
+                let contained = CAPTURE.with(|slot| match slot.borrow_mut().as_mut() {
+                    Some(bt) => {
+                        *bt = Backtrace::force_capture().to_string();
+                        true
+                    }
+                    None => false,
+                });
+                if !contained {
+                    previous(info);
+                }
+            }));
+        });
+        CAPTURE.with(|slot| *slot.borrow_mut() = Some(String::new()));
+        let result = panic::catch_unwind(AssertUnwindSafe(f));
+        let backtrace = CAPTURE
+            .with(|slot| slot.borrow_mut().take())
+            .unwrap_or_default();
+        result.map_err(|payload| (panic_message(payload.as_ref()), backtrace))
+    }
+
+    fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else {
+            "non-string panic payload".to_string()
+        }
     }
 }
 
@@ -518,6 +810,59 @@ mod tests {
             let p = b.phase_profile.expect("self-profile present");
             assert!(p.trace_decode_s > 0.0, "harness fills trace decode time");
         }
+    }
+
+    #[test]
+    fn injected_panic_is_contained_as_a_typed_failure() {
+        let workloads = vec![WorkloadSpec::new(Profile::Client, 0)];
+        let designs = vec![DesignSpec::conv_32k(), DesignSpec::ubs_default()];
+        let fault = FaultPlan::panic_at("client_000", "ubs");
+        let statuses = parking_lot::Mutex::new(Vec::new());
+        let hook = |p: &CellProgress| {
+            statuses.lock().push((p.design.clone(), p.status.clone()));
+        };
+        let err = RunContext::new(Effort::Smoke, SuiteScale::bench())
+            .with_threads(Some(2))
+            .with_fault(Some(&fault))
+            .with_progress(&hook)
+            .try_run_matrix(&workloads, &designs)
+            .unwrap_err();
+        assert_eq!(err.total_cells, 2);
+        assert_eq!(err.failures.len(), 1);
+        let failure = &err.failures[0];
+        assert_eq!(
+            (failure.workload.as_str(), failure.design.as_str()),
+            ("client_000", "ubs")
+        );
+        assert!(
+            failure.error.contains("injected fault"),
+            "{}",
+            failure.error
+        );
+        assert!(!failure.backtrace.is_empty(), "backtrace captured");
+        // The progress hook saw both cells: one ok, one failed.
+        let statuses = statuses.into_inner();
+        assert_eq!(statuses.len(), 2);
+        assert!(statuses.iter().any(|(d, s)| d == "conv-32k" && s.is_ok()));
+        assert!(statuses.iter().any(|(d, s)| d == "ubs" && !s.is_ok()));
+    }
+
+    #[test]
+    fn legacy_run_matrix_panics_with_the_failure_summary() {
+        let workloads = vec![WorkloadSpec::new(Profile::Client, 0)];
+        let designs = vec![DesignSpec::conv_32k()];
+        let fault = FaultPlan::panic_at("client_000", "conv-32k");
+        let res = std::panic::catch_unwind(|| {
+            RunContext::new(Effort::Smoke, SuiteScale::bench())
+                .with_fault(Some(&fault))
+                .run_matrix(&workloads, &designs)
+        });
+        let payload = res.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("string panic payload");
+        assert!(msg.contains("1 of 1 cells failed"), "{msg}");
+        assert!(msg.contains("injected fault"), "{msg}");
     }
 
     #[test]

@@ -4,8 +4,8 @@
 
 use std::path::{Path, PathBuf};
 use ubs_experiments::{
-    diff_dirs, run_by_id, write_json_atomic, CellTiming, Effort, ExperimentRecord, RunManifest,
-    SuiteScale,
+    diff_dirs, run_by_id, write_json_atomic, CellStatus, CellTiming, Effort, ExperimentRecord,
+    RunManifest, SuiteScale,
 };
 
 /// A unique scratch directory under the system temp dir.
@@ -35,6 +35,8 @@ fn write_golden(dir: &Path) {
                 wall_seconds: 0.01,
                 minstr_per_sec: 100.0,
                 phases: None,
+                status: CellStatus::Ok,
+                resumed: false,
             }],
         ));
     }

@@ -1,0 +1,377 @@
+//! Fault-isolation and resume integration suite.
+//!
+//! Exercises every recovery path of the harness end to end: injected
+//! panics stay contained to their cell, a wedged L1-I is converted into a
+//! watchdog diagnostic, `--cell-timeout` bounds runaway cells, journal
+//! resume replays bit-exact results, corrupt journal entries degrade to
+//! re-simulation — and, through the real `repro` binary, a `SIGKILL`'d run
+//! resumes to results identical to an uninterrupted one, with journaled
+//! cells provably not re-simulated (their journal files keep their
+//! mtimes).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant, SystemTime};
+use ubs_experiments::{
+    corrupt_file, diff_dirs, CellJournal, DesignSpec, Effort, FaultPlan, JournalMeta, RunContext,
+    SuiteScale,
+};
+use ubs_trace::synth::{Profile, WorkloadSpec};
+use ubs_uarch::WATCHDOG_PANIC_MARKER;
+
+/// A unique scratch directory under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ubs-resilience-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn meta() -> JournalMeta {
+    JournalMeta::new(Effort::Smoke, SuiteScale::bench(), false, false)
+}
+
+fn two_by_two() -> (Vec<WorkloadSpec>, Vec<DesignSpec>) {
+    let workloads = vec![
+        WorkloadSpec::new(Profile::Client, 0),
+        WorkloadSpec::new(Profile::Server, 0),
+    ];
+    let designs = vec![DesignSpec::conv_32k(), DesignSpec::ubs_default()];
+    (workloads, designs)
+}
+
+fn report_values(grid: &ubs_experiments::RunGrid) -> Vec<serde_json::Value> {
+    grid.iter()
+        .map(|c| serde_json::to_value(&c.report).unwrap())
+        .collect()
+}
+
+#[test]
+fn injected_panic_spares_every_other_cell_bit_exactly() {
+    let (workloads, designs) = two_by_two();
+    let dir = scratch("panic-isolation");
+    let journal = CellJournal::fresh(&dir, &meta()).unwrap();
+    let fault = FaultPlan::panic_at("server_000", "ubs");
+
+    let err = RunContext::new(Effort::Smoke, SuiteScale::bench())
+        .with_threads(Some(2))
+        .with_journal(Some(&journal))
+        .with_fault(Some(&fault))
+        .try_run_matrix(&workloads, &designs)
+        .unwrap_err();
+    assert_eq!(err.total_cells, 4);
+    assert_eq!(err.failures.len(), 1);
+    assert_eq!(err.failures[0].workload, "server_000");
+    assert_eq!(err.failures[0].design, "ubs");
+    assert!(err.failures[0].error.contains("injected fault"));
+    // The three surviving cells completed and were journaled.
+    assert_eq!(journal.len(), 3);
+
+    // Every surviving cell's report is bit-identical to a fault-free run.
+    let clean = RunContext::new(Effort::Smoke, SuiteScale::bench())
+        .with_threads(Some(2))
+        .run_matrix(&workloads, &designs);
+    let resumed = CellJournal::resume(&dir, &meta()).unwrap();
+    for (w, workload) in workloads.iter().enumerate() {
+        for (d, design) in designs.iter().enumerate() {
+            let cached = resumed.cached(&workload.name, workload.seed, &design.name());
+            if workload.name == "server_000" && design.name() == "ubs" {
+                assert!(cached.is_none(), "failed cell must not be journaled");
+            } else {
+                let entry = cached.expect("surviving cell journaled");
+                assert_eq!(
+                    serde_json::to_value(&entry.report).unwrap(),
+                    serde_json::to_value(clean.get(w, d)).unwrap(),
+                    "{} × {} diverged from the clean run",
+                    workload.name,
+                    design.name()
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stalled_icache_is_converted_into_a_watchdog_diagnostic() {
+    let workloads = vec![WorkloadSpec::new(Profile::Client, 0)];
+    let designs = vec![DesignSpec::conv_32k()];
+    let fault = FaultPlan::stall_at("client_000", "conv-32k", 10_000);
+
+    let err = RunContext::new(Effort::Smoke, SuiteScale::bench())
+        .with_threads(Some(1))
+        .with_fault(Some(&fault))
+        .try_run_matrix(&workloads, &designs)
+        .unwrap_err();
+    assert_eq!(err.failures.len(), 1);
+    let error = &err.failures[0].error;
+    assert!(error.contains(WATCHDOG_PANIC_MARKER), "{error}");
+    assert!(error.contains("livelock"), "{error}");
+    // The diagnostic localises the wedge: MSHR rejects are reported.
+    assert!(error.contains("mshr"), "{error}");
+}
+
+#[test]
+fn cell_timeout_bounds_a_runaway_cell() {
+    let workloads = vec![WorkloadSpec::new(Profile::Client, 0)];
+    let designs = vec![DesignSpec::conv_32k()];
+
+    let err = RunContext::new(Effort::Smoke, SuiteScale::bench())
+        .with_threads(Some(1))
+        .with_cell_timeout(Some(1e-6))
+        .try_run_matrix(&workloads, &designs)
+        .unwrap_err();
+    assert_eq!(err.failures.len(), 1);
+    let error = &err.failures[0].error;
+    assert!(error.contains(WATCHDOG_PANIC_MARKER), "{error}");
+    assert!(error.contains("wall-clock"), "{error}");
+}
+
+#[test]
+fn resume_replays_journaled_cells_without_resimulating() {
+    let (workloads, designs) = two_by_two();
+    let dir = scratch("resume-bitexact");
+
+    let journal = CellJournal::fresh(&dir, &meta()).unwrap();
+    let first = RunContext::new(Effort::Smoke, SuiteScale::bench())
+        .with_threads(Some(2))
+        .with_journal(Some(&journal))
+        .run_matrix(&workloads, &designs);
+    drop(journal);
+
+    let journal = CellJournal::resume(&dir, &meta()).unwrap();
+    let replayed = AtomicUsize::new(0);
+    let simulated = AtomicUsize::new(0);
+    let progress = |p: &ubs_experiments::CellProgress| {
+        if p.resumed {
+            replayed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            simulated.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+    let second = RunContext::new(Effort::Smoke, SuiteScale::bench())
+        .with_threads(Some(2))
+        .with_journal(Some(&journal))
+        .with_progress(&progress)
+        .run_matrix(&workloads, &designs);
+
+    assert_eq!(replayed.load(Ordering::Relaxed), 4);
+    assert_eq!(simulated.load(Ordering::Relaxed), 0);
+    assert_eq!(report_values(&first), report_values(&second));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_journal_entry_is_resimulated_and_still_bit_exact() {
+    let (workloads, designs) = two_by_two();
+    let dir = scratch("resume-corrupt");
+
+    let journal = CellJournal::fresh(&dir, &meta()).unwrap();
+    let first = RunContext::new(Effort::Smoke, SuiteScale::bench())
+        .with_threads(Some(2))
+        .with_journal(Some(&journal))
+        .run_matrix(&workloads, &designs);
+    drop(journal);
+    corrupt_file(&dir.join("journal").join("client_000__conv-32k.json")).unwrap();
+
+    let journal = CellJournal::resume(&dir, &meta()).unwrap();
+    assert_eq!(journal.warnings().len(), 1);
+    let replayed = AtomicUsize::new(0);
+    let simulated = AtomicUsize::new(0);
+    let progress = |p: &ubs_experiments::CellProgress| {
+        if p.resumed {
+            replayed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            simulated.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+    let second = RunContext::new(Effort::Smoke, SuiteScale::bench())
+        .with_threads(Some(2))
+        .with_journal(Some(&journal))
+        .with_progress(&progress)
+        .run_matrix(&workloads, &designs);
+
+    assert_eq!(replayed.load(Ordering::Relaxed), 3);
+    assert_eq!(simulated.load(Ordering::Relaxed), 1);
+    assert_eq!(report_values(&first), report_values(&second));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The journal cell files (not `meta.json`, not `*.tmp`) with mtimes.
+fn journal_cells(journal_dir: &Path) -> BTreeMap<String, SystemTime> {
+    let Ok(listing) = std::fs::read_dir(journal_dir) else {
+        return BTreeMap::new();
+    };
+    listing
+        .filter_map(Result::ok)
+        .filter(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            name.ends_with(".json") && name != CellJournal::META_FILE
+        })
+        .filter_map(|e| {
+            let mtime = e.metadata().ok()?.modified().ok()?;
+            Some((e.file_name().to_string_lossy().into_owned(), mtime))
+        })
+        .collect()
+}
+
+fn repro(args: &[&str], dir: &Path) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    cmd.args(args).arg(dir).env_remove(FaultPlan::ENV_VAR);
+    cmd
+}
+
+#[test]
+fn killed_run_resumes_to_identical_results_without_resimulating() {
+    let clean = scratch("sigkill-clean");
+    let interrupted = scratch("sigkill-resume");
+
+    let status = repro(
+        &["fig1", "--smoke", "--tiny-suites", "--threads=1", "--json"],
+        &clean,
+    )
+    .stdout(Stdio::null())
+    .stderr(Stdio::null())
+    .status()
+    .unwrap();
+    assert!(status.success(), "clean baseline run failed");
+
+    // Kill the second run the moment its first journal entry lands.
+    let mut child = repro(
+        &["fig1", "--smoke", "--tiny-suites", "--threads=1", "--json"],
+        &interrupted,
+    )
+    .stdout(Stdio::null())
+    .stderr(Stdio::null())
+    .spawn()
+    .unwrap();
+    let journal_dir = interrupted.join(CellJournal::DIR_NAME);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if !journal_cells(&journal_dir).is_empty() {
+            break;
+        }
+        assert!(
+            child.try_wait().unwrap().is_none(),
+            "repro finished before it could be interrupted"
+        );
+        assert!(
+            Instant::now() < deadline,
+            "no journal entry appeared within the deadline"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    let before = journal_cells(&journal_dir);
+    let total = journal_cells(&clean.join(CellJournal::DIR_NAME)).len();
+    assert!(!before.is_empty());
+    assert!(
+        before.len() < total,
+        "the run completed all {total} cells before the kill landed"
+    );
+
+    let status = repro(
+        &[
+            "fig1",
+            "--smoke",
+            "--tiny-suites",
+            "--threads=1",
+            "--resume",
+        ],
+        &interrupted,
+    )
+    .stdout(Stdio::null())
+    .stderr(Stdio::null())
+    .status()
+    .unwrap();
+    assert!(status.success(), "resume run failed");
+
+    // Journaled cells were replayed, not re-simulated: their journal files
+    // were never rewritten.
+    let after = journal_cells(&journal_dir);
+    assert_eq!(after.len(), total);
+    for (name, mtime) in &before {
+        assert_eq!(
+            after.get(name),
+            Some(mtime),
+            "journal entry {name} was rewritten on resume"
+        );
+    }
+
+    // And the resumed run's results are identical to the uninterrupted one.
+    let report = diff_dirs(&clean, &interrupted, 1.0).unwrap();
+    assert!(report.is_clean(), "{}", report.render());
+    let _ = std::fs::remove_dir_all(&clean);
+    let _ = std::fs::remove_dir_all(&interrupted);
+}
+
+#[test]
+fn env_injected_panic_exits_cell_failure_and_resume_recovers() {
+    let clean = scratch("fault-env-clean");
+    let dir = scratch("fault-env");
+
+    let status = repro(
+        &["fig1", "--smoke", "--tiny-suites", "--threads=2", "--json"],
+        &clean,
+    )
+    .stdout(Stdio::null())
+    .stderr(Stdio::null())
+    .status()
+    .unwrap();
+    assert!(status.success(), "clean baseline run failed");
+
+    let out = repro(
+        &["fig1", "--smoke", "--tiny-suites", "--threads=2", "--json"],
+        &dir,
+    )
+    .env(FaultPlan::ENV_VAR, "panic:server_000:conv-32k")
+    .output()
+    .unwrap();
+    assert_eq!(out.status.code(), Some(3), "expected the cell-failure exit");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("FAILED"), "{stderr}");
+    assert!(stderr.contains("--resume"), "{stderr}");
+
+    // The manifest records the typed failure.
+    let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+    assert!(manifest.contains("\"status\""), "{manifest}");
+    assert!(manifest.contains("injected fault"), "{manifest}");
+
+    // Resuming without the fault completes and matches the clean run.
+    let status = repro(
+        &[
+            "fig1",
+            "--smoke",
+            "--tiny-suites",
+            "--threads=2",
+            "--resume",
+        ],
+        &dir,
+    )
+    .stdout(Stdio::null())
+    .stderr(Stdio::null())
+    .status()
+    .unwrap();
+    assert!(status.success(), "resume after injected fault failed");
+    let report = diff_dirs(&clean, &dir, 1.0).unwrap();
+    assert!(report.is_clean(), "{}", report.render());
+    let _ = std::fs::remove_dir_all(&clean);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_fault_spec_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("table1")
+        .env(FaultPlan::ENV_VAR, "explode:everything")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("fault directive"), "{stderr}");
+}

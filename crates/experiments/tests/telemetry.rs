@@ -2,8 +2,8 @@
 //! through the run matrix, and schema-v2 manifests with timeline pointers.
 
 use ubs_experiments::{
-    run_trace, CellTiming, DesignSpec, Effort, ExperimentRecord, RunContext, RunManifest,
-    SuiteScale, TraceOptions,
+    run_trace, CellStatus, CellTiming, DesignSpec, Effort, ExperimentRecord, RunContext,
+    RunManifest, SuiteScale, TraceOptions,
 };
 use ubs_trace::synth::{Profile, WorkloadSpec};
 use ubs_uarch::validate_chrome_trace;
@@ -81,6 +81,8 @@ fn manifest_records_timeline_paths() {
         wall_seconds: 0.1,
         minstr_per_sec: 1.0,
         phases: None,
+        status: CellStatus::Ok,
+        resumed: false,
     }];
     let mut record = ExperimentRecord::new("workloads", 0.1, cells);
     record

@@ -24,10 +24,69 @@
 use crate::record::{BranchInfo, BranchKind, TraceRecord, INSTR_BYTES};
 use crate::source::TraceSource;
 use bytes::{Buf, BufMut};
+use std::fmt;
 use std::io::{self, Read, Write};
 
 /// Size in bytes of one on-disk ChampSim record.
 pub const CHAMPSIM_RECORD_BYTES: usize = 64;
+
+/// A typed failure while decoding a ChampSim stream, carrying the byte
+/// offset (from the start of the stream) where it occurred.
+///
+/// Arbitrary byte *values* cannot fail to decode — every 64-byte chunk is
+/// some record — so the failure modes are structural: the stream ends
+/// mid-record, or the underlying reader errors.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The stream ended in the middle of a record.
+    TruncatedRecord {
+        /// Byte offset of the start of the partial record.
+        offset: u64,
+        /// Bytes actually available for it.
+        have: usize,
+        /// Bytes one record needs ([`CHAMPSIM_RECORD_BYTES`]).
+        need: usize,
+    },
+    /// The underlying reader failed.
+    Io {
+        /// Byte offset at which the read was attempted.
+        offset: u64,
+        /// The propagated I/O error.
+        source: io::Error,
+    },
+}
+
+impl TraceError {
+    /// Byte offset (from the start of the stream) of the failure.
+    pub fn offset(&self) -> u64 {
+        match self {
+            TraceError::TruncatedRecord { offset, .. } | TraceError::Io { offset, .. } => *offset,
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::TruncatedRecord { offset, have, need } => write!(
+                f,
+                "truncated ChampSim record at byte {offset}: {have} of {need} bytes"
+            ),
+            TraceError::Io { offset, source } => {
+                write!(f, "I/O error at byte {offset}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::TruncatedRecord { .. } => None,
+            TraceError::Io { source, .. } => Some(source),
+        }
+    }
+}
 
 /// ChampSim's conventional register numbers used to infer branch kinds.
 pub mod regs {
@@ -59,17 +118,36 @@ pub struct ChampSimInstr {
 }
 
 impl ChampSimInstr {
+    /// Decodes one record from [`CHAMPSIM_RECORD_BYTES`] bytes, or reports
+    /// how short `buf` fell. Byte values are never invalid; the only way to
+    /// fail is a short buffer.
+    pub fn try_decode(buf: &[u8]) -> Result<Self, TraceError> {
+        if buf.len() < CHAMPSIM_RECORD_BYTES {
+            return Err(TraceError::TruncatedRecord {
+                offset: 0,
+                have: buf.len(),
+                need: CHAMPSIM_RECORD_BYTES,
+            });
+        }
+        Ok(Self::decode_exact(buf))
+    }
+
     /// Decodes one record from exactly [`CHAMPSIM_RECORD_BYTES`] bytes.
     ///
     /// # Panics
     ///
-    /// Panics if `buf` is shorter than one record.
-    pub fn decode(mut buf: &[u8]) -> Self {
+    /// Panics if `buf` is shorter than one record; use
+    /// [`try_decode`](Self::try_decode) for untrusted input.
+    pub fn decode(buf: &[u8]) -> Self {
         assert!(
             buf.len() >= CHAMPSIM_RECORD_BYTES,
             "short ChampSim record: {} bytes",
             buf.len()
         );
+        Self::decode_exact(buf)
+    }
+
+    fn decode_exact(mut buf: &[u8]) -> Self {
         let ip = buf.get_u64_le();
         let is_branch = buf.get_u8();
         let branch_taken = buf.get_u8();
@@ -223,12 +301,21 @@ pub fn to_champsim(rec: &TraceRecord) -> ChampSimInstr {
 /// Branch targets are recovered by one-record lookahead: a taken branch's
 /// target is the next record's `ip`. The final record of a finite trace
 /// therefore gets a fall-through target if taken.
+///
+/// Garbage input never panics: the infallible [`TraceSource`] view ends the
+/// stream and parks the failure in [`last_error`](Self::last_error), while
+/// [`try_next`](Self::try_next) surfaces the same [`TraceError`] (with its
+/// byte offset) directly.
 #[derive(Debug)]
 pub struct ChampSimReader<R> {
     name: String,
     reader: R,
     pending: Option<ChampSimInstr>,
     done: bool,
+    /// Bytes consumed from the underlying reader so far.
+    offset: u64,
+    /// The failure that ended the stream, if it did not end cleanly.
+    error: Option<TraceError>,
 }
 
 impl<R: Read> ChampSimReader<R> {
@@ -241,26 +328,98 @@ impl<R: Read> ChampSimReader<R> {
             reader,
             pending: None,
             done: false,
+            offset: 0,
+            error: None,
         }
     }
 
-    fn read_raw(&mut self) -> io::Result<Option<ChampSimInstr>> {
+    /// Bytes consumed from the underlying reader so far.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// The error that terminated the stream, if any.
+    ///
+    /// `None` after a clean end-of-stream (or while records remain). Set
+    /// when the infallible [`TraceSource::next_record`] view swallows a
+    /// truncation or I/O failure to end the stream.
+    pub fn last_error(&self) -> Option<&TraceError> {
+        self.error.as_ref()
+    }
+
+    /// Fallible record pull: `Ok(None)` on clean end-of-stream, `Err` with
+    /// the byte offset on truncation or I/O failure.
+    ///
+    /// Delivers every whole record before reporting the error that follows
+    /// it, mirroring [`TraceSource::next_record`]'s record-for-record
+    /// behaviour.
+    pub fn try_next(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+        if self.done {
+            return match self.error.take() {
+                Some(e) => Err(e),
+                None => Ok(None),
+            };
+        }
+        let cur = match self.pending.take() {
+            Some(c) => c,
+            None => match self.read_raw() {
+                Ok(Some(c)) => c,
+                Ok(None) => {
+                    self.done = true;
+                    return Ok(None);
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Err(e);
+                }
+            },
+        };
+        match self.read_raw() {
+            Ok(next) => {
+                self.pending = next;
+                if self.pending.is_none() {
+                    self.done = true;
+                }
+            }
+            Err(e) => {
+                // Deliver the whole record in hand now; report the error
+                // on the next pull.
+                self.done = true;
+                self.error = Some(e);
+            }
+        }
+        Ok(Some(Self::convert(cur, self.pending.as_ref())))
+    }
+
+    fn read_raw(&mut self) -> Result<Option<ChampSimInstr>, TraceError> {
+        let start = self.offset;
         let mut buf = [0u8; CHAMPSIM_RECORD_BYTES];
         let mut filled = 0;
         while filled < CHAMPSIM_RECORD_BYTES {
-            let n = self.reader.read(&mut buf[filled..])?;
+            let n = match self.reader.read(&mut buf[filled..]) {
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    return Err(TraceError::Io {
+                        offset: self.offset,
+                        source: e,
+                    })
+                }
+            };
             if n == 0 {
                 // A clean EOF only at a record boundary.
                 return if filled == 0 {
                     Ok(None)
                 } else {
-                    Err(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "trailing partial ChampSim record",
-                    ))
+                    Err(TraceError::TruncatedRecord {
+                        offset: start,
+                        have: filled,
+                        need: CHAMPSIM_RECORD_BYTES,
+                    })
                 };
             }
             filled += n;
+            self.offset += n as u64;
         }
         Ok(Some(ChampSimInstr::decode(&buf)))
     }
@@ -293,24 +452,15 @@ impl<R: Read> ChampSimReader<R> {
 
 impl<R: Read> TraceSource for ChampSimReader<R> {
     fn next_record(&mut self) -> Option<TraceRecord> {
-        if self.done {
-            return None;
+        match self.try_next() {
+            Ok(rec) => rec,
+            Err(e) => {
+                // End the stream; the typed error stays readable via
+                // `last_error` for callers that care why it ended.
+                self.error = Some(e);
+                None
+            }
         }
-        let cur = match self.pending.take() {
-            Some(c) => c,
-            None => match self.read_raw().ok().flatten() {
-                Some(c) => c,
-                None => {
-                    self.done = true;
-                    return None;
-                }
-            },
-        };
-        self.pending = self.read_raw().ok().flatten();
-        if self.pending.is_none() {
-            self.done = true;
-        }
-        Some(Self::convert(cur, self.pending.as_ref()))
     }
 
     fn name(&self) -> &str {
@@ -434,11 +584,80 @@ mod tests {
         let mut r = ChampSimReader::new("t", bytes.as_slice());
         assert!(r.next_record().is_some());
         assert!(r.next_record().is_none());
+        match r.last_error() {
+            Some(TraceError::TruncatedRecord { offset, have, need }) => {
+                assert_eq!((*offset, *have, *need), (64, 10, 64));
+            }
+            other => panic!("expected TruncatedRecord, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_next_reports_truncation_with_offset() {
+        let bytes = vec![0u8; 2 * 64 + 7]; // two records + partial third
+        let mut r = ChampSimReader::new("t", bytes.as_slice());
+        assert!(r.try_next().unwrap().is_some());
+        // Second record is still delivered whole; the error follows it.
+        assert!(r.try_next().unwrap().is_some());
+        let err = r.try_next().unwrap_err();
+        assert_eq!(err.offset(), 128);
+        assert!(err.to_string().contains("7 of 64 bytes"), "{err}");
+    }
+
+    #[test]
+    fn clean_end_of_stream_leaves_no_error() {
+        let bytes = vec![0u8; 2 * 64];
+        let mut r = ChampSimReader::new("t", bytes.as_slice());
+        while r.next_record().is_some() {}
+        assert!(r.last_error().is_none());
+        assert_eq!(r.offset(), 128);
+    }
+
+    #[test]
+    fn io_error_is_typed_with_offset() {
+        struct FailAfter {
+            data: Vec<u8>,
+            pos: usize,
+        }
+        impl io::Read for FailAfter {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.pos >= self.data.len() {
+                    return Err(io::Error::new(io::ErrorKind::BrokenPipe, "cable pulled"));
+                }
+                let n = buf.len().min(self.data.len() - self.pos);
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+        let mut r = ChampSimReader::new(
+            "t",
+            FailAfter {
+                data: vec![0u8; 64],
+                pos: 0,
+            },
+        );
+        // The one whole record arrives, then the typed I/O error.
+        assert!(r.try_next().unwrap().is_some());
+        match r.try_next().unwrap_err() {
+            TraceError::Io { offset, source } => {
+                assert_eq!(offset, 64);
+                assert_eq!(source.kind(), io::ErrorKind::BrokenPipe);
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_decode_rejects_short_buffers() {
+        assert!(ChampSimInstr::try_decode(&[0u8; 63]).is_err());
+        assert!(ChampSimInstr::try_decode(&[0u8; 64]).is_ok());
     }
 
     #[test]
     fn empty_stream_yields_none() {
         let mut r = ChampSimReader::new("t", [].as_slice());
         assert!(r.next_record().is_none());
+        assert!(r.last_error().is_none());
     }
 }

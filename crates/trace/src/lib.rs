@@ -34,6 +34,7 @@ pub mod stats;
 pub mod suites;
 pub mod synth;
 
+pub use champsim::TraceError;
 pub use fetch::FetchRange;
 pub use record::{
     Addr, BranchInfo, BranchKind, Line, TraceRecord, BLOCK_BYTES, INSTRS_PER_BLOCK, INSTR_BYTES,

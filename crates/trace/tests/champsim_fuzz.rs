@@ -1,0 +1,97 @@
+//! Property tests: arbitrary corruption of a ChampSim byte stream must
+//! never panic the reader — whole records decode, structural damage
+//! surfaces as a typed [`TraceError`], nothing else.
+
+use proptest::prelude::*;
+use ubs_trace::champsim::{
+    to_champsim, ChampSimInstr, ChampSimReader, TraceError, CHAMPSIM_RECORD_BYTES,
+};
+use ubs_trace::{BranchInfo, BranchKind, TraceRecord, TraceSource};
+
+/// A small valid stream: `n` records with a branch sprinkled in.
+fn valid_stream(n: usize) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(n * CHAMPSIM_RECORD_BYTES);
+    for i in 0..n {
+        let mut rec = TraceRecord::nop(0x4000 + (i as u64) * 4);
+        if i % 3 == 1 {
+            rec.branch = Some(BranchInfo {
+                kind: BranchKind::Conditional,
+                taken: i % 2 == 0,
+                target: 0x5000,
+            });
+        }
+        if i % 4 == 2 {
+            rec.load = Some(0x9000 + i as u64);
+        }
+        bytes.extend_from_slice(&to_champsim(&rec).encode());
+    }
+    bytes
+}
+
+/// Drains the reader through the infallible `TraceSource` view, returning
+/// how many records it yielded. Panics (failing the property) only if the
+/// reader itself panics.
+fn drain(bytes: &[u8]) -> (usize, Option<u64>) {
+    let mut r = ChampSimReader::new("fuzz", bytes);
+    let mut count = 0usize;
+    while r.next_record().is_some() {
+        count += 1;
+        assert!(count <= bytes.len() / CHAMPSIM_RECORD_BYTES + 1, "runaway");
+    }
+    let err_offset = r.last_error().map(TraceError::offset);
+    (count, err_offset)
+}
+
+proptest! {
+    #[test]
+    fn byte_mutations_never_panic(
+        n in 1usize..8,
+        idx in 0usize..8 * CHAMPSIM_RECORD_BYTES,
+        val in 0u8..=255,
+    ) {
+        let mut bytes = valid_stream(n);
+        prop_assume!(idx < bytes.len());
+        bytes[idx] = val;
+        // Byte values are never invalid: every whole record still decodes.
+        let (count, err) = drain(&bytes);
+        prop_assert_eq!(count, n);
+        prop_assert!(err.is_none());
+    }
+
+    #[test]
+    fn truncations_never_panic(n in 1usize..8, cut in 0usize..8 * CHAMPSIM_RECORD_BYTES) {
+        let mut bytes = valid_stream(n);
+        prop_assume!(cut <= bytes.len());
+        bytes.truncate(cut);
+        let (count, err) = drain(&bytes);
+        // Every whole record before the cut is delivered...
+        prop_assert_eq!(count, cut / CHAMPSIM_RECORD_BYTES);
+        // ...and a mid-record cut is reported at the record's start offset.
+        if cut % CHAMPSIM_RECORD_BYTES == 0 {
+            prop_assert!(err.is_none());
+        } else {
+            prop_assert_eq!(err, Some((cut - cut % CHAMPSIM_RECORD_BYTES) as u64));
+        }
+    }
+
+    #[test]
+    fn mutate_and_truncate_never_panics(
+        n in 1usize..6,
+        idx in 0usize..6 * CHAMPSIM_RECORD_BYTES,
+        val in 0u8..=255,
+        cut in 0usize..6 * CHAMPSIM_RECORD_BYTES,
+    ) {
+        let mut bytes = valid_stream(n);
+        prop_assume!(idx < bytes.len() && cut <= bytes.len());
+        bytes[idx] = val;
+        bytes.truncate(cut);
+        drain(&bytes); // must not panic; counts checked by the tests above
+    }
+
+    #[test]
+    fn try_decode_never_panics(len in 0usize..=2 * CHAMPSIM_RECORD_BYTES, val in 0u8..=255) {
+        let buf = vec![val; len];
+        let res = ChampSimInstr::try_decode(&buf);
+        prop_assert_eq!(res.is_ok(), len >= CHAMPSIM_RECORD_BYTES);
+    }
+}

@@ -2,7 +2,55 @@
 
 use crate::telemetry::TelemetryConfig;
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
 use ubs_mem::HierarchyConfig;
+
+/// Forward-progress watchdog thresholds.
+///
+/// The simulator checks these every
+/// [`check_interval_cycles`](WatchdogConfig::check_interval_cycles) cycles
+/// (a single integer compare per cycle otherwise, so the healthy path is
+/// effectively free). A tripped watchdog panics with a rendered
+/// [`WatchdogDiagnostic`](crate::WatchdogDiagnostic) instead of hanging
+/// silently; the experiment runner's per-cell isolation converts that panic
+/// into a typed cell failure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WatchdogConfig {
+    /// Declare livelock when no instruction has committed for this many
+    /// cycles (a leaked MSHR, a wedged FTQ, …). `0` disables the check.
+    /// The default is far beyond any legitimate stall: even a DRAM-bound
+    /// fetch storm commits within a few thousand cycles.
+    pub no_retire_cycles: u64,
+    /// How often (in cycles) the watchdog wakes up to check.
+    pub check_interval_cycles: u64,
+    /// Optional wall-clock budget in seconds for one simulation run (the
+    /// runner's `--cell-timeout`). Host-side only: it never affects
+    /// simulated results, and is omitted from serialized configs unless set.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub wall_budget_secs: Option<f64>,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            no_retire_cycles: 1_000_000,
+            check_interval_cycles: 1 << 16,
+            wall_budget_secs: None,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// True when neither the livelock nor the wall-clock check is armed.
+    pub fn is_disabled(&self) -> bool {
+        self.no_retire_cycles == 0 && self.wall_budget_secs.is_none()
+    }
+
+    /// The wall-clock budget as a [`Duration`], if armed.
+    pub fn wall_budget(&self) -> Option<Duration> {
+        self.wall_budget_secs.map(Duration::from_secs_f64)
+    }
+}
 
 /// Parameters of the modelled out-of-order core.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -99,6 +147,9 @@ pub struct SimConfig {
     /// Sample host-side per-phase wall time (self-profiling).
     #[serde(default)]
     pub profile: bool,
+    /// Forward-progress watchdog (livelock + wall-clock budget).
+    #[serde(default)]
+    pub watchdog: WatchdogConfig,
 }
 
 impl SimConfig {
@@ -112,6 +163,7 @@ impl SimConfig {
             telemetry: TelemetryConfig::default(),
             metrics: false,
             profile: false,
+            watchdog: WatchdogConfig::default(),
         }
     }
 
@@ -126,6 +178,7 @@ impl SimConfig {
             telemetry: TelemetryConfig::default(),
             metrics: false,
             profile: false,
+            watchdog: WatchdogConfig::default(),
         }
     }
 }

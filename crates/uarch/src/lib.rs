@@ -26,8 +26,9 @@ mod l1d;
 mod report;
 mod simulator;
 pub mod telemetry;
+pub mod watchdog;
 
-pub use config::{CoreConfig, SimConfig};
+pub use config::{CoreConfig, SimConfig, WatchdogConfig};
 pub use l1d::L1d;
 pub use report::{geomean, PhaseProfile, SimReport};
 pub use simulator::{simulate, simulate_with};
@@ -35,3 +36,4 @@ pub use telemetry::{
     validate_chrome_trace, ChromeTraceSink, FrontendStalls, IntervalSample, StallBreakdown,
     StallClass, Telemetry, TelemetryConfig, TelemetrySink, Timeline, TIMELINE_SCHEMA_VERSION,
 };
+pub use watchdog::{WatchdogDiagnostic, WatchdogKind, WATCHDOG_PANIC_MARKER};

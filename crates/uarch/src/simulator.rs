@@ -27,6 +27,7 @@ use crate::config::SimConfig;
 use crate::l1d::L1d;
 use crate::report::{PhaseProfile, SimReport};
 use crate::telemetry::{StallClass, Telemetry};
+use crate::watchdog::{WatchdogDiagnostic, WatchdogKind};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 use ubs_core::{AccessResult, InstructionCache, MissKind};
@@ -56,8 +57,8 @@ struct Fetched {
     pr: PendRec,
 }
 
-/// Safety factor: a run aborts if it exceeds this many cycles per
-/// instruction (deadlock guard).
+/// Safety factor: a run aborts (with a [`WatchdogDiagnostic`]) if it
+/// exceeds this many cycles per instruction.
 const MAX_CPI: u64 = 1000;
 
 /// Runs `trace` through the core with `icache` as the L1-I.
@@ -129,6 +130,14 @@ struct Simulator<'a, 's> {
     /// off, so the per-cycle check is a single always-false compare).
     next_metrics_at: u64,
 
+    // Forward-progress watchdog state (cfg.watchdog). `watchdog_next_at`
+    // is `u64::MAX` when disabled, so the healthy path pays one compare.
+    watchdog_next_at: u64,
+    watchdog_last_committed: u64,
+    last_progress_cycle: u64,
+    wall_started: Instant,
+    wall_deadline: Option<Instant>,
+
     // Host-side self-profiling accumulators (cfg.profile).
     prof_frontend: Duration,
     prof_cache: Duration,
@@ -153,6 +162,7 @@ impl<'a, 's> Simulator<'a, 's> {
     ) -> Self {
         let core = &cfg.core;
         tel.start((core.fetch_width_bytes / 4) as u64);
+        let wall_started = Instant::now();
         Simulator {
             trace,
             icache,
@@ -184,6 +194,15 @@ impl<'a, 's> Simulator<'a, 's> {
             } else {
                 u64::MAX
             },
+            watchdog_next_at: if cfg.watchdog.is_disabled() {
+                u64::MAX
+            } else {
+                cfg.watchdog.check_interval_cycles.max(1)
+            },
+            watchdog_last_committed: 0,
+            last_progress_cycle: 0,
+            wall_deadline: cfg.watchdog.wall_budget().map(|b| wall_started + b),
+            wall_started,
             prof_frontend: Duration::ZERO,
             prof_cache: Duration::ZERO,
             prof_backend: Duration::ZERO,
@@ -277,16 +296,9 @@ impl<'a, 's> Simulator<'a, 's> {
             if self.trace_done && self.rob.is_empty() && self.fetched.is_empty() {
                 break; // trace exhausted and pipeline drained
             }
-            assert!(
-                self.now < cycle_limit,
-                "deadlock: {} committed of {} at cycle {} ({} / {} / {} in flight)",
-                self.committed,
-                target_committed,
-                self.now,
-                self.pending.len(),
-                self.fetched.len(),
-                self.rob.len()
-            );
+            if self.now >= cycle_limit {
+                self.trip(WatchdogKind::CpiLimit);
+            }
         }
     }
 
@@ -311,6 +323,67 @@ impl<'a, 's> Simulator<'a, 's> {
             let efficiency = self.icache.stats().efficiency_samples.last().copied();
             let committed = self.committed;
             self.tel.end_epoch(self.now, committed, misses, efficiency);
+        }
+        if self.now >= self.watchdog_next_at {
+            self.watchdog_check();
+        }
+    }
+
+    /// Periodic forward-progress check, armed every
+    /// `watchdog.check_interval_cycles`; between checks the healthy path
+    /// pays a single always-false compare in [`Self::step`].
+    #[cold]
+    fn watchdog_check(&mut self) {
+        self.watchdog_next_at = self.now + self.cfg.watchdog.check_interval_cycles.max(1);
+        if self.committed > self.watchdog_last_committed {
+            self.watchdog_last_committed = self.committed;
+            self.last_progress_cycle = self.now;
+        } else if self.cfg.watchdog.no_retire_cycles > 0
+            && self.now - self.last_progress_cycle >= self.cfg.watchdog.no_retire_cycles
+        {
+            self.trip(WatchdogKind::Livelock);
+        }
+        if let Some(deadline) = self.wall_deadline {
+            if Instant::now() >= deadline {
+                self.trip(WatchdogKind::WallClock);
+            }
+        }
+    }
+
+    /// Renders the pipeline state and aborts the run. The experiment
+    /// runner's per-cell isolation converts the panic into a typed cell
+    /// failure; standalone callers see the full diagnostic dump.
+    #[cold]
+    fn trip(&self, kind: WatchdogKind) -> ! {
+        panic!("{}", self.diagnostic(kind));
+    }
+
+    /// Snapshots the pipeline for a [`WatchdogDiagnostic`].
+    fn diagnostic(&self, kind: WatchdogKind) -> WatchdogDiagnostic {
+        let epoch = self.cfg.telemetry.epoch_cycles.max(1);
+        let fetch_pc = self.stalled_sub.map(|s| s.start).or_else(|| {
+            self.ftq
+                .peek()
+                .map(|r| r.start + self.fetch_progress as u64)
+        });
+        WatchdogDiagnostic {
+            kind,
+            workload: self.trace.name().to_string(),
+            design: self.icache.name().to_string(),
+            cycle: self.now,
+            committed: self.committed,
+            last_progress_cycle: self.last_progress_cycle,
+            rob_occupancy: self.rob.len(),
+            rob_capacity: self.cfg.core.rob_entries,
+            ftq_len: self.ftq.len(),
+            pending_records: self.pending.len(),
+            fetched_records: self.fetched.len(),
+            fetch_pc,
+            fetch_stalled_until: self.fetch_stalled_until,
+            mshr_rejects: self.icache.stats().mshr_full_rejects,
+            demand_misses: self.icache.stats().demand_misses(),
+            last_epoch_start_cycle: self.now - (self.now % epoch),
+            wall_seconds: self.wall_started.elapsed().as_secs_f64(),
         }
     }
 
@@ -881,6 +954,117 @@ mod tests {
         let trace_json = sink.into_json();
         let n = validate_chrome_trace(&trace_json).expect("Perfetto-acceptable trace");
         assert!(n > 4, "expected metadata, episodes and counters, got {n}");
+    }
+
+    /// Wraps a real L1-I but rejects every access (`MshrFull`) from cycle
+    /// `stall_at` on, wedging fetch permanently — a leaked-MSHR stand-in.
+    struct WedgeAfter {
+        inner: ConvL1i,
+        stall_at: u64,
+    }
+
+    impl InstructionCache for WedgeAfter {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn access(
+            &mut self,
+            range: FetchRange,
+            now: u64,
+            mem: &mut MemoryHierarchy,
+        ) -> AccessResult {
+            if now >= self.stall_at {
+                AccessResult::MshrFull
+            } else {
+                self.inner.access(range, now, mem)
+            }
+        }
+        fn prefetch(&mut self, range: FetchRange, now: u64, mem: &mut MemoryHierarchy) {
+            if now < self.stall_at {
+                self.inner.prefetch(range, now, mem);
+            }
+        }
+        fn tick(&mut self, now: u64, mem: &mut MemoryHierarchy) {
+            self.inner.tick(now, mem);
+        }
+        fn sample_efficiency(&mut self) {
+            self.inner.sample_efficiency();
+        }
+        fn stats(&self) -> &ubs_core::IcacheStats {
+            self.inner.stats()
+        }
+        fn reset_stats(&mut self) {
+            self.inner.reset_stats();
+        }
+        fn storage(&self) -> ubs_core::StorageBreakdown {
+            self.inner.storage()
+        }
+    }
+
+    fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "non-string panic payload".into())
+    }
+
+    #[test]
+    fn livelock_watchdog_trips_on_wedged_fetch() {
+        use crate::watchdog::WATCHDOG_PANIC_MARKER;
+        let mut cfg = tiny_cfg(1_000, 100_000);
+        cfg.watchdog.no_retire_cycles = 20_000;
+        cfg.watchdog.check_interval_cycles = 1_024;
+        let err = std::panic::catch_unwind(move || {
+            let mut trace = loop_trace(64, 200_000);
+            let mut icache = WedgeAfter {
+                inner: ConvL1i::paper_baseline(),
+                stall_at: 5_000,
+            };
+            simulate(&mut trace, &mut icache, &cfg)
+        })
+        .expect_err("wedged fetch must trip the watchdog");
+        let msg = panic_message(err);
+        assert!(msg.starts_with(WATCHDOG_PANIC_MARKER), "{msg}");
+        assert!(msg.contains("livelock"), "{msg}");
+        assert!(msg.contains("rob"), "diagnostic dumps occupancy: {msg}");
+        assert!(msg.contains("mshr rejects"), "{msg}");
+    }
+
+    #[test]
+    fn wall_clock_watchdog_trips_on_exhausted_budget() {
+        let mut cfg = tiny_cfg(1_000, 100_000);
+        cfg.watchdog.check_interval_cycles = 256;
+        cfg.watchdog.wall_budget_secs = Some(0.0);
+        let err = std::panic::catch_unwind(move || {
+            let mut trace = loop_trace(64, 200_000);
+            let mut icache = ConvL1i::paper_baseline();
+            simulate(&mut trace, &mut icache, &cfg)
+        })
+        .expect_err("zero wall budget must trip at the first check");
+        let msg = panic_message(err);
+        assert!(msg.contains("wall-clock"), "{msg}");
+    }
+
+    #[test]
+    fn watchdog_does_not_perturb_results() {
+        let mut spec = WorkloadSpec::new(Profile::Google, 0);
+        spec.seed = 11;
+        let cfg_on = tiny_cfg(20_000, 100_000); // default watchdog armed
+        let mut cfg_off = cfg_on.clone();
+        cfg_off.watchdog.no_retire_cycles = 0; // disabled entirely
+
+        let mut t1 = SyntheticTrace::build(&spec);
+        let mut c1 = ConvL1i::paper_baseline();
+        let r1 = simulate(&mut t1, &mut c1, &cfg_on);
+        let mut t2 = SyntheticTrace::build(&spec);
+        let mut c2 = ConvL1i::paper_baseline();
+        let r2 = simulate(&mut t2, &mut c2, &cfg_off);
+        assert_eq!(
+            serde_json::to_value(&r1).unwrap(),
+            serde_json::to_value(&r2).unwrap(),
+            "watchdog must be invisible to results"
+        );
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Forward-progress watchdog diagnostics.
+//!
+//! The simulator's main loop arms two cheap checks (see
+//! [`WatchdogConfig`](crate::WatchdogConfig)): a *livelock* detector that
+//! trips when no instruction commits for `no_retire_cycles`, and an
+//! optional *wall-clock* budget for the whole run (the experiment runner's
+//! `--cell-timeout`). Either one, plus the long-standing cycles-per-
+//! instruction ceiling, ends the run by panicking with a rendered
+//! [`WatchdogDiagnostic`] instead of spinning forever — the experiment
+//! runner's per-cell isolation turns that panic into a typed cell failure
+//! while the rest of the grid keeps going.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Marker prefixed to every watchdog panic message so harnesses can tell a
+/// watchdog trip from an ordinary assertion failure.
+pub const WATCHDOG_PANIC_MARKER: &str = "forward-progress watchdog";
+
+/// Which forward-progress invariant was violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WatchdogKind {
+    /// No instruction committed for `no_retire_cycles` cycles.
+    Livelock,
+    /// The run exceeded its wall-clock budget (`--cell-timeout`).
+    WallClock,
+    /// The run exceeded the cycles-per-instruction safety ceiling.
+    CpiLimit,
+}
+
+impl WatchdogKind {
+    /// Short lowercase label (`livelock` / `wall-clock` / `cpi-limit`).
+    pub fn label(self) -> &'static str {
+        match self {
+            WatchdogKind::Livelock => "livelock",
+            WatchdogKind::WallClock => "wall-clock",
+            WatchdogKind::CpiLimit => "cpi-limit",
+        }
+    }
+}
+
+/// A structured snapshot of the pipeline at the moment a watchdog tripped.
+///
+/// Everything a post-mortem needs to localise a wedge without re-running:
+/// where fetch was pointing, how full the ROB/FTQ/decode pipe were, whether
+/// the L1-I was rejecting on a full MSHR, and which telemetry epoch the run
+/// died in. Rendered through [`fmt::Display`] into the panic payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WatchdogDiagnostic {
+    /// Which check tripped.
+    pub kind: WatchdogKind,
+    /// Trace (workload) name.
+    pub workload: String,
+    /// L1-I design name.
+    pub design: String,
+    /// Cycle at which the watchdog fired.
+    pub cycle: u64,
+    /// Instructions committed so far (warmup + measurement).
+    pub committed: u64,
+    /// Last cycle at which commit progress was observed.
+    pub last_progress_cycle: u64,
+    /// ROB occupancy at the trip.
+    pub rob_occupancy: usize,
+    /// ROB capacity.
+    pub rob_capacity: usize,
+    /// FTQ entries waiting for fetch.
+    pub ftq_len: usize,
+    /// Runahead records decoded but not yet fetched.
+    pub pending_records: usize,
+    /// Fetched records waiting for dispatch.
+    pub fetched_records: usize,
+    /// PC fetch is (or last was) working on, if any.
+    pub fetch_pc: Option<u64>,
+    /// Cycle fetch is stalled until (0 = not stalled).
+    pub fetch_stalled_until: u64,
+    /// L1-I MSHR-full rejects observed so far.
+    pub mshr_rejects: u64,
+    /// L1-I demand misses observed so far.
+    pub demand_misses: u64,
+    /// Start cycle of the telemetry epoch the run died in.
+    pub last_epoch_start_cycle: u64,
+    /// Host wall-clock seconds since the simulation started.
+    pub wall_seconds: f64,
+}
+
+impl fmt::Display for WatchdogDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{WATCHDOG_PANIC_MARKER}[{}]: {} × {} made no forward progress",
+            self.kind.label(),
+            self.workload,
+            self.design,
+        )?;
+        writeln!(
+            f,
+            "  cycle {} | committed {} | last commit progress @ cycle {}",
+            self.cycle, self.committed, self.last_progress_cycle
+        )?;
+        writeln!(
+            f,
+            "  rob {}/{} | ftq {} | pending {} | fetched {}",
+            self.rob_occupancy,
+            self.rob_capacity,
+            self.ftq_len,
+            self.pending_records,
+            self.fetched_records
+        )?;
+        match self.fetch_pc {
+            Some(pc) => writeln!(
+                f,
+                "  fetch pc {pc:#x} | stalled until cycle {} | mshr rejects {} | demand misses {}",
+                self.fetch_stalled_until, self.mshr_rejects, self.demand_misses
+            )?,
+            None => writeln!(
+                f,
+                "  fetch idle | mshr rejects {} | demand misses {}",
+                self.mshr_rejects, self.demand_misses
+            )?,
+        }
+        write!(
+            f,
+            "  telemetry epoch started @ cycle {} | wall {:.1}s",
+            self.last_epoch_start_cycle, self.wall_seconds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WatchdogDiagnostic {
+        WatchdogDiagnostic {
+            kind: WatchdogKind::Livelock,
+            workload: "server_000".into(),
+            design: "ubs".into(),
+            cycle: 2_097_152,
+            committed: 123_456,
+            last_progress_cycle: 1_000_000,
+            rob_occupancy: 224,
+            rob_capacity: 224,
+            ftq_len: 0,
+            pending_records: 12,
+            fetched_records: 0,
+            fetch_pc: Some(0x4_1000),
+            fetch_stalled_until: u64::MAX,
+            mshr_rejects: 42,
+            demand_misses: 1_000,
+            last_epoch_start_cycle: 2_000_000,
+            wall_seconds: 3.25,
+        }
+    }
+
+    #[test]
+    fn display_carries_the_marker_and_key_state() {
+        let text = sample().to_string();
+        assert!(text.starts_with(WATCHDOG_PANIC_MARKER));
+        assert!(text.contains("livelock"));
+        assert!(text.contains("server_000 × ubs"));
+        assert!(text.contains("rob 224/224"));
+        assert!(text.contains("fetch pc 0x41000"));
+        assert!(text.contains("mshr rejects 42"));
+    }
+
+    #[test]
+    fn diagnostic_roundtrips_through_json() {
+        let d = sample();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: WatchdogDiagnostic = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}
