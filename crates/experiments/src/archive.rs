@@ -34,11 +34,13 @@ use ubs_uarch::PhaseProfile;
 /// self-profiling (optional per-cell `phases` in [`CellTiming`], written by
 /// `--metrics` runs); v4 added fault isolation (per-cell `status` recording
 /// contained panics, and `resumed` marking cells replayed from a
-/// `--resume` journal). Older manifests still load — v2/v3/v4 fields are
-/// additive with defaults, and healthy non-resumed cells serialize without
-/// the v4 keys, so clean manifests are byte-identical to v3 apart from the
-/// version number.
-pub const SCHEMA_VERSION: u32 = 4;
+/// `--resume` journal); v5 added build attribution (an optional `git`
+/// stamp — commit SHA + dirty flag — on the manifest and the journal
+/// meta). Older manifests still load — v2/v3/v4/v5 fields are additive
+/// with defaults, and healthy non-resumed cells serialize without the v4
+/// keys, so clean manifests are byte-identical to v3 apart from the
+/// version number and the run-level `git` stamp.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Timing and identity of one completed (workload × design) cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -138,6 +140,10 @@ pub struct RunManifest {
     pub scale: SuiteScale,
     /// Worker threads the run used.
     pub threads: usize,
+    /// Build the run came from (schema v5; absent in older manifests and
+    /// outside git work trees).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub git: Option<crate::obs::GitInfo>,
     /// One record per completed experiment, in run order.
     pub experiments: Vec<ExperimentRecord>,
 }
@@ -146,13 +152,15 @@ impl RunManifest {
     /// File name the manifest is stored under in a results directory.
     pub const FILE_NAME: &'static str = "manifest.json";
 
-    /// An empty manifest for a run under the given conditions.
+    /// An empty manifest for a run under the given conditions, stamped
+    /// with the current build when one is detectable.
     pub fn new(effort: Effort, scale: SuiteScale, threads: usize) -> Self {
         RunManifest {
             schema_version: SCHEMA_VERSION,
             effort,
             scale,
             threads,
+            git: crate::obs::GitInfo::detect(),
             experiments: Vec::new(),
         }
     }
@@ -816,6 +824,25 @@ mod tests {
             !body.contains("\"resumed\""),
             "v4 key invented on fresh cells"
         );
+        assert!(
+            !body.contains("\"git\""),
+            "v5 stamp invented on an unstamped baseline"
+        );
+    }
+
+    #[test]
+    fn manifests_are_git_stamped_when_in_a_work_tree() {
+        // The test suite runs inside the repository, so a fresh manifest
+        // should carry the build stamp; tolerate running outside one.
+        let m = RunManifest::new(Effort::Quick, SuiteScale::tiny(), 2);
+        if let Some(git) = &m.git {
+            assert!(git.commit.chars().all(|c| c.is_ascii_hexdigit()));
+            let v = serde_json::to_value(&m).unwrap();
+            assert_eq!(v["git"]["commit"].as_str().unwrap(), git.commit);
+            let back: RunManifest =
+                serde_json::from_str(&serde_json::to_string(&v).unwrap()).unwrap();
+            assert_eq!(back.git, m.git);
+        }
     }
 
     #[test]

@@ -1,0 +1,466 @@
+//! `repro bench`: the harness perf trajectory (`BENCH_quick.json`).
+//!
+//! Simulator *metrics* regress loudly (`repro diff` against committed
+//! baselines), but simulator *speed* used to regress silently — the quick
+//! grid going from 3.32 to 3.90 Minstr/s across PRs lived only in prose.
+//! This module gives throughput the same treatment: `repro bench` times a
+//! fixed workload × design grid N times and appends a schema'd entry (git
+//! SHA, date, host fingerprint, median/min Minstr/s, per-phase wall-time
+//! medians from the self-profiler) to a history file, and `repro bench
+//! --check` exits nonzero when the measured median falls more than
+//! [`REGRESSION_TOLERANCE`] below the best recorded median *for the same
+//! host fingerprint* — different machines never gate each other.
+
+use crate::archive::write_json_atomic;
+use crate::cli::{BenchOptions, ExitCode};
+use crate::designs::DesignSpec;
+use crate::obs::{utc_date_string, GitInfo};
+use crate::runner::{Effort, RunContext};
+use crate::suitescale::SuiteScale;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use ubs_trace::synth::{Profile, WorkloadSpec};
+
+/// Version of the bench-history schema written by this build.
+///
+/// History: v1 introduced the file (`schema_version` + `entries`).
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// Fraction below the best recorded median that `--check` tolerates
+/// before calling the run a regression (10%).
+pub const REGRESSION_TOLERANCE: f64 = 0.10;
+
+/// The machine a bench entry was measured on. Entries only gate entries
+/// with an identical fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostFingerprint {
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Available parallelism.
+    pub cpus: usize,
+}
+
+impl HostFingerprint {
+    /// The fingerprint of this host.
+    pub fn detect() -> Self {
+        HostFingerprint {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpus: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// Median per-phase wall seconds across the timed runs (summed over the
+/// grid's cells within each run, from the PR 4 self-profiler).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSeconds {
+    /// Trace build/decode.
+    pub trace_decode_s: f64,
+    /// Front end (fetch + FDIP + runahead).
+    pub frontend_s: f64,
+    /// L1-I access path.
+    pub cache_s: f64,
+    /// Back end (dispatch + commit).
+    pub backend_s: f64,
+}
+
+/// One measured point on the perf trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Build the measurement came from, when detectable.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub git: Option<GitInfo>,
+    /// UTC date of the measurement (`YYYY-MM-DD`).
+    pub date: String,
+    /// Machine the measurement was taken on.
+    pub host: HostFingerprint,
+    /// Timed grid repetitions behind the median/min.
+    pub runs: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Cells per grid repetition.
+    pub cells: usize,
+    /// Simulated instructions per grid repetition.
+    pub instructions_per_run: u64,
+    /// Median whole-grid throughput across runs, in Minstr/s (simulated
+    /// instructions over wall-clock, all workers included).
+    pub median_minstr_per_sec: f64,
+    /// Worst run's throughput in Minstr/s.
+    pub min_minstr_per_sec: f64,
+    /// Median per-phase wall seconds, when the profiler produced them.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub phases: Option<PhaseSeconds>,
+}
+
+/// The benchmark history file (`BENCH_quick.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchFile {
+    /// File schema version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Recorded measurements, append-only, oldest first.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchFile {
+    /// Loads a history file; a missing file is an empty history.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on unreadable/malformed files or a newer schema.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        if !path.exists() {
+            return Ok(BenchFile {
+                schema_version: BENCH_SCHEMA_VERSION,
+                entries: Vec::new(),
+            });
+        }
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let file: BenchFile = serde_json::from_str(&text)
+            .map_err(|e| format!("malformed bench history {}: {e}", path.display()))?;
+        if file.schema_version > BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "{} is schema v{} (this build understands v{BENCH_SCHEMA_VERSION})",
+                path.display(),
+                file.schema_version
+            ));
+        }
+        Ok(file)
+    }
+
+    /// Atomically writes the history back.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors as messages.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let value = serde_json::to_value(self).map_err(|e| e.to_string())?;
+        let dir = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => PathBuf::from("."),
+        };
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| format!("bad bench history path {}", path.display()))?;
+        write_json_atomic(&dir, name, &value)
+            .map(|_| ())
+            .map_err(|e| format!("cannot write bench history: {e}"))
+    }
+
+    /// The best (highest) recorded median for `host`, if any.
+    pub fn best_for_host(&self, host: &HostFingerprint) -> Option<&BenchEntry> {
+        self.entries
+            .iter()
+            .filter(|e| &e.host == host)
+            .max_by(|a, b| a.median_minstr_per_sec.total_cmp(&b.median_minstr_per_sec))
+    }
+}
+
+/// The fixed grid `repro bench` times: every tiny-scale workload against
+/// the paper's three anchor designs at quick effort. Stable across PRs so
+/// entries are comparable — changing it is a schema-level event.
+fn bench_grid() -> (Vec<WorkloadSpec>, Vec<DesignSpec>) {
+    let scale = SuiteScale::tiny();
+    let mut workloads = Vec::new();
+    for profile in [
+        Profile::Google,
+        Profile::Server,
+        Profile::Client,
+        Profile::Spec,
+        Profile::CvpServer,
+        Profile::CvpFp,
+        Profile::CvpInt,
+    ] {
+        workloads.extend(scale.suite(profile));
+    }
+    let designs = vec![
+        DesignSpec::conv_32k(),
+        DesignSpec::conv_64k(),
+        DesignSpec::ubs_default(),
+    ];
+    (workloads, designs)
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+fn median_of(values: &mut [f64]) -> f64 {
+    values.sort_by(f64::total_cmp);
+    median(values)
+}
+
+/// One timed repetition of the bench grid.
+struct TimedRun {
+    minstr_per_sec: f64,
+    instructions: u64,
+    cells: usize,
+    phases: Option<PhaseSeconds>,
+}
+
+fn run_once(threads: Option<usize>) -> Result<TimedRun, String> {
+    let (workloads, designs) = bench_grid();
+    let ctx = RunContext::new(Effort::Quick, SuiteScale::tiny())
+        .with_threads(threads)
+        .with_metrics(true);
+    let started = Instant::now();
+    let grid = ctx
+        .try_run_matrix(&workloads, &designs)
+        .map_err(|e| format!("bench grid failed:\n{e}"))?;
+    let wall = started.elapsed().as_secs_f64().max(1e-9);
+    let instructions = grid.total_instructions();
+    let mut phases = PhaseSeconds {
+        trace_decode_s: 0.0,
+        frontend_s: 0.0,
+        cache_s: 0.0,
+        backend_s: 0.0,
+    };
+    let mut have_phases = false;
+    for cell in grid.iter() {
+        if let Some(p) = &cell.report.phase_profile {
+            have_phases = true;
+            phases.trace_decode_s += p.trace_decode_s;
+            phases.frontend_s += p.frontend_s;
+            phases.cache_s += p.cache_s;
+            phases.backend_s += p.backend_s;
+        }
+    }
+    Ok(TimedRun {
+        minstr_per_sec: instructions as f64 / 1e6 / wall,
+        instructions,
+        cells: grid.iter().count(),
+        phases: have_phases.then_some(phases),
+    })
+}
+
+/// Measures the bench grid `opts.runs` times and summarises.
+fn measure(opts: &BenchOptions) -> Result<BenchEntry, String> {
+    let threads = opts
+        .threads
+        .unwrap_or_else(|| HostFingerprint::detect().cpus);
+    let mut throughputs = Vec::with_capacity(opts.runs);
+    let mut cells = 0;
+    let mut instructions = 0;
+    let mut phase_runs: Vec<PhaseSeconds> = Vec::new();
+    for run in 0..opts.runs {
+        let timed = run_once(Some(threads))?;
+        eprintln!(
+            "[bench] run {}/{}: {} cells, {:.2} Minstr/s",
+            run + 1,
+            opts.runs,
+            timed.cells,
+            timed.minstr_per_sec
+        );
+        throughputs.push(timed.minstr_per_sec);
+        cells = timed.cells;
+        instructions = timed.instructions;
+        if let Some(p) = timed.phases {
+            phase_runs.push(p);
+        }
+    }
+    throughputs.sort_by(f64::total_cmp);
+    let phases = (!phase_runs.is_empty()).then(|| PhaseSeconds {
+        trace_decode_s: median_of(
+            &mut phase_runs
+                .iter()
+                .map(|p| p.trace_decode_s)
+                .collect::<Vec<_>>(),
+        ),
+        frontend_s: median_of(&mut phase_runs.iter().map(|p| p.frontend_s).collect::<Vec<_>>()),
+        cache_s: median_of(&mut phase_runs.iter().map(|p| p.cache_s).collect::<Vec<_>>()),
+        backend_s: median_of(&mut phase_runs.iter().map(|p| p.backend_s).collect::<Vec<_>>()),
+    });
+    let date = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| utc_date_string(d.as_secs()))
+        .unwrap_or_else(|_| "1970-01-01".to_string());
+    Ok(BenchEntry {
+        git: GitInfo::detect(),
+        date,
+        host: HostFingerprint::detect(),
+        runs: opts.runs,
+        threads,
+        cells,
+        instructions_per_run: instructions,
+        median_minstr_per_sec: median(&throughputs),
+        min_minstr_per_sec: throughputs.first().copied().unwrap_or(0.0),
+        phases,
+    })
+}
+
+/// Runs `repro bench`: measure, then either append to the history file or
+/// (`--check`) gate against the best recorded median for this host.
+///
+/// # Errors
+///
+/// Returns a message on grid failures or unreadable/unwritable history.
+pub fn run_bench(opts: &BenchOptions) -> Result<ExitCode, String> {
+    let mut history = BenchFile::load(&opts.file)?;
+    let entry = measure(opts)?;
+    let git = entry
+        .git
+        .as_ref()
+        .map(|g| format!("{}{}", g.short(), if g.dirty { "+dirty" } else { "" }))
+        .unwrap_or_else(|| "unknown".to_string());
+    println!(
+        "bench: {} cells × {} runs @ {} threads — median {:.2} Minstr/s, min {:.2} (git {git})",
+        entry.cells,
+        entry.runs,
+        entry.threads,
+        entry.median_minstr_per_sec,
+        entry.min_minstr_per_sec
+    );
+
+    if opts.check {
+        let Some(best) = history.best_for_host(&entry.host) else {
+            println!(
+                "bench check: no recorded entry matches this host ({}-{}, {} cpus) in {} — \
+                 nothing to gate against, passing (run `repro bench` here to seed one)",
+                entry.host.os,
+                entry.host.arch,
+                entry.host.cpus,
+                opts.file.display()
+            );
+            return Ok(ExitCode::Success);
+        };
+        let floor = best.median_minstr_per_sec * (1.0 - REGRESSION_TOLERANCE);
+        if entry.median_minstr_per_sec < floor {
+            println!(
+                "bench check: REGRESSION — median {:.2} Minstr/s is below the {:.2} floor \
+                 ({:.2} recorded on {} minus {:.0}%)",
+                entry.median_minstr_per_sec,
+                floor,
+                best.median_minstr_per_sec,
+                best.date,
+                REGRESSION_TOLERANCE * 100.0
+            );
+            return Ok(ExitCode::Regression);
+        }
+        println!(
+            "bench check: ok — median {:.2} Minstr/s vs best {:.2} ({}, floor {:.2})",
+            entry.median_minstr_per_sec, best.median_minstr_per_sec, best.date, floor
+        );
+        return Ok(ExitCode::Success);
+    }
+
+    history.entries.push(entry);
+    history.save(&opts.file)?;
+    println!(
+        "bench: appended entry {} to {}",
+        history.entries.len(),
+        opts.file.display()
+    );
+    Ok(ExitCode::Success)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(median: f64, host: HostFingerprint) -> BenchEntry {
+        BenchEntry {
+            git: None,
+            date: "2026-08-09".into(),
+            host,
+            runs: 3,
+            threads: 4,
+            cells: 45,
+            instructions_per_run: 18_000_000,
+            median_minstr_per_sec: median,
+            min_minstr_per_sec: median * 0.9,
+            phases: Some(PhaseSeconds {
+                trace_decode_s: 0.5,
+                frontend_s: 1.0,
+                cache_s: 0.7,
+                backend_s: 0.9,
+            }),
+        }
+    }
+
+    fn host() -> HostFingerprint {
+        HostFingerprint {
+            os: "linux".into(),
+            arch: "x86_64".into(),
+            cpus: 8,
+        }
+    }
+
+    #[test]
+    fn history_round_trips_and_missing_file_is_empty() {
+        let dir = std::env::temp_dir().join(format!("ubs-bench-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_quick.json");
+        assert!(BenchFile::load(&path).unwrap().entries.is_empty());
+        let file = BenchFile {
+            schema_version: BENCH_SCHEMA_VERSION,
+            entries: vec![entry(3.9, host())],
+        };
+        file.save(&path).unwrap();
+        let back = BenchFile::load(&path).unwrap();
+        assert_eq!(back, file);
+        // A newer schema is refused, not misread.
+        let newer = serde_json::json!({"schema_version": BENCH_SCHEMA_VERSION + 1, "entries": []});
+        std::fs::write(&path, serde_json::to_string(&newer).unwrap()).unwrap();
+        assert!(BenchFile::load(&path).unwrap_err().contains("schema"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn best_entry_is_per_host() {
+        let other = HostFingerprint { cpus: 64, ..host() };
+        let file = BenchFile {
+            schema_version: BENCH_SCHEMA_VERSION,
+            entries: vec![
+                entry(3.0, host()),
+                entry(9.9, other.clone()),
+                entry(3.9, host()),
+            ],
+        };
+        assert_eq!(
+            file.best_for_host(&host()).unwrap().median_minstr_per_sec,
+            3.9
+        );
+        assert_eq!(
+            file.best_for_host(&other).unwrap().median_minstr_per_sec,
+            9.9
+        );
+        let unseen = HostFingerprint {
+            os: "mars".into(),
+            ..host()
+        };
+        assert!(file.best_for_host(&unseen).is_none());
+    }
+
+    #[test]
+    fn medians_handle_odd_even_and_empty() {
+        assert_eq!(median_of(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_of(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median_of(&mut []), 0.0);
+    }
+
+    #[test]
+    fn bench_grid_is_stable() {
+        // The grid definition is part of the history's comparability:
+        // 15 tiny-scale workloads × 3 anchor designs.
+        let (workloads, designs) = bench_grid();
+        assert_eq!(workloads.len(), 15);
+        assert_eq!(designs.len(), 3);
+        assert_eq!(designs[2].name(), "ubs");
+    }
+}

@@ -13,6 +13,8 @@
 //! repro diff <baseline-dir> <candidate-dir> [--tol-scale=F]
 //! repro trace <workload> <design> [--effort=NAME] [--out FILE] [--timeline-out FILE]
 //! repro inspect <workload> <design> [--effort=NAME] [--json DIR]
+//! repro bench [FILE] [--runs=N] [--threads=N] [--check]
+//! repro report <dir>... [--out DIR]
 //! ```
 //!
 //! With `--json DIR`, every experiment's machine-readable results land in
@@ -36,12 +38,14 @@
 //! infrastructure error.
 
 use parking_lot::Mutex;
+use std::io::IsTerminal;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 use ubs_experiments::{
-    cli, diff_dirs, run_by_id_with, run_inspect, run_trace, write_bytes_atomic, write_json_atomic,
-    CellJournal, CellProgress, CellTiming, ExitCode, ExperimentError, ExperimentRecord, FaultPlan,
-    JournalMeta, RunContext, RunManifest,
+    cli, diff_dirs, outcome_from_report, run_bench, run_by_id_with, run_inspect, run_report,
+    run_trace, write_bytes_atomic, write_inspect_index, write_json_atomic, CellJournal,
+    CellProgress, CellTiming, EventSink, ExitCode, ExperimentError, ExperimentRecord, FanoutSink,
+    FaultPlan, GitInfo, JournalMeta, LiveRenderer, NdjsonSink, RunContext, RunEvent, RunManifest,
 };
 use ubs_uarch::Timeline;
 
@@ -61,6 +65,20 @@ fn main() {
         Ok(cli::Command::Diff(opts)) => run_diff(&opts),
         Ok(cli::Command::Trace(opts)) => run_trace_cmd(&opts),
         Ok(cli::Command::Inspect(opts)) => run_inspect_cmd(&opts),
+        Ok(cli::Command::Bench(opts)) => match run_bench(&opts) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::Infra
+            }
+        },
+        Ok(cli::Command::Report(opts)) => match run_report(&opts) {
+            Ok(_) => ExitCode::Success,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::Infra
+            }
+        },
         Ok(cli::Command::Run(opts)) => run_experiments(&opts),
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -71,6 +89,7 @@ fn main() {
 }
 
 fn run_experiments(opts: &cli::RunOptions) -> ExitCode {
+    let run_started = Instant::now();
     let fault = match FaultPlan::from_env() {
         Ok(plan) => plan,
         Err(e) => {
@@ -112,6 +131,38 @@ fn run_experiments(opts: &cli::RunOptions) -> ExitCode {
         None => None,
     };
 
+    // Observability: an NDJSON file sink (`--events PATH`), a live stderr
+    // renderer when stderr is a terminal, or both, fanned out. With
+    // neither, the runner gets `None` and constructs no events at all.
+    let ndjson = match &opts.events {
+        Some(path) => match NdjsonSink::create(path) {
+            Ok(sink) => Some(sink),
+            Err(e) => {
+                eprintln!("error: cannot create event log {}: {e}", path.display());
+                return ExitCode::Infra;
+            }
+        },
+        None => None,
+    };
+    let renderer = std::io::stderr().is_terminal().then(|| {
+        let cfg = opts.effort.sim_config();
+        LiveRenderer::new(cfg.warmup_instrs + cfg.sim_instrs)
+    });
+    let mut sink_refs: Vec<&dyn EventSink> = Vec::new();
+    if let Some(s) = &ndjson {
+        sink_refs.push(s);
+    }
+    if let Some(r) = &renderer {
+        sink_refs.push(r);
+    }
+    let fanout = FanoutSink::new(sink_refs);
+    let live = renderer.is_some();
+    let quiet = || {
+        if let Some(r) = &renderer {
+            r.clear_transient();
+        }
+    };
+
     let base_ctx = RunContext::new(opts.effort, opts.scale)
         .with_threads(opts.threads)
         .with_timeline(opts.timeline)
@@ -119,7 +170,28 @@ fn run_experiments(opts: &cli::RunOptions) -> ExitCode {
         .with_journal(journal.as_ref())
         .with_cell_timeout(opts.cell_timeout)
         .with_fault(fault.as_ref());
+    let base_ctx = if fanout.is_empty() {
+        base_ctx
+    } else {
+        base_ctx.with_events(Some(&fanout))
+    };
     let threads = base_ctx.effective_threads();
+
+    if !fanout.is_empty() {
+        fanout.emit(&RunEvent::RunStarted {
+            effort: opts.effort,
+            scale: opts.scale,
+            threads,
+            experiments: opts.ids.clone(),
+            git: GitInfo::detect(),
+        });
+        if opts.resume {
+            if let Some(j) = &journal {
+                fanout.emit(&RunEvent::JournalReplayed { cells: j.len() });
+            }
+        }
+    }
+
     let mut manifest = RunManifest::new(opts.effort, opts.scale, threads);
     let mut infra_failed = false;
 
@@ -127,22 +199,26 @@ fn run_experiments(opts: &cli::RunOptions) -> ExitCode {
         let cells: Mutex<Vec<CellTiming>> = Mutex::new(Vec::new());
         let timelines: Mutex<Vec<(String, Timeline)>> = Mutex::new(Vec::new());
         let progress = |p: &CellProgress| {
-            if p.status.is_ok() {
-                let how = if p.resumed { "resumed" } else { "simulated" };
-                eprintln!(
-                    "[{id}] {}/{} {} × {}: {:.2}s, {:.2} Minstr/s ({how})",
-                    p.completed,
-                    p.total,
-                    p.workload,
-                    p.design,
-                    p.wall_seconds,
-                    p.minstr_per_sec()
-                );
-            } else {
-                eprintln!(
-                    "[{id}] {}/{} {} × {}: FAILED after {:.2}s",
-                    p.completed, p.total, p.workload, p.design, p.wall_seconds
-                );
+            // The live renderer already narrates each cell from the event
+            // stream; don't print the same line twice.
+            if !live {
+                if p.status.is_ok() {
+                    let how = if p.resumed { "resumed" } else { "simulated" };
+                    eprintln!(
+                        "[{id}] {}/{} {} × {}: {:.2}s, {:.2} Minstr/s ({how})",
+                        p.completed,
+                        p.total,
+                        p.workload,
+                        p.design,
+                        p.wall_seconds,
+                        p.minstr_per_sec()
+                    );
+                } else {
+                    eprintln!(
+                        "[{id}] {}/{} {} × {}: FAILED after {:.2}s",
+                        p.completed, p.total, p.workload, p.design, p.wall_seconds
+                    );
+                }
             }
             cells.lock().push(CellTiming::from(p));
             if let Some(tl) = &p.timeline {
@@ -151,11 +227,12 @@ fn run_experiments(opts: &cli::RunOptions) -> ExitCode {
                     .push((format!("{}__{}", p.workload, p.design), tl.clone()));
             }
         };
-        let ctx = base_ctx.with_progress(&progress);
+        let ctx = base_ctx.with_progress(&progress).with_experiment(id);
         let started = Instant::now();
         let outcome = run_by_id_with(id, &ctx);
         let wall = started.elapsed().as_secs_f64();
         let mut record = ExperimentRecord::new(id, wall, cells.into_inner());
+        quiet();
         match outcome {
             Ok(result) => {
                 println!("================ {id} ================");
@@ -200,6 +277,7 @@ fn run_experiments(opts: &cli::RunOptions) -> ExitCode {
         .map(|c| format!("{} × {}", c.workload, c.design))
         .collect();
 
+    quiet();
     if let Some(dir) = &opts.json_dir {
         match manifest.write_atomic(dir) {
             Ok(path) => eprintln!(
@@ -216,10 +294,20 @@ fn run_experiments(opts: &cli::RunOptions) -> ExitCode {
         }
     }
 
-    if infra_failed {
-        return ExitCode::Infra;
+    // With `--metrics --json`, render every journaled cell's cache-internals
+    // page (no re-simulation — the journal already holds the full reports)
+    // and an index linking them all.
+    if opts.metrics && !infra_failed {
+        if let (Some(dir), Some(j)) = (&opts.json_dir, journal.as_ref()) {
+            write_inspect_pages(dir, j, opts.effort.label());
+        }
     }
-    if !failed_cells.is_empty() {
+
+    let code = if infra_failed {
+        ExitCode::Infra
+    } else if failed_cells.is_empty() {
+        ExitCode::Success
+    } else {
         eprintln!("{} cell(s) failed:", failed_cells.len());
         for cell in &failed_cells {
             eprintln!("  {cell}");
@@ -231,9 +319,70 @@ fn run_experiments(opts: &cli::RunOptions) -> ExitCode {
                 dir.display()
             );
         }
-        return ExitCode::CellFailure;
+        ExitCode::CellFailure
+    };
+
+    if !fanout.is_empty() {
+        let cells_total: usize = manifest.experiments.iter().map(|r| r.cells.len()).sum();
+        fanout.emit(&RunEvent::RunFinished {
+            wall_seconds: run_started.elapsed().as_secs_f64(),
+            cells_total,
+            cells_failed: failed_cells.len(),
+            ok: code == ExitCode::Success,
+        });
+        fanout.flush();
+        if let Some(sink) = &ndjson {
+            eprintln!("[events: {}]", sink.path().display());
+        }
     }
-    ExitCode::Success
+    code
+}
+
+/// Renders `DIR/inspect/<workload>__<design>/` pages for every journaled
+/// cell that carries a metrics payload, plus the `index.html` linking them.
+/// Failures degrade to warnings — inspect artifacts never fail the run.
+fn write_inspect_pages(dir: &Path, journal: &CellJournal, effort_label: &str) {
+    let mut pages = 0usize;
+    for entry in journal.entries() {
+        if entry.report.cache_metrics.is_none() {
+            continue;
+        }
+        match outcome_from_report(entry.report, effort_label) {
+            Ok(outcome) => {
+                let cell_dir = dir.join("inspect").join(&outcome.id);
+                let json_ok = match write_json_atomic(&cell_dir, "metrics.json", &outcome.json) {
+                    Ok(_) => true,
+                    Err(e) => {
+                        eprintln!(
+                            "warning: could not write metrics.json for {}: {e}",
+                            outcome.id
+                        );
+                        false
+                    }
+                };
+                match write_bytes_atomic(&cell_dir, "inspect.html", outcome.html.as_bytes()) {
+                    Ok(_) => {
+                        if json_ok {
+                            pages += 1;
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "warning: could not write inspect.html for {}: {e}",
+                            outcome.id
+                        )
+                    }
+                }
+            }
+            Err(e) => eprintln!("warning: {e}"),
+        }
+    }
+    if pages > 0 {
+        match write_inspect_index(dir) {
+            Ok(path) => eprintln!("[inspect: {pages} cell pages, index at {}]", path.display()),
+            Err(e) => eprintln!("warning: could not write inspect index: {e}"),
+        }
+    }
 }
 
 /// Writes each cell's timeline under `dir/timelines/<id>/` and returns the
@@ -344,6 +493,10 @@ fn run_inspect_cmd(opts: &cli::InspectOptions) -> ExitCode {
         return ExitCode::Infra;
     }
     println!("wrote {}", dir.display());
+    match write_inspect_index(&opts.json_dir) {
+        Ok(path) => println!("index {}", path.display()),
+        Err(e) => eprintln!("warning: could not write inspect index: {e}"),
+    }
     ExitCode::Success
 }
 
@@ -383,6 +536,16 @@ fn print_usage() {
          \x20                                render one cell's cache internals\n\
          \x20                                (heatmaps, confusion, MSHR) as HTML\n\
          \x20                                + JSON under DIR/inspect/\n\
+         \x20      repro bench [FILE] [--runs=N] [--threads=N] [--check]\n\
+         \x20                                measure harness throughput over the\n\
+         \x20                                quick grid; append to FILE (default\n\
+         \x20                                BENCH_quick.json), or with --check\n\
+         \x20                                exit 1 on >10% regression vs the\n\
+         \x20                                recorded best for this host\n\
+         \x20      repro report DIR... [--out DIR]\n\
+         \x20                                aggregate manifests + journals +\n\
+         \x20                                event logs into report.html (fleet\n\
+         \x20                                status grid, sparklines) + report.json\n\
          \n\
          ids: {}\n\
          \n\
@@ -402,6 +565,10 @@ fn print_usage() {
          --cell-timeout SECS\n\
          \x20            per-cell wall-clock budget; exceeding it fails the\n\
          \x20            cell via the forward-progress watchdog\n\
+         --events PATH  stream schema-versioned lifecycle events (cell\n\
+         \x20            start/heartbeat/completion, watchdog trips, resume\n\
+         \x20            replays) as NDJSON to PATH; a live progress line is\n\
+         \x20            rendered on stderr whenever stderr is a terminal\n\
          \n\
          exit codes: 0 success, 1 diff regression, 2 usage error,\n\
          \x20           3 cell failure(s) (rerun with --resume), 4 infra error",

@@ -37,6 +37,8 @@ pub struct RunOptions {
     /// Per-cell wall-clock budget in seconds (`--cell-timeout SECS`); a
     /// cell exceeding it is failed by the forward-progress watchdog.
     pub cell_timeout: Option<f64>,
+    /// Stream lifecycle events as NDJSON to this file (`--events PATH`).
+    pub events: Option<PathBuf>,
 }
 
 /// Process exit codes shared by every `repro` subcommand.
@@ -102,6 +104,32 @@ pub struct TraceOptions {
     pub timeline_out: Option<PathBuf>,
 }
 
+/// Options for `repro bench [FILE]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchOptions {
+    /// The benchmark history file (default `BENCH_quick.json`).
+    pub file: PathBuf,
+    /// Timed grid repetitions per invocation (`--runs=N`, default 3).
+    pub runs: usize,
+    /// Fixed worker count (`--threads=N`); `None` = all cores.
+    pub threads: Option<usize>,
+    /// Check mode (`--check`): measure, compare against the best recorded
+    /// entry for this host, and exit nonzero on >10% regression instead
+    /// of appending.
+    pub check: bool,
+}
+
+/// Options for `repro report <dir>... [--out DIR]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportOptions {
+    /// Results directories to aggregate (each holding a run manifest and
+    /// optionally a journal and an events log).
+    pub dirs: Vec<PathBuf>,
+    /// Output directory for `report.html` + `report.json` (default: the
+    /// first input directory).
+    pub out: Option<PathBuf>,
+}
+
 /// Options for `repro diff <baseline> <candidate>`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiffOptions {
@@ -129,6 +157,11 @@ pub enum Command {
     /// Render one cell's cache internals (heatmaps, confusion, MSHR
     /// series, self-profile) to HTML + JSON.
     Inspect(InspectOptions),
+    /// Measure harness throughput on the fixed bench grid and append to
+    /// (or `--check` against) the benchmark history file.
+    Bench(BenchOptions),
+    /// Aggregate run directories into a fleet-level HTML + JSON report.
+    Report(ReportOptions),
 }
 
 /// Splits `--flag=value` / `--flag value` style arguments: returns the
@@ -173,7 +206,74 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     if args[0] == "inspect" {
         return parse_inspect(&args[1..]);
     }
+    if args[0] == "bench" {
+        return parse_bench(&args[1..]);
+    }
+    if args[0] == "report" {
+        return parse_report(&args[1..]);
+    }
     parse_run(args)
+}
+
+fn parse_bench(args: &[String]) -> Result<Command, String> {
+    let mut file: Option<PathBuf> = None;
+    let mut runs = 3usize;
+    let mut threads: Option<usize> = None;
+    let mut check = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(v) = flag_value(arg, "--runs", &mut it) {
+            let v = v?;
+            runs = v
+                .parse::<usize>()
+                .ok()
+                .filter(|n| *n >= 1)
+                .ok_or_else(|| format!("--runs expects an integer >= 1, got `{v}`"))?;
+        } else if let Some(v) = flag_value(arg, "--threads", &mut it) {
+            let v = v?;
+            let n = v
+                .parse::<usize>()
+                .ok()
+                .filter(|n| *n >= 1)
+                .ok_or_else(|| format!("--threads expects an integer >= 1, got `{v}`"))?;
+            threads = Some(n);
+        } else if arg == "--check" {
+            check = true;
+        } else if arg.starts_with('-') {
+            return Err(format!("unknown flag for bench: `{arg}`"));
+        } else if file.is_none() {
+            file = Some(PathBuf::from(arg));
+        } else {
+            return Err(format!(
+                "bench takes at most one file argument, got `{arg}`"
+            ));
+        }
+    }
+    Ok(Command::Bench(BenchOptions {
+        file: file.unwrap_or_else(|| PathBuf::from("BENCH_quick.json")),
+        runs,
+        threads,
+        check,
+    }))
+}
+
+fn parse_report(args: &[String]) -> Result<Command, String> {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(v) = flag_value(arg, "--out", &mut it) {
+            out = Some(PathBuf::from(v?));
+        } else if arg.starts_with('-') {
+            return Err(format!("unknown flag for report: `{arg}`"));
+        } else {
+            dirs.push(PathBuf::from(arg));
+        }
+    }
+    if dirs.is_empty() {
+        return Err("report expects at least one results directory".to_string());
+    }
+    Ok(Command::Report(ReportOptions { dirs, out }))
 }
 
 fn parse_inspect(args: &[String]) -> Result<Command, String> {
@@ -298,6 +398,7 @@ fn parse_run(args: &[String]) -> Result<Command, String> {
     let mut timeline = false;
     let mut metrics = false;
     let mut cell_timeout: Option<f64> = None;
+    let mut events: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut want_all = false;
 
@@ -340,6 +441,8 @@ fn parse_run(args: &[String]) -> Result<Command, String> {
             json_dir = Some(PathBuf::from(v?));
         } else if let Some(v) = flag_value(arg, "--resume", &mut it) {
             resume_dir = Some(PathBuf::from(v?));
+        } else if let Some(v) = flag_value(arg, "--events", &mut it) {
+            events = Some(PathBuf::from(v?));
         } else if let Some(v) = flag_value(arg, "--cell-timeout", &mut it) {
             let v = v?;
             let secs = v
@@ -418,6 +521,7 @@ fn parse_run(args: &[String]) -> Result<Command, String> {
         metrics,
         resume,
         cell_timeout,
+        events,
     }))
 }
 
@@ -552,6 +656,78 @@ mod tests {
         };
         assert!(!o.resume);
         assert_eq!(o.cell_timeout, None);
+    }
+
+    #[test]
+    fn events_flag() {
+        let Command::Run(o) = parse(&args(&["fig10", "--events", "out/events.ndjson"])).unwrap()
+        else {
+            panic!("expected Run");
+        };
+        assert_eq!(o.events, Some(PathBuf::from("out/events.ndjson")));
+        let Command::Run(o) = parse(&args(&["fig10"])).unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(o.events, None);
+        assert!(parse(&args(&["fig10", "--events"]))
+            .unwrap_err()
+            .contains("requires a value"));
+    }
+
+    #[test]
+    fn bench_parsing() {
+        let Command::Bench(b) = parse(&args(&["bench"])).unwrap() else {
+            panic!("expected Bench");
+        };
+        assert_eq!(b.file, PathBuf::from("BENCH_quick.json"));
+        assert_eq!(b.runs, 3);
+        assert_eq!(b.threads, None);
+        assert!(!b.check);
+
+        let Command::Bench(b) = parse(&args(&[
+            "bench",
+            "perf.json",
+            "--runs=5",
+            "--threads=2",
+            "--check",
+        ]))
+        .unwrap() else {
+            panic!("expected Bench");
+        };
+        assert_eq!(b.file, PathBuf::from("perf.json"));
+        assert_eq!(b.runs, 5);
+        assert_eq!(b.threads, Some(2));
+        assert!(b.check);
+
+        assert!(parse(&args(&["bench", "--runs=0"]))
+            .unwrap_err()
+            .contains("--runs"));
+        assert!(parse(&args(&["bench", "a", "b"])).is_err());
+        assert!(parse(&args(&["bench", "--weird"]))
+            .unwrap_err()
+            .contains("unknown flag for bench"));
+    }
+
+    #[test]
+    fn report_parsing() {
+        let Command::Report(r) = parse(&args(&["report", "run1", "run2", "--out=fleet"])).unwrap()
+        else {
+            panic!("expected Report");
+        };
+        assert_eq!(r.dirs, vec![PathBuf::from("run1"), PathBuf::from("run2")]);
+        assert_eq!(r.out, Some(PathBuf::from("fleet")));
+
+        let Command::Report(r) = parse(&args(&["report", "results"])).unwrap() else {
+            panic!("expected Report");
+        };
+        assert_eq!(r.out, None);
+
+        assert!(parse(&args(&["report"]))
+            .unwrap_err()
+            .contains("at least one"));
+        assert!(parse(&args(&["report", "x", "--weird"]))
+            .unwrap_err()
+            .contains("unknown flag for report"));
     }
 
     #[test]

@@ -100,20 +100,32 @@ pub fn run_inspect(opts: &InspectOptions) -> Result<InspectOutcome, String> {
             design.name()
         )
     })?;
+    outcome_from_report(report, opts.effort.label())
+}
+
+/// Builds the inspect artifacts (HTML page + JSON document) from an
+/// already-simulated report — how `repro all --metrics` renders a page
+/// per journaled cell without re-simulating anything.
+///
+/// # Errors
+///
+/// Returns a message when the report carries no metrics payload.
+pub fn outcome_from_report(
+    report: SimReport,
+    effort_label: &str,
+) -> Result<InspectOutcome, String> {
     if report.cache_metrics.is_none() {
         return Err(format!(
-            "inspect run of {}/{} produced no metrics payload",
-            spec.name,
-            design.name()
+            "report for {}/{} carries no metrics payload",
+            report.workload, report.design
         ));
     }
-
-    let id = format!("{}__{}", spec.name, design.name());
+    let id = format!("{}__{}", report.workload, report.design);
     let html = render_html(&report);
     let json = json!({
         "workload": report.workload,
         "design": report.design,
-        "effort": opts.effort.label(),
+        "effort": effort_label,
         "instructions": report.instructions,
         "cycles": report.cycles,
         "ipc": report.ipc(),
@@ -127,6 +139,77 @@ pub fn run_inspect(opts: &InspectOptions) -> Result<InspectOutcome, String> {
         html,
         json,
     })
+}
+
+/// Scans `json_dir/inspect/*/inspect.html` and writes an `index.html`
+/// linking every cell's page (with its IPC and MPKI pulled from the
+/// sibling `metrics.json`), so artifacts are discoverable from one place
+/// instead of only by path. Returns the index path.
+///
+/// # Errors
+///
+/// Returns a message when there are no inspect pages to index or the
+/// index cannot be written.
+pub fn write_inspect_index(json_dir: &std::path::Path) -> Result<std::path::PathBuf, String> {
+    let inspect_dir = json_dir.join("inspect");
+    let mut ids: Vec<String> = std::fs::read_dir(&inspect_dir)
+        .map_err(|e| format!("no inspect artifacts under {}: {e}", inspect_dir.display()))?
+        .filter_map(Result::ok)
+        .filter(|e| e.path().join("inspect.html").exists())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .collect();
+    if ids.is_empty() {
+        return Err(format!(
+            "no inspect pages found under {}",
+            inspect_dir.display()
+        ));
+    }
+    ids.sort();
+
+    let mut out = String::with_capacity(4 * 1024);
+    writeln!(
+        out,
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n\
+         <title>cache internals — index</title>\n\
+         <style>\n\
+         body{{font:14px/1.45 system-ui,sans-serif;margin:2em auto;max-width:70em;color:#222}}\n\
+         h1{{font-size:1.4em}}\n\
+         table{{border-collapse:collapse}}\n\
+         td,th{{border:1px solid #ccc;padding:2px 8px;text-align:right}}\n\
+         th{{background:#f3f3f3}}\n\
+         td.id{{text-align:left}}\n\
+         </style></head><body>\n<h1>Cache internals — {} cells</h1>\n\
+         <table><tr><th>cell</th><th>IPC</th><th>L1-I MPKI</th></tr>",
+        ids.len()
+    )
+    .unwrap();
+    for id in &ids {
+        let metrics = std::fs::read_to_string(inspect_dir.join(id).join("metrics.json"))
+            .ok()
+            .and_then(|body| serde_json::from_str::<serde_json::Value>(&body).ok());
+        let (ipc, mpki) = metrics
+            .map(|m| {
+                (
+                    m["ipc"]
+                        .as_f64()
+                        .map_or("—".to_string(), |v| format!("{v:.3}")),
+                    m["l1i_mpki"]
+                        .as_f64()
+                        .map_or("—".to_string(), |v| format!("{v:.2}")),
+                )
+            })
+            .unwrap_or_else(|| ("—".to_string(), "—".to_string()));
+        writeln!(
+            out,
+            "<tr><td class=\"id\"><a href=\"{0}/inspect.html\">{0}</a></td>\
+             <td>{ipc}</td><td>{mpki}</td></tr>",
+            esc(id)
+        )
+        .unwrap();
+    }
+    out.push_str("</table>\n</body></html>\n");
+    crate::archive::write_bytes_atomic(&inspect_dir, "index.html", out.as_bytes())
+        .map_err(|e| format!("cannot write inspect index: {e}"))
 }
 
 fn esc(s: &str) -> String {
@@ -488,6 +571,51 @@ mod tests {
     fn unknown_inputs_are_rejected() {
         assert!(run_inspect(&opts("nope_000", "ubs")).is_err());
         assert!(run_inspect(&opts("server_000", "nope")).is_err());
+    }
+
+    #[test]
+    fn index_links_every_cell_page() {
+        let dir = std::env::temp_dir().join(format!("ubs-inspect-index-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // No pages yet: indexing is an error, not an empty page.
+        assert!(write_inspect_index(&dir).is_err());
+
+        let outcome = run_inspect(&opts("server_000", "conv-32k")).unwrap();
+        for id in ["server_000__conv-32k", "client_000__ubs"] {
+            let cell_dir = dir.join("inspect").join(id);
+            std::fs::create_dir_all(&cell_dir).unwrap();
+            std::fs::write(cell_dir.join("inspect.html"), &outcome.html).unwrap();
+            std::fs::write(
+                cell_dir.join("metrics.json"),
+                serde_json::to_string(&outcome.json).unwrap(),
+            )
+            .unwrap();
+        }
+        // A directory without a page is skipped, not linked.
+        std::fs::create_dir_all(dir.join("inspect").join("not-a-cell")).unwrap();
+
+        let index = write_inspect_index(&dir).unwrap();
+        let html = std::fs::read_to_string(&index).unwrap();
+        assert!(html.contains("href=\"server_000__conv-32k/inspect.html\""));
+        assert!(html.contains("href=\"client_000__ubs/inspect.html\""));
+        assert!(!html.contains("not-a-cell"));
+        assert!(!html.contains("<script"), "index must be inert");
+        // IPC pulled from metrics.json, rendered to 3 decimals.
+        let ipc = outcome.json["ipc"].as_f64().unwrap();
+        assert!(html.contains(&format!("{ipc:.3}")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn outcome_from_report_requires_metrics() {
+        let outcome = run_inspect(&opts("client_000", "ubs")).unwrap();
+        let mut bare = outcome.report.clone();
+        bare.cache_metrics = None;
+        assert!(outcome_from_report(bare, "smoke").is_err());
+        let again = outcome_from_report(outcome.report.clone(), "smoke").unwrap();
+        assert_eq!(again.id, "client_000__ubs");
+        assert_eq!(again.html, outcome.html);
     }
 
     #[test]

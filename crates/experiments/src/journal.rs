@@ -17,6 +17,7 @@
 //! incompatible results.
 
 use crate::archive::{write_json_atomic, SCHEMA_VERSION};
+use crate::obs::GitInfo;
 use crate::runner::Effort;
 use crate::suitescale::SuiteScale;
 use parking_lot::Mutex;
@@ -38,10 +39,15 @@ pub struct JournalMeta {
     pub timeline: bool,
     /// Whether cells collected cache-internals metrics.
     pub metrics: bool,
+    /// Build the journal was recorded by, when detectable (absent in
+    /// journals from before schema v5 and outside git work trees).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub git: Option<GitInfo>,
 }
 
 impl JournalMeta {
-    /// Meta for a run under the given conditions.
+    /// Meta for a run under the given conditions, stamped with the
+    /// current build when one is detectable.
     pub fn new(effort: Effort, scale: SuiteScale, timeline: bool, metrics: bool) -> Self {
         JournalMeta {
             schema_version: SCHEMA_VERSION,
@@ -49,6 +55,7 @@ impl JournalMeta {
             scale,
             timeline,
             metrics,
+            git: GitInfo::detect(),
         }
     }
 
@@ -155,6 +162,23 @@ impl CellJournal {
 
         let mut entries = HashMap::new();
         let mut warnings = Vec::new();
+        // A build change is worth knowing about but not refusing over:
+        // the simulator is deterministic, so replayed cells stay valid
+        // unless the new build changed simulated behaviour — which the
+        // baseline diff would catch.
+        if let (Some(rec), Some(now)) = (&recorded.git, &meta.git) {
+            if rec != now {
+                warnings.push(format!(
+                    "journal {} was recorded by a different build ({}{} vs {}{}); replayed \
+                     cells carry the old build's results",
+                    dir.display(),
+                    rec.short(),
+                    if rec.dirty { "+dirty" } else { "" },
+                    now.short(),
+                    if now.dirty { "+dirty" } else { "" },
+                ));
+            }
+        }
         let listing = std::fs::read_dir(&dir)
             .map_err(|e| format!("could not list journal {}: {e}", dir.display()))?;
         let mut paths: Vec<PathBuf> = listing
@@ -230,6 +254,16 @@ impl CellJournal {
     /// Problems found while reloading (corrupt or truncated entries).
     pub fn warnings(&self) -> &[String] {
         &self.warnings
+    }
+
+    /// A snapshot of every journaled cell, sorted by cell key. This is
+    /// how post-run artifact generation (the inspect index) reaches the
+    /// full reports without re-simulating.
+    pub fn entries(&self) -> Vec<JournalEntry> {
+        let map = self.entries.lock();
+        let mut keys: Vec<&String> = map.keys().collect();
+        keys.sort();
+        keys.iter().map(|k| map[*k].clone()).collect()
     }
 
     /// The journaled result for a cell, if this is a resume and an intact
@@ -360,6 +394,48 @@ mod tests {
         assert_eq!(resumed.warnings().len(), 1);
         assert!(resumed.warnings()[0].contains("re-simulated"));
         assert!(resumed.cached("client_000", seed, "conv-32k").is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn build_change_warns_but_does_not_refuse() {
+        let dir = temp_dir("gitstamp");
+        CellJournal::fresh(&dir, &meta()).unwrap();
+        let meta_path = dir.join(CellJournal::DIR_NAME).join(CellJournal::META_FILE);
+
+        // Rewrite the recorded meta as if an older, different build wrote it.
+        let mut recorded: JournalMeta =
+            serde_json::from_str(&std::fs::read_to_string(&meta_path).unwrap()).unwrap();
+        recorded.git = Some(GitInfo {
+            commit: "0123456789abcdef0123456789abcdef01234567".into(),
+            dirty: true,
+        });
+        std::fs::write(
+            &meta_path,
+            serde_json::to_string(&serde_json::to_value(&recorded).unwrap()).unwrap(),
+        )
+        .unwrap();
+
+        let resumed = CellJournal::resume(&dir, &meta()).unwrap();
+        if meta().git.is_some() {
+            assert_eq!(resumed.warnings().len(), 1, "{:?}", resumed.warnings());
+            assert!(resumed.warnings()[0].contains("different build"));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn entries_snapshot_is_sorted() {
+        let dir = temp_dir("entries");
+        let journal = CellJournal::fresh(&dir, &meta()).unwrap();
+        let mut b = sample_entry();
+        b.design = "zz-last".into();
+        journal.record(b).unwrap();
+        journal.record(sample_entry()).unwrap();
+        let snapshot = journal.entries();
+        assert_eq!(snapshot.len(), 2);
+        assert_eq!(snapshot[0].design, "conv-32k");
+        assert_eq!(snapshot[1].design, "zz-last");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

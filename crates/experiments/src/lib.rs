@@ -32,12 +32,15 @@
 #![warn(missing_debug_implementations)]
 
 pub mod archive;
+mod bench;
 pub mod cli;
 mod designs;
 pub mod fault;
 pub mod figures;
 mod inspectcmd;
 pub mod journal;
+pub mod obs;
+mod reportcmd;
 mod runner;
 mod suitescale;
 mod tracecmd;
@@ -46,12 +49,21 @@ pub use archive::{
     diff_dirs, diff_values, tolerance_for, write_bytes_atomic, write_json_atomic, CellTiming,
     DiffReport, ExperimentRecord, MetricDelta, RunManifest, Tolerance, SCHEMA_VERSION,
 };
-pub use cli::{Command, DiffOptions, ExitCode, InspectOptions, RunOptions, TraceOptions};
+pub use bench::{run_bench, BenchEntry, BenchFile, HostFingerprint, BENCH_SCHEMA_VERSION};
+pub use cli::{
+    BenchOptions, Command, DiffOptions, ExitCode, InspectOptions, ReportOptions, RunOptions,
+    TraceOptions,
+};
 pub use designs::DesignSpec;
 pub use fault::{corrupt_file, truncate_file, FaultPlan, StallFault, StallingIcache};
 pub use figures::{all_ids, run_by_id, run_by_id_with, ExperimentError, ExperimentResult};
-pub use inspectcmd::{run_inspect, InspectOutcome};
+pub use inspectcmd::{outcome_from_report, run_inspect, write_inspect_index, InspectOutcome};
 pub use journal::{CellJournal, JournalEntry, JournalMeta};
+pub use obs::{
+    load_event_log, validate_event_log, EventLogStats, EventRecord, EventSink, FanoutSink, GitInfo,
+    LiveRenderer, NdjsonSink, RunEvent, EVENT_SCHEMA_VERSION,
+};
+pub use reportcmd::run_report;
 pub use runner::{
     run_matrix, Cell, CellFailure, CellProgress, CellStatus, Effort, GridError, ProgressHook,
     RunContext, RunGrid,

@@ -1,0 +1,1088 @@
+//! Run observability: the structured, schema-versioned event bus.
+//!
+//! Where the [`crate::archive`] manifest records a run *after the fact*,
+//! this module streams the run *as it happens*: every lifecycle edge of
+//! every grid cell — scheduled, started, heartbeating, completed, failed,
+//! resumed — plus run-level bookends, through the zero-cost-when-disabled
+//! [`EventSink`] trait (mirroring `ubs_uarch::TelemetrySink`: no sink
+//! installed means no event is ever constructed).
+//!
+//! Heartbeats ride the simulator's 2^16-cycle watchdog checkpoints
+//! ([`ubs_uarch::Heartbeat`]), so a wedged cell is visible — its pulses
+//! keep coming with a flat `committed` — *before* the watchdog trips it.
+//!
+//! Two sinks ship here:
+//!
+//! - [`NdjsonSink`] appends one JSON object per line to an `--events`
+//!   file. Each line is written with a single `write` call, so a `kill
+//!   -9` at any instant leaves only whole lines; the file is fsync'd once
+//!   at run end via [`EventSink::flush`].
+//! - [`LiveRenderer`] paints a per-cell spinner/ETA status line on stderr
+//!   from the heartbeat stream (interactive terminals only).
+//!
+//! [`validate_event_log`] is the consumer-side contract check (used by
+//! tests, CI, and `repro report`): schema version, strictly increasing
+//! sequence numbers, and the lifecycle ordering invariants. The streaming
+//! contract is deliberately reusable: a future job server subscribes to
+//! exactly these events (ROADMAP item 2).
+
+use crate::runner::Effort;
+use crate::suitescale::SuiteScale;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Version of the event schema written by this build.
+///
+/// History: v1 introduced the envelope (`v`, `seq`, `elapsed_s`, `event`)
+/// and the run/cell/watchdog lifecycle events.
+pub const EVENT_SCHEMA_VERSION: u32 = 1;
+
+/// The build a run artifact came from: commit SHA plus a dirty flag.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GitInfo {
+    /// Full commit SHA of `HEAD`.
+    pub commit: String,
+    /// True when the working tree had uncommitted changes.
+    pub dirty: bool,
+}
+
+impl GitInfo {
+    /// Reads the current commit and dirty state by shelling out to `git`.
+    /// Answers `None` outside a work tree or when `git` is unavailable —
+    /// artifacts are then simply unstamped, never wrong.
+    pub fn detect() -> Option<GitInfo> {
+        let head = std::process::Command::new("git")
+            .args(["rev-parse", "HEAD"])
+            .output()
+            .ok()?;
+        if !head.status.success() {
+            return None;
+        }
+        let commit = String::from_utf8_lossy(&head.stdout).trim().to_string();
+        if commit.is_empty() {
+            return None;
+        }
+        let dirty = std::process::Command::new("git")
+            .args(["status", "--porcelain"])
+            .output()
+            .ok()
+            .map(|o| o.status.success() && !o.stdout.is_empty())
+            .unwrap_or(false);
+        Some(GitInfo { commit, dirty })
+    }
+
+    /// `abcdef012345` → `abcdef0`, for compact rendering.
+    pub fn short(&self) -> &str {
+        &self.commit[..self.commit.len().min(10)]
+    }
+}
+
+/// One lifecycle event of a `repro` run.
+///
+/// Externally tagged on the wire (`{"CellStarted": {...}}`), so a consumer
+/// can dispatch on the single top-level key. Cell-scoped events carry the
+/// full (experiment, workload, design) coordinate: the stream of a whole
+/// `repro all` run is self-describing without positional context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunEvent {
+    /// The run began: what will be run, under what conditions, from which
+    /// build.
+    RunStarted {
+        /// Effort level of the run.
+        effort: Effort,
+        /// Suite sizing of the run.
+        scale: SuiteScale,
+        /// Worker threads the run will use.
+        threads: usize,
+        /// Experiment ids, in run order.
+        experiments: Vec<String>,
+        /// Build stamp, when detectable.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        git: Option<GitInfo>,
+    },
+    /// A resume journal was loaded; this many cells will be replayed.
+    JournalReplayed {
+        /// Intact journal entries available for replay.
+        cells: usize,
+    },
+    /// A cell was placed on the work queue.
+    CellScheduled {
+        /// Experiment id the cell belongs to.
+        experiment: String,
+        /// Workload display name.
+        workload: String,
+        /// Design display name.
+        design: String,
+    },
+    /// A worker began simulating a cell.
+    CellStarted {
+        /// Experiment id the cell belongs to.
+        experiment: String,
+        /// Workload display name.
+        workload: String,
+        /// Design display name.
+        design: String,
+    },
+    /// The forward-progress watchdog is armed for an experiment's grid
+    /// (one event per grid; the config is uniform across its cells).
+    WatchdogArmed {
+        /// Experiment id the grid belongs to.
+        experiment: String,
+        /// Cycles without a commit before the livelock check trips.
+        no_retire_cycles: u64,
+        /// Cycles between checkpoints (the heartbeat cadence).
+        check_interval_cycles: u64,
+        /// Wall-clock budget per cell, when one is set.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        wall_budget_secs: Option<f64>,
+    },
+    /// A liveness pulse from a running cell (every watchdog checkpoint).
+    CellHeartbeat {
+        /// Experiment id the cell belongs to.
+        experiment: String,
+        /// Workload display name.
+        workload: String,
+        /// Design display name.
+        design: String,
+        /// Simulator cycle of the checkpoint.
+        cycle: u64,
+        /// Instructions committed so far (warmup + measurement).
+        committed: u64,
+        /// Host wall-clock seconds since the cell started simulating.
+        wall_seconds: f64,
+    },
+    /// A cell was replayed bit-exactly from the resume journal.
+    CellResumed {
+        /// Experiment id the cell belongs to.
+        experiment: String,
+        /// Workload display name.
+        workload: String,
+        /// Design display name.
+        design: String,
+        /// Wall seconds the original simulation took.
+        wall_seconds: f64,
+    },
+    /// A cell finished and its report validated.
+    CellCompleted {
+        /// Experiment id the cell belongs to.
+        experiment: String,
+        /// Workload display name.
+        workload: String,
+        /// Design display name.
+        design: String,
+        /// Wall-clock seconds the cell took.
+        wall_seconds: f64,
+        /// Instructions simulated in the measurement window.
+        instructions: u64,
+        /// Simulated-instruction throughput in Minstr/s.
+        minstr_per_sec: f64,
+    },
+    /// The watchdog ended a cell (emitted just before its `CellFailed`).
+    WatchdogTripped {
+        /// Experiment id the cell belongs to.
+        experiment: String,
+        /// Workload display name.
+        workload: String,
+        /// Design display name.
+        design: String,
+        /// Which check tripped (`livelock` / `wall-clock` / `cpi-limit`).
+        kind: String,
+    },
+    /// A cell panicked (injected fault, watchdog trip, simulator bug).
+    CellFailed {
+        /// Experiment id the cell belongs to.
+        experiment: String,
+        /// Workload display name.
+        workload: String,
+        /// Design display name.
+        design: String,
+        /// Wall-clock seconds until the failure.
+        wall_seconds: f64,
+        /// The contained panic message.
+        error: String,
+    },
+    /// The run ended (success or not); the sink is flushed after this.
+    RunFinished {
+        /// Total wall-clock seconds of the run.
+        wall_seconds: f64,
+        /// Cells attempted across all experiments.
+        cells_total: usize,
+        /// Cells that failed.
+        cells_failed: usize,
+        /// True when every cell completed and all artifacts were written.
+        ok: bool,
+    },
+}
+
+impl RunEvent {
+    /// The (experiment, workload, design) coordinate of a cell-scoped
+    /// event; `None` for run-level events.
+    pub fn cell(&self) -> Option<(&str, &str, &str)> {
+        match self {
+            RunEvent::CellScheduled {
+                experiment,
+                workload,
+                design,
+            }
+            | RunEvent::CellStarted {
+                experiment,
+                workload,
+                design,
+            }
+            | RunEvent::CellHeartbeat {
+                experiment,
+                workload,
+                design,
+                ..
+            }
+            | RunEvent::CellResumed {
+                experiment,
+                workload,
+                design,
+                ..
+            }
+            | RunEvent::CellCompleted {
+                experiment,
+                workload,
+                design,
+                ..
+            }
+            | RunEvent::WatchdogTripped {
+                experiment,
+                workload,
+                design,
+                ..
+            }
+            | RunEvent::CellFailed {
+                experiment,
+                workload,
+                design,
+                ..
+            } => Some((experiment, workload, design)),
+            _ => None,
+        }
+    }
+}
+
+/// One line of an event log: the event plus its envelope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Event schema version ([`EVENT_SCHEMA_VERSION`]).
+    pub v: u32,
+    /// Strictly increasing per-sink sequence number, starting at 0.
+    pub seq: u64,
+    /// Seconds since the sink was created (run-relative timestamps keep
+    /// the stream deterministic-shaped; absolute time lives in the
+    /// manifest's git/date stamps).
+    pub elapsed_s: f64,
+    /// The event itself.
+    pub event: RunEvent,
+}
+
+/// Observer of [`RunEvent`]s. Implementations must be `Sync`: the runner
+/// emits from its worker threads.
+///
+/// The zero-cost contract mirrors `ubs_uarch::TelemetrySink`: the runner
+/// holds an `Option<&dyn EventSink>`, and with `None` no event value is
+/// ever constructed — a run without observers pays nothing.
+pub trait EventSink: Sync {
+    /// Observes one event.
+    fn emit(&self, event: &RunEvent);
+    /// Flushes buffered events to stable storage (called once at run end).
+    fn flush(&self) {}
+}
+
+/// Fans one event stream out to several sinks (NDJSON file + live
+/// renderer), in order.
+pub struct FanoutSink<'a> {
+    sinks: Vec<&'a dyn EventSink>,
+}
+
+impl<'a> FanoutSink<'a> {
+    /// A fanout over the given sinks.
+    pub fn new(sinks: Vec<&'a dyn EventSink>) -> Self {
+        FanoutSink { sinks }
+    }
+
+    /// True when no sink is attached (callers then pass `None` to the
+    /// runner and keep the zero-cost path).
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl std::fmt::Debug for FanoutSink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FanoutSink")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl EventSink for FanoutSink<'_> {
+    fn emit(&self, event: &RunEvent) {
+        for s in &self.sinks {
+            s.emit(event);
+        }
+    }
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
+}
+
+struct NdjsonInner {
+    file: std::fs::File,
+    seq: u64,
+}
+
+/// Appends events to an NDJSON file, one complete line per `write` call.
+///
+/// Line atomicity is the crash contract: the envelope (with its sequence
+/// number) and the event are serialized into one buffer ending in `\n`
+/// and written with a single `write` under the sink mutex, so a process
+/// killed mid-run leaves a file whose every complete line parses — a
+/// torn final line is possible in principle but a torn *middle* line is
+/// not. [`EventSink::flush`] fsyncs at run end.
+pub struct NdjsonSink {
+    path: PathBuf,
+    started: Instant,
+    inner: Mutex<NdjsonInner>,
+}
+
+impl std::fmt::Debug for NdjsonSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NdjsonSink")
+            .field("path", &self.path)
+            .finish()
+    }
+}
+
+impl NdjsonSink {
+    /// Creates (truncating) the event log at `path`, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: &Path) -> std::io::Result<NdjsonSink> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::File::create(path)?;
+        Ok(NdjsonSink {
+            path: path.to_path_buf(),
+            started: Instant::now(),
+            inner: Mutex::new(NdjsonInner { file, seq: 0 }),
+        })
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl EventSink for NdjsonSink {
+    fn emit(&self, event: &RunEvent) {
+        let elapsed_s = self.started.elapsed().as_secs_f64();
+        let mut inner = self.inner.lock();
+        let record = EventRecord {
+            v: EVENT_SCHEMA_VERSION,
+            seq: inner.seq,
+            elapsed_s,
+            event: event.clone(),
+        };
+        let Ok(mut line) = serde_json::to_string(&record) else {
+            return; // unserializable event: drop, never poison the run
+        };
+        line.push('\n');
+        if inner.file.write_all(line.as_bytes()).is_ok() {
+            inner.seq += 1;
+        }
+    }
+
+    fn flush(&self) {
+        let inner = self.inner.lock();
+        let _ = inner.file.sync_all();
+    }
+}
+
+/// Aggregate counts of a validated event log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventLogStats {
+    /// Total events (lines) in the log.
+    pub events: usize,
+    /// `CellScheduled` events.
+    pub scheduled: usize,
+    /// `CellStarted` events.
+    pub started: usize,
+    /// `CellHeartbeat` events.
+    pub heartbeats: usize,
+    /// `CellCompleted` events.
+    pub completed: usize,
+    /// `CellFailed` events.
+    pub failed: usize,
+    /// `CellResumed` events.
+    pub resumed: usize,
+    /// `WatchdogTripped` events.
+    pub watchdog_trips: usize,
+    /// True when the log ends with a `RunFinished` event (a killed run's
+    /// log is valid but unfinished).
+    pub finished: bool,
+}
+
+/// Validates an NDJSON event log against the schema and the lifecycle
+/// ordering invariants:
+///
+/// - every line parses as an [`EventRecord`] at [`EVENT_SCHEMA_VERSION`];
+/// - sequence numbers start at 0 and increase strictly;
+/// - the first event is `RunStarted`;
+/// - every `CellCompleted`/`CellFailed` is preceded by a matching
+///   `CellStarted`, every `CellStarted`/`CellResumed` by a matching
+///   `CellScheduled`, and every `CellHeartbeat` by a still-running
+///   `CellStarted`.
+///
+/// An empty log is valid (a run killed before its first write). A log
+/// without `RunFinished` is valid but reported as unfinished.
+///
+/// # Errors
+///
+/// Returns a one-line message naming the first offending line.
+pub fn validate_event_log(text: &str) -> Result<EventLogStats, String> {
+    let mut stats = EventLogStats::default();
+    let mut next_seq = 0u64;
+    // Per-cell lifecycle counters, keyed by (experiment, workload, design).
+    #[derive(Default)]
+    struct CellCounts {
+        scheduled: usize,
+        started: usize,
+        terminal: usize, // completed + failed
+        resumed: usize,
+    }
+    let mut cells: BTreeMap<String, CellCounts> = BTreeMap::new();
+    let mut last_was_finish = false;
+
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let record: EventRecord = serde_json::from_str(line)
+            .map_err(|e| format!("line {lineno}: not a valid event record: {e}"))?;
+        if record.v != EVENT_SCHEMA_VERSION {
+            return Err(format!(
+                "line {lineno}: schema v{} (this build understands v{EVENT_SCHEMA_VERSION})",
+                record.v
+            ));
+        }
+        if record.seq != next_seq {
+            return Err(format!(
+                "line {lineno}: sequence number {} (expected {next_seq})",
+                record.seq
+            ));
+        }
+        next_seq += 1;
+        if stats.events == 0 && !matches!(record.event, RunEvent::RunStarted { .. }) {
+            return Err(format!("line {lineno}: log does not begin with RunStarted"));
+        }
+        stats.events += 1;
+        last_was_finish = matches!(record.event, RunEvent::RunFinished { .. });
+
+        let key = record.event.cell().map(|(e, w, d)| format!("{e}/{w}__{d}"));
+        let counts = key.map(|k| cells.entry(k).or_default());
+        match (&record.event, counts) {
+            (RunEvent::CellScheduled { .. }, Some(c)) => {
+                c.scheduled += 1;
+                stats.scheduled += 1;
+            }
+            (RunEvent::CellStarted { .. }, Some(c)) => {
+                if c.started + c.resumed >= c.scheduled {
+                    return Err(format!("line {lineno}: CellStarted without CellScheduled"));
+                }
+                c.started += 1;
+                stats.started += 1;
+            }
+            (RunEvent::CellResumed { .. }, Some(c)) => {
+                if c.started + c.resumed >= c.scheduled {
+                    return Err(format!("line {lineno}: CellResumed without CellScheduled"));
+                }
+                c.resumed += 1;
+                stats.resumed += 1;
+            }
+            (RunEvent::CellHeartbeat { .. }, Some(c)) => {
+                if c.started <= c.terminal {
+                    return Err(format!(
+                        "line {lineno}: CellHeartbeat from a cell that is not running"
+                    ));
+                }
+                stats.heartbeats += 1;
+            }
+            (RunEvent::CellCompleted { .. }, Some(c)) => {
+                if c.started <= c.terminal {
+                    return Err(format!("line {lineno}: CellCompleted without CellStarted"));
+                }
+                c.terminal += 1;
+                stats.completed += 1;
+            }
+            (RunEvent::CellFailed { .. }, Some(c)) => {
+                if c.started <= c.terminal {
+                    return Err(format!("line {lineno}: CellFailed without CellStarted"));
+                }
+                c.terminal += 1;
+                stats.failed += 1;
+            }
+            (RunEvent::WatchdogTripped { .. }, Some(c)) => {
+                if c.started <= c.terminal {
+                    return Err(format!(
+                        "line {lineno}: WatchdogTripped from a cell that is not running"
+                    ));
+                }
+                stats.watchdog_trips += 1;
+            }
+            _ => {}
+        }
+    }
+    stats.finished = last_was_finish;
+    Ok(stats)
+}
+
+/// Reads and validates an event log file.
+///
+/// # Errors
+///
+/// Returns a one-line message on I/O failure or validation failure.
+pub fn load_event_log(path: &Path) -> Result<(Vec<EventRecord>, EventLogStats), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read event log {}: {e}", path.display()))?;
+    let stats = validate_event_log(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut records = Vec::with_capacity(stats.events);
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        records.push(serde_json::from_str::<EventRecord>(line).expect("validated above"));
+    }
+    Ok((records, stats))
+}
+
+struct ActiveCell {
+    committed: u64,
+    wall_seconds: f64,
+}
+
+struct RenderState {
+    scheduled: usize,
+    done: usize,
+    failed: usize,
+    active: BTreeMap<String, ActiveCell>,
+    last_paint: Instant,
+    spin: usize,
+    painted: bool,
+}
+
+/// Paints a live per-cell progress line on stderr from the event stream:
+/// a spinner, grid completion counts, and — off the heartbeats — each
+/// running cell's percent-complete and ETA. Terminal lifecycle events
+/// print permanent lines (replacing the runner's plain progress output
+/// when the renderer is active).
+///
+/// Meant for interactive terminals; callers gate on
+/// `std::io::IsTerminal`.
+pub struct LiveRenderer {
+    /// Instruction target per cell (warmup + measurement) for ETA math.
+    instr_target: u64,
+    state: Mutex<RenderState>,
+}
+
+impl std::fmt::Debug for LiveRenderer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveRenderer")
+            .field("instr_target", &self.instr_target)
+            .finish()
+    }
+}
+
+/// Spinner frames (ASCII, so any terminal renders them).
+const SPINNER: &[char] = &['|', '/', '-', '\\'];
+
+/// Minimum milliseconds between transient repaints.
+const PAINT_INTERVAL_MS: u128 = 100;
+
+impl LiveRenderer {
+    /// A renderer for cells targeting `instr_target` instructions each
+    /// (the effort's warmup + measurement window).
+    pub fn new(instr_target: u64) -> Self {
+        LiveRenderer {
+            instr_target: instr_target.max(1),
+            state: Mutex::new(RenderState {
+                scheduled: 0,
+                done: 0,
+                failed: 0,
+                active: BTreeMap::new(),
+                last_paint: Instant::now(),
+                spin: 0,
+                painted: false,
+            }),
+        }
+    }
+
+    /// Erases the transient status line (call before printing unrelated
+    /// output to stderr while the renderer is active).
+    pub fn clear_transient(&self) {
+        let mut st = self.state.lock();
+        Self::erase(&mut st);
+    }
+
+    fn erase(st: &mut RenderState) {
+        if st.painted {
+            eprint!("\r\x1b[K");
+            st.painted = false;
+        }
+    }
+
+    fn paint(&self, st: &mut RenderState) {
+        st.spin = (st.spin + 1) % SPINNER.len();
+        let mut line = format!("{} {}/{} cells", SPINNER[st.spin], st.done, st.scheduled);
+        if st.failed > 0 {
+            line.push_str(&format!(" ({} failed)", st.failed));
+        }
+        for (key, cell) in st.active.iter().take(3) {
+            let pct = 100.0 * cell.committed as f64 / self.instr_target as f64;
+            let eta = if cell.committed > 0 {
+                let remaining = self.instr_target.saturating_sub(cell.committed);
+                cell.wall_seconds * remaining as f64 / cell.committed as f64
+            } else {
+                0.0
+            };
+            line.push_str(&format!(" | {key} {pct:.0}% eta {eta:.0}s"));
+        }
+        if st.active.len() > 3 {
+            line.push_str(&format!(" | +{} more", st.active.len() - 3));
+        }
+        line.truncate(120);
+        eprint!("\r\x1b[K{line}");
+        let _ = std::io::stderr().flush();
+        st.painted = true;
+        st.last_paint = Instant::now();
+    }
+}
+
+impl EventSink for LiveRenderer {
+    fn emit(&self, event: &RunEvent) {
+        let mut st = self.state.lock();
+        match event {
+            RunEvent::CellScheduled { .. } => st.scheduled += 1,
+            RunEvent::CellStarted {
+                workload, design, ..
+            } => {
+                st.active.insert(
+                    format!("{workload}×{design}"),
+                    ActiveCell {
+                        committed: 0,
+                        wall_seconds: 0.0,
+                    },
+                );
+            }
+            RunEvent::CellHeartbeat {
+                workload,
+                design,
+                committed,
+                wall_seconds,
+                ..
+            } => {
+                if let Some(cell) = st.active.get_mut(&format!("{workload}×{design}")) {
+                    cell.committed = *committed;
+                    cell.wall_seconds = *wall_seconds;
+                }
+                if st.last_paint.elapsed().as_millis() >= PAINT_INTERVAL_MS {
+                    self.paint(&mut st);
+                }
+                return;
+            }
+            RunEvent::CellCompleted {
+                experiment,
+                workload,
+                design,
+                wall_seconds,
+                minstr_per_sec,
+                ..
+            } => {
+                st.active.remove(&format!("{workload}×{design}"));
+                st.done += 1;
+                Self::erase(&mut st);
+                eprintln!(
+                    "[{experiment}] {}/{} {workload} × {design}: {wall_seconds:.2}s, \
+                     {minstr_per_sec:.2} Minstr/s",
+                    st.done, st.scheduled
+                );
+            }
+            RunEvent::CellResumed {
+                experiment,
+                workload,
+                design,
+                ..
+            } => {
+                st.done += 1;
+                Self::erase(&mut st);
+                eprintln!(
+                    "[{experiment}] {}/{} {workload} × {design}: resumed from journal",
+                    st.done, st.scheduled
+                );
+            }
+            RunEvent::CellFailed {
+                experiment,
+                workload,
+                design,
+                wall_seconds,
+                error,
+                ..
+            } => {
+                st.active.remove(&format!("{workload}×{design}"));
+                st.done += 1;
+                st.failed += 1;
+                Self::erase(&mut st);
+                let first_line = error.lines().next().unwrap_or("(empty panic message)");
+                eprintln!(
+                    "[{experiment}] {}/{} {workload} × {design}: FAILED after \
+                     {wall_seconds:.2}s — {first_line}",
+                    st.done, st.scheduled
+                );
+            }
+            RunEvent::RunFinished { .. } => {
+                Self::erase(&mut st);
+                return;
+            }
+            _ => {}
+        }
+        if st.last_paint.elapsed().as_millis() >= PAINT_INTERVAL_MS {
+            self.paint(&mut st);
+        }
+    }
+
+    fn flush(&self) {
+        self.clear_transient();
+    }
+}
+
+/// Formats a unix timestamp (seconds) as a UTC `YYYY-MM-DD` date, with no
+/// calendar dependency (days-to-civil conversion after Howard Hinnant's
+/// `civil_from_days` algorithm).
+pub fn utc_date_string(unix_secs: u64) -> String {
+    let days = (unix_secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell_event(kind: &str, n: u64) -> RunEvent {
+        let (e, w, d) = (
+            "fig10".to_string(),
+            "server_000".to_string(),
+            "ubs".to_string(),
+        );
+        match kind {
+            "sched" => RunEvent::CellScheduled {
+                experiment: e,
+                workload: w,
+                design: d,
+            },
+            "start" => RunEvent::CellStarted {
+                experiment: e,
+                workload: w,
+                design: d,
+            },
+            "beat" => RunEvent::CellHeartbeat {
+                experiment: e,
+                workload: w,
+                design: d,
+                cycle: n,
+                committed: n / 2,
+                wall_seconds: 0.5,
+            },
+            "done" => RunEvent::CellCompleted {
+                experiment: e,
+                workload: w,
+                design: d,
+                wall_seconds: 1.0,
+                instructions: 400_000,
+                minstr_per_sec: 0.4,
+            },
+            "fail" => RunEvent::CellFailed {
+                experiment: e,
+                workload: w,
+                design: d,
+                wall_seconds: 1.0,
+                error: "forward-progress watchdog[livelock]: wedged".into(),
+            },
+            other => panic!("unknown kind {other}"),
+        }
+    }
+
+    fn started() -> RunEvent {
+        RunEvent::RunStarted {
+            effort: Effort::Quick,
+            scale: SuiteScale::tiny(),
+            threads: 2,
+            experiments: vec!["fig10".into()],
+            git: Some(GitInfo {
+                commit: "abc123".into(),
+                dirty: false,
+            }),
+        }
+    }
+
+    fn log_of(events: &[RunEvent]) -> String {
+        let mut out = String::new();
+        for (i, e) in events.iter().enumerate() {
+            let rec = EventRecord {
+                v: EVENT_SCHEMA_VERSION,
+                seq: i as u64,
+                elapsed_s: i as f64 * 0.1,
+                event: e.clone(),
+            };
+            out.push_str(&serde_json::to_string(&rec).unwrap());
+            out.push('\n');
+        }
+        out
+    }
+
+    #[test]
+    fn every_event_round_trips_through_json() {
+        let events = vec![
+            started(),
+            RunEvent::JournalReplayed { cells: 3 },
+            cell_event("sched", 0),
+            cell_event("start", 0),
+            RunEvent::WatchdogArmed {
+                experiment: "fig10".into(),
+                no_retire_cycles: 1_000_000,
+                check_interval_cycles: 1 << 16,
+                wall_budget_secs: Some(30.0),
+            },
+            cell_event("beat", 65_536),
+            cell_event("done", 0),
+            RunEvent::WatchdogTripped {
+                experiment: "fig10".into(),
+                workload: "server_000".into(),
+                design: "ubs".into(),
+                kind: "livelock".into(),
+            },
+            cell_event("fail", 0),
+            RunEvent::RunFinished {
+                wall_seconds: 12.5,
+                cells_total: 2,
+                cells_failed: 1,
+                ok: false,
+            },
+        ];
+        for e in &events {
+            let rec = EventRecord {
+                v: EVENT_SCHEMA_VERSION,
+                seq: 0,
+                elapsed_s: 1.25,
+                event: e.clone(),
+            };
+            let json = serde_json::to_string(&rec).unwrap();
+            let back: EventRecord = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back.event, e, "round trip of {json}");
+        }
+    }
+
+    #[test]
+    fn optional_fields_are_omitted_when_absent() {
+        let rec = EventRecord {
+            v: EVENT_SCHEMA_VERSION,
+            seq: 0,
+            elapsed_s: 0.0,
+            event: RunEvent::RunStarted {
+                effort: Effort::Quick,
+                scale: SuiteScale::tiny(),
+                threads: 1,
+                experiments: vec![],
+                git: None,
+            },
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        assert!(!json.contains("\"git\""), "{json}");
+        let back: EventRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn valid_lifecycle_passes_validation() {
+        let text = log_of(&[
+            started(),
+            cell_event("sched", 0),
+            cell_event("start", 0),
+            cell_event("beat", 65_536),
+            cell_event("beat", 131_072),
+            cell_event("done", 0),
+            RunEvent::RunFinished {
+                wall_seconds: 1.0,
+                cells_total: 1,
+                cells_failed: 0,
+                ok: true,
+            },
+        ]);
+        let stats = validate_event_log(&text).unwrap();
+        assert_eq!(stats.events, 7);
+        assert_eq!(stats.scheduled, 1);
+        assert_eq!(stats.started, 1);
+        assert_eq!(stats.heartbeats, 2);
+        assert_eq!(stats.completed, 1);
+        assert!(stats.finished);
+    }
+
+    #[test]
+    fn truncated_log_is_valid_but_unfinished() {
+        let full = log_of(&[started(), cell_event("sched", 0), cell_event("start", 0)]);
+        let stats = validate_event_log(&full).unwrap();
+        assert!(!stats.finished);
+        assert_eq!(stats.started, 1);
+        // Empty log: a run killed before its first write.
+        assert_eq!(validate_event_log("").unwrap(), EventLogStats::default());
+    }
+
+    #[test]
+    fn ordering_violations_are_rejected() {
+        // Completed without Started.
+        let text = log_of(&[started(), cell_event("sched", 0), cell_event("done", 0)]);
+        let err = validate_event_log(&text).unwrap_err();
+        assert!(err.contains("CellCompleted without CellStarted"), "{err}");
+
+        // Started without Scheduled.
+        let text = log_of(&[started(), cell_event("start", 0)]);
+        let err = validate_event_log(&text).unwrap_err();
+        assert!(err.contains("CellStarted without CellScheduled"), "{err}");
+
+        // Heartbeat after completion.
+        let text = log_of(&[
+            started(),
+            cell_event("sched", 0),
+            cell_event("start", 0),
+            cell_event("done", 0),
+            cell_event("beat", 0),
+        ]);
+        let err = validate_event_log(&text).unwrap_err();
+        assert!(err.contains("not running"), "{err}");
+
+        // Failed twice for one start.
+        let text = log_of(&[
+            started(),
+            cell_event("sched", 0),
+            cell_event("start", 0),
+            cell_event("fail", 0),
+            cell_event("fail", 0),
+        ]);
+        let err = validate_event_log(&text).unwrap_err();
+        assert!(err.contains("CellFailed without CellStarted"), "{err}");
+    }
+
+    #[test]
+    fn sequence_gaps_and_bad_versions_are_rejected() {
+        let good = log_of(&[started(), cell_event("sched", 0)]);
+        // Break the second line's seq.
+        let broken: String = good
+            .lines()
+            .map(|l| l.replace("\"seq\":1", "\"seq\":7"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = validate_event_log(&broken).unwrap_err();
+        assert!(err.contains("sequence"), "{err}");
+
+        let wrong_v = good.replace(
+            &format!("\"v\":{EVENT_SCHEMA_VERSION}"),
+            &format!("\"v\":{}", EVENT_SCHEMA_VERSION + 1),
+        );
+        let err = validate_event_log(&wrong_v).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+
+        let err = validate_event_log("not json\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+
+        // First event must be RunStarted.
+        let headless = log_of(&[cell_event("sched", 0)]);
+        let err = validate_event_log(&headless).unwrap_err();
+        assert!(err.contains("RunStarted"), "{err}");
+    }
+
+    #[test]
+    fn ndjson_sink_writes_parseable_monotone_lines() {
+        let dir = std::env::temp_dir().join(format!("ubs-obs-sink-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("events.ndjson");
+        let sink = NdjsonSink::create(&path).unwrap();
+        sink.emit(&started());
+        sink.emit(&cell_event("sched", 0));
+        sink.emit(&cell_event("start", 0));
+        sink.emit(&cell_event("done", 0));
+        sink.flush();
+        let (records, stats) = load_event_log(&path).unwrap();
+        assert_eq!(records.len(), 4);
+        assert_eq!(stats.completed, 1);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+            assert!(r.elapsed_s >= 0.0);
+        }
+        // Emissions from several threads keep seq dense and lines whole.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for n in 0..25u64 {
+                        sink.emit(&cell_event("beat", n));
+                    }
+                });
+            }
+        });
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut seqs: Vec<u64> = Vec::new();
+        for line in text.lines() {
+            let rec: EventRecord = serde_json::from_str(line).expect("whole line");
+            seqs.push(rec.seq);
+        }
+        assert_eq!(seqs.len(), 104);
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1), "dense seq");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn git_detection_in_this_repo() {
+        // The test suite runs inside the repository, so detection should
+        // succeed and give a plausible SHA; tolerate running outside one.
+        if let Some(git) = GitInfo::detect() {
+            assert!(git.commit.len() >= 7, "{}", git.commit);
+            assert!(git.commit.chars().all(|c| c.is_ascii_hexdigit()));
+            assert!(git.short().len() <= 10);
+        }
+    }
+
+    #[test]
+    fn utc_dates_convert_correctly() {
+        assert_eq!(utc_date_string(0), "1970-01-01");
+        assert_eq!(utc_date_string(86_400), "1970-01-02");
+        // 2026-08-09 00:00:00 UTC.
+        assert_eq!(utc_date_string(1_786_233_600), "2026-08-09");
+        // Leap day 2024-02-29.
+        assert_eq!(utc_date_string(1_709_164_800), "2024-02-29");
+    }
+}

@@ -1,0 +1,514 @@
+//! The `repro report` subcommand: a fleet-level view across runs.
+//!
+//! Takes any number of results directories (each a `--json DIR` from a
+//! `repro` run: manifest, journal, optional `events.ndjson`) and
+//! aggregates them into one self-contained `report.html` — a per-cell
+//! status grid with failure/resume badges, wall-time and Minstr/s
+//! sparklines across runs, watchdog-trip and resume counts — plus a
+//! `report.json` for machines. Like the inspect pages, the HTML is inert:
+//! inline CSS and SVG only, no scripts, opens anywhere.
+
+use crate::archive::{write_bytes_atomic, write_json_atomic, RunManifest};
+use crate::cli::ReportOptions;
+use crate::journal::CellJournal;
+use crate::obs::{load_event_log, EventLogStats, RunEvent};
+use serde_json::json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Version of the `report.json` schema written by this build.
+///
+/// History: v1 introduced the report (`runs` + `cells` + `warnings`).
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// One aggregated run.
+struct RunSummary {
+    /// Directory label (as given on the command line).
+    label: String,
+    manifest: RunManifest,
+    /// Cells journaled on disk (whole-entry files, meta excluded).
+    journaled: usize,
+    /// Validated event-log stats, when `events.ndjson` exists and parses.
+    events: Option<EventLogStats>,
+    /// Watchdog trips per cell key, from the event log.
+    trips: BTreeMap<String, usize>,
+}
+
+/// Outcome of one cell in one run, for the status grid.
+#[derive(Clone, Copy, PartialEq)]
+enum CellOutcome {
+    Ok,
+    Resumed,
+    Failed,
+}
+
+impl CellOutcome {
+    fn badge(self) -> (&'static str, &'static str) {
+        match self {
+            CellOutcome::Ok => ("ok", "#2a2"),
+            CellOutcome::Resumed => ("resumed", "#36c"),
+            CellOutcome::Failed => ("FAILED", "#c22"),
+        }
+    }
+    fn label(self) -> &'static str {
+        self.badge().0
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn load_run(dir: &Path, warnings: &mut Vec<String>) -> Result<RunSummary, String> {
+    let manifest = RunManifest::load(dir)
+        .map_err(|e| format!("{}: cannot load manifest: {e}", dir.display()))?;
+    let journal_dir = dir.join(CellJournal::DIR_NAME);
+    let journaled = std::fs::read_dir(&journal_dir)
+        .map(|listing| {
+            listing
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.extension().is_some_and(|x| x == "json")
+                        && p.file_name().is_some_and(|f| f != CellJournal::META_FILE)
+                })
+                .count()
+        })
+        .unwrap_or(0);
+
+    let events_path = dir.join("events.ndjson");
+    let mut events = None;
+    let mut trips = BTreeMap::new();
+    if events_path.exists() {
+        match load_event_log(&events_path) {
+            Ok((records, stats)) => {
+                for rec in &records {
+                    if let RunEvent::WatchdogTripped {
+                        workload, design, ..
+                    } = &rec.event
+                    {
+                        *trips.entry(format!("{workload} × {design}")).or_insert(0) += 1;
+                    }
+                }
+                events = Some(stats);
+            }
+            Err(e) => warnings.push(format!("event log ignored: {e}")),
+        }
+    }
+    Ok(RunSummary {
+        label: dir.display().to_string(),
+        manifest,
+        journaled,
+        events,
+        trips,
+    })
+}
+
+/// A small inline-SVG sparkline over one value per run.
+fn sparkline(values: &[f64]) -> String {
+    if values.len() < 2 {
+        return String::new();
+    }
+    let (w, h) = (120.0f64, 26.0f64);
+    let max = values.iter().copied().fold(f64::MIN, f64::max).max(1e-12);
+    let min = values.iter().copied().fold(f64::MAX, f64::min);
+    let span = (max - min).max(max * 1e-3).max(1e-12);
+    let step = w / (values.len() - 1) as f64;
+    let points: Vec<String> = values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            format!(
+                "{:.1},{:.1}",
+                i as f64 * step,
+                3.0 + (h - 6.0) * (1.0 - (v - min) / span)
+            )
+        })
+        .collect();
+    format!(
+        "<svg width=\"{w:.0}\" height=\"{h:.0}\" viewBox=\"0 0 {w:.0} {h:.0}\" role=\"img\">\
+         <polyline fill=\"none\" stroke=\"#369\" stroke-width=\"1.5\" points=\"{}\"/></svg>",
+        points.join(" ")
+    )
+}
+
+/// Per-cell outcomes for one run, keyed `experiment/workload__design`.
+fn cell_outcomes(run: &RunSummary) -> BTreeMap<String, (CellOutcome, f64)> {
+    let mut map = BTreeMap::new();
+    for exp in &run.manifest.experiments {
+        for cell in &exp.cells {
+            let key = format!("{}/{}__{}", exp.id, cell.workload, cell.design);
+            let outcome = if !cell.status.is_ok() {
+                CellOutcome::Failed
+            } else if cell.resumed {
+                CellOutcome::Resumed
+            } else {
+                CellOutcome::Ok
+            };
+            map.insert(key, (outcome, cell.wall_seconds));
+        }
+    }
+    map
+}
+
+fn render_html(runs: &[RunSummary], warnings: &[String]) -> String {
+    let mut out = String::with_capacity(64 * 1024);
+    writeln!(
+        out,
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n\
+         <title>fleet report — {} runs</title>\n\
+         <style>\n\
+         body{{font:14px/1.45 system-ui,sans-serif;margin:2em auto;max-width:80em;color:#222}}\n\
+         h1{{font-size:1.4em}} h2{{font-size:1.1em;margin-top:2em}}\n\
+         table{{border-collapse:collapse}}\n\
+         td,th{{border:1px solid #ccc;padding:2px 8px;text-align:right}}\n\
+         th{{background:#f3f3f3}}\n\
+         td.id{{text-align:left;font-family:ui-monospace,monospace;font-size:0.92em}}\n\
+         span.badge{{color:#fff;border-radius:3px;padding:0 5px;font-size:0.85em}}\n\
+         .note{{color:#666;font-size:0.9em}}\n\
+         </style></head><body>\n<h1>Fleet report — {} runs</h1>",
+        runs.len(),
+        runs.len()
+    )
+    .unwrap();
+
+    // Run table.
+    out.push_str(
+        "<h2>Runs</h2>\n<table><tr><th>run</th><th>git</th><th>effort</th><th>threads</th>\
+         <th>cells</th><th>failed</th><th>resumed</th><th>journaled</th><th>trips</th>\
+         <th>heartbeats</th><th>wall (s)</th><th>Minstr/s</th><th>events</th></tr>\n",
+    );
+    for run in runs {
+        let cells = cell_outcomes(run);
+        let failed = cells
+            .values()
+            .filter(|(o, _)| *o == CellOutcome::Failed)
+            .count();
+        let resumed = cells
+            .values()
+            .filter(|(o, _)| *o == CellOutcome::Resumed)
+            .count();
+        let git = run
+            .manifest
+            .git
+            .as_ref()
+            .map(|g| format!("{}{}", g.short(), if g.dirty { "+dirty" } else { "" }))
+            .unwrap_or_else(|| "—".into());
+        let trips: usize = run.trips.values().sum();
+        let (heartbeats, events) = match &run.events {
+            Some(s) => (
+                s.heartbeats.to_string(),
+                if s.finished { "complete" } else { "truncated" }.to_string(),
+            ),
+            None => ("—".into(), "—".into()),
+        };
+        writeln!(
+            out,
+            "<tr><td class=\"id\">{}</td><td class=\"id\">{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{failed}</td><td>{resumed}</td><td>{}</td><td>{trips}</td>\
+             <td>{heartbeats}</td><td>{:.2}</td><td>{:.2}</td><td>{events}</td></tr>",
+            esc(&run.label),
+            esc(&git),
+            run.manifest.effort.label(),
+            run.manifest.threads,
+            cells.len(),
+            run.journaled,
+            run.manifest.total_wall_seconds(),
+            run.manifest.overall_minstr_per_sec(),
+        )
+        .unwrap();
+    }
+    out.push_str("</table>\n");
+
+    // Trajectory sparklines across runs (input order).
+    if runs.len() >= 2 {
+        let walls: Vec<f64> = runs
+            .iter()
+            .map(|r| r.manifest.total_wall_seconds())
+            .collect();
+        let thr: Vec<f64> = runs
+            .iter()
+            .map(|r| r.manifest.overall_minstr_per_sec())
+            .collect();
+        writeln!(
+            out,
+            "<h2>Across runs</h2>\n<table>\
+             <tr><th>wall (s)</th><td>{} {:.2} → {:.2}</td></tr>\n\
+             <tr><th>Minstr/s</th><td>{} {:.2} → {:.2}</td></tr></table>\n\
+             <p class=\"note\">Left to right in command-line order.</p>",
+            sparkline(&walls),
+            walls.first().unwrap(),
+            walls.last().unwrap(),
+            sparkline(&thr),
+            thr.first().unwrap(),
+            thr.last().unwrap(),
+        )
+        .unwrap();
+    }
+
+    // Per-cell status grid.
+    let per_run: Vec<BTreeMap<String, (CellOutcome, f64)>> =
+        runs.iter().map(cell_outcomes).collect();
+    let mut keys: Vec<&String> = per_run.iter().flat_map(|m| m.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    out.push_str("<h2>Cell status grid</h2>\n<table><tr><th>cell</th>");
+    for (i, run) in runs.iter().enumerate() {
+        write!(out, "<th title=\"{}\">run {}</th>", esc(&run.label), i + 1).unwrap();
+    }
+    out.push_str("<th>trips</th></tr>\n");
+    for key in keys {
+        write!(out, "<tr><td class=\"id\">{}</td>", esc(key)).unwrap();
+        for (run, cells) in runs.iter().zip(&per_run) {
+            match cells.get(key) {
+                Some((outcome, wall)) => {
+                    let (label, color) = outcome.badge();
+                    write!(
+                        out,
+                        "<td><span class=\"badge\" style=\"background:{color}\" \
+                         title=\"{wall:.2}s in {}\">{label}</span></td>",
+                        esc(&run.label)
+                    )
+                    .unwrap();
+                }
+                None => out.push_str("<td>—</td>"),
+            }
+        }
+        // Watchdog trips for this cell, summed across runs (event key is
+        // `workload × design`; the grid key carries the experiment too).
+        let short = key
+            .split('/')
+            .next_back()
+            .unwrap_or(key)
+            .replace("__", " × ");
+        let trips: usize = runs.iter().filter_map(|r| r.trips.get(&short)).sum();
+        writeln!(
+            out,
+            "<td>{}</td></tr>",
+            if trips > 0 {
+                trips.to_string()
+            } else {
+                "—".into()
+            }
+        )
+        .unwrap();
+    }
+    out.push_str("</table>\n");
+
+    if !warnings.is_empty() {
+        out.push_str("<h2>Warnings</h2>\n<ul>\n");
+        for w in warnings {
+            writeln!(out, "<li class=\"note\">{}</li>", esc(w)).unwrap();
+        }
+        out.push_str("</ul>\n");
+    }
+    out.push_str("</body></html>\n");
+    out
+}
+
+fn report_json(runs: &[RunSummary], warnings: &[String]) -> serde_json::Value {
+    let runs_json: Vec<serde_json::Value> = runs
+        .iter()
+        .map(|run| {
+            let cells = cell_outcomes(run);
+            let cells_json: serde_json::Map = cells
+                .iter()
+                .map(|(k, (outcome, wall))| {
+                    (
+                        k.clone(),
+                        json!({"outcome": outcome.label(), "wall_seconds": wall}),
+                    )
+                })
+                .collect();
+            json!({
+                "dir": run.label,
+                "git": run.manifest.git,
+                "effort": run.manifest.effort.label(),
+                "threads": run.manifest.threads,
+                "wall_seconds": run.manifest.total_wall_seconds(),
+                "minstr_per_sec": run.manifest.overall_minstr_per_sec(),
+                "journaled_cells": run.journaled,
+                "watchdog_trips": run.trips,
+                "events": run.events.as_ref().map(|s| json!({
+                    "events": s.events,
+                    "heartbeats": s.heartbeats,
+                    "started": s.started,
+                    "completed": s.completed,
+                    "failed": s.failed,
+                    "resumed": s.resumed,
+                    "watchdog_trips": s.watchdog_trips,
+                    "finished": s.finished,
+                })),
+                "cells": serde_json::Value::Object(cells_json),
+            })
+        })
+        .collect();
+    json!({
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "runs": runs_json,
+        "warnings": warnings,
+    })
+}
+
+/// Runs `repro report`: aggregates the given run directories and writes
+/// `report.html` + `report.json` into the output directory (default: the
+/// first input directory). Returns the HTML path.
+///
+/// # Errors
+///
+/// Returns a message when a manifest is missing/unreadable or the report
+/// cannot be written. Broken event logs and absent journals degrade to
+/// warnings inside the report instead.
+pub fn run_report(opts: &ReportOptions) -> Result<PathBuf, String> {
+    let mut warnings = Vec::new();
+    let mut runs = Vec::with_capacity(opts.dirs.len());
+    for dir in &opts.dirs {
+        runs.push(load_run(dir, &mut warnings)?);
+    }
+    let out_dir = opts.out.clone().unwrap_or_else(|| opts.dirs[0].clone());
+    let html = render_html(&runs, &warnings);
+    let html_path = write_bytes_atomic(&out_dir, "report.html", html.as_bytes())
+        .map_err(|e| format!("cannot write report.html: {e}"))?;
+    write_json_atomic(&out_dir, "report.json", &report_json(&runs, &warnings))
+        .map_err(|e| format!("cannot write report.json: {e}"))?;
+    let total_cells: usize = runs.iter().map(|r| cell_outcomes(r).len()).sum();
+    println!(
+        "report: {} runs, {} cells → {}",
+        runs.len(),
+        total_cells,
+        html_path.display()
+    );
+    Ok(html_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::{CellTiming, ExperimentRecord};
+    use crate::runner::{CellStatus, Effort};
+    use crate::suitescale::SuiteScale;
+
+    fn cell(workload: &str, design: &str, status: CellStatus, resumed: bool) -> CellTiming {
+        CellTiming {
+            workload: workload.into(),
+            workload_seed: 1,
+            design: design.into(),
+            instructions: 400_000,
+            wall_seconds: 0.2,
+            minstr_per_sec: 2.0,
+            phases: None,
+            status,
+            resumed,
+        }
+    }
+
+    fn write_run(dir: &Path, failed: bool) {
+        let mut m = RunManifest::new(Effort::Quick, SuiteScale::tiny(), 2);
+        let status = if failed {
+            CellStatus::Failed {
+                error: "forward-progress watchdog[livelock]: wedged".into(),
+                backtrace: String::new(),
+            }
+        } else {
+            CellStatus::Ok
+        };
+        m.push(ExperimentRecord::new(
+            "fig10",
+            0.5,
+            vec![
+                cell("server_000", "ubs", status, false),
+                cell("server_000", "conv-32k", CellStatus::Ok, !failed),
+            ],
+        ));
+        m.write_atomic(dir).unwrap();
+    }
+
+    fn temp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ubs-report-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn report_aggregates_runs_with_badges_and_sparklines() {
+        let root = temp("agg");
+        let (a, b) = (root.join("run1"), root.join("run2"));
+        write_run(&a, false);
+        write_run(&b, true);
+
+        let out = root.join("fleet");
+        let html_path = run_report(&ReportOptions {
+            dirs: vec![a, b],
+            out: Some(out.clone()),
+        })
+        .unwrap();
+        let html = std::fs::read_to_string(&html_path).unwrap();
+        assert!(html.contains("Fleet report — 2 runs"));
+        assert!(html.contains("fig10/server_000__ubs"));
+        assert!(html.contains("FAILED"));
+        assert!(html.contains("resumed"));
+        assert!(html.contains("<svg"), "sparklines for >= 2 runs");
+        assert!(!html.contains("<script"), "report must be inert");
+
+        let json: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(out.join("report.json")).unwrap())
+                .unwrap();
+        assert_eq!(json["schema_version"].as_u64().unwrap(), 1);
+        assert_eq!(json["runs"].as_array().unwrap().len(), 2);
+        assert_eq!(
+            json["runs"][1]["cells"]["fig10/server_000__ubs"]["outcome"],
+            "FAILED"
+        );
+        assert_eq!(
+            json["runs"][0]["cells"]["fig10/server_000__ubs"]["outcome"],
+            "ok"
+        );
+        assert_eq!(
+            json["runs"][0]["cells"]["fig10/server_000__conv-32k"]["outcome"],
+            "resumed"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn broken_event_log_degrades_to_warning() {
+        let root = temp("warn");
+        let dir = root.join("run");
+        write_run(&dir, false);
+        std::fs::write(dir.join("events.ndjson"), "not json\n").unwrap();
+        let html_path = run_report(&ReportOptions {
+            dirs: vec![dir],
+            out: None,
+        })
+        .unwrap();
+        let html = std::fs::read_to_string(&html_path).unwrap();
+        assert!(html.contains("Warnings"));
+        assert!(html.contains("event log ignored"));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_manifest_is_a_hard_error() {
+        let root = temp("nomanifest");
+        let err = run_report(&ReportOptions {
+            dirs: vec![root.join("nope")],
+            out: None,
+        })
+        .unwrap_err();
+        assert!(err.contains("manifest"), "{err}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn sparkline_handles_flat_and_short_series() {
+        assert_eq!(sparkline(&[1.0]), "");
+        let flat = sparkline(&[2.0, 2.0, 2.0]);
+        assert!(flat.contains("polyline"));
+        let rising = sparkline(&[1.0, 2.0, 4.0]);
+        assert!(rising.contains("polyline"));
+    }
+}

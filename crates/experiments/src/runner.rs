@@ -20,6 +20,7 @@
 use crate::designs::DesignSpec;
 use crate::fault::{FaultPlan, StallingIcache};
 use crate::journal::{CellJournal, JournalEntry};
+use crate::obs::{EventSink, RunEvent};
 use crate::suitescale::SuiteScale;
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
@@ -315,6 +316,13 @@ pub struct RunContext<'a> {
     pub cell_timeout: Option<f64>,
     /// Faults to inject into named cells (tests / `UBS_FAULT`).
     pub fault: Option<&'a FaultPlan>,
+    /// Lifecycle event observer (`--events` / the live renderer). `None`
+    /// keeps the zero-cost path: no event value is ever constructed and
+    /// the simulator runs without a heartbeat hook.
+    pub events: Option<&'a dyn EventSink>,
+    /// Experiment id stamped into emitted cell events (set per experiment
+    /// by the `repro` binary; empty for direct library use).
+    pub experiment: &'a str,
 }
 
 impl std::fmt::Debug for RunContext<'_> {
@@ -329,6 +337,8 @@ impl std::fmt::Debug for RunContext<'_> {
             .field("journal", &self.journal.map(CellJournal::dir))
             .field("cell_timeout", &self.cell_timeout)
             .field("fault", &self.fault)
+            .field("events", &self.events.map(|_| "<sink>"))
+            .field("experiment", &self.experiment)
             .finish()
     }
 }
@@ -346,6 +356,8 @@ impl<'a> RunContext<'a> {
             journal: None,
             cell_timeout: None,
             fault: None,
+            events: None,
+            experiment: "",
         }
     }
 
@@ -390,6 +402,19 @@ impl<'a> RunContext<'a> {
     /// Injects the given faults into matching cells.
     pub fn with_fault(mut self, fault: Option<&'a FaultPlan>) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Installs a lifecycle event sink (cell scheduled/started/heartbeat/
+    /// completed/failed/resumed, watchdog armed/tripped).
+    pub fn with_events(mut self, events: Option<&'a dyn EventSink>) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// Stamps emitted cell events with an experiment id.
+    pub fn with_experiment(mut self, experiment: &'a str) -> Self {
+        self.experiment = experiment;
         self
     }
 
@@ -460,6 +485,23 @@ fn run_matrix_inner(
     let jobs: Vec<(usize, usize)> = (0..workloads.len())
         .flat_map(|w| (0..designs.len()).map(move |d| (w, d)))
         .collect();
+    if let Some(sink) = ctx.events {
+        for &(w, d) in &jobs {
+            sink.emit(&RunEvent::CellScheduled {
+                experiment: ctx.experiment.to_string(),
+                workload: workloads[w].name.clone(),
+                design: designs[d].name(),
+            });
+        }
+        if !sim_cfg.watchdog.is_disabled() {
+            sink.emit(&RunEvent::WatchdogArmed {
+                experiment: ctx.experiment.to_string(),
+                no_retire_cycles: sim_cfg.watchdog.no_retire_cycles,
+                check_interval_cycles: sim_cfg.watchdog.check_interval_cycles,
+                wall_budget_secs: sim_cfg.watchdog.wall_budget_secs,
+            });
+        }
+    }
     let next = std::sync::atomic::AtomicUsize::new(0);
     let done = std::sync::atomic::AtomicUsize::new(0);
     // One pre-addressed slot per cell: workers write their own (w, d) slot
@@ -519,6 +561,14 @@ fn run_matrix_inner(
                         report: entry.report,
                         wall_seconds: entry.wall_seconds,
                     };
+                    if let Some(sink) = ctx.events {
+                        sink.emit(&RunEvent::CellResumed {
+                            experiment: ctx.experiment.to_string(),
+                            workload: workload.name.clone(),
+                            design: design_name.clone(),
+                            wall_seconds: cell.wall_seconds,
+                        });
+                    }
                     notify(w, d, Some(&cell), CellStatus::Ok, true);
                     slots[i]
                         .set(Ok(cell))
@@ -526,6 +576,13 @@ fn run_matrix_inner(
                     continue;
                 }
 
+                if let Some(sink) = ctx.events {
+                    sink.emit(&RunEvent::CellStarted {
+                        experiment: ctx.experiment.to_string(),
+                        workload: workload.name.clone(),
+                        design: design_name.clone(),
+                    });
+                }
                 let started = Instant::now();
                 let outcome = isolate::run(|| {
                     if ctx
@@ -545,7 +602,30 @@ fn run_matrix_inner(
                     {
                         icache = Box::new(StallingIcache::new(icache, at));
                     }
-                    let mut report = ubs_uarch::simulate(&mut trace, icache.as_mut(), &sim_cfg);
+                    // With a sink installed the simulation runs observed:
+                    // every watchdog checkpoint becomes a CellHeartbeat.
+                    // Host-side only — simulated results stay bit-exact.
+                    let mut report = match ctx.events {
+                        Some(sink) => {
+                            let hb = |h: &ubs_uarch::Heartbeat| {
+                                sink.emit(&RunEvent::CellHeartbeat {
+                                    experiment: ctx.experiment.to_string(),
+                                    workload: workload.name.clone(),
+                                    design: design_name.clone(),
+                                    cycle: h.cycle,
+                                    committed: h.committed,
+                                    wall_seconds: h.wall_seconds,
+                                });
+                            };
+                            ubs_uarch::simulate_observed(
+                                &mut trace,
+                                icache.as_mut(),
+                                &sim_cfg,
+                                Some(&hb),
+                            )
+                        }
+                        None => ubs_uarch::simulate(&mut trace, icache.as_mut(), &sim_cfg),
+                    };
                     if let Some(p) = report.phase_profile.as_mut() {
                         p.trace_decode_s = decode_secs[w];
                     }
@@ -568,6 +648,16 @@ fn run_matrix_inner(
                             report,
                             wall_seconds: started.elapsed().as_secs_f64(),
                         };
+                        if let Some(sink) = ctx.events {
+                            sink.emit(&RunEvent::CellCompleted {
+                                experiment: ctx.experiment.to_string(),
+                                workload: workload.name.clone(),
+                                design: design_name.clone(),
+                                wall_seconds: cell.wall_seconds,
+                                instructions: cell.report.instructions,
+                                minstr_per_sec: cell.minstr_per_sec(),
+                            });
+                        }
                         if let Some(journal) = ctx.journal {
                             // Best-effort checkpoint: a failed write only
                             // costs a future resume this cell.
@@ -585,6 +675,23 @@ fn run_matrix_inner(
                         Ok(cell)
                     }
                     Err((error, backtrace)) => {
+                        if let Some(sink) = ctx.events {
+                            if let Some(kind) = watchdog_trip_kind(&error) {
+                                sink.emit(&RunEvent::WatchdogTripped {
+                                    experiment: ctx.experiment.to_string(),
+                                    workload: workload.name.clone(),
+                                    design: design_name.clone(),
+                                    kind,
+                                });
+                            }
+                            sink.emit(&RunEvent::CellFailed {
+                                experiment: ctx.experiment.to_string(),
+                                workload: workload.name.clone(),
+                                design: design_name.clone(),
+                                wall_seconds: started.elapsed().as_secs_f64(),
+                                error: error.clone(),
+                            });
+                        }
                         let failure = CellFailure {
                             workload: workload.name.clone(),
                             design: design_name,
@@ -622,6 +729,16 @@ fn run_matrix_inner(
         design_names: designs.iter().map(|d| d.name()).collect(),
         cells,
     })
+}
+
+/// Extracts the watchdog kind label (`livelock` / `wall-clock` /
+/// `cpi-limit`) from a contained panic message, if the panic was a
+/// watchdog trip (`forward-progress watchdog[<kind>]: ...`).
+fn watchdog_trip_kind(error: &str) -> Option<String> {
+    let marker_at = error.find(ubs_uarch::WATCHDOG_PANIC_MARKER)?;
+    let rest = &error[marker_at + ubs_uarch::WATCHDOG_PANIC_MARKER.len()..];
+    let rest = rest.strip_prefix('[')?;
+    Some(rest[..rest.find(']')?].to_string())
 }
 
 /// Per-cell panic containment.

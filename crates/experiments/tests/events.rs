@@ -1,0 +1,251 @@
+//! End-to-end observability suite, through the real `repro` binary.
+//!
+//! Asserts the `--events PATH` NDJSON contract: a completed run emits a
+//! schema-valid log covering every cell's lifecycle; a `SIGKILL`'d run
+//! leaves only whole, parseable lines (just no `RunFinished`); a resumed
+//! run narrates its journal replays; a watchdog trip becomes a typed
+//! `WatchdogTripped` event. Also covers the `--metrics` inspect index:
+//! one page per cell, all linked from `inspect/index.html`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+use ubs_experiments::{load_event_log, CellJournal, FaultPlan, RunEvent};
+
+/// A unique scratch directory under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ubs-events-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn repro(args: &[&str]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    cmd.args(args).env_remove(FaultPlan::ENV_VAR);
+    cmd
+}
+
+fn path_arg(p: &Path) -> &str {
+    p.to_str().unwrap()
+}
+
+#[test]
+fn completed_run_emits_schema_valid_events_and_inspect_index() {
+    let dir = scratch("complete");
+    let events = dir.join("events.ndjson");
+    let status = repro(&[
+        "fig1",
+        "--smoke",
+        "--tiny-suites",
+        "--threads=2",
+        "--metrics",
+        "--json",
+        path_arg(&dir),
+        "--events",
+        path_arg(&events),
+    ])
+    .stdout(Stdio::null())
+    .stderr(Stdio::null())
+    .status()
+    .unwrap();
+    assert!(status.success(), "run failed");
+
+    let (records, stats) = load_event_log(&events).unwrap();
+    assert!(stats.finished, "run must close with RunFinished");
+    assert!(stats.scheduled > 0);
+    assert_eq!(
+        stats.completed, stats.scheduled,
+        "every scheduled cell must complete"
+    );
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.resumed, 0);
+    assert!(
+        matches!(records[0].event, RunEvent::RunStarted { .. }),
+        "log must open with RunStarted"
+    );
+    match records.last().map(|r| &r.event) {
+        Some(RunEvent::RunFinished {
+            cells_total, ok, ..
+        }) => {
+            assert_eq!(*cells_total, stats.completed);
+            assert!(ok);
+        }
+        other => panic!("last event must be RunFinished, got {other:?}"),
+    }
+
+    // `--metrics` renders one inspect page per cell plus a linking index.
+    let index = dir.join("inspect").join("index.html");
+    let html = std::fs::read_to_string(&index).expect("inspect index written");
+    assert!(!html.contains("<script"), "index must be inert");
+    let mut pages = 0;
+    for entry in std::fs::read_dir(dir.join("inspect")).unwrap() {
+        let path = entry.unwrap().path();
+        if path.is_dir() {
+            assert!(path.join("inspect.html").exists(), "{path:?} missing page");
+            assert!(path.join("metrics.json").exists(), "{path:?} missing json");
+            let id = path.file_name().unwrap().to_str().unwrap().to_owned();
+            assert!(html.contains(&id), "index does not link {id}");
+            pages += 1;
+        }
+    }
+    assert_eq!(pages, stats.completed, "one inspect page per cell");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The journal cell files (not `meta.json`), for interrupt timing.
+fn journal_cells(journal_dir: &Path) -> usize {
+    let Ok(listing) = std::fs::read_dir(journal_dir) else {
+        return 0;
+    };
+    listing
+        .filter_map(Result::ok)
+        .filter(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            name.ends_with(".json") && name != CellJournal::META_FILE
+        })
+        .count()
+}
+
+#[test]
+fn sigkill_leaves_whole_lines_and_resume_narrates_replays() {
+    let dir = scratch("sigkill");
+    let events = dir.join("events.ndjson");
+    let mut child = repro(&[
+        "fig1",
+        "--smoke",
+        "--tiny-suites",
+        "--threads=1",
+        "--json",
+        path_arg(&dir),
+        "--events",
+        path_arg(&events),
+    ])
+    .stdout(Stdio::null())
+    .stderr(Stdio::null())
+    .spawn()
+    .unwrap();
+
+    // Kill the moment the first journal entry lands: events for that cell
+    // are on disk, the run is provably incomplete.
+    let journal_dir = dir.join(CellJournal::DIR_NAME);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if journal_cells(&journal_dir) > 0 {
+            break;
+        }
+        assert!(
+            child.try_wait().unwrap().is_none(),
+            "repro finished before it could be interrupted"
+        );
+        assert!(
+            Instant::now() < deadline,
+            "no journal entry appeared within the deadline"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // Every line of the interrupted log is whole and the sequence is
+    // dense — the single-write-per-line append means a kill can only ever
+    // truncate the log at a line boundary. The log just never finishes.
+    let (_, stats) = load_event_log(&events).unwrap();
+    assert!(!stats.finished, "killed run must not carry RunFinished");
+    assert!(stats.scheduled > 0);
+    assert!(stats.completed >= 1, "first journaled cell was completed");
+
+    // Resume with a fresh event log: the replayed cells are narrated as
+    // CellResumed and the journal replay is announced up front.
+    let replayed = journal_cells(&journal_dir);
+    let events2 = dir.join("events-resume.ndjson");
+    let status = repro(&[
+        "fig1",
+        "--smoke",
+        "--tiny-suites",
+        "--threads=1",
+        "--resume",
+        path_arg(&dir),
+        "--events",
+        path_arg(&events2),
+    ])
+    .stdout(Stdio::null())
+    .stderr(Stdio::null())
+    .status()
+    .unwrap();
+    assert!(status.success(), "resume run failed");
+
+    let (records, stats) = load_event_log(&events2).unwrap();
+    assert!(stats.finished);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.resumed, replayed, "every journaled cell replays");
+    assert!(
+        stats.completed + stats.resumed >= stats.scheduled,
+        "every cell must reach a terminal state"
+    );
+    assert!(
+        records.iter().any(|r| matches!(
+            r.event,
+            RunEvent::JournalReplayed { cells } if cells == replayed
+        )),
+        "resume must announce the replayed journal"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn watchdog_trip_is_a_typed_event() {
+    let dir = scratch("trip");
+    let events = dir.join("events.ndjson");
+    let out = repro(&[
+        "fig1",
+        "--smoke",
+        "--tiny-suites",
+        "--threads=2",
+        "--json",
+        path_arg(&dir),
+        "--events",
+        path_arg(&events),
+    ])
+    .env(FaultPlan::ENV_VAR, "stall:server_000:conv-32k:10000")
+    .stdout(Stdio::null())
+    .stderr(Stdio::null())
+    .output()
+    .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "wedged cell must exit cell-failure"
+    );
+
+    let (records, stats) = load_event_log(&events).unwrap();
+    assert!(stats.finished, "a failed run still closes its log");
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.watchdog_trips, 1);
+    let trip = records
+        .iter()
+        .find_map(|r| match &r.event {
+            RunEvent::WatchdogTripped {
+                workload,
+                design,
+                kind,
+                ..
+            } => Some((workload.clone(), design.clone(), kind.clone())),
+            _ => None,
+        })
+        .expect("WatchdogTripped event present");
+    assert_eq!(trip.0, "server_000");
+    assert_eq!(trip.1, "conv-32k");
+    assert_eq!(trip.2, "livelock");
+    match records.last().map(|r| &r.event) {
+        Some(RunEvent::RunFinished {
+            ok, cells_failed, ..
+        }) => {
+            assert!(!ok);
+            assert_eq!(*cells_failed, 1);
+        }
+        other => panic!("last event must be RunFinished, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

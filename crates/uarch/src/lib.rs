@@ -31,9 +31,11 @@ pub mod watchdog;
 pub use config::{CoreConfig, SimConfig, WatchdogConfig};
 pub use l1d::L1d;
 pub use report::{geomean, PhaseProfile, SimReport};
-pub use simulator::{simulate, simulate_with};
+pub use simulator::{simulate, simulate_observed, simulate_with};
 pub use telemetry::{
     validate_chrome_trace, ChromeTraceSink, FrontendStalls, IntervalSample, StallBreakdown,
     StallClass, Telemetry, TelemetryConfig, TelemetrySink, Timeline, TIMELINE_SCHEMA_VERSION,
 };
-pub use watchdog::{WatchdogDiagnostic, WatchdogKind, WATCHDOG_PANIC_MARKER};
+pub use watchdog::{
+    Heartbeat, HeartbeatHook, WatchdogDiagnostic, WatchdogKind, WATCHDOG_PANIC_MARKER,
+};

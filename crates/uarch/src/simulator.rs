@@ -27,7 +27,7 @@ use crate::config::SimConfig;
 use crate::l1d::L1d;
 use crate::report::{PhaseProfile, SimReport};
 use crate::telemetry::{StallClass, Telemetry};
-use crate::watchdog::{WatchdogDiagnostic, WatchdogKind};
+use crate::watchdog::{Heartbeat, HeartbeatHook, WatchdogDiagnostic, WatchdogKind};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 use ubs_core::{AccessResult, InstructionCache, MissKind};
@@ -72,7 +72,23 @@ pub fn simulate(
     cfg: &SimConfig,
 ) -> SimReport {
     let mut tel = Telemetry::new(cfg.telemetry.clone());
-    Simulator::new(trace, icache, cfg, &mut tel).run()
+    Simulator::new(trace, icache, cfg, &mut tel, None).run()
+}
+
+/// Like [`simulate`], with a liveness observer: `heartbeat` is invoked at
+/// every watchdog checkpoint (every `cfg.watchdog.check_interval_cycles`
+/// cycles) with the current cycle/committed/wall-time snapshot. The hook
+/// arms the checkpoint cadence even when both watchdog checks are disabled,
+/// and is host-side only — simulated results are bit-exact with or without
+/// an observer.
+pub fn simulate_observed(
+    trace: &mut dyn TraceSource,
+    icache: &mut dyn InstructionCache,
+    cfg: &SimConfig,
+    heartbeat: Option<HeartbeatHook<'_>>,
+) -> SimReport {
+    let mut tel = Telemetry::new(cfg.telemetry.clone());
+    Simulator::new(trace, icache, cfg, &mut tel, heartbeat).run()
 }
 
 /// Like [`simulate`], with caller-supplied telemetry (typically built with
@@ -85,7 +101,7 @@ pub fn simulate_with(
     cfg: &SimConfig,
     tel: &mut Telemetry<'_>,
 ) -> SimReport {
-    Simulator::new(trace, icache, cfg, tel).run()
+    Simulator::new(trace, icache, cfg, tel, None).run()
 }
 
 struct Simulator<'a, 's> {
@@ -147,6 +163,8 @@ struct Simulator<'a, 's> {
     /// ROB was full when dispatch ran this cycle (top-down attribution).
     rob_full_cycle: bool,
     tel: &'a mut Telemetry<'s>,
+    /// Liveness observer invoked at every watchdog checkpoint.
+    heartbeat: Option<HeartbeatHook<'a>>,
 }
 
 /// Profile every 2^10th cycle: cheap enough to leave on, dense enough to
@@ -159,6 +177,7 @@ impl<'a, 's> Simulator<'a, 's> {
         icache: &'a mut dyn InstructionCache,
         cfg: &'a SimConfig,
         tel: &'a mut Telemetry<'s>,
+        heartbeat: Option<HeartbeatHook<'a>>,
     ) -> Self {
         let core = &cfg.core;
         tel.start((core.fetch_width_bytes / 4) as u64);
@@ -194,7 +213,9 @@ impl<'a, 's> Simulator<'a, 's> {
             } else {
                 u64::MAX
             },
-            watchdog_next_at: if cfg.watchdog.is_disabled() {
+            // A heartbeat observer arms the checkpoint cadence even when
+            // both watchdog checks are off (the pulses ride the same timer).
+            watchdog_next_at: if cfg.watchdog.is_disabled() && heartbeat.is_none() {
                 u64::MAX
             } else {
                 cfg.watchdog.check_interval_cycles.max(1)
@@ -209,6 +230,7 @@ impl<'a, 's> Simulator<'a, 's> {
             prof_sampled: 0,
             rob_full_cycle: false,
             tel,
+            heartbeat,
             cfg,
         }
     }
@@ -335,6 +357,13 @@ impl<'a, 's> Simulator<'a, 's> {
     #[cold]
     fn watchdog_check(&mut self) {
         self.watchdog_next_at = self.now + self.cfg.watchdog.check_interval_cycles.max(1);
+        if let Some(hb) = self.heartbeat {
+            hb(&Heartbeat {
+                cycle: self.now,
+                committed: self.committed,
+                wall_seconds: self.wall_started.elapsed().as_secs_f64(),
+            });
+        }
         if self.committed > self.watchdog_last_committed {
             self.watchdog_last_committed = self.committed;
             self.last_progress_cycle = self.now;
@@ -1064,6 +1093,48 @@ mod tests {
             serde_json::to_value(&r1).unwrap(),
             serde_json::to_value(&r2).unwrap(),
             "watchdog must be invisible to results"
+        );
+    }
+
+    #[test]
+    fn heartbeats_pulse_and_do_not_perturb_results() {
+        use std::cell::RefCell;
+        let mut spec = WorkloadSpec::new(Profile::Google, 0);
+        spec.seed = 11;
+        let mut cfg = tiny_cfg(20_000, 100_000);
+        cfg.watchdog.no_retire_cycles = 0; // checks off: heartbeat alone arms the cadence
+        cfg.watchdog.check_interval_cycles = 4_096;
+
+        let mut t1 = SyntheticTrace::build(&spec);
+        let mut c1 = ConvL1i::paper_baseline();
+        let plain = simulate(&mut t1, &mut c1, &cfg);
+
+        let pulses: RefCell<Vec<Heartbeat>> = RefCell::new(Vec::new());
+        let hook = |hb: &Heartbeat| pulses.borrow_mut().push(*hb);
+        let mut t2 = SyntheticTrace::build(&spec);
+        let mut c2 = ConvL1i::paper_baseline();
+        let observed = simulate_observed(&mut t2, &mut c2, &cfg, Some(&hook));
+
+        assert_eq!(
+            serde_json::to_value(&plain).unwrap(),
+            serde_json::to_value(&observed).unwrap(),
+            "a heartbeat observer must be invisible to results"
+        );
+        let pulses = pulses.into_inner();
+        assert!(
+            pulses.len() >= 4,
+            "expected several pulses over the run, got {}",
+            pulses.len()
+        );
+        for w in pulses.windows(2) {
+            assert!(w[1].cycle > w[0].cycle, "cycles strictly increase");
+            assert!(w[1].committed >= w[0].committed, "commit is monotone");
+            assert!(w[1].wall_seconds >= w[0].wall_seconds);
+        }
+        assert_eq!(
+            pulses[1].cycle - pulses[0].cycle,
+            4_096,
+            "pulses ride the checkpoint cadence"
         );
     }
 

@@ -17,6 +17,29 @@ use std::fmt;
 /// watchdog trip from an ordinary assertion failure.
 pub const WATCHDOG_PANIC_MARKER: &str = "forward-progress watchdog";
 
+/// A liveness pulse emitted at every watchdog checkpoint (every
+/// `check_interval_cycles`, 2^16 by default).
+///
+/// Heartbeats ride the checkpoints the watchdog already takes, so a healthy
+/// run costs nothing extra and a wedged run keeps pulsing right up to the
+/// trip — an observer (the experiment runner's event bus) sees a stuck cell
+/// stop committing *before* the watchdog declares it dead. Host-side only:
+/// a heartbeat observer never perturbs simulated results.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Heartbeat {
+    /// Simulator cycle of the checkpoint (warmup included).
+    pub cycle: u64,
+    /// Instructions committed so far (warmup + measurement).
+    pub committed: u64,
+    /// Host wall-clock seconds since the simulation started.
+    pub wall_seconds: f64,
+}
+
+/// Observer of [`Heartbeat`] pulses, installed via
+/// [`simulate_observed`](crate::simulate_observed). Called from the
+/// simulating thread at every watchdog checkpoint.
+pub type HeartbeatHook<'h> = &'h dyn Fn(&Heartbeat);
+
 /// Which forward-progress invariant was violated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum WatchdogKind {

@@ -99,10 +99,20 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         let inserts: String = fields
                             .iter()
                             .map(|f| {
-                                format!(
+                                let insert = format!(
                                     "inner.insert(\"{n}\", ::serde::Serialize::to_value_tree({n}));\n",
                                     n = f.name
-                                )
+                                );
+                                // Bindings in the match arm are references,
+                                // so the predicate's `&T` argument is `{n}`
+                                // itself.
+                                match &f.skip_if {
+                                    Some(skip) => format!(
+                                        "if !{skip}({n}) {{ {insert} }}\n",
+                                        n = f.name
+                                    ),
+                                    None => insert,
+                                }
                             })
                             .collect();
                         format!(
