@@ -1,0 +1,63 @@
+//! Pins the observed entry point to the plain one.
+//!
+//! `simulate_observed(.., None)` is what every production caller uses (the
+//! runner always passes the heartbeat slot, usually empty); `simulate` is
+//! the original entry point and delegates to it. The two must cost the
+//! same: the heartbeat is checked only at the watchdog's checkpoint
+//! cadence, so a `None` hook may not add per-cycle work to the fetch loop.
+//! A third case runs with the phase profiler on, bounding what `--metrics`
+//! adds to the loop itself.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use ubs_core::ConvL1i;
+use ubs_trace::synth::{Profile, SyntheticTrace, WorkloadSpec};
+use ubs_uarch::{simulate, simulate_observed, SimConfig};
+
+/// Simulated (measured) instructions per iteration.
+const SIM_INSTRS: u64 = 80_000;
+
+fn cfg() -> SimConfig {
+    SimConfig::scaled(10_000, SIM_INSTRS)
+}
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec::new(Profile::Server, 0)
+}
+
+fn bench_fetch_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fetch-loop");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SIM_INSTRS));
+
+    group.bench_function("simulate", |b| {
+        b.iter(|| {
+            let mut trace = SyntheticTrace::build(&spec());
+            let mut cache = ConvL1i::paper_baseline();
+            black_box(simulate(&mut trace, &mut cache, &cfg()))
+        })
+    });
+
+    group.bench_function("simulate-observed-none", |b| {
+        b.iter(|| {
+            let mut trace = SyntheticTrace::build(&spec());
+            let mut cache = ConvL1i::paper_baseline();
+            black_box(simulate_observed(&mut trace, &mut cache, &cfg(), None))
+        })
+    });
+
+    group.bench_function("simulate-profiled", |b| {
+        b.iter(|| {
+            let mut trace = SyntheticTrace::build(&spec());
+            let mut cache = ConvL1i::paper_baseline();
+            let mut cfg = cfg();
+            cfg.profile = true;
+            black_box(simulate_observed(&mut trace, &mut cache, &cfg, None))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fetch_loop);
+criterion_main!(benches);

@@ -1,0 +1,192 @@
+//! Quick component timings for hot-path work: run with
+//! `cargo run --release -p ubs-bench --example hotspots`.
+
+use std::hint::black_box;
+use std::time::Instant;
+use ubs_core::{ConvL1i, UbsCache};
+use ubs_frontend::Bpu;
+use ubs_trace::synth::{Profile, SyntheticTrace, WorkloadSpec};
+use ubs_trace::{TraceRecord, TraceSource};
+use ubs_uarch::{simulate, SimConfig};
+
+fn main() {
+    const N: usize = 4_000_000;
+    let spec = {
+        let mut s = WorkloadSpec::new(Profile::Server, 2);
+        s.seed = 14;
+        s
+    };
+
+    // 1. Trace generation alone (batched).
+    let mut trace = SyntheticTrace::build(&spec);
+    let mut buf: Vec<TraceRecord> = Vec::with_capacity(256);
+    let t = Instant::now();
+    let mut got = 0usize;
+    while got < N {
+        buf.clear();
+        got += trace.fill_records(&mut buf, 256);
+        black_box(&buf);
+    }
+    let gen_s = t.elapsed().as_secs_f64();
+    println!(
+        "trace-gen:      {:6.1} ns/rec  ({:.1} Mrec/s)",
+        gen_s / N as f64 * 1e9,
+        N as f64 / 1e6 / gen_s
+    );
+
+    // 2. Trace generation + BPU processing (the runahead pair).
+    let mut trace = SyntheticTrace::build(&spec);
+    let mut bpu = Bpu::paper();
+    let t = Instant::now();
+    let mut got = 0usize;
+    while got < N {
+        buf.clear();
+        trace.fill_records(&mut buf, 256);
+        got += buf.len();
+        for rec in &buf {
+            if rec.branch.is_some() {
+                black_box(bpu.process(rec));
+            }
+        }
+    }
+    let bpu_s = t.elapsed().as_secs_f64() - gen_s;
+    println!(
+        "bpu.process:    {:6.1} ns/rec  (delta over gen)",
+        bpu_s / N as f64 * 1e9
+    );
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        use std::arch::x86_64::_rdtsc;
+        let mut acc = 0u64;
+        for _ in 0..1_000_000 {
+            let a = _rdtsc();
+            let b = _rdtsc();
+            acc += b - a;
+        }
+        println!("rdtsc pair:     {:6.1} tsc", acc as f64 / 1e6);
+    }
+
+    // 2b. Per-cycle fixed costs: icache tick, telemetry record_cycle.
+    {
+        use ubs_core::InstructionCache;
+        use ubs_mem::MemoryHierarchy;
+        let mut c = ConvL1i::paper_baseline();
+        let mut mem = MemoryHierarchy::paper();
+        let t = Instant::now();
+        for now in 1..=10_000_000u64 {
+            c.tick(now, &mut mem);
+        }
+        println!(
+            "conv.tick idle: {:6.1} ns/cycle",
+            t.elapsed().as_secs_f64() / 10e6 * 1e9
+        );
+        let mut c = UbsCache::paper_default();
+        let t = Instant::now();
+        for now in 1..=10_000_000u64 {
+            c.tick(now, &mut mem);
+        }
+        println!(
+            "ubs.tick idle:  {:6.1} ns/cycle",
+            t.elapsed().as_secs_f64() / 10e6 * 1e9
+        );
+    }
+    {
+        use ubs_uarch::{Telemetry, TelemetryConfig};
+        let mut tel = Telemetry::new(TelemetryConfig::default());
+        tel.start(4);
+        tel.begin_measurement(0, 0);
+        let t = Instant::now();
+        for now in 1..=10_000_000u64 {
+            tel.record_cycle(now, black_box(2), None, None);
+        }
+        println!(
+            "tel.record:     {:6.1} ns/cycle",
+            t.elapsed().as_secs_f64() / 10e6 * 1e9
+        );
+    }
+
+    // 2c. Simulate against an always-hit null i-cache: isolates the
+    // front-end/back-end cycle loop from the cache engine.
+    {
+        use ubs_core::{AccessResult, IcacheStats, InstructionCache, StorageBreakdown};
+        use ubs_mem::MemoryHierarchy;
+        use ubs_trace::FetchRange;
+        struct NullIcache {
+            stats: IcacheStats,
+        }
+        impl InstructionCache for NullIcache {
+            fn name(&self) -> &str {
+                "null"
+            }
+            fn access(
+                &mut self,
+                _r: FetchRange,
+                _now: u64,
+                _m: &mut MemoryHierarchy,
+            ) -> AccessResult {
+                self.stats.hits += 1;
+                AccessResult::Hit
+            }
+            fn prefetch(&mut self, _r: FetchRange, _now: u64, _m: &mut MemoryHierarchy) {}
+            fn tick(&mut self, _now: u64, _m: &mut MemoryHierarchy) {}
+            fn sample_efficiency(&mut self) {}
+            fn stats(&self) -> &IcacheStats {
+                &self.stats
+            }
+            fn reset_stats(&mut self) {
+                self.stats = IcacheStats::default();
+            }
+            fn storage(&self) -> StorageBreakdown {
+                StorageBreakdown {
+                    name: "null".into(),
+                    sets: 1,
+                    data_bytes_per_set: 0,
+                    tag_bits_per_set: 0,
+                    start_offset_bits_per_set: 0,
+                    bitvector_bits_per_set: 0,
+                }
+            }
+        }
+        let mut trace = SyntheticTrace::build(&spec);
+        let cfg = SimConfig::scaled(50_000, 1_000_000);
+        let mut c = NullIcache {
+            stats: IcacheStats::default(),
+        };
+        let t = Instant::now();
+        let r = simulate(&mut trace, &mut c, &cfg);
+        let s = t.elapsed().as_secs_f64();
+        println!(
+            "simulate null:  {:6.1} ns/instr ({:.2} Minstr/s, ipc {:.3}, {:.1} ns/cycle)",
+            s / r.instructions as f64 * 1e9,
+            r.instructions as f64 / 1e6 / s,
+            r.ipc(),
+            s / r.cycles as f64 * 1e9
+        );
+    }
+
+    // 3. Full simulate, conv + ubs.
+    for design in ["conv", "ubs"] {
+        let mut trace = SyntheticTrace::build(&spec);
+        let cfg = SimConfig::scaled(50_000, 1_000_000);
+        let t = Instant::now();
+        let r = match design {
+            "conv" => {
+                let mut c = ConvL1i::paper_baseline();
+                simulate(&mut trace, &mut c, &cfg)
+            }
+            _ => {
+                let mut c = UbsCache::paper_default();
+                simulate(&mut trace, &mut c, &cfg)
+            }
+        };
+        let s = t.elapsed().as_secs_f64();
+        println!(
+            "simulate {design:>4}:  {:6.1} ns/instr ({:.2} Minstr/s, ipc {:.3}, {:.1} ns/cycle)",
+            s / r.instructions as f64 * 1e9,
+            r.instructions as f64 / 1e6 / s,
+            r.ipc(),
+            s / r.cycles as f64 * 1e9
+        );
+    }
+}

@@ -93,10 +93,8 @@ impl InstructionCache for AcicL1i {
         let line = Line::containing(range.start);
         let req = demand_mask(&range);
 
-        if self.cache.access(line.number()) {
-            if let Some(used) = self.cache.meta_mut(line.number()) {
-                *used |= req;
-            }
+        if let Some(used) = self.cache.access_meta(line.number()) {
+            *used |= req;
             self.stats.hits += 1;
             return AccessResult::Hit;
         }
@@ -144,6 +142,10 @@ impl InstructionCache for AcicL1i {
         if self.engine.prefetch_fetch(line, now, mem, &mut self.stats) {
             self.engine.pending().entry_or(line, (0, true));
         }
+    }
+
+    fn next_event(&self) -> u64 {
+        self.engine.next_ready_at().unwrap_or(u64::MAX)
     }
 
     fn tick(&mut self, now: u64, _mem: &mut MemoryHierarchy) {

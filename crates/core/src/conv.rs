@@ -73,18 +73,14 @@ impl ConvL1i {
         }
     }
 
-    fn mark_used(&mut self, line: Line, mask: ByteMask) {
-        let set = self.cache.set_index(line.number());
-        let misses_now = self.set_misses[set];
-        if let Some(meta) = self.cache.meta_mut(line.number()) {
-            let new_bits = mask & !meta.used;
-            meta.used |= mask;
-            if new_bits != 0 {
-                let d = misses_now - meta.inserted_at_miss;
-                for k in 0..4u64 {
-                    if d <= k {
-                        meta.within[k as usize] |= new_bits;
-                    }
+    fn mark_used(meta: &mut UsageMeta, mask: ByteMask, misses_now: u64) {
+        let new_bits = mask & !meta.used;
+        meta.used |= mask;
+        if new_bits != 0 {
+            let d = misses_now - meta.inserted_at_miss;
+            for k in 0..4u64 {
+                if d <= k {
+                    meta.within[k as usize] |= new_bits;
                 }
             }
         }
@@ -136,8 +132,10 @@ impl InstructionCache for ConvL1i {
         let line = Line::containing(range.start);
         let mask = demand_mask(&range);
 
-        if self.cache.access(line.number()) {
-            self.mark_used(line, mask);
+        let set = self.cache.set_index(line.number());
+        let misses_now = self.set_misses[set];
+        if let Some(meta) = self.cache.access_meta(line.number()) {
+            Self::mark_used(meta, mask, misses_now);
             self.stats.hits += 1;
             return AccessResult::Hit;
         }
@@ -147,7 +145,6 @@ impl InstructionCache for ConvL1i {
             .engine
             .demand_miss(line, mask, MissKind::Full, now, mem, &mut self.stats);
         if matches!(result, AccessResult::Miss { .. }) {
-            let set = self.cache.set_index(line.number());
             self.set_misses[set] += 1;
         }
         result
@@ -160,6 +157,10 @@ impl InstructionCache for ConvL1i {
             return;
         }
         self.engine.prefetch_fetch(line, now, mem, &mut self.stats);
+    }
+
+    fn next_event(&self) -> u64 {
+        self.engine.next_ready_at().unwrap_or(u64::MAX)
     }
 
     fn tick(&mut self, now: u64, _mem: &mut MemoryHierarchy) {

@@ -126,19 +126,24 @@ impl InstructionCache for DistillL1i {
         let line = Line::containing(range.start);
         let req = demand_mask(&range);
 
-        if self.loc.access(line.number()) {
-            if let Some(used) = self.loc.meta_mut(line.number()) {
-                *used |= req;
-            }
+        if let Some(used) = self.loc.access_meta(line.number()) {
+            *used |= req;
             self.stats.hits += 1;
             return AccessResult::Hit;
         }
-        // WOC hit requires every covered word.
-        let keys: Vec<u64> = Self::word_keys(&range).collect();
+        // WOC hit requires every covered word. A range covers at most
+        // 64/8 words (debug_check_range bounds it to one line), so the
+        // keys fit a fixed buffer — no per-access allocation.
+        let mut keys = [0u64; 8];
+        let mut n = 0;
+        for k in Self::word_keys(&range) {
+            keys[n] = k;
+            n += 1;
+        }
+        let keys = &keys[..n];
         if keys.iter().all(|&k| self.woc.contains(k)) {
-            for &k in &keys {
-                self.woc.access(k);
-                if let Some(used) = self.woc.meta_mut(k) {
+            for &k in keys {
+                if let Some(used) = self.woc.access_meta(k) {
                     *used |= req & Self::word_span(k);
                 }
             }
@@ -162,6 +167,10 @@ impl InstructionCache for DistillL1i {
             return;
         }
         self.engine.prefetch_fetch(line, now, mem, &mut self.stats);
+    }
+
+    fn next_event(&self) -> u64 {
+        self.engine.next_ready_at().unwrap_or(u64::MAX)
     }
 
     fn tick(&mut self, now: u64, _mem: &mut MemoryHierarchy) {

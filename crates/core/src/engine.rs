@@ -25,7 +25,7 @@
 
 use crate::metrics::MetricsRegistry;
 use crate::stats::{range_mask, AccessResult, ByteMask, IcacheStats, MissKind};
-use ubs_mem::replacement::Replacement;
+use ubs_mem::replacement::{AnyPolicy, Replacement};
 use ubs_mem::{FillSource, MemoryHierarchy, MshrFile, PolicyKind};
 use ubs_trace::{FetchRange, Line};
 
@@ -325,7 +325,7 @@ impl<P> FillEngine<P> {
     /// without scanning payloads when nothing is ready (the per-cycle
     /// fast path).
     pub fn drain_completed(&mut self, now: u64) -> Vec<CompletedFill<P>> {
-        if self.mshrs.next_ready_at().is_none_or(|t| t > now) {
+        if !self.mshrs.has_ready(now) {
             return Vec::new();
         }
         self.mshrs
@@ -398,9 +398,11 @@ const INVALID_TAG: u64 = u64::MAX;
 pub struct SetArray<E> {
     sets: usize,
     ways: usize,
+    /// Whether `sets` is a power of two (index by mask instead of modulo).
+    sets_pow2: bool,
     tags: Vec<u64>,
     metas: Vec<E>,
-    policy: Box<dyn Replacement + Send>,
+    policy: AnyPolicy,
     /// Scratch candidate buffer for victim selection (retained capacity,
     /// so steady-state victim picks allocate nothing).
     scratch: Vec<usize>,
@@ -419,9 +421,10 @@ impl<E: Default> SetArray<E> {
         SetArray {
             sets,
             ways,
+            sets_pow2: sets.is_power_of_two(),
             tags: vec![INVALID_TAG; sets * ways],
             metas,
-            policy: policy.build(sets, ways),
+            policy: policy.build_inline(sets, ways),
             scratch: Vec::with_capacity(ways),
         }
     }
@@ -439,7 +442,11 @@ impl<E: Default> SetArray<E> {
     /// Set index for `key`.
     #[inline]
     pub fn set_index(&self, key: u64) -> usize {
-        (key % self.sets as u64) as usize
+        if self.sets_pow2 {
+            (key & (self.sets as u64 - 1)) as usize
+        } else {
+            (key % self.sets as u64) as usize
+        }
     }
 
     #[inline]
@@ -567,6 +574,19 @@ impl<E: Default> SetArray<E> {
     pub fn meta_mut(&mut self, key: u64) -> Option<&mut E> {
         let set = self.set_index(key);
         let way = self.find(set, key)?;
+        let idx = self.slot(set, way);
+        Some(&mut self.metas[idx])
+    }
+
+    /// Demand access fused with metadata: one scan of the tag row notes
+    /// the recency hit and yields the block's metadata (`None` on a miss).
+    /// Equivalent to [`access`](Self::access) followed by
+    /// [`meta_mut`](Self::meta_mut), which scanned the row twice per hit.
+    #[inline]
+    pub fn access_meta(&mut self, key: u64) -> Option<&mut E> {
+        let set = self.set_index(key);
+        let way = self.find(set, key)?;
+        self.policy.on_hit(set, way);
         let idx = self.slot(set, way);
         Some(&mut self.metas[idx])
     }

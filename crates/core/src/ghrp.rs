@@ -220,6 +220,10 @@ impl InstructionCache for GhrpL1i {
         }
     }
 
+    fn next_event(&self) -> u64 {
+        self.engine.next_ready_at().unwrap_or(u64::MAX)
+    }
+
     fn tick(&mut self, now: u64, _mem: &mut MemoryHierarchy) {
         for fill in self.engine.drain_completed(now) {
             let (mask, sig) = fill

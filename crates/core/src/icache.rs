@@ -41,6 +41,17 @@ pub trait InstructionCache {
     /// installed. Call at least once per cycle in the simulator loop.
     fn tick(&mut self, now: u64, mem: &mut MemoryHierarchy);
 
+    /// The earliest future cycle at which [`tick`](Self::tick) could do
+    /// work, or `u64::MAX` if no fill is in flight. The simulator's
+    /// idle-cycle fast-forward skips `tick` calls strictly before this
+    /// cycle, so any design whose `tick` is not purely fill-completion
+    /// driven must override it (engine-backed designs return the MSHR
+    /// file's earliest arrival). The default suits caches with no
+    /// time-driven state at all.
+    fn next_event(&self) -> u64 {
+        u64::MAX
+    }
+
     /// Appends one storage-efficiency sample (call every 100 K cycles to
     /// match the paper's Fig. 2 methodology).
     fn sample_efficiency(&mut self);

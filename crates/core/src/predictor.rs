@@ -120,9 +120,8 @@ impl UsefulBytePredictor {
     /// Demand lookup: on hit, ORs `mask` into the block's bit-vector and
     /// refreshes recency. Returns whether the block was present.
     pub fn lookup_mark(&mut self, line: Line, mask: ByteMask) -> bool {
-        if let Some(used) = self.cache.meta_mut(line.number()) {
+        if let Some(used) = self.cache.touch_meta(line.number()) {
             *used |= mask;
-            self.cache.touch(line.number());
             true
         } else {
             false

@@ -120,13 +120,20 @@ impl InstructionCache for SmallBlockL1i {
         let line = Line::containing(range.start);
         let req = demand_mask(&range);
 
-        // Hit requires every covered chunk to be present.
-        let keys: Vec<u64> = self.chunk_keys(&range).collect();
+        // Hit requires every covered chunk to be present. A range covers
+        // at most 64/16 chunks (debug_check_range bounds it to one line),
+        // so the keys fit a fixed buffer — no per-access allocation.
+        let mut keys = [0u64; 8];
+        let mut n = 0;
+        for k in self.chunk_keys(&range) {
+            keys[n] = k;
+            n += 1;
+        }
+        let keys = &keys[..n];
         if keys.iter().all(|&k| self.cache.contains(k)) {
-            for &k in &keys {
-                self.cache.access(k);
+            for &k in keys {
                 let span = self.chunk_span(k);
-                if let Some(used) = self.cache.meta_mut(k) {
+                if let Some(used) = self.cache.access_meta(k) {
                     *used |= req & span;
                 }
             }
@@ -163,6 +170,10 @@ impl InstructionCache for SmallBlockL1i {
             return;
         }
         self.engine.prefetch_fetch(line, now, mem, &mut self.stats);
+    }
+
+    fn next_event(&self) -> u64 {
+        self.engine.next_ready_at().unwrap_or(u64::MAX)
     }
 
     fn tick(&mut self, now: u64, _mem: &mut MemoryHierarchy) {

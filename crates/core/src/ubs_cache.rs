@@ -422,6 +422,10 @@ impl InstructionCache for UbsCache {
         }
     }
 
+    fn next_event(&self) -> u64 {
+        self.engine.next_ready_at().unwrap_or(u64::MAX)
+    }
+
     fn tick(&mut self, now: u64, _mem: &mut MemoryHierarchy) {
         for fill in self.engine.drain_completed(now) {
             self.install_into_predictor(fill.line, fill.payload.unwrap_or(0));

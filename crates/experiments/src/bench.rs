@@ -96,6 +96,20 @@ pub struct BenchEntry {
     /// Median per-phase wall seconds, when the profiler produced them.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub phases: Option<PhaseSeconds>,
+    /// The working tree had uncommitted changes when this entry was
+    /// measured: the number may not be reproducible from the recorded SHA.
+    /// Mirrored from `git.dirty` so the caveat survives in the JSON even
+    /// without git context.
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub dirty_build: bool,
+}
+
+impl BenchEntry {
+    /// Whether this measurement came from an unclean working tree (via
+    /// either the explicit annotation or the recorded git state).
+    pub fn is_dirty(&self) -> bool {
+        self.dirty_build || self.git.as_ref().is_some_and(|g| g.dirty)
+    }
 }
 
 /// The benchmark history file (`BENCH_quick.json`).
@@ -155,11 +169,18 @@ impl BenchFile {
     }
 
     /// The best (highest) recorded median for `host`, if any.
+    ///
+    /// Clean-build entries are preferred: dirty-tree measurements (marked
+    /// by [`BenchEntry::is_dirty`]) time code that no commit reproduces, so
+    /// they only gate when `host` has no clean entry at all.
     pub fn best_for_host(&self, host: &HostFingerprint) -> Option<&BenchEntry> {
-        self.entries
-            .iter()
-            .filter(|e| &e.host == host)
-            .max_by(|a, b| a.median_minstr_per_sec.total_cmp(&b.median_minstr_per_sec))
+        let best = |dirty: bool| {
+            self.entries
+                .iter()
+                .filter(|e| &e.host == host && e.is_dirty() == dirty)
+                .max_by(|a, b| a.median_minstr_per_sec.total_cmp(&b.median_minstr_per_sec))
+        };
+        best(false).or_else(|| best(true))
     }
 }
 
@@ -289,8 +310,10 @@ fn measure(opts: &BenchOptions) -> Result<BenchEntry, String> {
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| utc_date_string(d.as_secs()))
         .unwrap_or_else(|_| "1970-01-01".to_string());
+    let git = GitInfo::detect();
+    let dirty_build = git.as_ref().is_some_and(|g| g.dirty);
     Ok(BenchEntry {
-        git: GitInfo::detect(),
+        git,
         date,
         host: HostFingerprint::detect(),
         runs: opts.runs,
@@ -300,6 +323,7 @@ fn measure(opts: &BenchOptions) -> Result<BenchEntry, String> {
         median_minstr_per_sec: median(&throughputs),
         min_minstr_per_sec: throughputs.first().copied().unwrap_or(0.0),
         phases,
+        dirty_build,
     })
 }
 
@@ -325,6 +349,13 @@ pub fn run_bench(opts: &BenchOptions) -> Result<ExitCode, String> {
         entry.median_minstr_per_sec,
         entry.min_minstr_per_sec
     );
+    if entry.is_dirty() {
+        eprintln!(
+            "bench: WARNING — working tree is dirty; this measurement times uncommitted \
+             code and no commit reproduces it. The entry is annotated dirty_build and \
+             `--check` will ignore it whenever a clean entry exists for this host."
+        );
+    }
 
     if opts.check {
         let Some(best) = history.best_for_host(&entry.host) else {
@@ -374,6 +405,7 @@ mod tests {
 
     fn entry(median: f64, host: HostFingerprint) -> BenchEntry {
         BenchEntry {
+            dirty_build: false,
             git: None,
             date: "2026-08-09".into(),
             host,
@@ -445,6 +477,38 @@ mod tests {
             ..host()
         };
         assert!(file.best_for_host(&unseen).is_none());
+    }
+
+    #[test]
+    fn dirty_entries_gate_only_without_clean_ones() {
+        let mut dirty = entry(9.0, host());
+        dirty.dirty_build = true;
+        let file = BenchFile {
+            schema_version: BENCH_SCHEMA_VERSION,
+            entries: vec![dirty.clone(), entry(3.9, host())],
+        };
+        // A faster dirty entry never outranks a clean one.
+        assert_eq!(
+            file.best_for_host(&host()).unwrap().median_minstr_per_sec,
+            3.9
+        );
+        // With only dirty history, it still gates (better than nothing).
+        let only_dirty = BenchFile {
+            schema_version: BENCH_SCHEMA_VERSION,
+            entries: vec![dirty],
+        };
+        assert!(only_dirty.best_for_host(&host()).unwrap().is_dirty());
+        // Round-trip keeps the annotation.
+        let mut e = entry(4.0, host());
+        e.dirty_build = true;
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("dirty_build"));
+        let back: BenchEntry = serde_json::from_str(&json).unwrap();
+        assert!(back.is_dirty());
+        // Clean entries omit the field entirely.
+        assert!(!serde_json::to_string(&entry(4.0, host()))
+            .unwrap()
+            .contains("dirty_build"));
     }
 
     #[test]

@@ -186,6 +186,10 @@ impl InstructionCache for StallingIcache {
         self.inner.tick(now, mem);
     }
 
+    fn next_event(&self) -> u64 {
+        self.inner.next_event()
+    }
+
     fn sample_efficiency(&mut self) {
         self.inner.sample_efficiency();
     }

@@ -17,19 +17,25 @@ pub struct BtbEntry {
     pub kind: BranchKind,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Way {
-    tag: u64,
-    entry: BtbEntry,
-    lru: u64,
-}
+/// Tag value of an empty way. Tags are `pc >> 2`, so no real program
+/// counter reaches it.
+const INVALID_TAG: u64 = u64::MAX;
 
 /// Set-associative branch target buffer.
+///
+/// Tags, entries, and recency stamps live in separate `sets × assoc`
+/// lanes: a lookup scans a dense row of `u64` tags without dragging
+/// targets or `Option` discriminants through the cache. A way is empty
+/// iff its tag is [`INVALID_TAG`].
 #[derive(Debug)]
 pub struct Btb {
     sets: usize,
     assoc: usize,
-    ways: Vec<Option<Way>>,
+    /// Whether `sets` is a power of two (index by mask instead of modulo).
+    sets_pow2: bool,
+    tags: Vec<u64>,
+    entries: Vec<BtbEntry>,
+    lru: Vec<u64>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -51,7 +57,16 @@ impl Btb {
         Btb {
             sets,
             assoc,
-            ways: vec![None; entries],
+            sets_pow2: sets.is_power_of_two(),
+            tags: vec![INVALID_TAG; entries],
+            entries: vec![
+                BtbEntry {
+                    target: 0,
+                    kind: BranchKind::DirectJump,
+                };
+                entries
+            ],
+            lru: vec![0; entries],
             clock: 0,
             hits: 0,
             misses: 0,
@@ -66,7 +81,11 @@ impl Btb {
     #[inline]
     fn index(&self, pc: Addr) -> usize {
         // Instructions are 4-byte aligned; skip the low bits.
-        ((pc >> 2) % self.sets as u64) as usize
+        if self.sets_pow2 {
+            ((pc >> 2) & (self.sets as u64 - 1)) as usize
+        } else {
+            ((pc >> 2) % self.sets as u64) as usize
+        }
     }
 
     #[inline]
@@ -76,18 +95,16 @@ impl Btb {
 
     /// Looks up `pc`, refreshing recency on hit.
     pub fn lookup(&mut self, pc: Addr) -> Option<BtbEntry> {
-        let set = self.index(pc);
+        let base = self.index(pc) * self.assoc;
         let tag = Self::tag(pc);
         self.clock += 1;
-        for way in self.ways[set * self.assoc..(set + 1) * self.assoc]
-            .iter_mut()
-            .flatten()
+        if let Some(way) = self.tags[base..base + self.assoc]
+            .iter()
+            .position(|&t| t == tag)
         {
-            if way.tag == tag {
-                way.lru = self.clock;
-                self.hits += 1;
-                return Some(way.entry);
-            }
+            self.lru[base + way] = self.clock;
+            self.hits += 1;
+            return Some(self.entries[base + way]);
         }
         self.misses += 1;
         None
@@ -95,41 +112,42 @@ impl Btb {
 
     /// Probes without updating recency or statistics.
     pub fn probe(&self, pc: Addr) -> Option<BtbEntry> {
-        let set = self.index(pc);
+        let base = self.index(pc) * self.assoc;
         let tag = Self::tag(pc);
-        self.ways[set * self.assoc..(set + 1) * self.assoc]
+        self.tags[base..base + self.assoc]
             .iter()
-            .flatten()
-            .find(|w| w.tag == tag)
-            .map(|w| w.entry)
+            .position(|&t| t == tag)
+            .map(|way| self.entries[base + way])
     }
 
     /// Installs or updates the entry for `pc`.
     pub fn update(&mut self, pc: Addr, target: Addr, kind: BranchKind) {
-        let set = self.index(pc);
+        let base = self.index(pc) * self.assoc;
         let tag = Self::tag(pc);
         self.clock += 1;
-        let slice = &mut self.ways[set * self.assoc..(set + 1) * self.assoc];
+        let row = &self.tags[base..base + self.assoc];
         // Update in place if present.
-        if let Some(way) = slice.iter_mut().flatten().find(|w| w.tag == tag) {
-            way.entry = BtbEntry { target, kind };
-            way.lru = self.clock;
+        if let Some(way) = row.iter().position(|&t| t == tag) {
+            self.entries[base + way] = BtbEntry { target, kind };
+            self.lru[base + way] = self.clock;
             return;
         }
-        // Fill an invalid way, else evict LRU.
-        let victim = slice.iter().position(|w| w.is_none()).unwrap_or_else(|| {
-            slice
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.map_or(0, |w| w.lru))
-                .map(|(i, _)| i)
-                .expect("non-zero associativity")
-        });
-        slice[victim] = Some(Way {
-            tag,
-            entry: BtbEntry { target, kind },
-            lru: self.clock,
-        });
+        // Fill an invalid way, else evict the (first) LRU way.
+        let victim = match row.iter().position(|&t| t == INVALID_TAG) {
+            Some(way) => way,
+            None => {
+                let mut best = 0;
+                for way in 1..self.assoc {
+                    if self.lru[base + way] < self.lru[base + best] {
+                        best = way;
+                    }
+                }
+                best
+            }
+        };
+        self.tags[base + victim] = tag;
+        self.entries[base + victim] = BtbEntry { target, kind };
+        self.lru[base + victim] = self.clock;
     }
 
     /// `(hits, misses)` of recency-updating lookups.

@@ -6,15 +6,20 @@
 //! fetch and prefetches the 64-byte lines each entry touches — the queue
 //! tracks a prefetch cursor so each entry is prefetched exactly once.
 
-use std::collections::VecDeque;
 use ubs_trace::FetchRange;
 
 /// Fetch target queue with an FDIP prefetch cursor.
+///
+/// A fixed ring buffer sized at construction: pushes and pops move
+/// indices, never memory, and the FDIP scan copies into a caller-provided
+/// buffer — the queue allocates nothing after `new`.
 #[derive(Debug, Clone)]
 pub struct Ftq {
-    entries: VecDeque<FetchRange>,
-    capacity: usize,
-    /// Index (within `entries`) of the first entry not yet scanned by FDIP.
+    buf: Box<[FetchRange]>,
+    head: usize,
+    len: usize,
+    /// Index (relative to the head) of the first entry not yet scanned by
+    /// FDIP.
     prefetch_cursor: usize,
 }
 
@@ -26,9 +31,12 @@ impl Ftq {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "FTQ capacity must be positive");
+        // Placeholder cells behind `len` are never read.
+        let fill = FetchRange { start: 0, bytes: 1 };
         Ftq {
-            entries: VecDeque::with_capacity(capacity),
-            capacity,
+            buf: vec![fill; capacity].into_boxed_slice(),
+            head: 0,
+            len: 0,
             prefetch_cursor: 0,
         }
     }
@@ -38,19 +46,30 @@ impl Ftq {
         Ftq::new(128)
     }
 
+    /// Ring index of the `i`-th queued entry (0 = head).
+    #[inline]
+    fn slot(&self, i: usize) -> usize {
+        let idx = self.head + i;
+        if idx >= self.buf.len() {
+            idx - self.buf.len()
+        } else {
+            idx
+        }
+    }
+
     /// Number of queued fetch ranges.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Whether the queue is at capacity (runahead must pause).
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.len >= self.buf.len()
     }
 
     /// Enqueues a fetch range produced by the BPU runahead.
@@ -60,27 +79,34 @@ impl Ftq {
     /// Panics if the queue is full; callers check [`Ftq::is_full`] first.
     pub fn push(&mut self, range: FetchRange) {
         assert!(!self.is_full(), "push into a full FTQ");
-        self.entries.push_back(range);
+        let idx = self.slot(self.len);
+        self.buf[idx] = range;
+        self.len += 1;
     }
 
     /// The range at the head (next to be fetched), if any.
     pub fn peek(&self) -> Option<&FetchRange> {
-        self.entries.front()
+        (self.len > 0).then(|| &self.buf[self.head])
     }
 
     /// Pops the head range for fetch.
     pub fn pop(&mut self) -> Option<FetchRange> {
-        let e = self.entries.pop_front();
-        if e.is_some() {
-            self.prefetch_cursor = self.prefetch_cursor.saturating_sub(1);
+        if self.len == 0 {
+            return None;
         }
-        e
+        let e = self.buf[self.head];
+        self.head = self.slot(1);
+        self.len -= 1;
+        self.prefetch_cursor = self.prefetch_cursor.saturating_sub(1);
+        Some(e)
     }
 
     /// Returns up to `max` entries not yet seen by the prefetcher and
     /// advances the cursor past them.
     pub fn take_unprefetched(&mut self, max: usize) -> Vec<FetchRange> {
-        self.take_unprefetched_within(max, usize::MAX)
+        let mut out = Vec::new();
+        self.copy_unprefetched_within(max, usize::MAX, &mut out);
+        out
     }
 
     /// Like [`Ftq::take_unprefetched`], but never scans past the first
@@ -89,23 +115,43 @@ impl Ftq {
     /// prefetching arbitrarily deep would evict prefetched blocks before
     /// the core ever touches them.
     pub fn take_unprefetched_within(&mut self, max: usize, depth: usize) -> Vec<FetchRange> {
-        let limit = self.entries.len().min(depth);
+        let mut out = Vec::new();
+        self.copy_unprefetched_within(max, depth, &mut out);
+        out
+    }
+
+    /// Allocation-free form of
+    /// [`take_unprefetched_within`](Self::take_unprefetched_within):
+    /// appends the taken entries to `out` (which the caller reuses across
+    /// cycles) instead of returning a fresh `Vec`.
+    pub fn copy_unprefetched_within(
+        &mut self,
+        max: usize,
+        depth: usize,
+        out: &mut Vec<FetchRange>,
+    ) {
+        let limit = self.len.min(depth);
         let avail = limit.saturating_sub(self.prefetch_cursor);
         let n = avail.min(max);
-        let out: Vec<FetchRange> = self
-            .entries
-            .iter()
-            .skip(self.prefetch_cursor)
-            .take(n)
-            .copied()
-            .collect();
+        for i in 0..n {
+            out.push(self.buf[self.slot(self.prefetch_cursor + i)]);
+        }
         self.prefetch_cursor += n;
-        out
+    }
+
+    /// Whether any entry within the first `depth` queue slots has not yet
+    /// been scanned by the prefetcher — i.e. whether
+    /// [`copy_unprefetched_within`](Self::copy_unprefetched_within) would
+    /// return anything this cycle.
+    #[inline]
+    pub fn has_unprefetched_within(&self, depth: usize) -> bool {
+        self.prefetch_cursor < self.len.min(depth)
     }
 
     /// Clears the queue (front-end re-steer after a mispredict).
     pub fn flush(&mut self) {
-        self.entries.clear();
+        self.head = 0;
+        self.len = 0;
         self.prefetch_cursor = 0;
     }
 }

@@ -10,7 +10,7 @@
 //! [`ubs_trace::Line::number`]; the 16-/32-byte-block designs of paper
 //! §VI-G derive their keys at their own granularity.
 
-use crate::replacement::{PolicyKind, Replacement};
+use crate::replacement::{AnyPolicy, PolicyKind, Replacement};
 use ubs_trace::{Addr, Line, BLOCK_BYTES};
 
 /// Identifies a block at this cache's granularity: `byte_addr / block_bytes`.
@@ -69,13 +69,6 @@ impl CacheConfig {
     }
 }
 
-/// A filled block slot.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Slot<M> {
-    key: BlockKey,
-    meta: M,
-}
-
 /// A block evicted by [`SetAssocCache::fill`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Evicted<M> {
@@ -93,15 +86,30 @@ impl<M> Evicted<M> {
     }
 }
 
+/// Key value of an empty way. No real block reaches it: keys are
+/// `addr / block_bytes`.
+const INVALID_KEY: BlockKey = BlockKey::MAX;
+
 /// Set-associative presence cache with per-block metadata `M`.
+///
+/// Keys and metadata live in separate `sets × ways` lanes: a lookup scans
+/// a dense row of `u64` keys without dragging metadata (or `Option`
+/// discriminants) through the cache. A way is empty iff its key is
+/// [`INVALID_KEY`].
 #[derive(Debug)]
 pub struct SetAssocCache<M = ()> {
     config: CacheConfig,
     sets: usize,
-    slots: Vec<Option<Slot<M>>>, // sets × ways
-    policy: Box<dyn Replacement + Send>,
+    /// Whether `sets` is a power of two (index by mask instead of modulo).
+    sets_pow2: bool,
+    keys: Vec<BlockKey>,   // sets × ways, packed tag lane
+    metas: Vec<Option<M>>, // sets × ways, cold lane
+    policy: AnyPolicy,
     hits: u64,
     misses: u64,
+    /// Scratch candidate buffer for victim selection (retained capacity,
+    /// so steady-state evictions allocate nothing).
+    scratch: Vec<usize>,
 }
 
 impl<M> SetAssocCache<M> {
@@ -109,16 +117,19 @@ impl<M> SetAssocCache<M> {
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
         let ways = config.ways;
-        let policy = config.policy.build(sets, ways);
-        let mut slots = Vec::with_capacity(sets * ways);
-        slots.resize_with(sets * ways, || None);
+        let policy = config.policy.build_inline(sets, ways);
+        let mut metas = Vec::with_capacity(sets * ways);
+        metas.resize_with(sets * ways, || None);
         SetAssocCache {
             config,
             sets,
-            slots,
+            sets_pow2: sets.is_power_of_two(),
+            keys: vec![INVALID_KEY; sets * ways],
+            metas,
             policy,
             hits: 0,
             misses: 0,
+            scratch: Vec::with_capacity(ways),
         }
     }
 
@@ -145,7 +156,11 @@ impl<M> SetAssocCache<M> {
     /// Set index for `key`.
     #[inline]
     pub fn set_index(&self, key: BlockKey) -> usize {
-        (key % self.sets as u64) as usize
+        if self.sets_pow2 {
+            (key & (self.sets as u64 - 1)) as usize
+        } else {
+            (key % self.sets as u64) as usize
+        }
     }
 
     #[inline]
@@ -153,25 +168,26 @@ impl<M> SetAssocCache<M> {
         set * self.config.ways + way
     }
 
-    fn find_way(&self, key: BlockKey) -> Option<usize> {
+    /// `(set, way)` of a present `key`: one scan over the packed key lane.
+    #[inline]
+    fn locate(&self, key: BlockKey) -> Option<(usize, usize)> {
         let set = self.set_index(key);
-        (0..self.config.ways).find(|&w| {
-            self.slots[self.slot_idx(set, w)]
-                .as_ref()
-                .is_some_and(|s| s.key == key)
-        })
+        let base = set * self.config.ways;
+        self.keys[base..base + self.config.ways]
+            .iter()
+            .position(|&k| k == key)
+            .map(|way| (set, way))
     }
 
     /// Whether `key` is present (no statistics or recency update).
     pub fn contains(&self, key: BlockKey) -> bool {
-        self.find_way(key).is_some()
+        self.locate(key).is_some()
     }
 
     /// Demand access: returns `true` on hit and updates recency + counters.
     pub fn access(&mut self, key: BlockKey) -> bool {
-        match self.find_way(key) {
-            Some(way) => {
-                let set = self.set_index(key);
+        match self.locate(key) {
+            Some((set, way)) => {
                 self.policy.on_hit(set, way);
                 self.hits += 1;
                 true
@@ -186,9 +202,8 @@ impl<M> SetAssocCache<M> {
     /// Recency-updating probe without hit/miss accounting (used by fills
     /// that promote existing blocks and by prefetch probes).
     pub fn touch(&mut self, key: BlockKey) -> bool {
-        match self.find_way(key) {
-            Some(way) => {
-                let set = self.set_index(key);
+        match self.locate(key) {
+            Some((set, way)) => {
                 self.policy.on_hit(set, way);
                 true
             }
@@ -196,21 +211,29 @@ impl<M> SetAssocCache<M> {
         }
     }
 
+    /// Recency-updating probe fused with metadata: one scan locates `key`,
+    /// notes the policy hit, and yields its metadata (`None` when absent).
+    /// No hit/miss accounting — the fused form of [`touch`](Self::touch)
+    /// followed by [`meta_mut`](Self::meta_mut).
+    #[inline]
+    pub fn touch_meta(&mut self, key: BlockKey) -> Option<&mut M> {
+        let (set, way) = self.locate(key)?;
+        self.policy.on_hit(set, way);
+        let idx = self.slot_idx(set, way);
+        self.metas[idx].as_mut()
+    }
+
     /// Mutable metadata access for a present block.
     pub fn meta_mut(&mut self, key: BlockKey) -> Option<&mut M> {
-        let way = self.find_way(key)?;
-        let set = self.set_index(key);
+        let (set, way) = self.locate(key)?;
         let idx = self.slot_idx(set, way);
-        self.slots[idx].as_mut().map(|s| &mut s.meta)
+        self.metas[idx].as_mut()
     }
 
     /// Shared metadata access for a present block.
     pub fn meta(&self, key: BlockKey) -> Option<&M> {
-        let way = self.find_way(key)?;
-        let set = self.set_index(key);
-        self.slots[self.slot_idx(set, way)]
-            .as_ref()
-            .map(|s| &s.meta)
+        let (set, way) = self.locate(key)?;
+        self.metas[self.slot_idx(set, way)].as_ref()
     }
 
     /// Inserts `key`; returns the evicted block, if any.
@@ -218,55 +241,64 @@ impl<M> SetAssocCache<M> {
     /// Filling an already-present key replaces its metadata and refreshes
     /// recency without evicting anything.
     pub fn fill(&mut self, key: BlockKey, meta: M) -> Option<Evicted<M>> {
+        debug_assert_ne!(key, INVALID_KEY, "key collides with the invalid tag");
         let set = self.set_index(key);
-        if let Some(way) = self.find_way(key) {
-            let idx = self.slot_idx(set, way);
-            self.slots[idx] = Some(Slot { key, meta });
+        let base = set * self.config.ways;
+        let row = &self.keys[base..base + self.config.ways];
+        if let Some(way) = row.iter().position(|&k| k == key) {
+            self.metas[base + way] = Some(meta);
             self.policy.on_fill(set, way);
             return None;
         }
         // Prefer an invalid way.
-        let way = (0..self.config.ways)
-            .find(|&w| self.slots[self.slot_idx(set, w)].is_none())
-            .unwrap_or_else(|| {
-                let all: Vec<usize> = (0..self.config.ways).collect();
-                self.policy.victim(set, &all)
-            });
-        let idx = self.slot_idx(set, way);
-        let evicted = self.slots[idx].take().map(|s| Evicted {
-            key: s.key,
-            meta: s.meta,
+        let way = match row.iter().position(|&k| k == INVALID_KEY) {
+            Some(w) => w,
+            None => {
+                self.scratch.clear();
+                self.scratch.extend(0..self.config.ways);
+                self.policy.victim(set, &self.scratch)
+            }
+        };
+        let idx = base + way;
+        let old_key = self.keys[idx];
+        let evicted = (old_key != INVALID_KEY).then(|| Evicted {
+            key: old_key,
+            meta: self.metas[idx].take().expect("valid key has metadata"),
         });
-        self.slots[idx] = Some(Slot { key, meta });
+        self.keys[idx] = key;
+        self.metas[idx] = Some(meta);
         self.policy.on_fill(set, way);
         evicted
     }
 
     /// Removes `key`, returning its metadata if it was present.
     pub fn invalidate(&mut self, key: BlockKey) -> Option<M> {
-        let way = self.find_way(key)?;
-        let set = self.set_index(key);
+        let (set, way) = self.locate(key)?;
         let idx = self.slot_idx(set, way);
         self.policy.on_invalidate(set, way);
-        self.slots[idx].take().map(|s| s.meta)
+        self.keys[idx] = INVALID_KEY;
+        self.metas[idx].take()
     }
 
     /// Iterates over all resident blocks as `(key, &meta)`.
     pub fn iter(&self) -> impl Iterator<Item = (BlockKey, &M)> + '_ {
-        self.slots
+        self.keys
             .iter()
-            .filter_map(|s| s.as_ref().map(|s| (s.key, &s.meta)))
+            .zip(&self.metas)
+            .filter(|(&k, _)| k != INVALID_KEY)
+            .map(|(&k, m)| (k, m.as_ref().expect("valid key has metadata")))
     }
 
     /// Number of valid blocks currently resident.
     pub fn occupancy(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.keys.iter().filter(|&&k| k != INVALID_KEY).count()
     }
 
     /// Drops all blocks and zeroes statistics.
     pub fn reset(&mut self) {
-        for s in &mut self.slots {
-            *s = None;
+        self.keys.fill(INVALID_KEY);
+        for m in &mut self.metas {
+            *m = None;
         }
         self.hits = 0;
         self.misses = 0;

@@ -41,7 +41,16 @@ pub enum Allocate {
     Full,
 }
 
+/// Cached `next_ready` value meaning "no entry in flight".
+const NO_READY: u64 = u64::MAX;
+
 /// A fixed-capacity MSHR file.
+///
+/// The earliest in-flight arrival cycle is cached (`next_ready`), so the
+/// per-cycle completion poll is a single compare instead of a scan over
+/// the entry array. The cache is maintained incrementally on
+/// [`allocate`](Self::allocate) and recomputed only when a drain actually
+/// removes entries — never on the idle path.
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     entries: Vec<Mshr>,
@@ -49,6 +58,8 @@ pub struct MshrFile {
     merges: u64,
     rejects: u64,
     high_water: usize,
+    /// Min `ready_at` over `entries` (`NO_READY` when empty).
+    next_ready: u64,
 }
 
 impl MshrFile {
@@ -65,6 +76,7 @@ impl MshrFile {
             merges: 0,
             rejects: 0,
             high_water: 0,
+            next_ready: NO_READY,
         }
     }
 
@@ -143,6 +155,7 @@ impl MshrFile {
             is_prefetch,
             source,
         });
+        self.next_ready = self.next_ready.min(ready_at);
         self.high_water = self.high_water.max(self.entries.len());
         Allocate::Fresh
     }
@@ -158,12 +171,28 @@ impl MshrFile {
                 true
             }
         });
+        if !ready.is_empty() {
+            self.next_ready = self
+                .entries
+                .iter()
+                .map(|m| m.ready_at)
+                .min()
+                .unwrap_or(NO_READY);
+        }
         ready
     }
 
-    /// Earliest arrival cycle among in-flight entries.
+    /// Earliest arrival cycle among in-flight entries (O(1): cached).
+    #[inline]
     pub fn next_ready_at(&self) -> Option<u64> {
-        self.entries.iter().map(|m| m.ready_at).min()
+        (self.next_ready != NO_READY).then_some(self.next_ready)
+    }
+
+    /// Whether any in-flight entry's data has arrived by `now` — the
+    /// per-cycle poll, a single compare against the cached minimum.
+    #[inline]
+    pub fn has_ready(&self, now: u64) -> bool {
+        self.next_ready <= now
     }
 
     /// Drops all in-flight entries (simulation reset).
@@ -172,6 +201,7 @@ impl MshrFile {
         self.merges = 0;
         self.rejects = 0;
         self.high_water = 0;
+        self.next_ready = NO_READY;
     }
 }
 

@@ -229,6 +229,77 @@ impl PolicyKind {
             PolicyKind::Srrip => Box::new(Srrip::new(sets, ways)),
         }
     }
+
+    /// Instantiates the policy without boxing: enum dispatch instead of a
+    /// vtable, so the per-access `on_hit`/`on_fill` calls inline into the
+    /// cache's lookup loop (hot-path layout refactor).
+    pub fn build_inline(self, sets: usize, ways: usize) -> AnyPolicy {
+        match self {
+            PolicyKind::Lru => AnyPolicy::Lru(Lru::new(sets, ways)),
+            PolicyKind::Fifo => AnyPolicy::Fifo(Fifo::new(sets, ways)),
+            PolicyKind::Random => AnyPolicy::Random(RandomRepl::new(0xdead_beef)),
+            PolicyKind::Srrip => AnyPolicy::Srrip(Srrip::new(sets, ways)),
+        }
+    }
+}
+
+/// All built-in policies as one inline-dispatched value.
+///
+/// Semantically identical to the boxed [`Replacement`] objects
+/// [`PolicyKind::build`] produces (it wraps the same implementations); the
+/// enum exists so the per-access policy hooks are direct calls.
+#[derive(Debug, Clone)]
+pub enum AnyPolicy {
+    /// Least recently used.
+    Lru(Lru),
+    /// First in, first out.
+    Fifo(Fifo),
+    /// Pseudo-random.
+    Random(RandomRepl),
+    /// Static RRIP.
+    Srrip(Srrip),
+}
+
+impl Replacement for AnyPolicy {
+    #[inline]
+    fn on_fill(&mut self, set: usize, way: usize) {
+        match self {
+            AnyPolicy::Lru(p) => p.on_fill(set, way),
+            AnyPolicy::Fifo(p) => p.on_fill(set, way),
+            AnyPolicy::Random(p) => p.on_fill(set, way),
+            AnyPolicy::Srrip(p) => p.on_fill(set, way),
+        }
+    }
+
+    #[inline]
+    fn on_hit(&mut self, set: usize, way: usize) {
+        match self {
+            AnyPolicy::Lru(p) => p.on_hit(set, way),
+            AnyPolicy::Fifo(p) => p.on_hit(set, way),
+            AnyPolicy::Random(p) => p.on_hit(set, way),
+            AnyPolicy::Srrip(p) => p.on_hit(set, way),
+        }
+    }
+
+    #[inline]
+    fn victim(&mut self, set: usize, candidates: &[usize]) -> usize {
+        match self {
+            AnyPolicy::Lru(p) => p.victim(set, candidates),
+            AnyPolicy::Fifo(p) => p.victim(set, candidates),
+            AnyPolicy::Random(p) => p.victim(set, candidates),
+            AnyPolicy::Srrip(p) => p.victim(set, candidates),
+        }
+    }
+
+    #[inline]
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        match self {
+            AnyPolicy::Lru(p) => p.on_invalidate(set, way),
+            AnyPolicy::Fifo(p) => p.on_invalidate(set, way),
+            AnyPolicy::Random(p) => p.on_invalidate(set, way),
+            AnyPolicy::Srrip(p) => p.on_invalidate(set, way),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -11,6 +11,30 @@ pub trait TraceSource {
     /// Produces the next record, or `None` when the trace is exhausted.
     fn next_record(&mut self) -> Option<TraceRecord>;
 
+    /// Appends up to `max` records to `buf`, returning how many were
+    /// produced. Returns less than `max` only when the trace is exhausted
+    /// (so `0` means end-of-trace, matching `next_record() == None`).
+    ///
+    /// The batched decode entry point: the simulator refills a chunked
+    /// record buffer outside its cycle loop through one virtual call per
+    /// chunk instead of one per instruction. The default forwards to
+    /// [`next_record`](Self::next_record), so existing sources keep their
+    /// exact decode order; implementations may override it with a tighter
+    /// loop but must produce the identical record sequence.
+    fn fill_records(&mut self, buf: &mut Vec<TraceRecord>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.next_record() {
+                Some(r) => {
+                    buf.push(r);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
     /// A short human-readable name for reports.
     fn name(&self) -> &str {
         "<unnamed trace>"
@@ -66,6 +90,13 @@ impl TraceSource for ReplaySource {
         r
     }
 
+    fn fill_records(&mut self, buf: &mut Vec<TraceRecord>, max: usize) -> usize {
+        let n = self.remaining().min(max);
+        buf.extend_from_slice(&self.records[self.pos..self.pos + n]);
+        self.pos += n;
+        n
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -81,6 +112,8 @@ pub struct LoopingReplay {
 }
 
 impl TraceSource for LoopingReplay {
+    // Inherits the default `fill_records`: the wrap point depends on
+    // `pos`, so the per-record path is already the simplest correct one.
     fn next_record(&mut self) -> Option<TraceRecord> {
         if self.inner.records.is_empty() {
             return None;
@@ -99,6 +132,10 @@ impl TraceSource for LoopingReplay {
 impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
     fn next_record(&mut self) -> Option<TraceRecord> {
         (**self).next_record()
+    }
+
+    fn fill_records(&mut self, buf: &mut Vec<TraceRecord>, max: usize) -> usize {
+        (**self).fill_records(buf, max)
     }
 
     fn name(&self) -> &str {

@@ -30,8 +30,31 @@ struct Frame {
 struct Cursor {
     func: FuncId,
     block: BlockId,
-    /// Index of the next instruction to emit within the block.
-    instr: u32,
+}
+
+/// A [`Terminator`] with its heap payload flattened into the walker's
+/// callee pool, so the hot emit path copies a few words and never chases
+/// the program's nested `Vec`s.
+#[derive(Debug, Clone, Copy)]
+enum TermLite {
+    FallThrough,
+    Cond {
+        target: BlockId,
+        taken_prob: f32,
+    },
+    Jump {
+        target: BlockId,
+    },
+    Call {
+        callee: FuncId,
+    },
+    /// `callee_pool[pool_start..pool_start + n_callees]` holds the targets.
+    IndirectCall {
+        pool_start: u32,
+        n_callees: u32,
+    },
+    Return,
+    Dispatch,
 }
 
 /// An infinite instruction stream over a synthetic program.
@@ -53,6 +76,24 @@ pub struct SyntheticTrace {
     rng: SmallRng,
     stack: Vec<Frame>,
     cur: Cursor,
+    /// Flat index of the current block (`flat_base[func] + block`).
+    cur_flat: u32,
+    /// PC of the next instruction to emit.
+    cur_pc: Addr,
+    /// Instructions left in the current block, including the terminator.
+    cur_remaining: u32,
+    /// Per-function start index into the flat block arrays.
+    flat_base: Vec<u32>,
+    /// Block start PCs, flattened across all functions in layout order.
+    blk_pc: Vec<Addr>,
+    /// Block instruction counts, parallel to `blk_pc`.
+    blk_instrs: Vec<u32>,
+    /// Block terminators, parallel to `blk_pc`.
+    blk_term: Vec<TermLite>,
+    /// Flattened indirect-call target lists (see [`TermLite::IndirectCall`]).
+    callee_pool: Vec<FuncId>,
+    /// Entry PC per function.
+    func_entry_pc: Vec<Addr>,
     hot_set: Vec<FuncId>,
     zipf_cdf: Vec<f64>,
     next_phase_at: u64,
@@ -100,21 +141,67 @@ impl SyntheticTrace {
             stream_stride[i] = *[8u64, 8, 8, 16, 16].get(i % 5).unwrap_or(&8);
         }
         let phase_len = (1.0 / params.phase_change_prob.max(1e-12)) as u64;
+
+        // Flatten the program's nested block structure into dense parallel
+        // arrays so the walk indexes plain slices instead of chasing
+        // `Vec<Function> -> Vec<Block> -> Vec<FuncId>` per record.
+        let n_blocks: usize = program.functions.iter().map(|f| f.blocks.len()).sum();
+        let mut flat_base = Vec::with_capacity(program.functions.len());
+        let mut blk_pc = Vec::with_capacity(n_blocks);
+        let mut blk_instrs = Vec::with_capacity(n_blocks);
+        let mut blk_term = Vec::with_capacity(n_blocks);
+        let mut callee_pool = Vec::new();
+        let mut func_entry_pc = Vec::with_capacity(program.functions.len());
+        let mut base = 0u32;
+        for f in &program.functions {
+            flat_base.push(base);
+            func_entry_pc.push(f.entry_pc);
+            base += f.blocks.len() as u32;
+            for b in &f.blocks {
+                blk_pc.push(b.pc);
+                blk_instrs.push(b.instrs);
+                blk_term.push(match &b.term {
+                    Terminator::FallThrough => TermLite::FallThrough,
+                    Terminator::Cond { target, taken_prob } => TermLite::Cond {
+                        target: *target,
+                        taken_prob: *taken_prob,
+                    },
+                    Terminator::Jump { target } => TermLite::Jump { target: *target },
+                    Terminator::Call { callee } => TermLite::Call { callee: *callee },
+                    Terminator::IndirectCall { callees } => {
+                        let start = callee_pool.len() as u32;
+                        callee_pool.extend_from_slice(callees);
+                        TermLite::IndirectCall {
+                            pool_start: start,
+                            n_callees: callees.len() as u32,
+                        }
+                    }
+                    Terminator::Return => TermLite::Return,
+                    Terminator::Dispatch => TermLite::Dispatch,
+                });
+            }
+        }
+
         SyntheticTrace {
             name,
-            cur: Cursor {
-                func: 0,
-                block: 0,
-                instr: 0,
-            },
+            cur: Cursor { func: 0, block: 0 },
+            cur_flat: 0,
+            cur_pc: blk_pc[0],
+            cur_remaining: blk_instrs[0],
+            flat_base,
+            blk_pc,
+            blk_instrs,
+            blk_term,
+            callee_pool,
+            func_entry_pc,
             next_phase_at: phase_len.max(1),
             program,
             params,
             rng,
-            stack: Vec::with_capacity(64),
             hot_set,
             zipf_cdf,
             emitted: 0,
+            stack: Vec::with_capacity(64),
             dst_ring: [1; 8],
             ring_pos: 0,
             reg_counter: 0,
@@ -259,45 +346,45 @@ impl SyntheticTrace {
         rec
     }
 
+    /// Start PC of a block, via the flat index.
     #[inline]
-    fn block(&self, func: FuncId, block: BlockId) -> &super::cfg::Block {
-        &self.program.functions[func as usize].blocks[block as usize]
+    fn block_pc(&self, func: FuncId, block: BlockId) -> Addr {
+        self.blk_pc[(self.flat_base[func as usize] + block) as usize]
     }
 
+    #[inline]
     fn goto(&mut self, func: FuncId, block: BlockId) {
-        self.cur = Cursor {
-            func,
-            block,
-            instr: 0,
-        };
+        self.cur = Cursor { func, block };
+        let flat = self.flat_base[func as usize] + block;
+        self.cur_flat = flat;
+        self.cur_pc = self.blk_pc[flat as usize];
+        self.cur_remaining = self.blk_instrs[flat as usize];
     }
 }
 
 impl TraceSource for SyntheticTrace {
     fn next_record(&mut self) -> Option<TraceRecord> {
-        let cur = self.cur;
-        let b = self.block(cur.func, cur.block);
-        let pc = b.pc + cur.instr as u64 * INSTR_BYTES;
-        let at_terminator = cur.instr + 1 == b.instrs;
-        let term = b.term.clone();
+        let pc = self.cur_pc;
         self.emitted += 1;
 
-        if !at_terminator {
-            self.cur.instr += 1;
+        if self.cur_remaining > 1 {
+            self.cur_remaining -= 1;
+            self.cur_pc += INSTR_BYTES;
             return Some(self.body_record(pc));
         }
 
         // Terminator instruction: emit the branch (if any) and advance.
-        let func = cur.func;
-        let next_block = cur.block + 1;
+        let term = self.blk_term[self.cur_flat as usize];
+        let func = self.cur.func;
+        let next_block = self.cur.block + 1;
         let rec = match term {
-            Terminator::FallThrough => {
+            TermLite::FallThrough => {
                 self.goto(func, next_block);
                 self.body_record(pc)
             }
-            Terminator::Cond { target, taken_prob } => {
+            TermLite::Cond { target, taken_prob } => {
                 let taken = self.rng.gen::<f32>() < taken_prob;
-                let target_pc = self.block(func, target).pc;
+                let target_pc = self.block_pc(func, target);
                 if taken {
                     self.goto(func, target);
                 } else {
@@ -305,18 +392,18 @@ impl TraceSource for SyntheticTrace {
                 }
                 self.branch_record(pc, BranchKind::Conditional, taken, target_pc)
             }
-            Terminator::Jump { target } => {
-                let target_pc = self.block(func, target).pc;
+            TermLite::Jump { target } => {
+                let target_pc = self.block_pc(func, target);
                 self.goto(func, target);
                 self.branch_record(pc, BranchKind::DirectJump, true, target_pc)
             }
-            Terminator::Call { callee } => {
+            TermLite::Call { callee } => {
                 if self.stack.len() >= self.params.max_call_depth {
                     // Depth cap: elide the call, treat as a plain instruction.
                     self.goto(func, next_block);
                     self.body_record(pc)
                 } else {
-                    let entry = self.program.functions[callee as usize].entry_pc;
+                    let entry = self.func_entry_pc[callee as usize];
                     self.stack.push(Frame {
                         func,
                         resume_block: next_block,
@@ -325,7 +412,10 @@ impl TraceSource for SyntheticTrace {
                     self.branch_record(pc, BranchKind::DirectCall, true, entry)
                 }
             }
-            Terminator::IndirectCall { ref callees } => {
+            TermLite::IndirectCall {
+                pool_start,
+                n_callees,
+            } => {
                 if self.stack.len() >= self.params.max_call_depth {
                     self.goto(func, next_block);
                     self.body_record(pc)
@@ -335,10 +425,10 @@ impl TraceSource for SyntheticTrace {
                     let idx = if self.rng.gen::<f64>() < 0.85 {
                         0
                     } else {
-                        self.rng.gen_range(0..callees.len())
+                        self.rng.gen_range(0..n_callees as usize)
                     };
-                    let callee = callees[idx];
-                    let entry = self.program.functions[callee as usize].entry_pc;
+                    let callee = self.callee_pool[pool_start as usize + idx];
+                    let entry = self.func_entry_pc[callee as usize];
                     self.stack.push(Frame {
                         func,
                         resume_block: next_block,
@@ -347,23 +437,23 @@ impl TraceSource for SyntheticTrace {
                     self.branch_record(pc, BranchKind::IndirectCall, true, entry)
                 }
             }
-            Terminator::Return => match self.stack.pop() {
+            TermLite::Return => match self.stack.pop() {
                 Some(frame) => {
-                    let target_pc = self.block(frame.func, frame.resume_block).pc;
+                    let target_pc = self.block_pc(frame.func, frame.resume_block);
                     self.goto(frame.func, frame.resume_block);
                     self.branch_record(pc, BranchKind::Return, true, target_pc)
                 }
                 None => {
                     // Orphan return (shouldn't happen): restart the dispatcher.
-                    let target_pc = self.program.functions[0].entry_pc;
+                    let target_pc = self.func_entry_pc[0];
                     self.goto(0, 0);
                     self.branch_record(pc, BranchKind::Return, true, target_pc)
                 }
             },
-            Terminator::Dispatch => {
+            TermLite::Dispatch => {
                 self.maybe_phase_change();
                 let root = self.pick_root();
-                let entry = self.program.functions[root as usize].entry_pc;
+                let entry = self.func_entry_pc[root as usize];
                 self.stack.push(Frame {
                     func: 0,
                     resume_block: next_block,

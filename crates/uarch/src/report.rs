@@ -37,6 +37,11 @@ pub struct PhaseProfile {
     pub sampled_cycles: u64,
     /// Cycles in the run (sampled + unsampled).
     pub total_cycles: u64,
+    /// Cycles the loop actually stepped. The idle-cycle fast-forward
+    /// bulk-accounts the rest (`total_cycles - executed_cycles`), so phase
+    /// seconds extrapolate over this count, not `total_cycles`.
+    #[serde(default)]
+    pub executed_cycles: u64,
 }
 
 /// Everything a simulation run measured.

@@ -44,22 +44,67 @@ enum Redirect {
     AtDecode,
 }
 
+/// No load/store: the record completes in one cycle past source readiness.
+const EXEC_ALU: u8 = 0;
+/// The record is a load from `addr`.
+const EXEC_LOAD: u8 = 1;
+/// The record is a store to `addr`.
+const EXEC_STORE: u8 = 2;
+
+/// What dispatch/execute still need from a record once runahead has
+/// processed its branch: 16 bytes instead of the ~90-byte full
+/// [`TraceRecord`], so the runahead queue — which runs thousands of
+/// records deep — streams through cache instead of thrashing it.
 #[derive(Debug, Clone, Copy)]
-struct PendRec {
-    rec: TraceRecord,
-    seq: u64,
-    redirect: Option<Redirect>,
+struct ExecRec {
+    /// Load or store address; meaningful when `kind != EXEC_ALU`.
+    addr: u64,
+    src_regs: [u8; 4],
+    dst_regs: [u8; 2],
+    /// One of [`EXEC_ALU`], [`EXEC_LOAD`], [`EXEC_STORE`].
+    kind: u8,
+    /// `0` = none, `1` = [`Redirect::AtExecute`], `2` = [`Redirect::AtDecode`].
+    redirect: u8,
+    /// Kept only for the deliver-time range check in debug builds.
+    #[cfg(debug_assertions)]
+    pc: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Fetched {
-    ready_at: u64,
-    pr: PendRec,
+impl ExecRec {
+    #[inline]
+    fn of(rec: &TraceRecord, redirect: Option<Redirect>) -> Self {
+        // Loads shadow stores, matching execute's historical priority for
+        // records that carry both.
+        let (kind, addr) = if let Some(a) = rec.load {
+            (EXEC_LOAD, a)
+        } else if let Some(a) = rec.store {
+            (EXEC_STORE, a)
+        } else {
+            (EXEC_ALU, 0)
+        };
+        ExecRec {
+            addr,
+            src_regs: rec.src_regs,
+            dst_regs: rec.dst_regs,
+            kind,
+            redirect: match redirect {
+                None => 0,
+                Some(Redirect::AtExecute) => 1,
+                Some(Redirect::AtDecode) => 2,
+            },
+            #[cfg(debug_assertions)]
+            pc: rec.pc,
+        }
+    }
 }
 
 /// Safety factor: a run aborts (with a [`WatchdogDiagnostic`]) if it
 /// exceeds this many cycles per instruction.
 const MAX_CPI: u64 = 1000;
+
+/// Records decoded per [`TraceSource::fill_records`] refill. Large enough
+/// to amortise the virtual call, small enough to stay cache-resident.
+const REC_CHUNK: usize = 256;
 
 /// Runs `trace` through the core with `icache` as the L1-I.
 ///
@@ -114,9 +159,17 @@ struct Simulator<'a, 's> {
     l1d: L1d,
 
     // Runahead state.
-    pending: VecDeque<PendRec>,
-    next_seq: u64,
-    blocked_on: Option<u64>,
+    pending: VecDeque<ExecRec>,
+    /// Chunked decode buffer: runahead reads records from here and refills
+    /// it through one [`TraceSource::fill_records`] call per [`REC_CHUNK`].
+    rec_buf: Vec<TraceRecord>,
+    rec_pos: usize,
+    /// The source reported end-of-trace (a short `fill_records` chunk).
+    source_done: bool,
+    /// Runahead is halted on an unresolved redirect. At most one
+    /// redirect-marked record can sit in `pending` (runahead halts the
+    /// moment it pushes one), so a flag identifies it unambiguously.
+    blocked_on: bool,
     /// Why runahead is (or last was) blocked, kept through the re-steer
     /// bubble so starved cycles can be attributed to the redirect kind.
     blocked_kind: Option<Redirect>,
@@ -130,7 +183,14 @@ struct Simulator<'a, 's> {
     /// Miss class and fill level of the in-flight stall, if fetch is
     /// waiting on a fill (`None` while stalled means an MSHR reject).
     stalled_fill: Option<(MissKind, FillSource)>,
-    fetched: VecDeque<Fetched>,
+    /// Fetched-but-undispatched records, as `(ready_at, count)` groups.
+    /// The records themselves stay at the front of `pending` (dispatch pops
+    /// them directly), so delivery moves no data — only a counter.
+    fetched: VecDeque<(u64, u32)>,
+    /// Total records across `fetched` groups.
+    fetched_records: usize,
+    /// Reusable FDIP scratch: ranges taken from the FTQ this cycle.
+    fdip_buf: Vec<FetchRange>,
 
     // Back-end state.
     rob: VecDeque<u64>,
@@ -152,6 +212,12 @@ struct Simulator<'a, 's> {
     watchdog_last_committed: u64,
     last_progress_cycle: u64,
     wall_started: Instant,
+    /// Cycles actually stepped by the loop (excludes fast-forwarded idle
+    /// cycles); the profiler extrapolates over these, not `now`.
+    executed_cycles: u64,
+    /// Debug escape hatch: `UBS_NO_SKIP=1` disables the idle-cycle
+    /// fast-forward so a divergence can be bisected in one binary.
+    skip_disabled: bool,
     wall_deadline: Option<Instant>,
 
     // Host-side self-profiling accumulators (cfg.profile).
@@ -190,8 +256,10 @@ impl<'a, 's> Simulator<'a, 's> {
             ftq: Ftq::new(core.ftq_entries),
             l1d: L1d::new(core.l1d_size, core.l1d_ways, core.l1d_latency),
             pending: VecDeque::with_capacity(4096),
-            next_seq: 0,
-            blocked_on: None,
+            rec_buf: Vec::with_capacity(REC_CHUNK),
+            rec_pos: 0,
+            source_done: false,
+            blocked_on: false,
             blocked_kind: None,
             runahead_resume_at: 0,
             trace_done: false,
@@ -200,6 +268,8 @@ impl<'a, 's> Simulator<'a, 's> {
             stalled_sub: None,
             stalled_fill: None,
             fetched: VecDeque::with_capacity(256),
+            fetched_records: 0,
+            fdip_buf: Vec::with_capacity(core.fdip_ranges_per_cycle.max(4)),
             rob: VecDeque::with_capacity(core.rob_entries),
             reg_ready: [0; 64],
             now: 0,
@@ -228,6 +298,8 @@ impl<'a, 's> Simulator<'a, 's> {
             prof_cache: Duration::ZERO,
             prof_backend: Duration::ZERO,
             prof_sampled: 0,
+            executed_cycles: 0,
+            skip_disabled: std::env::var_os("UBS_NO_SKIP").is_some(),
             rob_full_cycle: false,
             tel,
             heartbeat,
@@ -260,7 +332,7 @@ impl<'a, 's> Simulator<'a, 's> {
         );
         let cache_metrics = self.icache.metrics_report();
         let phase_profile = self.cfg.profile.then(|| {
-            let scale = self.now as f64 / self.prof_sampled.max(1) as f64;
+            let scale = self.executed_cycles as f64 / self.prof_sampled.max(1) as f64;
             PhaseProfile {
                 trace_decode_s: 0.0, // measured by the harness, not the loop
                 frontend_s: self.prof_frontend.as_secs_f64() * scale,
@@ -268,6 +340,7 @@ impl<'a, 's> Simulator<'a, 's> {
                 backend_s: self.prof_backend.as_secs_f64() * scale,
                 sampled_cycles: self.prof_sampled,
                 total_cycles: self.now,
+                executed_cycles: self.executed_cycles,
             }
         });
         let report = SimReport {
@@ -321,12 +394,102 @@ impl<'a, 's> Simulator<'a, 's> {
             if self.now >= cycle_limit {
                 self.trip(WatchdogKind::CpiLimit);
             }
+            // Never fast-forward once the commit target is reached: the
+            // idle span after the last committed instruction belongs to
+            // the *next* measurement window (the warmup/measure boundary
+            // is `now` at return), exactly as the per-cycle loop leaves it.
+            if self.committed < target_committed && !self.skip_disabled {
+                let n = self.idle_cycles(cycle_limit);
+                if n > 0 {
+                    self.skip_idle(n);
+                }
+            }
         }
+    }
+
+    /// How many upcoming cycles are provably no-ops for every pipeline
+    /// phase — fetch parked on a known-time fill or an empty FTQ, runahead
+    /// blocked/full/drained, FDIP caught up, dispatch waiting on delivery
+    /// or the ROB, commit waiting on the ROB head, and no cache fill due.
+    /// Returns 0 whenever any phase could act next cycle; otherwise the
+    /// count of cycles to fast-forward, clamped so every periodic check
+    /// (sampling, metrics, telemetry epochs, watchdog, CPI limit) still
+    /// fires on its exact cycle.
+    fn idle_cycles(&self, cycle_limit: u64) -> u64 {
+        // Fetch: either waiting out a fill with a known arrival, or starved
+        // by an empty FTQ. An MSHR-rejected access (stalled_sub None, FTQ
+        // non-empty) re-probes every cycle and is never idle.
+        let fetch_event = if self.stalled_sub.is_some() {
+            self.fetch_stalled_until
+        } else if self.ftq.is_empty() {
+            u64::MAX
+        } else {
+            return 0;
+        };
+        // Runahead: parked on a redirect, out of trace, FTQ full, or
+        // waiting out a re-steer bubble.
+        let runahead_event = if self.trace_done || self.blocked_on || self.ftq.is_full() {
+            u64::MAX
+        } else if self.now + 1 < self.runahead_resume_at {
+            self.runahead_resume_at
+        } else {
+            return 0;
+        };
+        // FDIP: anything left to prefetch runs next cycle.
+        if self
+            .ftq
+            .has_unprefetched_within(self.cfg.core.fdip_max_depth)
+        {
+            return 0;
+        }
+        // Dispatch: next delivery group becomes ready (when ROB-gated, the
+        // commit event below bounds the wait instead).
+        let rob_full = self.rob.len() >= self.cfg.core.rob_entries;
+        let dispatch_event = match self.fetched.front() {
+            Some(&(ready_at, _)) if !rob_full => ready_at,
+            _ => u64::MAX,
+        };
+        // Commit: earliest ROB completion.
+        let commit_event = self.rob.front().copied().unwrap_or(u64::MAX);
+
+        let skip_to = fetch_event
+            .min(runahead_event)
+            .min(dispatch_event)
+            .min(commit_event)
+            .min(self.icache.next_event())
+            .min(self.next_sample_at)
+            .min(self.next_metrics_at)
+            .min(self.tel.next_epoch_boundary())
+            .min(self.watchdog_next_at)
+            .min(cycle_limit);
+        skip_to.saturating_sub(self.now + 1)
+    }
+
+    /// Fast-forwards `n` provably idle cycles, applying exactly the state
+    /// changes the per-cycle loop would have: the cycle counter, the legacy
+    /// stall counters, and one bulk telemetry record with the (constant)
+    /// per-cycle attribution. Simulated state is untouched otherwise, so
+    /// results are bit-exact with the unskipped loop.
+    fn skip_idle(&mut self, n: u64) {
+        let stalled_on_icache = self.stalled_sub.is_some();
+        self.fetch_starved_cycles += n;
+        if stalled_on_icache {
+            self.icache_stall_cycles += n;
+        } else if self.ftq.is_empty() && (self.blocked_on || self.now + 1 < self.runahead_resume_at)
+        {
+            self.bpu_stall_cycles += n;
+        }
+        // As dispatch would recompute each cycle (the ROB is untouched).
+        self.rob_full_cycle = self.rob.len() >= self.cfg.core.rob_entries;
+        let (class, kind) = self.classify(0, stalled_on_icache);
+        self.tel.record_cycles(self.now + 1, class, kind, n);
+        self.now += n;
     }
 
     /// One cycle.
     fn step(&mut self) {
         self.now += 1;
+        self.executed_cycles += 1;
         if self.cfg.profile && self.now & PROFILE_CYCLE_MASK == 0 {
             self.step_timed();
         } else {
@@ -405,8 +568,8 @@ impl<'a, 's> Simulator<'a, 's> {
             rob_occupancy: self.rob.len(),
             rob_capacity: self.cfg.core.rob_entries,
             ftq_len: self.ftq.len(),
-            pending_records: self.pending.len(),
-            fetched_records: self.fetched.len(),
+            pending_records: self.pending.len() - self.fetched_records,
+            fetched_records: self.fetched_records,
             fetch_pc,
             fetch_stalled_until: self.fetch_stalled_until,
             mshr_rejects: self.icache.stats().mshr_full_rejects,
@@ -464,40 +627,44 @@ impl<'a, 's> Simulator<'a, 's> {
                 break;
             }
             match self.fetched.front() {
-                Some(f) if f.ready_at <= self.now => {}
+                Some(&(ready_at, _)) if ready_at <= self.now => {}
                 _ => break,
             }
-            let f = self.fetched.pop_front().expect("peeked above");
-            let done_at = self.execute(&f.pr.rec);
+            let pr = self
+                .pending
+                .pop_front()
+                .expect("fetched group without a pending record");
+            self.fetched_records -= 1;
+            let group = self.fetched.front_mut().expect("peeked above");
+            group.1 -= 1;
+            if group.1 == 0 {
+                self.fetched.pop_front();
+            }
+            let done_at = self.execute(&pr);
             self.rob.push_back(done_at);
 
-            if let Some(kind) = f.pr.redirect {
-                if self.blocked_on == Some(f.pr.seq) {
-                    self.blocked_on = None;
-                    self.runahead_resume_at = match kind {
-                        Redirect::AtExecute => done_at + self.cfg.core.redirect_bubble,
-                        Redirect::AtDecode => self.now + self.cfg.core.btb_miss_penalty,
-                    };
-                }
+            if pr.redirect != 0 && self.blocked_on {
+                self.blocked_on = false;
+                self.runahead_resume_at = if pr.redirect == 1 {
+                    done_at + self.cfg.core.redirect_bubble
+                } else {
+                    self.now + self.cfg.core.btb_miss_penalty
+                };
             }
         }
     }
 
-    fn execute(&mut self, rec: &TraceRecord) -> u64 {
+    fn execute(&mut self, rec: &ExecRec) -> u64 {
         let mut src_ready = self.now;
         for &r in &rec.src_regs {
             if r != 0 {
                 src_ready = src_ready.max(self.reg_ready[(r & 63) as usize]);
             }
         }
-        let done = if let Some(addr) = rec.load {
-            let extra = rec.src_regs.iter().filter(|&&r| r != 0).count().min(1) as u64;
-            let _ = extra;
-            self.l1d.load(addr, src_ready, &mut self.mem)
-        } else if let Some(addr) = rec.store {
-            self.l1d.store(addr, src_ready, &mut self.mem)
-        } else {
-            src_ready + 1
+        let done = match rec.kind {
+            EXEC_LOAD => self.l1d.load(rec.addr, src_ready, &mut self.mem),
+            EXEC_STORE => self.l1d.store(rec.addr, src_ready, &mut self.mem),
+            _ => src_ready + 1,
         };
         for &d in &rec.dst_regs {
             if d != 0 {
@@ -508,21 +675,34 @@ impl<'a, 's> Simulator<'a, 's> {
     }
 
     /// Delivers the records of a fetched sub-range into the decode pipe.
+    ///
+    /// The records stay in `pending` (dispatch pops them from its front);
+    /// delivery only appends to — or extends — a `(ready_at, count)` group,
+    /// so fetching an N-instruction sub-range is O(1), not O(N).
     fn deliver(&mut self, sub: FetchRange) -> usize {
         let n = (sub.bytes / 4) as usize;
+        if n == 0 {
+            return 0;
+        }
         let ready_at = self.now + self.icache.latency() + self.cfg.core.decode_latency;
-        for _ in 0..n {
-            let pr = self
-                .pending
-                .pop_front()
-                .expect("FTQ ranges and pending records must stay in sync");
+        assert!(
+            self.pending.len() >= self.fetched_records + n,
+            "FTQ ranges and pending records must stay in sync"
+        );
+        #[cfg(debug_assertions)]
+        for i in 0..n {
+            let pr = &self.pending[self.fetched_records + i];
             debug_assert!(
-                pr.rec.pc >= sub.start && pr.rec.pc < sub.end(),
+                pr.pc >= sub.start && pr.pc < sub.end(),
                 "record {:#x} outside sub-range {:?}",
-                pr.rec.pc,
+                pr.pc,
                 sub
             );
-            self.fetched.push_back(Fetched { ready_at, pr });
+        }
+        self.fetched_records += n;
+        match self.fetched.back_mut() {
+            Some(group) if group.0 == ready_at => group.1 += n as u32,
+            _ => self.fetched.push_back((ready_at, n as u32)),
         }
         n
     }
@@ -583,8 +763,7 @@ impl<'a, 's> Simulator<'a, 's> {
             self.fetch_starved_cycles += 1;
             if stalled_on_icache {
                 self.icache_stall_cycles += 1;
-            } else if self.ftq.is_empty()
-                && (self.blocked_on.is_some() || self.now < self.runahead_resume_at)
+            } else if self.ftq.is_empty() && (self.blocked_on || self.now < self.runahead_resume_at)
             {
                 // Starved because the BPU runahead is waiting on a branch
                 // resolution (misprediction or BTB-missed taken branch).
@@ -599,41 +778,102 @@ impl<'a, 's> Simulator<'a, 's> {
     /// [`crate::telemetry`]'s module docs). Observation only: nothing is
     /// written back into simulation state, so timing and the legacy
     /// counters are unaffected.
+    ///
+    /// Branch-free: the priority chain (full group > ROB full > i-cache >
+    /// FTQ empty > residual) is a 16-entry table indexed by the packed
+    /// condition bits, and the i-cache / runahead-block sub-classes are
+    /// small lookups on the fill level and redirect kind.
     fn attribute_cycle(&mut self, delivered: usize, stalled_on_icache: bool) {
         let spc = (self.cfg.core.fetch_width_bytes / 4) as u64;
         let delivered_slots = (delivered as u64).min(spc);
-        let class = if delivered_slots == spc {
-            None
-        } else if self.rob_full_cycle {
-            Some(StallClass::RobFull)
-        } else if stalled_on_icache {
-            Some(match self.stalled_fill {
-                Some((_, FillSource::L2)) => StallClass::IcacheL2,
-                Some((_, FillSource::L3)) => StallClass::IcacheL3,
-                Some((_, FillSource::Dram)) => StallClass::IcacheDram,
-                None => StallClass::IcacheMshr,
-            })
-        } else if self.ftq.is_empty() {
-            if self.blocked_on.is_some() || self.now < self.runahead_resume_at {
-                Some(match self.blocked_kind {
-                    Some(Redirect::AtExecute) => StallClass::BpuRedirect,
-                    Some(Redirect::AtDecode) => StallClass::BtbMiss,
-                    None => StallClass::FtqEmpty,
-                })
-            } else {
-                Some(StallClass::FtqEmpty)
-            }
-        } else {
-            // FTQ non-empty, no stall, yet short of a full fetch group:
-            // fetch-group fragmentation residual.
-            Some(StallClass::Other)
-        };
-        let kind = match class {
-            Some(c) if c.is_icache_fill() => self.stalled_fill.map(|(k, _)| k),
-            _ => None,
-        };
+        let (class, kind) = self.classify(delivered_slots, stalled_on_icache);
         self.tel
             .record_cycle(self.now, delivered_slots, class, kind);
+    }
+
+    /// The (class, kind) attribution for a cycle that delivered
+    /// `delivered_slots`, given the current pipeline state. Pure.
+    fn classify(
+        &self,
+        delivered_slots: u64,
+        stalled_on_icache: bool,
+    ) -> (Option<StallClass>, Option<MissKind>) {
+        /// Coarse stall category once the priority chain is resolved.
+        #[derive(Clone, Copy)]
+        enum Cat {
+            /// Full fetch group delivered: no stall to classify.
+            Full,
+            RobFull,
+            /// Waiting on an i-cache fill or MSHR slot (`FILL_CLASS`).
+            Icache,
+            /// FTQ ran dry (`BLOCK_CLASS` picks the runahead block kind).
+            FtqEmpty,
+            /// Fetch-group fragmentation residual.
+            Other,
+        }
+        /// Priority resolution for every combination of
+        /// `full << 3 | rob_full << 2 | icache << 1 | ftq_empty`.
+        const CATEGORY: [Cat; 16] = {
+            let mut t = [Cat::Other; 16];
+            let mut i = 0;
+            while i < 16 {
+                t[i] = if i & 8 != 0 {
+                    Cat::Full
+                } else if i & 4 != 0 {
+                    Cat::RobFull
+                } else if i & 2 != 0 {
+                    Cat::Icache
+                } else if i & 1 != 0 {
+                    Cat::FtqEmpty
+                } else {
+                    Cat::Other
+                };
+                i += 1;
+            }
+            t
+        };
+        /// Indexed by [`FillSource`] discriminant; 3 = no fill (MSHR reject).
+        const FILL_CLASS: [StallClass; 4] = [
+            StallClass::IcacheL2,
+            StallClass::IcacheL3,
+            StallClass::IcacheDram,
+            StallClass::IcacheMshr,
+        ];
+        /// Indexed by [`Redirect`] kind; 2 = blocked without a recorded
+        /// kind; 3 = not blocked at all.
+        const BLOCK_CLASS: [StallClass; 4] = [
+            StallClass::BpuRedirect,
+            StallClass::BtbMiss,
+            StallClass::FtqEmpty,
+            StallClass::FtqEmpty,
+        ];
+
+        let spc = (self.cfg.core.fetch_width_bytes / 4) as u64;
+        let idx = (((delivered_slots == spc) as usize) << 3)
+            | ((self.rob_full_cycle as usize) << 2)
+            | ((stalled_on_icache as usize) << 1)
+            | (self.ftq.is_empty() as usize);
+        match CATEGORY[idx] {
+            Cat::Full => (None, None),
+            Cat::RobFull => (Some(StallClass::RobFull), None),
+            Cat::Icache => {
+                let fill = match self.stalled_fill {
+                    Some((_, src)) => src as usize,
+                    None => 3,
+                };
+                (Some(FILL_CLASS[fill]), self.stalled_fill.map(|(k, _)| k))
+            }
+            Cat::FtqEmpty => {
+                let blocked = (self.blocked_on || self.now < self.runahead_resume_at) as usize;
+                let bk = match self.blocked_kind {
+                    Some(Redirect::AtExecute) => 0,
+                    Some(Redirect::AtDecode) => 1,
+                    None => 2,
+                };
+                (Some(BLOCK_CLASS[[3, bk][blocked]]), None)
+            }
+            Cat::Other => (Some(StallClass::Other), None),
+        }
     }
 
     /// Advances the FTQ head by `bytes`, popping completed ranges.
@@ -649,20 +889,53 @@ impl<'a, 's> Simulator<'a, 's> {
     }
 
     fn fdip(&mut self) {
-        for range in self.ftq.take_unprefetched_within(
+        // Reuse the scratch buffer: prefetch borrows self.mem mutably, so
+        // the ranges are copied out of the FTQ first — but into a buffer
+        // that lives across cycles instead of a fresh Vec.
+        self.fdip_buf.clear();
+        let mut buf = std::mem::take(&mut self.fdip_buf);
+        self.ftq.copy_unprefetched_within(
             self.cfg.core.fdip_ranges_per_cycle,
             self.cfg.core.fdip_max_depth,
-        ) {
-            // Collect first: prefetch borrows self.mem mutably.
-            let subs: Vec<FetchRange> = range.split(64).collect();
-            for sub in subs {
+            &mut buf,
+        );
+        for range in &buf {
+            for sub in range.split(64) {
                 self.icache.prefetch(sub, self.now, &mut self.mem);
             }
         }
+        self.fdip_buf = buf;
+    }
+
+    /// Next decoded record, refilling the chunk buffer through one
+    /// [`TraceSource::fill_records`] call per [`REC_CHUNK`] records instead
+    /// of a virtual `next_record` call per instruction. The record sequence
+    /// is identical by the `fill_records` contract.
+    #[inline]
+    fn next_rec(&mut self) -> Option<TraceRecord> {
+        if self.rec_pos == self.rec_buf.len() {
+            if self.source_done {
+                return None;
+            }
+            self.rec_buf.clear();
+            self.rec_pos = 0;
+            let n = self.trace.fill_records(&mut self.rec_buf, REC_CHUNK);
+            // A short chunk means end-of-trace; remember it so the source
+            // is never polled again after reporting exhaustion.
+            if n < REC_CHUNK {
+                self.source_done = true;
+            }
+            if n == 0 {
+                return None;
+            }
+        }
+        let r = self.rec_buf[self.rec_pos];
+        self.rec_pos += 1;
+        Some(r)
     }
 
     fn runahead(&mut self) {
-        if self.trace_done || self.blocked_on.is_some() || self.now < self.runahead_resume_at {
+        if self.trace_done || self.blocked_on || self.now < self.runahead_resume_at {
             return;
         }
         self.blocked_kind = None;
@@ -671,18 +944,15 @@ impl<'a, 's> Simulator<'a, 's> {
             // Build one fetch range.
             let mut start: Option<u64> = None;
             let mut bytes: u32 = 0;
-            let mut redirect_seq: Option<u64> = None;
             let mut redirect_kind: Option<Redirect> = None;
             loop {
-                let Some(rec) = self.trace.next_record() else {
+                let Some(rec) = self.next_rec() else {
                     self.trace_done = true;
                     break;
                 };
                 start.get_or_insert(rec.pc);
                 bytes += rec.size as u32;
                 budget -= 1;
-                let seq = self.next_seq;
-                self.next_seq += 1;
 
                 let mut redirect = None;
                 let mut ends_range = false;
@@ -695,9 +965,8 @@ impl<'a, 's> Simulator<'a, 's> {
                     }
                     ends_range = rec.is_taken_branch() || redirect.is_some();
                 }
-                self.pending.push_back(PendRec { rec, seq, redirect });
+                self.pending.push_back(ExecRec::of(&rec, redirect));
                 if redirect.is_some() {
-                    redirect_seq = Some(seq);
                     redirect_kind = redirect;
                 }
                 if ends_range || budget <= 0 || bytes >= 256 {
@@ -709,8 +978,8 @@ impl<'a, 's> Simulator<'a, 's> {
                     self.ftq.push(FetchRange::new(start, bytes));
                 }
             }
-            if let Some(seq) = redirect_seq {
-                self.blocked_on = Some(seq);
+            if redirect_kind.is_some() {
+                self.blocked_on = true;
                 self.blocked_kind = redirect_kind;
                 self.runahead_resume_at = u64::MAX;
                 break;
@@ -1015,6 +1284,9 @@ mod tests {
         }
         fn tick(&mut self, now: u64, mem: &mut MemoryHierarchy) {
             self.inner.tick(now, mem);
+        }
+        fn next_event(&self) -> u64 {
+            self.inner.next_event()
         }
         fn sample_efficiency(&mut self) {
             self.inner.sample_efficiency();

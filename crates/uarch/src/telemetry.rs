@@ -758,6 +758,49 @@ impl<'s> Telemetry<'s> {
         }
     }
 
+    /// Bulk form of [`record_cycle`](Self::record_cycle) for a run of `n`
+    /// identical zero-delivery cycles starting at `start_now`, as produced
+    /// by the simulator's idle-cycle fast-forward. Exactly equivalent to
+    /// calling `record_cycle(start_now + i, 0, class, kind)` for each
+    /// `i in 0..n`; the caller guarantees the run does not cross an epoch
+    /// boundary (see [`next_epoch_boundary`](Self::next_epoch_boundary)).
+    pub fn record_cycles(
+        &mut self,
+        start_now: u64,
+        class: Option<StallClass>,
+        kind: Option<MissKind>,
+        n: u64,
+    ) {
+        if n == 0 {
+            return;
+        }
+        self.cycles += n;
+        let undelivered = self.slots_per_cycle;
+        if undelivered > 0 {
+            let c = class.unwrap_or(StallClass::Other);
+            self.breakdown.add(c, undelivered * n);
+            if c.is_icache_fill() {
+                let k = kind.unwrap_or(MissKind::Full);
+                self.kind_slots[miss_kind_index(k)] += undelivered * n;
+            }
+            if self.sink.is_some() {
+                // Identical class each cycle: only the first edge matters.
+                self.episode_edge(start_now, Some(c));
+            }
+        } else if self.sink.is_some() {
+            self.episode_edge(start_now, None);
+        }
+    }
+
+    /// The cycle at which the current epoch ends (`u64::MAX` while the
+    /// interval sampler is inactive). The simulator must not fast-forward
+    /// across this boundary, so that epoch samples split exactly as they
+    /// would cycle by cycle.
+    #[inline]
+    pub fn next_epoch_boundary(&self) -> u64 {
+        self.epoch_next
+    }
+
     fn episode_edge(&mut self, now: u64, class: Option<StallClass>) {
         match (self.episode, class) {
             (Some((open, _)), Some(new)) if open == new => {}

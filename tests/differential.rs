@@ -8,10 +8,12 @@
 //! `ubs_core::engine`, so their stats must balance the same way.
 
 use proptest::prelude::*;
-use ubs_icache::core::{AccessResult, InstructionCache};
+use ubs_icache::core::{AccessResult, InstructionCache, UbsCacheConfig, UbsWayConfig};
 use ubs_icache::experiments::DesignSpec;
 use ubs_icache::mem::MemoryHierarchy;
+use ubs_icache::trace::synth::{Profile, SyntheticTrace, WorkloadSpec};
 use ubs_icache::trace::FetchRange;
+use ubs_icache::uarch::{simulate, SimConfig};
 
 /// Every buildable design, conv-like (strict whole-block eviction
 /// accounting) flagged separately: UBS and Amoeba split one fill into
@@ -200,6 +202,64 @@ proptest! {
                     m.evictions
                 );
             }
+        }
+    }
+
+    /// The full simulator holds its accounting invariants under a random
+    /// fetch width and a random UBS way-size mix — not just the paper's
+    /// Table I/II point. The slot-attribution sum invariant
+    /// (`slots.total() == cycles × width/4`, [`SimReport::validate`]) is
+    /// strict, so a fetch loop that mis-handles an uneven width or a
+    /// degenerate way vector (all-tiny ways, duplicate sizes) fails here.
+    #[test]
+    fn random_fetch_width_and_way_mix_hold_sim_invariants(
+        seed in 0u64..512,
+        width_idx in 0usize..5,
+        small_ways in prop::collection::vec(1u32..=15, 2..8),
+    ) {
+        let width = [16u32, 24, 32, 48, 64][width_idx];
+        // Ascending multiples of 4, capped below 64, plus the mandatory
+        // full-size way — every vector UbsWayConfig::new accepts.
+        let mut sizes: Vec<u32> = small_ways.iter().map(|s| s * 4).collect();
+        sizes.sort_unstable();
+        sizes.push(64);
+        let mut ubs_cfg = UbsCacheConfig::paper_default();
+        ubs_cfg.name = "ubs-prop".into();
+        ubs_cfg.ways = UbsWayConfig::new(sizes);
+
+        let mut cfg = SimConfig::scaled(2_000, 10_000);
+        cfg.core.fetch_width_bytes = width;
+
+        for spec in [DesignSpec::Ubs(ubs_cfg.clone()), DesignSpec::conv_32k()] {
+            let mut wl = WorkloadSpec::new(Profile::Server, 0);
+            wl.seed = seed;
+            let mut trace = SyntheticTrace::build(&wl);
+            let mut cache = spec.build();
+            let report = simulate(&mut trace, cache.as_mut(), &cfg);
+            prop_assert!(
+                report.validate().is_ok(),
+                "{} @ width {}: {:?}",
+                spec.name(),
+                width,
+                report.validate()
+            );
+            // Commit retires up to `commit_width` per cycle, so the stop
+            // condition can overshoot the target by a partial group.
+            let commit_width = cfg.core.commit_width as u64;
+            prop_assert!(
+                (10_000..10_000 + commit_width).contains(&report.instructions),
+                "{}: measured {} instrs, expected 10_000..+{}",
+                spec.name(),
+                report.instructions,
+                commit_width
+            );
+            prop_assert!(report.cycles > 0, "{}: zero cycles", spec.name());
+            prop_assert_eq!(
+                report.frontend.fetch_slots_per_cycle,
+                u64::from(width / 4),
+                "{}: slots per cycle follows the fetch width",
+                spec.name()
+            );
         }
     }
 }
