@@ -15,6 +15,7 @@
 //! repro inspect <workload> <design> [--effort=NAME] [--json DIR]
 //! repro bench [FILE] [--runs=N] [--threads=N] [--check]
 //! repro report <dir>... [--out DIR]
+//! repro serve <dir>... [--addr HOST:PORT]
 //! ```
 //!
 //! With `--json DIR`, every experiment's machine-readable results land in
@@ -38,12 +39,11 @@
 //! infrastructure error.
 
 use parking_lot::Mutex;
-use std::io::IsTerminal;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 use ubs_experiments::{
     cli, diff_dirs, outcome_from_report, run_bench, run_by_id_with, run_inspect, run_report,
-    run_trace, write_bytes_atomic, write_inspect_index, write_json_atomic, CellJournal,
+    run_serve, run_trace, write_bytes_atomic, write_inspect_index, write_json_atomic, CellJournal,
     CellProgress, CellTiming, EventSink, ExitCode, ExperimentError, ExperimentRecord, FanoutSink,
     FaultPlan, GitInfo, JournalMeta, LiveRenderer, NdjsonSink, RunContext, RunEvent, RunManifest,
 };
@@ -74,6 +74,13 @@ fn main() {
         },
         Ok(cli::Command::Report(opts)) => match run_report(&opts) {
             Ok(_) => ExitCode::Success,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::Infra
+            }
+        },
+        Ok(cli::Command::Serve(opts)) => match run_serve(&opts) {
+            Ok(()) => ExitCode::Success,
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::Infra
@@ -131,9 +138,10 @@ fn run_experiments(opts: &cli::RunOptions) -> ExitCode {
         None => None,
     };
 
-    // Observability: an NDJSON file sink (`--events PATH`), a live stderr
-    // renderer when stderr is a terminal, or both, fanned out. With
-    // neither, the runner gets `None` and constructs no events at all.
+    // Observability: an NDJSON file sink (`--events PATH`) fanned out with
+    // the stderr renderer — interactive repaints on a terminal, periodic
+    // plain summary lines otherwise (so CI logs show progress between run
+    // start and finish instead of nothing).
     let ndjson = match &opts.events {
         Some(path) => match NdjsonSink::create(path) {
             Ok(sink) => Some(sink),
@@ -144,24 +152,17 @@ fn run_experiments(opts: &cli::RunOptions) -> ExitCode {
         },
         None => None,
     };
-    let renderer = std::io::stderr().is_terminal().then(|| {
+    let renderer = {
         let cfg = opts.effort.sim_config();
-        LiveRenderer::new(cfg.warmup_instrs + cfg.sim_instrs)
-    });
+        LiveRenderer::for_stderr(cfg.warmup_instrs + cfg.sim_instrs)
+    };
     let mut sink_refs: Vec<&dyn EventSink> = Vec::new();
     if let Some(s) = &ndjson {
         sink_refs.push(s);
     }
-    if let Some(r) = &renderer {
-        sink_refs.push(r);
-    }
+    sink_refs.push(&renderer);
     let fanout = FanoutSink::new(sink_refs);
-    let live = renderer.is_some();
-    let quiet = || {
-        if let Some(r) = &renderer {
-            r.clear_transient();
-        }
-    };
+    let quiet = || renderer.clear_transient();
 
     let base_ctx = RunContext::new(opts.effort, opts.scale)
         .with_threads(opts.threads)
@@ -199,27 +200,8 @@ fn run_experiments(opts: &cli::RunOptions) -> ExitCode {
         let cells: Mutex<Vec<CellTiming>> = Mutex::new(Vec::new());
         let timelines: Mutex<Vec<(String, Timeline)>> = Mutex::new(Vec::new());
         let progress = |p: &CellProgress| {
-            // The live renderer already narrates each cell from the event
-            // stream; don't print the same line twice.
-            if !live {
-                if p.status.is_ok() {
-                    let how = if p.resumed { "resumed" } else { "simulated" };
-                    eprintln!(
-                        "[{id}] {}/{} {} × {}: {:.2}s, {:.2} Minstr/s ({how})",
-                        p.completed,
-                        p.total,
-                        p.workload,
-                        p.design,
-                        p.wall_seconds,
-                        p.minstr_per_sec()
-                    );
-                } else {
-                    eprintln!(
-                        "[{id}] {}/{} {} × {}: FAILED after {:.2}s",
-                        p.completed, p.total, p.workload, p.design, p.wall_seconds
-                    );
-                }
-            }
+            // The renderer (interactive or plain) narrates each cell from
+            // the event stream; the hook only collects timings.
             cells.lock().push(CellTiming::from(p));
             if let Some(tl) = &p.timeline {
                 timelines
@@ -546,6 +528,11 @@ fn print_usage() {
          \x20                                aggregate manifests + journals +\n\
          \x20                                event logs into report.html (fleet\n\
          \x20                                status grid, sparklines) + report.json\n\
+         \x20      repro serve DIR... [--addr HOST:PORT]\n\
+         \x20                                tail in-flight --json directories\n\
+         \x20                                live over HTTP: dashboard at /,\n\
+         \x20                                Prometheus /metrics, JSON /api/runs,\n\
+         \x20                                SSE /events (default 127.0.0.1:8713)\n\
          \n\
          ids: {}\n\
          \n\

@@ -130,6 +130,20 @@ pub struct ReportOptions {
     pub out: Option<PathBuf>,
 }
 
+/// Options for `repro serve <dir>... [--addr HOST:PORT]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Run directories to tail (each a `--json DIR` with a growing
+    /// `events.ndjson`; they need not exist yet).
+    pub dirs: Vec<PathBuf>,
+    /// Listen address (default [`DEFAULT_SERVE_ADDR`]; use port 0 for an
+    /// ephemeral port).
+    pub addr: String,
+}
+
+/// The default `repro serve` listen address.
+pub const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:8713";
+
 /// Options for `repro diff <baseline> <candidate>`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiffOptions {
@@ -162,6 +176,9 @@ pub enum Command {
     Bench(BenchOptions),
     /// Aggregate run directories into a fleet-level HTML + JSON report.
     Report(ReportOptions),
+    /// Tail run directories live over HTTP: dashboard, Prometheus
+    /// `/metrics`, JSON API, and SSE event streaming.
+    Serve(ServeOptions),
 }
 
 /// Splits `--flag=value` / `--flag value` style arguments: returns the
@@ -212,7 +229,36 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     if args[0] == "report" {
         return parse_report(&args[1..]);
     }
+    if args[0] == "serve" {
+        return parse_serve(&args[1..]);
+    }
     parse_run(args)
+}
+
+fn parse_serve(args: &[String]) -> Result<Command, String> {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut addr: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(v) = flag_value(arg, "--addr", &mut it) {
+            let v = v?;
+            if !v.contains(':') {
+                return Err(format!("--addr expects HOST:PORT, got `{v}`"));
+            }
+            addr = Some(v.to_string());
+        } else if arg.starts_with('-') {
+            return Err(format!("unknown flag for serve: `{arg}`"));
+        } else {
+            dirs.push(PathBuf::from(arg));
+        }
+    }
+    if dirs.is_empty() {
+        return Err("serve expects at least one run directory to tail".to_string());
+    }
+    Ok(Command::Serve(ServeOptions {
+        dirs,
+        addr: addr.unwrap_or_else(|| DEFAULT_SERVE_ADDR.to_string()),
+    }))
 }
 
 fn parse_bench(args: &[String]) -> Result<Command, String> {
@@ -728,6 +774,36 @@ mod tests {
         assert!(parse(&args(&["report", "x", "--weird"]))
             .unwrap_err()
             .contains("unknown flag for report"));
+    }
+
+    #[test]
+    fn serve_parsing() {
+        let Command::Serve(s) = parse(&args(&["serve", "run1", "run2"])).unwrap() else {
+            panic!("expected Serve");
+        };
+        assert_eq!(s.dirs, vec![PathBuf::from("run1"), PathBuf::from("run2")]);
+        assert_eq!(s.addr, DEFAULT_SERVE_ADDR);
+
+        let Command::Serve(s) = parse(&args(&["serve", "out", "--addr=0.0.0.0:9000"])).unwrap()
+        else {
+            panic!("expected Serve");
+        };
+        assert_eq!(s.addr, "0.0.0.0:9000");
+        let Command::Serve(s) = parse(&args(&["serve", "out", "--addr", "127.0.0.1:0"])).unwrap()
+        else {
+            panic!("expected Serve");
+        };
+        assert_eq!(s.addr, "127.0.0.1:0");
+
+        assert!(parse(&args(&["serve"]))
+            .unwrap_err()
+            .contains("at least one"));
+        assert!(parse(&args(&["serve", "out", "--addr=nocolon"]))
+            .unwrap_err()
+            .contains("HOST:PORT"));
+        assert!(parse(&args(&["serve", "out", "--weird"]))
+            .unwrap_err()
+            .contains("unknown flag for serve"));
     }
 
     #[test]

@@ -40,8 +40,10 @@ pub mod figures;
 mod inspectcmd;
 pub mod journal;
 pub mod obs;
+mod render;
 mod reportcmd;
 mod runner;
+pub mod serve;
 mod suitescale;
 mod tracecmd;
 
@@ -52,7 +54,7 @@ pub use archive::{
 pub use bench::{run_bench, BenchEntry, BenchFile, HostFingerprint, BENCH_SCHEMA_VERSION};
 pub use cli::{
     BenchOptions, Command, DiffOptions, ExitCode, InspectOptions, ReportOptions, RunOptions,
-    TraceOptions,
+    ServeOptions, TraceOptions, DEFAULT_SERVE_ADDR,
 };
 pub use designs::DesignSpec;
 pub use fault::{corrupt_file, truncate_file, FaultPlan, StallFault, StallingIcache};
@@ -60,13 +62,18 @@ pub use figures::{all_ids, run_by_id, run_by_id_with, ExperimentError, Experimen
 pub use inspectcmd::{outcome_from_report, run_inspect, write_inspect_index, InspectOutcome};
 pub use journal::{CellJournal, JournalEntry, JournalMeta};
 pub use obs::{
-    load_event_log, validate_event_log, EventLogStats, EventRecord, EventSink, FanoutSink, GitInfo,
-    LiveRenderer, NdjsonSink, RunEvent, EVENT_SCHEMA_VERSION,
+    load_event_log, validate_event_log, EventLogStats, EventLogTailer, EventRecord, EventSink,
+    FanoutSink, GitInfo, LiveRenderer, NdjsonSink, RenderMode, RunEvent, EVENT_SCHEMA_VERSION,
+    HEARTBEAT_GAP_FACTOR, PLAIN_INTERVAL_SECS,
 };
 pub use reportcmd::run_report;
 pub use runner::{
     run_matrix, Cell, CellFailure, CellProgress, CellStatus, Effort, GridError, ProgressHook,
     RunContext, RunGrid,
+};
+pub use serve::{
+    run_serve, validate_prometheus, CellPhase, CellView, FleetGauges, RunGauges, RunState, Server,
+    StalenessMonitor, Stall, TripNote, SERVE_API_SCHEMA_VERSION,
 };
 pub use suitescale::SuiteScale;
 pub use tracecmd::{design_by_name, parse_workload, run_trace, TraceOutcome};

@@ -18,13 +18,19 @@
 //!   -9` at any instant leaves only whole lines; the file is fsync'd once
 //!   at run end via [`EventSink::flush`].
 //! - [`LiveRenderer`] paints a per-cell spinner/ETA status line on stderr
-//!   from the heartbeat stream (interactive terminals only).
+//!   from the heartbeat stream on interactive terminals, and falls back
+//!   to a rate-limited plain summary line when stderr is redirected
+//!   (CI logs).
 //!
 //! [`validate_event_log`] is the consumer-side contract check (used by
 //! tests, CI, and `repro report`): schema version, strictly increasing
-//! sequence numbers, and the lifecycle ordering invariants. The streaming
-//! contract is deliberately reusable: a future job server subscribes to
-//! exactly these events (ROADMAP item 2).
+//! sequence numbers, monotone envelope timestamps, and the lifecycle
+//! ordering invariants. [`EventLogTailer`] is the incremental consumer —
+//! it follows a log that is still being written, returning whole records
+//! and leaving a torn final line in place until its newline lands. The
+//! streaming contract is deliberately reusable: `repro serve` tails it
+//! today and a future job server subscribes to exactly these events
+//! (ROADMAP item 2).
 
 use crate::runner::Effort;
 use crate::suitescale::SuiteScale;
@@ -205,6 +211,24 @@ pub enum RunEvent {
         /// The contained panic message.
         error: String,
     },
+    /// Consumer-side annotation: an observer (such as `repro serve`'s
+    /// `StalenessMonitor`) judged a running cell stalled — its heartbeats
+    /// stopped arriving, or kept arriving with a flat `committed`. Never
+    /// written by producers; it exists so observer streams (SSE, future
+    /// job-server feeds) can speak the same vocabulary as the event log.
+    CellStalled {
+        /// Experiment id the cell belongs to.
+        experiment: String,
+        /// Workload display name.
+        workload: String,
+        /// Design display name.
+        design: String,
+        /// Observer-side seconds since the cell's last event arrived
+        /// (0 when beats still flow but `committed` is flat).
+        silent_for_s: f64,
+        /// Consecutive heartbeats with no `committed` progress.
+        flat_beats: u32,
+    },
     /// The run ended (success or not); the sink is flushed after this.
     RunFinished {
         /// Total wall-clock seconds of the run.
@@ -258,6 +282,12 @@ impl RunEvent {
                 ..
             }
             | RunEvent::CellFailed {
+                experiment,
+                workload,
+                design,
+                ..
+            }
+            | RunEvent::CellStalled {
                 experiment,
                 workload,
                 design,
@@ -415,8 +445,14 @@ impl EventSink for NdjsonSink {
     }
 }
 
+/// A cell's heartbeats went quiet mid-run by a wide margin: one inter-beat
+/// gap exceeded [`HEARTBEAT_GAP_FACTOR`] × that cell's median gap. Gap
+/// flags are advisory (a descheduled worker thread produces them too) —
+/// they point a human at the right cell, they never fail validation.
+pub const HEARTBEAT_GAP_FACTOR: f64 = 8.0;
+
 /// Aggregate counts of a validated event log.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EventLogStats {
     /// Total events (lines) in the log.
     pub events: usize,
@@ -437,6 +473,16 @@ pub struct EventLogStats {
     /// True when the log ends with a `RunFinished` event (a killed run's
     /// log is valid but unfinished).
     pub finished: bool,
+    /// True when the final line was torn (no trailing newline and not
+    /// parseable): the writer was still mid-`write` when the log was read.
+    /// The torn fragment is excluded from every other count.
+    pub torn_tail: bool,
+    /// Largest inter-heartbeat `elapsed_s` gap observed for any cell.
+    pub max_heartbeat_gap_s: f64,
+    /// Cells (as `experiment/workload__design`) with at least one
+    /// inter-beat gap over [`HEARTBEAT_GAP_FACTOR`] × their median gap
+    /// (advisory; needs ≥ 4 heartbeats for a meaningful median).
+    pub heartbeat_gap_cells: Vec<String>,
 }
 
 /// Validates an NDJSON event log against the schema and the lifecycle
@@ -444,6 +490,7 @@ pub struct EventLogStats {
 ///
 /// - every line parses as an [`EventRecord`] at [`EVENT_SCHEMA_VERSION`];
 /// - sequence numbers start at 0 and increase strictly;
+/// - `elapsed_s` never decreases (the envelope clock is monotone);
 /// - the first event is `RunStarted`;
 /// - every `CellCompleted`/`CellFailed` is preceded by a matching
 ///   `CellStarted`, every `CellStarted`/`CellResumed` by a matching
@@ -451,7 +498,13 @@ pub struct EventLogStats {
 ///   `CellStarted`.
 ///
 /// An empty log is valid (a run killed before its first write). A log
-/// without `RunFinished` is valid but reported as unfinished.
+/// without `RunFinished` is valid but reported as unfinished. A final
+/// line with no trailing newline that fails to parse is a *torn tail*
+/// from a still-writing producer: it is tolerated and flagged in
+/// [`EventLogStats::torn_tail`], never an error (a malformed line that
+/// *is* newline-terminated stays a hard error — the producer only ever
+/// writes whole lines). Unusually long inter-heartbeat gaps are flagged
+/// per cell (see [`HEARTBEAT_GAP_FACTOR`]).
 ///
 /// # Errors
 ///
@@ -459,6 +512,7 @@ pub struct EventLogStats {
 pub fn validate_event_log(text: &str) -> Result<EventLogStats, String> {
     let mut stats = EventLogStats::default();
     let mut next_seq = 0u64;
+    let mut last_elapsed = f64::NEG_INFINITY;
     // Per-cell lifecycle counters, keyed by (experiment, workload, design).
     #[derive(Default)]
     struct CellCounts {
@@ -466,17 +520,30 @@ pub fn validate_event_log(text: &str) -> Result<EventLogStats, String> {
         started: usize,
         terminal: usize, // completed + failed
         resumed: usize,
+        beat_times: Vec<f64>,
     }
     let mut cells: BTreeMap<String, CellCounts> = BTreeMap::new();
     let mut last_was_finish = false;
+    let lines: Vec<&str> = text.lines().collect();
+    let last_idx = lines.len().saturating_sub(1);
+    let ends_complete = text.ends_with('\n');
 
-    for (idx, line) in text.lines().enumerate() {
+    for (idx, line) in lines.into_iter().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         let lineno = idx + 1;
-        let record: EventRecord = serde_json::from_str(line)
-            .map_err(|e| format!("line {lineno}: not a valid event record: {e}"))?;
+        let record: EventRecord = match serde_json::from_str(line) {
+            Ok(r) => r,
+            Err(_) if idx == last_idx && !ends_complete => {
+                // The producer writes whole `…\n` lines in one syscall, so
+                // an unterminated unparseable tail is a write in flight,
+                // not corruption. Count nothing from it and stop here.
+                stats.torn_tail = true;
+                break;
+            }
+            Err(e) => return Err(format!("line {lineno}: not a valid event record: {e}")),
+        };
         if record.v != EVENT_SCHEMA_VERSION {
             return Err(format!(
                 "line {lineno}: schema v{} (this build understands v{EVENT_SCHEMA_VERSION})",
@@ -490,6 +557,13 @@ pub fn validate_event_log(text: &str) -> Result<EventLogStats, String> {
             ));
         }
         next_seq += 1;
+        if record.elapsed_s < last_elapsed {
+            return Err(format!(
+                "line {lineno}: elapsed_s {} decreases (previous {})",
+                record.elapsed_s, last_elapsed
+            ));
+        }
+        last_elapsed = record.elapsed_s;
         if stats.events == 0 && !matches!(record.event, RunEvent::RunStarted { .. }) {
             return Err(format!("line {lineno}: log does not begin with RunStarted"));
         }
@@ -523,6 +597,7 @@ pub fn validate_event_log(text: &str) -> Result<EventLogStats, String> {
                         "line {lineno}: CellHeartbeat from a cell that is not running"
                     ));
                 }
+                c.beat_times.push(record.elapsed_s);
                 stats.heartbeats += 1;
             }
             (RunEvent::CellCompleted { .. }, Some(c)) => {
@@ -551,10 +626,32 @@ pub fn validate_event_log(text: &str) -> Result<EventLogStats, String> {
         }
     }
     stats.finished = last_was_finish;
+    for (key, c) in &cells {
+        let mut gaps: Vec<f64> = c.beat_times.windows(2).map(|w| w[1] - w[0]).collect();
+        if let Some(max) = gaps
+            .iter()
+            .cloned()
+            .fold(None::<f64>, |m, g| Some(m.map_or(g, |m| m.max(g))))
+        {
+            stats.max_heartbeat_gap_s = stats.max_heartbeat_gap_s.max(max);
+            if gaps.len() >= 3 {
+                gaps.sort_by(|a, b| a.total_cmp(b));
+                let median = gaps[gaps.len() / 2];
+                if median > 0.0 && max > HEARTBEAT_GAP_FACTOR * median {
+                    stats.heartbeat_gap_cells.push(key.clone());
+                }
+            }
+        }
+    }
     Ok(stats)
 }
 
 /// Reads and validates an event log file.
+///
+/// A torn final line (concurrent writer mid-`write`) is not an error: the
+/// whole lines are returned and [`EventLogStats::torn_tail`] is set, so
+/// `repro report` and other consumers degrade to a warning instead of
+/// refusing a live run's log.
 ///
 /// # Errors
 ///
@@ -568,9 +665,114 @@ pub fn load_event_log(path: &Path) -> Result<(Vec<EventRecord>, EventLogStats), 
         if line.trim().is_empty() {
             continue;
         }
-        records.push(serde_json::from_str::<EventRecord>(line).expect("validated above"));
+        // Validation passed, so the only line that can fail to parse here
+        // is the torn tail; skip it.
+        if let Ok(record) = serde_json::from_str::<EventRecord>(line) {
+            records.push(record);
+        }
     }
     Ok((records, stats))
+}
+
+/// Incrementally tails a growing (or not-yet-existing) event log.
+///
+/// Each [`poll`](EventLogTailer::poll) reads from the last consumed byte
+/// offset and returns the newly *completed* records: a partial final line
+/// — a producer caught mid-`write` — stays in the file unconsumed until
+/// its terminating newline lands, so the tailer never parses a torn line.
+/// A shrinking file (the run directory was recreated) resets the tailer
+/// to offset 0. The tailer is a pure consumer: it only ever opens the log
+/// read-only and never blocks the producer.
+#[derive(Debug)]
+pub struct EventLogTailer {
+    path: PathBuf,
+    offset: u64,
+}
+
+impl EventLogTailer {
+    /// A tailer from the start of `path` (which need not exist yet).
+    pub fn new(path: &Path) -> Self {
+        Self::from_offset(path, 0)
+    }
+
+    /// A tailer resuming from a byte `offset` persisted by an earlier
+    /// incarnation (see [`offset`](EventLogTailer::offset)).
+    pub fn from_offset(path: &Path, offset: u64) -> Self {
+        EventLogTailer {
+            path: path.to_path_buf(),
+            offset,
+        }
+    }
+
+    /// The log file being tailed.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Byte offset of the first unconsumed byte: everything before it has
+    /// been returned as complete records. Persist it to resume tailing
+    /// across observer restarts.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Reads newly completed lines and parses them into records.
+    ///
+    /// A missing file yields `Ok(vec![])` (the producer has not created
+    /// it yet). A trailing fragment with no newline is left for a later
+    /// poll.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O failure or when a *complete* line fails
+    /// to parse (a corrupt log; the producer only writes whole records).
+    pub fn poll(&mut self) -> Result<Vec<EventRecord>, String> {
+        use std::io::{Read as _, Seek as _, SeekFrom};
+        let mut file = match std::fs::File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(format!("cannot open {}: {e}", self.path.display())),
+        };
+        let len = file
+            .metadata()
+            .map_err(|e| format!("cannot stat {}: {e}", self.path.display()))?
+            .len();
+        if len < self.offset {
+            // Truncated/recreated log: start over.
+            self.offset = 0;
+        }
+        if len == self.offset {
+            return Ok(Vec::new());
+        }
+        file.seek(SeekFrom::Start(self.offset))
+            .map_err(|e| format!("cannot seek {}: {e}", self.path.display()))?;
+        let mut buf = Vec::with_capacity((len - self.offset) as usize);
+        file.read_to_end(&mut buf)
+            .map_err(|e| format!("cannot read {}: {e}", self.path.display()))?;
+        // Consume only up to (and including) the last newline; the
+        // remainder is a line still being written.
+        let Some(end) = buf.iter().rposition(|&b| b == b'\n').map(|p| p + 1) else {
+            return Ok(Vec::new());
+        };
+        let text = std::str::from_utf8(&buf[..end])
+            .map_err(|e| format!("{}: log is not UTF-8: {e}", self.path.display()))?;
+        let mut records = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record: EventRecord = serde_json::from_str(line).map_err(|e| {
+                format!(
+                    "{}: corrupt record at byte {}: {e}",
+                    self.path.display(),
+                    self.offset
+                )
+            })?;
+            records.push(record);
+        }
+        self.offset += end as u64;
+        Ok(records)
+    }
 }
 
 struct ActiveCell {
@@ -588,17 +790,34 @@ struct RenderState {
     painted: bool,
 }
 
-/// Paints a live per-cell progress line on stderr from the event stream:
-/// a spinner, grid completion counts, and — off the heartbeats — each
-/// running cell's percent-complete and ETA. Terminal lifecycle events
-/// print permanent lines (replacing the runner's plain progress output
-/// when the renderer is active).
+/// How a [`LiveRenderer`] writes progress to stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RenderMode {
+    /// Repaint one transient status line in place (ANSI erase + spinner);
+    /// for interactive terminals.
+    Interactive,
+    /// Append a plain summary line at most once per interval (no ANSI, no
+    /// transient repaints); for CI logs and redirected stderr, where the
+    /// interactive mode would either spam or show nothing between run
+    /// start and finish.
+    Plain,
+}
+
+/// Paints live per-cell progress on stderr from the event stream: grid
+/// completion counts and — off the heartbeats — each running cell's
+/// percent-complete and ETA. Terminal lifecycle events print permanent
+/// lines (replacing the runner's plain progress output when the renderer
+/// is active).
 ///
-/// Meant for interactive terminals; callers gate on
-/// `std::io::IsTerminal`.
+/// [`RenderMode::Interactive`] repaints a transient spinner line in
+/// place; [`RenderMode::Plain`] appends a rate-limited summary line
+/// instead (at most one per [`PLAIN_INTERVAL_SECS`]). Use
+/// [`LiveRenderer::for_stderr`] to pick by `std::io::IsTerminal`.
 pub struct LiveRenderer {
     /// Instruction target per cell (warmup + measurement) for ETA math.
     instr_target: u64,
+    mode: RenderMode,
+    plain_interval: std::time::Duration,
     state: Mutex<RenderState>,
 }
 
@@ -616,12 +835,40 @@ const SPINNER: &[char] = &['|', '/', '-', '\\'];
 /// Minimum milliseconds between transient repaints.
 const PAINT_INTERVAL_MS: u128 = 100;
 
+/// Default seconds between plain-mode summary lines: frequent enough
+/// that a CI log shows liveness, sparse enough not to drown it.
+pub const PLAIN_INTERVAL_SECS: u64 = 10;
+
 impl LiveRenderer {
-    /// A renderer for cells targeting `instr_target` instructions each
-    /// (the effort's warmup + measurement window).
+    /// An [interactive](RenderMode::Interactive) renderer for cells
+    /// targeting `instr_target` instructions each (the effort's warmup +
+    /// measurement window).
     pub fn new(instr_target: u64) -> Self {
+        Self::with_mode(instr_target, RenderMode::Interactive)
+    }
+
+    /// A [plain](RenderMode::Plain) renderer (summary line at most once
+    /// per [`PLAIN_INTERVAL_SECS`]).
+    pub fn plain(instr_target: u64) -> Self {
+        Self::with_mode(instr_target, RenderMode::Plain)
+    }
+
+    /// Picks the mode by whether stderr is an interactive terminal.
+    pub fn for_stderr(instr_target: u64) -> Self {
+        use std::io::IsTerminal as _;
+        if std::io::stderr().is_terminal() {
+            Self::new(instr_target)
+        } else {
+            Self::plain(instr_target)
+        }
+    }
+
+    /// A renderer in an explicit mode.
+    pub fn with_mode(instr_target: u64, mode: RenderMode) -> Self {
         LiveRenderer {
             instr_target: instr_target.max(1),
+            mode,
+            plain_interval: std::time::Duration::from_secs(PLAIN_INTERVAL_SECS),
             state: Mutex::new(RenderState {
                 scheduled: 0,
                 done: 0,
@@ -632,6 +879,18 @@ impl LiveRenderer {
                 painted: false,
             }),
         }
+    }
+
+    /// Overrides the plain-mode summary interval (tests; sub-second CI
+    /// smoke runs).
+    pub fn with_plain_interval(mut self, interval: std::time::Duration) -> Self {
+        self.plain_interval = interval;
+        self
+    }
+
+    /// The renderer's output mode.
+    pub fn mode(&self) -> RenderMode {
+        self.mode
     }
 
     /// Erases the transient status line (call before printing unrelated
@@ -648,9 +907,10 @@ impl LiveRenderer {
         }
     }
 
-    fn paint(&self, st: &mut RenderState) {
-        st.spin = (st.spin + 1) % SPINNER.len();
-        let mut line = format!("{} {}/{} cells", SPINNER[st.spin], st.done, st.scheduled);
+    /// The shared status summary: completion counts plus up to three
+    /// running cells with percent-complete and ETA.
+    fn status_line(&self, st: &RenderState) -> String {
+        let mut line = format!("{}/{} cells", st.done, st.scheduled);
         if st.failed > 0 {
             line.push_str(&format!(" ({} failed)", st.failed));
         }
@@ -667,11 +927,39 @@ impl LiveRenderer {
         if st.active.len() > 3 {
             line.push_str(&format!(" | +{} more", st.active.len() - 3));
         }
+        line
+    }
+
+    fn paint(&self, st: &mut RenderState) {
+        st.spin = (st.spin + 1) % SPINNER.len();
+        let mut line = format!("{} {}", SPINNER[st.spin], self.status_line(st));
         line.truncate(120);
         eprint!("\r\x1b[K{line}");
         let _ = std::io::stderr().flush();
         st.painted = true;
         st.last_paint = Instant::now();
+    }
+
+    /// Plain-mode heartbeat output: one appended summary line, at most
+    /// once per interval.
+    fn plain_tick(&self, st: &mut RenderState) {
+        if st.last_paint.elapsed() < self.plain_interval {
+            return;
+        }
+        eprintln!("[progress] {}", self.status_line(st));
+        st.last_paint = Instant::now();
+    }
+
+    /// Transient repaint or plain summary, whichever the mode calls for.
+    fn tick(&self, st: &mut RenderState) {
+        match self.mode {
+            RenderMode::Interactive => {
+                if st.last_paint.elapsed().as_millis() >= PAINT_INTERVAL_MS {
+                    self.paint(st);
+                }
+            }
+            RenderMode::Plain => self.plain_tick(st),
+        }
     }
 }
 
@@ -702,9 +990,7 @@ impl EventSink for LiveRenderer {
                     cell.committed = *committed;
                     cell.wall_seconds = *wall_seconds;
                 }
-                if st.last_paint.elapsed().as_millis() >= PAINT_INTERVAL_MS {
-                    self.paint(&mut st);
-                }
+                self.tick(&mut st);
                 return;
             }
             RunEvent::CellCompleted {
@@ -762,7 +1048,9 @@ impl EventSink for LiveRenderer {
             }
             _ => {}
         }
-        if st.last_paint.elapsed().as_millis() >= PAINT_INTERVAL_MS {
+        if self.mode == RenderMode::Interactive
+            && st.last_paint.elapsed().as_millis() >= PAINT_INTERVAL_MS
+        {
             self.paint(&mut st);
         }
     }
@@ -1063,6 +1351,160 @@ mod tests {
         assert_eq!(seqs.len(), 104);
         assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1), "dense seq");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn elapsed_regressions_are_rejected() {
+        let good = log_of(&[started(), cell_event("sched", 0), cell_event("start", 0)]);
+        // Rewind the third line's clock.
+        let broken: String = good
+            .lines()
+            .map(|l| {
+                if l.contains("\"seq\":2") {
+                    l.replace("\"elapsed_s\":0.2", "\"elapsed_s\":0.05")
+                } else {
+                    l.to_string()
+                }
+            })
+            .map(|l| l + "\n")
+            .collect();
+        let err = validate_event_log(&broken).unwrap_err();
+        assert!(err.contains("elapsed_s"), "{err}");
+    }
+
+    #[test]
+    fn torn_final_line_is_flagged_not_fatal() {
+        let mut text = log_of(&[started(), cell_event("sched", 0), cell_event("start", 0)]);
+        text.push_str("{\"v\":1,\"seq\":3,\"elapsed_s\":0.3,\"event\":{\"CellHea");
+        let stats = validate_event_log(&text).unwrap();
+        assert!(stats.torn_tail);
+        assert_eq!(stats.events, 3);
+        assert_eq!(stats.started, 1);
+        // A newline-terminated garbage line is still a hard error: the
+        // producer only ever writes whole lines.
+        let mut terminated = log_of(&[started()]);
+        terminated.push_str("garbage\n");
+        assert!(validate_event_log(&terminated).is_err());
+        // And torn tails load gracefully, skipping only the fragment.
+        let dir = std::env::temp_dir().join(format!("ubs-obs-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.ndjson");
+        std::fs::write(&path, &text).unwrap();
+        let (records, stats) = load_event_log(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert!(stats.torn_tail);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn heartbeat_gaps_are_flagged_per_cell() {
+        let mut events = vec![started(), cell_event("sched", 0), cell_event("start", 0)];
+        for n in 0..6 {
+            events.push(cell_event("beat", n * 65_536));
+        }
+        // Regular cadence (0.1s between every record): no flag.
+        let stats = validate_event_log(&log_of(&events)).unwrap();
+        assert!(stats.heartbeat_gap_cells.is_empty(), "{stats:?}");
+        assert!(stats.max_heartbeat_gap_s > 0.0);
+
+        // Stretch one inter-beat gap far past the median.
+        let mut out = String::new();
+        for (i, e) in events.iter().enumerate() {
+            let elapsed = if i >= 7 {
+                i as f64 * 0.1 + 30.0
+            } else {
+                i as f64 * 0.1
+            };
+            let rec = EventRecord {
+                v: EVENT_SCHEMA_VERSION,
+                seq: i as u64,
+                elapsed_s: elapsed,
+                event: e.clone(),
+            };
+            out.push_str(&serde_json::to_string(&rec).unwrap());
+            out.push('\n');
+        }
+        let stats = validate_event_log(&out).unwrap();
+        assert_eq!(stats.heartbeat_gap_cells, vec!["fig10/server_000__ubs"]);
+        assert!(stats.max_heartbeat_gap_s > 29.0, "{stats:?}");
+    }
+
+    #[test]
+    fn tailer_returns_only_completed_lines_and_resumes() {
+        use std::io::Write as _;
+        let dir = std::env::temp_dir().join(format!("ubs-obs-tail-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.ndjson");
+
+        // Missing file: quietly empty.
+        let mut tailer = EventLogTailer::new(&path);
+        assert_eq!(tailer.poll().unwrap(), vec![]);
+        assert_eq!(tailer.offset(), 0);
+
+        let lines = log_of(&[started(), cell_event("sched", 0), cell_event("start", 0)]);
+        let lines: Vec<&str> = lines.lines().collect();
+        let mut file = std::fs::File::create(&path).unwrap();
+
+        // One whole line plus the front half of the next.
+        write!(file, "{}\n{}", lines[0], &lines[1][..10]).unwrap();
+        file.flush().unwrap();
+        let got = tailer.poll().unwrap();
+        assert_eq!(got.len(), 1, "partial tail must not be consumed");
+        assert!(matches!(got[0].event, RunEvent::RunStarted { .. }));
+
+        // Completing the torn line releases it.
+        writeln!(file, "{}", &lines[1][10..]).unwrap();
+        file.flush().unwrap();
+        let got = tailer.poll().unwrap();
+        assert_eq!(got.len(), 1);
+        assert!(matches!(got[0].event, RunEvent::CellScheduled { .. }));
+
+        // A fresh tailer resumed from the persisted offset sees only what
+        // lands after it.
+        let offset = tailer.offset();
+        writeln!(file, "{}", lines[2]).unwrap();
+        file.flush().unwrap();
+        let mut resumed = EventLogTailer::from_offset(&path, offset);
+        let got = resumed.poll().unwrap();
+        assert_eq!(got.len(), 1);
+        assert!(matches!(got[0].event, RunEvent::CellStarted { .. }));
+        assert_eq!(resumed.poll().unwrap(), vec![]);
+
+        // A SIGKILL'd writer leaves whole lines (single-write contract) —
+        // possibly plus one torn tail, which stays unconsumed forever.
+        drop(file);
+        let mut sigkilled = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        write!(sigkilled, "{{\"v\":1,\"seq\":3,\"elapsed").unwrap();
+        drop(sigkilled);
+        assert_eq!(resumed.poll().unwrap(), vec![]);
+
+        // Recreated (shrunk) log: the tailer resets to the start.
+        std::fs::write(&path, format!("{}\n", lines[0])).unwrap();
+        let got = resumed.poll().unwrap();
+        assert_eq!(got.len(), 1);
+        assert!(matches!(got[0].event, RunEvent::RunStarted { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stalled_annotation_is_cell_scoped_and_round_trips() {
+        let e = RunEvent::CellStalled {
+            experiment: "fig10".into(),
+            workload: "server_000".into(),
+            design: "ubs".into(),
+            silent_for_s: 3.5,
+            flat_beats: 4,
+        };
+        assert_eq!(e.cell(), Some(("fig10", "server_000", "ubs")));
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("CellStalled"), "{json}");
+        let back: RunEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
     }
 
     #[test]

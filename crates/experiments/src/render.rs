@@ -1,0 +1,94 @@
+//! Shared inert-HTML rendering helpers for `repro report` and `repro
+//! serve`: escaping, badges, sparklines, and the common page chrome.
+//!
+//! Everything here follows the repo's inert-HTML philosophy — inline CSS
+//! and SVG only, never a `<script>` — so every page opens identically
+//! from a file, an artifact store, or the live server.
+
+use std::fmt::Write as _;
+
+/// HTML-escapes text content (`&`, `<`, `>`).
+pub(crate) fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// The shared page stylesheet (report and dashboard).
+pub(crate) const BASE_CSS: &str = "\
+body{font:14px/1.45 system-ui,sans-serif;margin:2em auto;max-width:80em;color:#222}\n\
+h1{font-size:1.4em} h2{font-size:1.1em;margin-top:2em}\n\
+table{border-collapse:collapse}\n\
+td,th{border:1px solid #ccc;padding:2px 8px;text-align:right}\n\
+th{background:#f3f3f3}\n\
+td.id{text-align:left;font-family:ui-monospace,monospace;font-size:0.92em}\n\
+span.badge{color:#fff;border-radius:3px;padding:0 5px;font-size:0.85em}\n\
+.note{color:#666;font-size:0.9em}\n";
+
+/// Opens an inert HTML page: doctype, title, shared stylesheet, `<body>`.
+/// `extra_head` is inserted verbatim inside `<head>` (e.g. a meta-refresh
+/// tag); it must not contain scripts.
+pub(crate) fn page_open(title: &str, extra_head: &str) -> String {
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n\
+         <title>{}</title>\n{extra_head}<style>\n{BASE_CSS}</style></head><body>\n",
+        esc(title)
+    )
+}
+
+/// A colored status badge with a hover tooltip.
+pub(crate) fn badge_titled(label: &str, color: &str, title: &str) -> String {
+    format!(
+        "<span class=\"badge\" style=\"background:{color}\" title=\"{}\">{}</span>",
+        esc(title),
+        esc(label)
+    )
+}
+
+/// A small inline-SVG sparkline over one value per run.
+pub(crate) fn sparkline(values: &[f64]) -> String {
+    if values.len() < 2 {
+        return String::new();
+    }
+    let (w, h) = (120.0f64, 26.0f64);
+    let max = values.iter().copied().fold(f64::MIN, f64::max).max(1e-12);
+    let min = values.iter().copied().fold(f64::MAX, f64::min);
+    let span = (max - min).max(max * 1e-3).max(1e-12);
+    let step = w / (values.len() - 1) as f64;
+    let mut points = String::new();
+    for (i, v) in values.iter().enumerate() {
+        let _ = write!(
+            points,
+            "{}{:.1},{:.1}",
+            if i == 0 { "" } else { " " },
+            i as f64 * step,
+            3.0 + (h - 6.0) * (1.0 - (v - min) / span)
+        );
+    }
+    format!(
+        "<svg width=\"{w:.0}\" height=\"{h:.0}\" viewBox=\"0 0 {w:.0} {h:.0}\" role=\"img\">\
+         <polyline fill=\"none\" stroke=\"#369\" stroke-width=\"1.5\" points=\"{points}\"/></svg>"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_and_badges_are_inert() {
+        assert_eq!(esc("a<b>&c"), "a&lt;b&gt;&amp;c");
+        let b = badge_titled("<x>", "#c22", "a<b");
+        assert!(!b.contains("<x>"), "{b}");
+        assert!(b.contains("&lt;x&gt;"), "{b}");
+        assert!(b.contains("a&lt;b"), "{b}");
+        assert!(!page_open("t<t", "").contains("<script"));
+    }
+
+    #[test]
+    fn sparkline_handles_flat_and_short_series() {
+        assert_eq!(sparkline(&[1.0]), "");
+        assert!(sparkline(&[2.0, 2.0, 2.0]).contains("polyline"));
+        assert!(sparkline(&[1.0, 2.0, 4.0]).contains("polyline"));
+    }
+}

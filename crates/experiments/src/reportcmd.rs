@@ -12,6 +12,7 @@ use crate::archive::{write_bytes_atomic, write_json_atomic, RunManifest};
 use crate::cli::ReportOptions;
 use crate::journal::CellJournal;
 use crate::obs::{load_event_log, EventLogStats, RunEvent};
+use crate::render::{badge_titled, esc, page_open, sparkline};
 use serde_json::json;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -56,12 +57,6 @@ impl CellOutcome {
     }
 }
 
-fn esc(s: &str) -> String {
-    s.replace('&', "&amp;")
-        .replace('<', "&lt;")
-        .replace('>', "&gt;")
-}
-
 fn load_run(dir: &Path, warnings: &mut Vec<String>) -> Result<RunSummary, String> {
     let manifest = RunManifest::load(dir)
         .map_err(|e| format!("{}: cannot load manifest: {e}", dir.display()))?;
@@ -85,6 +80,21 @@ fn load_run(dir: &Path, warnings: &mut Vec<String>) -> Result<RunSummary, String
     if events_path.exists() {
         match load_event_log(&events_path) {
             Ok((records, stats)) => {
+                if stats.torn_tail {
+                    warnings.push(format!(
+                        "{}: event log has a torn final line (a writer may still \
+                         be running); whole lines were used",
+                        events_path.display()
+                    ));
+                }
+                for cell in &stats.heartbeat_gap_cells {
+                    warnings.push(format!(
+                        "{}: heartbeat gap in {cell} (max {:.2}s — a worker went \
+                         quiet mid-cell)",
+                        events_path.display(),
+                        stats.max_heartbeat_gap_s
+                    ));
+                }
                 for rec in &records {
                     if let RunEvent::WatchdogTripped {
                         workload, design, ..
@@ -107,34 +117,6 @@ fn load_run(dir: &Path, warnings: &mut Vec<String>) -> Result<RunSummary, String
     })
 }
 
-/// A small inline-SVG sparkline over one value per run.
-fn sparkline(values: &[f64]) -> String {
-    if values.len() < 2 {
-        return String::new();
-    }
-    let (w, h) = (120.0f64, 26.0f64);
-    let max = values.iter().copied().fold(f64::MIN, f64::max).max(1e-12);
-    let min = values.iter().copied().fold(f64::MAX, f64::min);
-    let span = (max - min).max(max * 1e-3).max(1e-12);
-    let step = w / (values.len() - 1) as f64;
-    let points: Vec<String> = values
-        .iter()
-        .enumerate()
-        .map(|(i, v)| {
-            format!(
-                "{:.1},{:.1}",
-                i as f64 * step,
-                3.0 + (h - 6.0) * (1.0 - (v - min) / span)
-            )
-        })
-        .collect();
-    format!(
-        "<svg width=\"{w:.0}\" height=\"{h:.0}\" viewBox=\"0 0 {w:.0} {h:.0}\" role=\"img\">\
-         <polyline fill=\"none\" stroke=\"#369\" stroke-width=\"1.5\" points=\"{}\"/></svg>",
-        points.join(" ")
-    )
-}
-
 /// Per-cell outcomes for one run, keyed `experiment/workload__design`.
 fn cell_outcomes(run: &RunSummary) -> BTreeMap<String, (CellOutcome, f64)> {
     let mut map = BTreeMap::new();
@@ -155,25 +137,9 @@ fn cell_outcomes(run: &RunSummary) -> BTreeMap<String, (CellOutcome, f64)> {
 }
 
 fn render_html(runs: &[RunSummary], warnings: &[String]) -> String {
-    let mut out = String::with_capacity(64 * 1024);
-    writeln!(
-        out,
-        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n\
-         <title>fleet report — {} runs</title>\n\
-         <style>\n\
-         body{{font:14px/1.45 system-ui,sans-serif;margin:2em auto;max-width:80em;color:#222}}\n\
-         h1{{font-size:1.4em}} h2{{font-size:1.1em;margin-top:2em}}\n\
-         table{{border-collapse:collapse}}\n\
-         td,th{{border:1px solid #ccc;padding:2px 8px;text-align:right}}\n\
-         th{{background:#f3f3f3}}\n\
-         td.id{{text-align:left;font-family:ui-monospace,monospace;font-size:0.92em}}\n\
-         span.badge{{color:#fff;border-radius:3px;padding:0 5px;font-size:0.85em}}\n\
-         .note{{color:#666;font-size:0.9em}}\n\
-         </style></head><body>\n<h1>Fleet report — {} runs</h1>",
-        runs.len(),
-        runs.len()
-    )
-    .unwrap();
+    let mut out = page_open(&format!("fleet report — {} runs", runs.len()), "");
+    out.reserve(64 * 1024);
+    writeln!(out, "<h1>Fleet report — {} runs</h1>", runs.len()).unwrap();
 
     // Run table.
     out.push_str(
@@ -268,9 +234,8 @@ fn render_html(runs: &[RunSummary], warnings: &[String]) -> String {
                     let (label, color) = outcome.badge();
                     write!(
                         out,
-                        "<td><span class=\"badge\" style=\"background:{color}\" \
-                         title=\"{wall:.2}s in {}\">{label}</span></td>",
-                        esc(&run.label)
+                        "<td>{}</td>",
+                        badge_titled(label, color, &format!("{wall:.2}s in {}", run.label))
                     )
                     .unwrap();
                 }
@@ -504,11 +469,36 @@ mod tests {
     }
 
     #[test]
-    fn sparkline_handles_flat_and_short_series() {
-        assert_eq!(sparkline(&[1.0]), "");
-        let flat = sparkline(&[2.0, 2.0, 2.0]);
-        assert!(flat.contains("polyline"));
-        let rising = sparkline(&[1.0, 2.0, 4.0]);
-        assert!(rising.contains("polyline"));
+    fn torn_event_log_tail_degrades_to_warning() {
+        let root = temp("torn");
+        let dir = root.join("run");
+        write_run(&dir, false);
+        // A valid opening record, then a fragment with no newline — the
+        // shape a concurrent writer leaves mid-`write`.
+        let rec = crate::obs::EventRecord {
+            v: crate::obs::EVENT_SCHEMA_VERSION,
+            seq: 0,
+            elapsed_s: 0.0,
+            event: RunEvent::RunStarted {
+                effort: Effort::Quick,
+                scale: SuiteScale::tiny(),
+                threads: 1,
+                experiments: vec![],
+                git: None,
+            },
+        };
+        let mut text = serde_json::to_string(&rec).unwrap();
+        text.push('\n');
+        text.push_str("{\"v\":1,\"seq\":1,\"elapsed_s\":0.1,\"event\":{\"CellSch");
+        std::fs::write(dir.join("events.ndjson"), text).unwrap();
+        let html_path = run_report(&ReportOptions {
+            dirs: vec![dir],
+            out: None,
+        })
+        .unwrap();
+        let html = std::fs::read_to_string(&html_path).unwrap();
+        assert!(html.contains("torn final line"), "warning, not error");
+        assert!(!html.contains("event log ignored"));
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -1,0 +1,1826 @@
+//! The `repro serve` subcommand: live fleet monitoring over HTTP.
+//!
+//! A dependency-free observability service on `std::net::TcpListener`
+//! (hand-rolled HTTP/1.1 — the workspace adds no server crate) that
+//! *tails* one or more run directories — each a `--json DIR` with a
+//! growing `events.ndjson` ([`crate::obs::EventLogTailer`]), a journal,
+//! and eventually a manifest — and serves four views of the in-flight
+//! fleet:
+//!
+//! - `/` — a live, inert HTML dashboard (inline CSS only, a meta-refresh
+//!   tag instead of scripts) with per-cell state badges, heartbeat-derived
+//!   ETAs, and a watchdog-trip feed;
+//! - `/metrics` — Prometheus text exposition (cells by state, instructions
+//!   retired, Minstr/s, watchdog trips by kind, event-log lag), rendered
+//!   by [`FleetGauges`], which is unit-testable without sockets;
+//! - `/api/runs` and `/api/runs/<id>` — JSON summaries and per-cell
+//!   detail;
+//! - `/events` — Server-Sent Events: replay from a `seq` cursor, then a
+//!   live tail of new [`EventRecord`]s, plus consumer-side
+//!   `CellStalled` annotation frames.
+//!
+//! The server is a **pure consumer**: it opens the producer's files
+//! read-only and never writes into a run directory, so attaching it to a
+//! run must not (and, per the overhead gate, does not) change a single
+//! metric.
+//!
+//! [`StalenessMonitor`] is the observer-side complement to the in-process
+//! watchdogs: it flags a running cell as *stalled* when its heartbeats
+//! stop arriving (wall-clock silence much longer than the cell's own
+//! checkpoint cadence) or keep arriving with a flat `committed` (the
+//! shape of a livelock *before* the in-process watchdog trips). This is
+//! what will make stuck remote cells visible once ROADMAP item 2 shards
+//! grids across hosts: the dashboard/API/exposition/tailer split here is
+//! the contract that job server will mount.
+
+use crate::archive::RunManifest;
+use crate::cli::ServeOptions;
+use crate::obs::{EventLogTailer, EventRecord, RunEvent, EVENT_SCHEMA_VERSION};
+use crate::render::{badge_titled, esc, page_open};
+use parking_lot::Mutex;
+use serde_json::json;
+use std::collections::BTreeMap;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Version of the `/api/runs` JSON schema served by this build.
+pub const SERVE_API_SCHEMA_VERSION: u32 = 1;
+
+/// Milliseconds between tailer polls (and thus the dashboard's staleness
+/// resolution).
+const POLL_INTERVAL_MS: u64 = 200;
+
+/// Milliseconds between SSE catch-up checks while a subscriber is idle.
+const SSE_TICK_MS: u64 = 100;
+
+/// Seconds of SSE silence before a `: keepalive` comment frame.
+const SSE_KEEPALIVE_SECS: u64 = 10;
+
+// ---------------------------------------------------------------------------
+// Staleness
+// ---------------------------------------------------------------------------
+
+/// Why a cell is considered stalled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stall {
+    /// Observer seconds since the cell's last event (0 when heartbeats
+    /// still flow but `committed` is flat).
+    pub silent_for_s: f64,
+    /// Consecutive heartbeats with no `committed` progress.
+    pub flat_beats: u32,
+}
+
+#[derive(Debug, Default)]
+struct BeatTrack {
+    running: bool,
+    /// Observer clock (seconds) when the cell's last event arrived.
+    last_seen_s: f64,
+    last_committed: u64,
+    flat_beats: u32,
+    /// Exponential moving average of the observed inter-beat gap — the
+    /// cell's own checkpoint cadence in observer time.
+    typical_gap_s: f64,
+    beats: u64,
+}
+
+/// Observer-side liveness judgement over the heartbeat stream.
+///
+/// Two independent rules, both tuned against the watchdog's shape
+/// (heartbeats ride every 2^16-cycle checkpoint):
+///
+/// 1. **Flat progress** — `committed` unchanged across
+///    [`StalenessMonitor::DEFAULT_FLAT_BEATS`] consecutive beats. A
+///    wedged simulator keeps pulsing with a flat `committed` for ~15
+///    checkpoints before the in-process livelock watchdog trips, so this
+///    rule flags it well before the trip.
+/// 2. **Silence** — no event from the cell for longer than
+///    [`StalenessMonitor::DEFAULT_SILENCE_CHECKPOINTS`] × the cell's own
+///    observed checkpoint cadence (with a floor, so a fast cell is not
+///    flagged between two polls). This is the only signal available when
+///    a worker dies outright — e.g. a SIGKILL'd remote host — and is what
+///    in-process watchdogs can never report.
+///
+/// The monitor is driven entirely by explicit `now_s` observer
+/// timestamps, so tests inject a clock instead of sleeping.
+#[derive(Debug)]
+pub struct StalenessMonitor {
+    flat_beats_threshold: u32,
+    silence_checkpoints: f64,
+    min_silence_s: f64,
+    cells: BTreeMap<String, BeatTrack>,
+}
+
+impl Default for StalenessMonitor {
+    fn default() -> Self {
+        Self::new(
+            Self::DEFAULT_FLAT_BEATS,
+            Self::DEFAULT_SILENCE_CHECKPOINTS,
+            Self::DEFAULT_MIN_SILENCE_S,
+        )
+    }
+}
+
+impl StalenessMonitor {
+    /// Flat-`committed` beats before a cell is judged stalled. The
+    /// livelock watchdog allows ~15 checkpoints of no retirement, so 3
+    /// flags the cell long before the producer gives up on it.
+    pub const DEFAULT_FLAT_BEATS: u32 = 3;
+    /// Multiples of the cell's own checkpoint cadence without any event
+    /// before silence counts as a stall.
+    pub const DEFAULT_SILENCE_CHECKPOINTS: f64 = 8.0;
+    /// Floor (seconds) under the silence threshold, so cells with
+    /// sub-poll-interval cadences are not flagged between two polls.
+    pub const DEFAULT_MIN_SILENCE_S: f64 = 2.0;
+
+    /// A monitor with explicit thresholds (see the `DEFAULT_*` consts).
+    pub fn new(flat_beats_threshold: u32, silence_checkpoints: f64, min_silence_s: f64) -> Self {
+        StalenessMonitor {
+            flat_beats_threshold: flat_beats_threshold.max(1),
+            silence_checkpoints,
+            min_silence_s,
+            cells: BTreeMap::new(),
+        }
+    }
+
+    /// A cell began running at observer time `now_s`.
+    pub fn cell_started(&mut self, key: &str, now_s: f64) {
+        let track = self.cells.entry(key.to_string()).or_default();
+        *track = BeatTrack {
+            running: true,
+            last_seen_s: now_s,
+            ..BeatTrack::default()
+        };
+    }
+
+    /// A heartbeat from `key` arrived at observer time `now_s`.
+    pub fn heartbeat(&mut self, key: &str, committed: u64, now_s: f64) {
+        let track = self.cells.entry(key.to_string()).or_default();
+        if track.beats > 0 {
+            let gap = (now_s - track.last_seen_s).max(0.0);
+            track.typical_gap_s = if track.beats == 1 {
+                gap
+            } else {
+                0.7 * track.typical_gap_s + 0.3 * gap
+            };
+            if committed <= track.last_committed {
+                track.flat_beats += 1;
+            } else {
+                track.flat_beats = 0;
+            }
+        }
+        track.running = true;
+        track.last_committed = committed;
+        track.last_seen_s = now_s;
+        track.beats += 1;
+    }
+
+    /// The cell reached a terminal state (completed / failed / resumed);
+    /// it can no longer stall.
+    pub fn cell_finished(&mut self, key: &str) {
+        if let Some(track) = self.cells.get_mut(key) {
+            track.running = false;
+        }
+    }
+
+    /// The stall judgement for `key` at observer time `now_s`; `None`
+    /// when the cell is healthy (or not running).
+    pub fn verdict(&self, key: &str, now_s: f64) -> Option<Stall> {
+        let track = self.cells.get(key)?;
+        if !track.running {
+            return None;
+        }
+        if track.flat_beats >= self.flat_beats_threshold {
+            return Some(Stall {
+                silent_for_s: 0.0,
+                flat_beats: track.flat_beats,
+            });
+        }
+        let silence = now_s - track.last_seen_s;
+        let threshold = (self.silence_checkpoints * track.typical_gap_s).max(self.min_silence_s);
+        if silence > threshold {
+            return Some(Stall {
+                silent_for_s: silence,
+                flat_beats: track.flat_beats,
+            });
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-run state
+// ---------------------------------------------------------------------------
+
+/// Lifecycle state of one cell, as seen from the event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellPhase {
+    /// Scheduled, not yet picked up by a worker.
+    Scheduled,
+    /// A worker is simulating it.
+    Running,
+    /// Completed successfully.
+    Ok,
+    /// Replayed bit-exactly from the resume journal.
+    Resumed,
+    /// Failed (contained panic / watchdog trip).
+    Failed,
+}
+
+impl CellPhase {
+    /// The metrics/API state label (`stalled` is reported separately: it
+    /// overlays `running`, it is not a lifecycle state).
+    pub fn label(self) -> &'static str {
+        match self {
+            CellPhase::Scheduled => "scheduled",
+            CellPhase::Running => "running",
+            CellPhase::Ok => "ok",
+            CellPhase::Resumed => "resumed",
+            CellPhase::Failed => "failed",
+        }
+    }
+
+    fn badge(self) -> (&'static str, &'static str) {
+        match self {
+            CellPhase::Scheduled => ("scheduled", "#999"),
+            CellPhase::Running => ("running", "#07a"),
+            CellPhase::Ok => ("ok", "#2a2"),
+            CellPhase::Resumed => ("resumed", "#36c"),
+            CellPhase::Failed => ("FAILED", "#c22"),
+        }
+    }
+}
+
+/// One cell of a tailed run, folded from its event stream.
+#[derive(Debug, Clone)]
+pub struct CellView {
+    /// Experiment id.
+    pub experiment: String,
+    /// Workload display name.
+    pub workload: String,
+    /// Design display name.
+    pub design: String,
+    /// Lifecycle state.
+    pub phase: CellPhase,
+    /// The stall judgement, when the cell is running and judged stalled.
+    pub stalled: Option<Stall>,
+    /// Instructions committed at the last heartbeat.
+    pub committed: u64,
+    /// Simulator cycle at the last heartbeat.
+    pub cycle: u64,
+    /// Wall seconds (running: of the last heartbeat; terminal: total).
+    pub wall_seconds: f64,
+    /// Instructions simulated (terminal cells).
+    pub instructions: u64,
+    /// Throughput in Minstr/s (completed cells).
+    pub minstr_per_sec: f64,
+    /// Watchdog-trip kinds observed for this cell.
+    pub trips: Vec<String>,
+    /// First line of the failure message, for failed cells.
+    pub error: Option<String>,
+}
+
+impl CellView {
+    fn new(experiment: &str, workload: &str, design: &str) -> Self {
+        CellView {
+            experiment: experiment.to_string(),
+            workload: workload.to_string(),
+            design: design.to_string(),
+            phase: CellPhase::Scheduled,
+            stalled: None,
+            committed: 0,
+            cycle: 0,
+            wall_seconds: 0.0,
+            instructions: 0,
+            minstr_per_sec: 0.0,
+            trips: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Estimated seconds to completion from the last heartbeat, when the
+    /// per-cell instruction target is known.
+    pub fn eta_seconds(&self, instr_target: Option<u64>) -> Option<f64> {
+        let target = instr_target?;
+        if self.phase != CellPhase::Running || self.committed == 0 {
+            return None;
+        }
+        let remaining = target.saturating_sub(self.committed);
+        Some(self.wall_seconds * remaining as f64 / self.committed as f64)
+    }
+}
+
+/// One watchdog trip, for the dashboard feed.
+#[derive(Debug, Clone)]
+pub struct TripNote {
+    /// Producer-side seconds into the run.
+    pub elapsed_s: f64,
+    /// Cell key (`experiment/workload__design`).
+    pub cell: String,
+    /// Trip kind (`livelock` / `wall-clock` / `cpi-limit`).
+    pub kind: String,
+}
+
+/// Everything the server knows about one tailed run directory.
+///
+/// Fed purely by [`EventLogTailer`] polls (plus an occasional manifest
+/// reload); unit-testable without sockets by calling
+/// [`ingest`](RunState::ingest) and [`refresh_staleness`](RunState::refresh_staleness)
+/// with an injected observer clock.
+#[derive(Debug)]
+pub struct RunState {
+    /// URL-safe id (directory basename, deduplicated across runs).
+    pub id: String,
+    /// The run directory.
+    pub dir: PathBuf,
+    tailer: EventLogTailer,
+    /// Every record tailed so far, in seq order (the SSE replay buffer).
+    pub records: Vec<EventRecord>,
+    /// Cells by key (`experiment/workload__design`).
+    pub cells: BTreeMap<String, CellView>,
+    /// Watchdog-trip feed, in arrival order.
+    pub trips: Vec<TripNote>,
+    /// Consumer-side `CellStalled` annotations, in detection order.
+    pub annotations: Vec<EventRecord>,
+    staleness: StalenessMonitor,
+    /// Per-cell instruction target (warmup + measurement), once
+    /// `RunStarted` announced the effort.
+    pub instr_target: Option<u64>,
+    /// Effort label from `RunStarted`.
+    pub effort: Option<String>,
+    /// Worker threads from `RunStarted`.
+    pub threads: Option<usize>,
+    /// True once `RunFinished` was tailed.
+    pub finished: bool,
+    /// `RunFinished`'s verdict.
+    pub run_ok: Option<bool>,
+    /// Observer clock (seconds) of the last tailed record.
+    pub last_event_s: Option<f64>,
+    /// Sticky tailer error (corrupt log); the server keeps serving what
+    /// it has.
+    pub tail_error: Option<String>,
+    /// The run manifest, reloaded when its mtime changes.
+    pub manifest: Option<RunManifest>,
+    manifest_mtime: Option<std::time::SystemTime>,
+}
+
+impl RunState {
+    /// State for one run directory (which need not exist yet).
+    pub fn new(id: &str, dir: &Path) -> Self {
+        RunState {
+            id: id.to_string(),
+            dir: dir.to_path_buf(),
+            tailer: EventLogTailer::new(&dir.join("events.ndjson")),
+            records: Vec::new(),
+            cells: BTreeMap::new(),
+            trips: Vec::new(),
+            annotations: Vec::new(),
+            staleness: StalenessMonitor::default(),
+            instr_target: None,
+            effort: None,
+            threads: None,
+            finished: false,
+            run_ok: None,
+            last_event_s: None,
+            tail_error: None,
+            manifest: None,
+            manifest_mtime: None,
+        }
+    }
+
+    /// Tails new records, refreshes staleness, and reloads the manifest
+    /// if it changed on disk. `now_s` is the observer clock.
+    pub fn poll(&mut self, now_s: f64) {
+        match self.tailer.poll() {
+            Ok(records) => {
+                for record in records {
+                    self.ingest(record, now_s);
+                }
+            }
+            Err(e) => self.tail_error = Some(e),
+        }
+        self.refresh_staleness(now_s);
+        self.reload_manifest();
+    }
+
+    /// Folds one event record into the run view.
+    pub fn ingest(&mut self, record: EventRecord, now_s: f64) {
+        let key = record.event.cell().map(|(e, w, d)| format!("{e}/{w}__{d}"));
+        match &record.event {
+            RunEvent::RunStarted {
+                effort, threads, ..
+            } => {
+                let cfg = effort.sim_config();
+                self.instr_target = Some(cfg.warmup_instrs + cfg.sim_instrs);
+                self.effort = Some(effort.label().to_string());
+                self.threads = Some(*threads);
+            }
+            RunEvent::CellScheduled {
+                experiment,
+                workload,
+                design,
+            } => {
+                let key = key.expect("cell-scoped");
+                self.cells
+                    .entry(key)
+                    .or_insert_with(|| CellView::new(experiment, workload, design));
+            }
+            RunEvent::CellStarted {
+                experiment,
+                workload,
+                design,
+            } => {
+                let key = key.expect("cell-scoped");
+                let cell = self
+                    .cells
+                    .entry(key.clone())
+                    .or_insert_with(|| CellView::new(experiment, workload, design));
+                cell.phase = CellPhase::Running;
+                self.staleness.cell_started(&key, now_s);
+            }
+            RunEvent::CellHeartbeat {
+                cycle,
+                committed,
+                wall_seconds,
+                ..
+            } => {
+                let key = key.expect("cell-scoped");
+                if let Some(cell) = self.cells.get_mut(&key) {
+                    cell.cycle = *cycle;
+                    cell.committed = *committed;
+                    cell.wall_seconds = *wall_seconds;
+                }
+                self.staleness.heartbeat(&key, *committed, now_s);
+            }
+            RunEvent::CellResumed { wall_seconds, .. } => {
+                let key = key.expect("cell-scoped");
+                if let Some(cell) = self.cells.get_mut(&key) {
+                    cell.phase = CellPhase::Resumed;
+                    cell.wall_seconds = *wall_seconds;
+                    cell.stalled = None;
+                }
+                self.staleness.cell_finished(&key);
+            }
+            RunEvent::CellCompleted {
+                wall_seconds,
+                instructions,
+                minstr_per_sec,
+                ..
+            } => {
+                let key = key.expect("cell-scoped");
+                if let Some(cell) = self.cells.get_mut(&key) {
+                    cell.phase = CellPhase::Ok;
+                    cell.wall_seconds = *wall_seconds;
+                    cell.instructions = *instructions;
+                    cell.minstr_per_sec = *minstr_per_sec;
+                    cell.stalled = None;
+                }
+                self.staleness.cell_finished(&key);
+            }
+            RunEvent::WatchdogTripped { kind, .. } => {
+                let key = key.expect("cell-scoped");
+                if let Some(cell) = self.cells.get_mut(&key) {
+                    cell.trips.push(kind.clone());
+                }
+                self.trips.push(TripNote {
+                    elapsed_s: record.elapsed_s,
+                    cell: key,
+                    kind: kind.clone(),
+                });
+            }
+            RunEvent::CellFailed {
+                wall_seconds,
+                error,
+                ..
+            } => {
+                let key = key.expect("cell-scoped");
+                if let Some(cell) = self.cells.get_mut(&key) {
+                    cell.phase = CellPhase::Failed;
+                    cell.wall_seconds = *wall_seconds;
+                    cell.error = Some(error.lines().next().unwrap_or("").to_string());
+                    cell.stalled = None;
+                }
+                self.staleness.cell_finished(&key);
+            }
+            RunEvent::RunFinished { ok, .. } => {
+                self.finished = true;
+                self.run_ok = Some(*ok);
+            }
+            RunEvent::JournalReplayed { .. }
+            | RunEvent::WatchdogArmed { .. }
+            | RunEvent::CellStalled { .. } => {}
+        }
+        self.last_event_s = Some(now_s);
+        self.records.push(record);
+    }
+
+    /// Re-judges every running cell; a transition into stalled appends a
+    /// [`RunEvent::CellStalled`] annotation (for SSE subscribers), a
+    /// recovery clears the flag.
+    pub fn refresh_staleness(&mut self, now_s: f64) {
+        let mut annotations = Vec::new();
+        for (key, cell) in &mut self.cells {
+            if cell.phase != CellPhase::Running {
+                continue;
+            }
+            let verdict = self.staleness.verdict(key, now_s);
+            if let (None, Some(stall)) = (&cell.stalled, &verdict) {
+                annotations.push(EventRecord {
+                    v: EVENT_SCHEMA_VERSION,
+                    seq: self.annotations.len() as u64 + annotations.len() as u64,
+                    elapsed_s: now_s,
+                    event: RunEvent::CellStalled {
+                        experiment: cell.experiment.clone(),
+                        workload: cell.workload.clone(),
+                        design: cell.design.clone(),
+                        silent_for_s: stall.silent_for_s,
+                        flat_beats: stall.flat_beats,
+                    },
+                });
+            }
+            cell.stalled = verdict;
+        }
+        self.annotations.extend(annotations);
+    }
+
+    fn reload_manifest(&mut self) {
+        let path = self.dir.join("manifest.json");
+        let mtime = std::fs::metadata(&path).and_then(|m| m.modified()).ok();
+        if mtime.is_some() && mtime != self.manifest_mtime {
+            self.manifest = RunManifest::load(&self.dir).ok();
+            self.manifest_mtime = mtime;
+        }
+    }
+
+    /// Cell counts by state label. `stalled` cells are counted as
+    /// `stalled` instead of `running`, so the states partition the grid.
+    pub fn counts(&self) -> BTreeMap<&'static str, u64> {
+        let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for label in ["scheduled", "running", "stalled", "ok", "resumed", "failed"] {
+            counts.insert(label, 0);
+        }
+        for cell in self.cells.values() {
+            let label = if cell.phase == CellPhase::Running && cell.stalled.is_some() {
+                "stalled"
+            } else {
+                cell.phase.label()
+            };
+            *counts.entry(label).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Event-log lag: observer seconds since the last record was tailed
+    /// (`now_s` itself when nothing has arrived yet).
+    pub fn lag_seconds(&self, now_s: f64) -> f64 {
+        (now_s - self.last_event_s.unwrap_or(0.0)).max(0.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+// ---------------------------------------------------------------------------
+
+/// Per-run gauge values, extracted from a [`RunState`] snapshot.
+#[derive(Debug, Clone)]
+pub struct RunGauges {
+    /// Run id (the `run` label value).
+    pub run: String,
+    /// Cells by state label.
+    pub states: BTreeMap<&'static str, u64>,
+    /// Instructions retired: completed cells plus live heartbeats.
+    pub instructions: u64,
+    /// Aggregate throughput of completed cells (Minstr/s).
+    pub minstr_per_sec: f64,
+    /// Watchdog trips by kind.
+    pub trips: BTreeMap<String, u64>,
+    /// Event records ingested.
+    pub events: u64,
+    /// Seconds since the event log last grew.
+    pub lag_seconds: f64,
+    /// Whether `RunFinished` was seen.
+    pub finished: bool,
+}
+
+impl RunGauges {
+    /// A gauge snapshot of `run` at observer time `now_s`.
+    pub fn observe(run: &RunState, now_s: f64) -> Self {
+        let mut instructions = 0u64;
+        let mut done_instr = 0u64;
+        let mut done_wall = 0.0f64;
+        for cell in run.cells.values() {
+            match cell.phase {
+                CellPhase::Ok | CellPhase::Resumed | CellPhase::Failed => {
+                    instructions += cell.instructions;
+                    if cell.phase == CellPhase::Ok {
+                        done_instr += cell.instructions;
+                        done_wall += cell.wall_seconds;
+                    }
+                }
+                CellPhase::Running | CellPhase::Scheduled => instructions += cell.committed,
+            }
+        }
+        let mut trips: BTreeMap<String, u64> = BTreeMap::new();
+        for note in &run.trips {
+            *trips.entry(note.kind.clone()).or_insert(0) += 1;
+        }
+        RunGauges {
+            run: run.id.clone(),
+            states: run.counts(),
+            instructions,
+            minstr_per_sec: if done_wall > 0.0 {
+                done_instr as f64 / done_wall / 1e6
+            } else {
+                0.0
+            },
+            trips,
+            events: run.records.len() as u64,
+            lag_seconds: run.lag_seconds(now_s),
+            finished: run.finished,
+        }
+    }
+}
+
+/// Fleet-level metric aggregator: one [`RunGauges`] row per tailed run,
+/// rendered to the Prometheus text exposition format. Pure data in, text
+/// out — no sockets, no clocks — so the golden test pins the exact
+/// exposition.
+#[derive(Debug, Default)]
+pub struct FleetGauges {
+    rows: Vec<RunGauges>,
+}
+
+impl FleetGauges {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one run's gauge row (rows render in insertion order).
+    pub fn push(&mut self, row: RunGauges) {
+        self.rows.push(row);
+    }
+
+    /// Renders the Prometheus text exposition.
+    pub fn render(&self) -> String {
+        fn value(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else if v.is_nan() {
+                "NaN".into()
+            } else if v > 0.0 {
+                "+Inf".into()
+            } else {
+                "-Inf".into()
+            }
+        }
+        fn label(v: &str) -> String {
+            v.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+        }
+        let mut out = String::with_capacity(2048);
+        let families: &[(&str, &str, &str)] = &[
+            (
+                "ubs_cells",
+                "gauge",
+                "Grid cells by lifecycle state (stalled overlays running).",
+            ),
+            (
+                "ubs_instructions_total",
+                "counter",
+                "Instructions retired: completed cells plus live heartbeats.",
+            ),
+            (
+                "ubs_minstr_per_sec",
+                "gauge",
+                "Aggregate simulated-instruction throughput of completed cells (Minstr/s).",
+            ),
+            (
+                "ubs_watchdog_trips_total",
+                "counter",
+                "Watchdog trips by kind.",
+            ),
+            (
+                "ubs_event_lag_seconds",
+                "gauge",
+                "Seconds since the run's event log last grew.",
+            ),
+            (
+                "ubs_events_total",
+                "counter",
+                "Event records ingested from the run's event log.",
+            ),
+            (
+                "ubs_run_finished",
+                "gauge",
+                "1 once the run's event log closed with RunFinished.",
+            ),
+        ];
+        for (name, kind, help) in families {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+            for row in &self.rows {
+                let run = label(&row.run);
+                match *name {
+                    "ubs_cells" => {
+                        for (state, n) in &row.states {
+                            out.push_str(&format!(
+                                "ubs_cells{{run=\"{run}\",state=\"{state}\"}} {n}\n"
+                            ));
+                        }
+                    }
+                    "ubs_instructions_total" => out.push_str(&format!(
+                        "ubs_instructions_total{{run=\"{run}\"}} {}\n",
+                        row.instructions
+                    )),
+                    "ubs_minstr_per_sec" => out.push_str(&format!(
+                        "ubs_minstr_per_sec{{run=\"{run}\"}} {}\n",
+                        value(row.minstr_per_sec)
+                    )),
+                    "ubs_watchdog_trips_total" => {
+                        for (kind, n) in &row.trips {
+                            out.push_str(&format!(
+                                "ubs_watchdog_trips_total{{run=\"{run}\",kind=\"{}\"}} {n}\n",
+                                label(kind)
+                            ));
+                        }
+                    }
+                    "ubs_event_lag_seconds" => out.push_str(&format!(
+                        "ubs_event_lag_seconds{{run=\"{run}\"}} {}\n",
+                        value(row.lag_seconds)
+                    )),
+                    "ubs_events_total" => out.push_str(&format!(
+                        "ubs_events_total{{run=\"{run}\"}} {}\n",
+                        row.events
+                    )),
+                    "ubs_run_finished" => out.push_str(&format!(
+                        "ubs_run_finished{{run=\"{run}\"}} {}\n",
+                        u8::from(row.finished)
+                    )),
+                    _ => unreachable!(),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Validates Prometheus text-exposition grammar, `promtool check
+/// metrics`-style: every line is a well-formed comment (`# HELP` / `#
+/// TYPE` with a known type) or sample (`name{labels} value [timestamp]`),
+/// metric names are legal, every sample's family declared a `# TYPE`
+/// first, no family is declared twice, and no (name, label-set) repeats.
+///
+/// Returns the number of sample lines.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    fn is_name(s: &str) -> bool {
+        let mut chars = s.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+            _ => return false,
+        }
+        chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    // Parses `{label="value",...}`, returning the canonical label text.
+    fn parse_labels(s: &str) -> Result<(String, &str), String> {
+        let mut rest = s.strip_prefix('{').expect("caller checked");
+        let mut labels = Vec::new();
+        loop {
+            rest = rest.trim_start_matches(',');
+            if let Some(after) = rest.strip_prefix('}') {
+                labels.sort();
+                return Ok((labels.join(","), after));
+            }
+            let eq = rest.find('=').ok_or("label without '='")?;
+            let name = &rest[..eq];
+            if !is_name(name) {
+                return Err(format!("bad label name {name:?}"));
+            }
+            rest = rest[eq + 1..]
+                .strip_prefix('"')
+                .ok_or("label value must be quoted")?;
+            let mut value = String::new();
+            let mut chars = rest.char_indices();
+            let after = loop {
+                let (i, c) = chars.next().ok_or("unterminated label value")?;
+                match c {
+                    '"' => break &rest[i + 1..],
+                    '\\' => {
+                        let (_, e) = chars.next().ok_or("dangling escape")?;
+                        if !matches!(e, '\\' | '"' | 'n') {
+                            return Err(format!("bad escape \\{e}"));
+                        }
+                        value.push(e);
+                    }
+                    c => value.push(c),
+                }
+            };
+            labels.push(format!("{name}={value:?}"));
+            rest = after;
+        }
+    }
+
+    if !text.is_empty() && !text.ends_with('\n') {
+        return Err("exposition must end with a newline".into());
+    }
+    let mut typed: BTreeMap<String, String> = BTreeMap::new();
+    let mut helped: BTreeMap<String, ()> = BTreeMap::new();
+    let mut seen: BTreeMap<String, ()> = BTreeMap::new();
+    let mut samples = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let fail = |msg: String| format!("line {lineno}: {msg}");
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').unwrap_or((rest, ""));
+            if !is_name(name) {
+                return Err(fail(format!("bad metric name {name:?}")));
+            }
+            if help.is_empty() {
+                return Err(fail(format!("empty HELP for {name}")));
+            }
+            if helped.insert(name.to_string(), ()).is_some() {
+                return Err(fail(format!("duplicate HELP for {name}")));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let Some((name, kind)) = rest.split_once(' ') else {
+                return Err(fail("TYPE without a type".into()));
+            };
+            if !is_name(name) {
+                return Err(fail(format!("bad metric name {name:?}")));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(fail(format!("unknown type {kind:?}")));
+            }
+            if typed.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(fail(format!("duplicate TYPE for {name}")));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        // Sample line.
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| fail("sample without a value".into()))?;
+        let name = &line[..name_end];
+        if !is_name(name) {
+            return Err(fail(format!("bad metric name {name:?}")));
+        }
+        if !typed.contains_key(name) {
+            return Err(fail(format!("sample of {name} before its # TYPE")));
+        }
+        let (labels, rest) = if line[name_end..].starts_with('{') {
+            parse_labels(&line[name_end..]).map_err(&fail)?
+        } else {
+            (String::new(), &line[name_end..])
+        };
+        let rest = rest.trim_start();
+        let mut parts = rest.split_whitespace();
+        let value = parts
+            .next()
+            .ok_or_else(|| fail("sample without a value".into()))?;
+        if !matches!(value, "+Inf" | "-Inf" | "NaN") && value.parse::<f64>().is_err() {
+            return Err(fail(format!("bad sample value {value:?}")));
+        }
+        if let Some(ts) = parts.next() {
+            if ts.parse::<i64>().is_err() {
+                return Err(fail(format!("bad timestamp {ts:?}")));
+            }
+        }
+        if parts.next().is_some() {
+            return Err(fail("trailing tokens after sample".into()));
+        }
+        let sample_key = format!("{name}{{{labels}}}");
+        if seen.insert(sample_key.clone(), ()).is_some() {
+            return Err(fail(format!("duplicate sample {sample_key}")));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+// ---------------------------------------------------------------------------
+// JSON + dashboard rendering
+// ---------------------------------------------------------------------------
+
+fn run_summary_json(run: &RunState, now_s: f64) -> serde_json::Value {
+    let counts: serde_json::Map = run
+        .counts()
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), json!(v)))
+        .collect();
+    json!({
+        "id": run.id,
+        "dir": run.dir.display().to_string(),
+        "effort": run.effort,
+        "threads": run.threads,
+        "finished": run.finished,
+        "ok": run.run_ok,
+        "events": run.records.len(),
+        "lag_seconds": run.lag_seconds(now_s),
+        "cells": serde_json::Value::Object(counts),
+        "watchdog_trips": run.trips.len(),
+        "tail_error": run.tail_error,
+    })
+}
+
+fn run_detail_json(run: &RunState, now_s: f64) -> serde_json::Value {
+    let mut summary = run_summary_json(run, now_s);
+    let cells: Vec<serde_json::Value> = run
+        .cells
+        .iter()
+        .map(|(key, cell)| {
+            json!({
+                "key": key,
+                "experiment": cell.experiment,
+                "workload": cell.workload,
+                "design": cell.design,
+                "state": cell.phase.label(),
+                "stalled": cell.stalled.is_some(),
+                "stall": cell.stalled.map(|s| json!({
+                    "silent_for_s": s.silent_for_s,
+                    "flat_beats": s.flat_beats,
+                })),
+                "committed": cell.committed,
+                "cycle": cell.cycle,
+                "wall_seconds": cell.wall_seconds,
+                "instructions": cell.instructions,
+                "minstr_per_sec": cell.minstr_per_sec,
+                "eta_seconds": cell.eta_seconds(run.instr_target),
+                "trips": cell.trips,
+                "error": cell.error,
+            })
+        })
+        .collect();
+    let trips: Vec<serde_json::Value> = run
+        .trips
+        .iter()
+        .map(|t| json!({"elapsed_s": t.elapsed_s, "cell": t.cell, "kind": t.kind}))
+        .collect();
+    if let Some(obj) = summary.as_object_mut() {
+        obj.insert("cell_details", json!(cells));
+        obj.insert("trip_feed", json!(trips));
+        obj.insert("annotations", json!(run.annotations.len()));
+        obj.insert("instr_target", json!(run.instr_target));
+    }
+    summary
+}
+
+fn render_dashboard(runs: &[RunState], now_s: f64) -> String {
+    use std::fmt::Write as _;
+    let mut out = page_open(
+        &format!("live fleet — {} runs", runs.len()),
+        "<meta http-equiv=\"refresh\" content=\"2\">\n",
+    );
+    writeln!(out, "<h1>Live fleet — {} runs</h1>", runs.len()).unwrap();
+    for run in runs {
+        writeln!(
+            out,
+            "<h2>{} <span class=\"note\">({})</span></h2>",
+            esc(&run.id),
+            esc(&run.dir.display().to_string())
+        )
+        .unwrap();
+        let counts = run.counts();
+        let total: u64 = counts.values().sum();
+        let done = counts["ok"] + counts["resumed"] + counts["failed"];
+        let status = if run.finished {
+            if run.run_ok == Some(true) {
+                "finished"
+            } else {
+                "finished (with failures)"
+            }
+        } else if run.records.is_empty() {
+            "waiting for events"
+        } else {
+            "running"
+        };
+        writeln!(
+            out,
+            "<p>{status} — {done}/{total} cells · effort {} · {} threads · {} events \
+             · lag {:.1}s</p>",
+            run.effort.as_deref().unwrap_or("?"),
+            run.threads.map_or("?".into(), |t| t.to_string()),
+            run.records.len(),
+            run.lag_seconds(now_s),
+        )
+        .unwrap();
+        if let Some(err) = &run.tail_error {
+            writeln!(out, "<p class=\"note\">tailer error: {}</p>", esc(err)).unwrap();
+        }
+        if run.cells.is_empty() {
+            continue;
+        }
+        out.push_str(
+            "<table><tr><th>cell</th><th>state</th><th>progress</th><th>eta</th>\
+             <th>wall (s)</th><th>Minstr/s</th><th>trips</th></tr>\n",
+        );
+        for (key, cell) in &run.cells {
+            let (label, color) = if cell.phase == CellPhase::Running && cell.stalled.is_some() {
+                ("stalled", "#e90")
+            } else {
+                cell.phase.badge()
+            };
+            let title = match (&cell.stalled, &cell.error) {
+                (Some(stall), _) => format!(
+                    "silent {:.1}s, {} flat beats",
+                    stall.silent_for_s, stall.flat_beats
+                ),
+                (None, Some(err)) => err.clone(),
+                _ => format!("{} committed", cell.committed),
+            };
+            let progress = match (run.instr_target, cell.phase) {
+                (_, CellPhase::Ok | CellPhase::Resumed) => "100%".to_string(),
+                (Some(target), CellPhase::Running) if target > 0 => {
+                    format!("{:.0}%", 100.0 * cell.committed as f64 / target as f64)
+                }
+                _ => "—".to_string(),
+            };
+            let eta = cell
+                .eta_seconds(run.instr_target)
+                .map_or("—".to_string(), |e| format!("{e:.0}s"));
+            writeln!(
+                out,
+                "<tr><td class=\"id\">{}</td><td>{}</td><td>{progress}</td><td>{eta}</td>\
+                 <td>{:.2}</td><td>{:.2}</td><td>{}</td></tr>",
+                esc(key),
+                badge_titled(label, color, &title),
+                cell.wall_seconds,
+                cell.minstr_per_sec,
+                cell.trips.len(),
+            )
+            .unwrap();
+        }
+        out.push_str("</table>\n");
+        if !run.trips.is_empty() {
+            out.push_str("<h3>Watchdog trips</h3>\n<ul>\n");
+            for note in run.trips.iter().rev().take(10) {
+                writeln!(
+                    out,
+                    "<li class=\"note\">t+{:.1}s {} — {}</li>",
+                    note.elapsed_s,
+                    esc(&note.cell),
+                    esc(&note.kind)
+                )
+                .unwrap();
+            }
+            out.push_str("</ul>\n");
+        }
+    }
+    out.push_str("</body></html>\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------------
+
+struct Fleet {
+    runs: Mutex<Vec<RunState>>,
+    started: Instant,
+}
+
+impl Fleet {
+    fn now_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+struct Response {
+    status: &'static str,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Response {
+    fn ok(content_type: &'static str, body: String) -> Self {
+        Response {
+            status: "200 OK",
+            content_type,
+            body,
+        }
+    }
+    fn not_found(what: &str) -> Self {
+        Response {
+            status: "404 Not Found",
+            content_type: "text/plain; charset=utf-8",
+            body: format!("not found: {what}\n"),
+        }
+    }
+}
+
+/// Routes one non-SSE request target (path + query) to a response body.
+fn respond(target: &str, fleet: &Fleet) -> Response {
+    let path = target.split('?').next().unwrap_or(target);
+    let now_s = fleet.now_s();
+    let runs = fleet.runs.lock();
+    match path {
+        "/" | "/index.html" => {
+            Response::ok("text/html; charset=utf-8", render_dashboard(&runs, now_s))
+        }
+        "/metrics" => {
+            let mut gauges = FleetGauges::new();
+            for run in runs.iter() {
+                gauges.push(RunGauges::observe(run, now_s));
+            }
+            Response::ok("text/plain; version=0.0.4; charset=utf-8", gauges.render())
+        }
+        "/api/runs" => {
+            let body = json!({
+                "schema_version": SERVE_API_SCHEMA_VERSION,
+                "runs": runs.iter().map(|r| run_summary_json(r, now_s)).collect::<Vec<_>>(),
+            });
+            Response::ok("application/json", body.to_string())
+        }
+        _ => {
+            if let Some(id) = path.strip_prefix("/api/runs/") {
+                match runs.iter().find(|r| r.id == id) {
+                    Some(run) => {
+                        Response::ok("application/json", run_detail_json(run, now_s).to_string())
+                    }
+                    None => Response::not_found(path),
+                }
+            } else {
+                Response::not_found(path)
+            }
+        }
+    }
+}
+
+fn query_param<'a>(target: &'a str, key: &str) -> Option<&'a str> {
+    let query = target.split_once('?')?.1;
+    query
+        .split('&')
+        .filter_map(|kv| kv.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
+fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        resp.content_type,
+        resp.body.len()
+    )?;
+    stream.write_all(resp.body.as_bytes())
+}
+
+/// Streams `/events` over one connection: replay from the `seq` cursor,
+/// then live-tail new records (`event: record`) and staleness annotations
+/// (`event: annotation`), closing with `event: end` once the run finished
+/// and the subscriber is caught up.
+fn serve_sse(
+    mut stream: TcpStream,
+    fleet: &Fleet,
+    shutdown: &AtomicBool,
+    run_id: Option<String>,
+    mut cursor: u64,
+) {
+    {
+        let runs = fleet.runs.lock();
+        let known = match &run_id {
+            Some(id) => runs.iter().any(|r| r.id == *id),
+            None => !runs.is_empty(),
+        };
+        if !known {
+            let _ = write_response(
+                &mut stream,
+                &Response::not_found(run_id.as_deref().unwrap_or("run")),
+            );
+            return;
+        }
+    }
+    if write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\n\
+         Connection: close\r\n\r\n"
+    )
+    .is_err()
+    {
+        return;
+    }
+    let mut ann_cursor = 0usize;
+    let mut last_write = Instant::now();
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut frames = String::new();
+        let mut drained = false;
+        {
+            let runs = fleet.runs.lock();
+            let run = match &run_id {
+                Some(id) => runs.iter().find(|r| r.id == *id),
+                None => runs.first(),
+            };
+            let Some(run) = run else { return };
+            let start = cursor.min(run.records.len() as u64) as usize;
+            for record in &run.records[start..] {
+                let json = serde_json::to_string(record).unwrap_or_default();
+                frames.push_str(&format!(
+                    "id: {}\nevent: record\ndata: {json}\n\n",
+                    record.seq
+                ));
+                cursor = record.seq + 1;
+            }
+            for record in &run.annotations[ann_cursor.min(run.annotations.len())..] {
+                let json = serde_json::to_string(record).unwrap_or_default();
+                frames.push_str(&format!("event: annotation\ndata: {json}\n\n"));
+                ann_cursor += 1;
+            }
+            if run.finished
+                && cursor >= run.records.len() as u64
+                && ann_cursor >= run.annotations.len()
+            {
+                drained = true;
+            }
+        }
+        if !frames.is_empty() {
+            if stream.write_all(frames.as_bytes()).is_err() || stream.flush().is_err() {
+                return;
+            }
+            last_write = Instant::now();
+        }
+        if drained {
+            let _ = stream.write_all(b"event: end\ndata: {}\n\n");
+            let _ = stream.flush();
+            return;
+        }
+        if last_write.elapsed().as_secs() >= SSE_KEEPALIVE_SECS {
+            if stream.write_all(b": keepalive\n\n").is_err() || stream.flush().is_err() {
+                return;
+            }
+            last_write = Instant::now();
+        }
+        std::thread::sleep(Duration::from_millis(SSE_TICK_MS));
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, fleet: Arc<Fleet>, shutdown: Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    // Read the request head (we never accept bodies).
+    let mut head = Vec::with_capacity(1024);
+    let mut buf = [0u8; 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 16 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or("/"));
+    if method != "GET" {
+        let _ = write_response(
+            &mut stream,
+            &Response {
+                status: "405 Method Not Allowed",
+                content_type: "text/plain; charset=utf-8",
+                body: "GET only\n".into(),
+            },
+        );
+        return;
+    }
+    if target.split('?').next() == Some("/events") {
+        let run_id = query_param(target, "run").map(str::to_string);
+        let cursor = query_param(target, "seq")
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        serve_sse(stream, &fleet, &shutdown, run_id, cursor);
+        return;
+    }
+    let resp = respond(target, &fleet);
+    let _ = write_response(&mut stream, &resp);
+}
+
+/// A running `repro serve` instance: poller + accept loop on background
+/// threads. Bind to port 0 for an ephemeral port (tests).
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+/// Directory basenames as unique run ids (`-2`, `-3`, … on collision).
+fn run_ids(dirs: &[PathBuf]) -> Vec<String> {
+    let mut ids = Vec::with_capacity(dirs.len());
+    for dir in dirs {
+        let base = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .filter(|n| !n.is_empty())
+            .unwrap_or_else(|| "run".to_string());
+        let mut id = base.clone();
+        let mut n = 1;
+        while ids.contains(&id) {
+            n += 1;
+            id = format!("{base}-{n}");
+        }
+        ids.push(id);
+    }
+    ids
+}
+
+impl Server {
+    /// Binds `opts.addr`, starts the tail poller and the accept loop, and
+    /// returns immediately. Use [`Server::addr`] for the bound address
+    /// (meaningful with port 0) and [`Server::shutdown`] to stop.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the address cannot be bound.
+    pub fn start(opts: &ServeOptions) -> Result<Server, String> {
+        let listener = TcpListener::bind(opts.addr.as_str())
+            .map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot configure listener: {e}"))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address: {e}"))?;
+        let ids = run_ids(&opts.dirs);
+        let runs: Vec<RunState> = opts
+            .dirs
+            .iter()
+            .zip(&ids)
+            .map(|(dir, id)| RunState::new(id, dir))
+            .collect();
+        let fleet = Arc::new(Fleet {
+            runs: Mutex::new(runs),
+            started: Instant::now(),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let poller = {
+            let fleet = Arc::clone(&fleet);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    let now_s = fleet.now_s();
+                    {
+                        let mut runs = fleet.runs.lock();
+                        for run in runs.iter_mut() {
+                            run.poll(now_s);
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(POLL_INTERVAL_MS));
+                }
+            })
+        };
+        let acceptor = {
+            let fleet = Arc::clone(&fleet);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let fleet = Arc::clone(&fleet);
+                            let shutdown = Arc::clone(&shutdown);
+                            std::thread::spawn(move || handle_connection(stream, fleet, shutdown));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+            })
+        };
+        Ok(Server {
+            addr,
+            shutdown,
+            threads: vec![poller, acceptor],
+        })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the background threads to stop and joins them. Open SSE
+    /// streams notice within one tick.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Runs `repro serve`: starts the server and blocks forever (interrupt to
+/// stop). Directories may not exist yet — the tailer waits for them.
+///
+/// # Errors
+///
+/// Returns a message when the address cannot be bound.
+pub fn run_serve(opts: &ServeOptions) -> Result<(), String> {
+    let server = Server::start(opts)?;
+    println!("repro serve: http://{}/", server.addr());
+    println!("  dashboard  http://{}/", server.addr());
+    println!("  metrics    http://{}/metrics", server.addr());
+    println!("  api        http://{}/api/runs", server.addr());
+    println!("  events     http://{}/events?seq=0", server.addr());
+    for dir in &opts.dirs {
+        println!("  tailing    {}", dir.display());
+    }
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Effort;
+    use crate::suitescale::SuiteScale;
+
+    fn record(seq: u64, elapsed_s: f64, event: RunEvent) -> EventRecord {
+        EventRecord {
+            v: EVENT_SCHEMA_VERSION,
+            seq,
+            elapsed_s,
+            event,
+        }
+    }
+
+    fn cell_event(kind: &str, committed: u64) -> RunEvent {
+        let (e, w, d) = (
+            "fig10".to_string(),
+            "server_000".to_string(),
+            "ubs".to_string(),
+        );
+        match kind {
+            "sched" => RunEvent::CellScheduled {
+                experiment: e,
+                workload: w,
+                design: d,
+            },
+            "start" => RunEvent::CellStarted {
+                experiment: e,
+                workload: w,
+                design: d,
+            },
+            "beat" => RunEvent::CellHeartbeat {
+                experiment: e,
+                workload: w,
+                design: d,
+                cycle: committed * 2,
+                committed,
+                wall_seconds: 0.5,
+            },
+            "done" => RunEvent::CellCompleted {
+                experiment: e,
+                workload: w,
+                design: d,
+                wall_seconds: 2.0,
+                instructions: 400_000,
+                minstr_per_sec: 0.2,
+            },
+            "fail" => RunEvent::CellFailed {
+                experiment: e,
+                workload: w,
+                design: d,
+                wall_seconds: 2.0,
+                error: "forward-progress watchdog[livelock]: wedged".into(),
+            },
+            other => panic!("unknown kind {other}"),
+        }
+    }
+
+    fn run_started() -> RunEvent {
+        RunEvent::RunStarted {
+            effort: Effort::Quick,
+            scale: SuiteScale::tiny(),
+            threads: 2,
+            experiments: vec!["fig10".into()],
+            git: None,
+        }
+    }
+
+    const KEY: &str = "fig10/server_000__ubs";
+
+    #[test]
+    fn staleness_flags_flat_beats_before_any_silence() {
+        let mut mon = StalenessMonitor::default();
+        mon.cell_started(KEY, 0.0);
+        // Healthy progress: never stalled.
+        for i in 1..6 {
+            mon.heartbeat(KEY, i * 1000, i as f64 * 0.1);
+            assert!(mon.verdict(KEY, i as f64 * 0.1).is_none(), "beat {i}");
+        }
+        // Flat committed: stalled after DEFAULT_FLAT_BEATS flat beats,
+        // even though beats keep arriving (silence never accrues).
+        for i in 6..12 {
+            mon.heartbeat(KEY, 5000, i as f64 * 0.1);
+        }
+        let stall = mon.verdict(KEY, 1.2).expect("flat beats must stall");
+        assert!(stall.flat_beats >= StalenessMonitor::DEFAULT_FLAT_BEATS);
+        assert_eq!(stall.silent_for_s, 0.0);
+        // Progress resumes: the flag clears.
+        mon.heartbeat(KEY, 9000, 1.3);
+        assert!(mon.verdict(KEY, 1.35).is_none());
+        // Terminal: never stalled, no matter the clock.
+        mon.cell_finished(KEY);
+        assert!(mon.verdict(KEY, 1e9).is_none());
+    }
+
+    #[test]
+    fn staleness_flags_silence_scaled_to_the_cells_cadence() {
+        let mut mon = StalenessMonitor::default();
+        mon.cell_started(KEY, 0.0);
+        // ~1s cadence, always making progress.
+        for i in 1..5 {
+            mon.heartbeat(KEY, i * 1000, i as f64);
+        }
+        // 5s of silence: under 8 checkpoints, healthy.
+        assert!(mon.verdict(KEY, 9.0).is_none());
+        // 10s of silence: over 8 × ~1s, stalled.
+        let stall = mon.verdict(KEY, 14.5).expect("silence must stall");
+        assert!(stall.silent_for_s > 10.0);
+        // A cell that started but never beat: the floor applies.
+        let mut mon = StalenessMonitor::default();
+        mon.cell_started(KEY, 0.0);
+        assert!(mon.verdict(KEY, 1.0).is_none());
+        assert!(mon.verdict(KEY, 3.0).is_some(), "past the floor");
+    }
+
+    fn ingest_lifecycle(state: &mut RunState, fail: bool) {
+        let mut seq = 0;
+        // Binary-exact observer timestamps keep derived gauges (lag
+        // seconds) exactly representable for the golden test.
+        let mut push = |state: &mut RunState, event: RunEvent| {
+            let now = seq as f64 * 0.25;
+            state.ingest(record(seq, now, event), now);
+            seq += 1;
+        };
+        push(state, run_started());
+        push(state, cell_event("sched", 0));
+        push(state, cell_event("start", 0));
+        push(state, cell_event("beat", 100_000));
+        push(state, cell_event("beat", 200_000));
+        if fail {
+            push(
+                state,
+                RunEvent::WatchdogTripped {
+                    experiment: "fig10".into(),
+                    workload: "server_000".into(),
+                    design: "ubs".into(),
+                    kind: "livelock".into(),
+                },
+            );
+            push(state, cell_event("fail", 0));
+        } else {
+            push(state, cell_event("done", 0));
+        }
+        push(
+            state,
+            RunEvent::RunFinished {
+                wall_seconds: 1.0,
+                cells_total: 1,
+                cells_failed: usize::from(fail),
+                ok: !fail,
+            },
+        );
+    }
+
+    #[test]
+    fn run_state_folds_the_event_stream() {
+        let mut state = RunState::new("r1", Path::new("/tmp/r1"));
+        ingest_lifecycle(&mut state, false);
+        assert!(state.finished);
+        assert_eq!(state.run_ok, Some(true));
+        assert_eq!(state.effort.as_deref(), Some("quick"));
+        let quick = Effort::Quick.sim_config();
+        assert_eq!(
+            state.instr_target,
+            Some(quick.warmup_instrs + quick.sim_instrs)
+        );
+        let cell = &state.cells[KEY];
+        assert_eq!(cell.phase, CellPhase::Ok);
+        assert_eq!(cell.instructions, 400_000);
+        assert_eq!(state.counts()["ok"], 1);
+        assert_eq!(state.counts()["running"], 0);
+
+        let mut failed = RunState::new("r2", Path::new("/tmp/r2"));
+        ingest_lifecycle(&mut failed, true);
+        let cell = &failed.cells[KEY];
+        assert_eq!(cell.phase, CellPhase::Failed);
+        assert_eq!(cell.trips, vec!["livelock".to_string()]);
+        assert!(cell.error.as_deref().unwrap().contains("watchdog"));
+        assert_eq!(failed.trips.len(), 1);
+        assert_eq!(failed.counts()["failed"], 1);
+    }
+
+    #[test]
+    fn stalled_transition_appends_one_annotation() {
+        let mut state = RunState::new("r1", Path::new("/tmp/r1"));
+        let mut seq = 0;
+        let mut push = |state: &mut RunState, event: RunEvent, now: f64| {
+            state.ingest(record(seq, now, event), now);
+            seq += 1;
+        };
+        push(&mut state, run_started(), 0.0);
+        push(&mut state, cell_event("sched", 0), 0.0);
+        push(&mut state, cell_event("start", 0), 0.1);
+        // Flat beats.
+        for i in 0..6 {
+            push(&mut state, cell_event("beat", 10_000), 0.2 + i as f64 * 0.1);
+        }
+        state.refresh_staleness(0.9);
+        assert_eq!(state.annotations.len(), 1, "one transition, one annotation");
+        assert!(state.cells[KEY].stalled.is_some());
+        assert_eq!(state.counts()["stalled"], 1);
+        assert_eq!(state.counts()["running"], 0);
+        // Still stalled on the next refresh: no duplicate annotation.
+        state.refresh_staleness(1.0);
+        assert_eq!(state.annotations.len(), 1);
+        match &state.annotations[0].event {
+            RunEvent::CellStalled { flat_beats, .. } => assert!(*flat_beats >= 3),
+            other => panic!("expected CellStalled, got {other:?}"),
+        }
+        // Progress clears it.
+        push(&mut state, cell_event("beat", 50_000), 1.1);
+        state.refresh_staleness(1.15);
+        assert!(state.cells[KEY].stalled.is_none());
+        assert_eq!(state.counts()["running"], 1);
+    }
+
+    #[test]
+    fn gauges_render_the_golden_exposition() {
+        let mut ok = RunState::new("candidate", Path::new("/tmp/c"));
+        ingest_lifecycle(&mut ok, false);
+        let mut bad = RunState::new("faulty", Path::new("/tmp/f"));
+        ingest_lifecycle(&mut bad, true);
+        let mut gauges = FleetGauges::new();
+        // Pin the lag by fixing the observer clock relative to ingestion:
+        // `ok` saw its last record at 1.5 s, `bad` at 1.75 s.
+        gauges.push(RunGauges::observe(&ok, 2.0));
+        gauges.push(RunGauges::observe(&bad, 2.0));
+        let text = gauges.render();
+        let expected = "\
+# HELP ubs_cells Grid cells by lifecycle state (stalled overlays running).
+# TYPE ubs_cells gauge
+ubs_cells{run=\"candidate\",state=\"failed\"} 0
+ubs_cells{run=\"candidate\",state=\"ok\"} 1
+ubs_cells{run=\"candidate\",state=\"resumed\"} 0
+ubs_cells{run=\"candidate\",state=\"running\"} 0
+ubs_cells{run=\"candidate\",state=\"scheduled\"} 0
+ubs_cells{run=\"candidate\",state=\"stalled\"} 0
+ubs_cells{run=\"faulty\",state=\"failed\"} 1
+ubs_cells{run=\"faulty\",state=\"ok\"} 0
+ubs_cells{run=\"faulty\",state=\"resumed\"} 0
+ubs_cells{run=\"faulty\",state=\"running\"} 0
+ubs_cells{run=\"faulty\",state=\"scheduled\"} 0
+ubs_cells{run=\"faulty\",state=\"stalled\"} 0
+# HELP ubs_instructions_total Instructions retired: completed cells plus live heartbeats.
+# TYPE ubs_instructions_total counter
+ubs_instructions_total{run=\"candidate\"} 400000
+ubs_instructions_total{run=\"faulty\"} 0
+# HELP ubs_minstr_per_sec Aggregate simulated-instruction throughput of completed cells (Minstr/s).
+# TYPE ubs_minstr_per_sec gauge
+ubs_minstr_per_sec{run=\"candidate\"} 0.2
+ubs_minstr_per_sec{run=\"faulty\"} 0
+# HELP ubs_watchdog_trips_total Watchdog trips by kind.
+# TYPE ubs_watchdog_trips_total counter
+ubs_watchdog_trips_total{run=\"faulty\",kind=\"livelock\"} 1
+# HELP ubs_event_lag_seconds Seconds since the run's event log last grew.
+# TYPE ubs_event_lag_seconds gauge
+ubs_event_lag_seconds{run=\"candidate\"} 0.5
+ubs_event_lag_seconds{run=\"faulty\"} 0.25
+# HELP ubs_events_total Event records ingested from the run's event log.
+# TYPE ubs_events_total counter
+ubs_events_total{run=\"candidate\"} 7
+ubs_events_total{run=\"faulty\"} 8
+# HELP ubs_run_finished 1 once the run's event log closed with RunFinished.
+# TYPE ubs_run_finished gauge
+ubs_run_finished{run=\"candidate\"} 1
+ubs_run_finished{run=\"faulty\"} 1
+";
+        assert_eq!(text, expected);
+        let samples = validate_prometheus(&text).unwrap();
+        assert_eq!(samples, 23);
+    }
+
+    #[test]
+    fn exposition_validator_rejects_bad_grammar() {
+        let cases: &[(&str, &str)] = &[
+            ("ubs_cells 1\n", "before its # TYPE"),
+            ("# TYPE ubs_x gauge\nubs_x oops\n", "bad sample value"),
+            ("# TYPE ubs_x wat\n", "unknown type"),
+            ("# TYPE ubs_x gauge\n# TYPE ubs_x gauge\n", "duplicate TYPE"),
+            ("# HELP ubs_x a\n# HELP ubs_x b\n", "duplicate HELP"),
+            ("# TYPE ubs_x gauge\nubs_x{run=\"a} 1\n", "unterminated"),
+            (
+                "# TYPE ubs_x gauge\nubs_x{run=\"a\"} 1\nubs_x{run=\"a\"} 2\n",
+                "duplicate sample",
+            ),
+            (
+                "# TYPE ubs_x gauge\nubs_x{run=\"a\"} 1 two\n",
+                "bad timestamp",
+            ),
+            ("# TYPE 9x gauge\n", "bad metric name"),
+            ("# TYPE ubs_x gauge\nubs_x 1", "end with a newline"),
+        ];
+        for (text, needle) in cases {
+            let err = validate_prometheus(text).unwrap_err();
+            assert!(err.contains(needle), "{text:?}: {err}");
+        }
+        // Escapes, timestamps, and Inf/NaN are all legal.
+        let ok = "# TYPE ubs_x gauge\nubs_x{run=\"a\\\"b\\\\c\\nd\"} +Inf 123\nubs_x NaN\n";
+        assert_eq!(validate_prometheus(ok).unwrap(), 2);
+    }
+
+    #[test]
+    fn api_json_and_dashboard_render_from_state() {
+        let mut state = RunState::new("r1", Path::new("/tmp/r1"));
+        ingest_lifecycle(&mut state, true);
+        let summary = run_summary_json(&state, 1.0);
+        assert_eq!(summary["id"], "r1");
+        assert_eq!(summary["finished"].as_bool(), Some(true));
+        assert_eq!(summary["ok"].as_bool(), Some(false));
+        assert_eq!(summary["cells"]["failed"].as_u64(), Some(1));
+        let detail = run_detail_json(&state, 1.0);
+        assert_eq!(detail["cell_details"][0]["state"], "failed");
+        assert_eq!(detail["trip_feed"][0]["kind"], "livelock");
+
+        let html = render_dashboard(std::slice::from_ref(&state), 1.0);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(!html.contains("<script"), "dashboard must be inert");
+        assert!(html.contains("http-equiv=\"refresh\""));
+        assert!(html.contains("FAILED"));
+        assert!(html.contains("livelock"));
+    }
+
+    #[test]
+    fn routes_resolve_without_sockets() {
+        let mut state = RunState::new("r1", Path::new("/tmp/r1"));
+        ingest_lifecycle(&mut state, false);
+        let fleet = Fleet {
+            runs: Mutex::new(vec![state]),
+            started: Instant::now(),
+        };
+        assert_eq!(respond("/", &fleet).status, "200 OK");
+        let metrics = respond("/metrics", &fleet);
+        assert!(metrics.content_type.starts_with("text/plain"));
+        validate_prometheus(&metrics.body).unwrap();
+        let runs = respond("/api/runs", &fleet);
+        assert_eq!(runs.content_type, "application/json");
+        let v: serde_json::Value = serde_json::from_str(&runs.body).unwrap();
+        assert_eq!(
+            v["schema_version"].as_u64().unwrap() as u32,
+            SERVE_API_SCHEMA_VERSION
+        );
+        assert_eq!(respond("/api/runs/r1", &fleet).status, "200 OK");
+        assert_eq!(respond("/api/runs/nope", &fleet).status, "404 Not Found");
+        assert_eq!(respond("/favicon.ico", &fleet).status, "404 Not Found");
+        assert_eq!(query_param("/events?run=r1&seq=42", "seq"), Some("42"));
+        assert_eq!(query_param("/events", "seq"), None);
+    }
+
+    #[test]
+    fn run_ids_deduplicate_basenames() {
+        let ids = run_ids(&[
+            PathBuf::from("/a/run"),
+            PathBuf::from("/b/run"),
+            PathBuf::from("/c/other"),
+        ]);
+        assert_eq!(ids, vec!["run", "run-2", "other"]);
+    }
+}

@@ -1,0 +1,451 @@
+//! End-to-end live monitoring suite: `repro serve` tailing a real
+//! `--events` run through the actual binary, plus a deterministic
+//! synthetic-producer stall scenario.
+//!
+//! Covers the PR's acceptance criteria: `/metrics` parses as valid
+//! Prometheus exposition with cell counts matching the final manifest,
+//! `/events` SSE delivers every record (dense seq, `CellCompleted`
+//! frames, a terminal `end` frame) promptly, a stalled cell surfaces as
+//! `stalled` in `/api/runs` *before* its watchdog trip is written, and a
+//! run is bit-identical with and without the server attached (the server
+//! is a pure consumer).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+use ubs_experiments::{
+    diff_dirs, validate_prometheus, Effort, EventRecord, EventSink, FaultPlan, NdjsonSink,
+    RunEvent, RunManifest, ServeOptions, Server, SuiteScale,
+};
+
+/// A unique scratch directory under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ubs-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn repro(args: &[&str]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    cmd.args(args).env_remove(FaultPlan::ENV_VAR);
+    cmd
+}
+
+fn path_arg(p: &Path) -> &str {
+    p.to_str().unwrap()
+}
+
+fn start_server(dir: &Path) -> Server {
+    Server::start(&ServeOptions {
+        dirs: vec![dir.to_path_buf()],
+        addr: "127.0.0.1:0".to_string(),
+    })
+    .unwrap()
+}
+
+/// Plain HTTP/1.1 GET; returns (status line, body).
+fn http_get(addr: SocketAddr, target: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut text = String::new();
+    stream.read_to_string(&mut text).unwrap();
+    let status = text.lines().next().unwrap_or("").to_string();
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get_json(addr: SocketAddr, target: &str) -> serde_json::Value {
+    let (status, body) = http_get(addr, target);
+    assert!(status.contains("200"), "{target}: {status}");
+    serde_json::from_str(&body).unwrap()
+}
+
+/// Polls `target` until `pred` accepts the JSON (panics at the deadline).
+fn wait_json(
+    addr: SocketAddr,
+    target: &str,
+    what: &str,
+    pred: impl Fn(&serde_json::Value) -> bool,
+) -> serde_json::Value {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let v = get_json(addr, target);
+        if pred(&v) {
+            return v;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}: {v}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// One parsed SSE frame: (event name, id line if any, data payload).
+#[derive(Debug)]
+struct Frame {
+    event: String,
+    id: Option<u64>,
+    data: String,
+    at: Instant,
+}
+
+/// Reads the `/events` SSE stream until an `end` frame or the deadline.
+fn read_sse(addr: SocketAddr, target: &str, deadline: Duration) -> Vec<Frame> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .unwrap();
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let until = Instant::now() + deadline;
+    let mut raw = Vec::new();
+    let mut frames = Vec::new();
+    let mut consumed = 0usize; // bytes of `raw` already framed
+    let mut saw_headers = false;
+    let mut buf = [0u8; 4096];
+    'read: while Instant::now() < until {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => panic!("SSE read: {e}"),
+        }
+        if !saw_headers {
+            let text = String::from_utf8_lossy(&raw);
+            let Some(pos) = text.find("\r\n\r\n") else {
+                continue;
+            };
+            assert!(
+                text.starts_with("HTTP/1.1 200") && text.contains("text/event-stream"),
+                "bad SSE response head: {}",
+                text.lines().next().unwrap_or("")
+            );
+            consumed = pos + 4;
+            saw_headers = true;
+        }
+        // Frames are separated by a blank line.
+        while let Some(rel) = raw[consumed..].windows(2).position(|w| w == b"\n\n") {
+            let frame = String::from_utf8_lossy(&raw[consumed..consumed + rel]).into_owned();
+            consumed += rel + 2;
+            if frame.starts_with(':') {
+                continue; // keepalive comment
+            }
+            let field = |k: &str| {
+                frame
+                    .lines()
+                    .find_map(|l| l.strip_prefix(k))
+                    .map(|v| v.trim().to_string())
+            };
+            let f = Frame {
+                event: field("event:").unwrap_or_default(),
+                id: field("id:").map(|v| v.parse().unwrap()),
+                data: field("data:").unwrap_or_default(),
+                at: Instant::now(),
+            };
+            let done = f.event == "end";
+            frames.push(f);
+            if done {
+                break 'read;
+            }
+        }
+    }
+    frames
+}
+
+#[test]
+fn serve_tails_a_live_run_end_to_end() {
+    let dir = scratch("live");
+    let events = dir.join("events.ndjson");
+    let run_id = dir.file_name().unwrap().to_str().unwrap().to_string();
+    let server = start_server(&dir);
+    let addr = server.addr();
+
+    // SSE subscriber attached before the run even starts.
+    let sse = std::thread::spawn(move || read_sse(addr, "/events?seq=0", Duration::from_secs(120)));
+
+    let mut child = repro(&[
+        "fig1",
+        "--smoke",
+        "--tiny-suites",
+        "--threads=2",
+        "--json",
+        path_arg(&dir),
+        "--events",
+        path_arg(&events),
+    ])
+    .stdout(Stdio::null())
+    .stderr(Stdio::null())
+    .spawn()
+    .unwrap();
+    let status = child.wait().unwrap();
+    let child_done = Instant::now();
+    assert!(status.success(), "run failed");
+
+    // The API converges on the finished run.
+    let runs = wait_json(addr, "/api/runs", "run to finish", |v| {
+        v["runs"][0]["finished"].as_bool() == Some(true)
+    });
+    assert_eq!(runs["runs"][0]["id"], run_id.as_str());
+    assert_eq!(runs["runs"][0]["ok"].as_bool(), Some(true));
+    assert_eq!(runs["runs"][0]["tail_error"], serde_json::Value::Null);
+
+    // /metrics is valid exposition and its cell counts match the manifest.
+    let manifest = RunManifest::load(&dir).unwrap();
+    let manifest_cells: usize = manifest.experiments.iter().map(|r| r.cells.len()).sum();
+    assert!(manifest_cells > 0);
+    let (status_line, metrics) = http_get(addr, "/metrics");
+    assert!(status_line.contains("200"), "{status_line}");
+    validate_prometheus(&metrics).unwrap();
+    assert!(
+        metrics.contains(&format!(
+            "ubs_cells{{run=\"{run_id}\",state=\"ok\"}} {manifest_cells}"
+        )),
+        "ok-cell count must match the manifest ({manifest_cells}):\n{metrics}"
+    );
+    assert!(metrics.contains(&format!("ubs_run_finished{{run=\"{run_id}\"}} 1")));
+    assert!(!metrics.contains(&format!("ubs_watchdog_trips_total{{run=\"{run_id}\"")));
+
+    // The dashboard renders inert HTML for the same state.
+    let (_, html) = http_get(addr, "/");
+    assert!(html.starts_with("<!DOCTYPE html>"), "{html}");
+    assert!(!html.contains("<script"), "dashboard must stay inert");
+    assert!(html.contains(&run_id));
+
+    // Per-run detail agrees.
+    let detail = get_json(addr, &format!("/api/runs/{run_id}"));
+    assert_eq!(detail["cells"]["ok"].as_u64(), Some(manifest_cells as u64));
+    assert_eq!(detail["cells"]["failed"].as_u64(), Some(0));
+
+    // SSE framing: dense seq from 0, CellCompleted present and delivered
+    // promptly (within poll + tick latency of the run finishing), closed
+    // by an `end` frame.
+    let frames = sse.join().unwrap();
+    assert_eq!(frames.last().map(|f| f.event.as_str()), Some("end"));
+    let records: Vec<&Frame> = frames.iter().filter(|f| f.event == "record").collect();
+    assert!(!records.is_empty());
+    for (i, f) in records.iter().enumerate() {
+        assert_eq!(f.id, Some(i as u64), "seq must be dense from 0");
+        let rec: EventRecord = serde_json::from_str(&f.data).unwrap();
+        assert_eq!(rec.seq, i as u64);
+    }
+    let first_completed = records
+        .iter()
+        .find(|f| f.data.contains("CellCompleted"))
+        .expect("SSE must deliver CellCompleted records");
+    assert!(
+        first_completed.at < child_done + Duration::from_secs(2),
+        "CellCompleted must stream out within one poll interval of the run"
+    );
+    assert!(records.iter().any(|f| f.data.contains("RunFinished")));
+
+    // A `seq` cursor replays only the suffix.
+    let tail = read_sse(
+        addr,
+        &format!("/events?seq={}", records.len() - 1),
+        Duration::from_secs(10),
+    );
+    let tail_records: Vec<&Frame> = tail.iter().filter(|f| f.event == "record").collect();
+    assert_eq!(
+        tail_records.len(),
+        1,
+        "cursor must skip already-seen records"
+    );
+    assert_eq!(tail_records[0].id, Some(records.len() as u64 - 1));
+
+    server.shutdown();
+
+    // Purity: the identical run without a server attached produces
+    // bit-identical results (the server is a pure consumer).
+    let dir2 = scratch("live-noserve");
+    let status = repro(&[
+        "fig1",
+        "--smoke",
+        "--tiny-suites",
+        "--threads=2",
+        "--json",
+        path_arg(&dir2),
+        "--events",
+        path_arg(&dir2.join("events.ndjson")),
+    ])
+    .stdout(Stdio::null())
+    .stderr(Stdio::null())
+    .status()
+    .unwrap();
+    assert!(status.success());
+    let report = diff_dirs(&dir2, &dir, 1.0).unwrap();
+    assert!(
+        report.is_clean(),
+        "run with server attached must be zero-delta:\n{}",
+        report.render()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir2);
+}
+
+#[test]
+fn stalled_cell_surfaces_before_the_watchdog_trip() {
+    let dir = scratch("stall");
+    let run_id = dir.file_name().unwrap().to_str().unwrap().to_string();
+    let server = start_server(&dir);
+    let addr = server.addr();
+
+    // A synthetic producer wedged mid-cell: same sink, same bytes as the
+    // real runner, but the trip line is written when *we* decide — which
+    // makes "stalled surfaces before the trip" deterministic instead of a
+    // race against the simulator.
+    let sink = NdjsonSink::create(&dir.join("events.ndjson")).unwrap();
+    let cell = |kind: u8| -> RunEvent {
+        let (e, w, d) = (
+            "fig1".to_string(),
+            "server_000".to_string(),
+            "ubs".to_string(),
+        );
+        match kind {
+            0 => RunEvent::CellScheduled {
+                experiment: e,
+                workload: w,
+                design: d,
+            },
+            _ => RunEvent::CellStarted {
+                experiment: e,
+                workload: w,
+                design: d,
+            },
+        }
+    };
+    sink.emit(&RunEvent::RunStarted {
+        effort: Effort::Smoke,
+        scale: SuiteScale::tiny(),
+        threads: 1,
+        experiments: vec!["fig1".to_string()],
+        git: None,
+    });
+    sink.emit(&cell(0));
+    sink.emit(&cell(1));
+    // Heartbeats keep pulsing with a flat `committed` — the shape of a
+    // livelock before the in-process watchdog gives up.
+    for i in 0..6u64 {
+        sink.emit(&RunEvent::CellHeartbeat {
+            experiment: "fig1".to_string(),
+            workload: "server_000".to_string(),
+            design: "ubs".to_string(),
+            cycle: 65_536 * (i + 1),
+            committed: 10_000,
+            wall_seconds: 0.1 * (i + 1) as f64,
+        });
+    }
+    sink.flush();
+
+    // The observer flags the cell as stalled with NO trip on record yet.
+    let target = format!("/api/runs/{run_id}");
+    let detail = wait_json(addr, &target, "stalled flag", |v| {
+        // The first polls can land before any events were tailed; the
+        // cell array may still be empty then.
+        v["cell_details"]
+            .as_array()
+            .and_then(|cells| cells.first())
+            .is_some_and(|c| c["stalled"].as_bool() == Some(true))
+    });
+    assert_eq!(detail["cell_details"][0]["state"], "running");
+    assert_eq!(
+        detail["watchdog_trips"].as_u64(),
+        Some(0),
+        "stall must surface before any watchdog trip: {detail}"
+    );
+    assert!(
+        detail["cell_details"][0]["stall"]["flat_beats"].as_u64() >= Some(3),
+        "{detail}"
+    );
+
+    // ... in /metrics too ...
+    let (_, metrics) = http_get(addr, "/metrics");
+    validate_prometheus(&metrics).unwrap();
+    assert!(
+        metrics.contains(&format!(
+            "ubs_cells{{run=\"{run_id}\",state=\"stalled\"}} 1"
+        )),
+        "{metrics}"
+    );
+
+    // ... and as a CellStalled annotation frame on the SSE stream.
+    let sse = std::thread::spawn(move || read_sse(addr, "/events?seq=0", Duration::from_secs(60)));
+
+    // Only now does the producer's watchdog trip and the run wind down.
+    sink.emit(&RunEvent::WatchdogTripped {
+        experiment: "fig1".to_string(),
+        workload: "server_000".to_string(),
+        design: "ubs".to_string(),
+        kind: "livelock".to_string(),
+    });
+    sink.emit(&RunEvent::CellFailed {
+        experiment: "fig1".to_string(),
+        workload: "server_000".to_string(),
+        design: "ubs".to_string(),
+        wall_seconds: 0.8,
+        error: "forward-progress watchdog[livelock]: wedged".to_string(),
+    });
+    sink.emit(&RunEvent::RunFinished {
+        wall_seconds: 1.0,
+        cells_total: 1,
+        cells_failed: 1,
+        ok: false,
+    });
+    sink.flush();
+
+    let detail = wait_json(addr, &target, "run to finish", |v| {
+        v["finished"].as_bool() == Some(true)
+    });
+    assert_eq!(detail["cell_details"][0]["state"], "failed");
+    assert_eq!(detail["cell_details"][0]["stalled"].as_bool(), Some(false));
+    assert_eq!(detail["watchdog_trips"].as_u64(), Some(1));
+    assert_eq!(detail["trip_feed"][0]["kind"], "livelock");
+
+    let frames = sse.join().unwrap();
+    let annotation = frames
+        .iter()
+        .find(|f| f.event == "annotation")
+        .expect("SSE must carry the CellStalled annotation");
+    let rec: EventRecord = serde_json::from_str(&annotation.data).unwrap();
+    match rec.event {
+        RunEvent::CellStalled { flat_beats, .. } => assert!(flat_beats >= 3),
+        other => panic!("expected CellStalled, got {other:?}"),
+    }
+    assert_eq!(frames.last().map(|f| f.event.as_str()), Some("end"));
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_routes_and_runs_return_404() {
+    let dir = scratch("routes");
+    let server = start_server(&dir);
+    let addr = server.addr();
+    let (status, _) = http_get(addr, "/api/runs/nope");
+    assert!(status.contains("404"), "{status}");
+    let (status, _) = http_get(addr, "/favicon.ico");
+    assert!(status.contains("404"), "{status}");
+    // An empty tail still serves a dashboard and valid (empty-run) metrics.
+    let (status, body) = http_get(addr, "/");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("waiting for events") || body.contains("Live fleet"));
+    let (_, metrics) = http_get(addr, "/metrics");
+    validate_prometheus(&metrics).unwrap();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

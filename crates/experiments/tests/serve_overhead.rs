@@ -1,0 +1,109 @@
+//! Release-mode gate on the producer-side cost of live monitoring.
+//!
+//! The `repro serve` stack must be a *pure consumer*: the producing run
+//! pays only for writing `--events` NDJSON lines, and the tailer/server
+//! reading that file concurrently must not slow the producer beyond the
+//! same <2% budget the metrics registry is held to. Ignored by default
+//! (timing is meaningless in debug builds and on noisy machines); CI runs
+//! it explicitly with
+//! `cargo test --release -p ubs-experiments --test serve_overhead -- --ignored`.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use ubs_experiments::{
+    run_by_id_with, Effort, EventSink, NdjsonSink, RunContext, ServeOptions, Server, SuiteScale,
+};
+
+/// Minimum interleaved trials per configuration; the minimum observation
+/// is compared, which discards scheduler noise rather than averaging it in.
+const MIN_TRIALS: usize = 5;
+
+/// Trial budget: extra trials keep tightening *both* minima toward the
+/// true floor, so a genuine >=2% overhead can never pass by retrying
+/// while a sub-2% one stops flaking.
+const MAX_TRIALS: usize = 15;
+
+/// Maximum tolerated producer slowdown with events + server attached (2%).
+const MAX_OVERHEAD: f64 = 1.02;
+
+const ID: &str = "fig1";
+
+fn grid_json(ctx: &RunContext) -> serde_json::Value {
+    run_by_id_with(ID, ctx).expect("grid must complete").json
+}
+
+fn time_grid(ctx: &RunContext) -> Duration {
+    let started = Instant::now();
+    let _ = run_by_id_with(ID, ctx).expect("grid must complete");
+    started.elapsed()
+}
+
+#[test]
+#[ignore = "timing gate; run in release mode via CI"]
+fn serve_overhead_below_two_percent() {
+    // The gate times the *producer*; the consumer stack (tailer poller,
+    // accept loop) must be able to run on spare hardware threads, or
+    // time-sharing charges consumer CPU to producer wall time and the
+    // measurement attributes the wrong thing. Mirrors the bench
+    // host-fingerprint policy: an unable host passes with a note rather
+    // than faking a verdict (CI runs this on >= 4 vCPUs).
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 4 {
+        eprintln!(
+            "serve_overhead: only {cores} hardware thread(s) — the 2-thread producer and \
+             the serve stack cannot run without time-sharing, so producer wall time would \
+             also count consumer CPU; skipping the timing gate on this host."
+        );
+        return;
+    }
+    let dir = std::env::temp_dir().join(format!("ubs-serve-overhead-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let base = RunContext::new(Effort::Quick, SuiteScale::tiny()).with_threads(Some(2));
+
+    // The monitored configuration: NDJSON events streaming to a file that
+    // a live server is tailing the whole time.
+    let sink = NdjsonSink::create(&dir.join("events.ndjson")).unwrap();
+    let server = Server::start(&ServeOptions {
+        dirs: vec![PathBuf::from(&dir)],
+        addr: "127.0.0.1:0".to_string(),
+    })
+    .unwrap();
+    let sink_ref: &dyn EventSink = &sink;
+    let monitored = RunContext::new(Effort::Quick, SuiteScale::tiny())
+        .with_threads(Some(2))
+        .with_events(Some(sink_ref));
+
+    // Warm caches/allocator once per configuration before timing, and
+    // prove the monitored run is bit-exact.
+    let json_off = grid_json(&base);
+    let json_on = grid_json(&monitored);
+    assert_eq!(
+        json_off, json_on,
+        "events + server attachment must be bit-exact"
+    );
+
+    let mut best_off = Duration::MAX;
+    let mut best_on = Duration::MAX;
+    let mut ratio = f64::MAX;
+    // Interleave so drift (thermal, frequency scaling) hits both equally.
+    for trial in 0..MAX_TRIALS {
+        best_off = best_off.min(time_grid(&base));
+        best_on = best_on.min(time_grid(&monitored));
+        ratio = best_on.as_secs_f64() / best_off.as_secs_f64().max(1e-9);
+        if trial + 1 >= MIN_TRIALS && ratio < MAX_OVERHEAD {
+            break;
+        }
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(
+        ratio < MAX_OVERHEAD,
+        "monitored run is {:.1}% slower than bare \
+         (bare: {best_off:?}, monitored: {best_on:?}; gate is {:.0}%)",
+        100.0 * (ratio - 1.0),
+        100.0 * (MAX_OVERHEAD - 1.0)
+    );
+}
