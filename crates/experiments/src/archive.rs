@@ -249,7 +249,11 @@ pub fn write_json_atomic(dir: &Path, file_name: &str, value: &Value) -> io::Resu
 pub fn write_bytes_atomic(dir: &Path, file_name: &str, bytes: &[u8]) -> io::Result<PathBuf> {
     use std::io::Write as _;
     std::fs::create_dir_all(dir)?;
-    let tmp = dir.join(format!("{file_name}.tmp"));
+    // The temp name carries the pid so concurrent writers (sharded
+    // `--worker` processes racing on `journal/meta.json`, or a stale
+    // lease holder finishing a cell its thief is also writing) never
+    // rename each other's half-written file; last rename wins whole.
+    let tmp = dir.join(format!("{file_name}.tmp-{}", std::process::id()));
     let path = dir.join(file_name);
     let mut file = std::fs::File::create(&tmp)?;
     file.write_all(bytes)?;

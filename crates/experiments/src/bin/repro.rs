@@ -9,6 +9,8 @@
 //!                          [--cell-timeout SECS]
 //! repro all [flags]
 //! repro all --resume DIR    re-run only failed/missing cells of a prior run
+//! repro all --json DIR --supervise N [--max-retries=N] [--lease-ttl=SECS]
+//!                           crash-tolerant multi-worker grid execution
 //! repro list
 //! repro diff <baseline-dir> <candidate-dir> [--tol-scale=F]
 //! repro trace <workload> <design> [--effort=NAME] [--out FILE] [--timeline-out FILE]
@@ -34,20 +36,19 @@
 //! Every completed cell is journaled to `DIR/journal/` as it finishes; a
 //! panicking cell becomes a typed failure in the manifest while the rest of
 //! the grid completes. `--resume DIR` replays journaled cells bit-exactly
-//! instead of re-simulating them. Exit codes are a stable contract:
+//! instead of re-simulating them. `--supervise N` splits the grid across N
+//! crash-tolerant worker processes coordinating through journal leases:
+//! dead workers are restarted and their in-flight cells stolen, cells that
+//! fail every retry are quarantined, and the supervisor assembles the final
+//! artifacts from the shared journal. Exit codes are a stable contract:
 //! 0 success, 1 diff regression, 2 usage error, 3 cell failure(s), 4
 //! infrastructure error.
 
-use parking_lot::Mutex;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
 use ubs_experiments::{
-    cli, diff_dirs, outcome_from_report, run_bench, run_by_id_with, run_inspect, run_report,
-    run_serve, run_trace, write_bytes_atomic, write_inspect_index, write_json_atomic, CellJournal,
-    CellProgress, CellTiming, EventSink, ExitCode, ExperimentError, ExperimentRecord, FanoutSink,
-    FaultPlan, GitInfo, JournalMeta, LiveRenderer, NdjsonSink, RunContext, RunEvent, RunManifest,
+    cli, diff_dirs, run_bench, run_experiments, run_inspect, run_report, run_serve, run_supervise,
+    run_trace, run_worker, write_bytes_atomic, write_inspect_index, write_json_atomic, ExitCode,
 };
-use ubs_uarch::Timeline;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -86,308 +87,21 @@ fn main() {
                 ExitCode::Infra
             }
         },
-        Ok(cli::Command::Run(opts)) => run_experiments(&opts),
+        Ok(cli::Command::Run(opts)) => {
+            if let Some(n) = opts.supervise {
+                run_supervise(&opts, n)
+            } else if opts.worker.is_some() {
+                run_worker(&opts)
+            } else {
+                run_experiments(&opts)
+            }
+        }
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::Usage
         }
     };
     std::process::exit(code.code());
-}
-
-fn run_experiments(opts: &cli::RunOptions) -> ExitCode {
-    let run_started = Instant::now();
-    let fault = match FaultPlan::from_env() {
-        Ok(plan) => plan,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::Usage;
-        }
-    };
-    if fault.is_some() {
-        eprintln!(
-            "warning: fault injection active via {} — this run is expected to fail",
-            FaultPlan::ENV_VAR
-        );
-    }
-
-    let journal = match &opts.json_dir {
-        Some(dir) => {
-            let meta = JournalMeta::new(opts.effort, opts.scale, opts.timeline, opts.metrics);
-            let opened = if opts.resume {
-                CellJournal::resume(dir, &meta)
-            } else {
-                CellJournal::fresh(dir, &meta)
-            };
-            match opened {
-                Ok(j) => {
-                    for w in j.warnings() {
-                        eprintln!("warning: {w}");
-                    }
-                    if opts.resume {
-                        eprintln!("[resume: {} journaled cells will be replayed]", j.len());
-                    }
-                    Some(j)
-                }
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::Infra;
-                }
-            }
-        }
-        None => None,
-    };
-
-    // Observability: an NDJSON file sink (`--events PATH`) fanned out with
-    // the stderr renderer — interactive repaints on a terminal, periodic
-    // plain summary lines otherwise (so CI logs show progress between run
-    // start and finish instead of nothing).
-    let ndjson = match &opts.events {
-        Some(path) => match NdjsonSink::create(path) {
-            Ok(sink) => Some(sink),
-            Err(e) => {
-                eprintln!("error: cannot create event log {}: {e}", path.display());
-                return ExitCode::Infra;
-            }
-        },
-        None => None,
-    };
-    let renderer = {
-        let cfg = opts.effort.sim_config();
-        LiveRenderer::for_stderr(cfg.warmup_instrs + cfg.sim_instrs)
-    };
-    let mut sink_refs: Vec<&dyn EventSink> = Vec::new();
-    if let Some(s) = &ndjson {
-        sink_refs.push(s);
-    }
-    sink_refs.push(&renderer);
-    let fanout = FanoutSink::new(sink_refs);
-    let quiet = || renderer.clear_transient();
-
-    let base_ctx = RunContext::new(opts.effort, opts.scale)
-        .with_threads(opts.threads)
-        .with_timeline(opts.timeline)
-        .with_metrics(opts.metrics)
-        .with_journal(journal.as_ref())
-        .with_cell_timeout(opts.cell_timeout)
-        .with_fault(fault.as_ref());
-    let base_ctx = if fanout.is_empty() {
-        base_ctx
-    } else {
-        base_ctx.with_events(Some(&fanout))
-    };
-    let threads = base_ctx.effective_threads();
-
-    if !fanout.is_empty() {
-        fanout.emit(&RunEvent::RunStarted {
-            effort: opts.effort,
-            scale: opts.scale,
-            threads,
-            experiments: opts.ids.clone(),
-            git: GitInfo::detect(),
-        });
-        if opts.resume {
-            if let Some(j) = &journal {
-                fanout.emit(&RunEvent::JournalReplayed { cells: j.len() });
-            }
-        }
-    }
-
-    let mut manifest = RunManifest::new(opts.effort, opts.scale, threads);
-    let mut infra_failed = false;
-
-    for id in &opts.ids {
-        let cells: Mutex<Vec<CellTiming>> = Mutex::new(Vec::new());
-        let timelines: Mutex<Vec<(String, Timeline)>> = Mutex::new(Vec::new());
-        let progress = |p: &CellProgress| {
-            // The renderer (interactive or plain) narrates each cell from
-            // the event stream; the hook only collects timings.
-            cells.lock().push(CellTiming::from(p));
-            if let Some(tl) = &p.timeline {
-                timelines
-                    .lock()
-                    .push((format!("{}__{}", p.workload, p.design), tl.clone()));
-            }
-        };
-        let ctx = base_ctx.with_progress(&progress).with_experiment(id);
-        let started = Instant::now();
-        let outcome = run_by_id_with(id, &ctx);
-        let wall = started.elapsed().as_secs_f64();
-        let mut record = ExperimentRecord::new(id, wall, cells.into_inner());
-        quiet();
-        match outcome {
-            Ok(result) => {
-                println!("================ {id} ================");
-                println!("{}", result.text);
-                eprintln!(
-                    "[{id} completed in {wall:.1}s, {:.2} Minstr/s over {} cells]",
-                    record.minstr_per_sec,
-                    record.cells.len()
-                );
-                if let Some(dir) = &opts.json_dir {
-                    if let Err(e) = write_json_atomic(dir, &format!("{id}.json"), &result.json) {
-                        eprintln!("warning: could not write JSON for {id}: {e}");
-                    }
-                    record.timelines = archive_timelines(dir, id, timelines.into_inner());
-                }
-                manifest.push(record);
-            }
-            Err(ExperimentError::Cells(failures)) => {
-                // The failed cells are already in `record.cells` with their
-                // typed status (the progress hook saw them); archive what
-                // completed so a --resume can pick up from here.
-                eprintln!("error: [{id}] {} cell(s) failed", failures.len());
-                for f in &failures {
-                    eprintln!("  {f}");
-                }
-                if let Some(dir) = &opts.json_dir {
-                    record.timelines = archive_timelines(dir, id, timelines.into_inner());
-                }
-                manifest.push(record);
-            }
-            Err(ExperimentError::Other(e)) => {
-                eprintln!("error: [{id}] {e}");
-                infra_failed = true;
-            }
-        }
-    }
-
-    let failed_cells: Vec<String> = manifest
-        .experiments
-        .iter()
-        .flat_map(|r| r.cells.iter().filter(|c| !c.status.is_ok()))
-        .map(|c| format!("{} × {}", c.workload, c.design))
-        .collect();
-
-    quiet();
-    if let Some(dir) = &opts.json_dir {
-        match manifest.write_atomic(dir) {
-            Ok(path) => eprintln!(
-                "[manifest: {} — {} experiments, {:.1}s wall, {:.2} Minstr/s aggregate]",
-                path.display(),
-                manifest.experiments.len(),
-                manifest.total_wall_seconds(),
-                manifest.overall_minstr_per_sec()
-            ),
-            Err(e) => {
-                eprintln!("error: could not write run manifest: {e}");
-                infra_failed = true;
-            }
-        }
-    }
-
-    // With `--metrics --json`, render every journaled cell's cache-internals
-    // page (no re-simulation — the journal already holds the full reports)
-    // and an index linking them all.
-    if opts.metrics && !infra_failed {
-        if let (Some(dir), Some(j)) = (&opts.json_dir, journal.as_ref()) {
-            write_inspect_pages(dir, j, opts.effort.label());
-        }
-    }
-
-    let code = if infra_failed {
-        ExitCode::Infra
-    } else if failed_cells.is_empty() {
-        ExitCode::Success
-    } else {
-        eprintln!("{} cell(s) failed:", failed_cells.len());
-        for cell in &failed_cells {
-            eprintln!("  {cell}");
-        }
-        if let Some(dir) = &opts.json_dir {
-            eprintln!(
-                "completed cells are journaled; rerun with `--resume {}` to retry only \
-                 the failures",
-                dir.display()
-            );
-        }
-        ExitCode::CellFailure
-    };
-
-    if !fanout.is_empty() {
-        let cells_total: usize = manifest.experiments.iter().map(|r| r.cells.len()).sum();
-        fanout.emit(&RunEvent::RunFinished {
-            wall_seconds: run_started.elapsed().as_secs_f64(),
-            cells_total,
-            cells_failed: failed_cells.len(),
-            ok: code == ExitCode::Success,
-        });
-        fanout.flush();
-        if let Some(sink) = &ndjson {
-            eprintln!("[events: {}]", sink.path().display());
-        }
-    }
-    code
-}
-
-/// Renders `DIR/inspect/<workload>__<design>/` pages for every journaled
-/// cell that carries a metrics payload, plus the `index.html` linking them.
-/// Failures degrade to warnings — inspect artifacts never fail the run.
-fn write_inspect_pages(dir: &Path, journal: &CellJournal, effort_label: &str) {
-    let mut pages = 0usize;
-    for entry in journal.entries() {
-        if entry.report.cache_metrics.is_none() {
-            continue;
-        }
-        match outcome_from_report(entry.report, effort_label) {
-            Ok(outcome) => {
-                let cell_dir = dir.join("inspect").join(&outcome.id);
-                let json_ok = match write_json_atomic(&cell_dir, "metrics.json", &outcome.json) {
-                    Ok(_) => true,
-                    Err(e) => {
-                        eprintln!(
-                            "warning: could not write metrics.json for {}: {e}",
-                            outcome.id
-                        );
-                        false
-                    }
-                };
-                match write_bytes_atomic(&cell_dir, "inspect.html", outcome.html.as_bytes()) {
-                    Ok(_) => {
-                        if json_ok {
-                            pages += 1;
-                        }
-                    }
-                    Err(e) => {
-                        eprintln!(
-                            "warning: could not write inspect.html for {}: {e}",
-                            outcome.id
-                        )
-                    }
-                }
-            }
-            Err(e) => eprintln!("warning: {e}"),
-        }
-    }
-    if pages > 0 {
-        match write_inspect_index(dir) {
-            Ok(path) => eprintln!("[inspect: {pages} cell pages, index at {}]", path.display()),
-            Err(e) => eprintln!("warning: could not write inspect index: {e}"),
-        }
-    }
-}
-
-/// Writes each cell's timeline under `dir/timelines/<id>/` and returns the
-/// archived paths (relative to `dir`, sorted for a deterministic manifest).
-fn archive_timelines(dir: &Path, id: &str, timelines: Vec<(String, Timeline)>) -> Vec<String> {
-    let mut paths = Vec::new();
-    let tl_dir = dir.join("timelines").join(id);
-    for (key, tl) in timelines {
-        let value = match serde_json::to_value(&tl) {
-            Ok(v) => v,
-            Err(e) => {
-                eprintln!("warning: could not serialize timeline for {key}: {e}");
-                continue;
-            }
-        };
-        let file = format!("{key}.json");
-        match write_json_atomic(&tl_dir, &file, &value) {
-            Ok(_) => paths.push(format!("timelines/{id}/{file}")),
-            Err(e) => eprintln!("warning: could not write timeline for {key}: {e}"),
-        }
-    }
-    paths.sort();
-    paths
 }
 
 fn run_trace_cmd(opts: &cli::TraceOptions) -> ExitCode {
@@ -556,6 +270,21 @@ fn print_usage() {
          \x20            start/heartbeat/completion, watchdog trips, resume\n\
          \x20            replays) as NDJSON to PATH; a live progress line is\n\
          \x20            rendered on stderr whenever stderr is a terminal\n\
+         --supervise N  fork N crash-tolerant shard workers over the grid:\n\
+         \x20            dead workers are restarted, their cells' leases\n\
+         \x20            stolen by survivors, and the results assembled from\n\
+         \x20            the shared journal (requires --json)\n\
+         --worker       run as one cooperative shard worker: claim cells via\n\
+         \x20            journal leases, relay events on stdout (requires\n\
+         \x20            --json; normally spawned by --supervise)\n\
+         --worker-id NAME\n\
+         \x20            worker id for --worker (default: w<pid>)\n\
+         --max-retries N\n\
+         \x20            re-simulation attempts after a sharded cell's first\n\
+         \x20            failure before quarantining it (default 2)\n\
+         --lease-ttl SECS\n\
+         \x20            heartbeat age after which a sharded cell's lease is\n\
+         \x20            stealable (default 30)\n\
          \n\
          exit codes: 0 success, 1 diff regression, 2 usage error,\n\
          \x20           3 cell failure(s) (rerun with --resume), 4 infra error",

@@ -39,6 +39,19 @@ pub struct RunOptions {
     pub cell_timeout: Option<f64>,
     /// Stream lifecycle events as NDJSON to this file (`--events PATH`).
     pub events: Option<PathBuf>,
+    /// Run as a cooperative shard worker with this worker id (`--worker` /
+    /// `--worker-id NAME`): claim cells via journal leases, relay events on
+    /// stdout, and write only the shared journal (requires `--json`).
+    pub worker: Option<String>,
+    /// Fork and babysit N shard workers (`--supervise N`): restart dead
+    /// ones, then assemble results from the journal (requires `--json`).
+    pub supervise: Option<usize>,
+    /// Re-simulation attempts after a sharded cell's first failure before
+    /// it is quarantined (`--max-retries N`).
+    pub max_retries: u32,
+    /// Seconds without a lease heartbeat before a sharded cell's lease is
+    /// considered stale and stealable (`--lease-ttl SECS`).
+    pub lease_ttl: f64,
 }
 
 /// Process exit codes shared by every `repro` subcommand.
@@ -445,6 +458,11 @@ fn parse_run(args: &[String]) -> Result<Command, String> {
     let mut metrics = false;
     let mut cell_timeout: Option<f64> = None;
     let mut events: Option<PathBuf> = None;
+    let mut worker_flag = false;
+    let mut worker_id: Option<String> = None;
+    let mut supervise: Option<usize> = None;
+    let mut max_retries: Option<u32> = None;
+    let mut lease_ttl: Option<f64> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut want_all = false;
 
@@ -497,6 +515,32 @@ fn parse_run(args: &[String]) -> Result<Command, String> {
                 .filter(|t| t.is_finite() && *t > 0.0)
                 .ok_or_else(|| format!("--cell-timeout expects a positive number, got `{v}`"))?;
             cell_timeout = Some(secs);
+        } else if let Some(v) = flag_value(arg, "--worker-id", &mut it) {
+            worker_id = Some(v?.to_string());
+        } else if let Some(v) = flag_value(arg, "--supervise", &mut it) {
+            let v = v?;
+            let n = v
+                .parse::<usize>()
+                .ok()
+                .filter(|n| *n >= 1)
+                .ok_or_else(|| format!("--supervise expects an integer >= 1, got `{v}`"))?;
+            supervise = Some(n);
+        } else if let Some(v) = flag_value(arg, "--max-retries", &mut it) {
+            let v = v?;
+            let n = v
+                .parse::<u32>()
+                .map_err(|_| format!("--max-retries expects a non-negative integer, got `{v}`"))?;
+            max_retries = Some(n);
+        } else if let Some(v) = flag_value(arg, "--lease-ttl", &mut it) {
+            let v = v?;
+            let secs = v
+                .parse::<f64>()
+                .ok()
+                .filter(|t| t.is_finite() && *t > 0.0)
+                .ok_or_else(|| format!("--lease-ttl expects a positive number, got `{v}`"))?;
+            lease_ttl = Some(secs);
+        } else if arg == "--worker" {
+            worker_flag = true;
         } else if arg == "--timeline" {
             timeline = true;
         } else if arg == "--metrics" {
@@ -557,6 +601,32 @@ fn parse_run(args: &[String]) -> Result<Command, String> {
         return Err("--timeline requires --json <dir> (timelines are archived there)".to_string());
     }
 
+    let worker = if worker_flag || worker_id.is_some() {
+        Some(worker_id.unwrap_or_else(|| format!("w{}", std::process::id())))
+    } else {
+        None
+    };
+    if worker.is_some() && supervise.is_some() {
+        return Err(
+            "--worker and --supervise are mutually exclusive (the supervisor forks its own \
+             workers)"
+                .to_string(),
+        );
+    }
+    if (worker.is_some() || supervise.is_some()) && json_dir.is_none() {
+        return Err(
+            "--worker/--supervise require --json <dir> (workers coordinate through the cell \
+             journal there)"
+                .to_string(),
+        );
+    }
+    if worker.is_some() && events.is_some() {
+        return Err(
+            "--worker streams events on stdout for the supervisor; --events is supervisor-side"
+                .to_string(),
+        );
+    }
+
     Ok(Command::Run(RunOptions {
         ids,
         effort: effort.unwrap_or(Effort::Default),
@@ -568,6 +638,10 @@ fn parse_run(args: &[String]) -> Result<Command, String> {
         resume,
         cell_timeout,
         events,
+        worker,
+        supervise,
+        max_retries: max_retries.unwrap_or(crate::shard::DEFAULT_MAX_RETRIES),
+        lease_ttl: lease_ttl.unwrap_or(crate::shard::DEFAULT_LEASE_TTL_SECS),
     }))
 }
 
@@ -804,6 +878,88 @@ mod tests {
         assert!(parse(&args(&["serve", "out", "--weird"]))
             .unwrap_err()
             .contains("unknown flag for serve"));
+    }
+
+    #[test]
+    fn worker_and_supervise_flags() {
+        let Command::Run(o) = parse(&args(&[
+            "fig10",
+            "--json=out",
+            "--worker",
+            "--worker-id=w7",
+            "--max-retries=1",
+            "--lease-ttl=5.5",
+        ]))
+        .unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(o.worker.as_deref(), Some("w7"));
+        assert_eq!(o.supervise, None);
+        assert_eq!(o.max_retries, 1);
+        assert!((o.lease_ttl - 5.5).abs() < 1e-12);
+
+        // --worker-id alone implies --worker; bare --worker derives an id
+        // from the pid.
+        let Command::Run(o) = parse(&args(&["fig10", "--json=out", "--worker-id", "a"])).unwrap()
+        else {
+            panic!("expected Run");
+        };
+        assert_eq!(o.worker.as_deref(), Some("a"));
+        let Command::Run(o) = parse(&args(&["fig10", "--json=out", "--worker"])).unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(
+            o.worker,
+            Some(format!("w{}", std::process::id())),
+            "bare --worker derives a pid-based id"
+        );
+
+        let Command::Run(o) = parse(&args(&["fig10", "--json=out", "--supervise=3"])).unwrap()
+        else {
+            panic!("expected Run");
+        };
+        assert_eq!(o.supervise, Some(3));
+        assert_eq!(o.worker, None);
+        assert_eq!(o.max_retries, crate::shard::DEFAULT_MAX_RETRIES);
+        assert!((o.lease_ttl - crate::shard::DEFAULT_LEASE_TTL_SECS).abs() < 1e-12);
+
+        // Defaults on a plain run.
+        let Command::Run(o) = parse(&args(&["fig10"])).unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(o.worker, None);
+        assert_eq!(o.supervise, None);
+
+        // Validation: both need --json, they conflict with each other, and
+        // a worker may not open its own events file.
+        assert!(parse(&args(&["fig10", "--worker"]))
+            .unwrap_err()
+            .contains("require --json"));
+        assert!(parse(&args(&["fig10", "--supervise=2"]))
+            .unwrap_err()
+            .contains("require --json"));
+        assert!(
+            parse(&args(&["fig10", "--json=out", "--worker", "--supervise=2"]))
+                .unwrap_err()
+                .contains("mutually exclusive")
+        );
+        assert!(parse(&args(&[
+            "fig10",
+            "--json=out",
+            "--worker",
+            "--events=e.ndjson"
+        ]))
+        .unwrap_err()
+        .contains("--worker streams events on stdout"));
+        assert!(parse(&args(&["fig10", "--json=out", "--supervise=0"]))
+            .unwrap_err()
+            .contains("--supervise"));
+        assert!(parse(&args(&["fig10", "--json=out", "--lease-ttl=0"]))
+            .unwrap_err()
+            .contains("--lease-ttl"));
+        assert!(parse(&args(&["fig10", "--json=out", "--max-retries=-1"]))
+            .unwrap_err()
+            .contains("--max-retries"));
     }
 
     #[test]

@@ -15,6 +15,15 @@
 //! timeline/metrics capture). A resume against a journal recorded under
 //! different conditions is refused rather than silently mixing
 //! incompatible results.
+//!
+//! Sharded multi-worker runs (see [`crate::shard`]) treat this same
+//! directory as the shared source of truth: workers open it with
+//! [`CellJournal::worker`] (never wiping, replaying like a resume),
+//! re-check sibling progress straight from disk with
+//! [`CellJournal::load_cell`], and quarantine cells that fail every retry
+//! into `DIR/journal/poison/` ([`PoisonRecord`]). Lease files live in
+//! `DIR/journal/leases/`; both subdirectories are wiped with the rest by
+//! a fresh (non-resume) open.
 
 use crate::archive::{write_json_atomic, SCHEMA_VERSION};
 use crate::obs::GitInfo;
@@ -98,6 +107,35 @@ pub struct JournalEntry {
     pub report: SimReport,
 }
 
+/// One failed simulation attempt of a quarantined cell.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoisonAttempt {
+    /// The contained panic message.
+    pub error: String,
+    /// Captured backtrace of the panic, when one was available.
+    pub backtrace: String,
+}
+
+/// A quarantined cell: it failed every retry attempt, and the grid
+/// finished without it. Written to `journal/poison/<cell>.json` so later
+/// workers and resumes skip the cell instead of re-dying on it, and so
+/// `repro report` can show the typed failures.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoisonRecord {
+    /// Workload display name.
+    pub workload: String,
+    /// RNG seed of the synthetic workload (stale-record guard).
+    pub workload_seed: u64,
+    /// Design display name.
+    pub design: String,
+    /// Sharded-run worker id that gave up on the cell (absent outside
+    /// sharded runs).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub worker: Option<String>,
+    /// Every attempt's failure, in order.
+    pub attempts: Vec<PoisonAttempt>,
+}
+
 /// The on-disk cell journal backing `--json` / `--resume`.
 ///
 /// Shared by reference across runner worker threads; `record` may be
@@ -107,6 +145,7 @@ pub struct CellJournal {
     dir: PathBuf,
     resume: bool,
     entries: Mutex<HashMap<String, JournalEntry>>,
+    poison: Mutex<HashMap<String, PoisonRecord>>,
     warnings: Vec<String>,
 }
 
@@ -115,6 +154,11 @@ impl CellJournal {
     pub const DIR_NAME: &'static str = "journal";
     /// Run-conditions file inside the journal directory.
     pub const META_FILE: &'static str = "meta.json";
+    /// Quarantine directory name inside the journal directory.
+    pub const POISON_DIR: &'static str = "poison";
+    /// Lease directory name inside the journal directory (owned by
+    /// [`crate::shard`]; named here so `fresh` wipes it with the rest).
+    pub const LEASE_DIR: &'static str = "leases";
 
     /// Starts a fresh journal under `json_dir`, discarding any previous
     /// one (a run without `--resume` must not replay stale cells).
@@ -128,7 +172,7 @@ impl CellJournal {
             std::fs::remove_dir_all(&dir)
                 .map_err(|e| format!("could not clear journal {}: {e}", dir.display()))?;
         }
-        Self::create(dir, meta, false, HashMap::new(), Vec::new())
+        Self::create(dir, meta, false, HashMap::new(), HashMap::new(), Vec::new())
     }
 
     /// Reopens the journal under `json_dir`, loading every intact entry so
@@ -142,16 +186,35 @@ impl CellJournal {
     pub fn resume(json_dir: &Path, meta: &JournalMeta) -> Result<Self, String> {
         let dir = json_dir.join(Self::DIR_NAME);
         if !dir.exists() {
-            return Self::create(dir, meta, true, HashMap::new(), Vec::new());
+            return Self::create(dir, meta, true, HashMap::new(), HashMap::new(), Vec::new());
         }
 
         let meta_path = dir.join(Self::META_FILE);
-        let recorded: JournalMeta = std::fs::read_to_string(&meta_path)
+        let recorded: JournalMeta = match std::fs::read_to_string(&meta_path)
             .map_err(|e| format!("could not read {}: {e}", meta_path.display()))
             .and_then(|body| {
                 serde_json::from_str(&body)
                     .map_err(|e| format!("corrupt journal meta {}: {e}", meta_path.display()))
-            })?;
+            }) {
+            Ok(m) => m,
+            Err(why) => {
+                // A zero-length or torn meta.json means the run conditions
+                // of the existing entries are unknowable: discard them and
+                // start over rather than refusing the resume outright.
+                std::fs::remove_dir_all(&dir)
+                    .map_err(|e| format!("could not clear journal {}: {e}", dir.display()))?;
+                return Self::create(
+                    dir,
+                    meta,
+                    true,
+                    HashMap::new(),
+                    HashMap::new(),
+                    vec![format!(
+                        "{why}; discarding the journal and re-simulating every cell"
+                    )],
+                );
+            }
+        };
         if let Some(why) = recorded.incompatibility(meta) {
             return Err(format!(
                 "journal {} was recorded under different run conditions ({why}); \
@@ -205,7 +268,109 @@ impl CellJournal {
                 )),
             }
         }
-        Self::create(dir, meta, true, entries, warnings)
+        let poison = Self::load_poison(&dir, &mut warnings);
+        Self::create(dir, meta, true, entries, poison, warnings)
+    }
+
+    /// Opens the journal under `json_dir` for cooperative multi-worker
+    /// use: never wipes existing entries (other workers may be recording
+    /// into the same directory), loads every intact entry and poison
+    /// record, and replays journaled cells like a resume. A missing
+    /// journal is created; concurrent creation is harmless (`meta.json`
+    /// lands via atomic rename, and every worker writes the same
+    /// conditions). A corrupt `meta.json` is rewritten with a warning —
+    /// unlike [`resume`](CellJournal::resume), entries are *not* wiped,
+    /// because sibling workers may be mid-write; entries are individually
+    /// guarded by their parse and workload seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the offending path on I/O failure or on a
+    /// run-conditions mismatch against an intact recorded meta.
+    pub fn worker(json_dir: &Path, meta: &JournalMeta) -> Result<Self, String> {
+        let dir = json_dir.join(Self::DIR_NAME);
+        let meta_path = dir.join(Self::META_FILE);
+        let mut warnings = Vec::new();
+        match std::fs::read_to_string(&meta_path) {
+            Ok(body) => match serde_json::from_str::<JournalMeta>(&body) {
+                Ok(recorded) => {
+                    if let Some(why) = recorded.incompatibility(meta) {
+                        return Err(format!(
+                            "journal {} was recorded under different run conditions ({why})",
+                            dir.display()
+                        ));
+                    }
+                }
+                Err(e) => warnings.push(format!(
+                    "corrupt journal meta {} ({e}); rewriting it",
+                    meta_path.display()
+                )),
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                return Err(format!("could not read {}: {e}", meta_path.display()));
+            }
+        }
+
+        let mut entries = HashMap::new();
+        if let Ok(listing) = std::fs::read_dir(&dir) {
+            let mut paths: Vec<PathBuf> = listing
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.extension().is_some_and(|x| x == "json")
+                        && p.file_name().is_some_and(|f| f != Self::META_FILE)
+                })
+                .collect();
+            paths.sort();
+            for path in paths {
+                if let Ok(entry) = std::fs::read_to_string(&path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|body| {
+                        serde_json::from_str::<JournalEntry>(&body).map_err(|e| e.to_string())
+                    })
+                {
+                    entries.insert(cell_key(&entry.workload, &entry.design), entry);
+                }
+                // Unreadable entries are expected here — a sibling worker
+                // may be mid-rename — so they are not even worth a
+                // warning; the cell is simply not replayed from memory.
+            }
+        }
+        let poison = Self::load_poison(&dir, &mut warnings);
+        Self::create(dir, meta, true, entries, poison, warnings)
+    }
+
+    /// Loads `journal/poison/*.json`, warning (not failing) on records
+    /// that do not parse.
+    fn load_poison(dir: &Path, warnings: &mut Vec<String>) -> HashMap<String, PoisonRecord> {
+        let mut poison = HashMap::new();
+        let poison_dir = dir.join(Self::POISON_DIR);
+        let Ok(listing) = std::fs::read_dir(&poison_dir) else {
+            return poison;
+        };
+        let mut paths: Vec<PathBuf> = listing
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            match std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|body| {
+                    serde_json::from_str::<PoisonRecord>(&body).map_err(|e| e.to_string())
+                }) {
+                Ok(record) => {
+                    poison.insert(cell_key(&record.workload, &record.design), record);
+                }
+                Err(e) => warnings.push(format!(
+                    "poison record {} is unreadable ({e}); its cell may be re-attempted",
+                    path.display()
+                )),
+            }
+        }
+        poison
     }
 
     fn create(
@@ -213,6 +378,7 @@ impl CellJournal {
         meta: &JournalMeta,
         resume: bool,
         entries: HashMap<String, JournalEntry>,
+        poison: HashMap<String, PoisonRecord>,
         warnings: Vec<String>,
     ) -> Result<Self, String> {
         let meta_value = serde_json::to_value(meta)
@@ -227,6 +393,7 @@ impl CellJournal {
             dir,
             resume,
             entries: Mutex::new(entries),
+            poison: Mutex::new(poison),
             warnings,
         })
     }
@@ -280,6 +447,75 @@ impl CellJournal {
             .cloned()
     }
 
+    /// Re-reads one cell straight from disk, bypassing the in-memory map
+    /// — how a sharded worker sees cells that *sibling* processes
+    /// journaled after this journal was opened. A matching entry is
+    /// cached in memory for later `cached`/`entries` calls. Answers
+    /// `None` for missing, torn, or seed-mismatched entries (and always
+    /// in non-resume journals, which never replay).
+    pub fn load_cell(&self, workload: &str, seed: u64, design: &str) -> Option<JournalEntry> {
+        if !self.resume {
+            return None;
+        }
+        if let Some(hit) = self.cached(workload, seed, design) {
+            return Some(hit);
+        }
+        let key = cell_key(workload, design);
+        let body = std::fs::read_to_string(self.dir.join(format!("{key}.json"))).ok()?;
+        let entry: JournalEntry = serde_json::from_str(&body).ok()?;
+        if entry.workload_seed != seed || entry.workload != workload || entry.design != design {
+            return None;
+        }
+        self.entries.lock().insert(key, entry.clone());
+        Some(entry)
+    }
+
+    /// The poison record for a cell, if it was quarantined (by this
+    /// process or a sibling worker; the store is loaded at open and
+    /// updated by `quarantine`). Seed-mismatched records are stale and
+    /// ignored.
+    pub fn poisoned(&self, workload: &str, seed: u64, design: &str) -> Option<PoisonRecord> {
+        self.poison
+            .lock()
+            .get(&cell_key(workload, design))
+            .filter(|r| r.workload_seed == seed)
+            .cloned()
+    }
+
+    /// Number of quarantined cells known to this journal.
+    pub fn poison_count(&self) -> usize {
+        self.poison.lock().len()
+    }
+
+    /// A snapshot of every poison record, sorted by cell key.
+    pub fn poison_records(&self) -> Vec<PoisonRecord> {
+        let map = self.poison.lock();
+        let mut keys: Vec<&String> = map.keys().collect();
+        keys.sort();
+        keys.iter().map(|k| map[*k].clone()).collect()
+    }
+
+    /// Quarantines a cell that failed every attempt: writes the typed
+    /// failures to `journal/poison/<cell>.json` (atomically, like every
+    /// other journal write) so sibling workers and later resumes skip the
+    /// cell instead of re-dying on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the offending path on I/O failure. Callers
+    /// should degrade to a warning — a lost poison record costs at most a
+    /// re-attempt.
+    pub fn quarantine(&self, record: PoisonRecord) -> Result<PathBuf, String> {
+        let key = cell_key(&record.workload, &record.design);
+        let value = serde_json::to_value(&record)
+            .map_err(|e| format!("could not serialize poison record {key}: {e}"))?;
+        let poison_dir = self.dir.join(Self::POISON_DIR);
+        let path = write_json_atomic(&poison_dir, &format!("{key}.json"), &value)
+            .map_err(|e| format!("could not write poison record for {key}: {e}"))?;
+        self.poison.lock().insert(key, record);
+        Ok(path)
+    }
+
     /// Journals one completed cell, atomically (fsync'd temp file, then
     /// rename) so an interrupted run never leaves a partial entry.
     ///
@@ -303,8 +539,9 @@ impl CellJournal {
     }
 }
 
-/// The journal file stem for a cell.
-fn cell_key(workload: &str, design: &str) -> String {
+/// The journal file stem for a cell — also the lease key the shard layer
+/// claims cells by.
+pub(crate) fn cell_key(workload: &str, design: &str) -> String {
     format!("{workload}__{design}")
 }
 
@@ -436,6 +673,129 @@ mod tests {
         assert_eq!(snapshot.len(), 2);
         assert_eq!(snapshot[0].design, "conv-32k");
         assert_eq!(snapshot[1].design, "zz-last");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_length_meta_degrades_to_a_fresh_resume() {
+        let dir = temp_dir("zero-meta");
+        let entry = sample_entry();
+        let seed = entry.workload_seed;
+        let journal = CellJournal::fresh(&dir, &meta()).unwrap();
+        journal.record(entry).unwrap();
+        let meta_path = dir.join(CellJournal::DIR_NAME).join(CellJournal::META_FILE);
+        std::fs::write(&meta_path, b"").unwrap();
+
+        // The run conditions of the entries are unknowable: resume
+        // degrades to a warned fresh start instead of a hard error.
+        let resumed = CellJournal::resume(&dir, &meta()).unwrap();
+        assert_eq!(resumed.warnings().len(), 1, "{:?}", resumed.warnings());
+        assert!(resumed.warnings()[0].contains("re-simulating"));
+        assert!(resumed.cached("client_000", seed, "conv-32k").is_none());
+        assert!(resumed.is_resume() && resumed.is_empty());
+        // The rewritten meta makes the next resume normal again.
+        let again = CellJournal::resume(&dir, &meta()).unwrap();
+        assert!(again.warnings().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn worker_open_shares_entries_without_wiping() {
+        let dir = temp_dir("worker-open");
+        let entry = sample_entry();
+        let seed = entry.workload_seed;
+        let journal = CellJournal::fresh(&dir, &meta()).unwrap();
+        journal.record(entry.clone()).unwrap();
+        drop(journal);
+
+        // Two workers open the same journal; both see the entry, and
+        // neither wiped it.
+        let a = CellJournal::worker(&dir, &meta()).unwrap();
+        let b = CellJournal::worker(&dir, &meta()).unwrap();
+        assert!(a.cached("client_000", seed, "conv-32k").is_some());
+        assert!(b.cached("client_000", seed, "conv-32k").is_some());
+
+        // A records a new cell; B sees it via the disk probe only.
+        let mut second = entry.clone();
+        second.design = "ubs".into();
+        a.record(second).unwrap();
+        assert!(b.cached("client_000", seed, "ubs").is_none());
+        let loaded = b.load_cell("client_000", seed, "ubs").unwrap();
+        assert_eq!(loaded.design, "ubs");
+        // …and the probe caches it for later in-memory lookups.
+        assert!(b.cached("client_000", seed, "ubs").is_some());
+        // Seed mismatches never replay.
+        assert!(b.load_cell("client_000", seed + 1, "ubs").is_none());
+
+        // Incompatible conditions are still refused.
+        let other = JournalMeta::new(Effort::Quick, SuiteScale::bench(), false, false);
+        assert!(CellJournal::worker(&dir, &other).is_err());
+        // A corrupt meta degrades to a warning without dropping entries.
+        let meta_path = dir.join(CellJournal::DIR_NAME).join(CellJournal::META_FILE);
+        std::fs::write(&meta_path, b"{torn").unwrap();
+        let c = CellJournal::worker(&dir, &meta()).unwrap();
+        assert!(!c.warnings().is_empty());
+        assert!(c.cached("client_000", seed, "conv-32k").is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_round_trips_and_survives_reopen() {
+        let dir = temp_dir("poison");
+        let journal = CellJournal::fresh(&dir, &meta()).unwrap();
+        assert_eq!(journal.poison_count(), 0);
+        let record = PoisonRecord {
+            workload: "client_000".into(),
+            workload_seed: 7,
+            design: "conv-32k".into(),
+            worker: Some("w1".into()),
+            attempts: vec![
+                PoisonAttempt {
+                    error: "injected fault".into(),
+                    backtrace: "bt0".into(),
+                },
+                PoisonAttempt {
+                    error: "injected fault".into(),
+                    backtrace: "bt1".into(),
+                },
+            ],
+        };
+        journal.quarantine(record.clone()).unwrap();
+        assert_eq!(journal.poison_count(), 1);
+        assert_eq!(
+            journal.poisoned("client_000", 7, "conv-32k"),
+            Some(record.clone())
+        );
+        // Stale seed: not poisoned.
+        assert!(journal.poisoned("client_000", 8, "conv-32k").is_none());
+
+        // Both resume and worker opens reload the store from disk.
+        let resumed = CellJournal::resume(&dir, &meta()).unwrap();
+        assert_eq!(resumed.poisoned("client_000", 7, "conv-32k"), Some(record));
+        assert_eq!(resumed.poison_records().len(), 1);
+        let worker = CellJournal::worker(&dir, &meta()).unwrap();
+        assert_eq!(worker.poison_count(), 1);
+
+        // A corrupt poison record degrades to a warning.
+        let poison_path = dir
+            .join(CellJournal::DIR_NAME)
+            .join(CellJournal::POISON_DIR)
+            .join("client_000__conv-32k.json");
+        crate::fault::truncate_file(&poison_path, 10).unwrap();
+        let reopened = CellJournal::resume(&dir, &meta()).unwrap();
+        assert_eq!(reopened.poison_count(), 0);
+        assert!(reopened
+            .warnings()
+            .iter()
+            .any(|w| w.contains("poison record")));
+
+        // And a fresh open wipes the quarantine with the rest.
+        let fresh = CellJournal::fresh(&dir, &meta()).unwrap();
+        assert_eq!(fresh.poison_count(), 0);
+        assert!(!dir
+            .join(CellJournal::DIR_NAME)
+            .join(CellJournal::POISON_DIR)
+            .exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

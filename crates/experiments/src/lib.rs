@@ -25,8 +25,13 @@
 //! reported as a typed [`CellFailure`] while the rest of the grid completes.
 //! `repro all --json DIR` journals each completed cell ([`CellJournal`]),
 //! and `--resume DIR` replays journaled cells without re-simulating them.
-//! A [`FaultPlan`] (or the `UBS_FAULT` environment variable) injects panics
-//! and simulator livelocks for testing every recovery path.
+//! `--supervise N` (see [`shard`]) splits the grid across N crash-tolerant
+//! worker processes coordinating through lease files in the journal: a dead
+//! worker's cells are stolen by survivors, cells that fail every retry are
+//! quarantined under `journal/poison/`, and the supervisor assembles the
+//! final artifacts from the shared journal. A [`FaultPlan`] (or the
+//! `UBS_FAULT` environment variable) injects panics and simulator livelocks
+//! for testing every recovery path.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -42,8 +47,10 @@ pub mod journal;
 pub mod obs;
 mod render;
 mod reportcmd;
+mod runcmd;
 mod runner;
 pub mod serve;
+pub mod shard;
 mod suitescale;
 mod tracecmd;
 
@@ -60,20 +67,26 @@ pub use designs::DesignSpec;
 pub use fault::{corrupt_file, truncate_file, FaultPlan, StallFault, StallingIcache};
 pub use figures::{all_ids, run_by_id, run_by_id_with, ExperimentError, ExperimentResult};
 pub use inspectcmd::{outcome_from_report, run_inspect, write_inspect_index, InspectOutcome};
-pub use journal::{CellJournal, JournalEntry, JournalMeta};
+pub use journal::{CellJournal, JournalEntry, JournalMeta, PoisonAttempt, PoisonRecord};
 pub use obs::{
     load_event_log, validate_event_log, EventLogStats, EventLogTailer, EventRecord, EventSink,
     FanoutSink, GitInfo, LiveRenderer, NdjsonSink, RenderMode, RunEvent, EVENT_SCHEMA_VERSION,
     HEARTBEAT_GAP_FACTOR, PLAIN_INTERVAL_SECS,
 };
 pub use reportcmd::run_report;
+pub use runcmd::{run_experiments, GridOutcome};
 pub use runner::{
     run_matrix, Cell, CellFailure, CellProgress, CellStatus, Effort, GridError, ProgressHook,
     RunContext, RunGrid,
 };
 pub use serve::{
     run_serve, validate_prometheus, CellPhase, CellView, FleetGauges, RunGauges, RunState, Server,
-    StalenessMonitor, Stall, TripNote, SERVE_API_SCHEMA_VERSION,
+    StalenessMonitor, Stall, TripNote, WorkerView, SERVE_API_SCHEMA_VERSION,
+};
+pub use shard::{
+    install_shutdown_handlers, run_supervise, run_worker, shutdown_requested, Claim, LeaseGuard,
+    LeaseInfo, LeaseManager, ShardHandle, StdoutRelaySink, DEFAULT_LEASE_TTL_SECS,
+    DEFAULT_MAX_RETRIES, LEASE_USURPED_MARKER, SHUTDOWN_PANIC_MARKER,
 };
 pub use suitescale::SuiteScale;
 pub use tracecmd::{design_by_name, parse_workload, run_trace, TraceOutcome};

@@ -44,8 +44,13 @@ use std::time::Instant;
 /// Version of the event schema written by this build.
 ///
 /// History: v1 introduced the envelope (`v`, `seq`, `elapsed_s`, `event`)
-/// and the run/cell/watchdog lifecycle events.
-pub const EVENT_SCHEMA_VERSION: u32 = 1;
+/// and the run/cell/watchdog lifecycle events. v2 added the multi-worker
+/// vocabulary — `WorkerStarted`/`WorkerDied`/`LeaseStolen`/
+/// `CellQuarantined` plus the optional `worker` attribution on
+/// `CellStarted`/`CellCompleted`/`CellFailed`. Consumers accept every
+/// version up to their own: a v1 log is a valid v2 log with no worker
+/// events.
+pub const EVENT_SCHEMA_VERSION: u32 = 2;
 
 /// The build a run artifact came from: commit SHA plus a dirty flag.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -132,6 +137,10 @@ pub enum RunEvent {
         workload: String,
         /// Design display name.
         design: String,
+        /// Sharded-run worker id holding the cell's lease (absent in
+        /// single-process runs).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        worker: Option<String>,
     },
     /// The forward-progress watchdog is armed for an experiment's grid
     /// (one event per grid; the config is uniform across its cells).
@@ -186,6 +195,10 @@ pub enum RunEvent {
         instructions: u64,
         /// Simulated-instruction throughput in Minstr/s.
         minstr_per_sec: f64,
+        /// Sharded-run worker id that completed the cell (absent in
+        /// single-process runs).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        worker: Option<String>,
     },
     /// The watchdog ended a cell (emitted just before its `CellFailed`).
     WatchdogTripped {
@@ -209,6 +222,66 @@ pub enum RunEvent {
         /// Wall-clock seconds until the failure.
         wall_seconds: f64,
         /// The contained panic message.
+        error: String,
+        /// Sharded-run worker id that attempted the cell (absent in
+        /// single-process runs).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        worker: Option<String>,
+    },
+    /// A sharded-run worker process came up (emitted by the supervisor,
+    /// or by a standalone `--worker` as its first event).
+    WorkerStarted {
+        /// Worker id (`w1`, `w2`, … under `--supervise`; `w<pid>` for a
+        /// standalone worker).
+        worker: String,
+        /// OS process id of the worker.
+        pid: u32,
+    },
+    /// A sharded-run worker process died (SIGKILL, panic, OOM) or exited.
+    WorkerDied {
+        /// Worker id.
+        worker: String,
+        /// OS process id the worker had.
+        pid: u32,
+        /// Exit code when the process exited normally; `None` when it was
+        /// killed by a signal.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        exit: Option<i32>,
+        /// True when the supervisor will restart the slot.
+        restarting: bool,
+    },
+    /// A worker stole the lease of a cell whose holder stopped
+    /// heartbeating (dead pid or TTL expiry). The thief re-simulates the
+    /// cell; a following `CellStarted` carries the thief's worker id.
+    LeaseStolen {
+        /// Experiment id the cell belongs to.
+        experiment: String,
+        /// Workload display name.
+        workload: String,
+        /// Design display name.
+        design: String,
+        /// Worker id that held the expired lease.
+        from_worker: String,
+        /// Worker id that took it over.
+        by_worker: String,
+    },
+    /// A cell failed every retry attempt and was quarantined into
+    /// `journal/poison/` so the rest of the grid could finish (emitted
+    /// just after the cell's final `CellFailed`).
+    CellQuarantined {
+        /// Experiment id the cell belongs to.
+        experiment: String,
+        /// Workload display name.
+        workload: String,
+        /// Design display name.
+        design: String,
+        /// Worker id that quarantined the cell (absent outside sharded
+        /// runs).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        worker: Option<String>,
+        /// Simulation attempts made before giving up.
+        attempts: u32,
+        /// The final attempt's panic message.
         error: String,
     },
     /// Consumer-side annotation: an observer (such as `repro serve`'s
@@ -256,6 +329,19 @@ impl RunEvent {
                 experiment,
                 workload,
                 design,
+                ..
+            }
+            | RunEvent::LeaseStolen {
+                experiment,
+                workload,
+                design,
+                ..
+            }
+            | RunEvent::CellQuarantined {
+                experiment,
+                workload,
+                design,
+                ..
             }
             | RunEvent::CellHeartbeat {
                 experiment,
@@ -470,6 +556,14 @@ pub struct EventLogStats {
     pub resumed: usize,
     /// `WatchdogTripped` events.
     pub watchdog_trips: usize,
+    /// `LeaseStolen` events.
+    pub lease_steals: usize,
+    /// `CellQuarantined` events.
+    pub quarantined: usize,
+    /// `WorkerStarted` events.
+    pub workers_started: usize,
+    /// `WorkerDied` events.
+    pub workers_died: usize,
     /// True when the log ends with a `RunFinished` event (a killed run's
     /// log is valid but unfinished).
     pub finished: bool,
@@ -488,14 +582,19 @@ pub struct EventLogStats {
 /// Validates an NDJSON event log against the schema and the lifecycle
 /// ordering invariants:
 ///
-/// - every line parses as an [`EventRecord`] at [`EVENT_SCHEMA_VERSION`];
+/// - every line parses as an [`EventRecord`] at a schema version this
+///   build understands (1 through [`EVENT_SCHEMA_VERSION`]);
 /// - sequence numbers start at 0 and increase strictly;
 /// - `elapsed_s` never decreases (the envelope clock is monotone);
 /// - the first event is `RunStarted`;
 /// - every `CellCompleted`/`CellFailed` is preceded by a matching
 ///   `CellStarted`, every `CellStarted`/`CellResumed` by a matching
-///   `CellScheduled`, and every `CellHeartbeat` by a still-running
-///   `CellStarted`.
+///   `CellScheduled` (or an intervening `LeaseStolen` re-claim), and
+///   every `CellHeartbeat` by a still-running `CellStarted`;
+/// - worker attribution is coherent: no `CellCompleted`/`CellFailed`
+///   from a worker whose lease on that cell was stolen without an
+///   intervening re-claim (`CellStarted` by that worker), and no
+///   `WorkerDied` for a worker that never appeared in `WorkerStarted`.
 ///
 /// An empty log is valid (a run killed before its first write). A log
 /// without `RunFinished` is valid but reported as unfinished. A final
@@ -520,9 +619,14 @@ pub fn validate_event_log(text: &str) -> Result<EventLogStats, String> {
         started: usize,
         terminal: usize, // completed + failed
         resumed: usize,
+        // Steal re-claims: each LeaseStolen licenses one more CellStarted.
+        reopened: usize,
+        // Worker currently holding the cell's lease, per the log.
+        holder: Option<String>,
         beat_times: Vec<f64>,
     }
     let mut cells: BTreeMap<String, CellCounts> = BTreeMap::new();
+    let mut workers_seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
     let mut last_was_finish = false;
     let lines: Vec<&str> = text.lines().collect();
     let last_idx = lines.len().saturating_sub(1);
@@ -544,9 +648,9 @@ pub fn validate_event_log(text: &str) -> Result<EventLogStats, String> {
             }
             Err(e) => return Err(format!("line {lineno}: not a valid event record: {e}")),
         };
-        if record.v != EVENT_SCHEMA_VERSION {
+        if record.v == 0 || record.v > EVENT_SCHEMA_VERSION {
             return Err(format!(
-                "line {lineno}: schema v{} (this build understands v{EVENT_SCHEMA_VERSION})",
+                "line {lineno}: schema v{} (this build understands v1..v{EVENT_SCHEMA_VERSION})",
                 record.v
             ));
         }
@@ -577,15 +681,16 @@ pub fn validate_event_log(text: &str) -> Result<EventLogStats, String> {
                 c.scheduled += 1;
                 stats.scheduled += 1;
             }
-            (RunEvent::CellStarted { .. }, Some(c)) => {
-                if c.started + c.resumed >= c.scheduled {
+            (RunEvent::CellStarted { worker, .. }, Some(c)) => {
+                if c.started + c.resumed >= c.scheduled + c.reopened {
                     return Err(format!("line {lineno}: CellStarted without CellScheduled"));
                 }
                 c.started += 1;
+                c.holder = worker.clone();
                 stats.started += 1;
             }
             (RunEvent::CellResumed { .. }, Some(c)) => {
-                if c.started + c.resumed >= c.scheduled {
+                if c.started + c.resumed >= c.scheduled + c.reopened {
                     return Err(format!("line {lineno}: CellResumed without CellScheduled"));
                 }
                 c.resumed += 1;
@@ -600,19 +705,55 @@ pub fn validate_event_log(text: &str) -> Result<EventLogStats, String> {
                 c.beat_times.push(record.elapsed_s);
                 stats.heartbeats += 1;
             }
-            (RunEvent::CellCompleted { .. }, Some(c)) => {
+            (RunEvent::CellCompleted { worker, .. }, Some(c)) => {
                 if c.started <= c.terminal {
                     return Err(format!("line {lineno}: CellCompleted without CellStarted"));
+                }
+                if let (Some(w), Some(h)) = (worker.as_ref(), c.holder.as_ref()) {
+                    if w != h {
+                        return Err(format!(
+                            "line {lineno}: CellCompleted from worker {w}, whose lease was \
+                             stolen by {h} without an intervening re-claim"
+                        ));
+                    }
                 }
                 c.terminal += 1;
                 stats.completed += 1;
             }
-            (RunEvent::CellFailed { .. }, Some(c)) => {
+            (RunEvent::CellFailed { worker, .. }, Some(c)) => {
                 if c.started <= c.terminal {
                     return Err(format!("line {lineno}: CellFailed without CellStarted"));
                 }
+                if let (Some(w), Some(h)) = (worker.as_ref(), c.holder.as_ref()) {
+                    if w != h {
+                        return Err(format!(
+                            "line {lineno}: CellFailed from worker {w}, whose lease was \
+                             stolen by {h} without an intervening re-claim"
+                        ));
+                    }
+                }
                 c.terminal += 1;
                 stats.failed += 1;
+            }
+            (RunEvent::LeaseStolen { by_worker, .. }, Some(c)) => {
+                c.holder = Some(by_worker.clone());
+                c.reopened += 1;
+                stats.lease_steals += 1;
+            }
+            (RunEvent::CellQuarantined { .. }, Some(_)) => {
+                stats.quarantined += 1;
+            }
+            (RunEvent::WorkerStarted { worker, .. }, _) => {
+                workers_seen.insert(worker.clone());
+                stats.workers_started += 1;
+            }
+            (RunEvent::WorkerDied { worker, .. }, _) => {
+                if !workers_seen.contains(worker) {
+                    return Err(format!(
+                        "line {lineno}: WorkerDied for worker {worker} with no WorkerStarted"
+                    ));
+                }
+                stats.workers_died += 1;
             }
             (RunEvent::WatchdogTripped { .. }, Some(c)) => {
                 if c.started <= c.terminal {
@@ -680,13 +821,16 @@ pub fn load_event_log(path: &Path) -> Result<(Vec<EventRecord>, EventLogStats), 
 /// offset and returns the newly *completed* records: a partial final line
 /// — a producer caught mid-`write` — stays in the file unconsumed until
 /// its terminating newline lands, so the tailer never parses a torn line.
-/// A shrinking file (the run directory was recreated) resets the tailer
-/// to offset 0. The tailer is a pure consumer: it only ever opens the log
-/// read-only and never blocks the producer.
+/// A shrinking file (the run directory was recreated, or the log was
+/// truncated/rotated) resets the tailer to offset 0 and raises the
+/// [`take_reset`](EventLogTailer::take_reset) flag so observers can warn
+/// instead of silently tailing garbage. The tailer is a pure consumer: it
+/// only ever opens the log read-only and never blocks the producer.
 #[derive(Debug)]
 pub struct EventLogTailer {
     path: PathBuf,
     offset: u64,
+    reset: bool,
 }
 
 impl EventLogTailer {
@@ -701,6 +845,7 @@ impl EventLogTailer {
         EventLogTailer {
             path: path.to_path_buf(),
             offset,
+            reset: false,
         }
     }
 
@@ -714,6 +859,15 @@ impl EventLogTailer {
     /// across observer restarts.
     pub fn offset(&self) -> u64 {
         self.offset
+    }
+
+    /// True once (consuming the flag) when a poll since the last call saw
+    /// the file shrink below the consumed offset — a truncated or rotated
+    /// log. Everything previously folded from this tailer describes a file
+    /// that no longer exists; observers should discard that state and
+    /// surface a "tailer reset" warning.
+    pub fn take_reset(&mut self) -> bool {
+        std::mem::take(&mut self.reset)
     }
 
     /// Reads newly completed lines and parses them into records.
@@ -738,8 +892,10 @@ impl EventLogTailer {
             .map_err(|e| format!("cannot stat {}: {e}", self.path.display()))?
             .len();
         if len < self.offset {
-            // Truncated/recreated log: start over.
+            // Truncated/recreated log: start over and flag the rotation so
+            // observers drop state folded from the old incarnation.
             self.offset = 0;
+            self.reset = true;
         }
         if len == self.offset {
             return Ok(Vec::new());
@@ -1097,6 +1253,7 @@ mod tests {
                 experiment: e,
                 workload: w,
                 design: d,
+                worker: None,
             },
             "beat" => RunEvent::CellHeartbeat {
                 experiment: e,
@@ -1113,6 +1270,7 @@ mod tests {
                 wall_seconds: 1.0,
                 instructions: 400_000,
                 minstr_per_sec: 0.4,
+                worker: None,
             },
             "fail" => RunEvent::CellFailed {
                 experiment: e,
@@ -1120,8 +1278,31 @@ mod tests {
                 design: d,
                 wall_seconds: 1.0,
                 error: "forward-progress watchdog[livelock]: wedged".into(),
+                worker: None,
             },
             other => panic!("unknown kind {other}"),
+        }
+    }
+
+    /// Like [`cell_event`] but stamped with a worker id (sharded runs).
+    fn worker_cell_event(kind: &str, worker: &str) -> RunEvent {
+        let mut event = cell_event(kind, 0);
+        match &mut event {
+            RunEvent::CellStarted { worker: w, .. }
+            | RunEvent::CellCompleted { worker: w, .. }
+            | RunEvent::CellFailed { worker: w, .. } => *w = Some(worker.to_string()),
+            other => panic!("not worker-attributable: {other:?}"),
+        }
+        event
+    }
+
+    fn stolen(from: &str, by: &str) -> RunEvent {
+        RunEvent::LeaseStolen {
+            experiment: "fig10".into(),
+            workload: "server_000".into(),
+            design: "ubs".into(),
+            from_worker: from.into(),
+            by_worker: by.into(),
         }
     }
 
@@ -1175,6 +1356,26 @@ mod tests {
                 kind: "livelock".into(),
             },
             cell_event("fail", 0),
+            RunEvent::WorkerStarted {
+                worker: "w1".into(),
+                pid: 4242,
+            },
+            RunEvent::WorkerDied {
+                worker: "w1".into(),
+                pid: 4242,
+                exit: None,
+                restarting: true,
+            },
+            stolen("w1", "w2"),
+            RunEvent::CellQuarantined {
+                experiment: "fig10".into(),
+                workload: "server_000".into(),
+                design: "ubs".into(),
+                worker: Some("w2".into()),
+                attempts: 3,
+                error: "injected fault".into(),
+            },
+            worker_cell_event("done", "w2"),
             RunEvent::RunFinished {
                 wall_seconds: 12.5,
                 cells_total: 2,
@@ -1283,6 +1484,119 @@ mod tests {
         ]);
         let err = validate_event_log(&text).unwrap_err();
         assert!(err.contains("CellFailed without CellStarted"), "{err}");
+    }
+
+    #[test]
+    fn lease_and_worker_ordering_is_validated() {
+        // A clean steal: w1 starts, dies, w2 steals (the LeaseStolen
+        // re-claim licenses its CellStarted) and finishes the cell.
+        let good = log_of(&[
+            started(),
+            RunEvent::WorkerStarted {
+                worker: "w1".into(),
+                pid: 1,
+            },
+            RunEvent::WorkerStarted {
+                worker: "w2".into(),
+                pid: 2,
+            },
+            cell_event("sched", 0),
+            worker_cell_event("start", "w1"),
+            RunEvent::WorkerDied {
+                worker: "w1".into(),
+                pid: 1,
+                exit: None,
+                restarting: true,
+            },
+            stolen("w1", "w2"),
+            worker_cell_event("start", "w2"),
+            worker_cell_event("done", "w2"),
+        ]);
+        let stats = validate_event_log(&good).unwrap();
+        assert_eq!(stats.lease_steals, 1);
+        assert_eq!(stats.workers_started, 2);
+        assert_eq!(stats.workers_died, 1);
+        assert_eq!(stats.started, 2);
+        assert_eq!(stats.completed, 1);
+
+        // A completion from the usurped worker — no intervening re-claim —
+        // is the split-brain signature and must be rejected.
+        let split_brain = log_of(&[
+            started(),
+            cell_event("sched", 0),
+            worker_cell_event("start", "w1"),
+            stolen("w1", "w2"),
+            worker_cell_event("done", "w1"),
+        ]);
+        let err = validate_event_log(&split_brain).unwrap_err();
+        assert!(err.contains("stolen"), "{err}");
+
+        // CellFailed has the same attribution rule.
+        let split_fail = log_of(&[
+            started(),
+            cell_event("sched", 0),
+            worker_cell_event("start", "w1"),
+            stolen("w1", "w2"),
+            worker_cell_event("fail", "w1"),
+        ]);
+        let err = validate_event_log(&split_fail).unwrap_err();
+        assert!(err.contains("stolen"), "{err}");
+
+        // A steal does not license unlimited starts: only one re-claim.
+        let double_start = log_of(&[
+            started(),
+            cell_event("sched", 0),
+            worker_cell_event("start", "w1"),
+            stolen("w1", "w2"),
+            worker_cell_event("start", "w2"),
+            worker_cell_event("start", "w2"),
+        ]);
+        let err = validate_event_log(&double_start).unwrap_err();
+        assert!(err.contains("CellStarted without CellScheduled"), "{err}");
+
+        // WorkerDied must name a worker that started.
+        let ghost = log_of(&[
+            started(),
+            RunEvent::WorkerDied {
+                worker: "w9".into(),
+                pid: 9,
+                exit: Some(0),
+                restarting: false,
+            },
+        ]);
+        let err = validate_event_log(&ghost).unwrap_err();
+        assert!(err.contains("no WorkerStarted"), "{err}");
+    }
+
+    #[test]
+    fn quarantine_events_are_counted() {
+        let text = log_of(&[
+            started(),
+            cell_event("sched", 0),
+            worker_cell_event("start", "w1"),
+            worker_cell_event("fail", "w1"),
+            RunEvent::CellQuarantined {
+                experiment: "fig10".into(),
+                workload: "server_000".into(),
+                design: "ubs".into(),
+                worker: Some("w1".into()),
+                attempts: 3,
+                error: "injected fault".into(),
+            },
+        ]);
+        let stats = validate_event_log(&text).unwrap();
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.failed, 1);
+    }
+
+    #[test]
+    fn v1_logs_are_still_accepted() {
+        // A pre-worker-era log (no worker events, envelope v:1) must keep
+        // validating under the v2 build.
+        let good = log_of(&[started(), cell_event("sched", 0), cell_event("start", 0)]);
+        let v1 = good.replace(&format!("\"v\":{EVENT_SCHEMA_VERSION}"), "\"v\":1");
+        let stats = validate_event_log(&v1).unwrap();
+        assert_eq!(stats.started, 1);
     }
 
     #[test]
@@ -1483,11 +1797,15 @@ mod tests {
         drop(sigkilled);
         assert_eq!(resumed.poll().unwrap(), vec![]);
 
-        // Recreated (shrunk) log: the tailer resets to the start.
+        // Recreated (shrunk) log: the tailer resets to the start and
+        // raises the (consumed-once) rotation flag.
+        assert!(!resumed.take_reset(), "no reset before the shrink");
         std::fs::write(&path, format!("{}\n", lines[0])).unwrap();
         let got = resumed.poll().unwrap();
         assert_eq!(got.len(), 1);
         assert!(matches!(got[0].event, RunEvent::RunStarted { .. }));
+        assert!(resumed.take_reset(), "shrink must raise the reset flag");
+        assert!(!resumed.take_reset(), "take_reset consumes the flag");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

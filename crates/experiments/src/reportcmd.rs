@@ -3,14 +3,15 @@
 //! Takes any number of results directories (each a `--json DIR` from a
 //! `repro` run: manifest, journal, optional `events.ndjson`) and
 //! aggregates them into one self-contained `report.html` — a per-cell
-//! status grid with failure/resume badges, wall-time and Minstr/s
-//! sparklines across runs, watchdog-trip and resume counts — plus a
+//! status grid with failure/resume/quarantine badges, wall-time and
+//! Minstr/s sparklines across runs, watchdog-trip, lease-steal, worker
+//! and quarantine counts — plus a
 //! `report.json` for machines. Like the inspect pages, the HTML is inert:
 //! inline CSS and SVG only, no scripts, opens anywhere.
 
 use crate::archive::{write_bytes_atomic, write_json_atomic, RunManifest};
 use crate::cli::ReportOptions;
-use crate::journal::CellJournal;
+use crate::journal::{CellJournal, PoisonRecord};
 use crate::obs::{load_event_log, EventLogStats, RunEvent};
 use crate::render::{badge_titled, esc, page_open, sparkline};
 use serde_json::json;
@@ -20,8 +21,10 @@ use std::path::{Path, PathBuf};
 
 /// Version of the `report.json` schema written by this build.
 ///
-/// History: v1 introduced the report (`runs` + `cells` + `warnings`).
-pub const REPORT_SCHEMA_VERSION: u32 = 1;
+/// History: v1 introduced the report (`runs` + `cells` + `warnings`);
+/// v2 added sharded-run fields (per-run `poison` records, event-log
+/// `lease_steals`/`quarantined`/`workers_started`/`workers_died`).
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
 
 /// One aggregated run.
 struct RunSummary {
@@ -34,6 +37,46 @@ struct RunSummary {
     events: Option<EventLogStats>,
     /// Watchdog trips per cell key, from the event log.
     trips: BTreeMap<String, usize>,
+    /// Quarantined cells read from `journal/poison/`, sorted by cell key.
+    poison: Vec<PoisonRecord>,
+}
+
+impl RunSummary {
+    /// Whether `workload__design` (the short cell key) is quarantined.
+    fn is_poisoned(&self, short_key: &str) -> bool {
+        self.poison
+            .iter()
+            .any(|r| format!("{}__{}", r.workload, r.design) == short_key)
+    }
+}
+
+/// Reads `dir/journal/poison/*.json` (missing directory → empty),
+/// pushing a warning for each record that does not parse.
+fn load_poison_records(journal_dir: &Path, warnings: &mut Vec<String>) -> Vec<PoisonRecord> {
+    let poison_dir = journal_dir.join(CellJournal::POISON_DIR);
+    let Ok(listing) = std::fs::read_dir(&poison_dir) else {
+        return Vec::new();
+    };
+    let mut paths: Vec<PathBuf> = listing
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    let mut records = Vec::new();
+    for path in paths {
+        match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|body| serde_json::from_str::<PoisonRecord>(&body).map_err(|e| e.to_string()))
+        {
+            Ok(record) => records.push(record),
+            Err(e) => warnings.push(format!(
+                "poison record {} is unreadable ({e})",
+                path.display()
+            )),
+        }
+    }
+    records
 }
 
 /// Outcome of one cell in one run, for the status grid.
@@ -108,12 +151,14 @@ fn load_run(dir: &Path, warnings: &mut Vec<String>) -> Result<RunSummary, String
             Err(e) => warnings.push(format!("event log ignored: {e}")),
         }
     }
+    let poison = load_poison_records(&journal_dir, warnings);
     Ok(RunSummary {
         label: dir.display().to_string(),
         manifest,
         journaled,
         events,
         trips,
+        poison,
     })
 }
 
@@ -145,6 +190,7 @@ fn render_html(runs: &[RunSummary], warnings: &[String]) -> String {
     out.push_str(
         "<h2>Runs</h2>\n<table><tr><th>run</th><th>git</th><th>effort</th><th>threads</th>\
          <th>cells</th><th>failed</th><th>resumed</th><th>journaled</th><th>trips</th>\
+         <th>steals</th><th>poison</th><th>workers</th>\
          <th>heartbeats</th><th>wall (s)</th><th>Minstr/s</th><th>events</th></tr>\n",
     );
     for run in runs {
@@ -164,17 +210,21 @@ fn render_html(runs: &[RunSummary], warnings: &[String]) -> String {
             .map(|g| format!("{}{}", g.short(), if g.dirty { "+dirty" } else { "" }))
             .unwrap_or_else(|| "—".into());
         let trips: usize = run.trips.values().sum();
-        let (heartbeats, events) = match &run.events {
+        let (heartbeats, steals, workers, events) = match &run.events {
             Some(s) => (
                 s.heartbeats.to_string(),
+                s.lease_steals.to_string(),
+                s.workers_started.to_string(),
                 if s.finished { "complete" } else { "truncated" }.to_string(),
             ),
-            None => ("—".into(), "—".into()),
+            None => ("—".into(), "—".into(), "—".into(), "—".into()),
         };
+        let poison = run.poison.len();
         writeln!(
             out,
             "<tr><td class=\"id\">{}</td><td class=\"id\">{}</td><td>{}</td><td>{}</td>\
              <td>{}</td><td>{failed}</td><td>{resumed}</td><td>{}</td><td>{trips}</td>\
+             <td>{steals}</td><td>{poison}</td><td>{workers}</td>\
              <td>{heartbeats}</td><td>{:.2}</td><td>{:.2}</td><td>{events}</td></tr>",
             esc(&run.label),
             esc(&git),
@@ -228,10 +278,15 @@ fn render_html(runs: &[RunSummary], warnings: &[String]) -> String {
     out.push_str("<th>trips</th></tr>\n");
     for key in keys {
         write!(out, "<tr><td class=\"id\">{}</td>", esc(key)).unwrap();
+        let short = key.split('/').next_back().unwrap_or(key).to_string();
         for (run, cells) in runs.iter().zip(&per_run) {
             match cells.get(key) {
                 Some((outcome, wall)) => {
-                    let (label, color) = outcome.badge();
+                    let (label, color) = if run.is_poisoned(&short) {
+                        ("quarantined", "#a2c")
+                    } else {
+                        outcome.badge()
+                    };
                     write!(
                         out,
                         "<td>{}</td>",
@@ -244,11 +299,7 @@ fn render_html(runs: &[RunSummary], warnings: &[String]) -> String {
         }
         // Watchdog trips for this cell, summed across runs (event key is
         // `workload × design`; the grid key carries the experiment too).
-        let short = key
-            .split('/')
-            .next_back()
-            .unwrap_or(key)
-            .replace("__", " × ");
+        let short = short.replace("__", " × ");
         let trips: usize = runs.iter().filter_map(|r| r.trips.get(&short)).sum();
         writeln!(
             out,
@@ -262,6 +313,32 @@ fn render_html(runs: &[RunSummary], warnings: &[String]) -> String {
         .unwrap();
     }
     out.push_str("</table>\n");
+
+    // Quarantined cells, with the error each attempt died on.
+    if runs.iter().any(|r| !r.poison.is_empty()) {
+        out.push_str(
+            "<h2>Quarantined cells</h2>\n<table><tr><th>run</th><th>cell</th>\
+             <th>worker</th><th>attempts</th><th>last error</th></tr>\n",
+        );
+        for run in runs {
+            for rec in &run.poison {
+                let last = rec.attempts.last().map(|a| a.error.as_str()).unwrap_or("—");
+                writeln!(
+                    out,
+                    "<tr><td class=\"id\">{}</td><td class=\"id\">{}__{}</td>\
+                     <td>{}</td><td>{}</td><td>{}</td></tr>",
+                    esc(&run.label),
+                    esc(&rec.workload),
+                    esc(&rec.design),
+                    esc(rec.worker.as_deref().unwrap_or("—")),
+                    rec.attempts.len(),
+                    esc(last),
+                )
+                .unwrap();
+            }
+        }
+        out.push_str("</table>\n");
+    }
 
     if !warnings.is_empty() {
         out.push_str("<h2>Warnings</h2>\n<ul>\n");
@@ -297,6 +374,13 @@ fn report_json(runs: &[RunSummary], warnings: &[String]) -> serde_json::Value {
                 "minstr_per_sec": run.manifest.overall_minstr_per_sec(),
                 "journaled_cells": run.journaled,
                 "watchdog_trips": run.trips,
+                "poison": run.poison.iter().map(|rec| json!({
+                    "workload": rec.workload,
+                    "design": rec.design,
+                    "worker": rec.worker,
+                    "attempts": rec.attempts.len(),
+                    "last_error": rec.attempts.last().map(|a| a.error.clone()),
+                })).collect::<Vec<_>>(),
                 "events": run.events.as_ref().map(|s| json!({
                     "events": s.events,
                     "heartbeats": s.heartbeats,
@@ -305,6 +389,10 @@ fn report_json(runs: &[RunSummary], warnings: &[String]) -> serde_json::Value {
                     "failed": s.failed,
                     "resumed": s.resumed,
                     "watchdog_trips": s.watchdog_trips,
+                    "lease_steals": s.lease_steals,
+                    "quarantined": s.quarantined,
+                    "workers_started": s.workers_started,
+                    "workers_died": s.workers_died,
                     "finished": s.finished,
                 })),
                 "cells": serde_json::Value::Object(cells_json),
@@ -422,7 +510,7 @@ mod tests {
         let json: serde_json::Value =
             serde_json::from_str(&std::fs::read_to_string(out.join("report.json")).unwrap())
                 .unwrap();
-        assert_eq!(json["schema_version"].as_u64().unwrap(), 1);
+        assert_eq!(json["schema_version"].as_u64().unwrap(), 2);
         assert_eq!(json["runs"].as_array().unwrap().len(), 2);
         assert_eq!(
             json["runs"][1]["cells"]["fig10/server_000__ubs"]["outcome"],
@@ -436,6 +524,63 @@ mod tests {
             json["runs"][0]["cells"]["fig10/server_000__conv-32k"]["outcome"],
             "resumed"
         );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn quarantined_cells_surface_in_report() {
+        use crate::journal::{PoisonAttempt, PoisonRecord};
+        let root = temp("poison");
+        let dir = root.join("run");
+        write_run(&dir, true);
+        let poison_dir = dir
+            .join(CellJournal::DIR_NAME)
+            .join(CellJournal::POISON_DIR);
+        std::fs::create_dir_all(&poison_dir).unwrap();
+        let rec = PoisonRecord {
+            workload: "server_000".into(),
+            workload_seed: 1,
+            design: "ubs".into(),
+            worker: Some("w1".into()),
+            attempts: vec![
+                PoisonAttempt {
+                    error: "boom 1".into(),
+                    backtrace: String::new(),
+                },
+                PoisonAttempt {
+                    error: "boom 2".into(),
+                    backtrace: String::new(),
+                },
+            ],
+        };
+        std::fs::write(
+            poison_dir.join("server_000__ubs.json"),
+            serde_json::to_string_pretty(&serde_json::to_value(&rec).unwrap()).unwrap(),
+        )
+        .unwrap();
+        // A second, unreadable record degrades to a warning.
+        std::fs::write(poison_dir.join("bad.json"), "{not json").unwrap();
+
+        let html_path = run_report(&ReportOptions {
+            dirs: vec![dir],
+            out: None,
+        })
+        .unwrap();
+        let html = std::fs::read_to_string(&html_path).unwrap();
+        assert!(html.contains("Quarantined cells"));
+        assert!(html.contains("quarantined"), "grid badge");
+        assert!(html.contains("boom 2"), "last error shown");
+        assert!(html.contains("poison record"), "unreadable record warned");
+
+        let json: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(html_path.with_file_name("report.json")).unwrap(),
+        )
+        .unwrap();
+        let poison = json["runs"][0]["poison"].as_array().unwrap();
+        assert_eq!(poison.len(), 1);
+        assert_eq!(poison[0]["worker"], "w1");
+        assert_eq!(poison[0]["attempts"].as_u64(), Some(2));
+        assert_eq!(poison[0]["last_error"], "boom 2");
         let _ = std::fs::remove_dir_all(&root);
     }
 

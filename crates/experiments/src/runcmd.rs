@@ -1,0 +1,377 @@
+//! The `repro <ids>` run command: grid execution, result/manifest
+//! archiving, and inspect-page rendering.
+//!
+//! Lives in the library (rather than the `repro` binary) so the shard
+//! supervisor ([`crate::shard::run_supervise`]) can reuse [`execute_grid`]
+//! as its assembly pass: after the worker fleet populates the journal, the
+//! same per-experiment loop replays every cell through the ordinary resume
+//! path and writes `{id}.json`, the manifest, and inspect pages — which is
+//! exactly why a sharded run diffs bit-exact against a single-process one.
+
+use crate::archive::{
+    write_bytes_atomic, write_json_atomic, CellTiming, ExperimentRecord, RunManifest,
+};
+use crate::cli::{ExitCode, RunOptions};
+use crate::fault::FaultPlan;
+use crate::figures::{run_by_id_with, ExperimentError};
+use crate::inspectcmd::{outcome_from_report, write_inspect_index};
+use crate::journal::{CellJournal, JournalMeta};
+use crate::obs::{EventSink, FanoutSink, GitInfo, LiveRenderer, NdjsonSink, RunEvent};
+use crate::runner::{CellProgress, RunContext};
+use parking_lot::Mutex;
+use std::path::Path;
+use std::time::Instant;
+use ubs_uarch::Timeline;
+
+/// What [`execute_grid`] produced, for the caller's `RunFinished` event.
+#[derive(Debug)]
+pub struct GridOutcome {
+    /// The exit code the grid earned (success / cell failure / infra).
+    pub code: ExitCode,
+    /// Cells across every experiment, replayed and simulated alike.
+    pub cells_total: usize,
+    /// Cells that ended in a typed failure (including quarantined ones).
+    pub cells_failed: usize,
+}
+
+/// Runs the full `repro <ids>` flow for a single process: journal open
+/// (fresh or `--resume`), event sinks, `RunStarted`/`RunFinished`, and the
+/// per-experiment grid via [`execute_grid`].
+pub fn run_experiments(opts: &RunOptions) -> ExitCode {
+    let run_started = Instant::now();
+    let fault = match FaultPlan::from_env() {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::Usage;
+        }
+    };
+    if fault.is_some() {
+        eprintln!(
+            "warning: fault injection active via {} — this run is expected to fail",
+            FaultPlan::ENV_VAR
+        );
+    }
+
+    let journal = match &opts.json_dir {
+        Some(dir) => {
+            let meta = JournalMeta::new(opts.effort, opts.scale, opts.timeline, opts.metrics);
+            let opened = if opts.resume {
+                CellJournal::resume(dir, &meta)
+            } else {
+                CellJournal::fresh(dir, &meta)
+            };
+            match opened {
+                Ok(j) => {
+                    for w in j.warnings() {
+                        eprintln!("warning: {w}");
+                    }
+                    if opts.resume {
+                        eprintln!("[resume: {} journaled cells will be replayed]", j.len());
+                        if j.poison_count() > 0 {
+                            eprintln!(
+                                "[resume: {} quarantined cell(s) will be reported as failed \
+                                 without re-simulation]",
+                                j.poison_count()
+                            );
+                        }
+                    }
+                    Some(j)
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::Infra;
+                }
+            }
+        }
+        None => None,
+    };
+
+    // Observability: an NDJSON file sink (`--events PATH`) fanned out with
+    // the stderr renderer — interactive repaints on a terminal, periodic
+    // plain summary lines otherwise (so CI logs show progress between run
+    // start and finish instead of nothing).
+    let ndjson = match &opts.events {
+        Some(path) => match NdjsonSink::create(path) {
+            Ok(sink) => Some(sink),
+            Err(e) => {
+                eprintln!("error: cannot create event log {}: {e}", path.display());
+                return ExitCode::Infra;
+            }
+        },
+        None => None,
+    };
+    let renderer = {
+        let cfg = opts.effort.sim_config();
+        LiveRenderer::for_stderr(cfg.warmup_instrs + cfg.sim_instrs)
+    };
+    let mut sink_refs: Vec<&dyn EventSink> = Vec::new();
+    if let Some(s) = &ndjson {
+        sink_refs.push(s);
+    }
+    sink_refs.push(&renderer);
+    let fanout = FanoutSink::new(sink_refs);
+
+    let threads = RunContext::new(opts.effort, opts.scale)
+        .with_threads(opts.threads)
+        .effective_threads();
+    if !fanout.is_empty() {
+        fanout.emit(&RunEvent::RunStarted {
+            effort: opts.effort,
+            scale: opts.scale,
+            threads,
+            experiments: opts.ids.clone(),
+            git: GitInfo::detect(),
+        });
+        if opts.resume {
+            if let Some(j) = &journal {
+                fanout.emit(&RunEvent::JournalReplayed { cells: j.len() });
+            }
+        }
+    }
+
+    let outcome = execute_grid(opts, journal.as_ref(), fault.as_ref(), &fanout, &renderer);
+
+    if !fanout.is_empty() {
+        fanout.emit(&RunEvent::RunFinished {
+            wall_seconds: run_started.elapsed().as_secs_f64(),
+            cells_total: outcome.cells_total,
+            cells_failed: outcome.cells_failed,
+            ok: outcome.code == ExitCode::Success,
+        });
+        fanout.flush();
+        if let Some(sink) = &ndjson {
+            eprintln!("[events: {}]", sink.path().display());
+        }
+    }
+    outcome.code
+}
+
+/// The per-experiment grid loop: runs every id in `opts.ids` under the
+/// given journal/fault/event plumbing, prints result tables, archives
+/// `{id}.json` + timelines + the run manifest, renders inspect pages, and
+/// picks the exit code (infra > cell failure > success).
+///
+/// Emits cell-scoped events through `fanout` but no run-scoped envelope
+/// (`RunStarted`/`RunFinished`) — the caller owns those, which lets the
+/// shard supervisor wrap a whole worker fleet *and* this assembly pass in
+/// one event stream.
+pub(crate) fn execute_grid(
+    opts: &RunOptions,
+    journal: Option<&CellJournal>,
+    fault: Option<&FaultPlan>,
+    fanout: &FanoutSink<'_>,
+    renderer: &LiveRenderer,
+) -> GridOutcome {
+    let quiet = || renderer.clear_transient();
+
+    let base_ctx = RunContext::new(opts.effort, opts.scale)
+        .with_threads(opts.threads)
+        .with_timeline(opts.timeline)
+        .with_metrics(opts.metrics)
+        .with_journal(journal)
+        .with_cell_timeout(opts.cell_timeout)
+        .with_fault(fault);
+    let base_ctx = if fanout.is_empty() {
+        base_ctx
+    } else {
+        base_ctx.with_events(Some(fanout))
+    };
+    let threads = base_ctx.effective_threads();
+
+    let mut manifest = RunManifest::new(opts.effort, opts.scale, threads);
+    let mut infra_failed = false;
+
+    for id in &opts.ids {
+        let cells: Mutex<Vec<CellTiming>> = Mutex::new(Vec::new());
+        let timelines: Mutex<Vec<(String, Timeline)>> = Mutex::new(Vec::new());
+        let progress = |p: &CellProgress| {
+            // The renderer (interactive or plain) narrates each cell from
+            // the event stream; the hook only collects timings.
+            cells.lock().push(CellTiming::from(p));
+            if let Some(tl) = &p.timeline {
+                timelines
+                    .lock()
+                    .push((format!("{}__{}", p.workload, p.design), tl.clone()));
+            }
+        };
+        let ctx = base_ctx.with_progress(&progress).with_experiment(id);
+        let started = Instant::now();
+        let outcome = run_by_id_with(id, &ctx);
+        let wall = started.elapsed().as_secs_f64();
+        let mut record = ExperimentRecord::new(id, wall, cells.into_inner());
+        quiet();
+        match outcome {
+            Ok(result) => {
+                println!("================ {id} ================");
+                println!("{}", result.text);
+                eprintln!(
+                    "[{id} completed in {wall:.1}s, {:.2} Minstr/s over {} cells]",
+                    record.minstr_per_sec,
+                    record.cells.len()
+                );
+                if let Some(dir) = &opts.json_dir {
+                    if let Err(e) = write_json_atomic(dir, &format!("{id}.json"), &result.json) {
+                        eprintln!("warning: could not write JSON for {id}: {e}");
+                    }
+                    record.timelines = archive_timelines(dir, id, timelines.into_inner());
+                }
+                manifest.push(record);
+            }
+            Err(ExperimentError::Cells(failures)) => {
+                // The failed cells are already in `record.cells` with their
+                // typed status (the progress hook saw them); archive what
+                // completed so a --resume can pick up from here.
+                eprintln!("error: [{id}] {} cell(s) failed", failures.len());
+                for f in &failures {
+                    eprintln!("  {f}");
+                }
+                if let Some(dir) = &opts.json_dir {
+                    record.timelines = archive_timelines(dir, id, timelines.into_inner());
+                }
+                manifest.push(record);
+            }
+            Err(ExperimentError::Other(e)) => {
+                eprintln!("error: [{id}] {e}");
+                infra_failed = true;
+            }
+        }
+    }
+
+    let failed_cells: Vec<String> = manifest
+        .experiments
+        .iter()
+        .flat_map(|r| r.cells.iter().filter(|c| !c.status.is_ok()))
+        .map(|c| format!("{} × {}", c.workload, c.design))
+        .collect();
+
+    quiet();
+    if let Some(dir) = &opts.json_dir {
+        match manifest.write_atomic(dir) {
+            Ok(path) => eprintln!(
+                "[manifest: {} — {} experiments, {:.1}s wall, {:.2} Minstr/s aggregate]",
+                path.display(),
+                manifest.experiments.len(),
+                manifest.total_wall_seconds(),
+                manifest.overall_minstr_per_sec()
+            ),
+            Err(e) => {
+                eprintln!("error: could not write run manifest: {e}");
+                infra_failed = true;
+            }
+        }
+    }
+
+    // With `--metrics --json`, render every journaled cell's cache-internals
+    // page (no re-simulation — the journal already holds the full reports)
+    // and an index linking them all.
+    if opts.metrics && !infra_failed {
+        if let (Some(dir), Some(j)) = (&opts.json_dir, journal) {
+            write_inspect_pages(dir, j, opts.effort.label());
+        }
+    }
+
+    let code = if infra_failed {
+        ExitCode::Infra
+    } else if failed_cells.is_empty() {
+        ExitCode::Success
+    } else {
+        eprintln!("{} cell(s) failed:", failed_cells.len());
+        for cell in &failed_cells {
+            eprintln!("  {cell}");
+        }
+        if let Some(j) = journal {
+            if j.poison_count() > 0 {
+                eprintln!(
+                    "{} of them quarantined under {} after exhausting retries",
+                    j.poison_count(),
+                    j.dir().join(CellJournal::POISON_DIR).display()
+                );
+            }
+        }
+        if let Some(dir) = &opts.json_dir {
+            eprintln!(
+                "completed cells are journaled; rerun with `--resume {}` to retry only \
+                 the failures",
+                dir.display()
+            );
+        }
+        ExitCode::CellFailure
+    };
+
+    GridOutcome {
+        code,
+        cells_total: manifest.experiments.iter().map(|r| r.cells.len()).sum(),
+        cells_failed: failed_cells.len(),
+    }
+}
+
+/// Renders `DIR/inspect/<workload>__<design>/` pages for every journaled
+/// cell that carries a metrics payload, plus the `index.html` linking them.
+/// Failures degrade to warnings — inspect artifacts never fail the run.
+fn write_inspect_pages(dir: &Path, journal: &CellJournal, effort_label: &str) {
+    let mut pages = 0usize;
+    for entry in journal.entries() {
+        if entry.report.cache_metrics.is_none() {
+            continue;
+        }
+        match outcome_from_report(entry.report, effort_label) {
+            Ok(outcome) => {
+                let cell_dir = dir.join("inspect").join(&outcome.id);
+                let json_ok = match write_json_atomic(&cell_dir, "metrics.json", &outcome.json) {
+                    Ok(_) => true,
+                    Err(e) => {
+                        eprintln!(
+                            "warning: could not write metrics.json for {}: {e}",
+                            outcome.id
+                        );
+                        false
+                    }
+                };
+                match write_bytes_atomic(&cell_dir, "inspect.html", outcome.html.as_bytes()) {
+                    Ok(_) => {
+                        if json_ok {
+                            pages += 1;
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "warning: could not write inspect.html for {}: {e}",
+                            outcome.id
+                        )
+                    }
+                }
+            }
+            Err(e) => eprintln!("warning: {e}"),
+        }
+    }
+    if pages > 0 {
+        match write_inspect_index(dir) {
+            Ok(path) => eprintln!("[inspect: {pages} cell pages, index at {}]", path.display()),
+            Err(e) => eprintln!("warning: could not write inspect index: {e}"),
+        }
+    }
+}
+
+/// Writes each cell's timeline under `dir/timelines/<id>/` and returns the
+/// archived paths (relative to `dir`, sorted for a deterministic manifest).
+fn archive_timelines(dir: &Path, id: &str, timelines: Vec<(String, Timeline)>) -> Vec<String> {
+    let mut paths = Vec::new();
+    let tl_dir = dir.join("timelines").join(id);
+    for (key, tl) in timelines {
+        let value = match serde_json::to_value(&tl) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("warning: could not serialize timeline for {key}: {e}");
+                continue;
+            }
+        };
+        let file = format!("{key}.json");
+        match write_json_atomic(&tl_dir, &file, &value) {
+            Ok(_) => paths.push(format!("timelines/{id}/{file}")),
+            Err(e) => eprintln!("warning: could not write timeline for {key}: {e}"),
+        }
+    }
+    paths.sort();
+    paths
+}

@@ -19,10 +19,12 @@
 
 use crate::designs::DesignSpec;
 use crate::fault::{FaultPlan, StallingIcache};
-use crate::journal::{CellJournal, JournalEntry};
+use crate::journal::{cell_key, CellJournal, JournalEntry, PoisonAttempt, PoisonRecord};
 use crate::obs::{EventSink, RunEvent};
+use crate::shard::ShardHandle;
 use crate::suitescale::SuiteScale;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::sync::OnceLock;
 use std::time::Instant;
 use ubs_trace::synth::{SyntheticTrace, WorkloadSpec};
@@ -323,6 +325,11 @@ pub struct RunContext<'a> {
     /// Experiment id stamped into emitted cell events (set per experiment
     /// by the `repro` binary; empty for direct library use).
     pub experiment: &'a str,
+    /// Cooperative sharding handle (`--worker`): cells are claimed via
+    /// journal leases, stolen from dead siblings, retried with backoff,
+    /// and quarantined after exhausting retries. `None` keeps the
+    /// single-process fetch-add scheduling. Requires a journal.
+    pub shard: Option<&'a ShardHandle>,
 }
 
 impl std::fmt::Debug for RunContext<'_> {
@@ -339,6 +346,7 @@ impl std::fmt::Debug for RunContext<'_> {
             .field("fault", &self.fault)
             .field("events", &self.events.map(|_| "<sink>"))
             .field("experiment", &self.experiment)
+            .field("shard", &self.shard)
             .finish()
     }
 }
@@ -358,6 +366,7 @@ impl<'a> RunContext<'a> {
             fault: None,
             events: None,
             experiment: "",
+            shard: None,
         }
     }
 
@@ -415,6 +424,14 @@ impl<'a> RunContext<'a> {
     /// Stamps emitted cell events with an experiment id.
     pub fn with_experiment(mut self, experiment: &'a str) -> Self {
         self.experiment = experiment;
+        self
+    }
+
+    /// Runs the grid as one cooperative sharded worker: cells are claimed
+    /// through the handle's journal leases instead of the in-process
+    /// cursor, so independent processes can split one grid.
+    pub fn with_shard(mut self, shard: Option<&'a ShardHandle>) -> Self {
+        self.shard = shard;
         self
     }
 
@@ -486,20 +503,26 @@ fn run_matrix_inner(
         .flat_map(|w| (0..designs.len()).map(move |d| (w, d)))
         .collect();
     if let Some(sink) = ctx.events {
-        for &(w, d) in &jobs {
-            sink.emit(&RunEvent::CellScheduled {
-                experiment: ctx.experiment.to_string(),
-                workload: workloads[w].name.clone(),
-                design: designs[d].name(),
-            });
-        }
-        if !sim_cfg.watchdog.is_disabled() {
-            sink.emit(&RunEvent::WatchdogArmed {
-                experiment: ctx.experiment.to_string(),
-                no_retire_cycles: sim_cfg.watchdog.no_retire_cycles,
-                check_interval_cycles: sim_cfg.watchdog.check_interval_cycles,
-                wall_budget_secs: sim_cfg.watchdog.wall_budget_secs,
-            });
+        // A sharded worker announces only the cells it claims (scheduling
+        // is shared across processes; an upfront sweep would multiply per
+        // worker), and the watchdog announcement belongs to the assembly
+        // pass.
+        if ctx.shard.is_none() {
+            for &(w, d) in &jobs {
+                sink.emit(&RunEvent::CellScheduled {
+                    experiment: ctx.experiment.to_string(),
+                    workload: workloads[w].name.clone(),
+                    design: designs[d].name(),
+                });
+            }
+            if !sim_cfg.watchdog.is_disabled() {
+                sink.emit(&RunEvent::WatchdogArmed {
+                    experiment: ctx.experiment.to_string(),
+                    no_retire_cycles: sim_cfg.watchdog.no_retire_cycles,
+                    check_interval_cycles: sim_cfg.watchdog.check_interval_cycles,
+                    wall_budget_secs: sim_cfg.watchdog.wall_budget_secs,
+                });
+            }
         }
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -508,6 +531,12 @@ fn run_matrix_inner(
     // directly, so no shared Vec mutex and no post-hoc reordering.
     let slots: Vec<OnceLock<Result<Cell, CellFailure>>> =
         (0..jobs.len()).map(|_| OnceLock::new()).collect();
+    // Sharded runs pull work from a shared deque instead of the fetch-add
+    // cursor: a cell whose lease a sibling process holds goes to the back
+    // of the queue and is re-checked until the sibling's journal entry
+    // appears (or its lease goes stale and is stolen).
+    let queue: parking_lot::Mutex<VecDeque<usize>> =
+        parking_lot::Mutex::new((0..jobs.len()).collect());
 
     // Program construction is the expensive part of a synthetic workload;
     // build each program once and clone the walker per design. The build
@@ -542,105 +571,346 @@ fn run_matrix_inner(
         }
     };
 
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.min(jobs.len().max(1)) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&(w, d)) = jobs.get(i) else { break };
-                let workload = &workloads[w];
-                let design_name = designs[d].name();
-
-                // Resume: replay a journaled cell instead of re-simulating.
-                if let Some(entry) = ctx
-                    .journal
-                    .and_then(|j| j.cached(&workload.name, workload.seed, &design_name))
-                {
-                    let cell = Cell {
-                        workload: w,
-                        design: d,
-                        report: entry.report,
-                        wall_seconds: entry.wall_seconds,
-                    };
+    // The simulation body shared by the single-process and sharded loops:
+    // fault injection, the observed/unobserved split, the self-profile
+    // fill, and the stall-taxonomy check, under panic containment.
+    let simulate_cell = |w: usize, d: usize, lease: Option<&crate::shard::LeaseGuard>| {
+        let workload = &workloads[w];
+        let design_name = designs[d].name();
+        isolate::run(|| {
+            if ctx
+                .fault
+                .is_some_and(|f| f.should_panic(&workload.name, &design_name))
+            {
+                panic!(
+                    "injected fault: forced panic in cell {} × {design_name}",
+                    workload.name
+                );
+            }
+            let mut trace = prototypes[w].clone();
+            let mut icache = designs[d].build();
+            if let Some(at) = ctx
+                .fault
+                .and_then(|f| f.stall_cycle(&workload.name, &design_name))
+            {
+                icache = Box::new(StallingIcache::new(icache, at));
+            }
+            // With a sink (or a lease to keep alive) installed, the
+            // simulation runs observed: every watchdog checkpoint becomes
+            // a CellHeartbeat and/or a throttled fsync'd lease refresh.
+            // Host-side only — simulated results stay bit-exact.
+            let mut report = if ctx.events.is_some() || lease.is_some() {
+                let hb = |h: &ubs_uarch::Heartbeat| {
+                    if let Some(guard) = lease {
+                        if crate::shard::shutdown_requested() {
+                            panic!(
+                                "{}: abandoning {} × {design_name} mid-simulation",
+                                crate::shard::SHUTDOWN_PANIC_MARKER,
+                                workload.name
+                            );
+                        }
+                        guard.beat();
+                    }
                     if let Some(sink) = ctx.events {
-                        sink.emit(&RunEvent::CellResumed {
+                        sink.emit(&RunEvent::CellHeartbeat {
                             experiment: ctx.experiment.to_string(),
                             workload: workload.name.clone(),
                             design: design_name.clone(),
-                            wall_seconds: cell.wall_seconds,
+                            cycle: h.cycle,
+                            committed: h.committed,
+                            wall_seconds: h.wall_seconds,
                         });
                     }
-                    notify(w, d, Some(&cell), CellStatus::Ok, true);
-                    slots[i]
-                        .set(Ok(cell))
-                        .unwrap_or_else(|_| unreachable!("cell {i} written twice"));
-                    continue;
-                }
+                };
+                ubs_uarch::simulate_observed(&mut trace, icache.as_mut(), &sim_cfg, Some(&hb))
+            } else {
+                ubs_uarch::simulate(&mut trace, icache.as_mut(), &sim_cfg)
+            };
+            if let Some(p) = report.phase_profile.as_mut() {
+                p.trace_decode_s = decode_secs[w];
+            }
+            // The closed taxonomy must hold on every cell of every
+            // suite — a violation is a simulator bug, not bad data.
+            if let Err(e) = report.validate() {
+                panic!(
+                    "stall-attribution invariant violated on {}/{design_name}: {e}",
+                    workload.name
+                );
+            }
+            report
+        })
+    };
 
+    // Replays a journal entry into a slot without events: the sharded
+    // paths replay silently (scheduling is shared across processes and
+    // the supervisor's assembly pass narrates the final replay).
+    let replay_silently = |i: usize, w: usize, d: usize, entry: JournalEntry| {
+        let cell = Cell {
+            workload: w,
+            design: d,
+            report: entry.report,
+            wall_seconds: entry.wall_seconds,
+        };
+        notify(w, d, Some(&cell), CellStatus::Ok, true);
+        slots[i]
+            .set(Ok(cell))
+            .unwrap_or_else(|_| unreachable!("cell {i} written twice"));
+    };
+
+    // A quarantined cell short-circuits into its recorded failure instead
+    // of re-dying on re-simulation; only the non-sharded (assembly) path
+    // narrates it through the event stream.
+    let fail_poisoned = |i: usize, w: usize, d: usize, rec: PoisonRecord, emit: bool| {
+        let workload = &workloads[w];
+        let design_name = designs[d].name();
+        let last = rec.attempts.last();
+        let error = format!(
+            "cell quarantined after {} attempt(s){}: {}",
+            rec.attempts.len(),
+            rec.worker
+                .as_ref()
+                .map(|by| format!(" by worker {by}"))
+                .unwrap_or_default(),
+            last.map_or("(no attempts recorded)", |a| a.error.as_str())
+        );
+        let backtrace = last.map(|a| a.backtrace.clone()).unwrap_or_default();
+        if emit {
+            if let Some(sink) = ctx.events {
+                sink.emit(&RunEvent::CellStarted {
+                    experiment: ctx.experiment.to_string(),
+                    workload: workload.name.clone(),
+                    design: design_name.clone(),
+                    worker: None,
+                });
+                sink.emit(&RunEvent::CellFailed {
+                    experiment: ctx.experiment.to_string(),
+                    workload: workload.name.clone(),
+                    design: design_name.clone(),
+                    wall_seconds: 0.0,
+                    error: error.clone(),
+                    worker: None,
+                });
+            }
+        }
+        let failure = CellFailure {
+            workload: workload.name.clone(),
+            design: design_name,
+            error: error.clone(),
+            backtrace: backtrace.clone(),
+        };
+        notify(w, d, None, CellStatus::Failed { error, backtrace }, false);
+        slots[i]
+            .set(Err(failure))
+            .unwrap_or_else(|_| unreachable!("cell {i} written twice"));
+    };
+
+    // Single-process worker: pull the next index off the fetch-add cursor.
+    let plain_worker = || loop {
+        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let Some(&(w, d)) = jobs.get(i) else { break };
+        let workload = &workloads[w];
+        let design_name = designs[d].name();
+
+        // Resume: replay a journaled cell instead of re-simulating.
+        if let Some(entry) = ctx
+            .journal
+            .and_then(|j| j.cached(&workload.name, workload.seed, &design_name))
+        {
+            let cell = Cell {
+                workload: w,
+                design: d,
+                report: entry.report,
+                wall_seconds: entry.wall_seconds,
+            };
+            if let Some(sink) = ctx.events {
+                sink.emit(&RunEvent::CellResumed {
+                    experiment: ctx.experiment.to_string(),
+                    workload: workload.name.clone(),
+                    design: design_name.clone(),
+                    wall_seconds: cell.wall_seconds,
+                });
+            }
+            notify(w, d, Some(&cell), CellStatus::Ok, true);
+            slots[i]
+                .set(Ok(cell))
+                .unwrap_or_else(|_| unreachable!("cell {i} written twice"));
+            continue;
+        }
+
+        // A cell quarantined by a (sharded) run fails immediately with its
+        // recorded error, so the grid reports degraded-but-finished.
+        if let Some(rec) = ctx
+            .journal
+            .and_then(|j| j.poisoned(&workload.name, workload.seed, &design_name))
+        {
+            fail_poisoned(i, w, d, rec, true);
+            continue;
+        }
+
+        if let Some(sink) = ctx.events {
+            sink.emit(&RunEvent::CellStarted {
+                experiment: ctx.experiment.to_string(),
+                workload: workload.name.clone(),
+                design: design_name.clone(),
+                worker: None,
+            });
+        }
+        let started = Instant::now();
+        let result = match simulate_cell(w, d, None) {
+            Ok(report) => {
+                let cell = Cell {
+                    workload: w,
+                    design: d,
+                    report,
+                    wall_seconds: started.elapsed().as_secs_f64(),
+                };
                 if let Some(sink) = ctx.events {
-                    sink.emit(&RunEvent::CellStarted {
+                    sink.emit(&RunEvent::CellCompleted {
                         experiment: ctx.experiment.to_string(),
                         workload: workload.name.clone(),
                         design: design_name.clone(),
+                        wall_seconds: cell.wall_seconds,
+                        instructions: cell.report.instructions,
+                        minstr_per_sec: cell.minstr_per_sec(),
+                        worker: None,
                     });
                 }
-                let started = Instant::now();
-                let outcome = isolate::run(|| {
-                    if ctx
-                        .fault
-                        .is_some_and(|f| f.should_panic(&workload.name, &design_name))
-                    {
-                        panic!(
-                            "injected fault: forced panic in cell {} × {design_name}",
-                            workload.name
-                        );
+                if let Some(journal) = ctx.journal {
+                    // Best-effort checkpoint: a failed write only
+                    // costs a future resume this cell.
+                    if let Err(e) = journal.record(JournalEntry {
+                        workload: workload.name.clone(),
+                        workload_seed: workload.seed,
+                        design: design_name.clone(),
+                        wall_seconds: cell.wall_seconds,
+                        report: cell.report.clone(),
+                    }) {
+                        eprintln!("warning: {e}");
                     }
-                    let mut trace = prototypes[w].clone();
-                    let mut icache = designs[d].build();
-                    if let Some(at) = ctx
-                        .fault
-                        .and_then(|f| f.stall_cycle(&workload.name, &design_name))
-                    {
-                        icache = Box::new(StallingIcache::new(icache, at));
+                }
+                notify(w, d, Some(&cell), CellStatus::Ok, false);
+                Ok(cell)
+            }
+            Err((error, backtrace)) => {
+                if let Some(sink) = ctx.events {
+                    if let Some(kind) = watchdog_trip_kind(&error) {
+                        sink.emit(&RunEvent::WatchdogTripped {
+                            experiment: ctx.experiment.to_string(),
+                            workload: workload.name.clone(),
+                            design: design_name.clone(),
+                            kind,
+                        });
                     }
-                    // With a sink installed the simulation runs observed:
-                    // every watchdog checkpoint becomes a CellHeartbeat.
-                    // Host-side only — simulated results stay bit-exact.
-                    let mut report = match ctx.events {
-                        Some(sink) => {
-                            let hb = |h: &ubs_uarch::Heartbeat| {
-                                sink.emit(&RunEvent::CellHeartbeat {
-                                    experiment: ctx.experiment.to_string(),
-                                    workload: workload.name.clone(),
-                                    design: design_name.clone(),
-                                    cycle: h.cycle,
-                                    committed: h.committed,
-                                    wall_seconds: h.wall_seconds,
-                                });
-                            };
-                            ubs_uarch::simulate_observed(
-                                &mut trace,
-                                icache.as_mut(),
-                                &sim_cfg,
-                                Some(&hb),
-                            )
-                        }
-                        None => ubs_uarch::simulate(&mut trace, icache.as_mut(), &sim_cfg),
-                    };
-                    if let Some(p) = report.phase_profile.as_mut() {
-                        p.trace_decode_s = decode_secs[w];
-                    }
-                    // The closed taxonomy must hold on every cell of every
-                    // suite — a violation is a simulator bug, not bad data.
-                    if let Err(e) = report.validate() {
-                        panic!(
-                            "stall-attribution invariant violated on {}/{design_name}: {e}",
-                            workload.name
-                        );
-                    }
-                    report
-                });
+                    sink.emit(&RunEvent::CellFailed {
+                        experiment: ctx.experiment.to_string(),
+                        workload: workload.name.clone(),
+                        design: design_name.clone(),
+                        wall_seconds: started.elapsed().as_secs_f64(),
+                        error: error.clone(),
+                        worker: None,
+                    });
+                }
+                let failure = CellFailure {
+                    workload: workload.name.clone(),
+                    design: design_name,
+                    error: error.clone(),
+                    backtrace: backtrace.clone(),
+                };
+                notify(w, d, None, CellStatus::Failed { error, backtrace }, false);
+                Err(failure)
+            }
+        };
+        slots[i]
+            .set(result)
+            .unwrap_or_else(|_| unreachable!("cell {i} written twice"));
+    };
 
-                let result = match outcome {
+    // Sharded worker: claim cells via journal leases so independent
+    // processes split one grid; steal from dead siblings; retry with
+    // backoff; quarantine cells that fail every attempt.
+    let shard_worker = |shard: &ShardHandle| {
+        let journal = ctx
+            .journal
+            .expect("sharded runs require a journal (run_worker always attaches one)");
+        let wid = shard.worker_id();
+        loop {
+            if crate::shard::shutdown_requested() {
+                return;
+            }
+            let Some(i) = queue.lock().pop_front() else {
+                return;
+            };
+            let (w, d) = jobs[i];
+            let workload = &workloads[w];
+            let design_name = designs[d].name();
+            let key = cell_key(&workload.name, &design_name);
+
+            // A sibling (or a prior run) already finished this cell…
+            if let Some(entry) = journal.load_cell(&workload.name, workload.seed, &design_name) {
+                replay_silently(i, w, d, entry);
+                continue;
+            }
+            // …or already gave up on it.
+            if let Some(rec) = journal.poisoned(&workload.name, workload.seed, &design_name) {
+                fail_poisoned(i, w, d, rec, false);
+                continue;
+            }
+            let (guard, stolen_from) = match shard.leases().claim(&key) {
+                Ok(crate::shard::Claim::Claimed(guard)) => (guard, None),
+                Ok(crate::shard::Claim::Stolen { guard, from }) => (guard, Some(from)),
+                Ok(crate::shard::Claim::Held { .. }) => {
+                    // A live sibling holds it; re-check after its journal
+                    // entry lands (or its lease goes stale).
+                    queue.lock().push_back(i);
+                    std::thread::sleep(crate::shard::HELD_POLL);
+                    continue;
+                }
+                Err(e) => {
+                    eprintln!("warning: {e}; deferring {key}");
+                    queue.lock().push_back(i);
+                    std::thread::sleep(crate::shard::HELD_POLL);
+                    continue;
+                }
+            };
+            // The claim may have raced a sibling's completion: re-check
+            // the journal now that the lease is ours.
+            if let Some(entry) = journal.load_cell(&workload.name, workload.seed, &design_name) {
+                guard.release();
+                replay_silently(i, w, d, entry);
+                continue;
+            }
+            if let Some(sink) = ctx.events {
+                match &stolen_from {
+                    // A steal is licensed by LeaseStolen (the original
+                    // holder already announced the cell)…
+                    Some(from) => sink.emit(&RunEvent::LeaseStolen {
+                        experiment: ctx.experiment.to_string(),
+                        workload: workload.name.clone(),
+                        design: design_name.clone(),
+                        from_worker: from.clone(),
+                        by_worker: wid.to_string(),
+                    }),
+                    // …while a fresh claim is its own scheduling act.
+                    None => sink.emit(&RunEvent::CellScheduled {
+                        experiment: ctx.experiment.to_string(),
+                        workload: workload.name.clone(),
+                        design: design_name.clone(),
+                    }),
+                }
+                sink.emit(&RunEvent::CellStarted {
+                    experiment: ctx.experiment.to_string(),
+                    workload: workload.name.clone(),
+                    design: design_name.clone(),
+                    worker: Some(wid.to_string()),
+                });
+            }
+
+            let started = Instant::now();
+            let salt = crate::shard::jitter_salt(&key);
+            let mut attempts: Vec<PoisonAttempt> = Vec::new();
+            let mut settled = false;
+            for attempt in 0..=shard.max_retries() {
+                match simulate_cell(w, d, Some(&guard)) {
                     Ok(report) => {
                         let cell = Cell {
                             workload: w,
@@ -656,55 +926,137 @@ fn run_matrix_inner(
                                 wall_seconds: cell.wall_seconds,
                                 instructions: cell.report.instructions,
                                 minstr_per_sec: cell.minstr_per_sec(),
+                                worker: Some(wid.to_string()),
                             });
                         }
-                        if let Some(journal) = ctx.journal {
-                            // Best-effort checkpoint: a failed write only
-                            // costs a future resume this cell.
-                            if let Err(e) = journal.record(JournalEntry {
-                                workload: workload.name.clone(),
-                                workload_seed: workload.seed,
-                                design: design_name.clone(),
-                                wall_seconds: cell.wall_seconds,
-                                report: cell.report.clone(),
-                            }) {
-                                eprintln!("warning: {e}");
-                            }
+                        if let Err(e) = journal.record(JournalEntry {
+                            workload: workload.name.clone(),
+                            workload_seed: workload.seed,
+                            design: design_name.clone(),
+                            wall_seconds: cell.wall_seconds,
+                            report: cell.report.clone(),
+                        }) {
+                            eprintln!("warning: {e}");
                         }
                         notify(w, d, Some(&cell), CellStatus::Ok, false);
-                        Ok(cell)
+                        slots[i]
+                            .set(Ok(cell))
+                            .unwrap_or_else(|_| unreachable!("cell {i} written twice"));
+                        guard.release();
+                        settled = true;
+                        break;
                     }
                     Err((error, backtrace)) => {
-                        if let Some(sink) = ctx.events {
-                            if let Some(kind) = watchdog_trip_kind(&error) {
-                                sink.emit(&RunEvent::WatchdogTripped {
-                                    experiment: ctx.experiment.to_string(),
-                                    workload: workload.name.clone(),
-                                    design: design_name.clone(),
-                                    kind,
-                                });
-                            }
-                            sink.emit(&RunEvent::CellFailed {
-                                experiment: ctx.experiment.to_string(),
-                                workload: workload.name.clone(),
-                                design: design_name.clone(),
-                                wall_seconds: started.elapsed().as_secs_f64(),
-                                error: error.clone(),
-                            });
+                        if error.contains(crate::shard::SHUTDOWN_PANIC_MARKER)
+                            || crate::shard::shutdown_requested()
+                        {
+                            // Abandon mid-flight: the slot stays unset and
+                            // is synthesized as a shutdown failure below.
+                            guard.release();
+                            return;
                         }
-                        let failure = CellFailure {
-                            workload: workload.name.clone(),
-                            design: design_name,
-                            error: error.clone(),
-                            backtrace: backtrace.clone(),
-                        };
-                        notify(w, d, None, CellStatus::Failed { error, backtrace }, false);
-                        Err(failure)
+                        if error.contains(crate::shard::LEASE_USURPED_MARKER) {
+                            // A sibling judged this worker dead and took
+                            // the cell; requeue and adopt its result.
+                            eprintln!(
+                                "warning: worker {wid} lost the lease on {key}; \
+                                 deferring to the thief"
+                            );
+                            queue.lock().push_back(i);
+                            settled = true;
+                            break;
+                        }
+                        attempts.push(PoisonAttempt { error, backtrace });
+                        if attempt < shard.max_retries() {
+                            // Exponential backoff with deterministic
+                            // jitter, kept lease-alive in short hops.
+                            let mut left = crate::shard::backoff_delay(attempt, salt);
+                            while !left.is_zero() {
+                                if crate::shard::shutdown_requested() {
+                                    guard.release();
+                                    return;
+                                }
+                                let hop = left.min(crate::shard::HELD_POLL);
+                                std::thread::sleep(hop);
+                                left = left.saturating_sub(hop);
+                                guard.beat();
+                            }
+                        }
                     }
-                };
-                slots[i]
-                    .set(result)
-                    .unwrap_or_else(|_| unreachable!("cell {i} written twice"));
+                }
+            }
+            if settled {
+                continue;
+            }
+            // Every attempt failed: quarantine so siblings and later
+            // resumes skip the cell instead of re-dying on it.
+            let last = attempts.last().cloned().unwrap_or_else(|| PoisonAttempt {
+                error: "cell failed with no recorded attempt".to_string(),
+                backtrace: String::new(),
+            });
+            if let Some(sink) = ctx.events {
+                if let Some(kind) = watchdog_trip_kind(&last.error) {
+                    sink.emit(&RunEvent::WatchdogTripped {
+                        experiment: ctx.experiment.to_string(),
+                        workload: workload.name.clone(),
+                        design: design_name.clone(),
+                        kind,
+                    });
+                }
+                sink.emit(&RunEvent::CellFailed {
+                    experiment: ctx.experiment.to_string(),
+                    workload: workload.name.clone(),
+                    design: design_name.clone(),
+                    wall_seconds: started.elapsed().as_secs_f64(),
+                    error: last.error.clone(),
+                    worker: Some(wid.to_string()),
+                });
+                sink.emit(&RunEvent::CellQuarantined {
+                    experiment: ctx.experiment.to_string(),
+                    workload: workload.name.clone(),
+                    design: design_name.clone(),
+                    worker: Some(wid.to_string()),
+                    attempts: attempts.len() as u32,
+                    error: last.error.clone(),
+                });
+            }
+            if let Err(e) = journal.quarantine(PoisonRecord {
+                workload: workload.name.clone(),
+                workload_seed: workload.seed,
+                design: design_name.clone(),
+                worker: Some(wid.to_string()),
+                attempts: attempts.clone(),
+            }) {
+                eprintln!("warning: {e}");
+            }
+            let failure = CellFailure {
+                workload: workload.name.clone(),
+                design: design_name.clone(),
+                error: last.error.clone(),
+                backtrace: last.backtrace.clone(),
+            };
+            notify(
+                w,
+                d,
+                None,
+                CellStatus::Failed {
+                    error: last.error,
+                    backtrace: last.backtrace,
+                },
+                false,
+            );
+            slots[i]
+                .set(Err(failure))
+                .unwrap_or_else(|_| unreachable!("cell {i} written twice"));
+            guard.release();
+        }
+    };
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(jobs.len().max(1)) {
+            scope.spawn(|_| match ctx.shard {
+                Some(shard) => shard_worker(shard),
+                None => plain_worker(),
             });
         }
     })
@@ -712,10 +1064,25 @@ fn run_matrix_inner(
 
     let mut cells = Vec::with_capacity(jobs.len());
     let mut failures = Vec::new();
-    for slot in slots {
-        match slot.into_inner().expect("every cell completed") {
-            Ok(cell) => cells.push(cell),
-            Err(failure) => failures.push(failure),
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot.into_inner() {
+            Some(Ok(cell)) => cells.push(cell),
+            Some(Err(failure)) => failures.push(failure),
+            // A cooperative shutdown legitimately leaves slots unset; any
+            // other hole is a scheduling bug, reported rather than hidden.
+            None => {
+                let (w, d) = jobs[i];
+                failures.push(CellFailure {
+                    workload: workloads[w].name.clone(),
+                    design: designs[d].name(),
+                    error: if crate::shard::shutdown_requested() {
+                        "worker shutdown before this cell completed".to_string()
+                    } else {
+                        "cell never completed (internal scheduling error)".to_string()
+                    },
+                    backtrace: String::new(),
+                });
+            }
         }
     }
     if !failures.is_empty() {

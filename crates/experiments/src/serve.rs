@@ -281,6 +281,10 @@ pub struct CellView {
     pub trips: Vec<String>,
     /// First line of the failure message, for failed cells.
     pub error: Option<String>,
+    /// The shard worker last seen holding this cell (sharded runs only).
+    pub worker: Option<String>,
+    /// True once the cell was quarantined after exhausting its retries.
+    pub quarantined: bool,
 }
 
 impl CellView {
@@ -298,6 +302,8 @@ impl CellView {
             minstr_per_sec: 0.0,
             trips: Vec::new(),
             error: None,
+            worker: None,
+            quarantined: false,
         }
     }
 
@@ -311,6 +317,16 @@ impl CellView {
         let remaining = target.saturating_sub(self.committed);
         Some(self.wall_seconds * remaining as f64 / self.committed as f64)
     }
+}
+
+/// Liveness view of one shard worker, folded from `WorkerStarted` /
+/// `WorkerDied` events (supervised runs only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerView {
+    /// The worker's process id, from its latest incarnation.
+    pub pid: u32,
+    /// True while no `WorkerDied` (or `RunFinished`) has retired it.
+    pub alive: bool,
 }
 
 /// One watchdog trip, for the dashboard feed.
@@ -343,6 +359,15 @@ pub struct RunState {
     pub cells: BTreeMap<String, CellView>,
     /// Watchdog-trip feed, in arrival order.
     pub trips: Vec<TripNote>,
+    /// Shard workers by id (supervised runs only).
+    pub workers: BTreeMap<String, WorkerView>,
+    /// Cells stolen from stale worker leases.
+    pub lease_steals: u64,
+    /// Cells quarantined after exhausting their retries.
+    pub quarantined: u64,
+    /// Times the tailed event log shrank or was recreated underneath the
+    /// tailer (each reset re-reads the log from the start).
+    pub tailer_resets: u64,
     /// Consumer-side `CellStalled` annotations, in detection order.
     pub annotations: Vec<EventRecord>,
     staleness: StalenessMonitor,
@@ -377,6 +402,10 @@ impl RunState {
             records: Vec::new(),
             cells: BTreeMap::new(),
             trips: Vec::new(),
+            workers: BTreeMap::new(),
+            lease_steals: 0,
+            quarantined: 0,
+            tailer_resets: 0,
             annotations: Vec::new(),
             staleness: StalenessMonitor::default(),
             instr_target: None,
@@ -396,6 +425,25 @@ impl RunState {
     pub fn poll(&mut self, now_s: f64) {
         match self.tailer.poll() {
             Ok(records) => {
+                if self.tailer.take_reset() {
+                    // The log shrank or was recreated (a new run in the
+                    // same directory): drop the stale view and refold from
+                    // the records the reset poll re-read from offset 0.
+                    self.tailer_resets += 1;
+                    self.records.clear();
+                    self.cells.clear();
+                    self.trips.clear();
+                    self.workers.clear();
+                    self.lease_steals = 0;
+                    self.quarantined = 0;
+                    self.annotations.clear();
+                    self.staleness = StalenessMonitor::default();
+                    self.instr_target = None;
+                    self.effort = None;
+                    self.threads = None;
+                    self.finished = false;
+                    self.run_ok = None;
+                }
                 for record in records {
                     self.ingest(record, now_s);
                 }
@@ -408,7 +456,14 @@ impl RunState {
 
     /// Folds one event record into the run view.
     pub fn ingest(&mut self, record: EventRecord, now_s: f64) {
-        let key = record.event.cell().map(|(e, w, d)| format!("{e}/{w}__{d}"));
+        // Cell-scoped events carry (experiment, workload, design); the key
+        // stays empty (and unused) for run-scoped ones, so a malformed
+        // record can never panic the server.
+        let key = record
+            .event
+            .cell()
+            .map(|(e, w, d)| format!("{e}/{w}__{d}"))
+            .unwrap_or_default();
         match &record.event {
             RunEvent::RunStarted {
                 effort, threads, ..
@@ -423,7 +478,6 @@ impl RunState {
                 workload,
                 design,
             } => {
-                let key = key.expect("cell-scoped");
                 self.cells
                     .entry(key)
                     .or_insert_with(|| CellView::new(experiment, workload, design));
@@ -432,13 +486,14 @@ impl RunState {
                 experiment,
                 workload,
                 design,
+                worker,
             } => {
-                let key = key.expect("cell-scoped");
                 let cell = self
                     .cells
                     .entry(key.clone())
                     .or_insert_with(|| CellView::new(experiment, workload, design));
                 cell.phase = CellPhase::Running;
+                cell.worker = worker.clone();
                 self.staleness.cell_started(&key, now_s);
             }
             RunEvent::CellHeartbeat {
@@ -447,7 +502,6 @@ impl RunState {
                 wall_seconds,
                 ..
             } => {
-                let key = key.expect("cell-scoped");
                 if let Some(cell) = self.cells.get_mut(&key) {
                     cell.cycle = *cycle;
                     cell.committed = *committed;
@@ -456,7 +510,6 @@ impl RunState {
                 self.staleness.heartbeat(&key, *committed, now_s);
             }
             RunEvent::CellResumed { wall_seconds, .. } => {
-                let key = key.expect("cell-scoped");
                 if let Some(cell) = self.cells.get_mut(&key) {
                     cell.phase = CellPhase::Resumed;
                     cell.wall_seconds = *wall_seconds;
@@ -470,7 +523,6 @@ impl RunState {
                 minstr_per_sec,
                 ..
             } => {
-                let key = key.expect("cell-scoped");
                 if let Some(cell) = self.cells.get_mut(&key) {
                     cell.phase = CellPhase::Ok;
                     cell.wall_seconds = *wall_seconds;
@@ -481,7 +533,6 @@ impl RunState {
                 self.staleness.cell_finished(&key);
             }
             RunEvent::WatchdogTripped { kind, .. } => {
-                let key = key.expect("cell-scoped");
                 if let Some(cell) = self.cells.get_mut(&key) {
                     cell.trips.push(kind.clone());
                 }
@@ -496,7 +547,6 @@ impl RunState {
                 error,
                 ..
             } => {
-                let key = key.expect("cell-scoped");
                 if let Some(cell) = self.cells.get_mut(&key) {
                     cell.phase = CellPhase::Failed;
                     cell.wall_seconds = *wall_seconds;
@@ -505,9 +555,42 @@ impl RunState {
                 }
                 self.staleness.cell_finished(&key);
             }
+            RunEvent::LeaseStolen { by_worker, .. } => {
+                self.lease_steals += 1;
+                if let Some(cell) = self.cells.get_mut(&key) {
+                    cell.worker = Some(by_worker.clone());
+                }
+            }
+            RunEvent::CellQuarantined { .. } => {
+                self.quarantined += 1;
+                if let Some(cell) = self.cells.get_mut(&key) {
+                    cell.quarantined = true;
+                }
+            }
+            RunEvent::WorkerStarted { worker, pid } => {
+                self.workers.insert(
+                    worker.clone(),
+                    WorkerView {
+                        pid: *pid,
+                        alive: true,
+                    },
+                );
+            }
+            RunEvent::WorkerDied { worker, pid, .. } => {
+                let view = self.workers.entry(worker.clone()).or_insert(WorkerView {
+                    pid: *pid,
+                    alive: true,
+                });
+                view.alive = false;
+            }
             RunEvent::RunFinished { ok, .. } => {
                 self.finished = true;
                 self.run_ok = Some(*ok);
+                // Whatever the supervisor knew about its workers, none of
+                // them outlive the run.
+                for view in self.workers.values_mut() {
+                    view.alive = false;
+                }
             }
             RunEvent::JournalReplayed { .. }
             | RunEvent::WatchdogArmed { .. }
@@ -597,6 +680,12 @@ pub struct RunGauges {
     pub minstr_per_sec: f64,
     /// Watchdog trips by kind.
     pub trips: BTreeMap<String, u64>,
+    /// Cells stolen from stale worker leases.
+    pub lease_steals: u64,
+    /// Cells quarantined after exhausting their retries.
+    pub quarantined: u64,
+    /// Shard workers currently alive (supervised runs).
+    pub workers_alive: u64,
     /// Event records ingested.
     pub events: u64,
     /// Seconds since the event log last grew.
@@ -637,6 +726,9 @@ impl RunGauges {
                 0.0
             },
             trips,
+            lease_steals: run.lease_steals,
+            quarantined: run.quarantined,
+            workers_alive: run.workers.values().filter(|w| w.alive).count() as u64,
             events: run.records.len() as u64,
             lag_seconds: run.lag_seconds(now_s),
             finished: run.finished,
@@ -705,6 +797,21 @@ impl FleetGauges {
                 "Watchdog trips by kind.",
             ),
             (
+                "ubs_lease_steals_total",
+                "counter",
+                "Cells stolen from stale worker leases.",
+            ),
+            (
+                "ubs_quarantined_total",
+                "counter",
+                "Cells quarantined after exhausting their retries.",
+            ),
+            (
+                "ubs_workers_alive",
+                "gauge",
+                "Shard workers currently alive (supervised runs).",
+            ),
+            (
                 "ubs_event_lag_seconds",
                 "gauge",
                 "Seconds since the run's event log last grew.",
@@ -748,6 +855,18 @@ impl FleetGauges {
                             ));
                         }
                     }
+                    "ubs_lease_steals_total" => out.push_str(&format!(
+                        "ubs_lease_steals_total{{run=\"{run}\"}} {}\n",
+                        row.lease_steals
+                    )),
+                    "ubs_quarantined_total" => out.push_str(&format!(
+                        "ubs_quarantined_total{{run=\"{run}\"}} {}\n",
+                        row.quarantined
+                    )),
+                    "ubs_workers_alive" => out.push_str(&format!(
+                        "ubs_workers_alive{{run=\"{run}\"}} {}\n",
+                        row.workers_alive
+                    )),
                     "ubs_event_lag_seconds" => out.push_str(&format!(
                         "ubs_event_lag_seconds{{run=\"{run}\"}} {}\n",
                         value(row.lag_seconds)
@@ -936,6 +1055,10 @@ fn run_summary_json(run: &RunState, now_s: f64) -> serde_json::Value {
         "lag_seconds": run.lag_seconds(now_s),
         "cells": serde_json::Value::Object(counts),
         "watchdog_trips": run.trips.len(),
+        "lease_steals": run.lease_steals,
+        "quarantined": run.quarantined,
+        "workers_alive": run.workers.values().filter(|w| w.alive).count(),
+        "tailer_resets": run.tailer_resets,
         "tail_error": run.tail_error,
     })
 }
@@ -965,6 +1088,8 @@ fn run_detail_json(run: &RunState, now_s: f64) -> serde_json::Value {
                 "eta_seconds": cell.eta_seconds(run.instr_target),
                 "trips": cell.trips,
                 "error": cell.error,
+                "worker": cell.worker,
+                "quarantined": cell.quarantined,
             })
         })
         .collect();
@@ -973,9 +1098,15 @@ fn run_detail_json(run: &RunState, now_s: f64) -> serde_json::Value {
         .iter()
         .map(|t| json!({"elapsed_s": t.elapsed_s, "cell": t.cell, "kind": t.kind}))
         .collect();
+    let workers: serde_json::Map = run
+        .workers
+        .iter()
+        .map(|(id, w)| (id.clone(), json!({"pid": w.pid, "alive": w.alive})))
+        .collect();
     if let Some(obj) = summary.as_object_mut() {
         obj.insert("cell_details", json!(cells));
         obj.insert("trip_feed", json!(trips));
+        obj.insert("workers", serde_json::Value::Object(workers));
         obj.insert("annotations", json!(run.annotations.len()));
         obj.insert("instr_target", json!(run.instr_target));
     }
@@ -1023,6 +1154,40 @@ fn render_dashboard(runs: &[RunState], now_s: f64) -> String {
         .unwrap();
         if let Some(err) = &run.tail_error {
             writeln!(out, "<p class=\"note\">tailer error: {}</p>", esc(err)).unwrap();
+        }
+        if run.tailer_resets > 0 {
+            writeln!(
+                out,
+                "<p class=\"note\">tailer reset ×{}: the event log shrank or was recreated; \
+                 the view was refolded from the new log</p>",
+                run.tailer_resets
+            )
+            .unwrap();
+        }
+        if !run.workers.is_empty() {
+            let alive = run.workers.values().filter(|w| w.alive).count();
+            let roster = run
+                .workers
+                .iter()
+                .map(|(id, w)| {
+                    format!(
+                        "{} (pid {}{})",
+                        esc(id),
+                        w.pid,
+                        if w.alive { "" } else { ", dead" }
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            writeln!(
+                out,
+                "<p>workers: {alive}/{} alive — {roster} · {} lease steal(s) · {} \
+                 quarantined</p>",
+                run.workers.len(),
+                run.lease_steals,
+                run.quarantined
+            )
+            .unwrap();
         }
         if run.cells.is_empty() {
             continue;
@@ -1496,6 +1661,7 @@ mod tests {
                 experiment: e,
                 workload: w,
                 design: d,
+                worker: None,
             },
             "beat" => RunEvent::CellHeartbeat {
                 experiment: e,
@@ -1512,6 +1678,7 @@ mod tests {
                 wall_seconds: 2.0,
                 instructions: 400_000,
                 minstr_per_sec: 0.2,
+                worker: None,
             },
             "fail" => RunEvent::CellFailed {
                 experiment: e,
@@ -1519,6 +1686,7 @@ mod tests {
                 design: d,
                 wall_seconds: 2.0,
                 error: "forward-progress watchdog[livelock]: wedged".into(),
+                worker: None,
             },
             other => panic!("unknown kind {other}"),
         }
@@ -1720,6 +1888,18 @@ ubs_minstr_per_sec{run=\"faulty\"} 0
 # HELP ubs_watchdog_trips_total Watchdog trips by kind.
 # TYPE ubs_watchdog_trips_total counter
 ubs_watchdog_trips_total{run=\"faulty\",kind=\"livelock\"} 1
+# HELP ubs_lease_steals_total Cells stolen from stale worker leases.
+# TYPE ubs_lease_steals_total counter
+ubs_lease_steals_total{run=\"candidate\"} 0
+ubs_lease_steals_total{run=\"faulty\"} 0
+# HELP ubs_quarantined_total Cells quarantined after exhausting their retries.
+# TYPE ubs_quarantined_total counter
+ubs_quarantined_total{run=\"candidate\"} 0
+ubs_quarantined_total{run=\"faulty\"} 0
+# HELP ubs_workers_alive Shard workers currently alive (supervised runs).
+# TYPE ubs_workers_alive gauge
+ubs_workers_alive{run=\"candidate\"} 0
+ubs_workers_alive{run=\"faulty\"} 0
 # HELP ubs_event_lag_seconds Seconds since the run's event log last grew.
 # TYPE ubs_event_lag_seconds gauge
 ubs_event_lag_seconds{run=\"candidate\"} 0.5
@@ -1735,7 +1915,160 @@ ubs_run_finished{run=\"faulty\"} 1
 ";
         assert_eq!(text, expected);
         let samples = validate_prometheus(&text).unwrap();
-        assert_eq!(samples, 23);
+        assert_eq!(samples, 29);
+    }
+
+    #[test]
+    fn sharded_lifecycle_folds_workers_steals_and_quarantine() {
+        let mut state = RunState::new("r1", Path::new("/tmp/r1"));
+        let mut seq = 0;
+        let mut push = |state: &mut RunState, event: RunEvent| {
+            let now = seq as f64 * 0.25;
+            state.ingest(record(seq, now, event), now);
+            seq += 1;
+        };
+        push(&mut state, run_started());
+        push(
+            &mut state,
+            RunEvent::WorkerStarted {
+                worker: "w1".into(),
+                pid: 100,
+            },
+        );
+        push(
+            &mut state,
+            RunEvent::WorkerStarted {
+                worker: "w2".into(),
+                pid: 200,
+            },
+        );
+        push(&mut state, cell_event("sched", 0));
+        let started_by = |w: &str| RunEvent::CellStarted {
+            experiment: "fig10".into(),
+            workload: "server_000".into(),
+            design: "ubs".into(),
+            worker: Some(w.into()),
+        };
+        push(&mut state, started_by("w1"));
+        assert_eq!(state.cells[KEY].worker.as_deref(), Some("w1"));
+        // w1 dies; w2 steals and re-runs the cell.
+        push(
+            &mut state,
+            RunEvent::WorkerDied {
+                worker: "w1".into(),
+                pid: 100,
+                exit: None,
+                restarting: false,
+            },
+        );
+        push(
+            &mut state,
+            RunEvent::LeaseStolen {
+                experiment: "fig10".into(),
+                workload: "server_000".into(),
+                design: "ubs".into(),
+                from_worker: "w1".into(),
+                by_worker: "w2".into(),
+            },
+        );
+        push(&mut state, started_by("w2"));
+        assert_eq!(state.lease_steals, 1);
+        assert_eq!(state.cells[KEY].worker.as_deref(), Some("w2"));
+        assert_eq!(state.workers.len(), 2);
+        assert!(!state.workers["w1"].alive);
+        assert!(state.workers["w2"].alive);
+        // The cell fails every retry and is quarantined.
+        push(&mut state, cell_event("fail", 0));
+        push(
+            &mut state,
+            RunEvent::CellQuarantined {
+                experiment: "fig10".into(),
+                workload: "server_000".into(),
+                design: "ubs".into(),
+                worker: Some("w2".into()),
+                attempts: 3,
+                error: "injected fault".into(),
+            },
+        );
+        assert_eq!(state.quarantined, 1);
+        assert!(state.cells[KEY].quarantined);
+
+        let summary = run_summary_json(&state, 2.0);
+        assert_eq!(summary["lease_steals"].as_u64(), Some(1));
+        assert_eq!(summary["quarantined"].as_u64(), Some(1));
+        assert_eq!(summary["workers_alive"].as_u64(), Some(1));
+        let detail = run_detail_json(&state, 2.0);
+        assert_eq!(detail["workers"]["w1"]["alive"].as_bool(), Some(false));
+        assert_eq!(detail["cell_details"][0]["worker"], "w2");
+        assert_eq!(
+            detail["cell_details"][0]["quarantined"].as_bool(),
+            Some(true)
+        );
+
+        let mut gauges = FleetGauges::new();
+        gauges.push(RunGauges::observe(&state, 2.0));
+        let text = gauges.render();
+        assert!(text.contains("ubs_lease_steals_total{run=\"r1\"} 1"));
+        assert!(text.contains("ubs_quarantined_total{run=\"r1\"} 1"));
+        assert!(text.contains("ubs_workers_alive{run=\"r1\"} 1"));
+        validate_prometheus(&text).unwrap();
+
+        // RunFinished retires every worker.
+        push(
+            &mut state,
+            RunEvent::RunFinished {
+                wall_seconds: 3.0,
+                cells_total: 1,
+                cells_failed: 1,
+                ok: false,
+            },
+        );
+        assert!(state.workers.values().all(|w| !w.alive));
+
+        // Dashboard surfaces the worker roster and the steal count.
+        let html = render_dashboard(std::slice::from_ref(&state), 3.0);
+        assert!(html.contains("1 lease steal(s)"));
+        assert!(html.contains("1 quarantined"));
+        assert!(html.contains("w1"));
+    }
+
+    #[test]
+    fn tailer_reset_refolds_the_run_view() {
+        let dir = std::env::temp_dir().join(format!("ubs-serve-reset-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("events.ndjson");
+        let line = |seq: u64, event: &RunEvent| {
+            let mut rec = serde_json::to_value(record(seq, 0.1, event.clone())).unwrap();
+            rec["elapsed_s"] = json!(0.1 * seq as f64);
+            format!("{rec}\n")
+        };
+        // First incarnation: a run that schedules and starts one cell.
+        let mut body = String::new();
+        body.push_str(&line(0, &run_started()));
+        body.push_str(&line(1, &cell_event("sched", 0)));
+        body.push_str(&line(2, &cell_event("start", 0)));
+        std::fs::write(&log, &body).unwrap();
+        let mut state = RunState::new("r1", &dir);
+        state.poll(0.5);
+        assert_eq!(state.records.len(), 3);
+        assert_eq!(state.tailer_resets, 0);
+        // The directory is reused: a shorter, fresh log replaces it.
+        let mut body = String::new();
+        body.push_str(&line(0, &run_started()));
+        std::fs::write(&log, &body).unwrap();
+        state.poll(1.0);
+        assert_eq!(state.tailer_resets, 1, "shrunk log must flag a reset");
+        assert_eq!(
+            state.records.len(),
+            1,
+            "the view must refold from the new log alone"
+        );
+        assert!(state.cells.is_empty());
+        let summary = run_summary_json(&state, 1.5);
+        assert_eq!(summary["tailer_resets"].as_u64(), Some(1));
+        let html = render_dashboard(std::slice::from_ref(&state), 1.5);
+        assert!(html.contains("tailer reset"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,1179 @@
+//! Cooperative multi-process ("sharded") grid execution.
+//!
+//! N independent `repro all --json DIR --worker` processes share one grid
+//! through the journal directory: each cell is claimed by atomically
+//! creating `journal/leases/<cell>.lease` (worker id, pid, build stamp,
+//! fsync'd heartbeat timestamp), simulated, journaled, and released. A
+//! worker that finds a lease whose holder is dead (no heartbeat within the
+//! TTL, or a pid that no longer exists) *steals* the cell: it rewrites the
+//! lease, emits a [`RunEvent::LeaseStolen`], and re-simulates. Failed cells
+//! are retried with exponential backoff + deterministic jitter up to
+//! `--max-retries`; a cell that fails every attempt is quarantined into
+//! `journal/poison/` so the rest of the grid completes.
+//!
+//! Workers write *no* result artifacts — only journal entries. After every
+//! worker exits, the supervisor (or any later `--resume` run) replays the
+//! journal through the ordinary resume path and writes `{id}.json` plus the
+//! manifest, so a sharded run is bit-exact against a single-process run by
+//! construction.
+//!
+//! [`run_supervise`] is the convenience harness: it forks N workers,
+//! relays their stdout event streams into the supervisor's own sinks,
+//! restarts dead workers with capped backoff, forwards SIGINT/SIGTERM, and
+//! runs the assembly pass at the end.
+
+use crate::cli::{ExitCode, RunOptions};
+use crate::fault::FaultPlan;
+use crate::figures::{run_by_id_with, ExperimentError};
+use crate::journal::{CellJournal, JournalMeta};
+use crate::obs::{EventSink, FanoutSink, GitInfo, LiveRenderer, NdjsonSink, RunEvent};
+use crate::runner::RunContext;
+use serde::{Deserialize, Serialize};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Default lease heartbeat TTL in seconds (`--lease-ttl`): a lease whose
+/// heartbeat is older than this is considered abandoned and stealable.
+pub const DEFAULT_LEASE_TTL_SECS: f64 = 30.0;
+
+/// Default retry budget per cell (`--max-retries`): a cell may fail this
+/// many times *beyond* its first attempt before being quarantined.
+pub const DEFAULT_MAX_RETRIES: u32 = 2;
+
+/// Marker inside the panic a [`LeaseGuard::beat`] raises when it discovers
+/// its lease was stolen out from under it — the shard loop recognises it
+/// and abandons the cell without retrying or quarantining.
+pub const LEASE_USURPED_MARKER: &str = "lease usurped";
+
+/// Marker inside the panic the heartbeat hook raises when a cooperative
+/// shutdown (SIGINT/SIGTERM) was requested mid-cell.
+pub const SHUTDOWN_PANIC_MARKER: &str = "worker shutdown requested";
+
+/// How long a worker sleeps before re-checking a cell whose lease is held
+/// by a live sibling.
+pub(crate) const HELD_POLL: Duration = Duration::from_millis(100);
+
+/// Grace period after a steal before re-reading the lease to confirm the
+/// steal won (two thieves may race; the last rename wins).
+const STEAL_GRACE: Duration = Duration::from_millis(100);
+
+/// Restart budget per supervisor slot before giving up on it. The grid
+/// still completes: whatever the dead slot left undone is simulated
+/// in-process by the assembly pass.
+const MAX_RESTARTS: u32 = 10;
+
+/// How long the supervisor waits after forwarding SIGTERM before killing
+/// surviving workers outright.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+
+// ---------------------------------------------------------------------------
+// Cooperative shutdown signals (no libc dependency: two C symbols suffice).
+
+mod sig {
+    use super::{AtomicBool, Ordering};
+
+    pub(super) static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+    pub(super) const SIGINT: i32 = 2;
+    pub(super) const SIGTERM: i32 = 15;
+
+    #[cfg(unix)]
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+
+    #[cfg(unix)]
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: raise the flag and return.
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    #[cfg(unix)]
+    pub(super) fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub(super) fn install() {}
+
+    #[cfg(unix)]
+    pub(super) fn send(pid: u32, signum: i32) {
+        unsafe {
+            kill(pid as i32, signum);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub(super) fn send(_pid: u32, _signum: i32) {}
+}
+
+/// Installs SIGINT/SIGTERM handlers that raise the process-wide cooperative
+/// shutdown flag ([`shutdown_requested`]) instead of killing the process,
+/// so leases are released and the journal + event log are flushed on the
+/// way out. Idempotent.
+pub fn install_shutdown_handlers() {
+    sig::install();
+}
+
+/// True once SIGINT or SIGTERM has been received (after
+/// [`install_shutdown_handlers`]). Worker loops poll this between cells and
+/// at every lease heartbeat.
+pub fn shutdown_requested() -> bool {
+    sig::SHUTDOWN.load(Ordering::SeqCst)
+}
+
+// ---------------------------------------------------------------------------
+// Lease files.
+
+/// The contents of `journal/leases/<cell>.lease`: who holds the cell and
+/// when they last proved they were alive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeaseInfo {
+    /// Worker id of the holder (`--worker-id`, default `w<pid>`).
+    pub worker: String,
+    /// Process id of the holder, for dead-holder detection on one host.
+    pub pid: u32,
+    /// Build stamp of the holder, when detectable.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub git: Option<GitInfo>,
+    /// Unix timestamp (seconds) of the last fsync'd heartbeat refresh.
+    pub heartbeat_unix_s: f64,
+}
+
+fn now_unix_s() -> f64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0)
+}
+
+/// Liveness probe for a pid on the same host. Where `/proc` is not
+/// available the answer is `true` and staleness falls back to the TTL.
+fn pid_is_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new("/proc").join(pid.to_string()).exists()
+    } else {
+        true
+    }
+}
+
+fn read_lease(path: &Path) -> Option<LeaseInfo> {
+    let body = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&body).ok()
+}
+
+/// Writes a lease via fsync'd temp file + atomic rename, so readers only
+/// ever see a complete lease (or none).
+fn write_lease(path: &Path, info: &LeaseInfo) -> Result<(), String> {
+    let tmp = path.with_extension(format!("tmp-{}", info.pid));
+    let body = serde_json::to_string_pretty(info)
+        .map_err(|e| format!("could not serialize lease {}: {e}", path.display()))?;
+    let write = || -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(body.as_bytes())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    };
+    write().map_err(|e| format!("could not write lease {}: {e}", path.display()))
+}
+
+/// Outcome of a [`LeaseManager::claim`] attempt.
+#[derive(Debug)]
+pub enum Claim {
+    /// The cell was free; this worker now holds it.
+    Claimed(LeaseGuard),
+    /// The cell's previous lease was abandoned; this worker stole it.
+    Stolen {
+        /// The new lease, held by this worker.
+        guard: LeaseGuard,
+        /// Worker id the lease was stolen from (`unknown` for a lease too
+        /// malformed to name its holder).
+        from: String,
+    },
+    /// A live sibling holds the cell; retry later.
+    Held {
+        /// Worker id of the live holder, best effort.
+        holder: String,
+    },
+}
+
+/// Creates, steals, refreshes, and releases cell leases under
+/// `journal/leases/`.
+#[derive(Debug)]
+pub struct LeaseManager {
+    dir: PathBuf,
+    worker: String,
+    pid: u32,
+    git: Option<GitInfo>,
+    ttl: Duration,
+}
+
+impl LeaseManager {
+    /// A manager for this process under `json_dir`'s journal, creating the
+    /// lease directory if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the offending path on I/O failure.
+    pub fn new(json_dir: &Path, worker: &str, ttl_secs: f64) -> Result<Self, String> {
+        let dir = json_dir
+            .join(CellJournal::DIR_NAME)
+            .join(CellJournal::LEASE_DIR);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("could not create lease dir {}: {e}", dir.display()))?;
+        Ok(LeaseManager {
+            dir,
+            worker: worker.to_string(),
+            pid: std::process::id(),
+            git: GitInfo::detect(),
+            ttl: Duration::from_secs_f64(ttl_secs.max(0.1)),
+        })
+    }
+
+    /// The heartbeat TTL leases are judged stale against.
+    pub fn ttl(&self) -> Duration {
+        self.ttl
+    }
+
+    fn lease_path(&self, cell: &str) -> PathBuf {
+        self.dir.join(format!("{cell}.lease"))
+    }
+
+    fn fresh_info(&self) -> LeaseInfo {
+        LeaseInfo {
+            worker: self.worker.clone(),
+            pid: self.pid,
+            git: self.git.clone(),
+            heartbeat_unix_s: now_unix_s(),
+        }
+    }
+
+    fn guard(&self, path: PathBuf) -> LeaseGuard {
+        // Refresh at roughly a quarter of the TTL so a healthy holder never
+        // looks stale, without fsyncing at every watchdog checkpoint.
+        let interval = Duration::from_secs_f64((self.ttl.as_secs_f64() / 4.0).max(1.0));
+        LeaseGuard {
+            path,
+            worker: self.worker.clone(),
+            pid: self.pid,
+            git: self.git.clone(),
+            throttle: parking_lot::Mutex::new(ubs_uarch::CheckpointThrottle::new(interval)),
+            released: AtomicBool::new(false),
+        }
+    }
+
+    /// Tries to claim `cell` (the journal's `{workload}__{design}` key).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O failure creating or rewriting the lease
+    /// file; callers defer the cell and retry.
+    pub fn claim(&self, cell: &str) -> Result<Claim, String> {
+        let path = self.lease_path(cell);
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(mut f) => {
+                let body = serde_json::to_string_pretty(&self.fresh_info())
+                    .map_err(|e| format!("could not serialize lease {}: {e}", path.display()))?;
+                f.write_all(body.as_bytes())
+                    .and_then(|()| f.sync_all())
+                    .map_err(|e| format!("could not write lease {}: {e}", path.display()))?;
+                Ok(Claim::Claimed(self.guard(path)))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => self.consider_steal(&path),
+            Err(e) => Err(format!("could not create lease {}: {e}", path.display())),
+        }
+    }
+
+    /// The cell's lease exists: decide between waiting and stealing.
+    fn consider_steal(&self, path: &Path) -> Result<Claim, String> {
+        let current = read_lease(path);
+        let stale = match &current {
+            Some(info) if info.worker == self.worker && info.pid == self.pid => {
+                // Our own leftover (an earlier claim this process never
+                // released); re-take it silently.
+                return Ok(Claim::Claimed(self.guard(path.to_path_buf())));
+            }
+            Some(info) => {
+                let age = now_unix_s() - info.heartbeat_unix_s;
+                age > self.ttl.as_secs_f64() || !pid_is_alive(info.pid)
+            }
+            None => {
+                // Unreadable lease: either torn mid-write by a crash (its
+                // mtime stops advancing) or momentarily empty between a
+                // sibling's create and first write (fresh mtime). Only the
+                // former is stealable.
+                std::fs::metadata(path)
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|t| t.elapsed().ok())
+                    .is_some_and(|age| age > self.ttl)
+            }
+        };
+        let holder = current
+            .as_ref()
+            .map(|i| i.worker.clone())
+            .unwrap_or_else(|| "unknown".to_string());
+        if !stale {
+            return Ok(Claim::Held { holder });
+        }
+        // Steal: atomically rename our lease over the stale one, then give
+        // racing thieves a beat and confirm the rename actually won.
+        write_lease(path, &self.fresh_info())?;
+        std::thread::sleep(STEAL_GRACE);
+        match read_lease(path) {
+            Some(after) if after.worker == self.worker && after.pid == self.pid => {
+                Ok(Claim::Stolen {
+                    guard: self.guard(path.to_path_buf()),
+                    from: holder,
+                })
+            }
+            Some(after) => Ok(Claim::Held {
+                holder: after.worker,
+            }),
+            None => Ok(Claim::Held { holder }),
+        }
+    }
+}
+
+/// A held cell lease. Refreshed via [`beat`](LeaseGuard::beat) off the
+/// watchdog-checkpoint stream; released on drop (best effort) or
+/// explicitly via [`release`](LeaseGuard::release).
+#[derive(Debug)]
+pub struct LeaseGuard {
+    path: PathBuf,
+    worker: String,
+    pid: u32,
+    git: Option<GitInfo>,
+    throttle: parking_lot::Mutex<ubs_uarch::CheckpointThrottle>,
+    released: AtomicBool,
+}
+
+impl LeaseGuard {
+    /// Refreshes the lease heartbeat, throttled to roughly TTL/4. Each
+    /// refresh first re-reads the lease to confirm this worker still holds
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics with [`LEASE_USURPED_MARKER`] when the lease now names a
+    /// different holder — the cell was stolen (a TTL misjudgement under
+    /// extreme scheduling delay), and continuing would double-simulate it.
+    /// The shard loop contains the panic and abandons the cell.
+    pub fn beat(&self) {
+        if !self.throttle.lock().ready() {
+            return;
+        }
+        if let Some(info) = read_lease(&self.path) {
+            if info.worker != self.worker || info.pid != self.pid {
+                panic!(
+                    "{LEASE_USURPED_MARKER}: lease {} now held by {} (pid {}); abandoning the cell",
+                    self.path.display(),
+                    info.worker,
+                    info.pid
+                );
+            }
+        }
+        let info = LeaseInfo {
+            worker: self.worker.clone(),
+            pid: self.pid,
+            git: self.git.clone(),
+            heartbeat_unix_s: now_unix_s(),
+        };
+        if let Err(e) = write_lease(&self.path, &info) {
+            // Best effort: a missed refresh only risks an early steal,
+            // which the usurpation check above then catches.
+            eprintln!("warning: {e}");
+        }
+    }
+
+    /// Removes the lease file if this worker still holds it. Idempotent;
+    /// also runs on drop.
+    pub fn release(&self) {
+        if self.released.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(info) = read_lease(&self.path) {
+            if info.worker == self.worker && info.pid == self.pid {
+                let _ = std::fs::remove_file(&self.path);
+            }
+        }
+    }
+}
+
+impl Drop for LeaseGuard {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retry backoff.
+
+/// Deterministic per-(worker, cell) salt for backoff jitter, so retries of
+/// the same cell by different workers de-correlate without a RNG.
+pub(crate) fn jitter_salt(cell: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in cell.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ u64::from(std::process::id())
+}
+
+/// Exponential backoff with ±50% deterministic jitter: base 0.2s doubled
+/// per attempt, capped at 5s before jitter.
+pub(crate) fn backoff_delay(attempt: u32, salt: u64) -> Duration {
+    let base = (0.2 * 2f64.powi(attempt.min(8) as i32)).min(5.0);
+    let mut x = salt ^ u64::from(attempt + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    let frac = (x >> 11) as f64 / (1u64 << 53) as f64;
+    Duration::from_secs_f64(base * (0.5 + frac))
+}
+
+// ---------------------------------------------------------------------------
+// The shard handle the runner executes under.
+
+/// Everything the runner's sharded job loop needs: this worker's identity,
+/// the lease manager, and the per-cell retry budget. Attached to a
+/// [`RunContext`] via [`RunContext::with_shard`].
+#[derive(Debug)]
+pub struct ShardHandle {
+    worker: String,
+    leases: LeaseManager,
+    max_retries: u32,
+}
+
+impl ShardHandle {
+    /// A handle for `worker` over `json_dir`'s journal.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the offending path on I/O failure.
+    pub fn new(
+        json_dir: &Path,
+        worker: String,
+        max_retries: u32,
+        ttl_secs: f64,
+    ) -> Result<Self, String> {
+        Ok(ShardHandle {
+            leases: LeaseManager::new(json_dir, &worker, ttl_secs)?,
+            worker,
+            max_retries,
+        })
+    }
+
+    /// This worker's id, stamped into events and poison records.
+    pub fn worker_id(&self) -> &str {
+        &self.worker
+    }
+
+    /// The lease manager for claim/steal/release.
+    pub fn leases(&self) -> &LeaseManager {
+        &self.leases
+    }
+
+    /// Retries allowed per cell beyond the first attempt.
+    pub fn max_retries(&self) -> u32 {
+        self.max_retries
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker mode.
+
+/// Relays bare [`RunEvent`] JSON lines on stdout, one per line, for a
+/// supervising parent (or a pipe). Rust's stdout is line buffered under a
+/// lock, so even a SIGKILL leaves only whole lines in the pipe.
+#[derive(Debug, Default)]
+pub struct StdoutRelaySink;
+
+impl EventSink for StdoutRelaySink {
+    fn emit(&self, event: &RunEvent) {
+        let Ok(line) = serde_json::to_string(event) else {
+            return;
+        };
+        let mut out = std::io::stdout().lock();
+        let _ = writeln!(out, "{line}");
+    }
+    fn flush(&self) {
+        let _ = std::io::stdout().lock().flush();
+    }
+}
+
+/// Runs this process as one cooperative worker over a shared journal
+/// (`repro <ids> --json DIR --worker`): claims cells via leases, steals
+/// abandoned ones, retries + quarantines failures, and journals every
+/// completed cell. Writes no result artifacts — a later assembly pass (the
+/// supervisor's, or any `--resume` run) produces those. Emits bare events
+/// on stdout via [`StdoutRelaySink`].
+///
+/// Exits 0 when the grid is complete (including quarantined cells), 4 on
+/// infrastructure errors; a SIGINT/SIGTERM mid-run releases held leases
+/// and exits 130 directly.
+pub fn run_worker(opts: &RunOptions) -> ExitCode {
+    install_shutdown_handlers();
+    let Some(json_dir) = &opts.json_dir else {
+        eprintln!("error: --worker requires --json DIR");
+        return ExitCode::Usage;
+    };
+    let worker_id = opts
+        .worker
+        .clone()
+        .unwrap_or_else(|| format!("w{}", std::process::id()));
+    let fault = match FaultPlan::from_env() {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::Usage;
+        }
+    };
+    if fault.is_some() {
+        eprintln!(
+            "warning: fault injection active via {} in worker {worker_id}",
+            FaultPlan::ENV_VAR
+        );
+    }
+    let meta = JournalMeta::new(opts.effort, opts.scale, opts.timeline, opts.metrics);
+    let journal = match CellJournal::worker(json_dir, &meta) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::Infra;
+        }
+    };
+    for w in journal.warnings() {
+        eprintln!("warning: {w}");
+    }
+    let shard = match ShardHandle::new(
+        json_dir,
+        worker_id.clone(),
+        opts.max_retries,
+        opts.lease_ttl,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::Infra;
+        }
+    };
+    let sink = StdoutRelaySink;
+
+    let mut infra: Option<String> = None;
+    for id in &opts.ids {
+        if shutdown_requested() {
+            break;
+        }
+        let ctx = RunContext::new(opts.effort, opts.scale)
+            .with_threads(opts.threads)
+            .with_timeline(opts.timeline)
+            .with_metrics(opts.metrics)
+            .with_journal(Some(&journal))
+            .with_cell_timeout(opts.cell_timeout)
+            .with_fault(fault.as_ref())
+            .with_events(Some(&sink))
+            .with_shard(Some(&shard))
+            .with_experiment(id);
+        match run_by_id_with(id, &ctx) {
+            // Cell failures were retried and quarantined by the shard loop;
+            // the grid itself is complete. The assembly pass reports them.
+            Ok(_) | Err(ExperimentError::Cells(_)) => {}
+            Err(ExperimentError::Other(e)) => {
+                infra = Some(format!("[{id}] {e}"));
+                break;
+            }
+        }
+    }
+    sink.flush();
+    if shutdown_requested() {
+        eprintln!("[worker {worker_id}: shutdown requested; exiting]");
+        std::process::exit(130);
+    }
+    match infra {
+        Some(e) => {
+            eprintln!("error: {e}");
+            ExitCode::Infra
+        }
+        None => ExitCode::Success,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Supervise mode.
+
+/// Reconstructs the argv a worker subprocess needs to join this run.
+fn worker_args(opts: &RunOptions, json_dir: &Path, worker_id: &str) -> Vec<String> {
+    let mut args: Vec<String> = opts.ids.clone();
+    args.push(format!("--effort={}", opts.effort.label()));
+    if opts.scale == crate::suitescale::SuiteScale::tiny() {
+        args.push("--tiny-suites".to_string());
+    } else if opts.scale == crate::suitescale::SuiteScale::full() {
+        args.push("--full-suites".to_string());
+    }
+    if let Some(t) = opts.threads {
+        args.push(format!("--threads={t}"));
+    }
+    args.push(format!("--json={}", json_dir.display()));
+    if opts.timeline {
+        args.push("--timeline".to_string());
+    }
+    if opts.metrics {
+        args.push("--metrics".to_string());
+    }
+    if let Some(secs) = opts.cell_timeout {
+        args.push(format!("--cell-timeout={secs}"));
+    }
+    args.push("--worker".to_string());
+    args.push(format!("--worker-id={worker_id}"));
+    args.push(format!("--max-retries={}", opts.max_retries));
+    args.push(format!("--lease-ttl={}", opts.lease_ttl));
+    args
+}
+
+/// Parses each stdout line of a worker as a bare [`RunEvent`] and re-emits
+/// it through the supervisor's sink (which stamps its own envelope).
+/// Malformed lines degrade to a warning — a worker can die mid-write.
+fn relay_worker_stdout(stdout: ChildStdout, worker: String, sink: &dyn EventSink) {
+    use std::io::BufRead as _;
+    let reader = std::io::BufReader::new(stdout);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<RunEvent>(trimmed) {
+            Ok(event) => sink.emit(&event),
+            Err(e) => {
+                let snippet: String = trimmed.chars().take(120).collect();
+                eprintln!("warning: worker {worker}: unrelayable event line ({e}): {snippet}");
+            }
+        }
+    }
+}
+
+/// One supervised worker slot.
+struct Slot {
+    id: usize,
+    child: Option<Child>,
+    pid: u32,
+    restarts: u32,
+    next_restart: Option<Instant>,
+    done: bool,
+}
+
+impl Slot {
+    fn worker_id(&self) -> String {
+        format!("w{}", self.id)
+    }
+}
+
+/// Capped exponential backoff between restarts of one worker slot.
+fn restart_backoff(restarts: u32) -> Duration {
+    Duration::from_secs_f64((0.5 * 2f64.powi(restarts.min(8) as i32)).min(30.0))
+}
+
+/// Forks `workers` cooperative worker subprocesses over one shared journal,
+/// restarts any that die with capped backoff, relays their event streams
+/// into this process's sinks (NDJSON file + live renderer), and — once the
+/// grid is complete — runs the assembly pass that replays the journal and
+/// writes results, manifest, and inspect pages exactly like a
+/// single-process run.
+///
+/// SIGINT/SIGTERM are forwarded to workers; the supervisor then flushes
+/// its event log and exits 130 without assembling.
+pub fn run_supervise(opts: &RunOptions, workers: usize) -> ExitCode {
+    install_shutdown_handlers();
+    let run_started = Instant::now();
+    let Some(json_dir) = opts.json_dir.clone() else {
+        eprintln!("error: --supervise requires --json DIR");
+        return ExitCode::Usage;
+    };
+    let fault = match FaultPlan::from_env() {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::Usage;
+        }
+    };
+    if fault.is_some() {
+        eprintln!(
+            "warning: fault injection active via {} — workers inherit it",
+            FaultPlan::ENV_VAR
+        );
+    }
+
+    // Initialise (or resume) the journal up front so `meta.json` exists
+    // before the first worker opens it, then let the handle go: workers own
+    // the journal until assembly.
+    let meta = JournalMeta::new(opts.effort, opts.scale, opts.timeline, opts.metrics);
+    let init = if opts.resume {
+        CellJournal::resume(&json_dir, &meta)
+    } else {
+        CellJournal::fresh(&json_dir, &meta)
+    };
+    let replayed = match init {
+        Ok(j) => {
+            for w in j.warnings() {
+                eprintln!("warning: {w}");
+            }
+            j.len()
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::Infra;
+        }
+    };
+
+    let ndjson = match &opts.events {
+        Some(path) => match NdjsonSink::create(path) {
+            Ok(sink) => Some(sink),
+            Err(e) => {
+                eprintln!("error: cannot create event log {}: {e}", path.display());
+                return ExitCode::Infra;
+            }
+        },
+        None => None,
+    };
+    let renderer = {
+        let cfg = opts.effort.sim_config();
+        LiveRenderer::for_stderr(cfg.warmup_instrs + cfg.sim_instrs)
+    };
+    let mut sink_refs: Vec<&dyn EventSink> = Vec::new();
+    if let Some(s) = &ndjson {
+        sink_refs.push(s);
+    }
+    sink_refs.push(&renderer);
+    let fanout = FanoutSink::new(sink_refs);
+
+    let per_worker_threads = opts
+        .threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1);
+    fanout.emit(&RunEvent::RunStarted {
+        effort: opts.effort,
+        scale: opts.scale,
+        threads: per_worker_threads,
+        experiments: opts.ids.clone(),
+        git: GitInfo::detect(),
+    });
+    if opts.resume && replayed > 0 {
+        fanout.emit(&RunEvent::JournalReplayed { cells: replayed });
+    }
+
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: cannot locate own executable for worker spawn: {e}");
+            return ExitCode::Infra;
+        }
+    };
+    let spawn_worker = |slot_id: usize| -> std::io::Result<Child> {
+        Command::new(&exe)
+            .args(worker_args(opts, &json_dir, &format!("w{slot_id}")))
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+    };
+
+    eprintln!(
+        "[supervise: {workers} workers × {per_worker_threads} threads over {}]",
+        json_dir.display()
+    );
+
+    std::thread::scope(|scope| {
+        let mut slots: Vec<Slot> = Vec::new();
+        for id in 1..=workers {
+            slots.push(Slot {
+                id,
+                child: None,
+                pid: 0,
+                restarts: 0,
+                next_restart: Some(Instant::now()),
+                done: false,
+            });
+        }
+        let mut shutdown_at: Option<Instant> = None;
+        loop {
+            for slot in &mut slots {
+                if slot.done {
+                    continue;
+                }
+                if slot.child.is_none() {
+                    if shutdown_requested() {
+                        slot.done = true;
+                        continue;
+                    }
+                    if slot.next_restart.is_some_and(|t| Instant::now() >= t) {
+                        match spawn_worker(slot.id) {
+                            Ok(mut child) => {
+                                slot.pid = child.id();
+                                let wid = slot.worker_id();
+                                fanout.emit(&RunEvent::WorkerStarted {
+                                    worker: wid.clone(),
+                                    pid: slot.pid,
+                                });
+                                if let Some(stdout) = child.stdout.take() {
+                                    let sink: &dyn EventSink = &fanout;
+                                    scope.spawn(move || relay_worker_stdout(stdout, wid, sink));
+                                }
+                                slot.child = Some(child);
+                                slot.next_restart = None;
+                            }
+                            Err(e) => {
+                                eprintln!(
+                                    "warning: could not spawn worker {}: {e}",
+                                    slot.worker_id()
+                                );
+                                slot.restarts += 1;
+                                if slot.restarts > MAX_RESTARTS {
+                                    slot.done = true;
+                                } else {
+                                    slot.next_restart =
+                                        Some(Instant::now() + restart_backoff(slot.restarts));
+                                }
+                            }
+                        }
+                    }
+                    continue;
+                }
+                let status = match slot.child.as_mut().map(|c| c.try_wait()) {
+                    Some(Ok(s)) => s,
+                    Some(Err(e)) => {
+                        eprintln!("warning: wait on worker {} failed: {e}", slot.worker_id());
+                        None
+                    }
+                    None => None,
+                };
+                if let Some(status) = status {
+                    slot.child = None;
+                    if status.code() == Some(0) {
+                        slot.done = true;
+                        continue;
+                    }
+                    let restarting = !shutdown_requested() && slot.restarts < MAX_RESTARTS;
+                    fanout.emit(&RunEvent::WorkerDied {
+                        worker: slot.worker_id(),
+                        pid: slot.pid,
+                        exit: status.code(),
+                        restarting,
+                    });
+                    renderer.clear_transient();
+                    eprintln!(
+                        "warning: worker {} (pid {}) died ({}); {}",
+                        slot.worker_id(),
+                        slot.pid,
+                        match status.code() {
+                            Some(c) => format!("exit {c}"),
+                            None => "killed by signal".to_string(),
+                        },
+                        if restarting {
+                            "restarting"
+                        } else {
+                            "giving up on this slot"
+                        }
+                    );
+                    if restarting {
+                        slot.restarts += 1;
+                        slot.next_restart = Some(Instant::now() + restart_backoff(slot.restarts));
+                    } else {
+                        slot.done = true;
+                    }
+                }
+            }
+            if shutdown_requested() && shutdown_at.is_none() {
+                shutdown_at = Some(Instant::now());
+                renderer.clear_transient();
+                eprintln!("[supervise: shutdown requested; stopping workers]");
+                for slot in &slots {
+                    if slot.child.is_some() {
+                        sig::send(slot.pid, sig::SIGTERM);
+                    }
+                }
+            }
+            if shutdown_at.is_some_and(|t| t.elapsed() > SHUTDOWN_GRACE) {
+                for slot in &mut slots {
+                    if let Some(child) = slot.child.as_mut() {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                    }
+                    slot.done = true;
+                }
+            }
+            if slots.iter().all(|s| s.done) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    });
+
+    if shutdown_requested() {
+        fanout.emit(&RunEvent::RunFinished {
+            wall_seconds: run_started.elapsed().as_secs_f64(),
+            cells_total: 0,
+            cells_failed: 0,
+            ok: false,
+        });
+        fanout.flush();
+        eprintln!("[supervise: interrupted; journal and event log flushed]");
+        std::process::exit(130);
+    }
+
+    // Assembly: replay the shared journal through the ordinary resume path
+    // and write results + manifest in-process. Cells no worker finished
+    // (e.g. every slot exhausted its restarts) are simulated here, so the
+    // grid always completes; quarantined cells surface as typed failures.
+    let assembly = match CellJournal::resume(&json_dir, &meta) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: {e}");
+            fanout.emit(&RunEvent::RunFinished {
+                wall_seconds: run_started.elapsed().as_secs_f64(),
+                cells_total: 0,
+                cells_failed: 0,
+                ok: false,
+            });
+            fanout.flush();
+            return ExitCode::Infra;
+        }
+    };
+    for w in assembly.warnings() {
+        eprintln!("warning: {w}");
+    }
+    eprintln!(
+        "[assembly: {} journaled cells, {} quarantined]",
+        assembly.len(),
+        assembly.poison_count()
+    );
+    fanout.emit(&RunEvent::JournalReplayed {
+        cells: assembly.len(),
+    });
+    let assembly_opts = RunOptions {
+        resume: true,
+        worker: None,
+        supervise: None,
+        ..opts.clone()
+    };
+    let outcome = crate::runcmd::execute_grid(
+        &assembly_opts,
+        Some(&assembly),
+        fault.as_ref(),
+        &fanout,
+        &renderer,
+    );
+
+    fanout.emit(&RunEvent::RunFinished {
+        wall_seconds: run_started.elapsed().as_secs_f64(),
+        cells_total: outcome.cells_total,
+        cells_failed: outcome.cells_failed,
+        ok: outcome.code == ExitCode::Success,
+    });
+    fanout.flush();
+    if let Some(sink) = &ndjson {
+        eprintln!("[events: {}]", sink.path().display());
+    }
+    outcome.code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ubs_shard_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn claim_steal_and_release_lifecycle() {
+        let dir = scratch("lease");
+        let a = LeaseManager::new(&dir, "wA", 30.0).unwrap();
+        let b = LeaseManager::new(&dir, "wB", 30.0).unwrap();
+
+        // A claims; B sees it held by a live holder (same pid → alive).
+        let Claim::Claimed(guard) = a.claim("server_000__ubs").unwrap() else {
+            panic!("expected a fresh claim");
+        };
+        match b.claim("server_000__ubs").unwrap() {
+            Claim::Held { holder } => assert_eq!(holder, "wA"),
+            other => panic!("expected Held, got {other:?}"),
+        }
+
+        // Released → B claims it fresh.
+        guard.release();
+        let Claim::Claimed(gb) = b.claim("server_000__ubs").unwrap() else {
+            panic!("expected a claim after release");
+        };
+        drop(gb);
+
+        // A lease from a dead pid is stolen immediately, TTL unexpired.
+        let dead = LeaseInfo {
+            worker: "wGone".to_string(),
+            pid: u32::MAX - 1,
+            git: None,
+            heartbeat_unix_s: now_unix_s(),
+        };
+        let path = a.lease_path("client_000__ubs");
+        write_lease(&path, &dead).unwrap();
+        match a.claim("client_000__ubs").unwrap() {
+            Claim::Stolen { guard, from } => {
+                assert_eq!(from, "wGone");
+                let now = read_lease(&path).expect("stolen lease readable");
+                assert_eq!(now.worker, "wA");
+                assert_eq!(now.pid, std::process::id());
+                guard.release();
+                assert!(!path.exists(), "release removes the lease file");
+            }
+            other => panic!("expected Stolen, got {other:?}"),
+        }
+
+        // An expired heartbeat from a live pid is also stealable.
+        let stale = LeaseInfo {
+            worker: "wSlow".to_string(),
+            pid: std::process::id(),
+            git: None,
+            heartbeat_unix_s: now_unix_s() - 3600.0,
+        };
+        let quick = LeaseManager::new(&dir, "wQ", 0.5).unwrap();
+        let path = quick.lease_path("google_000__ubs");
+        write_lease(&path, &stale).unwrap();
+        assert!(matches!(
+            quick.claim("google_000__ubs").unwrap(),
+            Claim::Stolen { .. }
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_lease_is_held_until_its_mtime_expires() {
+        let dir = scratch("torn");
+        let mgr = LeaseManager::new(&dir, "wA", 3600.0).unwrap();
+        let path = mgr.lease_path("spec_000__ubs");
+        std::fs::write(&path, b"{half a lease").unwrap();
+        // Freshly torn: not stealable (could be a sibling mid-create).
+        match mgr.claim("spec_000__ubs").unwrap() {
+            Claim::Held { holder } => assert_eq!(holder, "unknown"),
+            other => panic!("expected Held, got {other:?}"),
+        }
+        // With a tiny TTL the same torn file ages out and is stolen.
+        let quick = LeaseManager::new(&dir, "wB", 0.1).unwrap();
+        std::thread::sleep(Duration::from_millis(250));
+        match quick.claim("spec_000__ubs").unwrap() {
+            Claim::Stolen { from, .. } => assert_eq!(from, "unknown"),
+            other => panic!("expected Stolen, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn beat_refreshes_and_detects_usurpation() {
+        let dir = scratch("beat");
+        let mgr = LeaseManager::new(&dir, "wA", 0.5).unwrap();
+        let Claim::Claimed(guard) = mgr.claim("server_001__ubs").unwrap() else {
+            panic!("expected a fresh claim");
+        };
+        let path = mgr.lease_path("server_001__ubs");
+        let before = read_lease(&path).unwrap().heartbeat_unix_s;
+        // The throttle passed its first interval (ttl/4 clamped to >= 1s is
+        // 1s; use a direct write instead of waiting): overwrite with an
+        // old heartbeat and beat — ready() answered true on creation only,
+        // so force a second interval by sleeping past 1s.
+        std::thread::sleep(Duration::from_millis(1100));
+        guard.beat();
+        let after = read_lease(&path).unwrap().heartbeat_unix_s;
+        assert!(after >= before, "beat refreshes the heartbeat");
+
+        // Usurp the lease; the next due beat panics with the marker.
+        let thief = LeaseInfo {
+            worker: "wT".to_string(),
+            pid: 1,
+            git: None,
+            heartbeat_unix_s: now_unix_s(),
+        };
+        write_lease(&path, &thief).unwrap();
+        std::thread::sleep(Duration::from_millis(1100));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| guard.beat()))
+            .expect_err("usurped beat must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains(LEASE_USURPED_MARKER), "{msg}");
+        // The guard must not delete the thief's lease on drop.
+        drop(guard);
+        assert_eq!(read_lease(&path).unwrap().worker, "wT");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn backoff_grows_is_capped_and_jitters_deterministically() {
+        let salt = jitter_salt("server_000__ubs");
+        let d0 = backoff_delay(0, salt);
+        let d2 = backoff_delay(2, salt);
+        let d9 = backoff_delay(9, salt);
+        assert!(d0 >= Duration::from_millis(100) && d0 <= Duration::from_millis(300));
+        assert!(d2 > d0);
+        assert!(d9 <= Duration::from_secs_f64(7.5), "cap holds: {d9:?}");
+        assert_eq!(backoff_delay(3, salt), backoff_delay(3, salt));
+        assert_ne!(
+            backoff_delay(3, salt),
+            backoff_delay(3, salt ^ 0xDEAD_BEEF),
+            "different salts de-correlate"
+        );
+    }
+
+    #[test]
+    fn worker_args_round_trip_through_the_parser() {
+        let opts = RunOptions {
+            ids: vec!["fig10".to_string()],
+            effort: crate::runner::Effort::Quick,
+            scale: crate::suitescale::SuiteScale::tiny(),
+            threads: Some(2),
+            json_dir: Some(PathBuf::from("out")),
+            timeline: true,
+            metrics: true,
+            resume: false,
+            cell_timeout: Some(30.0),
+            events: None,
+            worker: None,
+            supervise: Some(3),
+            max_retries: 1,
+            lease_ttl: 5.0,
+        };
+        let args = worker_args(&opts, Path::new("out"), "w2");
+        let parsed = crate::cli::parse(&args).expect("worker argv parses");
+        let crate::cli::Command::Run(w) = parsed else {
+            panic!("expected Run");
+        };
+        assert_eq!(w.ids, vec!["fig10"]);
+        assert_eq!(w.effort, crate::runner::Effort::Quick);
+        assert_eq!(w.scale, crate::suitescale::SuiteScale::tiny());
+        assert_eq!(w.threads, Some(2));
+        assert_eq!(w.json_dir, Some(PathBuf::from("out")));
+        assert!(w.timeline && w.metrics);
+        assert_eq!(w.worker.as_deref(), Some("w2"));
+        assert_eq!(w.supervise, None);
+        assert_eq!(w.max_retries, 1);
+        assert!((w.lease_ttl - 5.0).abs() < 1e-9);
+        assert_eq!(w.cell_timeout, Some(30.0));
+    }
+}

@@ -8,6 +8,12 @@
 //! resumes to results identical to an uninterrupted one, with journaled
 //! cells provably not re-simulated (their journal files keep their
 //! mtimes).
+//!
+//! The sharded-execution tests drive the same binary in `--worker` and
+//! `--supervise` modes: two workers split one grid exactly-once and
+//! bit-exact, a dead holder's lease is stolen, an always-panicking cell is
+//! quarantined while the grid completes, and a supervised run survives a
+//! `SIGKILL`'d worker.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -360,6 +366,313 @@ fn env_injected_panic_exits_cell_failure_and_resume_recovers() {
     assert!(status.success(), "resume after injected fault failed");
     let report = diff_dirs(&clean, &dir, 1.0).unwrap();
     assert!(report.is_clean(), "{}", report.render());
+    let _ = std::fs::remove_dir_all(&clean);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Parses a worker's stdout relay (one bare `RunEvent` JSON per line).
+fn worker_events(stdout: &[u8]) -> Vec<serde_json::Value> {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .filter_map(|line| serde_json::from_str(line.trim()).ok())
+        .collect()
+}
+
+/// `.lease` files currently present under the journal's lease directory.
+fn lease_files(dir: &Path) -> Vec<PathBuf> {
+    let lease_dir = dir.join(CellJournal::DIR_NAME).join(CellJournal::LEASE_DIR);
+    let Ok(listing) = std::fs::read_dir(&lease_dir) else {
+        return Vec::new();
+    };
+    listing
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "lease"))
+        .collect()
+}
+
+#[test]
+fn two_worker_sharded_run_is_exactly_once_and_bit_exact() {
+    let clean = scratch("shard-clean");
+    let dir = scratch("shard-two");
+
+    let status = repro(
+        &["fig1", "--smoke", "--tiny-suites", "--threads=1", "--json"],
+        &clean,
+    )
+    .stdout(Stdio::null())
+    .stderr(Stdio::null())
+    .status()
+    .unwrap();
+    assert!(status.success(), "clean baseline run failed");
+
+    // Two independent worker processes share the same journal directory.
+    let spawn_worker = |id: &str| {
+        repro(
+            &[
+                "fig1",
+                "--smoke",
+                "--tiny-suites",
+                "--threads=1",
+                "--worker",
+                &format!("--worker-id={id}"),
+                "--json",
+            ],
+            &dir,
+        )
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap()
+    };
+    let w1 = spawn_worker("w1");
+    let w2 = spawn_worker("w2");
+    let o1 = w1.wait_with_output().unwrap();
+    let o2 = w2.wait_with_output().unwrap();
+    assert_eq!(o1.status.code(), Some(0), "worker w1 failed");
+    assert_eq!(o2.status.code(), Some(0), "worker w2 failed");
+
+    // Exactly-once: each cell was simulated (CellCompleted) by precisely
+    // one of the two workers.
+    let mut completed: BTreeMap<String, usize> = BTreeMap::new();
+    for event in worker_events(&o1.stdout)
+        .iter()
+        .chain(worker_events(&o2.stdout).iter())
+    {
+        if let Some(c) = event.get("CellCompleted") {
+            let key = format!("{}__{}", c["workload"], c["design"]);
+            *completed.entry(key).or_insert(0) += 1;
+        }
+    }
+    let total = journal_cells(&clean.join(CellJournal::DIR_NAME)).len();
+    assert_eq!(completed.len(), total, "every cell simulated once");
+    for (key, count) in &completed {
+        assert_eq!(*count, 1, "cell {key} was simulated {count} times");
+    }
+    assert!(lease_files(&dir).is_empty(), "all leases released");
+
+    // The assembly pass replays the shared journal (nothing re-simulated)
+    // and the results are bit-exact against the single-process run.
+    let journal_dir = dir.join(CellJournal::DIR_NAME);
+    let before = journal_cells(&journal_dir);
+    assert_eq!(before.len(), total);
+    let status = repro(
+        &[
+            "fig1",
+            "--smoke",
+            "--tiny-suites",
+            "--threads=1",
+            "--resume",
+        ],
+        &dir,
+    )
+    .stdout(Stdio::null())
+    .stderr(Stdio::null())
+    .status()
+    .unwrap();
+    assert!(status.success(), "assembly resume failed");
+    for (name, mtime) in &before {
+        assert_eq!(
+            journal_cells(&journal_dir).get(name),
+            Some(mtime),
+            "journal entry {name} was rewritten by the assembly pass"
+        );
+    }
+    let report = diff_dirs(&clean, &dir, 1.0).unwrap();
+    assert!(report.is_clean(), "{}", report.render());
+    let _ = std::fs::remove_dir_all(&clean);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dead_pid_lease_is_stolen_by_a_live_worker() {
+    let dir = scratch("shard-steal");
+
+    // Plant a lease held by a worker that no longer exists: a pid no
+    // process table reaches and a heartbeat from the epoch.
+    let lease_dir = dir.join(CellJournal::DIR_NAME).join(CellJournal::LEASE_DIR);
+    std::fs::create_dir_all(&lease_dir).unwrap();
+    std::fs::write(
+        lease_dir.join("server_000__conv-32k.lease"),
+        serde_json::to_string(&serde_json::json!({
+            "worker": "ghost",
+            "pid": 4_000_000_000u32,
+            "heartbeat_unix_s": 0.0,
+        }))
+        .unwrap(),
+    )
+    .unwrap();
+
+    let out = repro(
+        &[
+            "fig1",
+            "--smoke",
+            "--tiny-suites",
+            "--threads=1",
+            "--worker",
+            "--worker-id=wlive",
+            "--json",
+        ],
+        &dir,
+    )
+    .stderr(Stdio::null())
+    .output()
+    .unwrap();
+    assert_eq!(out.status.code(), Some(0), "worker failed");
+
+    let events = worker_events(&out.stdout);
+    let stolen = events
+        .iter()
+        .find_map(|e| e.get("LeaseStolen"))
+        .expect("a LeaseStolen event for the ghost lease");
+    assert_eq!(stolen["from_worker"], "ghost");
+    assert_eq!(stolen["by_worker"], "wlive");
+    assert!(lease_files(&dir).is_empty(), "stolen lease released");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn always_failing_cell_is_quarantined_and_the_sharded_grid_completes() {
+    let dir = scratch("shard-poison");
+
+    let out = repro(
+        &[
+            "fig1",
+            "--smoke",
+            "--tiny-suites",
+            "--threads=1",
+            "--worker",
+            "--worker-id=w1",
+            "--max-retries=1",
+            "--json",
+        ],
+        &dir,
+    )
+    .env(FaultPlan::ENV_VAR, "panic:server_000:conv-32k")
+    .output()
+    .unwrap();
+    // The grid completes degraded-but-finished: exit 0 with the poisoned
+    // cell quarantined rather than wedging the worker.
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let events = worker_events(&out.stdout);
+    let quarantined = events
+        .iter()
+        .find_map(|e| e.get("CellQuarantined"))
+        .expect("a CellQuarantined event");
+    assert_eq!(
+        quarantined["attempts"].as_u64(),
+        Some(2),
+        "1 retry = 2 attempts"
+    );
+
+    // The poison record survives on disk with every attempt's error.
+    let poison_path = dir
+        .join(CellJournal::DIR_NAME)
+        .join(CellJournal::POISON_DIR)
+        .join("server_000__conv-32k.json");
+    let record: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&poison_path).unwrap()).unwrap();
+    assert_eq!(record["worker"], "w1");
+    assert_eq!(record["attempts"].as_array().unwrap().len(), 2);
+
+    // The assembly pass reports the quarantined cell as a typed failure.
+    let out = repro(
+        &[
+            "fig1",
+            "--smoke",
+            "--tiny-suites",
+            "--threads=1",
+            "--resume",
+        ],
+        &dir,
+    )
+    .output()
+    .unwrap();
+    assert_eq!(out.status.code(), Some(3), "cell-failure exit for poison");
+    let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+    assert!(manifest.contains("quarantined after"), "{manifest}");
+
+    // And `repro report` surfaces the quarantine.
+    let status = repro(&["report"], &dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success(), "repro report failed");
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("report.json")).unwrap()).unwrap();
+    assert_eq!(report["runs"][0]["poison"].as_array().unwrap().len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn supervised_run_survives_a_sigkilled_worker_bit_exact() {
+    let clean = scratch("supervise-clean");
+    let dir = scratch("supervise-kill");
+
+    let status = repro(
+        &["fig1", "--smoke", "--tiny-suites", "--threads=1", "--json"],
+        &clean,
+    )
+    .stdout(Stdio::null())
+    .stderr(Stdio::null())
+    .status()
+    .unwrap();
+    assert!(status.success(), "clean baseline run failed");
+
+    let mut child = repro(
+        &[
+            "fig1",
+            "--smoke",
+            "--tiny-suites",
+            "--threads=1",
+            "--supervise=2",
+            "--lease-ttl=2",
+            "--json",
+        ],
+        &dir,
+    )
+    .stdout(Stdio::null())
+    .stderr(Stdio::null())
+    .spawn()
+    .unwrap();
+
+    // SIGKILL the first worker caught holding a lease. The supervisor
+    // restarts it and the lease is stolen; if the tiny grid outruns us,
+    // the run simply completes unharmed — bit-exactness is asserted
+    // either way.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while Instant::now() < deadline && child.try_wait().unwrap().is_none() {
+        let mut killed = false;
+        for lease in lease_files(&dir) {
+            let Ok(body) = std::fs::read_to_string(&lease) else {
+                continue;
+            };
+            let Ok(info) = serde_json::from_str::<serde_json::Value>(&body) else {
+                continue;
+            };
+            if let Some(pid) = info["pid"].as_u64() {
+                let _ = Command::new("kill").args(["-9", &pid.to_string()]).status();
+                killed = true;
+                break;
+            }
+        }
+        if killed {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let status = child.wait().unwrap();
+    assert_eq!(status.code(), Some(0), "supervised run must finish cleanly");
+
+    let report = diff_dirs(&clean, &dir, 1.0).unwrap();
+    assert!(report.is_clean(), "{}", report.render());
+    assert!(lease_files(&dir).is_empty(), "all leases released");
     let _ = std::fs::remove_dir_all(&clean);
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -325,6 +325,7 @@ fn stalled_cell_surfaces_before_the_watchdog_trip() {
                 experiment: e,
                 workload: w,
                 design: d,
+                worker: None,
             },
         }
     };
@@ -398,6 +399,7 @@ fn stalled_cell_surfaces_before_the_watchdog_trip() {
         design: "ubs".to_string(),
         wall_seconds: 0.8,
         error: "forward-progress watchdog[livelock]: wedged".to_string(),
+        worker: None,
     });
     sink.emit(&RunEvent::RunFinished {
         wall_seconds: 1.0,

@@ -37,5 +37,6 @@ pub use telemetry::{
     StallClass, Telemetry, TelemetryConfig, TelemetrySink, Timeline, TIMELINE_SCHEMA_VERSION,
 };
 pub use watchdog::{
-    Heartbeat, HeartbeatHook, WatchdogDiagnostic, WatchdogKind, WATCHDOG_PANIC_MARKER,
+    CheckpointThrottle, Heartbeat, HeartbeatHook, WatchdogDiagnostic, WatchdogKind,
+    WATCHDOG_PANIC_MARKER,
 };

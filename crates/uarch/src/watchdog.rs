@@ -40,6 +40,43 @@ pub struct Heartbeat {
 /// simulating thread at every watchdog checkpoint.
 pub type HeartbeatHook<'h> = &'h dyn Fn(&Heartbeat);
 
+/// Rate-limits work hung off the watchdog-checkpoint stream.
+///
+/// Checkpoints arrive every 2^16 cycles — far too often for side effects
+/// with real cost (an fsync'd lease-heartbeat refresh, a liveness probe).
+/// A throttle turns that stream into "at most once per `min_interval`":
+/// callers ask [`ready`](CheckpointThrottle::ready) at each checkpoint and
+/// act only when it answers `true`. Host-side only, like the heartbeats it
+/// rides: throttled work never perturbs simulated results.
+#[derive(Debug)]
+pub struct CheckpointThrottle {
+    min_interval: std::time::Duration,
+    last: Option<std::time::Instant>,
+}
+
+impl CheckpointThrottle {
+    /// A throttle that fires at most once per `min_interval`.
+    pub fn new(min_interval: std::time::Duration) -> Self {
+        CheckpointThrottle {
+            min_interval,
+            last: None,
+        }
+    }
+
+    /// True when at least `min_interval` has passed since the last `true`
+    /// answer (always true on the first call), arming the next interval.
+    pub fn ready(&mut self) -> bool {
+        let now = std::time::Instant::now();
+        match self.last {
+            Some(last) if now.duration_since(last) < self.min_interval => false,
+            _ => {
+                self.last = Some(now);
+                true
+            }
+        }
+    }
+}
+
 /// Which forward-progress invariant was violated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum WatchdogKind {
